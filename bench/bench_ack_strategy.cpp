@@ -1,0 +1,84 @@
+// Ablation of the backup acknowledgment strategy (paper §4.2-4.3).
+//
+// The primary may only discard a received client byte once the backup has
+// acknowledged it; application reads stall when the second receive buffer
+// fills, which shrinks the advertised window and throttles the client. The
+// ack threshold X, the SyncTime fallback, and the second-buffer size
+// therefore trade control-channel chatter against upload throughput. The
+// paper picks X = 3/4 of the second buffer and doubles the receive buffer;
+// this bench shows both why the threshold trigger matters (rows with the
+// threshold disabled throttle badly at long SyncTime) and that X barely
+// matters once it fires at all.
+//
+// Workload: 4 x 256 KB client->server uploads on a 100 Mbit client link
+// (the paper's 14 Mbit laptop link is too slow to pressure the buffer).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sttcp;
+using namespace sttcp::bench;
+
+namespace {
+
+struct Case {
+    const char* label;
+    std::size_t second_buffer;
+    std::size_t x;          // SIZE_MAX => threshold disabled (sync only)
+    sim::Duration sync_time;
+};
+
+} // namespace
+
+int main() {
+    std::printf("Ack-strategy ablation: 4 x 256KB uploads, 100 Mbit client link\n\n");
+    std::printf("%-26s %-9s %-9s %-8s %9s %7s %12s\n", "strategy", "2nd buf", "X",
+                "SyncTime", "time (s)", "acks", "released(B)");
+    print_rule(86);
+
+    std::vector<Case> cases = {
+        {"paper default (3/4 X)", 64 * 1024, 48 * 1024, sim::milliseconds{50}},
+        {"tiny X", 64 * 1024, 512, sim::milliseconds{50}},
+        {"X = 16K", 64 * 1024, 16 * 1024, sim::milliseconds{50}},
+        {"small 2nd buf", 8 * 1024, 6 * 1024, sim::milliseconds{50}},
+        {"large 2nd buf", 256 * 1024, 192 * 1024, sim::milliseconds{50}},
+        {"sync-only 50ms", 64 * 1024, SIZE_MAX, sim::milliseconds{50}},
+        {"sync-only 200ms", 64 * 1024, SIZE_MAX, sim::milliseconds{200}},
+        {"sync-only 1s", 64 * 1024, SIZE_MAX, sim::seconds{1}},
+        {"sync-only 1s, 256K buf", 256 * 1024, SIZE_MAX, sim::seconds{1}},
+    };
+
+    for (const auto& c : cases) {
+        harness::ExperimentConfig cfg;
+        cfg.testbed.client_bandwidth_bps = 100e6;
+        cfg.testbed.sttcp = sttcp_with_hb(sim::milliseconds{50});
+        cfg.testbed.sttcp.second_buffer_bytes = c.second_buffer;
+        cfg.testbed.sttcp.ack_threshold_bytes = c.x;
+        cfg.testbed.sttcp.sync_time = c.sync_time;
+        cfg.workload = app::Workload::upload_kb(256, 4);
+        auto r = harness::run_experiment(cfg);
+        char xbuf[32];
+        if (c.x == SIZE_MAX)
+            std::snprintf(xbuf, sizeof xbuf, "off");
+        else
+            std::snprintf(xbuf, sizeof xbuf, "%zu", c.x);
+        if (!r.completed) {
+            std::printf("%-26s %-9zu %-9s %-8.2f %9s\n", c.label, c.second_buffer, xbuf,
+                        sim::to_seconds(c.sync_time), "FAIL");
+            continue;
+        }
+        std::printf("%-26s %-9zu %-9s %-8.2f %9.3f %7llu %12llu\n", c.label,
+                    c.second_buffer, xbuf, sim::to_seconds(c.sync_time), r.total_seconds,
+                    static_cast<unsigned long long>(r.backup_stats.acks_sent),
+                    static_cast<unsigned long long>(r.primary_stats.bytes_released));
+    }
+
+    std::printf("\nBaseline (standard TCP, no retention): ");
+    harness::ExperimentConfig cfg;
+    cfg.testbed.fault_tolerant = false;
+    cfg.testbed.client_bandwidth_bps = 100e6;
+    cfg.workload = app::Workload::upload_kb(256, 4);
+    auto r = harness::run_experiment(cfg);
+    std::printf("%.3f s\n", r.total_seconds);
+    return 0;
+}

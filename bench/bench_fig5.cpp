@@ -1,0 +1,48 @@
+// Figure 5 reproduction: total run time vs heartbeat interval, with and
+// without a mid-run primary failure.
+//   (a) Echo application       (b) Interactive application
+// Upper curve: with failure; lower curve: without. The gap between the two
+// curves at each HB interval is the failover time, growing linearly with
+// the HB interval.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sttcp;
+using namespace sttcp::bench;
+
+namespace {
+
+void run_series(const char* title, const app::Workload& workload) {
+    std::printf("Figure 5 series: %s\n", title);
+    std::printf("%-12s  %14s  %14s  %14s\n", "HB interval", "no-failure (s)",
+                "with-failure(s)", "failover (s)");
+    print_rule(12 + 3 * 16);
+    for (const auto& hb : hb_sweep()) {
+        harness::ExperimentConfig cfg;
+        cfg.testbed.sttcp = sttcp_with_hb(hb.interval);
+        cfg.workload = workload;
+
+        auto base = run_averaged(cfg, 3);
+        auto fail = run_averaged(cfg, 3, 0.5, base.mean_total_seconds);
+        bool ok = base.completed_runs == 3 && fail.completed_runs == 3 &&
+                  base.verify_errors + fail.verify_errors == 0;
+        if (ok) {
+            std::printf("%-12s  %14.3f  %14.3f  %14.3f\n", hb.label,
+                        base.mean_total_seconds, fail.mean_total_seconds,
+                        fail.mean_total_seconds - base.mean_total_seconds);
+        } else {
+            std::printf("%-12s  %14s\n", hb.label, "FAIL");
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+    std::printf("Figure 5: per-run total time with/without failure vs HB interval\n\n");
+    run_series("(a) Echo (100 x 150B exchanges)", app::Workload::echo());
+    run_series("(b) Interactive (100 x 150B -> 10KB)", app::Workload::interactive());
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6 reproduction: Bulk transfer — total time with a failover and
+// without failure, for 1/5/20/100 MB transfers, per HB interval.
+//
+// Expected shape: the two curves per HB interval are parallel, separated by
+// the (size-independent) failover time; at 50 ms HB they nearly coincide.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sttcp;
+using namespace sttcp::bench;
+
+int main() {
+    std::printf("Figure 6: Bulk transfer total time (s), with failover vs without\n\n");
+    std::printf("%-12s", "HB interval");
+    for (int mb : {1, 5, 20, 100}) {
+        std::printf("  %9dMB-ok  %9dMB-f", mb, mb);
+    }
+    std::printf("\n");
+    print_rule(12 + 4 * 26);
+
+    for (const auto& hb : hb_sweep()) {
+        std::printf("%-12s", hb.label);
+        for (int mb : {1, 5, 20, 100}) {
+            harness::ExperimentConfig cfg;
+            cfg.testbed.sttcp = sttcp_with_hb(hb.interval);
+            cfg.workload = app::Workload::bulk_mb(static_cast<std::uint32_t>(mb));
+            int n = mb >= 20 ? 1 : 2;
+            auto base = run_averaged(cfg, n);
+            auto fail = run_averaged(cfg, n, 0.5, base.mean_total_seconds);
+            bool ok = base.completed_runs == n && fail.completed_runs == n &&
+                      base.verify_errors + fail.verify_errors == 0;
+            if (ok) {
+                std::printf("  %11.3f  %11.3f", base.mean_total_seconds,
+                            fail.mean_total_seconds);
+            } else {
+                std::printf("  %11s  %11s", "FAIL", "FAIL");
+            }
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

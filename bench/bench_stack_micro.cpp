@@ -1,0 +1,129 @@
+// Micro-benchmarks of the substrate (google-benchmark): wire codecs,
+// checksums, buffers, event queue, and whole-simulation throughput. These
+// bound how much virtual traffic the reproduction can push per host-second.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "net/tcp_wire.hpp"
+#include "sim/event_queue.hpp"
+#include "tcp/receive_buffer.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/wire.hpp"
+
+using namespace sttcp;
+
+namespace {
+
+void BM_InternetChecksum(benchmark::State& state) {
+    util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+    for (auto _ : state) {
+        util::InternetChecksum sum;
+        sum.add(data);
+        benchmark::DoNotOptimize(sum.finish());
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1460)->Arg(65536);
+
+void BM_TcpSegmentSerialize(benchmark::State& state) {
+    net::TcpSegment seg;
+    seg.src_port = 1234;
+    seg.dst_port = 80;
+    seg.seq = util::Seq32{42};
+    seg.flags.ack = true;
+    seg.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+    net::Ipv4Address a{10, 0, 0, 1}, b{10, 0, 0, 2};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seg.serialize(a, b));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TcpSegmentSerialize)->Arg(150)->Arg(1460);
+
+void BM_TcpSegmentParse(benchmark::State& state) {
+    net::TcpSegment seg;
+    seg.src_port = 1234;
+    seg.dst_port = 80;
+    seg.flags.ack = true;
+    seg.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+    net::Ipv4Address a{10, 0, 0, 1}, b{10, 0, 0, 2};
+    util::Bytes raw = seg.serialize(a, b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::TcpSegment::parse(raw, a, b));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TcpSegmentParse)->Arg(150)->Arg(1460);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int fired = 0;
+        for (int i = 0; i < state.range(0); ++i) {
+            q.schedule_after(sim::microseconds{i % 997}, [&fired]() { ++fired; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_RingBufferReadWrite(benchmark::State& state) {
+    util::RingBuffer ring(64 * 1024);
+    util::Bytes chunk(1460, 0x33);
+    std::uint8_t out[1460];
+    for (auto _ : state) {
+        ring.write(chunk);
+        benchmark::DoNotOptimize(ring.read(out));
+    }
+    state.SetBytesProcessed(state.iterations() * 1460);
+}
+BENCHMARK(BM_RingBufferReadWrite);
+
+void BM_ReceiveBufferInOrder(benchmark::State& state) {
+    tcp::ReceiveBuffer rb(64 * 1024);
+    rb.init(util::Seq32{1});
+    util::Bytes seg(1460, 0x44);
+    std::uint8_t out[1460];
+    util::Seq32 seq{1};
+    for (auto _ : state) {
+        rb.accept(seq, seg);
+        seq += 1460;
+        benchmark::DoNotOptimize(rb.read(out));
+    }
+    state.SetBytesProcessed(state.iterations() * 1460);
+}
+BENCHMARK(BM_ReceiveBufferInOrder);
+
+// Whole-system: one Echo run (100 request/response rounds) on the full
+// testbed, including ST-TCP shadowing. Reported as rounds/second of host
+// time.
+void BM_FullEchoRunStandardTcp(benchmark::State& state) {
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.testbed.fault_tolerant = false;
+        cfg.workload = app::Workload::echo();
+        auto r = harness::run_experiment(cfg);
+        benchmark::DoNotOptimize(r.completed);
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FullEchoRunStandardTcp)->Unit(benchmark::kMillisecond);
+
+void BM_FullEchoRunSttcp(benchmark::State& state) {
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.testbed.sttcp.hb_interval = sim::milliseconds{50};
+        cfg.testbed.sttcp.sync_time = sim::milliseconds{50};
+        cfg.workload = app::Workload::echo();
+        auto r = harness::run_experiment(cfg);
+        benchmark::DoNotOptimize(r.completed);
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FullEchoRunSttcp)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Deployment-architecture comparison (paper §3.1-3.2): the same workload
+// and failover on every tap architecture the paper describes —
+//   hub            broadcast Ethernet, promiscuous backup (the §6 testbed)
+//   mirror         switched Ethernet, managed-switch port mirroring
+//   multicast      switched Ethernet, unicast-IP -> multicast-MAC flooding
+//   no-SPOF        Figure 3: dual switches/loggers/gateways, dual-homed
+//
+// Expectation: failure-free time and failover time are essentially
+// architecture-independent (modulo the extra gateway hop on the switched
+// topologies) — the tap is off the data path in every design.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "harness/switch_testbed.hpp"
+
+using namespace sttcp;
+using namespace sttcp::bench;
+
+namespace {
+
+using Runner = harness::ExperimentResult (*)(const harness::ExperimentConfig&);
+
+harness::ExperimentResult run_hub(const harness::ExperimentConfig& c) {
+    return harness::run_experiment(c);
+}
+harness::ExperimentResult run_mirror(const harness::ExperimentConfig& c) {
+    return harness::run_switch_experiment(c, harness::TapMode::kPortMirror);
+}
+harness::ExperimentResult run_mcast(const harness::ExperimentConfig& c) {
+    return harness::run_switch_experiment(c, harness::TapMode::kMulticastMac);
+}
+harness::ExperimentResult run_nospof(const harness::ExperimentConfig& c) {
+    return harness::run_nospof_experiment(c);
+}
+
+} // namespace
+
+int main() {
+    std::printf("Tap architectures: Interactive workload, HB=SyncTime=50ms\n\n");
+    std::printf("%-12s %12s %12s %12s %12s\n", "topology", "std TCP (s)", "ST-TCP (s)",
+                "w/ crash (s)", "failover (s)");
+    print_rule(66);
+
+    struct Row {
+        const char* name;
+        Runner runner;
+    };
+    for (auto [name, runner] : {Row{"hub", run_hub}, Row{"mirror", run_mirror},
+                                Row{"multicast", run_mcast}, Row{"no-SPOF", run_nospof}}) {
+        harness::ExperimentConfig cfg;
+        cfg.testbed.sttcp = sttcp_with_hb(sim::milliseconds{50});
+        cfg.workload = app::Workload::interactive();
+
+        harness::ExperimentConfig plain = cfg;
+        plain.testbed.fault_tolerant = false;
+        auto base_plain = runner(plain);
+        auto base_st = runner(cfg);
+
+        harness::ExperimentConfig crash = cfg;
+        crash.crash_primary_at = sim::from_seconds(base_st.total_seconds / 2);
+        auto with_crash = runner(crash);
+
+        bool ok = base_plain.completed && base_st.completed && with_crash.completed &&
+                  with_crash.verify_errors == 0 && with_crash.failover_happened;
+        if (ok) {
+            std::printf("%-12s %12.3f %12.3f %12.3f %12.3f\n", name,
+                        base_plain.total_seconds, base_st.total_seconds,
+                        with_crash.total_seconds,
+                        with_crash.total_seconds - base_st.total_seconds);
+        } else {
+            std::printf("%-12s %12s\n", name, "FAIL");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Methodology follows §6: "All measurements taken were repeated at least
+// three times and their average values were used." Failure runs inject the
+// primary crash mid-run (at a configurable fraction of the failure-free
+// runtime, default one half) and failover time is reported as the paper
+// computes it: total-time-with-failure minus total-time-without.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace sttcp::bench {
+
+struct Averaged {
+    double mean_total_seconds = 0;
+    double min_total_seconds = 0;
+    double max_total_seconds = 0;
+    double mean_takeover_seconds = 0;  // crash -> takeover (failure runs)
+    int completed_runs = 0;
+    int total_runs = 0;
+    std::uint64_t verify_errors = 0;
+    harness::ExperimentResult last;
+};
+
+// Runs `repeats` times with distinct seeds; if crash_fraction >= 0, crashes
+// the primary at that fraction of `baseline_seconds` into the run.
+inline Averaged run_averaged(harness::ExperimentConfig cfg, int repeats,
+                             double crash_fraction = -1.0, double baseline_seconds = 0.0) {
+    Averaged avg;
+    avg.total_runs = repeats;
+    double sum = 0, sum_takeover = 0;
+    for (int i = 0; i < repeats; ++i) {
+        cfg.testbed.seed = 1000 + 77 * static_cast<std::uint64_t>(i);
+        if (crash_fraction >= 0) {
+            // Vary the crash phase across repeats: failover time depends on
+            // where in the heartbeat period the crash lands (paper §6.2).
+            double f = crash_fraction * (1.0 + 0.2 * (i - repeats / 2) /
+                                                   std::max(1, repeats));
+            cfg.crash_primary_at = sim::from_seconds(std::max(0.01, f * baseline_seconds));
+        }
+        auto r = harness::run_experiment(cfg);
+        if (!r.completed) continue;
+        ++avg.completed_runs;
+        sum += r.total_seconds;
+        sum_takeover += r.takeover_after_seconds;
+        avg.verify_errors += r.verify_errors;
+        if (avg.completed_runs == 1) {
+            avg.min_total_seconds = avg.max_total_seconds = r.total_seconds;
+        } else {
+            avg.min_total_seconds = std::min(avg.min_total_seconds, r.total_seconds);
+            avg.max_total_seconds = std::max(avg.max_total_seconds, r.total_seconds);
+        }
+        avg.last = r;
+    }
+    if (avg.completed_runs > 0) {
+        avg.mean_total_seconds = sum / avg.completed_runs;
+        avg.mean_takeover_seconds = sum_takeover / avg.completed_runs;
+    }
+    return avg;
+}
+
+inline core::SttcpConfig sttcp_with_hb(sim::Duration hb) {
+    core::SttcpConfig cfg;
+    // The paper's experiments tie SyncTime to the heartbeat interval (§4.3
+    // sweeps both over 50 ms .. 5 s; the ack/response pair doubles as the
+    // heartbeat exchange).
+    cfg.hb_interval = hb;
+    cfg.sync_time = hb;
+    return cfg;
+}
+
+struct HbPoint {
+    const char* label;
+    sim::Duration interval;
+};
+
+inline const std::vector<HbPoint>& hb_sweep() {
+    static const std::vector<HbPoint> points = {
+        {"5s", sim::seconds{5}},
+        {"1s", sim::seconds{1}},
+        {"200ms", sim::milliseconds{200}},
+        {"50ms", sim::milliseconds{50}},
+    };
+    return points;
+}
+
+inline void print_rule(int width) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace sttcp::bench

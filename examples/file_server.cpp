@@ -1,0 +1,70 @@
+// File server (the paper's Bulk-transfer / ftp-like scenario).
+//
+// A client downloads a 20 MB file from the fault-tolerant service; the
+// primary dies a third of the way through. The download continues from the
+// backup on the SAME TCP connection — watch the progress meter stall for
+// one failover and resume. Run with an argument to change the size in MB:
+//
+//   $ ./file_server [size_mb]
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "harness/testbed.hpp"
+
+using namespace sttcp;
+
+int main(int argc, char** argv) {
+    std::uint32_t size_mb = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 20;
+    if (size_mb == 0 || size_mb > 500) size_mb = 20;
+
+    harness::TestbedOptions options;
+    options.sttcp.hb_interval = sim::milliseconds{50};
+    options.sttcp.sync_time = sim::milliseconds{50};
+    harness::HubTestbed bed{options};
+
+    app::ResponderApp primary_app, backup_app;
+    auto pl = bed.st_primary->listen(21);
+    auto bl = bed.st_backup->listen(21);
+    primary_app.attach(*pl);
+    backup_app.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver client{*bed.client, bed.service_ip(), 21,
+                             app::Workload::bulk_mb(size_mb)};
+    bool done = false;
+    client.start([&] { done = true; });
+
+    double crash_at = 0.33 * (size_mb * 8.0 * 1024 * 1024 / 13e6);  // ~1/3 of transfer
+    bed.sim.schedule_after(sim::from_seconds(crash_at), [&] {
+        std::printf("[%7.3fs] *** primary crashed at %5.1f%% downloaded ***\n",
+                    sim::to_seconds(bed.sim.now()),
+                    100.0 * static_cast<double>(client.result().bytes_received) /
+                        (size_mb * 1024.0 * 1024.0));
+        bed.crash_primary();
+    });
+
+    // Progress meter on a 250 ms tick.
+    std::function<void()> tick = [&]() {
+        if (done) return;
+        std::printf("[%7.3fs] %6.1f%%  (%llu bytes)\n", sim::to_seconds(bed.sim.now()),
+                    100.0 * static_cast<double>(client.result().bytes_received) /
+                        (size_mb * 1024.0 * 1024.0),
+                    static_cast<unsigned long long>(client.result().bytes_received));
+        bed.sim.schedule_after(sim::milliseconds{1000}, tick);
+    };
+    bed.sim.schedule_after(sim::milliseconds{1000}, tick);
+
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::minutes{10}) {
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+    }
+
+    const auto& r = client.result();
+    std::printf("\n%u MB download %s in %.3f s; failover %s; %llu verify errors\n", size_mb,
+                r.completed ? "completed" : "FAILED", r.total_seconds(),
+                bed.st_backup->has_taken_over() ? "happened" : "did not happen",
+                static_cast<unsigned long long>(r.verify_errors));
+    return r.completed && r.verify_errors == 0 ? 0 : 1;
+}

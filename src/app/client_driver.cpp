@@ -1,0 +1,104 @@
+#include "app/client_driver.hpp"
+
+namespace sttcp::app {
+
+void ClientDriver::start(std::function<void()> on_done) {
+    on_done_ = std::move(on_done);
+    result_ = Result{};
+    result_.started_at = stack_.sim().now();
+
+    conn_ = stack_.tcp_connect(server_ip_, port_);
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_established = [this]() { begin_round(); };
+    cbs.on_writable = [this]() { pump_upload(); };
+    cbs.on_readable = [this]() { on_readable(); };
+    cbs.on_closed = [this](const std::string& reason) {
+        if (result_.completed || result_.failed) return;  // orderly teardown
+        finish(false, reason);
+    };
+    conn_->set_callbacks(std::move(cbs));
+}
+
+void ClientDriver::begin_round() {
+    round_received_ = 0;
+    upload_sent_ = 0;
+    round_started_ = stack_.sim().now();
+    Request req;
+    req.id = round_;
+    req.response_size = workload_.response_size;
+    req.upload_size = workload_.upload_size;
+    util::Bytes bytes = encode_request(req);
+    std::size_t n = conn_->send(bytes);
+    if (n != bytes.size()) {
+        // 150 B always fits in an empty-per-round send buffer.
+        finish(false, "request did not fit in send buffer");
+        return;
+    }
+    pump_upload();
+}
+
+void ClientDriver::pump_upload() {
+    if (!conn_ || result_.completed || result_.failed) return;
+    while (upload_sent_ < workload_.upload_size) {
+        std::size_t len = static_cast<std::size_t>(
+            std::min<std::uint64_t>(8 * 1024, workload_.upload_size - upload_sent_));
+        util::Bytes chunk(len);
+        for (std::size_t i = 0; i < len; ++i)
+            chunk[i] = upload_byte(round_, upload_sent_ + i);
+        std::size_t n = conn_->send(chunk);
+        upload_sent_ += n;
+        if (n < len) return;  // backpressured; on_writable resumes
+    }
+}
+
+void ClientDriver::on_readable() {
+    std::uint8_t buf[8 * 1024];
+    while (conn_) {
+        std::size_t n = conn_->read(buf);
+        if (n == 0) return;
+        // Verify the deterministic stream: byte j of response == pattern,
+        // with the first 8 bytes being the echoed header.
+        util::Bytes expected_header = encode_response_header(
+            Request{round_, workload_.response_size});
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t offset = round_received_ + i;
+            std::uint8_t expect = offset < kHeaderSize
+                                      ? expected_header[static_cast<std::size_t>(offset)]
+                                      : response_byte(round_, offset);
+            if (buf[i] != expect) ++result_.verify_errors;
+        }
+        round_received_ += n;
+        result_.bytes_received += n;
+
+        if (round_received_ >= workload_.response_size) {
+            result_.round_seconds.push_back(sim::to_seconds(stack_.sim().now() - round_started_));
+            ++round_;
+            if (round_ >= workload_.rounds) {
+                result_.completed = true;
+                result_.finished_at = stack_.sim().now();
+                conn_->close();  // teardown proceeds in the background
+                if (on_done_) {
+                    auto cb = std::move(on_done_);
+                    on_done_ = nullptr;
+                    cb();
+                }
+                return;
+            }
+            begin_round();
+        }
+    }
+}
+
+void ClientDriver::finish(bool ok, const std::string& reason) {
+    if (result_.completed || result_.failed) return;
+    result_.failed = !ok;
+    result_.failure_reason = reason;
+    result_.finished_at = stack_.sim().now();
+    if (on_done_) {
+        auto cb = std::move(on_done_);
+        on_done_ = nullptr;
+        cb();
+    }
+}
+
+} // namespace sttcp::app

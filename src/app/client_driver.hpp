@@ -1,0 +1,86 @@
+// Client-side workload driver for the paper's applications (§6).
+//
+// Runs `rounds` request/response exchanges, strictly sequentially ("a new
+// request is sent only after the response to the previous one is received"),
+// verifying every response byte against the deterministic pattern — which
+// also proves that a failover neither lost, duplicated, nor corrupted any
+// part of the stream.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/protocol.hpp"
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::app {
+
+struct Workload {
+    std::string name;
+    std::uint32_t rounds = 100;
+    std::uint32_t response_size = 150;  // bytes, including the 8-byte header
+    std::uint32_t upload_size = 0;      // client->server body after the request
+
+    // Paper presets (§6).
+    [[nodiscard]] static Workload echo() { return {"echo", 100, 150, 0}; }
+    [[nodiscard]] static Workload interactive() { return {"interactive", 100, 10 * 1024, 0}; }
+    [[nodiscard]] static Workload bulk_mb(std::uint32_t mb) {
+        return {"bulk-" + std::to_string(mb) + "MB", 1, mb * 1024 * 1024, 0};
+    }
+    // Upload workload (not in the paper): stresses the primary's second
+    // receive buffer, whose retention only applies to client->server bytes.
+    [[nodiscard]] static Workload upload_kb(std::uint32_t kb, std::uint32_t rounds = 1) {
+        return {"upload-" + std::to_string(kb) + "KB", rounds, 150, kb * 1024};
+    }
+};
+
+class ClientDriver {
+public:
+    struct Result {
+        bool completed = false;
+        bool failed = false;           // connection error before completion
+        std::string failure_reason;
+        sim::TimePoint started_at{};
+        sim::TimePoint finished_at{};
+        std::uint64_t bytes_received = 0;
+        std::uint64_t verify_errors = 0;
+        std::vector<double> round_seconds;  // per-round completion times
+
+        [[nodiscard]] double total_seconds() const {
+            return sim::to_seconds(finished_at - started_at);
+        }
+    };
+
+    ClientDriver(tcp::HostStack& stack, net::Ipv4Address server_ip, std::uint16_t port,
+                 Workload workload)
+        : stack_(stack), server_ip_(server_ip), port_(port), workload_(workload) {}
+
+    // Connects and runs the workload; on_done fires after the connection has
+    // been closed (or on failure).
+    void start(std::function<void()> on_done = {});
+
+    [[nodiscard]] const Result& result() const { return result_; }
+    [[nodiscard]] const Workload& workload() const { return workload_; }
+
+private:
+    void begin_round();
+    void pump_upload();
+    void on_readable();
+    void finish(bool ok, const std::string& reason);
+
+    tcp::HostStack& stack_;
+    net::Ipv4Address server_ip_;
+    std::uint16_t port_;
+    Workload workload_;
+    std::shared_ptr<tcp::TcpConnection> conn_;
+    std::function<void()> on_done_;
+    Result result_;
+
+    std::uint32_t round_ = 0;
+    std::uint64_t round_received_ = 0;  // bytes of the current response
+    std::uint64_t upload_sent_ = 0;     // upload bytes queued this round
+    sim::TimePoint round_started_{};
+};
+
+} // namespace sttcp::app

@@ -1,0 +1,80 @@
+// Request/response protocol shared by the paper's three simulated
+// applications (§6):
+//   Echo        — 100 × (150 B request -> 150 B response)   (telnet-like)
+//   Interactive — 100 × (150 B request -> 10 KB response)   (http-like)
+//   Bulk        — 1 × (150 B request -> 1..100 MB response) (ftp-like)
+//
+// A request is exactly 150 bytes: an 8-byte header (request id, response
+// size) plus deterministic filler. The response is the 8-byte header echoed
+// followed by a deterministic pattern — so the server is a deterministic
+// function of the byte stream (the property ST-TCP's active replication
+// relies on), and the client can verify every byte even across a failover.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/wire.hpp"
+
+namespace sttcp::app {
+
+inline constexpr std::size_t kRequestSize = 150;
+inline constexpr std::size_t kHeaderSize = 8;
+
+struct Request {
+    std::uint32_t id = 0;
+    std::uint32_t response_size = 0;
+    // Pattern bytes the client streams after the fixed 150-byte request
+    // block (an "upload" workload). The paper's three applications use 0;
+    // nonzero uploads stress the ST-TCP primary's second receive buffer,
+    // which only fills on client->server traffic.
+    std::uint32_t upload_size = 0;
+};
+
+// Deterministic byte of an upload: depends only on (request id, offset).
+[[nodiscard]] inline std::uint8_t upload_byte(std::uint32_t id, std::uint64_t offset) {
+    std::uint64_t x = (static_cast<std::uint64_t>(~id) << 32) ^ ((offset + 17) * 0xda942042e4dd58b5ULL);
+    x ^= x >> 31;
+    return static_cast<std::uint8_t>(x * 37 >> 16);
+}
+
+// Deterministic byte of a response: depends only on (request id, offset).
+[[nodiscard]] inline std::uint8_t response_byte(std::uint32_t id, std::uint64_t offset) {
+    std::uint64_t x = (static_cast<std::uint64_t>(id) << 32) ^ (offset * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 29;
+    return static_cast<std::uint8_t>(x * 31 >> 8);
+}
+
+// Encodes the fixed 150-byte request block (upload bytes, if any, follow on
+// the stream).
+[[nodiscard]] inline util::Bytes encode_request(const Request& req) {
+    util::Bytes out;
+    out.reserve(kRequestSize);
+    util::WireWriter w{out};
+    w.u32(req.id);
+    w.u32(req.response_size);
+    w.u32(req.upload_size);
+    while (out.size() < kRequestSize)
+        out.push_back(response_byte(req.id, out.size()));
+    return out;
+}
+
+// Parses one request from exactly kRequestSize bytes.
+[[nodiscard]] inline Request decode_request(util::ByteView raw) {
+    util::WireReader r{raw};
+    Request req;
+    req.id = r.u32();
+    req.response_size = r.u32();
+    req.upload_size = r.u32();
+    return req;
+}
+
+[[nodiscard]] inline util::Bytes encode_response_header(const Request& req) {
+    util::Bytes out;
+    util::WireWriter w{out};
+    w.u32(req.id);
+    w.u32(req.response_size);
+    return out;
+}
+
+} // namespace sttcp::app

@@ -1,0 +1,95 @@
+#include "app/responder.hpp"
+
+namespace sttcp::app {
+
+namespace {
+constexpr std::size_t kChunk = 8 * 1024;  // response streaming granularity
+} // namespace
+
+void ResponderApp::attach(tcp::TcpListener& listener) {
+    listener.set_accept_handler([this](std::shared_ptr<tcp::TcpConnection> conn) {
+        ++stats_.connections;
+        auto session = std::make_shared<Session>(std::move(conn));
+        tcp::TcpConnection::Callbacks cbs;
+        cbs.on_readable = [this, session]() { session->on_readable(*this); };
+        cbs.on_writable = [this, session]() { session->pump(*this); };
+        cbs.on_remote_fin = [session]() {
+            session->peer_closed = true;
+            if (!session->responding) session->conn->close();
+        };
+        session->conn->set_callbacks(std::move(cbs));
+        // A request may already be buffered (it can ride on the handshake's
+        // final ACK or arrive before the accept handler ran).
+        session->on_readable(*this);
+    });
+}
+
+void ResponderApp::Session::on_readable(ResponderApp& app) {
+    // One response at a time: while responding, leave further requests in
+    // the TCP buffer (flow control backpressures the client, and the
+    // backup's replica consumes the byte stream identically).
+    while (!responding) {
+        if (upload_remaining > 0) {
+            // Drain the request's upload body (an ftp-put-like workload).
+            std::uint8_t tmp[8 * 1024];
+            std::size_t want = std::min<std::size_t>(sizeof tmp, upload_remaining);
+            std::size_t n = conn->read(std::span<std::uint8_t>{tmp, want});
+            if (n == 0) return;
+            app.stats_.upload_bytes_received += n;
+            upload_remaining -= n;
+            if (upload_remaining > 0) continue;
+        } else if (request_buf.size() < kRequestSize) {
+            std::uint8_t tmp[kRequestSize];
+            std::size_t want = kRequestSize - request_buf.size();
+            std::size_t n = conn->read(std::span<std::uint8_t>{tmp, want});
+            if (n == 0) return;
+            request_buf.insert(request_buf.end(), tmp, tmp + n);
+            if (request_buf.size() < kRequestSize) continue;
+
+            current = decode_request(request_buf);
+            request_buf.clear();
+            if (current.response_size < kHeaderSize) current.response_size = kHeaderSize;
+            if (current.upload_size > 0) {
+                upload_remaining = current.upload_size;
+                continue;  // body first, then respond
+            }
+        }
+
+        responding = true;
+        body_sent = 0;
+        ++app.stats_.requests_served;
+        pump(app);
+    }
+}
+
+void ResponderApp::Session::pump(ResponderApp& app) {
+    if (!responding) return;
+
+    // The whole response (header + pattern body) is one byte stream, queued
+    // in single send() calls so TCP can coalesce it into full segments.
+    util::Bytes header = encode_response_header(current);
+    while (body_sent < current.response_size) {
+        std::size_t len = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kChunk, current.response_size - body_sent));
+        util::Bytes chunk(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            std::uint64_t offset = body_sent + i;
+            chunk[i] = offset < kHeaderSize ? header[static_cast<std::size_t>(offset)]
+                                            : response_byte(current.id, offset);
+        }
+        std::size_t n = conn->send(chunk);
+        app.stats_.response_bytes_queued += n;
+        body_sent += n;
+        if (n < len) return;  // backpressured
+    }
+
+    // Response fully queued.
+    responding = false;
+    if (peer_closed) {
+        conn->close();
+        return;
+    }
+    on_readable(app);  // next request may already be buffered
+}
+
+} // namespace sttcp::app

@@ -1,0 +1,53 @@
+// Deterministic request/response server application.
+//
+// Runs unchanged on the primary and on the backup (where its writes are
+// suppressed by the stack) — this is the paper's model of an application
+// that "is deterministic, or a leader/follower protocol is used" (§3).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "app/protocol.hpp"
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::app {
+
+class ResponderApp {
+public:
+    // Attaches to a listener created by the stack / SttcpPrimary /
+    // SttcpBackup (the accept-handler slot belongs to the application).
+    void attach(tcp::TcpListener& listener);
+
+    struct Stats {
+        std::uint64_t connections = 0;
+        std::uint64_t requests_served = 0;
+        std::uint64_t response_bytes_queued = 0;
+        std::uint64_t upload_bytes_received = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    // Per-connection session: accumulates request bytes, streams responses
+    // with backpressure via on_writable.
+    struct Session : std::enable_shared_from_this<Session> {
+        explicit Session(std::shared_ptr<tcp::TcpConnection> c) : conn(std::move(c)) {}
+
+        void on_readable(ResponderApp& app);
+        void pump(ResponderApp& app);  // pushes pending response bytes
+
+        std::shared_ptr<tcp::TcpConnection> conn;
+        util::Bytes request_buf;
+        // Current response being streamed; body_sent counts response bytes
+        // (header included) already queued into the TCP send buffer.
+        Request current;
+        std::uint64_t body_sent = 0;
+        std::size_t upload_remaining = 0;
+        bool responding = false;
+        bool peer_closed = false;
+    };
+
+    Stats stats_;
+};
+
+} // namespace sttcp::app

@@ -1,0 +1,81 @@
+#include "harness/chain_testbed.hpp"
+
+namespace sttcp::harness {
+
+ChainTestbed::ChainTestbed(TestbedOptions opts)
+    : sim(opts.seed),
+      hub(sim, "hub"),
+      power(sim, opts.fencing_latency),
+      options(opts) {
+    client_node = std::make_unique<net::Node>("client");
+    primary_node = std::make_unique<net::Node>("primary");
+    backup1_node = std::make_unique<net::Node>("backup1");
+    backup2_node = std::make_unique<net::Node>("backup2");
+    client_nic = std::make_unique<net::Nic>(*client_node, "eth0", net::MacAddress::local(10));
+    primary_nic = std::make_unique<net::Nic>(*primary_node, "eth0", net::MacAddress::local(2));
+    backup1_nic = std::make_unique<net::Nic>(*backup1_node, "eth0", net::MacAddress::local(3));
+    backup2_nic = std::make_unique<net::Nic>(*backup2_node, "eth0", net::MacAddress::local(4));
+
+    net::LinkConfig server_link;
+    server_link.bandwidth_bps = opts.server_bandwidth_bps;
+    server_link.propagation = opts.propagation;
+    net::LinkConfig client_link = server_link;
+    client_link.bandwidth_bps = opts.client_bandwidth_bps;
+
+    hub.connect(*client_nic, client_link);
+    hub.connect(*primary_nic, server_link);
+    hub.connect(*backup1_nic, server_link);
+    hub.connect(*backup2_nic, server_link);
+
+    client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
+    primary = std::make_unique<tcp::HostStack>(sim, *primary_node, opts.tcp);
+    backup1 = std::make_unique<tcp::HostStack>(sim, *backup1_node, opts.tcp);
+    backup2 = std::make_unique<tcp::HostStack>(sim, *backup2_node, opts.tcp);
+
+    client->add_interface(*client_nic, client_ip(), 24);
+    std::size_t primary_if = primary->add_interface(*primary_nic, primary_ip(), 24);
+    backup1->add_interface(*backup1_nic, backup1_ip(), 24);
+    backup2->add_interface(*backup2_nic, backup2_ip(), 24);
+    primary->add_ip_alias(primary_if, service_ip());
+    backup1_nic->set_promiscuous(true);
+    backup2_nic->set_promiscuous(true);
+
+    power.manage(*primary_node);
+    power.manage(*backup1_node);
+    power.manage(*backup2_node);
+
+    // ip -> power-switch name, shared by every fencer.
+    auto fence = [this](net::Ipv4Address ip, std::function<void()> done) {
+        std::string name = ip == primary_ip()   ? "primary"
+                           : ip == backup1_ip() ? "backup1"
+                                                : "backup2";
+        power.power_off(name, std::move(done));
+    };
+
+    std::vector<net::Ipv4Address> members = {primary_ip(), backup1_ip(), backup2_ip()};
+
+    core::SttcpPrimary::Options popts;
+    popts.config = opts.sttcp;
+    popts.service_ip = service_ip();
+    popts.backup_ips = {backup1_ip(), backup2_ip()};
+    st_primary = std::make_unique<core::SttcpPrimary>(*primary, popts);
+    st_primary->set_fencer(fence);
+
+    core::SttcpBackup::Options b1;
+    b1.config = opts.sttcp;
+    b1.service_ip = service_ip();
+    b1.members = members;
+    b1.self_index = 1;
+    st_backup1 = std::make_unique<core::SttcpBackup>(*backup1, b1);
+    st_backup1->set_fencer(fence);
+
+    core::SttcpBackup::Options b2;
+    b2.config = opts.sttcp;
+    b2.service_ip = service_ip();
+    b2.members = members;
+    b2.self_index = 2;
+    st_backup2 = std::make_unique<core::SttcpBackup>(*backup2, b2);
+    st_backup2->set_fencer(fence);
+}
+
+} // namespace sttcp::harness

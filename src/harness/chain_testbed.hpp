@@ -1,0 +1,54 @@
+// Replica-chain testbed: the paper's "one or more backup servers" (§3).
+//
+// Hub LAN with a client, a primary, and TWO ranked backups, all tapping.
+// Failure of the primary promotes backup 1 to a full ST-TCP primary (it
+// starts serving backup 2's acks/recovery and heartbeats); failure of
+// backup 1 then promotes backup 2 — the service survives k = 2 faults.
+#pragma once
+
+#include <memory>
+
+#include "harness/testbed.hpp"
+
+namespace sttcp::harness {
+
+class ChainTestbed {
+public:
+    explicit ChainTestbed(TestbedOptions options);
+
+    [[nodiscard]] net::Ipv4Address service_ip() const { return {10, 0, 0, 100}; }
+    [[nodiscard]] net::Ipv4Address client_ip() const { return {10, 0, 0, 10}; }
+    [[nodiscard]] net::Ipv4Address primary_ip() const { return {10, 0, 0, 2}; }
+    [[nodiscard]] net::Ipv4Address backup1_ip() const { return {10, 0, 0, 3}; }
+    [[nodiscard]] net::Ipv4Address backup2_ip() const { return {10, 0, 0, 4}; }
+
+    void crash_primary() { primary_node->power_off(); }
+    void crash_backup1() { backup1_node->power_off(); }
+    void crash_backup2() { backup2_node->power_off(); }
+
+    sim::Simulation sim;
+    net::Hub hub;
+    net::PowerSwitch power;
+
+    std::unique_ptr<net::Node> client_node;
+    std::unique_ptr<net::Node> primary_node;
+    std::unique_ptr<net::Node> backup1_node;
+    std::unique_ptr<net::Node> backup2_node;
+    std::unique_ptr<net::Nic> client_nic;
+    std::unique_ptr<net::Nic> primary_nic;
+    std::unique_ptr<net::Nic> backup1_nic;
+    std::unique_ptr<net::Nic> backup2_nic;
+
+    std::unique_ptr<tcp::HostStack> client;
+    std::unique_ptr<tcp::HostStack> primary;
+    std::unique_ptr<tcp::HostStack> backup1;
+    std::unique_ptr<tcp::HostStack> backup2;
+
+    std::unique_ptr<core::SttcpPrimary> st_primary;
+    std::unique_ptr<core::SttcpBackup> st_backup1;
+    std::unique_ptr<core::SttcpBackup> st_backup2;
+
+    TestbedOptions options;
+};
+
+} // namespace sttcp::harness

@@ -1,0 +1,103 @@
+#include "harness/experiment.hpp"
+
+#include "harness/nospof_testbed.hpp"
+#include "harness/switch_testbed.hpp"
+
+namespace sttcp::harness {
+
+namespace {
+
+// Generic over the testbed shape: HubTestbed and SwitchTestbed expose the
+// same member names (sim, client/primary stacks, st_primary/st_backup,
+// service_ip(), crash_*(), client_side_link()).
+template <typename Bed>
+ExperimentResult run_on(Bed& bed, const ExperimentConfig& config) {
+    ExperimentResult result;
+
+    // Server application: identical deterministic responder on primary and
+    // backup (the backup's instance runs with suppressed output).
+    app::ResponderApp primary_app;
+    app::ResponderApp backup_app;
+
+    std::shared_ptr<tcp::TcpListener> primary_listener;
+    std::shared_ptr<tcp::TcpListener> backup_listener;
+    if (bed.st_primary) {
+        primary_listener = bed.st_primary->listen(config.service_port);
+        backup_listener = bed.st_backup->listen(config.service_port);
+        primary_app.attach(*primary_listener);
+        backup_app.attach(*backup_listener);
+        bed.st_primary->start();
+        bed.st_backup->start();
+
+        bed.st_backup->set_on_failover(
+            [&](sim::TimePoint suspected, sim::TimePoint done) {
+                result.failover_happened = true;
+                result.suspected_after_seconds =
+                    sim::to_seconds(suspected) - result.crash_at_seconds;
+                result.takeover_after_seconds =
+                    sim::to_seconds(done) - result.crash_at_seconds;
+            });
+    } else {
+        primary_listener = bed.primary->tcp_listen(config.service_port);
+        primary_app.attach(*primary_listener);
+    }
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), config.service_port,
+                             config.workload};
+    bool done = false;
+    driver.start([&]() { done = true; });
+
+    if (config.crash_primary_at) {
+        bed.sim.schedule_after(*config.crash_primary_at, [&]() {
+            result.crash_at_seconds = sim::to_seconds(bed.sim.now());
+            bed.crash_primary();
+        });
+    }
+    if (config.crash_backup_at) {
+        bed.sim.schedule_after(*config.crash_backup_at, [&]() { bed.crash_backup(); });
+    }
+
+    sim::TimePoint limit = bed.sim.now() + config.time_limit;
+    while (!done && bed.sim.now() < limit) {
+        bed.sim.run_until(std::min(limit, bed.sim.now() + sim::milliseconds{100}));
+    }
+
+    const auto& r = driver.result();
+    result.completed = r.completed;
+    result.failure_reason = r.failed ? r.failure_reason : (r.completed ? "" : "time limit");
+    result.total_seconds = r.completed ? r.total_seconds() : sim::to_seconds(limit - r.started_at);
+    result.bytes_received = r.bytes_received;
+    result.verify_errors = r.verify_errors;
+    if (bed.st_backup) result.backup_stats = bed.st_backup->stats();
+    if (bed.st_primary) result.primary_stats = bed.st_primary->stats();
+    result.backup_stack_stats = bed.backup->stats();
+    result.primary_app_stats = primary_app.stats();
+    result.backup_app_stats = backup_app.stats();
+    if (bed.st_primary && bed.st_backup) {
+        const auto& p = bed.st_primary->control_channel_stats();
+        const auto& b = bed.st_backup->control_channel_stats();
+        result.control_channel_bytes = p.bytes_sent + b.bytes_sent;
+        result.control_channel_datagrams = p.datagrams_sent + b.datagrams_sent;
+    }
+    result.client_link_wire_bytes = bed.client_side_link()->stats().bytes_delivered;
+    return result;
+}
+
+} // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+    HubTestbed bed{config.testbed};
+    return run_on(bed, config);
+}
+
+ExperimentResult run_switch_experiment(const ExperimentConfig& config, TapMode tap_mode) {
+    SwitchTestbed bed{config.testbed, tap_mode};
+    return run_on(bed, config);
+}
+
+ExperimentResult run_nospof_experiment(const ExperimentConfig& config) {
+    NoSpofTestbed bed{config.testbed};
+    return run_on(bed, config);
+}
+
+} // namespace sttcp::harness

@@ -1,0 +1,64 @@
+// Single-experiment runner: one workload run on the paper's testbed, with
+// optional primary-crash injection — the building block for every table and
+// figure in §6.
+#pragma once
+
+#include <optional>
+
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "harness/testbed.hpp"
+
+namespace sttcp::harness {
+
+struct ExperimentConfig {
+    TestbedOptions testbed;
+    app::Workload workload = app::Workload::echo();
+    std::uint16_t service_port = 8000;
+    // Crash the primary this long after the client starts (virtual time).
+    std::optional<sim::Duration> crash_primary_at;
+    std::optional<sim::Duration> crash_backup_at;
+    sim::Duration time_limit = sim::minutes{30};
+};
+
+struct ExperimentResult {
+    bool completed = false;
+    std::string failure_reason;
+    double total_seconds = 0;       // client start -> last response byte
+    std::uint64_t bytes_received = 0;
+    std::uint64_t verify_errors = 0;
+
+    bool failover_happened = false;
+    double crash_at_seconds = 0;        // when the primary was killed
+    double suspected_after_seconds = 0;  // crash -> detector suspicion
+    double takeover_after_seconds = 0;   // crash -> takeover complete
+
+    // Component stats snapshots for deeper assertions/reports.
+    core::SttcpBackup::Stats backup_stats;
+    core::SttcpPrimary::Stats primary_stats;
+    tcp::HostStack::Stats backup_stack_stats;
+    app::ResponderApp::Stats primary_app_stats;
+    app::ResponderApp::Stats backup_app_stats;
+
+    // Traffic accounting (for the §4.3 control-channel overhead analysis).
+    std::uint64_t control_channel_bytes = 0;    // UDP payload, both directions
+    std::uint64_t control_channel_datagrams = 0;
+    std::uint64_t client_link_wire_bytes = 0;   // everything the client link carried
+};
+
+// Builds the testbed, wires the responder application to the primary (and
+// backup, when fault-tolerant), runs the client workload to completion or
+// the time limit, and reports timings.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// Same experiment on the switched-Ethernet topology (paper §3.1, Figure 2)
+// with the chosen tap architecture.
+enum class TapMode;
+[[nodiscard]] ExperimentResult run_switch_experiment(const ExperimentConfig& config,
+                                                     TapMode tap_mode);
+
+// Same experiment on the fully replicated Figure-3 architecture (dual
+// switches, dual inline loggers, dual gateways, dual-homed servers).
+[[nodiscard]] ExperimentResult run_nospof_experiment(const ExperimentConfig& config);
+
+} // namespace sttcp::harness

@@ -1,0 +1,138 @@
+#include "harness/nospof_testbed.hpp"
+
+namespace sttcp::harness {
+
+NoSpofTestbed::NoSpofTestbed(TestbedOptions opts)
+    : sim(opts.seed),
+      switch_a(sim, "swA"),
+      switch_b(sim, "swB"),
+      wan(sim, "wan"),
+      power(sim, opts.fencing_latency),
+      options(opts) {
+    client_node = std::make_unique<net::Node>("client");
+    gwa_node = std::make_unique<net::Node>("gatewayA");
+    gwb_node = std::make_unique<net::Node>("gatewayB");
+    primary_node = std::make_unique<net::Node>("primary");
+    backup_node = std::make_unique<net::Node>("backup");
+    logger_a_node = std::make_unique<net::Node>("loggerA");
+    logger_b_node = std::make_unique<net::Node>("loggerB");
+
+    client_nic = std::make_unique<net::Nic>(*client_node, "eth0", net::MacAddress::local(10));
+    gwa_wan_nic = std::make_unique<net::Nic>(*gwa_node, "wan0", net::MacAddress::local(21));
+    gwa_lan_nic = std::make_unique<net::Nic>(*gwa_node, "lan0", net::MacAddress::local(22));
+    gwb_wan_nic = std::make_unique<net::Nic>(*gwb_node, "wan0", net::MacAddress::local(23));
+    gwb_lan_nic = std::make_unique<net::Nic>(*gwb_node, "lan0", net::MacAddress::local(24));
+    primary_nic_a = std::make_unique<net::Nic>(*primary_node, "ethA", net::MacAddress::local(2));
+    primary_nic_b = std::make_unique<net::Nic>(*primary_node, "ethB", net::MacAddress::local(4));
+    backup_nic_a = std::make_unique<net::Nic>(*backup_node, "ethA", net::MacAddress::local(3));
+    backup_nic_b = std::make_unique<net::Nic>(*backup_node, "ethB", net::MacAddress::local(5));
+
+    net::LinkConfig lan_link;
+    lan_link.bandwidth_bps = opts.server_bandwidth_bps;
+    lan_link.propagation = opts.propagation;
+    net::LinkConfig client_link = lan_link;
+    client_link.bandwidth_bps = opts.client_bandwidth_bps;
+    client_link.loss_probability = opts.client_link_loss;
+
+    // WAN segment: client and both gateways.
+    wan_client_link = &wan.connect(*client_nic, client_link);
+    wan.connect(*gwa_wan_nic, lan_link);
+    wan.connect(*gwb_wan_nic, lan_link);
+
+    // Rail A: switch A <-> logger A <-> gateway A; primary/backup NIC-A.
+    logger_a = std::make_unique<net::InlineLogger>(sim, *logger_a_node);
+    switch_a.connect(logger_a->side_a(), lan_link);
+    logger_gwa_link = std::make_unique<net::Link>(sim, lan_link);
+    logger_gwa_link->attach(logger_a->side_b(), *gwa_lan_nic);
+    switch_a.connect(*primary_nic_a, lan_link);
+    std::size_t backup_port_a = switch_a.connect(*backup_nic_a, lan_link);
+    if (opts.tap_loss > 0)
+        switch_a.link_at(backup_port_a).set_loss_toward(*backup_nic_a, opts.tap_loss);
+
+    // Rail B: switch B <-> logger B <-> gateway B; primary/backup NIC-B.
+    logger_b = std::make_unique<net::InlineLogger>(sim, *logger_b_node);
+    switch_b.connect(logger_b->side_a(), lan_link);
+    logger_gwb_link = std::make_unique<net::Link>(sim, lan_link);
+    logger_gwb_link->attach(logger_b->side_b(), *gwb_lan_nic);
+    switch_b.connect(*primary_nic_b, lan_link);
+    std::size_t backup_port_b = switch_b.connect(*backup_nic_b, lan_link);
+    if (opts.tap_loss > 0)
+        switch_b.link_at(backup_port_b).set_loss_toward(*backup_nic_b, opts.tap_loss);
+
+    // Stacks.
+    client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
+    gwa = std::make_unique<tcp::HostStack>(sim, *gwa_node, opts.tcp);
+    gwb = std::make_unique<tcp::HostStack>(sim, *gwb_node, opts.tcp);
+    primary = std::make_unique<tcp::HostStack>(sim, *primary_node, opts.tcp);
+    backup = std::make_unique<tcp::HostStack>(sim, *backup_node, opts.tcp);
+
+    client->add_interface(*client_nic, client_ip(), 24);
+    client->set_default_gateway(net::Ipv4Address{192, 168, 1, 1});
+
+    gwa->add_interface(*gwa_wan_nic, net::Ipv4Address{192, 168, 1, 1}, 24);
+    std::size_t gwa_lan_if = gwa->add_interface(*gwa_lan_nic, net::Ipv4Address{10, 0, 1, 1}, 24);
+    gwa->add_ip_alias(gwa_lan_if, gwa_virtual_ip());
+    gwa->set_ip_forwarding(true);
+    // The static unicast-IP -> multicast-MAC mapping that floods client
+    // traffic to primary AND backup (paper §3.1).
+    gwa->arp_table().add_static(service_ip(), sme());
+
+    gwb->add_interface(*gwb_wan_nic, net::Ipv4Address{192, 168, 1, 2}, 24);
+    std::size_t gwb_lan_if = gwb->add_interface(*gwb_lan_nic, net::Ipv4Address{10, 0, 2, 1}, 24);
+    gwb->add_ip_alias(gwb_lan_if, gwb_virtual_ip());
+    gwb_lan_nic->join_multicast(gme_b());
+    gwb->set_ip_forwarding(true);
+
+    std::size_t primary_if_a = primary->add_interface(*primary_nic_a, primary_ip(), 24);
+    primary->add_interface(*primary_nic_b, net::Ipv4Address{10, 0, 2, 2}, 24);
+    primary->add_ip_alias(primary_if_a, service_ip());
+    primary_nic_a->join_multicast(sme());
+    primary->set_default_gateway(gwb_virtual_ip());
+    primary->arp_table().add_static(gwb_virtual_ip(), gme_b());
+
+    backup->add_interface(*backup_nic_a, backup_ip(), 24);
+    backup->add_interface(*backup_nic_b, net::Ipv4Address{10, 0, 2, 3}, 24);
+    backup_nic_a->join_multicast(sme());    // tap: client -> server (rail A)
+    backup_nic_b->join_multicast(gme_b());  // tap: server -> client (rail B)
+    backup->set_default_gateway(gwb_virtual_ip());
+    backup->arp_table().add_static(gwb_virtual_ip(), gme_b());
+
+    power.manage(*primary_node);
+    power.manage(*backup_node);
+
+    if (opts.fault_tolerant) {
+        core::SttcpPrimary::Options popts;
+        popts.config = opts.sttcp;
+        popts.service_ip = service_ip();
+        popts.backup_ips = {backup_ip()};
+        st_primary = std::make_unique<core::SttcpPrimary>(*primary, popts);
+        st_primary->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+            power.power_off("backup", std::move(done));
+        });
+
+        // The SVI lives on rail A (iface 0).
+        st_backup = std::make_unique<core::SttcpBackup>(
+            *backup, core::SttcpBackup::Options::single(opts.sttcp, service_ip(),
+                                                        primary_ip(), backup_ip()));
+        st_backup->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+            power.power_off("primary", std::move(done));
+        });
+
+        // Double-failure masking consults BOTH rails' loggers: rail A holds
+        // the client->server bytes, rail B the server->client bytes.
+        st_backup->set_logger_query([this](const core::ConnId& id, util::Seq32 begin,
+                                           util::Seq32 end) {
+            auto frames = logger_a->store().find_tcp_range(id.client_ip, id.server_ip,
+                                                           id.client_port, id.server_port,
+                                                           begin, end);
+            auto more = logger_b->store().find_tcp_range(id.client_ip, id.server_ip,
+                                                         id.client_port, id.server_port,
+                                                         begin, end);
+            frames.insert(frames.end(), std::make_move_iterator(more.begin()),
+                          std::make_move_iterator(more.end()));
+            return frames;
+        });
+    }
+}
+
+} // namespace sttcp::harness

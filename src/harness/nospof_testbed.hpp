@@ -1,0 +1,99 @@
+// The paper's no-single-point-of-failure architecture (§3.2, Figure 3).
+//
+//                 WAN (client segment)
+//              _____/            \_____
+//       gateway A                  gateway B
+//           |                          |
+//       logger A (inline)          logger B (inline)
+//           |                          |
+//       switch A ---- primary ---- switch B
+//           \________  |  ________/
+//                    backup
+//
+// Every component is replicated: two switches, two inline loggers, two
+// gateways, plus the power switch for fencing. Primary and backup are
+// dual-homed. Traffic is split across the rails as the paper suggests for
+// full-duplex links: client->server flows over rail A (the service IP is
+// multicast-mapped at gateway A), server->client over rail B (the primary's
+// default route uses gateway B's virtual IP, multicast-mapped). The backup
+// taps rail A on its first NIC and rail B on its second — "for full-duplex
+// Ethernet links to the server one would configure ST-TCP such that the
+// backup receives the packets to and from the server on two separate
+// Ethernet links."
+//
+// Rail A's logger therefore holds every client->server byte and rail B's
+// every server->client byte: together, the complete communication state.
+#pragma once
+
+#include <memory>
+
+#include "harness/testbed.hpp"
+#include "net/hub.hpp"
+#include "net/inline_logger.hpp"
+#include "net/switch.hpp"
+
+namespace sttcp::harness {
+
+class NoSpofTestbed {
+public:
+    explicit NoSpofTestbed(TestbedOptions options);
+
+    // Addressing: rail A LAN = 10.0.1.0/24, rail B LAN = 10.0.2.0/24.
+    [[nodiscard]] net::Ipv4Address service_ip() const { return {10, 0, 1, 100}; }
+    [[nodiscard]] net::Ipv4Address gwa_virtual_ip() const { return {10, 0, 1, 99}; }
+    [[nodiscard]] net::Ipv4Address gwb_virtual_ip() const { return {10, 0, 2, 99}; }
+    [[nodiscard]] net::Ipv4Address client_ip() const { return {192, 168, 1, 10}; }
+    [[nodiscard]] net::Ipv4Address primary_ip() const { return {10, 0, 1, 2}; }
+    [[nodiscard]] net::Ipv4Address backup_ip() const { return {10, 0, 1, 3}; }
+
+    [[nodiscard]] static net::MacAddress sme() { return net::MacAddress::multicast(100); }
+    [[nodiscard]] static net::MacAddress gme_b() { return net::MacAddress::multicast(98); }
+
+    void crash_primary() { primary_node->power_off(); }
+    void crash_backup() { backup_node->power_off(); }
+    void crash_logger_a() { logger_a_node->power_off(); }
+    void crash_logger_b() { logger_b_node->power_off(); }
+
+    [[nodiscard]] net::Link* client_side_link() const { return wan_client_link; }
+
+    sim::Simulation sim;
+    net::Switch switch_a;
+    net::Switch switch_b;
+    net::Hub wan;  // client segment: client + both gateways
+    net::PowerSwitch power;
+
+    std::unique_ptr<net::Node> client_node;
+    std::unique_ptr<net::Node> gwa_node;
+    std::unique_ptr<net::Node> gwb_node;
+    std::unique_ptr<net::Node> primary_node;
+    std::unique_ptr<net::Node> backup_node;
+    std::unique_ptr<net::Node> logger_a_node;
+    std::unique_ptr<net::Node> logger_b_node;
+
+    std::unique_ptr<net::Nic> client_nic;
+    std::unique_ptr<net::Nic> gwa_wan_nic, gwa_lan_nic;
+    std::unique_ptr<net::Nic> gwb_wan_nic, gwb_lan_nic;
+    std::unique_ptr<net::Nic> primary_nic_a, primary_nic_b;
+    std::unique_ptr<net::Nic> backup_nic_a, backup_nic_b;
+
+    std::unique_ptr<net::InlineLogger> logger_a;
+    std::unique_ptr<net::InlineLogger> logger_b;
+    // switch <-> logger and logger <-> gateway links (owned here because the
+    // inline logger is not a switch port).
+    std::unique_ptr<net::Link> sw_a_logger_link, logger_gwa_link;
+    std::unique_ptr<net::Link> sw_b_logger_link, logger_gwb_link;
+    net::Link* wan_client_link = nullptr;
+
+    std::unique_ptr<tcp::HostStack> client;
+    std::unique_ptr<tcp::HostStack> gwa;
+    std::unique_ptr<tcp::HostStack> gwb;
+    std::unique_ptr<tcp::HostStack> primary;
+    std::unique_ptr<tcp::HostStack> backup;
+
+    std::unique_ptr<core::SttcpPrimary> st_primary;
+    std::unique_ptr<core::SttcpBackup> st_backup;
+
+    TestbedOptions options;
+};
+
+} // namespace sttcp::harness

@@ -1,0 +1,139 @@
+#include "harness/switch_testbed.hpp"
+
+namespace sttcp::harness {
+
+SwitchTestbed::SwitchTestbed(TestbedOptions opts, TapMode mode)
+    : sim(opts.seed),
+      ether_switch(sim, "sw0"),
+      power(sim, opts.fencing_latency),
+      tap_mode(mode),
+      options(opts) {
+    client_node = std::make_unique<net::Node>("client");
+    gateway_node = std::make_unique<net::Node>("gateway");
+    primary_node = std::make_unique<net::Node>("primary");
+    backup_node = std::make_unique<net::Node>("backup");
+
+    client_nic = std::make_unique<net::Nic>(*client_node, "eth0", net::MacAddress::local(10));
+    gateway_wan_nic =
+        std::make_unique<net::Nic>(*gateway_node, "wan0", net::MacAddress::local(21));
+    gateway_lan_nic =
+        std::make_unique<net::Nic>(*gateway_node, "lan0", net::MacAddress::local(22));
+    primary_nic = std::make_unique<net::Nic>(*primary_node, "eth0", net::MacAddress::local(2));
+    backup_nic = std::make_unique<net::Nic>(*backup_node, "eth0", net::MacAddress::local(3));
+
+    net::LinkConfig lan_link;
+    lan_link.bandwidth_bps = opts.server_bandwidth_bps;
+    lan_link.propagation = opts.propagation;
+    net::LinkConfig client_link = lan_link;
+    client_link.bandwidth_bps = opts.client_bandwidth_bps;
+    client_link.loss_probability = opts.client_link_loss;
+
+    // WAN side: point-to-point client <-> gateway.
+    wan_link = std::make_unique<net::Link>(sim, client_link);
+    wan_link->attach(*client_nic, *gateway_wan_nic);
+
+    // LAN side: everything hangs off the switch.
+    gateway_port = ether_switch.connect(*gateway_lan_nic, lan_link);
+    primary_port = ether_switch.connect(*primary_nic, lan_link);
+    backup_port = ether_switch.connect(*backup_nic, lan_link);
+    if (opts.tap_loss > 0)
+        ether_switch.link_at(backup_port).set_loss_toward(*backup_nic, opts.tap_loss);
+
+    client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
+    gateway = std::make_unique<tcp::HostStack>(sim, *gateway_node, opts.tcp);
+    primary = std::make_unique<tcp::HostStack>(sim, *primary_node, opts.tcp);
+    backup = std::make_unique<tcp::HostStack>(sim, *backup_node, opts.tcp);
+
+    client->add_interface(*client_nic, client_ip(), 24);
+    client->set_default_gateway(gateway_wan_ip());
+    gateway->add_interface(*gateway_wan_nic, gateway_wan_ip(), 24);
+    std::size_t gw_lan_if = gateway->add_interface(*gateway_lan_nic, gateway_lan_ip(), 24);
+    gateway->set_ip_forwarding(true);
+    std::size_t primary_if = primary->add_interface(*primary_nic, primary_ip(), 24);
+    backup->add_interface(*backup_nic, backup_ip(), 24);
+
+    primary->add_ip_alias(primary_if, service_ip());
+
+    power.manage(*primary_node);
+    power.manage(*backup_node);
+
+    switch (mode) {
+        case TapMode::kPortMirror:
+            // Managed-switch SPAN: everything to/from the primary's port is
+            // copied to the backup's port; the backup listens promiscuously.
+            ether_switch.set_mirror(primary_port, backup_port);
+            backup_nic->set_promiscuous(true);
+            primary->set_default_gateway(gateway_lan_ip());
+            backup->set_default_gateway(gateway_lan_ip());
+            break;
+
+        case TapMode::kMulticastMac: {
+            // Gateway VNIC: GVI with multicast GME; service VNIC: SVI with
+            // multicast SME (paper Figure 2).
+            gateway->add_ip_alias(gw_lan_if, gateway_virtual_ip());
+            gateway_lan_nic->join_multicast(gme());
+            // Static mapping SVI -> SME in the gateway ARP table: client
+            // traffic to the service floods the switch.
+            gateway->arp_table().add_static(service_ip(), sme());
+
+            // Primary accepts the service multicast and routes replies via
+            // the gateway's virtual IP, statically mapped to GME.
+            primary_nic->join_multicast(sme());
+            primary->set_default_gateway(gateway_virtual_ip());
+            primary->arp_table().add_static(gateway_virtual_ip(), gme());
+
+            // Backup taps both directions by joining both groups; no
+            // promiscuous mode needed on a switched network.
+            backup_nic->join_multicast(sme());
+            backup_nic->join_multicast(gme());
+            backup->set_default_gateway(gateway_virtual_ip());
+            backup->arp_table().add_static(gateway_virtual_ip(), gme());
+            break;
+        }
+    }
+
+    if (opts.fault_tolerant) {
+        core::SttcpPrimary::Options popts;
+        popts.config = opts.sttcp;
+        popts.service_ip = service_ip();
+        popts.backup_ips = {backup_ip()};
+        st_primary = std::make_unique<core::SttcpPrimary>(*primary, popts);
+        st_primary->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+            power.power_off("backup", std::move(done));
+        });
+
+        st_backup = std::make_unique<core::SttcpBackup>(
+            *backup, core::SttcpBackup::Options::single(opts.sttcp, service_ip(),
+                                                        primary_ip(), backup_ip()));
+        st_backup->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+            power.power_off("primary", std::move(done));
+        });
+    }
+
+    if (opts.with_packet_logger) {
+        // Logger appliance on the switch. In multicast mode it joins both
+        // groups; in mirror mode the single SPAN session is occupied by the
+        // backup, so the logger sees only flooded frames (document/limit:
+        // full logging on a switch requires the paper's inline placement,
+        // Figure 3).
+        logger_node = std::make_unique<net::Node>("logger");
+        logger_nic = std::make_unique<net::Nic>(*logger_node, "eth0", net::MacAddress::local(9));
+        ether_switch.connect(*logger_nic, lan_link);
+        if (mode == TapMode::kMulticastMac) {
+            logger_nic->join_multicast(sme());
+            logger_nic->join_multicast(gme());
+        }
+        packet_logger = std::make_unique<net::PacketLogger>(sim, *logger_node);
+        packet_logger->attach(*logger_nic);
+        if (st_backup) {
+            st_backup->set_logger_query([this](const core::ConnId& id, util::Seq32 begin,
+                                               util::Seq32 end) {
+                return packet_logger->find_tcp_range(id.client_ip, id.server_ip,
+                                                     id.client_port, id.server_port, begin,
+                                                     end);
+            });
+        }
+    }
+}
+
+} // namespace sttcp::harness

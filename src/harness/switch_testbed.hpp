@@ -1,0 +1,97 @@
+// Switched-Ethernet testbed (paper §3.1, Figure 2).
+//
+// "In recent years most Ethernet installations have been converted to
+// switched Ethernet... This prevents a backup node from tapping the traffic
+// of the primary node." The paper offers two tap architectures, both built
+// here:
+//
+//   kPortMirror    — a managed switch forwards all traffic entering/leaving
+//                    the primary's port to the backup's port; the backup NIC
+//                    runs promiscuous.
+//   kMulticastMac  — the service IP (SVI) is statically ARP-mapped to a
+//                    fixed *multicast* Ethernet address (SME) at the
+//                    gateway, and a gateway virtual IP (GVI) to a multicast
+//                    GME at the primary, so the switch floods both traffic
+//                    directions and the backup receives them by joining the
+//                    two groups. Static mapping is required because RFC 1812
+//                    forbids routers from accepting multicast MACs in ARP
+//                    replies (enforced by net::ArpTable::learn).
+//
+// Topology: client --- gateway(WAN/LAN) --- switch --- {primary, backup,
+// logger?}. The client reaches the service across the gateway, as in the
+// paper's deployment sketch.
+#pragma once
+
+#include <memory>
+
+#include "harness/testbed.hpp"
+#include "net/switch.hpp"
+
+namespace sttcp::harness {
+
+enum class TapMode {
+    kPortMirror,
+    kMulticastMac,
+};
+
+class SwitchTestbed {
+public:
+    explicit SwitchTestbed(TestbedOptions options, TapMode tap_mode);
+
+    [[nodiscard]] net::Ipv4Address service_ip() const { return {10, 0, 0, 100}; }
+    [[nodiscard]] net::Ipv4Address gateway_virtual_ip() const { return {10, 0, 0, 99}; }
+    [[nodiscard]] net::Ipv4Address gateway_lan_ip() const { return {10, 0, 0, 1}; }
+    [[nodiscard]] net::Ipv4Address gateway_wan_ip() const { return {192, 168, 1, 1}; }
+    [[nodiscard]] net::Ipv4Address client_ip() const { return {192, 168, 1, 10}; }
+    [[nodiscard]] net::Ipv4Address primary_ip() const { return {10, 0, 0, 2}; }
+    [[nodiscard]] net::Ipv4Address backup_ip() const { return {10, 0, 0, 3}; }
+
+    // The fixed multicast Ethernet addresses of the paper's scheme.
+    [[nodiscard]] static net::MacAddress sme() { return net::MacAddress::multicast(100); }
+    [[nodiscard]] static net::MacAddress gme() { return net::MacAddress::multicast(99); }
+
+    void crash_primary() { primary_node->power_off(); }
+    void crash_backup() { backup_node->power_off(); }
+
+    // The link whose traffic the client actually experiences (for overhead
+    // accounting), mirroring HubTestbed's client_link.
+    [[nodiscard]] net::Link* client_side_link() const { return wan_link.get(); }
+
+    sim::Simulation sim;
+    net::Switch ether_switch;
+    net::PowerSwitch power;
+    TapMode tap_mode;
+
+    std::unique_ptr<net::Node> client_node;
+    std::unique_ptr<net::Node> gateway_node;
+    std::unique_ptr<net::Node> primary_node;
+    std::unique_ptr<net::Node> backup_node;
+
+    std::unique_ptr<net::Nic> client_nic;
+    std::unique_ptr<net::Nic> gateway_wan_nic;
+    std::unique_ptr<net::Nic> gateway_lan_nic;
+    std::unique_ptr<net::Nic> primary_nic;
+    std::unique_ptr<net::Nic> backup_nic;
+
+    std::unique_ptr<net::Link> wan_link;  // client <-> gateway
+
+    std::unique_ptr<tcp::HostStack> client;
+    std::unique_ptr<tcp::HostStack> gateway;
+    std::unique_ptr<tcp::HostStack> primary;
+    std::unique_ptr<tcp::HostStack> backup;
+
+    std::unique_ptr<core::SttcpPrimary> st_primary;
+    std::unique_ptr<core::SttcpBackup> st_backup;
+
+    std::unique_ptr<net::Node> logger_node;
+    std::unique_ptr<net::Nic> logger_nic;
+    std::unique_ptr<net::PacketLogger> packet_logger;
+
+    std::size_t primary_port = 0;
+    std::size_t backup_port = 0;
+    std::size_t gateway_port = 0;
+
+    TestbedOptions options;
+};
+
+} // namespace sttcp::harness

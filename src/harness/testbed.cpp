@@ -1,0 +1,81 @@
+#include "harness/testbed.hpp"
+
+namespace sttcp::harness {
+
+HubTestbed::HubTestbed(TestbedOptions opts)
+    : sim(opts.seed),
+      hub(sim, "hub"),
+      power(sim, opts.fencing_latency),
+      options(opts) {
+    client_node = std::make_unique<net::Node>("client");
+    primary_node = std::make_unique<net::Node>("primary");
+    backup_node = std::make_unique<net::Node>("backup");
+    client_nic = std::make_unique<net::Nic>(*client_node, "eth0", net::MacAddress::local(10));
+    primary_nic = std::make_unique<net::Nic>(*primary_node, "eth0", net::MacAddress::local(2));
+    backup_nic = std::make_unique<net::Nic>(*backup_node, "eth0", net::MacAddress::local(3));
+
+    net::LinkConfig server_link;
+    server_link.bandwidth_bps = opts.server_bandwidth_bps;
+    server_link.propagation = opts.propagation;
+    net::LinkConfig client_link = server_link;
+    client_link.bandwidth_bps = opts.client_bandwidth_bps;
+    client_link.loss_probability = opts.client_link_loss;
+
+    this->client_link = &hub.connect(*client_nic, client_link);
+    this->primary_link = &hub.connect(*primary_nic, server_link);
+    this->backup_link = &hub.connect(*backup_nic, server_link);
+    if (opts.tap_loss > 0) this->backup_link->set_loss_toward(*backup_nic, opts.tap_loss);
+
+    client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
+    primary = std::make_unique<tcp::HostStack>(sim, *primary_node, opts.tcp);
+    backup = std::make_unique<tcp::HostStack>(sim, *backup_node, opts.tcp);
+
+    client->add_interface(*client_nic, client_ip(), 24);
+    std::size_t primary_if = primary->add_interface(*primary_nic, primary_ip(), 24);
+    backup->add_interface(*backup_nic, backup_ip(), 24);
+
+    // The primary serves the virtual service IP.
+    primary->add_ip_alias(primary_if, service_ip());
+
+    power.manage(*primary_node);
+    power.manage(*backup_node);
+
+    if (opts.fault_tolerant) {
+        // The backup taps the hub promiscuously (paper §6 testbed).
+        backup_nic->set_promiscuous(true);
+
+        core::SttcpPrimary::Options popts;
+        popts.config = opts.sttcp;
+        popts.service_ip = service_ip();
+        popts.backup_ips = {backup_ip()};
+        st_primary = std::make_unique<core::SttcpPrimary>(*primary, popts);
+        st_primary->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+            power.power_off("backup", std::move(done));
+        });
+
+        st_backup = std::make_unique<core::SttcpBackup>(
+            *backup, core::SttcpBackup::Options::single(opts.sttcp, service_ip(),
+                                                        primary_ip(), backup_ip()));
+        st_backup->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+            power.power_off("primary", std::move(done));
+        });
+    }
+
+    if (opts.with_packet_logger) {
+        logger_node = std::make_unique<net::Node>("logger");
+        logger_nic = std::make_unique<net::Nic>(*logger_node, "eth0", net::MacAddress::local(9));
+        hub.connect(*logger_nic, server_link);
+        packet_logger = std::make_unique<net::PacketLogger>(sim, *logger_node);
+        packet_logger->attach(*logger_nic);
+        if (st_backup) {
+            st_backup->set_logger_query([this](const core::ConnId& id, util::Seq32 begin,
+                                               util::Seq32 end) {
+                return packet_logger->find_tcp_range(id.client_ip, id.server_ip,
+                                                     id.client_port, id.server_port, begin,
+                                                     end);
+            });
+        }
+    }
+}
+
+} // namespace sttcp::harness

@@ -1,0 +1,103 @@
+// Canned simulated topologies reproducing the paper's experimental setups.
+//
+// HubTestbed — the §6 testbed: client, primary and backup "placed on the
+// same LAN using a 10/100 Mbit Ethernet hub. Since the hub broadcasts all
+// traffic on all ports, the backup can tap into all of the primary's network
+// traffic." A controllable power switch fences suspected machines.
+//
+// Link parameters are calibrated so the *absolute* failure-free numbers land
+// in the same ballpark as the paper's 2003 hardware (800 MHz Athlons, a
+// laptop client, Linux 2.2): the client's effective throughput in the paper
+// is ~13 Mbit/s on bulk transfers and an Echo round trip is ~9 ms. We model
+// this with a 14 Mbit/s client link and 2 ms one-way propagation + hub
+// store-and-forward; the server links run at 100 Mbit/s. The comparisons
+// the paper makes (ST-TCP vs standard TCP; failover vs HB interval) are
+// insensitive to this calibration.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/hub.hpp"
+#include "net/nic.hpp"
+#include "net/node.hpp"
+#include "net/packet_logger.hpp"
+#include "net/power_switch.hpp"
+#include "sim/simulation.hpp"
+#include "sttcp/backup.hpp"
+#include "sttcp/primary.hpp"
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::harness {
+
+struct TestbedOptions {
+    std::uint64_t seed = 1;
+    tcp::TcpConfig tcp;
+    core::SttcpConfig sttcp;
+    // false = baseline: a standard TCP server on the primary, no backup
+    // machinery at all (the paper's "Standard TCP" rows).
+    bool fault_tolerant = true;
+    bool with_packet_logger = false;
+
+    // Paper-calibrated link parameters (see file comment).
+    double server_bandwidth_bps = 100e6;
+    double client_bandwidth_bps = 14e6;
+    sim::Duration propagation = sim::milliseconds{2};
+    double client_link_loss = 0.0;
+    // Loss applied only to frames flowing *into the backup's NIC* — models
+    // the backup's IP stack dropping tapped packets (paper §4.2's
+    // "IP-buffer overflow" scenario) without disturbing the real flow.
+    double tap_loss = 0.0;
+
+    sim::Duration fencing_latency = sim::milliseconds{5};
+};
+
+class HubTestbed {
+public:
+    explicit HubTestbed(TestbedOptions options = {});
+
+    // Addresses.
+    [[nodiscard]] net::Ipv4Address service_ip() const { return {10, 0, 0, 100}; }
+    [[nodiscard]] net::Ipv4Address client_ip() const { return {10, 0, 0, 10}; }
+    [[nodiscard]] net::Ipv4Address primary_ip() const { return {10, 0, 0, 2}; }
+    [[nodiscard]] net::Ipv4Address backup_ip() const { return {10, 0, 0, 3}; }
+
+    // Crash the primary (pulls the plug — crash failure semantics).
+    void crash_primary() { primary_node->power_off(); }
+    void crash_backup() { backup_node->power_off(); }
+
+    [[nodiscard]] net::Link* client_side_link() const { return client_link; }
+
+    sim::Simulation sim;
+    net::Hub hub;
+    net::PowerSwitch power;
+
+    // Hub links, for tap-loss injection and frame observation in tests.
+    net::Link* client_link = nullptr;
+    net::Link* primary_link = nullptr;
+    net::Link* backup_link = nullptr;
+
+    std::unique_ptr<net::Node> client_node;
+    std::unique_ptr<net::Node> primary_node;
+    std::unique_ptr<net::Node> backup_node;
+    std::unique_ptr<net::Nic> client_nic;
+    std::unique_ptr<net::Nic> primary_nic;
+    std::unique_ptr<net::Nic> backup_nic;
+
+    std::unique_ptr<tcp::HostStack> client;
+    std::unique_ptr<tcp::HostStack> primary;
+    std::unique_ptr<tcp::HostStack> backup;
+
+    // Null when options.fault_tolerant is false.
+    std::unique_ptr<core::SttcpPrimary> st_primary;
+    std::unique_ptr<core::SttcpBackup> st_backup;
+
+    // Optional logger appliance on the LAN (double-failure masking, §3.2).
+    std::unique_ptr<net::Node> logger_node;
+    std::unique_ptr<net::Nic> logger_nic;
+    std::unique_ptr<net::PacketLogger> packet_logger;
+
+    TestbedOptions options;
+};
+
+} // namespace sttcp::harness

@@ -1,0 +1,25 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace sttcp::net {
+
+std::string MacAddress::to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+    return buf;
+}
+
+std::string Ipv4Address::to_string() const {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", addr_ >> 24 & 0xff, addr_ >> 16 & 0xff,
+                  addr_ >> 8 & 0xff, addr_ & 0xff);
+    return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const MacAddress& m) { return os << m.to_string(); }
+std::ostream& operator<<(std::ostream& os, const Ipv4Address& a) { return os << a.to_string(); }
+
+} // namespace sttcp::net

@@ -1,0 +1,96 @@
+// Link-layer and network-layer address types.
+//
+// MacAddress carries the multicast bit that ST-TCP's switched-Ethernet tap
+// depends on (a unicast service IP statically ARP-mapped to a multicast MAC
+// so the switch floods server traffic to the backup — paper §3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace sttcp::net {
+
+class MacAddress {
+public:
+    constexpr MacAddress() = default;
+    constexpr explicit MacAddress(std::array<std::uint8_t, 6> b) : bytes_(b) {}
+
+    // Convenience: builds a locally-administered unicast address from an id.
+    [[nodiscard]] static constexpr MacAddress local(std::uint32_t id) {
+        return MacAddress({0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                           static_cast<std::uint8_t>(id >> 16), static_cast<std::uint8_t>(id >> 8),
+                           static_cast<std::uint8_t>(id)});
+    }
+    // Builds a multicast group address (I/G bit set) from an id — the "GME"
+    // and "SME" addresses of the paper's tapping scheme.
+    [[nodiscard]] static constexpr MacAddress multicast(std::uint32_t id) {
+        return MacAddress({0x03, 0x00, static_cast<std::uint8_t>(id >> 24),
+                           static_cast<std::uint8_t>(id >> 16), static_cast<std::uint8_t>(id >> 8),
+                           static_cast<std::uint8_t>(id)});
+    }
+    [[nodiscard]] static constexpr MacAddress broadcast() {
+        return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+    }
+
+    [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+    [[nodiscard]] constexpr bool is_broadcast() const { return *this == broadcast(); }
+    // I/G bit: group (multicast) if the low bit of the first octet is set.
+    [[nodiscard]] constexpr bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+    [[nodiscard]] constexpr bool is_unicast() const { return !is_multicast(); }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+private:
+    std::array<std::uint8_t, 6> bytes_{};
+};
+
+class Ipv4Address {
+public:
+    constexpr Ipv4Address() = default;
+    constexpr explicit Ipv4Address(std::uint32_t host_order) : addr_(host_order) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : addr_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+                static_cast<std::uint32_t>(c) << 8 | d) {}
+
+    [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+    [[nodiscard]] constexpr bool is_unspecified() const { return addr_ == 0; }
+
+    [[nodiscard]] constexpr bool in_subnet(Ipv4Address network, int prefix_len) const {
+        if (prefix_len <= 0) return true;
+        std::uint32_t mask = prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+        return (addr_ & mask) == (network.addr_ & mask);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+private:
+    std::uint32_t addr_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const MacAddress& m);
+std::ostream& operator<<(std::ostream& os, const Ipv4Address& a);
+
+} // namespace sttcp::net
+
+template <>
+struct std::hash<sttcp::net::Ipv4Address> {
+    std::size_t operator()(const sttcp::net::Ipv4Address& a) const noexcept {
+        return std::hash<std::uint32_t>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<sttcp::net::MacAddress> {
+    std::size_t operator()(const sttcp::net::MacAddress& m) const noexcept {
+        std::uint64_t v = 0;
+        for (auto b : m.bytes()) v = v << 8 | b;
+        return std::hash<std::uint64_t>{}(v);
+    }
+};

@@ -1,0 +1,44 @@
+#include "net/arp.hpp"
+
+#include <algorithm>
+
+namespace sttcp::net {
+
+namespace {
+MacAddress read_mac(util::WireReader& r) {
+    std::array<std::uint8_t, 6> mac{};
+    auto b = r.bytes(6);
+    std::copy(b.begin(), b.end(), mac.begin());
+    return MacAddress{mac};
+}
+} // namespace
+
+util::Bytes ArpMessage::serialize() const {
+    util::Bytes out;
+    util::WireWriter w{out};
+    w.u16(1);       // HTYPE: Ethernet
+    w.u16(0x0800);  // PTYPE: IPv4
+    w.u8(6);        // HLEN
+    w.u8(4);        // PLEN
+    w.u16(static_cast<std::uint16_t>(op));
+    w.bytes(util::ByteView{sender_mac.bytes()});
+    w.u32(sender_ip.value());
+    w.bytes(util::ByteView{target_mac.bytes()});
+    w.u32(target_ip.value());
+    return out;
+}
+
+ArpMessage ArpMessage::parse(util::ByteView raw) {
+    util::WireReader r{raw};
+    if (r.u16() != 1 || r.u16() != 0x0800) throw util::WireError{"arp: bad htype/ptype"};
+    if (r.u8() != 6 || r.u8() != 4) throw util::WireError{"arp: bad hlen/plen"};
+    ArpMessage m;
+    m.op = static_cast<ArpOp>(r.u16());
+    m.sender_mac = read_mac(r);
+    m.sender_ip = Ipv4Address{r.u32()};
+    m.target_mac = read_mac(r);
+    m.target_ip = Ipv4Address{r.u32()};
+    return m;
+}
+
+} // namespace sttcp::net

@@ -1,0 +1,62 @@
+// ARP (RFC 826) message format and the resolution table.
+//
+// The table supports *static* entries, which is how ST-TCP installs the
+// unicast-IP → multicast-MAC mappings (SVI→SME at the gateway, GVI→GME at
+// the primary, paper §3.1). RFC 1812 forbids a router from accepting a
+// multicast MAC in an ARP *reply* — hence static configuration — and our
+// dynamic resolution path enforces that rule.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/addr.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::net {
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpMessage {
+    ArpOp op = ArpOp::kRequest;
+    MacAddress sender_mac;
+    Ipv4Address sender_ip;
+    MacAddress target_mac;  // ignored in requests
+    Ipv4Address target_ip;
+
+    [[nodiscard]] util::Bytes serialize() const;
+    [[nodiscard]] static ArpMessage parse(util::ByteView raw);
+};
+
+class ArpTable {
+public:
+    // Static entries never expire and are never overwritten by replies.
+    void add_static(Ipv4Address ip, MacAddress mac) { entries_[ip] = {mac, /*is_static=*/true}; }
+
+    // Learns a dynamic mapping from an ARP reply. Per RFC 1812 a multicast
+    // MAC learned dynamically is rejected; returns whether it was accepted.
+    bool learn(Ipv4Address ip, MacAddress mac) {
+        if (mac.is_multicast()) return false;
+        auto it = entries_.find(ip);
+        if (it != entries_.end() && it->second.is_static) return false;
+        entries_[ip] = {mac, /*is_static=*/false};
+        return true;
+    }
+
+    [[nodiscard]] std::optional<MacAddress> lookup(Ipv4Address ip) const {
+        auto it = entries_.find(ip);
+        if (it == entries_.end()) return std::nullopt;
+        return it->second.mac;
+    }
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+private:
+    struct Entry {
+        MacAddress mac;
+        bool is_static = false;
+    };
+    std::unordered_map<Ipv4Address, Entry> entries_;
+};
+
+} // namespace sttcp::net

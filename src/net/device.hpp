@@ -1,0 +1,34 @@
+// Frame-level device abstractions.
+//
+// Everything that can terminate an Ethernet link — a host NIC, a hub port, a
+// switch port, the packet logger — implements FrameEndpoint. Links deliver
+// parsed frames (the raw-byte round trip happens in serialize/parse tests
+// and in the logger, which stores raw bytes).
+#pragma once
+
+#include <string>
+
+#include "net/ethernet.hpp"
+
+namespace sttcp::net {
+
+class Link;
+
+class FrameEndpoint {
+public:
+    virtual ~FrameEndpoint() = default;
+
+    // Called by the Link when a frame finishes arriving at this endpoint.
+    virtual void handle_frame(const EthernetFrame& frame) = 0;
+
+    [[nodiscard]] virtual std::string endpoint_name() const = 0;
+
+    // The link this endpoint is plugged into (set by Link::attach).
+    [[nodiscard]] Link* link() const { return link_; }
+
+private:
+    friend class Link;
+    Link* link_ = nullptr;
+};
+
+} // namespace sttcp::net

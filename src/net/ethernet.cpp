@@ -1,0 +1,32 @@
+#include "net/ethernet.hpp"
+
+namespace sttcp::net {
+
+util::Bytes EthernetFrame::serialize() const {
+    util::Bytes out;
+    out.reserve(kHeaderSize + payload.size());
+    util::WireWriter w{out};
+    w.bytes(util::ByteView{dst.bytes()});
+    w.bytes(util::ByteView{src.bytes()});
+    w.u16(static_cast<std::uint16_t>(type));
+    w.bytes(payload);
+    return out;
+}
+
+EthernetFrame EthernetFrame::parse(util::ByteView raw) {
+    util::WireReader r{raw};
+    EthernetFrame f;
+    std::array<std::uint8_t, 6> mac{};
+    auto d = r.bytes(6);
+    std::copy(d.begin(), d.end(), mac.begin());
+    f.dst = MacAddress{mac};
+    auto s = r.bytes(6);
+    std::copy(s.begin(), s.end(), mac.begin());
+    f.src = MacAddress{mac};
+    f.type = static_cast<EtherType>(r.u16());
+    auto rest = r.rest();
+    f.payload.assign(rest.begin(), rest.end());
+    return f;
+}
+
+} // namespace sttcp::net

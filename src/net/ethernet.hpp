@@ -1,0 +1,42 @@
+// Ethernet II framing.
+//
+// Frames carry their payload as raw bytes; each layer serializes/parses for
+// real, so checksums, truncation, and header corruption behave as on a wire.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::net {
+
+enum class EtherType : std::uint16_t {
+    kIpv4 = 0x0800,
+    kArp = 0x0806,
+};
+
+struct EthernetFrame {
+    MacAddress dst;
+    MacAddress src;
+    EtherType type = EtherType::kIpv4;
+    util::Bytes payload;
+
+    static constexpr std::size_t kHeaderSize = 14;
+    static constexpr std::size_t kFcsSize = 4;
+    static constexpr std::size_t kMinPayload = 46;
+    static constexpr std::size_t kMtu = 1500;
+    // Preamble + SFD + inter-frame gap, counted for serialization time only.
+    static constexpr std::size_t kPreambleAndGap = 20;
+
+    // Bytes occupying the wire during transmission (incl. padding and FCS).
+    [[nodiscard]] std::size_t wire_size() const {
+        std::size_t body = payload.size() < kMinPayload ? kMinPayload : payload.size();
+        return kHeaderSize + body + kFcsSize + kPreambleAndGap;
+    }
+
+    [[nodiscard]] util::Bytes serialize() const;
+    [[nodiscard]] static EthernetFrame parse(util::ByteView raw);
+};
+
+} // namespace sttcp::net

@@ -1,0 +1,78 @@
+#include "net/frame_trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/arp.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_wire.hpp"
+#include "net/udp.hpp"
+
+namespace sttcp::net {
+
+void FrameTrace::attach(Link& link, std::string label) {
+    link.set_observer([this, label = std::move(label)](const EthernetFrame& frame,
+                                                       const FrameEndpoint& receiver) {
+        emit(label, frame, receiver);
+    });
+}
+
+std::string FrameTrace::describe(const EthernetFrame& frame) {
+    std::ostringstream os;
+    os << frame.src.to_string() << " > " << frame.dst.to_string() << "  ";
+    try {
+        switch (frame.type) {
+            case EtherType::kArp: {
+                ArpMessage arp = ArpMessage::parse(frame.payload);
+                os << "ARP "
+                   << (arp.op == ArpOp::kRequest ? "who-has " : "reply ")
+                   << arp.target_ip.to_string() << " tell " << arp.sender_ip.to_string();
+                break;
+            }
+            case EtherType::kIpv4: {
+                Ipv4Packet ip = Ipv4Packet::parse(frame.payload);
+                os << "IPv4 ";
+                switch (ip.proto) {
+                    case IpProto::kTcp: {
+                        TcpSegment seg = TcpSegment::parse(ip.payload, ip.src, ip.dst);
+                        os << ip.src.to_string() << ':' << seg.src_port << " > "
+                           << ip.dst.to_string() << ':' << seg.dst_port << "  TCP "
+                           << seg.summary();
+                        break;
+                    }
+                    case IpProto::kUdp: {
+                        UdpDatagram dgram = UdpDatagram::parse(ip.payload, ip.src, ip.dst);
+                        os << ip.src.to_string() << ':' << dgram.src_port << " > "
+                           << ip.dst.to_string() << ':' << dgram.dst_port << "  UDP len="
+                           << dgram.payload.size();
+                        break;
+                    }
+                    default:
+                        os << ip.src.to_string() << " > " << ip.dst.to_string()
+                           << "  proto=" << static_cast<int>(ip.proto);
+                        break;
+                }
+                break;
+            }
+        }
+    } catch (const util::WireError& e) {
+        os << "malformed (" << e.what() << ")";
+    }
+    return os.str();
+}
+
+void FrameTrace::emit(const std::string& label, const EthernetFrame& frame,
+                      const FrameEndpoint& receiver) {
+    ++count_;
+    char head[64];
+    std::snprintf(head, sizeof head, "[%10.6f] ", sim::to_seconds(sim_.now()));
+    std::string line = head + label + " -> " + receiver.endpoint_name() + "  " +
+                       describe(frame);
+    if (sink_) {
+        sink_(line);
+    } else {
+        std::fprintf(stderr, "%s\n", line.c_str());
+    }
+}
+
+} // namespace sttcp::net

@@ -1,0 +1,54 @@
+// Human-readable frame tracing (tcpdump-style), attachable to any Link.
+//
+// Produces one line per delivered frame with parsed ARP/IP/TCP/UDP
+// summaries — the fastest way to see what a failover actually did on the
+// wire. Lines go to a sink callback (tests capture them; the default prints
+// to stderr with virtual timestamps).
+//
+//   net::FrameTrace trace{sim};
+//   trace.attach(*bed.client_link, "client");
+//   ...
+//   [  0.400123] client -> client/eth0  02:..:02 > 02:..:0a  IPv4 10.0.0.100:8000 > 10.0.0.10:49152  TCP [PSH,ACK] seq=.. ack=.. win=.. len=150
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace sttcp::net {
+
+class FrameTrace {
+public:
+    using Sink = std::function<void(const std::string& line)>;
+
+    explicit FrameTrace(sim::Simulation& simulation) : sim_(simulation) {}
+
+    // Observes every frame delivered on `link`; `label` prefixes each line.
+    // Replaces any previous observer on the link.
+    void attach(Link& link, std::string label);
+
+    // Default sink writes to stderr.
+    void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+    // Convenience capturing sink for tests.
+    void capture_into(std::vector<std::string>& lines) {
+        set_sink([&lines](const std::string& line) { lines.push_back(line); });
+    }
+
+    [[nodiscard]] std::uint64_t frames_traced() const { return count_; }
+
+    // Formats one frame the way attach() does (exposed for reuse/tests).
+    [[nodiscard]] static std::string describe(const EthernetFrame& frame);
+
+private:
+    void emit(const std::string& label, const EthernetFrame& frame,
+              const FrameEndpoint& receiver);
+
+    sim::Simulation& sim_;
+    Sink sink_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace sttcp::net

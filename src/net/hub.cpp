@@ -1,0 +1,22 @@
+#include "net/hub.hpp"
+
+namespace sttcp::net {
+
+Link& Hub::connect(FrameEndpoint& peer, LinkConfig config) {
+    auto port = std::make_unique<Port>(*this, ports_.size());
+    auto link = std::make_unique<Link>(sim_, config);
+    link->attach(*port, peer);
+    ports_.push_back(std::move(port));
+    links_.push_back(std::move(link));
+    return *links_.back();
+}
+
+void Hub::repeat(std::size_t in_port, const EthernetFrame& frame) {
+    ++stats_.frames_repeated;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        if (i == in_port) continue;
+        links_[i]->send_from(*ports_[i], frame);
+    }
+}
+
+} // namespace sttcp::net

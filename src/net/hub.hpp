@@ -1,0 +1,62 @@
+// Shared-medium Ethernet hub (repeater).
+//
+// The paper's testbed (§6): "these three machines are placed on the same LAN
+// using a 10/100 Mbit Ethernet hub. Since the hub broadcasts all traffic on
+// all ports, the backup can tap into all of the primary's network traffic."
+// Every frame entering one port is repeated out of every other port. We do
+// not model CSMA/CD collisions; per-link serialization already caps
+// throughput, and a switch upgrade is available (net/switch.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace sttcp::net {
+
+class Hub {
+public:
+    Hub(sim::Simulation& simulation, std::string name)
+        : sim_(simulation), name_(std::move(name)) {}
+
+    Hub(const Hub&) = delete;
+    Hub& operator=(const Hub&) = delete;
+
+    // Creates a new port and wires it to `peer` over a fresh link.
+    Link& connect(FrameEndpoint& peer, LinkConfig config);
+
+    [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    struct Stats {
+        std::uint64_t frames_repeated = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    class Port final : public FrameEndpoint {
+    public:
+        Port(Hub& hub, std::size_t index) : hub_(hub), index_(index) {}
+        void handle_frame(const EthernetFrame& frame) override { hub_.repeat(index_, frame); }
+        [[nodiscard]] std::string endpoint_name() const override {
+            return hub_.name_ + "/port" + std::to_string(index_);
+        }
+
+    private:
+        Hub& hub_;
+        std::size_t index_;
+    };
+
+    void repeat(std::size_t in_port, const EthernetFrame& frame);
+
+    sim::Simulation& sim_;
+    std::string name_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::vector<std::unique_ptr<Link>> links_;
+    Stats stats_;
+};
+
+} // namespace sttcp::net

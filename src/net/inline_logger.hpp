@@ -1,0 +1,80 @@
+// Inline (bump-in-the-wire) packet logger, paper §3.2 / Figure 3.
+//
+// "Since all traffic to and from the server has to flow through the
+// logger(s), the logger(s) has (have) the complete communication state."
+// The appliance bridges two Ethernet links at line rate, recording every
+// frame it forwards into a bounded in-memory PacketLogger. Powering the
+// node off severs the rail — which is exactly why Figure 3 provisions two.
+#pragma once
+
+#include "net/packet_logger.hpp"
+
+namespace sttcp::net {
+
+class InlineLogger {
+public:
+    InlineLogger(sim::Simulation& simulation, Node& node, PacketLogger::Config config,
+                 sim::Duration forwarding_latency = sim::microseconds{2})
+        : node_(node),
+          store_(simulation, node, config),
+          latency_(forwarding_latency),
+          sim_(simulation),
+          side_a_(*this, 'A'),
+          side_b_(*this, 'B') {}
+
+    InlineLogger(sim::Simulation& simulation, Node& node)
+        : InlineLogger(simulation, node, PacketLogger::Config{}) {}
+
+    // Endpoints to wire into the two links (switch side / gateway side).
+    [[nodiscard]] FrameEndpoint& side_a() { return side_a_; }
+    [[nodiscard]] FrameEndpoint& side_b() { return side_b_; }
+
+    [[nodiscard]] PacketLogger& store() { return store_; }
+    [[nodiscard]] const PacketLogger& store() const { return store_; }
+
+    struct Stats {
+        std::uint64_t frames_forwarded = 0;
+        std::uint64_t frames_dropped_dead = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    class Side final : public FrameEndpoint {
+    public:
+        Side(InlineLogger& parent, char label) : parent_(parent), label_(label) {}
+        void handle_frame(const EthernetFrame& frame) override {
+            parent_.forward(label_, frame);
+        }
+        [[nodiscard]] std::string endpoint_name() const override {
+            return parent_.node_.name() + "/side" + label_;
+        }
+
+    private:
+        InlineLogger& parent_;
+        char label_;
+    };
+
+    void forward(char from, const EthernetFrame& frame) {
+        if (!node_.powered()) {
+            ++stats_.frames_dropped_dead;
+            return;
+        }
+        store_.record(frame);
+        ++stats_.frames_forwarded;
+        FrameEndpoint& out = from == 'A' ? side_b_ : side_a_;
+        sim_.schedule_after(latency_, [this, &out, frame]() {
+            if (!node_.powered() || out.link() == nullptr) return;
+            out.link()->send_from(out, frame);
+        });
+    }
+
+    Node& node_;
+    PacketLogger store_;
+    sim::Duration latency_;
+    sim::Simulation& sim_;
+    Side side_a_;
+    Side side_b_;
+    Stats stats_;
+};
+
+} // namespace sttcp::net

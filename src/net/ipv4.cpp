@@ -1,0 +1,59 @@
+#include "net/ipv4.hpp"
+
+namespace sttcp::net {
+
+util::Bytes Ipv4Packet::serialize() const {
+    util::Bytes out;
+    out.reserve(total_size());
+    util::WireWriter w{out};
+    w.u8(0x45);  // version 4, IHL 5
+    w.u8(0);     // DSCP/ECN
+    w.u16(static_cast<std::uint16_t>(total_size()));
+    w.u16(identification);
+    w.u16(0x4000);  // flags: DF, fragment offset 0
+    w.u8(ttl);
+    w.u8(static_cast<std::uint8_t>(proto));
+    std::size_t checksum_at = w.size();
+    w.u16(0);  // checksum placeholder
+    w.u32(src.value());
+    w.u32(dst.value());
+
+    util::InternetChecksum sum;
+    sum.add(util::ByteView{out});
+    w.patch_u16(checksum_at, sum.finish());
+
+    w.bytes(payload);
+    return out;
+}
+
+Ipv4Packet Ipv4Packet::parse(util::ByteView raw) {
+    util::WireReader r{raw};
+    std::uint8_t ver_ihl = r.u8();
+    if ((ver_ihl >> 4) != 4) throw util::WireError{"ipv4: bad version"};
+    std::size_t ihl = (ver_ihl & 0xf) * 4u;
+    if (ihl < kHeaderSize || raw.size() < ihl) throw util::WireError{"ipv4: bad IHL"};
+    r.skip(1);  // DSCP/ECN
+    std::uint16_t total_len = r.u16();
+    if (total_len < ihl || total_len > raw.size()) throw util::WireError{"ipv4: bad length"};
+
+    Ipv4Packet p;
+    p.identification = r.u16();
+    std::uint16_t flags_frag = r.u16();
+    if ((flags_frag & 0x3fff) != 0)  // MF set or nonzero offset
+        throw util::WireError{"ipv4: fragmentation unsupported"};
+    p.ttl = r.u8();
+    p.proto = static_cast<IpProto>(r.u8());
+    r.skip(2);  // checksum — verified over the whole header below
+    p.src = Ipv4Address{r.u32()};
+    p.dst = Ipv4Address{r.u32()};
+
+    util::InternetChecksum sum;
+    sum.add(raw.subspan(0, ihl));
+    if (sum.finish() != 0) throw util::WireError{"ipv4: header checksum mismatch"};
+
+    auto body = raw.subspan(ihl, total_len - ihl);
+    p.payload.assign(body.begin(), body.end());
+    return p;
+}
+
+} // namespace sttcp::net

@@ -1,0 +1,41 @@
+// IPv4 packet format (RFC 791), without options or fragmentation.
+//
+// Our stack always sends DF datagrams that fit the Ethernet MTU (TCP MSS is
+// derived from it, UDP control messages are small), so fragmentation never
+// occurs; a packet arriving with fragment fields set is dropped and counted.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::net {
+
+enum class IpProto : std::uint8_t {
+    kIcmp = 1,
+    kTcp = 6,
+    kUdp = 17,
+};
+
+struct Ipv4Packet {
+    std::uint8_t ttl = 64;
+    IpProto proto = IpProto::kTcp;
+    std::uint16_t identification = 0;
+    Ipv4Address src;
+    Ipv4Address dst;
+    util::Bytes payload;
+
+    static constexpr std::size_t kHeaderSize = 20;
+
+    [[nodiscard]] std::size_t total_size() const { return kHeaderSize + payload.size(); }
+
+    // Serializes with a correct header checksum.
+    [[nodiscard]] util::Bytes serialize() const;
+
+    // Parses and verifies the header checksum; throws util::WireError on a
+    // malformed or corrupted header, or if fragmented.
+    [[nodiscard]] static Ipv4Packet parse(util::ByteView raw);
+};
+
+} // namespace sttcp::net

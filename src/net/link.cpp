@@ -1,0 +1,54 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+namespace sttcp::net {
+
+bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
+    assert(a_ && b_ && "link not attached");
+    assert((&sender == a_ || &sender == b_) && "sender not on this link");
+    FrameEndpoint* receiver = peer_of(sender);
+    Direction& dir = direction_toward(*receiver);
+
+    std::size_t wire = frame.wire_size();
+    if (dir.queued_bytes + wire > config_.queue_capacity_bytes) {
+        ++stats_.frames_dropped_queue;
+        return false;
+    }
+    dir.queued_bytes += wire;
+
+    sim::TimePoint start = std::max(sim_.now(), dir.busy_until);
+    auto tx_time = sim::Duration{static_cast<std::int64_t>(
+        static_cast<double>(wire) * 8.0 / config_.bandwidth_bps * 1e9)};
+    sim::TimePoint tx_done = start + tx_time;
+    dir.busy_until = tx_done;
+
+    double loss = dir.loss_probability >= 0 ? dir.loss_probability : config_.loss_probability;
+    bool lost = sim_.rng().bernoulli(loss);
+
+    sim::TimePoint arrival = tx_done + config_.propagation;
+    if (config_.jitter > sim::Duration{0}) {
+        arrival += sim::Duration{static_cast<std::int64_t>(
+            sim_.rng().uniform(static_cast<std::uint64_t>(config_.jitter.count()) + 1))};
+    }
+    sim_.schedule_at(arrival, [this, receiver, f = std::move(frame), wire, lost]() mutable {
+        Direction& d = direction_toward(*receiver);
+        assert(d.queued_bytes >= wire);
+        d.queued_bytes -= wire;
+        if (lost) {
+            ++stats_.frames_dropped_loss;
+            return;
+        }
+        ++stats_.frames_delivered;
+        stats_.bytes_delivered += wire;
+        if (observer_) observer_(f, *receiver);
+        receiver->handle_frame(f);
+    });
+    return true;
+}
+
+void Link::set_loss_toward(const FrameEndpoint& receiver, double probability) {
+    direction_toward(receiver).loss_probability = probability;
+}
+
+} // namespace sttcp::net

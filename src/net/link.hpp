@@ -1,0 +1,91 @@
+// Point-to-point full-duplex Ethernet link.
+//
+// Models per-direction serialization (a frame occupies the wire for
+// wire_size*8/bandwidth), propagation delay, a drop-tail transmit queue, and
+// an optional Bernoulli loss process. This is where "the backup's IP stack
+// can drop packets" (paper §4.2) is injected for tap-loss experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/device.hpp"
+#include "sim/simulation.hpp"
+
+namespace sttcp::net {
+
+struct LinkConfig {
+    double bandwidth_bps = 100e6;          // 100 Mbit/s, the paper's LAN
+    sim::Duration propagation = sim::microseconds{5};
+    std::size_t queue_capacity_bytes = 256 * 1024;  // drop-tail per direction
+    double loss_probability = 0.0;         // per-frame, per-direction
+    // Uniform random extra delay in [0, jitter] added per frame. Nonzero
+    // jitter REORDERS frames — the hardest input for the TCP reassembly and
+    // the ST-TCP tap, and exactly what multi-path LANs produce.
+    sim::Duration jitter{0};
+};
+
+class Link {
+public:
+    Link(sim::Simulation& simulation, LinkConfig config)
+        : sim_(simulation), config_(config) {}
+
+    Link(const Link&) = delete;
+    Link& operator=(const Link&) = delete;
+
+    void attach(FrameEndpoint& a, FrameEndpoint& b) {
+        a_ = &a;
+        b_ = &b;
+        a.link_ = this;
+        b.link_ = this;
+    }
+
+    // Queues a frame for transmission from `sender` toward the other end.
+    // Returns false if the transmit queue overflowed (frame dropped).
+    bool send_from(const FrameEndpoint& sender, EthernetFrame frame);
+
+    // Sets per-direction loss for the direction *into* `receiver` (used to
+    // make only the backup's tap lossy).
+    void set_loss_toward(const FrameEndpoint& receiver, double probability);
+
+    void set_config(const LinkConfig& config) { config_ = config; }
+    [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+    // Observer sees every frame that completes delivery (after loss).
+    using Observer = std::function<void(const EthernetFrame&, const FrameEndpoint& receiver)>;
+    void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+    struct Stats {
+        std::uint64_t frames_delivered = 0;
+        std::uint64_t frames_dropped_queue = 0;
+        std::uint64_t frames_dropped_loss = 0;
+        std::uint64_t bytes_delivered = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    [[nodiscard]] FrameEndpoint* peer_of(const FrameEndpoint& e) const {
+        return &e == a_ ? b_ : a_;
+    }
+
+private:
+    struct Direction {
+        sim::TimePoint busy_until{};
+        std::size_t queued_bytes = 0;
+        double loss_probability = -1.0;  // <0: use link-level config
+    };
+
+    Direction& direction_toward(const FrameEndpoint& receiver) {
+        return &receiver == b_ ? a_to_b_ : b_to_a_;
+    }
+
+    sim::Simulation& sim_;
+    LinkConfig config_;
+    FrameEndpoint* a_ = nullptr;
+    FrameEndpoint* b_ = nullptr;
+    Direction a_to_b_;
+    Direction b_to_a_;
+    Observer observer_;
+    Stats stats_;
+};
+
+} // namespace sttcp::net

@@ -1,0 +1,89 @@
+// Host network interface.
+//
+// Filtering happens here, as in hardware: a frame is passed up only if it is
+// addressed to this NIC, broadcast, a joined multicast group, or the NIC is
+// promiscuous. ST-TCP's VNICs (paper §3.1) are expressed by joining the
+// fixed multicast groups (SME/GME) on the relevant NICs; the virtual IP
+// binding lives in the stack (stack/interface config).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "net/device.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace sttcp::net {
+
+class Nic final : public FrameEndpoint {
+public:
+    Nic(Node& node, std::string name, MacAddress mac)
+        : node_(node), name_(std::move(name)), mac_(mac) {}
+
+    [[nodiscard]] const MacAddress& mac() const { return mac_; }
+    [[nodiscard]] Node& node() const { return node_; }
+    [[nodiscard]] std::string endpoint_name() const override {
+        return node_.name() + "/" + name_;
+    }
+
+    void set_promiscuous(bool on) { promiscuous_ = on; }
+    [[nodiscard]] bool promiscuous() const { return promiscuous_; }
+
+    void join_multicast(MacAddress group) { groups_.insert(group); }
+    void leave_multicast(MacAddress group) { groups_.erase(group); }
+    [[nodiscard]] bool in_group(MacAddress group) const { return groups_.count(group) > 0; }
+
+    // Upcall into the protocol stack. The frame has already passed the
+    // address filter.
+    using RxHandler = std::function<void(const EthernetFrame&)>;
+    void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+    // Transmits a frame; silently discarded if the node is powered off or
+    // the NIC is not attached to a link.
+    void send(EthernetFrame frame) {
+        if (!node_.powered() || link() == nullptr) return;
+        ++stats_.tx_frames;
+        stats_.tx_bytes += frame.wire_size();
+        link()->send_from(*this, std::move(frame));
+    }
+
+    void handle_frame(const EthernetFrame& frame) override {
+        if (!node_.powered()) return;
+        if (!accepts(frame.dst)) {
+            ++stats_.rx_filtered;
+            return;
+        }
+        ++stats_.rx_frames;
+        stats_.rx_bytes += frame.wire_size();
+        if (rx_handler_) rx_handler_(frame);
+    }
+
+    [[nodiscard]] bool accepts(const MacAddress& dst) const {
+        if (promiscuous_) return true;
+        if (dst == mac_ || dst.is_broadcast()) return true;
+        return dst.is_multicast() && groups_.count(dst) > 0;
+    }
+
+    struct Stats {
+        std::uint64_t tx_frames = 0;
+        std::uint64_t rx_frames = 0;
+        std::uint64_t rx_filtered = 0;
+        std::uint64_t tx_bytes = 0;
+        std::uint64_t rx_bytes = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    Node& node_;
+    std::string name_;
+    MacAddress mac_;
+    bool promiscuous_ = false;
+    std::set<MacAddress> groups_;
+    RxHandler rx_handler_;
+    Stats stats_;
+};
+
+} // namespace sttcp::net

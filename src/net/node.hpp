@@ -1,0 +1,44 @@
+// A simulated machine: name + power state.
+//
+// Crash semantics (paper §4.4: crash/performance failures): powering a node
+// off freezes it — its NICs stop sending and receiving and its stack's
+// timers refuse to fire. Nothing is cleaned up, exactly like pulling the
+// plug, which is what the controllable power switch does during fencing.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sttcp::net {
+
+class Node {
+public:
+    explicit Node(std::string name) : name_(std::move(name)) {}
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] bool powered() const { return powered_; }
+
+    void power_off() {
+        if (!powered_) return;
+        powered_ = false;
+        for (auto& cb : power_off_hooks_) cb();
+    }
+    void power_on() { powered_ = true; }
+
+    // Hooks run when the node crashes (used by tests/metrics, not recovery —
+    // a crashed node does not get to run recovery code).
+    void on_power_off(std::function<void()> hook) {
+        power_off_hooks_.push_back(std::move(hook));
+    }
+
+private:
+    std::string name_;
+    bool powered_ = true;
+    std::vector<std::function<void()>> power_off_hooks_;
+};
+
+} // namespace sttcp::net

@@ -1,0 +1,34 @@
+#include "net/packet_logger.hpp"
+
+#include "net/ipv4.hpp"
+
+namespace sttcp::net {
+
+std::vector<util::Bytes> PacketLogger::find_tcp_range(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                                      std::uint16_t src_port,
+                                                      std::uint16_t dst_port,
+                                                      util::Seq32 seq_begin,
+                                                      util::Seq32 seq_end) const {
+    ++stats_.lookups;
+    std::vector<util::Bytes> out;
+    for (const auto& entry : log_) {
+        try {
+            EthernetFrame frame = EthernetFrame::parse(entry.raw);
+            if (frame.type != EtherType::kIpv4) continue;
+            Ipv4Packet ip = Ipv4Packet::parse(frame.payload);
+            if (ip.proto != IpProto::kTcp || ip.src != src_ip || ip.dst != dst_ip) continue;
+            TcpSegment seg = TcpSegment::parse(ip.payload, ip.src, ip.dst);
+            if (seg.src_port != src_port || seg.dst_port != dst_port) continue;
+            if (seg.payload.empty()) continue;
+            util::Seq32 lo = seg.seq;
+            util::Seq32 hi = seg.seq + static_cast<std::uint32_t>(seg.payload.size());
+            // Overlap test on the sequence circle.
+            if (lo < seq_end && seq_begin < hi) out.push_back(entry.raw);
+        } catch (const util::WireError&) {
+            continue;  // non-parseable frames are simply not matches
+        }
+    }
+    return out;
+}
+
+} // namespace sttcp::net

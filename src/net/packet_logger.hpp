@@ -1,0 +1,91 @@
+// In-memory packet logger appliance (paper §3.2).
+//
+// "This logger machine logs all packets on the Ethernet in its main memory
+// for a bounded amount of time." It masks double failures: if the tap
+// dropped a segment *and* the primary crashed before the backup could
+// re-request it, the backup recovers the raw frames from the logger. The
+// log is bounded by bytes and by age, as the paper's sizing argument
+// (max bandwidth × max failover time) requires.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/nic.hpp"
+#include "net/tcp_wire.hpp"
+#include "sim/simulation.hpp"
+#include "util/seq32.hpp"
+
+namespace sttcp::net {
+
+class PacketLogger {
+public:
+    struct Config {
+        std::size_t max_bytes = 64 * 1024 * 1024;
+        sim::Duration max_age = sim::seconds{60};
+    };
+
+    PacketLogger(sim::Simulation& simulation, Node& node, Config config)
+        : sim_(simulation), node_(node), config_(config) {}
+    PacketLogger(sim::Simulation& simulation, Node& node)
+        : PacketLogger(simulation, node, Config{}) {}
+
+    // Attach to a NIC (typically promiscuous, on the tapped segment).
+    void attach(Nic& nic) {
+        nic.set_promiscuous(true);
+        nic.set_rx_handler([this](const EthernetFrame& f) { record(f); });
+    }
+
+    void record(const EthernetFrame& frame) {
+        if (!node_.powered()) return;
+        evict(sim_.now());
+        util::Bytes raw = frame.serialize();
+        stored_bytes_ += raw.size();
+        log_.push_back({sim_.now(), std::move(raw)});
+        ++stats_.frames_logged;
+    }
+
+    // Returns raw frames containing TCP payload for the given flow
+    // overlapping sequence range [seq_begin, seq_end). Flow is identified by
+    // IP/port pairs in the *client→server* direction given here.
+    [[nodiscard]] std::vector<util::Bytes> find_tcp_range(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                                          std::uint16_t src_port,
+                                                          std::uint16_t dst_port,
+                                                          util::Seq32 seq_begin,
+                                                          util::Seq32 seq_end) const;
+
+    [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
+    [[nodiscard]] std::size_t frame_count() const { return log_.size(); }
+
+    struct Stats {
+        std::uint64_t frames_logged = 0;
+        std::uint64_t frames_evicted = 0;
+        std::uint64_t lookups = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    struct Entry {
+        sim::TimePoint at;
+        util::Bytes raw;
+    };
+
+    void evict(sim::TimePoint now) {
+        while (!log_.empty() &&
+               (stored_bytes_ > config_.max_bytes || log_.front().at + config_.max_age < now)) {
+            stored_bytes_ -= log_.front().raw.size();
+            log_.pop_front();
+            ++stats_.frames_evicted;
+        }
+    }
+
+    sim::Simulation& sim_;
+    Node& node_;
+    Config config_;
+    std::deque<Entry> log_;
+    std::size_t stored_bytes_ = 0;
+    mutable Stats stats_;
+};
+
+} // namespace sttcp::net

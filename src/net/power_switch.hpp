@@ -1,0 +1,54 @@
+// Controllable power switch used for fencing (paper §3.2, §4.4).
+//
+// ST-TCP needs a *perfect* failure detector: the backup must never take over
+// while the primary is still alive. The paper achieves this by powering off
+// a suspected primary before promoting the suspicion — "we convert wrong
+// suspicions into correct suspicions by switching off the power of a
+// suspected computer." The switch actuates after a configurable command
+// latency (relay delay + network hop to the switch's management port).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace sttcp::net {
+
+class PowerSwitch {
+public:
+    PowerSwitch(sim::Simulation& simulation, sim::Duration command_latency = sim::milliseconds{5})
+        : sim_(simulation), latency_(command_latency) {}
+
+    void manage(Node& node) { nodes_.emplace(node.name(), &node); }
+
+    // Requests power-off; `on_done` runs once the node is certainly dead.
+    // Idempotent: fencing an already-dead node still confirms.
+    void power_off(const std::string& node_name, std::function<void()> on_done) {
+        ++stats_.commands;
+        sim_.schedule_after(latency_, [this, node_name, cb = std::move(on_done)]() {
+            auto it = nodes_.find(node_name);
+            if (it != nodes_.end()) {
+                if (it->second->powered()) ++stats_.nodes_killed;
+                it->second->power_off();
+            }
+            if (cb) cb();
+        });
+    }
+
+    struct Stats {
+        std::uint64_t commands = 0;
+        std::uint64_t nodes_killed = 0;  // commands that found the node alive
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    sim::Simulation& sim_;
+    sim::Duration latency_;
+    std::unordered_map<std::string, Node*> nodes_;
+    Stats stats_;
+};
+
+} // namespace sttcp::net

@@ -1,0 +1,65 @@
+#include "net/switch.hpp"
+
+namespace sttcp::net {
+
+std::size_t Switch::connect(FrameEndpoint& peer, LinkConfig config) {
+    auto port = std::make_unique<Port>(*this, ports_.size());
+    auto link = std::make_unique<Link>(sim_, config);
+    link->attach(*port, peer);
+    ports_.push_back(std::move(port));
+    links_.push_back(std::move(link));
+    return ports_.size() - 1;
+}
+
+void Switch::set_mirror(std::size_t observed_port, std::size_t tap_port) {
+    mirror_ = Mirror{observed_port, tap_port};
+}
+
+void Switch::forward(std::size_t in_port, EthernetFrame frame) {
+    // Learn the source (unicast sources only; a group address never
+    // legitimately appears as a source).
+    if (frame.src.is_unicast()) mac_table_[frame.src] = in_port;
+
+    // Mirror ingress traffic of the observed port.
+    if (mirror_ && mirror_->observed == in_port && mirror_->tap != in_port) {
+        ++stats_.mirrored;
+        transmit(mirror_->tap, frame);
+    }
+
+    auto deliver = [&](std::size_t out_port) {
+        transmit(out_port, frame);
+        // Mirror egress traffic of the observed port.
+        if (mirror_ && mirror_->observed == out_port && mirror_->tap != out_port &&
+            mirror_->tap != in_port) {
+            ++stats_.mirrored;
+            transmit(mirror_->tap, frame);
+        }
+    };
+
+    if (frame.dst.is_unicast()) {
+        auto it = mac_table_.find(frame.dst);
+        if (it != mac_table_.end()) {
+            if (it->second != in_port) {
+                ++stats_.unicast_forwarded;
+                deliver(it->second);
+            }
+            return;
+        }
+    }
+
+    // Broadcast, multicast, or unknown unicast: flood.
+    ++stats_.flooded;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        if (i == in_port) continue;
+        deliver(i);
+    }
+}
+
+void Switch::transmit(std::size_t out_port, const EthernetFrame& frame) {
+    // Store-and-forward latency, then egress serialization on the link.
+    sim_.schedule_after(latency_, [this, out_port, frame]() {
+        links_[out_port]->send_from(*ports_[out_port], frame);
+    });
+}
+
+} // namespace sttcp::net

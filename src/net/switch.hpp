@@ -1,0 +1,89 @@
+// Learning Ethernet switch with port mirroring and multicast flooding.
+//
+// Implements both switched-Ethernet tap architectures of paper §3.1:
+//  1. managed-switch port mirroring ("forward traffic flowing from/to a port
+//     to some other port") — set_mirror();
+//  2. multicast-MAC flooding — frames addressed to a group MAC are flooded
+//     to every other port, so a backup that joined SME/GME receives all
+//     server traffic even through a crossbar.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace sttcp::net {
+
+class Switch {
+public:
+    Switch(sim::Simulation& simulation, std::string name,
+           sim::Duration forwarding_latency = sim::microseconds{3})
+        : sim_(simulation), name_(std::move(name)), latency_(forwarding_latency) {}
+
+    Switch(const Switch&) = delete;
+    Switch& operator=(const Switch&) = delete;
+
+    // Creates a new port wired to `peer`; returns the port index.
+    std::size_t connect(FrameEndpoint& peer, LinkConfig config);
+
+    // Copies every frame entering or leaving `observed_port` to `tap_port`.
+    void set_mirror(std::size_t observed_port, std::size_t tap_port);
+    void clear_mirror() { mirror_.reset(); }
+
+    [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+    [[nodiscard]] Link& link_at(std::size_t port) { return *links_.at(port); }
+
+    struct Stats {
+        std::uint64_t unicast_forwarded = 0;
+        std::uint64_t flooded = 0;
+        std::uint64_t mirrored = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    // MAC table introspection (for tests).
+    [[nodiscard]] std::optional<std::size_t> learned_port(const MacAddress& mac) const {
+        auto it = mac_table_.find(mac);
+        if (it == mac_table_.end()) return std::nullopt;
+        return it->second;
+    }
+
+private:
+    class Port final : public FrameEndpoint {
+    public:
+        Port(Switch& sw, std::size_t index) : switch_(sw), index_(index) {}
+        void handle_frame(const EthernetFrame& frame) override {
+            switch_.forward(index_, frame);
+        }
+        [[nodiscard]] std::string endpoint_name() const override {
+            return switch_.name_ + "/port" + std::to_string(index_);
+        }
+
+    private:
+        Switch& switch_;
+        std::size_t index_;
+    };
+
+    void forward(std::size_t in_port, EthernetFrame frame);
+    void transmit(std::size_t out_port, const EthernetFrame& frame);
+
+    struct Mirror {
+        std::size_t observed;
+        std::size_t tap;
+    };
+
+    sim::Simulation& sim_;
+    std::string name_;
+    sim::Duration latency_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::unordered_map<MacAddress, std::size_t> mac_table_;
+    std::optional<Mirror> mirror_;
+    Stats stats_;
+};
+
+} // namespace sttcp::net

@@ -1,0 +1,134 @@
+#include "net/tcp_wire.hpp"
+
+#include <sstream>
+
+namespace sttcp::net {
+
+namespace {
+void add_pseudo_header(util::InternetChecksum& sum, Ipv4Address src, Ipv4Address dst,
+                       std::uint16_t tcp_len) {
+    sum.add_u32(src.value());
+    sum.add_u32(dst.value());
+    sum.add_u16(6);  // protocol
+    sum.add_u16(tcp_len);
+}
+} // namespace
+
+std::size_t TcpSegment::header_size() const {
+    std::size_t options = 0;
+    if (mss) options += 4;
+    if (timestamps) options += 12;  // 2×NOP + 10-byte option, as Linux emits
+    return kBaseHeaderSize + options;
+}
+
+util::Bytes TcpSegment::serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
+    util::Bytes out;
+    out.reserve(total_size());
+    util::WireWriter w{out};
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u32(seq.raw());
+    w.u32(ack.raw());
+    w.u8(static_cast<std::uint8_t>((header_size() / 4) << 4));  // data offset
+    w.u8(flags.to_byte());
+    w.u16(window);
+    std::size_t checksum_at = w.size();
+    w.u16(0);  // checksum placeholder
+    w.u16(0);  // urgent pointer (unused)
+    if (mss) {
+        w.u8(2);  // kind: MSS
+        w.u8(4);  // length
+        w.u16(*mss);
+    }
+    if (timestamps) {
+        w.u8(1);   // NOP
+        w.u8(1);   // NOP
+        w.u8(8);   // kind: timestamps
+        w.u8(10);  // length
+        w.u32(timestamps->value);
+        w.u32(timestamps->echo_reply);
+    }
+    w.bytes(payload);
+
+    util::InternetChecksum sum;
+    add_pseudo_header(sum, src_ip, dst_ip, static_cast<std::uint16_t>(total_size()));
+    sum.add(util::ByteView{out});
+    w.patch_u16(checksum_at, sum.finish());
+    return out;
+}
+
+TcpSegment TcpSegment::parse(util::ByteView raw, Ipv4Address src_ip, Ipv4Address dst_ip) {
+    if (raw.size() < kBaseHeaderSize) throw util::WireError{"tcp: truncated header"};
+
+    util::InternetChecksum sum;
+    add_pseudo_header(sum, src_ip, dst_ip, static_cast<std::uint16_t>(raw.size()));
+    sum.add(raw);
+    if (sum.finish() != 0) throw util::WireError{"tcp: checksum mismatch"};
+
+    util::WireReader r{raw};
+    TcpSegment s;
+    s.src_port = r.u16();
+    s.dst_port = r.u16();
+    s.seq = util::Seq32{r.u32()};
+    s.ack = util::Seq32{r.u32()};
+    std::size_t data_offset = (r.u8() >> 4) * 4u;
+    if (data_offset < kBaseHeaderSize || data_offset > raw.size())
+        throw util::WireError{"tcp: bad data offset"};
+    s.flags = TcpFlags::from_byte(r.u8());
+    s.window = r.u16();
+    r.skip(4);  // checksum + urgent pointer
+
+    // Options.
+    std::size_t opt_len = data_offset - kBaseHeaderSize;
+    util::WireReader opts{r.bytes(opt_len)};
+    while (opts.remaining() > 0) {
+        std::uint8_t kind = opts.u8();
+        if (kind == 0) break;      // EOL
+        if (kind == 1) continue;   // NOP
+        if (opts.remaining() < 1) throw util::WireError{"tcp: truncated option"};
+        std::uint8_t len = opts.u8();
+        if (len < 2 || opts.remaining() < static_cast<std::size_t>(len) - 2)
+            throw util::WireError{"tcp: bad option length"};
+        util::WireReader body{opts.bytes(len - 2u)};
+        switch (kind) {
+            case 2:
+                if (len != 4) throw util::WireError{"tcp: bad MSS option"};
+                s.mss = body.u16();
+                break;
+            case 8:
+                if (len != 10) throw util::WireError{"tcp: bad timestamp option"};
+                s.timestamps = TcpTimestamps{body.u32(), body.u32()};
+                break;
+            default:
+                break;  // unknown options are skipped
+        }
+    }
+
+    auto body = raw.subspan(data_offset);
+    s.payload.assign(body.begin(), body.end());
+    return s;
+}
+
+std::string TcpSegment::summary() const {
+    std::ostringstream os;
+    os << src_port << " > " << dst_port << " [";
+    bool first = true;
+    auto add = [&](bool on, const char* name) {
+        if (!on) return;
+        if (!first) os << ',';
+        os << name;
+        first = false;
+    };
+    add(flags.syn, "SYN");
+    add(flags.fin, "FIN");
+    add(flags.rst, "RST");
+    add(flags.psh, "PSH");
+    add(flags.ack, "ACK");
+    if (first) os << "-";
+    os << "] seq=" << seq.raw();
+    if (flags.ack) os << " ack=" << ack.raw();
+    os << " win=" << window << " len=" << payload.size();
+    return os.str();
+}
+
+} // namespace sttcp::net

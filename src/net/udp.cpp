@@ -1,0 +1,54 @@
+#include "net/udp.hpp"
+
+namespace sttcp::net {
+
+namespace {
+void add_pseudo_header(util::InternetChecksum& sum, Ipv4Address src, Ipv4Address dst,
+                       std::uint16_t udp_len) {
+    sum.add_u32(src.value());
+    sum.add_u32(dst.value());
+    sum.add_u16(17);  // protocol
+    sum.add_u16(udp_len);
+}
+} // namespace
+
+util::Bytes UdpDatagram::serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
+    util::Bytes out;
+    out.reserve(total_size());
+    util::WireWriter w{out};
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(static_cast<std::uint16_t>(total_size()));
+    std::size_t checksum_at = w.size();
+    w.u16(0);
+    w.bytes(payload);
+
+    util::InternetChecksum sum;
+    add_pseudo_header(sum, src_ip, dst_ip, static_cast<std::uint16_t>(total_size()));
+    sum.add(util::ByteView{out});
+    std::uint16_t c = sum.finish();
+    if (c == 0) c = 0xffff;  // RFC 768: 0 means "no checksum"
+    w.patch_u16(checksum_at, c);
+    return out;
+}
+
+UdpDatagram UdpDatagram::parse(util::ByteView raw, Ipv4Address src_ip, Ipv4Address dst_ip) {
+    util::WireReader r{raw};
+    UdpDatagram d;
+    d.src_port = r.u16();
+    d.dst_port = r.u16();
+    std::uint16_t len = r.u16();
+    if (len < kHeaderSize || len > raw.size()) throw util::WireError{"udp: bad length"};
+    std::uint16_t checksum = r.u16();
+    if (checksum != 0) {
+        util::InternetChecksum sum;
+        add_pseudo_header(sum, src_ip, dst_ip, len);
+        sum.add(raw.subspan(0, len));
+        if (sum.finish() != 0) throw util::WireError{"udp: checksum mismatch"};
+    }
+    auto body = raw.subspan(kHeaderSize, len - kHeaderSize);
+    d.payload.assign(body.begin(), body.end());
+    return d;
+}
+
+} // namespace sttcp::net

@@ -1,0 +1,31 @@
+// UDP datagram format (RFC 768), with the IPv4 pseudo-header checksum.
+//
+// The ST-TCP control channel (backup acks, heartbeats, missing-segment
+// recovery — paper §4.2/§4.3) runs over this.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::net {
+
+struct UdpDatagram {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    util::Bytes payload;
+
+    static constexpr std::size_t kHeaderSize = 8;
+
+    [[nodiscard]] std::size_t total_size() const { return kHeaderSize + payload.size(); }
+
+    [[nodiscard]] util::Bytes serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
+
+    // Parses and verifies the checksum (pseudo-header included); throws
+    // util::WireError on corruption.
+    [[nodiscard]] static UdpDatagram parse(util::ByteView raw, Ipv4Address src_ip,
+                                           Ipv4Address dst_ip);
+};
+
+} // namespace sttcp::net

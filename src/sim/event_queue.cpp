@@ -1,0 +1,70 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace sttcp::sim {
+
+EventId EventQueue::schedule_at(TimePoint when, Callback cb) {
+    assert(when >= now_ && "cannot schedule in the past");
+    EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+    ++live_count_;
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (id == kInvalidEventId) return false;
+    // Only mark if it could still be pending (ids are monotonically issued).
+    if (id >= next_id_) return false;
+    auto [_, inserted] = cancelled_.insert(id);
+    if (inserted && live_count_ > 0) {
+        --live_count_;
+        return true;
+    }
+    return false;
+}
+
+bool EventQueue::pop_one() {
+    while (!heap_.empty()) {
+        // priority_queue::top() is const; we need to move the callback out.
+        Entry e = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        assert(e.when >= now_);
+        now_ = e.when;
+        --live_count_;
+        ++executed_;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+std::size_t EventQueue::run(std::size_t limit) {
+    std::size_t n = 0;
+    while (n < limit && pop_one()) ++n;
+    return n;
+}
+
+std::size_t EventQueue::run_until(TimePoint deadline) {
+    std::size_t n = 0;
+    while (!heap_.empty()) {
+        // Skip cancelled entries at the top so top().when is a live event.
+        if (cancelled_.count(heap_.top().id)) {
+            cancelled_.erase(heap_.top().id);
+            heap_.pop();
+            continue;
+        }
+        if (heap_.top().when > deadline) break;
+        if (pop_one()) ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+bool EventQueue::step() { return pop_one(); }
+
+} // namespace sttcp::sim

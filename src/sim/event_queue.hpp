@@ -1,0 +1,76 @@
+// Discrete-event queue: the heart of the simulator.
+//
+// Events fire in (time, insertion-order) order, which — together with the
+// deterministic RNG — makes every run bit-for-bit reproducible. Cancellation
+// is lazy: cancel() marks the id dead and the queue skips it when popped, so
+// protocol timers (which are rescheduled constantly) stay O(log n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sttcp::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    [[nodiscard]] TimePoint now() const { return now_; }
+
+    EventId schedule_at(TimePoint when, Callback cb);
+    EventId schedule_after(Duration delay, Callback cb) {
+        return schedule_at(now_ + delay, std::move(cb));
+    }
+
+    // Cancels a pending event; no-op (returns false) if it already fired,
+    // was cancelled, or the id is kInvalidEventId.
+    bool cancel(EventId id);
+
+    // Runs events until the queue is empty or `limit` events fired.
+    // Returns the number of events executed.
+    std::size_t run(std::size_t limit = SIZE_MAX);
+
+    // Runs events with time <= deadline, then advances now() to deadline.
+    std::size_t run_until(TimePoint deadline);
+
+    // Executes exactly one event if any is pending; returns whether one ran.
+    bool step();
+
+    [[nodiscard]] bool empty() const { return live_count_ == 0; }
+    [[nodiscard]] std::size_t pending() const { return live_count_; }
+    [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+private:
+    struct Entry {
+        TimePoint when;
+        std::uint64_t seq;  // tie-break: FIFO among same-time events
+        EventId id;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool pop_one();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    TimePoint now_{};
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t live_count_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sttcp::sim

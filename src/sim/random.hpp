@@ -1,0 +1,77 @@
+// Deterministic RNG (xoshiro256**) for the simulator.
+//
+// std::mt19937 would also work, but its distributions are not guaranteed
+// identical across standard libraries; we implement the generator and the
+// distributions ourselves so a seed reproduces a run on every platform.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace sttcp::sim {
+
+class Random {
+public:
+    explicit Random(std::uint64_t seed = 0x5740'7463'7031'2003ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        auto rotl = [](std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // Uniform in [0, bound) without modulo bias (Lemire's method).
+    std::uint64_t uniform(std::uint64_t bound) {
+        assert(bound > 0);
+        unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                m = static_cast<unsigned __int128>(next_u64()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    // Uniform double in [0, 1).
+    double uniform01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    bool bernoulli(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform01() < p;
+    }
+
+    // Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+private:
+    std::uint64_t state_[4]{};
+};
+
+} // namespace sttcp::sim

@@ -1,0 +1,15 @@
+#include "sim/simulation.hpp"
+
+#include <cstdio>
+
+namespace sttcp::sim {
+
+void Simulation::default_sink(util::LogLevel level, std::string_view component,
+                              std::string_view msg) {
+    std::fprintf(stderr, "[%12.6f] [%.*s] %.*s: %.*s\n", to_seconds(now()),
+                 static_cast<int>(util::to_string(level).size()), util::to_string(level).data(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+} // namespace sttcp::sim

@@ -1,0 +1,53 @@
+// Simulation context: event queue + RNG + logger under one roof.
+//
+// Every simulated component receives a Simulation& at construction and uses
+// it for scheduling, randomness, and tracing. One Simulation == one world;
+// tests routinely create many.
+#pragma once
+
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "util/logging.hpp"
+
+namespace sttcp::sim {
+
+class Simulation {
+public:
+    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {
+        // Prefix every log line with the virtual timestamp.
+        logger_.set_sink([this](util::LogLevel level, std::string_view component,
+                                std::string_view msg) { default_sink(level, component, msg); });
+    }
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    [[nodiscard]] TimePoint now() const { return queue_.now(); }
+    [[nodiscard]] EventQueue& queue() { return queue_; }
+    [[nodiscard]] Random& rng() { return rng_; }
+    [[nodiscard]] util::Logger& logger() { return logger_; }
+
+    EventId schedule_at(TimePoint when, EventQueue::Callback cb) {
+        return queue_.schedule_at(when, std::move(cb));
+    }
+    EventId schedule_after(Duration delay, EventQueue::Callback cb) {
+        return queue_.schedule_after(delay, std::move(cb));
+    }
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    std::size_t run(std::size_t limit = SIZE_MAX) { return queue_.run(limit); }
+    std::size_t run_until(TimePoint deadline) { return queue_.run_until(deadline); }
+    std::size_t run_for(Duration d) { return queue_.run_until(now() + d); }
+
+private:
+    void default_sink(util::LogLevel level, std::string_view component, std::string_view msg);
+
+    EventQueue queue_;
+    Random rng_;
+    util::Logger logger_;
+};
+
+} // namespace sttcp::sim

@@ -1,0 +1,14 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace sttcp::sim {
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6fs", to_seconds(t));
+    return os << buf;
+}
+
+} // namespace sttcp::sim

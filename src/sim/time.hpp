@@ -1,0 +1,48 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol timers, link delays, and measurements use this clock; the
+// simulation is fully deterministic and runs as fast as the host CPU allows
+// regardless of how much virtual time elapses (a 100 MB transfer "takes"
+// 8 s of virtual time and ~10 ms of host time).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+namespace sttcp::sim {
+
+// Nanosecond resolution; 2^63 ns ≈ 292 years of virtual time.
+using Duration = std::chrono::nanoseconds;
+
+struct SimClock {
+    using rep = std::int64_t;
+    using period = std::nano;
+    using duration = Duration;
+    using time_point = std::chrono::time_point<SimClock>;
+    static constexpr bool is_steady = true;
+    // No now(): only a Simulation can tell the time.
+};
+
+using TimePoint = SimClock::time_point;
+
+using std::chrono::hours;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::minutes;
+using std::chrono::nanoseconds;
+using std::chrono::seconds;
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+    return std::chrono::duration<double>(d).count();
+}
+[[nodiscard]] constexpr double to_seconds(TimePoint t) {
+    return to_seconds(t.time_since_epoch());
+}
+[[nodiscard]] constexpr Duration from_seconds(double s) {
+    return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+} // namespace sttcp::sim

@@ -1,0 +1,475 @@
+#include "sttcp/backup.hpp"
+
+#include <algorithm>
+
+namespace sttcp::core {
+
+namespace {
+// Cap one missing-segment request to a sane burst; larger gaps are fetched
+// incrementally as replies arrive and the gap re-detects.
+constexpr std::uint32_t kMaxRequestSpan = 64 * 1024;
+} // namespace
+
+SttcpBackup::SttcpBackup(tcp::HostStack& stack, Options options)
+    : stack_(stack), options_(std::move(options)) {
+    current_primary_ = options_.members.at(0);
+
+    // Bind the service IP but stay invisible: no ARP answers for it, and no
+    // TCP segment sourced from it leaves this host.
+    stack_.add_ip_alias(options_.iface_index, options_.service_ip);
+    stack_.suppress_arp_for(options_.service_ip);
+    stack_.set_tcp_egress_filter([this](const net::TcpSegment&, net::Ipv4Address src,
+                                        net::Ipv4Address) {
+        if (taken_over_) return true;
+        return src != options_.service_ip;
+    });
+    stack_.set_tcp_tap([this](const net::TcpSegment& seg, net::Ipv4Address src,
+                              net::Ipv4Address dst) { on_tap(seg, src, dst); });
+    stack_.set_orphan_tcp_handler([this](const net::TcpSegment& seg, net::Ipv4Address src,
+                                         net::Ipv4Address dst) {
+        return on_orphan_segment(seg, src, dst);
+    });
+
+    control_ = stack_.udp_bind(options_.config.control_port);
+    control_->set_rx_handler(
+        [this](util::ByteView data, net::Ipv4Address src, std::uint16_t src_port) {
+            on_control(data, src, src_port);
+        });
+
+    // Monitor every member ranked above this node (the primary and any
+    // more-senior backups); takeover requires all of them dead.
+    for (std::size_t i = 0; i < options_.self_index; ++i) {
+        Senior senior;
+        senior.ip = options_.members.at(i);
+        senior.detector = std::make_unique<FailureDetector>(
+            stack_.sim(), options_.config.hb_interval, options_.config.hb_miss_threshold);
+        senior.detector->set_alive_predicate([this]() { return stack_.powered(); });
+        net::Ipv4Address ip = senior.ip;
+        senior.detector->set_on_suspect([this, ip]() {
+            if (!stack_.powered()) return;
+            on_senior_suspected(ip);
+        });
+        seniors_.push_back(std::move(senior));
+    }
+}
+
+std::shared_ptr<tcp::TcpListener> SttcpBackup::listen(std::uint16_t port) {
+    auto listener = stack_.tcp_listen(port);
+    listeners_[port] = listener;
+    listener->set_connection_setup([this](tcp::TcpConnection& conn) {
+        if (taken_over_) return;  // post-failover setup belongs to promoted_
+        // Adopt the primary's ISN from the client's handshake ACK (§4.1);
+        // the tapped primary SYN/ACK anchors exactly when available.
+        conn.set_adopt_peer_seq(true);
+        // Shadow semantics: peer acks may outrun our suppressed replica
+        // (on_takeover clears this).
+        conn.set_shadow_mode(true);
+        ConnId id = conn_id_of(conn);
+        conn.set_close_hook([this, id]() { conns_.erase(id); });
+        Shadow shadow;
+        shadow.conn = conn.shared_from_this();
+        auto [it, _] = conns_.emplace(id, std::move(shadow));
+        // Threshold-X ack strategy: check on every in-order advance (§4.3).
+        it->second.conn->set_rcv_advance_hook([this, id]() {
+            auto sit = conns_.find(id);
+            if (sit != conns_.end()) maybe_ack(sit->second, /*force=*/false);
+        });
+    });
+    return listener;
+}
+
+void SttcpBackup::start() {
+    started_ = true;
+    for (auto& s : seniors_) s.detector->start();
+    schedule_heartbeat();
+    schedule_sync();
+}
+
+void SttcpBackup::stop() {
+    started_ = false;
+    for (auto& s : seniors_) s.detector->stop();
+    stack_.sim().cancel(hb_timer_);
+    hb_timer_ = sim::kInvalidEventId;
+    stack_.sim().cancel(sync_timer_);
+    sync_timer_ = sim::kInvalidEventId;
+}
+
+SttcpBackup::Senior* SttcpBackup::find_senior(net::Ipv4Address ip) {
+    for (auto& s : seniors_) {
+        if (s.ip == ip) return &s;
+    }
+    return nullptr;
+}
+
+ConnId SttcpBackup::conn_id_of(const tcp::TcpConnection& conn) const {
+    const tcp::FlowKey& key = conn.key();
+    return ConnId{key.local_ip, key.local_port, key.remote_ip, key.remote_port};
+}
+
+// ------------------------------------------------------------ control input
+
+void SttcpBackup::on_control(util::ByteView data, net::Ipv4Address src,
+                             std::uint16_t src_port) {
+    if (!stack_.powered() || !started_ || taken_over_) return;
+    (void)src_port;
+    Senior* senior = find_senior(src);
+    if (senior == nullptr) return;  // juniors and strangers carry no authority
+    auto msg = ControlMessage::parse(data);
+    if (!msg) return;
+    ++stats_.control_messages_received;
+    if (senior->alive) senior->detector->on_heartbeat();
+
+    // Data-bearing replies are only honoured from the current primary.
+    switch (msg->type) {
+        case ControlType::kHeartbeat:
+            ++stats_.heartbeats_received;
+            break;
+        case ControlType::kMissingReply:
+            if (src == current_primary_) on_missing_reply(*msg);
+            break;
+        case ControlType::kStateReply:
+            if (src == current_primary_) on_state_reply(*msg);
+            break;
+        default:
+            break;  // a primary never sends acks/requests
+    }
+}
+
+void SttcpBackup::on_missing_reply(const ControlMessage& msg) {
+    auto it = conns_.find(msg.conn);
+    if (it == conns_.end()) return;
+    auto& conn = *it->second.conn;
+
+    // Inject the recovered bytes through the normal TCP receive path as a
+    // synthetic segment, exactly as if the tap had delivered it.
+    net::TcpSegment seg;
+    seg.src_port = msg.conn.client_port;
+    seg.dst_port = msg.conn.server_port;
+    seg.seq = msg.seq;
+    seg.flags.ack = true;
+    seg.ack = conn.snd_una();
+    seg.window = static_cast<std::uint16_t>(std::min<std::uint32_t>(conn.snd_wnd(), 65535));
+    seg.payload = msg.payload;
+    stats_.missing_bytes_recovered += msg.payload.size();
+    conn.on_segment(seg);
+}
+
+bool SttcpBackup::on_orphan_segment(const net::TcpSegment& seg, net::Ipv4Address src,
+                                    net::Ipv4Address dst) {
+    if (taken_over_ || !started_) return false;
+    if (dst != options_.service_ip || seg.flags.rst) return false;
+    auto lit = listeners_.find(seg.dst_port);
+    if (lit == listeners_.end() || lit->second.expired()) return false;
+
+    // Traffic for a service connection we never shadowed: our tap lost the
+    // handshake. Ask the primary for the connection anchors, then replay the
+    // retained client stream (late-join). Swallow the segment either way —
+    // a shadow must never RST a live service flow.
+    ConnId id{dst, seg.dst_port, src, seg.src_port};
+    auto pending = pending_joins_.find(id);
+    if (pending != pending_joins_.end() &&
+        stack_.sim().now() - pending->second < options_.config.sync_time) {
+        return true;  // request already in flight
+    }
+    pending_joins_[id] = stack_.sim().now();
+    ControlMessage req;
+    req.type = ControlType::kStateReq;
+    req.conn = id;
+    control_->send_to(current_primary_, options_.config.control_port, req.serialize());
+    return true;
+}
+
+void SttcpBackup::on_state_reply(const ControlMessage& msg) {
+    auto state = msg.state_reply();
+    if (!state) return;
+    const ConnId& id = msg.conn;
+    pending_joins_.erase(id);
+    if (conns_.count(id)) return;  // raced with a normal handshake shadow
+    auto lit = listeners_.find(id.server_port);
+    if (lit == listeners_.end()) return;
+    auto listener = lit->second.lock();
+    if (!listener) return;
+
+    ++stats_.late_joins;
+    tcp::FlowKey key{id.server_ip, id.server_port, id.client_ip, id.client_port};
+    auto conn = std::make_shared<tcp::TcpConnection>(stack_, key, stack_.tcp_config());
+    conn->set_close_hook([this, id]() { conns_.erase(id); });
+    Shadow shadow;
+    shadow.conn = conn;
+    auto [it, _] = conns_.emplace(id, std::move(shadow));
+    it->second.conn->set_rcv_advance_hook([this, id]() {
+        auto sit = conns_.find(id);
+        if (sit != conns_.end()) maybe_ack(sit->second, /*force=*/false);
+    });
+    conn->open_shadow_join(state->first_available_seq, state->iss);
+    stack_.register_connection(conn);
+    listener->dispatch_accept(conn);
+
+    // Fetch everything the primary has seen that we missed.
+    if (state->rcv_nxt > state->first_available_seq) {
+        it->second.has_requested = true;
+        it->second.requested_through = state->rcv_nxt.raw();
+        stats_.missing_bytes_requested += state->rcv_nxt - state->first_available_seq;
+        ++stats_.gaps_detected;
+        ControlMessage req;
+        req.type = ControlType::kMissingReq;
+        req.conn = id;
+        req.seq = state->first_available_seq;
+        req.seq_end = state->rcv_nxt;
+        control_->send_to(current_primary_, options_.config.control_port, req.serialize());
+    }
+}
+
+// ------------------------------------------------------------------ tapping
+
+void SttcpBackup::on_tap(const net::TcpSegment& seg, net::Ipv4Address src,
+                         net::Ipv4Address dst) {
+    if (taken_over_ || !started_) return;
+    if (src != options_.service_ip) return;  // only primary->client traffic
+    ++stats_.tap_segments_observed;
+    if (!seg.flags.ack) return;
+
+    ConnId id{options_.service_ip, seg.src_port, dst, seg.dst_port};
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Shadow& shadow = it->second;
+    if (!shadow.primary_acked_valid || shadow.primary_acked < seg.ack) {
+        shadow.primary_acked = seg.ack;
+        shadow.primary_acked_valid = true;
+    }
+
+    // The primary's tapped SYN/ACK carries its exact ISN — the most robust
+    // anchor for the shadow's send sequence space (the client's handshake
+    // ACK may have been lost to the tap).
+    if (seg.flags.syn && shadow.conn->state() == tcp::TcpState::kSynReceived) {
+        shadow.conn->anchor_shadow_establish(seg.seq);
+        return;
+    }
+    if (shadow.conn->state() != tcp::TcpState::kEstablished &&
+        shadow.conn->state() != tcp::TcpState::kCloseWait)
+        return;
+
+    // The primary acknowledged client bytes up to seg.ack. If we have not
+    // received them, the client will purge them from its send buffer and
+    // they become unrecoverable from the tap — fetch them from the primary
+    // (paper §4.2).
+    util::Seq32 our_nxt = shadow.conn->rcv_nxt();
+    if (seg.ack <= our_nxt) return;  // we are caught up
+
+    util::Seq32 begin = our_nxt;
+    util::Seq32 end = seg.ack;
+    if (end - begin > kMaxRequestSpan) end = begin + kMaxRequestSpan;
+    // Suppress duplicate requests for a range already in flight.
+    if (shadow.has_requested && end <= util::Seq32{shadow.requested_through} &&
+        begin >= our_nxt)
+        return;
+
+    ++stats_.gaps_detected;
+    stats_.missing_bytes_requested += end - begin;
+    shadow.has_requested = true;
+    shadow.requested_through = end.raw();
+
+    ControlMessage req;
+    req.type = ControlType::kMissingReq;
+    req.conn = id;
+    req.seq = begin;
+    req.seq_end = end;
+    control_->send_to(current_primary_, options_.config.control_port, req.serialize());
+}
+
+// ------------------------------------------------------------------- acking
+
+void SttcpBackup::maybe_ack(Shadow& shadow, bool force) {
+    auto& conn = *shadow.conn;
+    if (conn.state() != tcp::TcpState::kEstablished &&
+        conn.state() != tcp::TcpState::kCloseWait)
+        return;
+
+    util::Seq32 last_in_order = conn.rcv_nxt() - 1;  // NextByteExpected - 1
+    std::size_t threshold =
+        options_.config.effective_ack_threshold(conn.config().recv_buffer_size);
+    bool due = !shadow.acked_once ||
+               (last_in_order - shadow.last_byte_acked) >= threshold;
+    if (!due && !force) return;
+    if (shadow.acked_once && last_in_order == shadow.last_byte_acked && !force) return;
+
+    ControlMessage ack;
+    ack.type = ControlType::kBackupAck;
+    ack.conn = conn_id_of(conn);
+    ack.seq = last_in_order;
+    control_->send_to(current_primary_, options_.config.control_port, ack.serialize());
+    shadow.last_byte_acked = last_in_order;
+    shadow.acked_once = true;
+    ++stats_.acks_sent;
+}
+
+void SttcpBackup::schedule_sync() {
+    sync_timer_ = stack_.sim().schedule_after(options_.config.sync_time, [this]() {
+        sync_timer_ = sim::kInvalidEventId;
+        if (!stack_.powered() || !started_ || taken_over_) return;
+        // SyncTime expired: ack every shadowed connection regardless of how
+        // few bytes arrived (paper §4.3, second trigger).
+        for (auto& [_, shadow] : conns_) maybe_ack(shadow, /*force=*/true);
+        schedule_sync();
+    });
+}
+
+void SttcpBackup::send_heartbeat() {
+    ControlMessage hb;
+    hb.type = ControlType::kHeartbeat;
+    hb.seq = util::Seq32{hb_counter_++};
+    util::Bytes raw = hb.serialize();
+    // To the current primary (liveness for its detector) and to every
+    // junior backup (they monitor us as a succession candidate).
+    control_->send_to(current_primary_, options_.config.control_port, raw);
+    for (std::size_t i = options_.self_index + 1; i < options_.members.size(); ++i) {
+        control_->send_to(options_.members[i], options_.config.control_port, raw);
+    }
+    ++stats_.heartbeats_sent;
+}
+
+void SttcpBackup::schedule_heartbeat() {
+    hb_timer_ = stack_.sim().schedule_after(options_.config.hb_interval, [this]() {
+        hb_timer_ = sim::kInvalidEventId;
+        if (!stack_.powered() || !started_ || taken_over_) return;
+        send_heartbeat();
+        schedule_heartbeat();
+    });
+}
+
+// ----------------------------------------------------------------- failover
+
+void SttcpBackup::on_senior_suspected(net::Ipv4Address ip) {
+    Senior* senior = find_senior(ip);
+    if (senior == nullptr || !senior->alive) return;
+    if (!suspicion_recorded_) {
+        suspicion_recorded_ = true;
+        first_suspected_at_ = stack_.sim().now();
+    }
+    // Perfect failure detection: make sure the peer is really dead before
+    // acting on the suspicion (paper §3.2).
+    if (fencer_) {
+        fencer_(ip, [this, ip]() {
+            Senior* s = find_senior(ip);
+            if (s != nullptr) {
+                s->alive = false;
+                s->detector->stop();
+            }
+            evaluate_succession();
+        });
+    } else {
+        senior->alive = false;
+        senior->detector->stop();
+        evaluate_succession();
+    }
+}
+
+void SttcpBackup::evaluate_succession() {
+    if (taken_over_ || !started_) return;
+    // Count live seniors; if any remain, the most senior live one is (or
+    // will become) the primary — re-home to it and keep shadowing.
+    const Senior* heir = nullptr;
+    for (const auto& s : seniors_) {
+        if (s.alive) {
+            heir = &s;
+            break;
+        }
+    }
+    if (heir != nullptr) {
+        if (current_primary_ != heir->ip) {
+            current_primary_ = heir->ip;
+            ++stats_.rehomings;
+            // Re-introduce ourselves: an immediate ack per connection gives
+            // the promoted primary our replication state without waiting a
+            // SyncTime.
+            for (auto& [_, shadow] : conns_) maybe_ack(shadow, /*force=*/true);
+        }
+        return;
+    }
+    take_over();
+}
+
+void SttcpBackup::take_over() {
+    if (taken_over_ || !stack_.powered()) return;
+    taken_over_ = true;
+    ++stats_.failovers;
+    sim::TimePoint suspected_at =
+        suspicion_recorded_ ? first_suspected_at_ : stack_.sim().now();
+
+    for (auto& s : seniors_) s.detector->stop();
+    stack_.sim().cancel(hb_timer_);
+    hb_timer_ = sim::kInvalidEventId;
+    stack_.sim().cancel(sync_timer_);
+    sync_timer_ = sim::kInvalidEventId;
+
+    // Become the service: answer ARP for the SVI, update client ARP caches,
+    // stop suppressing output (the egress filter consults taken_over_).
+    stack_.unsuppress_arp_for(options_.service_ip);
+    stack_.send_gratuitous_arp(options_.service_ip);
+
+    // Double-failure masking (paper §3.2): if the dead primary had acked
+    // client bytes we never received, neither client nor primary can supply
+    // them now — recover the raw frames from the packet logger.
+    for (auto& [id, shadow] : conns_) recover_from_logger(id, shadow);
+
+    // Kick every shadowed connection: retransmit unacknowledged data right
+    // away instead of waiting out an RTO (the paper's prototype flips the
+    // /proc flag and the kernel "starts sending the packets to the client
+    // instead of dropping them").
+    for (auto& [_, shadow] : conns_) shadow.conn->on_takeover();
+
+    promote();
+
+    if (on_failover_) on_failover_(suspected_at, stack_.sim().now());
+}
+
+void SttcpBackup::promote() {
+    // Serve any backups ranked below this node as a full ST-TCP primary
+    // (paper §3: the protocol supports "one or more backup servers"; after
+    // a takeover the survivors keep shadowing — sequence numbers are shared
+    // group-wide, so their state carries over unchanged).
+    SttcpPrimary::Options popts;
+    popts.config = options_.config;
+    popts.service_ip = options_.service_ip;
+    for (std::size_t i = options_.self_index + 1; i < options_.members.size(); ++i) {
+        popts.backup_ips.push_back(options_.members[i]);
+    }
+    promoted_ = std::make_unique<SttcpPrimary>(stack_, popts);
+    if (fencer_) {
+        promoted_->set_fencer(fencer_);
+    }
+    for (auto& [port, weak_listener] : listeners_) {
+        if (auto listener = weak_listener.lock()) promoted_->adopt_listener(*listener);
+    }
+    for (auto& [_, shadow] : conns_) promoted_->adopt_connection(shadow.conn);
+    promoted_->start();
+}
+
+void SttcpBackup::recover_from_logger(const ConnId& id, Shadow& shadow) {
+    if (!logger_query_ || !shadow.primary_acked_valid) return;
+    auto& conn = *shadow.conn;
+    if (conn.state() != tcp::TcpState::kEstablished &&
+        conn.state() != tcp::TcpState::kCloseWait)
+        return;
+    util::Seq32 begin = conn.rcv_nxt();
+    util::Seq32 end = shadow.primary_acked;
+    if (end <= begin) return;
+
+    ++stats_.logger_recoveries;
+    for (const util::Bytes& raw : logger_query_(id, begin, end)) {
+        try {
+            net::EthernetFrame frame = net::EthernetFrame::parse(raw);
+            if (frame.type != net::EtherType::kIpv4) continue;
+            net::Ipv4Packet ip = net::Ipv4Packet::parse(frame.payload);
+            if (ip.proto != net::IpProto::kTcp) continue;
+            net::TcpSegment seg = net::TcpSegment::parse(ip.payload, ip.src, ip.dst);
+            std::uint64_t before = conn.recv_stream_offset();
+            conn.on_segment(seg);
+            stats_.logger_bytes_recovered += conn.recv_stream_offset() - before;
+        } catch (const util::WireError&) {
+            continue;  // a corrupted log entry is not a usable recovery source
+        }
+    }
+}
+
+} // namespace sttcp::core

@@ -1,0 +1,175 @@
+// ST-TCP backup server engine (paper §3, §4 — backup side).
+//
+// The backup is a *full* TCP server endpoint shadowing the primary:
+//   * it binds the virtual service IP (SVI) and processes every tapped
+//     client segment through its normal TCP receive path, running the same
+//     (deterministic) application as the primary;
+//   * every outgoing TCP segment from the SVI is suppressed at the stack's
+//     egress, and ARP requests for the SVI are not answered, so the backup
+//     is invisible to clients during failure-free operation;
+//   * it anchors its send sequence space to the primary's ISN — from the
+//     tapped primary SYN/ACK, or from the client's handshake ACK (§4.1);
+//   * it acknowledges received client bytes to the current primary over the
+//     UDP control channel (threshold X / SyncTime strategy, §4.3);
+//   * it detects tap gaps by watching the primary's own segments to the
+//     client and re-requests those bytes (§4.2), falling back to the packet
+//     logger for omission+crash double failures (§3.2);
+//   * it monitors the replica group and, when every member ranked above it
+//     is dead (suspected, then fenced), takes over: suppression off,
+//     gratuitous ARP for the SVI, immediate retransmission on every
+//     shadowed connection — and **promotes** to a full ST-TCP primary
+//     serving any backups ranked below it (paper §3: "one or more backup
+//     servers").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sttcp/config.hpp"
+#include "sttcp/control_messages.hpp"
+#include "sttcp/failure_detector.hpp"
+#include "sttcp/primary.hpp"
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::core {
+
+class SttcpBackup {
+public:
+    struct Options {
+        SttcpConfig config;
+        net::Ipv4Address service_ip;  // SVI shadowed by this backup
+        // The replica group in priority order: members[0] is the initial
+        // primary, members[1] the first backup, and so on. This node is
+        // members[self_index] (self_index >= 1).
+        std::vector<net::Ipv4Address> members;
+        std::size_t self_index = 1;
+        std::size_t iface_index = 0;  // interface that taps the service LAN
+
+        // Single-backup convenience (the paper's §6 deployment).
+        [[nodiscard]] static Options single(SttcpConfig config, net::Ipv4Address service_ip,
+                                            net::Ipv4Address primary_ip,
+                                            net::Ipv4Address self_ip,
+                                            std::size_t iface_index = 0) {
+            Options o;
+            o.config = config;
+            o.service_ip = service_ip;
+            o.members = {primary_ip, self_ip};
+            o.self_index = 1;
+            o.iface_index = iface_index;
+            return o;
+        }
+    };
+
+    using Fencer = std::function<void(net::Ipv4Address peer, std::function<void()> on_confirmed)>;
+    // (suspected_at, takeover_complete_at)
+    using FailoverCallback = std::function<void(sim::TimePoint, sim::TimePoint)>;
+    // Retrieves raw Ethernet frames carrying client->server payload in
+    // [begin, end) for a flow, from the packet-logger appliance (§3.2).
+    using LoggerQuery = std::function<std::vector<util::Bytes>(
+        const ConnId&, util::Seq32 begin, util::Seq32 end)>;
+
+    SttcpBackup(tcp::HostStack& stack, Options options);
+
+    // The service listener; the same application code as on the primary
+    // installs its accept handler here.
+    std::shared_ptr<tcp::TcpListener> listen(std::uint16_t port);
+
+    void start();
+    void stop();
+
+    void set_fencer(Fencer fencer) { fencer_ = std::move(fencer); }
+    void set_on_failover(FailoverCallback cb) { on_failover_ = std::move(cb); }
+    void set_logger_query(LoggerQuery query) { logger_query_ = std::move(query); }
+
+    [[nodiscard]] bool has_taken_over() const { return taken_over_; }
+    [[nodiscard]] std::size_t shadowed_connections() const { return conns_.size(); }
+    [[nodiscard]] net::Ipv4Address current_primary() const { return current_primary_; }
+    // Non-null after takeover: this node's ST-TCP primary engine, serving
+    // the backups ranked below it.
+    [[nodiscard]] SttcpPrimary* promoted() const { return promoted_.get(); }
+
+    // Manual takeover entry point (tests; and the /proc-flag analogue of the
+    // paper's §5 prototype).
+    void take_over();
+
+    struct Stats {
+        std::uint64_t acks_sent = 0;
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t heartbeats_received = 0;
+        std::uint64_t control_messages_received = 0;
+        std::uint64_t gaps_detected = 0;
+        std::uint64_t missing_bytes_requested = 0;
+        std::uint64_t missing_bytes_recovered = 0;
+        std::uint64_t tap_segments_observed = 0;
+        std::uint64_t failovers = 0;
+        std::uint64_t logger_recoveries = 0;
+        std::uint64_t logger_bytes_recovered = 0;
+        std::uint64_t late_joins = 0;
+        std::uint64_t rehomings = 0;  // switched to a promoted peer backup
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const tcp::UdpSocket::Stats& control_channel_stats() const {
+        return control_->stats();
+    }
+
+private:
+    struct Shadow {
+        std::shared_ptr<tcp::TcpConnection> conn;
+        util::Seq32 last_byte_acked;     // to the primary, over the control channel
+        bool acked_once = false;
+        std::uint32_t requested_through = 0;  // raw seq end of last MissingReq
+        bool has_requested = false;
+        // Highest client-byte ack observed from the primary (tap): evidence
+        // of what the client can never retransmit.
+        util::Seq32 primary_acked;
+        bool primary_acked_valid = false;
+    };
+
+    // A member of the replica group ranked above this node.
+    struct Senior {
+        net::Ipv4Address ip;
+        std::unique_ptr<FailureDetector> detector;
+        bool alive = true;
+    };
+
+    void on_control(util::ByteView data, net::Ipv4Address src, std::uint16_t src_port);
+    void on_tap(const net::TcpSegment& seg, net::Ipv4Address src, net::Ipv4Address dst);
+    void on_missing_reply(const ControlMessage& msg);
+    bool on_orphan_segment(const net::TcpSegment& seg, net::Ipv4Address src,
+                           net::Ipv4Address dst);
+    void on_state_reply(const ControlMessage& msg);
+    void maybe_ack(Shadow& shadow, bool force);
+    void send_heartbeat();
+    void schedule_heartbeat();
+    void schedule_sync();
+    void on_senior_suspected(net::Ipv4Address ip);
+    void evaluate_succession();
+    void promote();
+    void recover_from_logger(const ConnId& id, Shadow& shadow);
+    [[nodiscard]] Senior* find_senior(net::Ipv4Address ip);
+    [[nodiscard]] ConnId conn_id_of(const tcp::TcpConnection& conn) const;
+
+    tcp::HostStack& stack_;
+    Options options_;
+    std::shared_ptr<tcp::UdpSocket> control_;
+    std::map<ConnId, Shadow> conns_;
+    std::map<std::uint16_t, std::weak_ptr<tcp::TcpListener>> listeners_;
+    std::map<ConnId, sim::TimePoint> pending_joins_;  // StateReq in flight
+    std::vector<Senior> seniors_;
+    net::Ipv4Address current_primary_;
+    std::unique_ptr<SttcpPrimary> promoted_;
+    Fencer fencer_;
+    FailoverCallback on_failover_;
+    LoggerQuery logger_query_;
+    bool taken_over_ = false;
+    bool started_ = false;
+    std::uint32_t hb_counter_ = 0;
+    sim::EventId hb_timer_ = sim::kInvalidEventId;
+    sim::EventId sync_timer_ = sim::kInvalidEventId;
+    sim::TimePoint first_suspected_at_{};
+    bool suspicion_recorded_ = false;
+    Stats stats_;
+};
+
+} // namespace sttcp::core

@@ -1,0 +1,42 @@
+// ST-TCP configuration (paper §4).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace sttcp::core {
+
+struct SttcpConfig {
+    // Heartbeat interval (paper §6 sweeps 50 ms .. 5 s).
+    sim::Duration hb_interval = sim::milliseconds{50};
+    // Consecutive missed heartbeats before suspecting the peer (paper §6.2:
+    // "the backup concluded that the primary has crashed after missing three
+    // consecutive HB from the primary").
+    int hb_miss_threshold = 3;
+
+    // Backup acknowledgment strategy (paper §4.3): ack when at least
+    // `ack_threshold_bytes` new in-order bytes arrived since the last ack
+    // (X, default 3/4 of the second buffer), or when `sync_time` elapsed.
+    // 0 means "derive as 3/4 of second_buffer_bytes".
+    std::size_t ack_threshold_bytes = 0;
+    sim::Duration sync_time = sim::milliseconds{50};
+
+    // Size of the primary's second receive buffer (paper §4.2: "we double
+    // the space allocated for the receive buffer" — so this defaults to the
+    // TCP receive buffer size; 0 means "same as tcp recv_buffer_size").
+    std::size_t second_buffer_bytes = 0;
+
+    // UDP port of the primary/backup control channel.
+    std::uint16_t control_port = 5700;
+
+    [[nodiscard]] std::size_t effective_second_buffer(std::size_t recv_buffer) const {
+        return second_buffer_bytes ? second_buffer_bytes : recv_buffer;
+    }
+    [[nodiscard]] std::size_t effective_ack_threshold(std::size_t recv_buffer) const {
+        return ack_threshold_bytes ? ack_threshold_bytes
+                                   : effective_second_buffer(recv_buffer) * 3 / 4;
+    }
+};
+
+} // namespace sttcp::core

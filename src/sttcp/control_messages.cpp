@@ -1,0 +1,50 @@
+#include "sttcp/control_messages.hpp"
+
+namespace sttcp::core {
+
+namespace {
+constexpr std::uint8_t kMagic = 0x5C;  // guards against stray datagrams
+} // namespace
+
+util::Bytes ControlMessage::serialize() const {
+    util::Bytes out;
+    out.reserve(24 + payload.size());
+    util::WireWriter w{out};
+    w.u8(kMagic);
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u32(conn.server_ip.value());
+    w.u16(conn.server_port);
+    w.u32(conn.client_ip.value());
+    w.u16(conn.client_port);
+    w.u32(seq.raw());
+    w.u32(seq_end.raw());
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+    w.bytes(payload);
+    return out;
+}
+
+std::optional<ControlMessage> ControlMessage::parse(util::ByteView raw) {
+    try {
+        util::WireReader r{raw};
+        if (r.u8() != kMagic) return std::nullopt;
+        ControlMessage m;
+        m.type = static_cast<ControlType>(r.u8());
+        if (m.type < ControlType::kHeartbeat || m.type > ControlType::kStateReply)
+            return std::nullopt;
+        m.conn.server_ip = net::Ipv4Address{r.u32()};
+        m.conn.server_port = r.u16();
+        m.conn.client_ip = net::Ipv4Address{r.u32()};
+        m.conn.client_port = r.u16();
+        m.seq = util::Seq32{r.u32()};
+        m.seq_end = util::Seq32{r.u32()};
+        std::uint16_t len = r.u16();
+        if (r.remaining() < len) return std::nullopt;
+        auto body = r.bytes(len);
+        m.payload.assign(body.begin(), body.end());
+        return m;
+    } catch (const util::WireError&) {
+        return std::nullopt;
+    }
+}
+
+} // namespace sttcp::core

@@ -1,0 +1,88 @@
+// Wire protocol of the primary/backup UDP control channel (paper §4.2–4.4).
+//
+// Four message kinds flow on this channel:
+//   kHeartbeat    — liveness, both directions;
+//   kBackupAck    — backup -> primary: "I have contiguously received the
+//                   client byte stream up to seq" (NextByteExpected-1);
+//                   doubles as a backup heartbeat;
+//   kMissingReq   — backup -> primary: "re-send client bytes [begin,end) of
+//                   this connection that my tap lost";
+//   kMissingReply — primary -> backup: the requested bytes.
+//
+// Connections are identified by the full 4-tuple from the server's
+// perspective, so one channel serves any number of shadowed connections.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "util/seq32.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::core {
+
+enum class ControlType : std::uint8_t {
+    kHeartbeat = 1,
+    kBackupAck = 2,
+    kMissingReq = 3,
+    kMissingReply = 4,
+    // Late-join support: the backup saw traffic for a connection it never
+    // shadowed (its tap lost the handshake). It asks the primary for the
+    // connection's anchors and replays the retained client stream.
+    kStateReq = 5,
+    kStateReply = 6,
+};
+
+// Payload of kStateReply.
+struct ConnState {
+    util::Seq32 first_available_seq;  // earliest client byte still held
+    util::Seq32 rcv_nxt;              // primary's NextByteExpected
+    util::Seq32 iss;                  // primary's initial send sequence
+};
+
+struct ConnId {
+    net::Ipv4Address server_ip;  // the virtual service IP
+    std::uint16_t server_port = 0;
+    net::Ipv4Address client_ip;
+    std::uint16_t client_port = 0;
+
+    friend bool operator==(const ConnId&, const ConnId&) = default;
+    friend auto operator<=>(const ConnId&, const ConnId&) = default;
+};
+
+struct ControlMessage {
+    ControlType type = ControlType::kHeartbeat;
+    // kHeartbeat: monotone sender counter in `seq.raw()` (diagnostics only).
+    // kBackupAck: `seq` = last in-order byte received (NextByteExpected-1).
+    // kMissingReq: bytes [seq, seq_end) requested.
+    // kMissingReply: payload bytes starting at `seq`.
+    // kStateReply: seq = first_available_seq, seq_end = rcv_nxt,
+    //              payload = 4-byte big-endian iss.
+    ConnId conn;                 // unused for kHeartbeat
+    util::Seq32 seq;
+    util::Seq32 seq_end;
+    util::Bytes payload;
+
+    [[nodiscard]] static ControlMessage make_state_reply(const ConnId& id,
+                                                         const ConnState& state) {
+        ControlMessage m;
+        m.type = ControlType::kStateReply;
+        m.conn = id;
+        m.seq = state.first_available_seq;
+        m.seq_end = state.rcv_nxt;
+        util::WireWriter w{m.payload};
+        w.u32(state.iss.raw());
+        return m;
+    }
+    [[nodiscard]] std::optional<ConnState> state_reply() const {
+        if (type != ControlType::kStateReply || payload.size() != 4) return std::nullopt;
+        util::WireReader r{payload};
+        return ConnState{seq, seq_end, util::Seq32{r.u32()}};
+    }
+
+    [[nodiscard]] util::Bytes serialize() const;
+    [[nodiscard]] static std::optional<ControlMessage> parse(util::ByteView raw);
+};
+
+} // namespace sttcp::core

@@ -1,0 +1,87 @@
+// Heartbeat-based crash detector (paper §4.4).
+//
+// "The failure detection is based on a timeout mechanism. The backup
+// monitors heartbeat messages from the primary to detect the primary's
+// failure... the backup concluded that the primary has crashed after missing
+// three consecutive HB."
+//
+// The detector samples every `interval`: if no heartbeat has arrived within
+// `miss_threshold` intervals, the peer is *suspected*. Suspicion is not yet
+// failure — ST-TCP converts suspicion into certainty by fencing (power
+// switch) before acting, which is what makes the detector *perfect*.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.hpp"
+
+namespace sttcp::core {
+
+class FailureDetector {
+public:
+    FailureDetector(sim::Simulation& simulation, sim::Duration interval, int miss_threshold)
+        : sim_(simulation), interval_(interval), threshold_(miss_threshold) {}
+
+    ~FailureDetector() { stop(); }
+
+    FailureDetector(const FailureDetector&) = delete;
+    FailureDetector& operator=(const FailureDetector&) = delete;
+
+    void set_on_suspect(std::function<void()> cb) { on_suspect_ = std::move(cb); }
+
+    // Crash-semantics gate: a detector on a dead machine must not fire (its
+    // host "runs nothing"). Checked at every sample; when false the detector
+    // silently unschedules itself.
+    void set_alive_predicate(std::function<bool()> alive) { alive_ = std::move(alive); }
+
+    void start() {
+        stopped_ = false;
+        suspected_ = false;
+        last_heard_ = sim_.now();
+        schedule_check();
+    }
+
+    void stop() {
+        stopped_ = true;
+        sim_.cancel(check_event_);
+        check_event_ = sim::kInvalidEventId;
+    }
+
+    // Any control-channel message from the peer counts as liveness.
+    void on_heartbeat() {
+        if (stopped_ || suspected_) return;
+        last_heard_ = sim_.now();
+    }
+
+    [[nodiscard]] bool suspected() const { return suspected_; }
+    [[nodiscard]] sim::TimePoint suspected_at() const { return suspected_at_; }
+
+private:
+    void schedule_check() {
+        check_event_ = sim_.schedule_after(interval_, [this]() {
+            check_event_ = sim::kInvalidEventId;
+            if (stopped_ || suspected_) return;
+            if (alive_ && !alive_()) return;
+            if (sim_.now() - last_heard_ >= threshold_ * interval_) {
+                suspected_ = true;
+                suspected_at_ = sim_.now();
+                if (on_suspect_) on_suspect_();
+                return;
+            }
+            schedule_check();
+        });
+    }
+
+    sim::Simulation& sim_;
+    sim::Duration interval_;
+    int threshold_;
+    std::function<void()> on_suspect_;
+    std::function<bool()> alive_;
+    sim::TimePoint last_heard_{};
+    sim::TimePoint suspected_at_{};
+    bool suspected_ = false;
+    bool stopped_ = true;
+    sim::EventId check_event_ = sim::kInvalidEventId;
+};
+
+} // namespace sttcp::core

@@ -1,0 +1,277 @@
+#include "sttcp/primary.hpp"
+
+#include <algorithm>
+
+namespace sttcp::core {
+
+namespace {
+// Missing-segment replies are chunked to fit comfortably in one Ethernet
+// frame (UDP header + control header + payload < MTU).
+constexpr std::size_t kReplyChunk = 1200;
+} // namespace
+
+SttcpPrimary::SttcpPrimary(tcp::HostStack& stack, Options options)
+    : stack_(stack), options_(std::move(options)) {
+    control_ = stack_.udp_bind(options_.config.control_port);
+    control_->set_rx_handler(
+        [this](util::ByteView data, net::Ipv4Address src, std::uint16_t src_port) {
+            on_control(data, src, src_port);
+        });
+    for (net::Ipv4Address ip : options_.backup_ips) {
+        Backup b;
+        b.ip = ip;
+        b.detector = std::make_unique<FailureDetector>(
+            stack_.sim(), options_.config.hb_interval, options_.config.hb_miss_threshold);
+        b.detector->set_alive_predicate([this]() { return stack_.powered(); });
+        b.detector->set_on_suspect([this, ip]() {
+            if (!stack_.powered()) return;
+            on_backup_suspected(ip);
+        });
+        backups_.push_back(std::move(b));
+    }
+    if (backups_.empty()) ft_mode_ = false;
+}
+
+std::shared_ptr<tcp::TcpListener> SttcpPrimary::listen(std::uint16_t port) {
+    auto listener = stack_.tcp_listen(port);
+    adopt_listener(*listener);
+    return listener;
+}
+
+void SttcpPrimary::adopt_listener(tcp::TcpListener& listener) {
+    listener.set_connection_setup([this](tcp::TcpConnection& conn) {
+        if (!ft_mode_) return;  // all backups dead: plain TCP service
+        setup_connection(conn);
+    });
+}
+
+void SttcpPrimary::setup_connection(tcp::TcpConnection& conn) {
+    std::size_t recv_buf = conn.config().recv_buffer_size;
+    auto retention = std::make_unique<SecondReceiveBuffer>(
+        options_.config.effective_second_buffer(recv_buf));
+    conn.set_retention_hook(retention.get());
+    ConnId id = conn_id_of(conn);
+    conn.set_close_hook([this, id]() { conns_.erase(id); });
+    Shadowed shadowed;
+    shadowed.conn = conn.shared_from_this();
+    shadowed.retention = std::move(retention);
+    conns_[id] = std::move(shadowed);
+}
+
+void SttcpPrimary::adopt_connection(const std::shared_ptr<tcp::TcpConnection>& conn) {
+    if (!ft_mode_ || conn->state() == tcp::TcpState::kClosed) return;
+    if (conns_.count(conn_id_of(*conn))) return;
+    setup_connection(*conn);
+}
+
+void SttcpPrimary::start() {
+    started_ = true;
+    for (auto& b : backups_) b.detector->start();
+    schedule_heartbeat();
+}
+
+void SttcpPrimary::stop() {
+    started_ = false;
+    for (auto& b : backups_) b.detector->stop();
+    stack_.sim().cancel(hb_timer_);
+    hb_timer_ = sim::kInvalidEventId;
+}
+
+std::size_t SttcpPrimary::live_backups() const {
+    return static_cast<std::size_t>(
+        std::count_if(backups_.begin(), backups_.end(), [](const Backup& b) { return b.alive; }));
+}
+
+std::size_t SttcpPrimary::retained_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [_, shadowed] : conns_) total += shadowed.retention->size();
+    return total;
+}
+
+SttcpPrimary::Backup* SttcpPrimary::find_backup(net::Ipv4Address ip) {
+    for (auto& b : backups_) {
+        if (b.ip == ip) return &b;
+    }
+    return nullptr;
+}
+
+ConnId SttcpPrimary::conn_id_of(const tcp::TcpConnection& conn) const {
+    const tcp::FlowKey& key = conn.key();
+    return ConnId{key.local_ip, key.local_port, key.remote_ip, key.remote_port};
+}
+
+void SttcpPrimary::on_control(util::ByteView data, net::Ipv4Address src,
+                              std::uint16_t src_port) {
+    if (!stack_.powered() || !started_) return;
+    (void)src_port;
+    Backup* backup = find_backup(src);
+    if (backup == nullptr || !backup->alive) return;
+    auto msg = ControlMessage::parse(data);
+    if (!msg) return;
+    ++stats_.control_messages_received;
+    backup->detector->on_heartbeat();  // any traffic from a backup is liveness
+
+    switch (msg->type) {
+        case ControlType::kHeartbeat:
+            break;
+        case ControlType::kBackupAck:
+            on_backup_ack(src, *msg);
+            break;
+        case ControlType::kMissingReq:
+            serve_missing(src, *msg);
+            break;
+        case ControlType::kStateReq:
+            serve_state(src, *msg);
+            break;
+        case ControlType::kMissingReply:
+        case ControlType::kStateReply:
+            break;  // primary never receives these
+    }
+}
+
+void SttcpPrimary::on_backup_ack(net::Ipv4Address from, const ControlMessage& msg) {
+    ++stats_.backup_acks_received;
+    auto it = conns_.find(msg.conn);
+    if (it != conns_.end()) {
+        it->second.backup_acked[from] = msg.seq;
+        maybe_release(it->second);
+    }
+    // The response to a backup ack doubles as the primary's heartbeat
+    // (paper §4.3: "the acks sent by the backup server and its response
+    // sent back by the primary ... serve as heartbeat messages").
+    send_heartbeat();
+}
+
+void SttcpPrimary::maybe_release(Shadowed& shadowed) {
+    // A byte may be discarded only once EVERY live backup has acked it
+    // (with one backup this is the paper's LastByteAcked rule verbatim).
+    bool have_min = false;
+    util::Seq32 min_acked;
+    for (const auto& b : backups_) {
+        if (!b.alive) continue;
+        auto it = shadowed.backup_acked.find(b.ip);
+        if (it == shadowed.backup_acked.end()) return;  // not acked yet: hold
+        min_acked = have_min ? util::min(min_acked, it->second) : it->second;
+        have_min = true;
+    }
+    if (!have_min) return;
+    std::size_t released = shadowed.retention->release_through(min_acked);
+    if (released > 0) {
+        stats_.bytes_released += released;
+        // Freed second-buffer space may unblock application reads.
+        shadowed.conn->notify_readable();
+    }
+}
+
+void SttcpPrimary::serve_missing(net::Ipv4Address requester, const ControlMessage& msg) {
+    auto it = conns_.find(msg.conn);
+    if (it == conns_.end()) return;
+    ++stats_.missing_requests_served;
+    Shadowed& shadowed = it->second;
+
+    util::Seq32 seq = msg.seq;
+    while (seq < msg.seq_end) {
+        std::uint32_t remaining = msg.seq_end - seq;
+        std::size_t want = std::min<std::size_t>(remaining, kReplyChunk);
+        util::Bytes chunk(want);
+        // Bytes already read by the application sit in the second buffer;
+        // unread bytes are still in the TCP receive buffer.
+        std::size_t n = shadowed.retention->copy_from(seq, chunk);
+        if (n == 0) n = shadowed.conn->copy_received(seq, chunk);
+        if (n == 0) break;  // not available (already released) — backup must
+                            // fall back to the packet logger
+        chunk.resize(n);
+        ControlMessage reply;
+        reply.type = ControlType::kMissingReply;
+        reply.conn = msg.conn;
+        reply.seq = seq;
+        reply.payload = std::move(chunk);
+        control_->send_to(requester, options_.config.control_port, reply.serialize());
+        stats_.missing_bytes_sent += n;
+        seq += static_cast<std::uint32_t>(n);
+    }
+}
+
+void SttcpPrimary::serve_state(net::Ipv4Address requester, const ControlMessage& msg) {
+    auto it = conns_.find(msg.conn);
+    if (it == conns_.end()) return;
+    ++stats_.state_requests_served;
+    const Shadowed& shadowed = it->second;
+    ConnState state;
+    // Earliest client byte still replayable: the second buffer's front if it
+    // holds anything, else the first unread byte of the TCP receive buffer.
+    state.first_available_seq = shadowed.retention->size() > 0
+                                    ? shadowed.retention->front_seq()
+                                    : shadowed.conn->receive_buffer().read_seq();
+    state.rcv_nxt = shadowed.conn->rcv_nxt();
+    state.iss = shadowed.conn->iss();
+    control_->send_to(requester, options_.config.control_port,
+                      ControlMessage::make_state_reply(msg.conn, state).serialize());
+}
+
+void SttcpPrimary::send_heartbeat() {
+    ControlMessage hb;
+    hb.type = ControlType::kHeartbeat;
+    hb.seq = util::Seq32{hb_counter_++};
+    util::Bytes raw = hb.serialize();
+    for (const auto& b : backups_) {
+        if (!b.alive) continue;
+        control_->send_to(b.ip, options_.config.control_port, raw);
+    }
+    ++stats_.heartbeats_sent;
+}
+
+void SttcpPrimary::schedule_heartbeat() {
+    hb_timer_ = stack_.sim().schedule_after(options_.config.hb_interval, [this]() {
+        hb_timer_ = sim::kInvalidEventId;
+        if (!stack_.powered() || !started_ || !ft_mode_) return;
+        send_heartbeat();
+        schedule_heartbeat();
+    });
+}
+
+void SttcpPrimary::on_backup_suspected(net::Ipv4Address ip) {
+    // Suspicion -> certainty: fence the backup before dropping it from the
+    // ack quorum (paper §4.4: "we convert wrong suspicions into correct
+    // suspicions by switching off the power of a suspected computer").
+    if (fencer_) {
+        fencer_(ip, [this, ip]() { drop_backup(ip); });
+    } else {
+        drop_backup(ip);
+    }
+}
+
+void SttcpPrimary::drop_backup(net::Ipv4Address ip) {
+    Backup* backup = find_backup(ip);
+    if (backup == nullptr || !backup->alive) return;
+    backup->alive = false;
+    backup->detector->stop();
+    ++stats_.backups_declared_dead;
+    if (live_backups() == 0) {
+        enter_non_ft_mode();
+        return;
+    }
+    // The quorum shrank: bytes the dead backup was holding up may now be
+    // releasable.
+    for (auto& [_, shadowed] : conns_) maybe_release(shadowed);
+}
+
+void SttcpPrimary::enter_non_ft_mode() {
+    if (!ft_mode_) return;
+    ft_mode_ = false;
+    for (auto& b : backups_) b.detector->stop();
+    stack_.sim().cancel(hb_timer_);
+    hb_timer_ = sim::kInvalidEventId;
+    // Stop retaining: release everything and unhook, so the service behaves
+    // exactly like standard TCP from here on (paper §4.4: "on detecting
+    // failure of the backup, the primary transitions to non-fault-tolerant
+    // mode").
+    for (auto& [_, shadowed] : conns_) {
+        shadowed.retention->disable();
+        shadowed.conn->set_retention_hook(nullptr);
+        shadowed.conn->notify_readable();
+    }
+    if (on_backup_failed_) on_backup_failed_();
+}
+
+} // namespace sttcp::core

@@ -1,0 +1,131 @@
+// ST-TCP primary server engine (paper §4.2–§4.4, primary side).
+//
+// Wraps a listening service on the primary host's stack:
+//   * gives every accepted connection a second receive buffer
+//     (SecondReceiveBuffer) so received client bytes are only discarded once
+//     every live backup has acknowledged them ("one or more backup
+//     servers", §3 — retention releases at the minimum ack across backups);
+//   * runs the UDP control channel: consumes backup acks, answers
+//     missing-segment and state requests, sends heartbeats, and replies to
+//     every backup ack (the ack/response pair doubles as the heartbeat
+//     exchange, §4.3);
+//   * monitors each backup with a FailureDetector; a dead backup is fenced
+//     and dropped from the ack quorum; when the last backup dies the
+//     service falls back to non-fault-tolerant mode (§4.4).
+//
+// A promoted backup (cascading failover) constructs one of these at
+// takeover and adopts its existing listeners and shadowed connections —
+// see SttcpBackup::take_over.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sttcp/config.hpp"
+#include "sttcp/control_messages.hpp"
+#include "sttcp/failure_detector.hpp"
+#include "sttcp/retention.hpp"
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::core {
+
+class SttcpPrimary {
+public:
+    struct Options {
+        SttcpConfig config;
+        net::Ipv4Address service_ip;  // SVI: where clients connect
+        // Backups in priority order (the first is next in line). Empty =
+        // start directly in non-fault-tolerant mode.
+        std::vector<net::Ipv4Address> backup_ips;
+    };
+
+    // Confirms the given peer is dead, then invokes the continuation
+    // (power-switch fencing; a no-op fencer makes the detector merely
+    // eventually-perfect).
+    using Fencer = std::function<void(net::Ipv4Address peer, std::function<void()> on_confirmed)>;
+
+    SttcpPrimary(tcp::HostStack& stack, Options options);
+
+    // Replaces stack.tcp_listen() for the fault-tolerant service.
+    std::shared_ptr<tcp::TcpListener> listen(std::uint16_t port);
+
+    // Promotion support: installs the ST-TCP connection_setup on an
+    // existing listener (keeping the application's accept handler), and
+    // starts retaining for an already-established connection.
+    void adopt_listener(tcp::TcpListener& listener);
+    void adopt_connection(const std::shared_ptr<tcp::TcpConnection>& conn);
+
+    // Starts heartbeats and backup monitoring.
+    void start();
+    void stop();
+
+    void set_fencer(Fencer fencer) { fencer_ = std::move(fencer); }
+    // Called when the primary gives up on the last backup.
+    void set_on_backup_failed(std::function<void()> cb) { on_backup_failed_ = std::move(cb); }
+
+    [[nodiscard]] bool fault_tolerant_mode() const { return ft_mode_; }
+    [[nodiscard]] std::size_t live_backups() const;
+    [[nodiscard]] std::size_t shadowed_connections() const { return conns_.size(); }
+    [[nodiscard]] std::size_t retained_bytes() const;
+
+    struct Stats {
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t backup_acks_received = 0;
+        std::uint64_t bytes_released = 0;
+        std::uint64_t missing_requests_served = 0;
+        std::uint64_t missing_bytes_sent = 0;
+        std::uint64_t state_requests_served = 0;
+        std::uint64_t control_messages_received = 0;
+        std::uint64_t backups_declared_dead = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    // Raw datagram/byte counters of the UDP control channel endpoint.
+    [[nodiscard]] const tcp::UdpSocket::Stats& control_channel_stats() const {
+        return control_->stats();
+    }
+
+private:
+    struct Shadowed {
+        std::shared_ptr<tcp::TcpConnection> conn;
+        std::unique_ptr<SecondReceiveBuffer> retention;
+        // Last byte each backup acknowledged for this connection; a live
+        // backup with no entry has acked nothing yet.
+        std::map<net::Ipv4Address, util::Seq32> backup_acked;
+    };
+
+    struct Backup {
+        net::Ipv4Address ip;
+        std::unique_ptr<FailureDetector> detector;
+        bool alive = true;
+    };
+
+    void setup_connection(tcp::TcpConnection& conn);
+    void on_control(util::ByteView data, net::Ipv4Address src, std::uint16_t src_port);
+    void on_backup_ack(net::Ipv4Address from, const ControlMessage& msg);
+    void maybe_release(Shadowed& shadowed);
+    void serve_missing(net::Ipv4Address requester, const ControlMessage& msg);
+    void serve_state(net::Ipv4Address requester, const ControlMessage& msg);
+    void send_heartbeat();
+    void schedule_heartbeat();
+    void on_backup_suspected(net::Ipv4Address ip);
+    void drop_backup(net::Ipv4Address ip);
+    void enter_non_ft_mode();
+    [[nodiscard]] Backup* find_backup(net::Ipv4Address ip);
+    [[nodiscard]] ConnId conn_id_of(const tcp::TcpConnection& conn) const;
+
+    tcp::HostStack& stack_;
+    Options options_;
+    std::shared_ptr<tcp::UdpSocket> control_;
+    std::map<ConnId, Shadowed> conns_;
+    std::vector<Backup> backups_;
+    Fencer fencer_;
+    std::function<void()> on_backup_failed_;
+    bool ft_mode_ = true;
+    bool started_ = false;
+    std::uint32_t hb_counter_ = 0;
+    sim::EventId hb_timer_ = sim::kInvalidEventId;
+    Stats stats_;
+};
+
+} // namespace sttcp::core

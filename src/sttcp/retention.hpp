@@ -1,0 +1,81 @@
+// The ST-TCP primary's second receive buffer (paper §4.2, Figure 4b).
+//
+// Standard TCP discards a received byte once the application reads it.
+// ST-TCP must additionally hold it until the backup has acknowledged it over
+// the control channel, because a byte the primary acked to the client can
+// never be recovered from the client again. Bytes read-but-not-backup-acked
+// live here:
+//
+//      [ LastByteAcked+1 ............ LastByteRead ]   (this buffer)
+//      [ LastByteRead+1 ....... NextByteExpected-1 ]   (first/TCP buffer)
+//
+// Implements tcp::RetentionHook: max_consumable() throttles application
+// reads when this buffer is full (the paper's "behavior differs if the
+// second buffer fills up"), and on_consumed() captures bytes as they leave
+// the first buffer.
+#pragma once
+
+#include <cstdint>
+
+#include "tcp/tcp_connection.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/seq32.hpp"
+
+namespace sttcp::core {
+
+class SecondReceiveBuffer final : public tcp::RetentionHook {
+public:
+    explicit SecondReceiveBuffer(std::size_t capacity) : ring_(capacity) {}
+
+    // -- RetentionHook ------------------------------------------------------
+    [[nodiscard]] std::size_t max_consumable() override {
+        return enabled_ ? ring_.free_space() : SIZE_MAX;
+    }
+    void on_consumed(util::Seq32 seq, util::ByteView data) override {
+        if (!enabled_) return;
+        if (ring_.empty()) front_seq_ = seq;
+        std::size_t n = ring_.write(data);
+        // The connection asked max_consumable() first, so it all fits.
+        (void)n;
+    }
+
+    // -- control-channel side -----------------------------------------------
+    // Backup acknowledged bytes up to and including `last_byte_acked`.
+    // Returns the number of bytes released.
+    std::size_t release_through(util::Seq32 last_byte_acked) {
+        if (ring_.empty()) return 0;
+        util::Seq32 release_end = last_byte_acked + 1;  // one past last acked
+        if (release_end <= front_seq_) return 0;
+        std::uint32_t n = release_end - front_seq_;
+        std::size_t released = ring_.consume(std::min<std::size_t>(n, ring_.size()));
+        front_seq_ += static_cast<std::uint32_t>(released);
+        return released;
+    }
+
+    // Copies retained bytes starting at `seq` (for missing-segment replies).
+    std::size_t copy_from(util::Seq32 seq, std::span<std::uint8_t> out) const {
+        if (ring_.empty() || seq < front_seq_) return 0;
+        std::uint32_t offset = seq - front_seq_;
+        if (offset >= ring_.size()) return 0;
+        return ring_.peek(out, offset);
+    }
+
+    // Switching to non-fault-tolerant mode (backup died): stop retaining and
+    // drop everything held.
+    void disable() {
+        enabled_ = false;
+        ring_.clear();
+    }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    [[nodiscard]] std::size_t size() const { return ring_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+    [[nodiscard]] util::Seq32 front_seq() const { return front_seq_; }
+
+private:
+    util::RingBuffer ring_;
+    util::Seq32 front_seq_;  // wire seq of ring front (LastByteAcked+1)
+    bool enabled_ = true;
+};
+
+} // namespace sttcp::core

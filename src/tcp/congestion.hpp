@@ -1,0 +1,78 @@
+// TCP Reno congestion control (RFC 5681): slow start, congestion avoidance,
+// fast retransmit, fast recovery — the algorithms in the Linux 2.2 stack the
+// paper modified.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sttcp::tcp {
+
+class RenoCongestion {
+public:
+    explicit RenoCongestion(std::uint32_t mss) : mss_(mss) {
+        cwnd_ = 2 * mss_;  // RFC 2581 initial window
+        ssthresh_ = 0xffffffff;
+    }
+
+    [[nodiscard]] std::uint32_t cwnd() const { return cwnd_; }
+    [[nodiscard]] std::uint32_t ssthresh() const { return ssthresh_; }
+    [[nodiscard]] bool in_fast_recovery() const { return in_fast_recovery_; }
+    [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+    // New cumulative ACK advancing snd_una by `acked` bytes.
+    void on_ack(std::uint32_t acked, std::uint32_t flight_size) {
+        if (in_fast_recovery_) {
+            // Full ACK handling is done by exit_fast_recovery(); partial
+            // ACKs deflate then re-inflate (NewReno-lite).
+            cwnd_ = std::max(ssthresh_, mss_);
+            return;
+        }
+        if (in_slow_start()) {
+            cwnd_ += std::min(acked, mss_);
+        } else {
+            // Congestion avoidance: ~1 MSS per RTT.
+            std::uint32_t inc = std::max<std::uint32_t>(1, mss_ * mss_ / std::max(cwnd_, 1u));
+            cwnd_ += inc;
+        }
+        (void)flight_size;
+    }
+
+    // Third duplicate ACK: halve and enter fast recovery.
+    void on_fast_retransmit(std::uint32_t flight_size) {
+        ssthresh_ = std::max(flight_size / 2, 2 * mss_);
+        cwnd_ = ssthresh_ + 3 * mss_;
+        in_fast_recovery_ = true;
+    }
+
+    // Further duplicate ACKs inflate the window by one MSS each.
+    void on_dup_ack_in_recovery() {
+        if (in_fast_recovery_) cwnd_ += mss_;
+    }
+
+    void exit_fast_recovery() {
+        if (!in_fast_recovery_) return;
+        in_fast_recovery_ = false;
+        cwnd_ = ssthresh_;
+    }
+
+    // Retransmission timeout: multiplicative decrease to 1 MSS.
+    void on_timeout(std::uint32_t flight_size) {
+        ssthresh_ = std::max(flight_size / 2, 2 * mss_);
+        cwnd_ = mss_;
+        in_fast_recovery_ = false;
+    }
+
+    // Slow-start restart after an idle period (RFC 5681 §4.1).
+    void on_idle_restart() {
+        cwnd_ = std::min(cwnd_, 2 * mss_);
+    }
+
+private:
+    std::uint32_t mss_;
+    std::uint32_t cwnd_;
+    std::uint32_t ssthresh_;
+    bool in_fast_recovery_ = false;
+};
+
+} // namespace sttcp::tcp

@@ -1,0 +1,408 @@
+#include "tcp/host_stack.hpp"
+
+#include <cassert>
+
+namespace sttcp::tcp {
+
+namespace {
+constexpr int kArpMaxAttempts = 3;
+constexpr sim::Duration kArpRetryInterval = sim::seconds{1};
+} // namespace
+
+// ------------------------------------------------------------------- UDP
+
+void UdpSocket::send_to(net::Ipv4Address dst_ip, std::uint16_t dst_port, util::ByteView data) {
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += data.size();
+    net::UdpDatagram dgram;
+    dgram.src_port = port_;
+    dgram.dst_port = dst_port;
+    dgram.payload.assign(data.begin(), data.end());
+    stack_.udp_output(net::Ipv4Address{}, dst_ip, std::move(dgram));
+}
+
+// -------------------------------------------------------------- HostStack
+
+HostStack::HostStack(sim::Simulation& simulation, net::Node& node, TcpConfig tcp_config)
+    : sim_(simulation), node_(node), tcp_config_(tcp_config) {}
+
+std::size_t HostStack::add_interface(net::Nic& nic, net::Ipv4Address ip, int prefix_len) {
+    std::size_t index = interfaces_.size();
+    interfaces_.push_back(Interface{&nic, ip, prefix_len, {}});
+    nic.set_rx_handler([this, index](const net::EthernetFrame& f) { on_frame(index, f); });
+    return index;
+}
+
+void HostStack::add_ip_alias(std::size_t iface_index, net::Ipv4Address ip) {
+    interfaces_.at(iface_index).aliases.push_back(ip);
+}
+
+void HostStack::remove_ip_alias(net::Ipv4Address ip) {
+    for (auto& iface : interfaces_) {
+        std::erase(iface.aliases, ip);
+    }
+}
+
+bool HostStack::is_local_ip(net::Ipv4Address ip) const {
+    for (const auto& iface : interfaces_) {
+        if (iface.ip == ip) return true;
+        for (auto alias : iface.aliases)
+            if (alias == ip) return true;
+    }
+    return false;
+}
+
+void HostStack::send_gratuitous_arp(net::Ipv4Address ip) {
+    for (auto& iface : interfaces_) {
+        net::ArpMessage msg;
+        msg.op = net::ArpOp::kReply;
+        msg.sender_mac = iface.nic->mac();
+        msg.sender_ip = ip;
+        msg.target_mac = net::MacAddress::broadcast();
+        msg.target_ip = ip;
+        net::EthernetFrame frame;
+        frame.dst = net::MacAddress::broadcast();
+        frame.src = iface.nic->mac();
+        frame.type = net::EtherType::kArp;
+        frame.payload = msg.serialize();
+        iface.nic->send(std::move(frame));
+        ++stats_.arp_replies_sent;
+    }
+}
+
+// ------------------------------------------------------------ frame input
+
+void HostStack::on_frame(std::size_t iface_index, const net::EthernetFrame& frame) {
+    if (!powered()) return;
+    switch (frame.type) {
+        case net::EtherType::kArp:
+            on_arp(iface_index, frame);
+            break;
+        case net::EtherType::kIpv4:
+            on_ip(iface_index, frame);
+            break;
+    }
+}
+
+void HostStack::on_arp(std::size_t iface_index, const net::EthernetFrame& frame) {
+    net::ArpMessage msg;
+    try {
+        msg = net::ArpMessage::parse(frame.payload);
+    } catch (const util::WireError&) {
+        ++stats_.parse_errors;
+        return;
+    }
+    Interface& iface = interfaces_[iface_index];
+
+    // Learn the sender's mapping opportunistically (requests and replies).
+    if (!msg.sender_ip.is_unspecified()) arp_table_.learn(msg.sender_ip, msg.sender_mac);
+
+    if (msg.op == net::ArpOp::kRequest && is_local_ip(msg.target_ip) &&
+        arp_suppressed_.count(msg.target_ip) == 0) {
+        net::ArpMessage reply;
+        reply.op = net::ArpOp::kReply;
+        reply.sender_mac = iface.nic->mac();
+        reply.sender_ip = msg.target_ip;
+        reply.target_mac = msg.sender_mac;
+        reply.target_ip = msg.sender_ip;
+        net::EthernetFrame out;
+        out.dst = msg.sender_mac;
+        out.src = iface.nic->mac();
+        out.type = net::EtherType::kArp;
+        out.payload = reply.serialize();
+        iface.nic->send(std::move(out));
+        ++stats_.arp_replies_sent;
+    }
+
+    // Flush packets that were waiting on this resolution.
+    auto it = arp_pending_.find(msg.sender_ip);
+    if (it != arp_pending_.end()) {
+        auto pending = std::move(it->second);
+        arp_pending_.erase(it);
+        for (auto& p : pending) ip_output(std::move(p.packet));
+    }
+}
+
+void HostStack::on_ip(std::size_t iface_index, const net::EthernetFrame& frame) {
+    (void)iface_index;
+    net::Ipv4Packet packet;
+    try {
+        packet = net::Ipv4Packet::parse(frame.payload);
+    } catch (const util::WireError&) {
+        ++stats_.parse_errors;
+        return;
+    }
+    ++stats_.ip_in;
+
+    if (is_local_ip(packet.dst)) {
+        switch (packet.proto) {
+            case net::IpProto::kTcp:
+                deliver_tcp(packet);
+                break;
+            case net::IpProto::kUdp:
+                deliver_udp(packet);
+                break;
+            default:
+                break;
+        }
+        return;
+    }
+
+    // Not addressed to us: the ST-TCP backup taps primary->client TCP
+    // traffic here (hub flooding / multicast MAC / mirror port got it to
+    // our NIC).
+    if (tcp_tap_ && packet.proto == net::IpProto::kTcp) {
+        try {
+            net::TcpSegment seg = net::TcpSegment::parse(packet.payload, packet.src, packet.dst);
+            tcp_tap_(seg, packet.src, packet.dst);
+        } catch (const util::WireError&) {
+            ++stats_.parse_errors;
+        }
+    }
+
+    if (ip_forwarding_) {
+        forward_ip(std::move(packet));
+    } else {
+        ++stats_.ip_dropped_not_local;
+    }
+}
+
+void HostStack::deliver_tcp(const net::Ipv4Packet& ip) {
+    net::TcpSegment seg;
+    try {
+        seg = net::TcpSegment::parse(ip.payload, ip.src, ip.dst);
+    } catch (const util::WireError&) {
+        ++stats_.parse_errors;
+        return;
+    }
+
+    FlowKey key{ip.dst, seg.dst_port, ip.src, seg.src_port};
+    if (auto conn = find_connection(key)) {
+        conn->on_segment(seg);
+        return;
+    }
+
+    // New connection?
+    if (seg.flags.syn && !seg.flags.ack && !seg.flags.rst) {
+        auto lit = listeners_.find(seg.dst_port);
+        if (lit != listeners_.end()) {
+            if (auto listener = lit->second.lock()) {
+                auto conn = std::make_shared<TcpConnection>(*this, key, tcp_config_);
+                if (listener->setup_) listener->setup_(*conn);
+                // Accept handler fires at establishment.
+                auto weak_conn = std::weak_ptr<TcpConnection>(conn);
+                TcpConnection::Callbacks cbs;
+                cbs.on_established = [listener, weak_conn]() {
+                    if (auto c = weak_conn.lock()) {
+                        if (listener->accept_) listener->accept_(c);
+                    }
+                };
+                conn->set_callbacks(std::move(cbs));
+                connections_.emplace(key, conn);
+                conn->open_passive(seg);
+                return;
+            }
+            listeners_.erase(lit);
+        }
+    }
+
+    // Unclaimed segment: offer it to the orphan handler (ST-TCP late-join)
+    // before answering with RST (RFC 793).
+    if (orphan_tcp_ && orphan_tcp_(seg, ip.src, ip.dst)) return;
+    if (!seg.flags.rst) send_rst_for(seg, ip.dst, ip.src);
+}
+
+void HostStack::deliver_udp(const net::Ipv4Packet& ip) {
+    net::UdpDatagram dgram;
+    try {
+        dgram = net::UdpDatagram::parse(ip.payload, ip.src, ip.dst);
+    } catch (const util::WireError&) {
+        ++stats_.parse_errors;
+        return;
+    }
+    auto it = udp_sockets_.find(dgram.dst_port);
+    if (it == udp_sockets_.end()) return;
+    auto sock = it->second.lock();
+    if (!sock) {
+        udp_sockets_.erase(it);
+        return;
+    }
+    ++sock->stats_.datagrams_received;
+    sock->stats_.bytes_received += dgram.payload.size();
+    if (sock->rx_) sock->rx_(dgram.payload, ip.src, dgram.src_port);
+}
+
+void HostStack::send_rst_for(const net::TcpSegment& seg, net::Ipv4Address src_ip,
+                             net::Ipv4Address dst_ip) {
+    net::TcpSegment rst;
+    rst.src_port = seg.dst_port;
+    rst.dst_port = seg.src_port;
+    rst.flags.rst = true;
+    if (seg.flags.ack) {
+        rst.seq = seg.ack;
+    } else {
+        rst.flags.ack = true;
+        rst.ack = seg.seq + seg.seq_len();
+    }
+    ++stats_.tcp_rst_sent;
+    FlowKey key{src_ip, seg.dst_port, dst_ip, seg.src_port};
+    tcp_output(key, std::move(rst));
+}
+
+// ----------------------------------------------------------------- sockets
+
+std::shared_ptr<TcpListener> HostStack::tcp_listen(std::uint16_t port) {
+    auto listener = std::make_shared<TcpListener>(*this, port);
+    listeners_[port] = listener;
+    return listener;
+}
+
+std::shared_ptr<TcpConnection> HostStack::tcp_connect(net::Ipv4Address remote_ip,
+                                                      std::uint16_t remote_port,
+                                                      std::optional<net::Ipv4Address> local_ip) {
+    net::Ipv4Address src = local_ip.value_or(
+        interfaces_.empty() ? net::Ipv4Address{} : interfaces_.front().ip);
+    FlowKey key{src, next_ephemeral_port_++, remote_ip, remote_port};
+    auto conn = std::make_shared<TcpConnection>(*this, key, tcp_config_);
+    connections_.emplace(key, conn);
+    conn->open_active();
+    return conn;
+}
+
+std::shared_ptr<TcpConnection> HostStack::find_connection(const FlowKey& key) const {
+    auto it = connections_.find(key);
+    return it == connections_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<TcpConnection>> HostStack::connections() const {
+    std::vector<std::shared_ptr<TcpConnection>> out;
+    out.reserve(connections_.size());
+    for (auto& [_, conn] : connections_) out.push_back(conn);
+    return out;
+}
+
+void HostStack::register_connection(std::shared_ptr<TcpConnection> conn) {
+    connections_[conn->key()] = std::move(conn);
+}
+
+void HostStack::connection_closed(TcpConnection& conn) { connections_.erase(conn.key()); }
+
+std::shared_ptr<UdpSocket> HostStack::udp_bind(std::uint16_t port) {
+    auto sock = std::make_shared<UdpSocket>(*this, port);
+    udp_sockets_[port] = sock;
+    return sock;
+}
+
+util::Seq32 HostStack::generate_isn() {
+    if (isn_generator_) return isn_generator_();
+    return util::Seq32{static_cast<std::uint32_t>(sim_.rng().next_u64())};
+}
+
+// ------------------------------------------------------------------ output
+
+void HostStack::tcp_output(const FlowKey& key, net::TcpSegment&& seg) {
+    if (!powered()) return;
+    if (egress_filter_ && !egress_filter_(seg, key.local_ip, key.remote_ip)) {
+        ++stats_.tcp_segments_suppressed;
+        return;
+    }
+    net::Ipv4Packet packet;
+    packet.proto = net::IpProto::kTcp;
+    packet.src = key.local_ip;
+    packet.dst = key.remote_ip;
+    packet.identification = next_ip_id_++;
+    packet.payload = seg.serialize(key.local_ip, key.remote_ip);
+    ip_output(std::move(packet));
+}
+
+void HostStack::udp_output(net::Ipv4Address src, net::Ipv4Address dst,
+                           net::UdpDatagram&& dgram) {
+    if (!powered()) return;
+    net::Ipv4Packet packet;
+    packet.proto = net::IpProto::kUdp;
+    packet.src = src.is_unspecified()
+                     ? (interfaces_.empty() ? net::Ipv4Address{} : interfaces_.front().ip)
+                     : src;
+    packet.dst = dst;
+    packet.identification = next_ip_id_++;
+    packet.payload = dgram.serialize(packet.src, packet.dst);
+    ip_output(std::move(packet));
+}
+
+std::optional<std::pair<std::size_t, net::Ipv4Address>> HostStack::route(
+    net::Ipv4Address dst) const {
+    for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+        if (dst.in_subnet(interfaces_[i].ip, interfaces_[i].prefix_len)) return {{i, dst}};
+    }
+    if (default_gateway_) {
+        for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+            if (default_gateway_->in_subnet(interfaces_[i].ip, interfaces_[i].prefix_len))
+                return {{i, *default_gateway_}};
+        }
+    }
+    return std::nullopt;
+}
+
+void HostStack::ip_output(net::Ipv4Packet packet) {
+    auto r = route(packet.dst);
+    if (!r) return;  // no route to host
+    ++stats_.ip_out;
+    transmit_on(r->first, r->second, std::move(packet));
+}
+
+void HostStack::forward_ip(net::Ipv4Packet packet) {
+    if (packet.ttl <= 1) return;
+    packet.ttl -= 1;
+    auto r = route(packet.dst);
+    if (!r) return;
+    ++stats_.ip_forwarded;
+    transmit_on(r->first, r->second, std::move(packet));
+}
+
+void HostStack::transmit_on(std::size_t iface_index, net::Ipv4Address next_hop,
+                            net::Ipv4Packet packet) {
+    Interface& iface = interfaces_[iface_index];
+    auto mac = arp_table_.lookup(next_hop);
+    if (!mac) {
+        auto& queue = arp_pending_[next_hop];
+        if (queue.size() < 64) queue.push_back({std::move(packet), 0});
+        if (queue.size() == 1) send_arp_request(iface_index, next_hop, 1);
+        return;
+    }
+    net::EthernetFrame frame;
+    frame.dst = *mac;
+    frame.src = iface.nic->mac();
+    frame.type = net::EtherType::kIpv4;
+    frame.payload = packet.serialize();
+    iface.nic->send(std::move(frame));
+}
+
+void HostStack::send_arp_request(std::size_t iface_index, net::Ipv4Address target,
+                                 int attempt) {
+    Interface& iface = interfaces_[iface_index];
+    net::ArpMessage msg;
+    msg.op = net::ArpOp::kRequest;
+    msg.sender_mac = iface.nic->mac();
+    msg.sender_ip = iface.ip;
+    msg.target_ip = target;
+    net::EthernetFrame frame;
+    frame.dst = net::MacAddress::broadcast();
+    frame.src = iface.nic->mac();
+    frame.type = net::EtherType::kArp;
+    frame.payload = msg.serialize();
+    iface.nic->send(std::move(frame));
+    ++stats_.arp_requests_sent;
+
+    sim_.schedule_after(kArpRetryInterval, [this, iface_index, target, attempt]() {
+        if (!powered()) return;
+        auto it = arp_pending_.find(target);
+        if (it == arp_pending_.end()) return;  // resolved meanwhile
+        if (attempt >= kArpMaxAttempts) {
+            arp_pending_.erase(it);  // unreachable: drop queued packets
+            return;
+        }
+        send_arp_request(iface_index, target, attempt + 1);
+    });
+}
+
+} // namespace sttcp::tcp

@@ -1,0 +1,235 @@
+// Per-host TCP/IP protocol stack.
+//
+// Owns the ARP engine, IPv4 input/output (with optional forwarding for the
+// gateway role), UDP sockets, TCP listeners and connections. Binds to one or
+// more NICs. Two hooks make ST-TCP possible without forking the stack:
+//
+//   * tcp egress filter — the backup suppresses every outgoing TCP segment
+//     (and ARP replies for the service IP) during failure-free operation
+//     (paper §4.1 step 2, §4.2: "all replies from the backup server to the
+//     client are dropped");
+//   * tcp tap — the backup observes segments that are *not addressed to it*
+//     (primary→client traffic flooded to it by the hub / multicast MAC /
+//     mirror port) to detect tap gaps and verify primary behaviour.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/arp.hpp"
+#include "net/ipv4.hpp"
+#include "net/nic.hpp"
+#include "net/udp.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tcp/tcp_types.hpp"
+
+namespace sttcp::tcp {
+
+class HostStack;
+
+class UdpSocket {
+public:
+    using RxHandler = std::function<void(util::ByteView data, net::Ipv4Address src_ip,
+                                         std::uint16_t src_port)>;
+
+    UdpSocket(HostStack& stack, std::uint16_t port) : stack_(stack), port_(port) {}
+
+    void set_rx_handler(RxHandler handler) { rx_ = std::move(handler); }
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    void send_to(net::Ipv4Address dst_ip, std::uint16_t dst_port, util::ByteView data);
+
+    struct Stats {
+        std::uint64_t datagrams_sent = 0;
+        std::uint64_t datagrams_received = 0;
+        std::uint64_t bytes_sent = 0;
+        std::uint64_t bytes_received = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    friend class HostStack;
+    HostStack& stack_;
+    std::uint16_t port_;
+    RxHandler rx_;
+    Stats stats_;
+};
+
+class TcpListener {
+public:
+    using AcceptHandler = std::function<void(std::shared_ptr<TcpConnection>)>;
+    // Runs on every new connection *before* the SYN is processed; ST-TCP
+    // installs its per-connection hooks here.
+    using ConnectionSetup = std::function<void(TcpConnection&)>;
+
+    TcpListener(HostStack& stack, std::uint16_t port) : stack_(stack), port_(port) {}
+
+    void set_accept_handler(AcceptHandler handler) { accept_ = std::move(handler); }
+    void set_connection_setup(ConnectionSetup setup) { setup_ = std::move(setup); }
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    // Hands an externally constructed connection to the accept handler
+    // (ST-TCP late-join shadows enter the application this way).
+    void dispatch_accept(std::shared_ptr<TcpConnection> conn) {
+        if (accept_) accept_(std::move(conn));
+    }
+
+private:
+    friend class HostStack;
+    HostStack& stack_;
+    std::uint16_t port_;
+    AcceptHandler accept_;
+    ConnectionSetup setup_;
+};
+
+class HostStack {
+public:
+    HostStack(sim::Simulation& simulation, net::Node& node, TcpConfig tcp_config = {});
+
+    HostStack(const HostStack&) = delete;
+    HostStack& operator=(const HostStack&) = delete;
+
+    // ---- interface configuration ------------------------------------------
+    // Binds a NIC with a primary address; returns the interface index.
+    std::size_t add_interface(net::Nic& nic, net::Ipv4Address ip, int prefix_len);
+    // Additional local IP on an existing interface — the paper's VNIC: the
+    // virtual service IP (SVI) lives here on primary, backup and gateway.
+    void add_ip_alias(std::size_t iface_index, net::Ipv4Address ip);
+    void remove_ip_alias(net::Ipv4Address ip);
+    void set_default_gateway(net::Ipv4Address gw) { default_gateway_ = gw; }
+    void set_ip_forwarding(bool on) { ip_forwarding_ = on; }
+
+    [[nodiscard]] net::ArpTable& arp_table() { return arp_table_; }
+    [[nodiscard]] net::Node& node() { return node_; }
+    [[nodiscard]] sim::Simulation& sim() { return sim_; }
+    [[nodiscard]] const TcpConfig& tcp_config() const { return tcp_config_; }
+    [[nodiscard]] bool powered() const { return node_.powered(); }
+    [[nodiscard]] bool is_local_ip(net::Ipv4Address ip) const;
+
+    // Announce (ip -> our MAC) to the whole segment; used on IP takeover.
+    void send_gratuitous_arp(net::Ipv4Address ip);
+    // While an IP is suppressed, the stack will not answer ARP requests for
+    // it (the backup must not fight the primary over the service IP).
+    void suppress_arp_for(net::Ipv4Address ip) { arp_suppressed_.insert(ip); }
+    void unsuppress_arp_for(net::Ipv4Address ip) { arp_suppressed_.erase(ip); }
+
+    // ---- TCP ----------------------------------------------------------------
+    std::shared_ptr<TcpListener> tcp_listen(std::uint16_t port);
+    std::shared_ptr<TcpConnection> tcp_connect(net::Ipv4Address remote_ip,
+                                               std::uint16_t remote_port,
+                                               std::optional<net::Ipv4Address> local_ip = {});
+    [[nodiscard]] std::shared_ptr<TcpConnection> find_connection(const FlowKey& key) const;
+    [[nodiscard]] std::vector<std::shared_ptr<TcpConnection>> connections() const;
+
+    using TcpEgressFilter = std::function<bool(const net::TcpSegment&, net::Ipv4Address src,
+                                               net::Ipv4Address dst)>;
+    void set_tcp_egress_filter(TcpEgressFilter filter) { egress_filter_ = std::move(filter); }
+
+    using TcpTap = std::function<void(const net::TcpSegment&, net::Ipv4Address src,
+                                      net::Ipv4Address dst)>;
+    void set_tcp_tap(TcpTap tap) { tcp_tap_ = std::move(tap); }
+
+    // Called for TCP segments addressed to a local IP that match no
+    // connection and no listener SYN, *before* the stack answers with RST.
+    // Returning true claims the segment (the ST-TCP backup late-joins a
+    // shadow for flows whose handshake its tap missed).
+    using OrphanTcpHandler = std::function<bool(const net::TcpSegment&, net::Ipv4Address src,
+                                                net::Ipv4Address dst)>;
+    void set_orphan_tcp_handler(OrphanTcpHandler handler) {
+        orphan_tcp_ = std::move(handler);
+    }
+
+    // Register an already-constructed connection (ST-TCP late-join shadows).
+    void register_connection(std::shared_ptr<TcpConnection> conn);
+
+    // Overrides initial-sequence-number generation (tests: wraparound
+    // coverage and fully scripted handshakes). Default: random per RFC-ish.
+    void set_isn_generator(std::function<util::Seq32()> gen) {
+        isn_generator_ = std::move(gen);
+    }
+
+    // ---- UDP ----------------------------------------------------------------
+    std::shared_ptr<UdpSocket> udp_bind(std::uint16_t port);
+
+    // ---- internals used by protocol objects ---------------------------------
+    void tcp_output(const FlowKey& key, net::TcpSegment&& seg);
+    void udp_output(net::Ipv4Address src, net::Ipv4Address dst, net::UdpDatagram&& dgram);
+    void connection_closed(TcpConnection& conn);
+    [[nodiscard]] util::Seq32 generate_isn();
+    [[nodiscard]] util::Logger& logger() { return sim_.logger(); }
+    [[nodiscard]] const std::string& name() const { return node_.name(); }
+
+    struct Stats {
+        std::uint64_t ip_in = 0;
+        std::uint64_t ip_out = 0;
+        std::uint64_t ip_forwarded = 0;
+        std::uint64_t ip_dropped_not_local = 0;
+        std::uint64_t tcp_rst_sent = 0;
+        std::uint64_t tcp_segments_suppressed = 0;
+        std::uint64_t arp_requests_sent = 0;
+        std::uint64_t arp_replies_sent = 0;
+        std::uint64_t parse_errors = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    struct Interface {
+        net::Nic* nic = nullptr;
+        net::Ipv4Address ip;
+        int prefix_len = 24;
+        std::vector<net::Ipv4Address> aliases;
+    };
+
+    struct PendingPacket {
+        net::Ipv4Packet packet;
+        int attempts = 0;
+    };
+
+    void on_frame(std::size_t iface_index, const net::EthernetFrame& frame);
+    void on_arp(std::size_t iface_index, const net::EthernetFrame& frame);
+    void on_ip(std::size_t iface_index, const net::EthernetFrame& frame);
+    void deliver_tcp(const net::Ipv4Packet& ip);
+    void deliver_udp(const net::Ipv4Packet& ip);
+    void forward_ip(net::Ipv4Packet packet);
+
+    // Routing: picks (interface, next hop) for a destination.
+    [[nodiscard]] std::optional<std::pair<std::size_t, net::Ipv4Address>> route(
+        net::Ipv4Address dst) const;
+    void ip_output(net::Ipv4Packet packet);
+    void transmit_on(std::size_t iface_index, net::Ipv4Address next_hop, net::Ipv4Packet packet);
+    void send_arp_request(std::size_t iface_index, net::Ipv4Address target, int attempt);
+    void send_rst_for(const net::TcpSegment& seg, net::Ipv4Address src_ip,
+                      net::Ipv4Address dst_ip);
+
+    sim::Simulation& sim_;
+    net::Node& node_;
+    TcpConfig tcp_config_;
+
+    std::vector<Interface> interfaces_;
+    std::optional<net::Ipv4Address> default_gateway_;
+    bool ip_forwarding_ = false;
+
+    net::ArpTable arp_table_;
+    std::set<net::Ipv4Address> arp_suppressed_;
+    std::unordered_map<net::Ipv4Address, std::vector<PendingPacket>> arp_pending_;
+
+    std::unordered_map<FlowKey, std::shared_ptr<TcpConnection>> connections_;
+    std::unordered_map<std::uint16_t, std::weak_ptr<TcpListener>> listeners_;
+    std::unordered_map<std::uint16_t, std::weak_ptr<UdpSocket>> udp_sockets_;
+    std::uint16_t next_ephemeral_port_ = 49152;
+    std::uint16_t next_ip_id_ = 1;
+
+    TcpEgressFilter egress_filter_;
+    TcpTap tcp_tap_;
+    OrphanTcpHandler orphan_tcp_;
+    std::function<util::Seq32()> isn_generator_;
+
+    Stats stats_;
+};
+
+} // namespace sttcp::tcp

@@ -1,0 +1,131 @@
+// TCP receive buffer with out-of-order reassembly.
+//
+// Sequence numbers are unwrapped onto a 64-bit stream offset; an IntervalSet
+// records which ranges arrived and the contiguous frontier is RCV.NXT
+// ("NextByteExpected" in the paper's Figure 4). The ring's front is the next
+// byte the application will read ("LastByteRead"+1).
+//
+// The ST-TCP primary's discard gating does NOT live here: the paper's second
+// buffer receives bytes as the application reads them (sttcp/retention.hpp);
+// this buffer behaves exactly like standard TCP's, which is why the
+// client-visible advertised window is unchanged.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/interval_set.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/seq32.hpp"
+
+namespace sttcp::tcp {
+
+class ReceiveBuffer {
+public:
+    explicit ReceiveBuffer(std::size_t capacity) : ring_(capacity) {}
+
+    // Anchors sequence mapping at the first data byte (IRS+1).
+    void init(util::Seq32 first_byte_seq) {
+        anchor_seq_ = first_byte_seq;
+        anchor_off_ = 0;
+        nxt_off_ = 0;
+        read_off_ = 0;
+        received_.clear();
+    }
+
+    // RCV.NXT as a wire sequence number.
+    [[nodiscard]] util::Seq32 rcv_nxt() const {
+        return anchor_seq_ + static_cast<std::uint32_t>(nxt_off_ - anchor_off_);
+    }
+
+    // Wire sequence number of the next byte the application will read
+    // (LastByteRead+1 in the paper's Figure 4).
+    [[nodiscard]] util::Seq32 read_seq() const {
+        return anchor_seq_ + static_cast<std::uint32_t>(read_off_ - anchor_off_);
+    }
+
+    // Advertised window: space from RCV.NXT to the end of the buffer.
+    [[nodiscard]] std::size_t window() const {
+        return ring_.capacity() - static_cast<std::size_t>(nxt_off_ - read_off_);
+    }
+
+    [[nodiscard]] std::size_t readable() const { return ring_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+
+    // Total contiguous bytes ever received (stream offset of RCV.NXT).
+    [[nodiscard]] std::uint64_t stream_offset() const { return nxt_off_; }
+    // Stream offset of the next byte the application will read.
+    [[nodiscard]] std::uint64_t read_offset() const { return read_off_; }
+
+    // Accepts segment payload at wire sequence `seq`. Bytes outside the
+    // window are trimmed. Returns the number of *new* contiguous bytes made
+    // available (i.e. how far RCV.NXT advanced).
+    std::uint64_t accept(util::Seq32 seq, std::span<const std::uint8_t> data) {
+        if (data.empty()) return 0;
+        // Map onto stream offsets via the signed circular distance to RCV.NXT.
+        auto delta = static_cast<std::int64_t>(
+            static_cast<std::int32_t>(seq.raw() - rcv_nxt().raw()));
+        std::int64_t begin = static_cast<std::int64_t>(nxt_off_) + delta;
+        std::int64_t end = begin + static_cast<std::int64_t>(data.size());
+
+        // Trim below what has already been received contiguously (dup data)
+        // and above the buffer limit.
+        std::int64_t lo = std::max(begin, static_cast<std::int64_t>(nxt_off_));
+        std::int64_t hi = std::min(end, static_cast<std::int64_t>(read_off_ + ring_.capacity()));
+        if (lo >= hi) return 0;
+
+        ring_.write_at(static_cast<std::size_t>(lo - static_cast<std::int64_t>(read_off_)),
+                       data.subspan(static_cast<std::size_t>(lo - begin),
+                                    static_cast<std::size_t>(hi - lo)));
+        received_.insert(static_cast<std::uint64_t>(lo), static_cast<std::uint64_t>(hi));
+
+        std::uint64_t advance = received_.contiguous_from(nxt_off_);
+        if (advance > 0) {
+            nxt_off_ += advance;
+            received_.erase_below(nxt_off_);
+            ring_.commit(static_cast<std::size_t>(nxt_off_ - read_off_));
+        }
+        return advance;
+    }
+
+    // Application read: copies and consumes up to out.size() readable bytes.
+    std::size_t read(std::span<std::uint8_t> out) {
+        std::size_t n = ring_.read(out);
+        read_off_ += n;
+        return n;
+    }
+
+    // Non-consuming variant (the ST-TCP primary copies into the retention
+    // buffer before consuming).
+    std::size_t peek(std::span<std::uint8_t> out) const { return ring_.peek(out); }
+    std::size_t consume(std::size_t n) {
+        n = ring_.consume(n);
+        read_off_ += n;
+        return n;
+    }
+
+    // Copies buffered in-order bytes starting at wire sequence `seq` without
+    // consuming them; returns bytes copied (0 if seq is outside the stored
+    // range). Serves the ST-TCP primary's missing-segment replies for bytes
+    // the application has not read yet.
+    std::size_t copy_range(util::Seq32 seq, std::span<std::uint8_t> out) const {
+        auto delta = static_cast<std::int64_t>(
+            static_cast<std::int32_t>(seq.raw() - read_seq().raw()));
+        if (delta < 0 || static_cast<std::uint64_t>(delta) >= ring_.size()) return 0;
+        return ring_.peek(out, static_cast<std::size_t>(delta));
+    }
+
+    // True if any out-of-order data is parked beyond RCV.NXT.
+    [[nodiscard]] bool has_gaps() const { return !received_.empty(); }
+    [[nodiscard]] const util::IntervalSet& out_of_order() const { return received_; }
+
+private:
+    util::RingBuffer ring_;
+    util::Seq32 anchor_seq_;
+    std::uint64_t anchor_off_ = 0;
+    std::uint64_t nxt_off_ = 0;   // stream offset of RCV.NXT
+    std::uint64_t read_off_ = 0;  // stream offset of next app read
+    util::IntervalSet received_;  // ranges at/after nxt_off_ not yet contiguous
+};
+
+} // namespace sttcp::tcp

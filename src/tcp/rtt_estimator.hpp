@@ -1,0 +1,69 @@
+// RTT estimation and retransmission timeout (Jacobson/Karels, RFC 6298)
+// with Linux-style clamping.
+//
+// The paper's failover analysis (§6.2) hinges on this component: "In Linux,
+// the RTO is computed using the round trip time (RTT) and is increased by a
+// factor of two with every retransmission. The lower and upper bound for the
+// RTO in Linux are 200 ms and 2 min respectively." The client's RTO backoff
+// during the outage is what stretches failover beyond the detection time.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace sttcp::tcp {
+
+class RttEstimator {
+public:
+    RttEstimator(sim::Duration initial_rto, sim::Duration min_rto, sim::Duration max_rto)
+        : initial_rto_(initial_rto), min_rto_(min_rto), max_rto_(max_rto) {}
+
+    // Feeds one RTT measurement (Karn's rule: callers must not sample
+    // retransmitted segments).
+    void sample(sim::Duration rtt) {
+        using std::chrono::duration_cast;
+        if (!has_sample_) {
+            srtt_ = rtt;
+            rttvar_ = rtt / 2;
+            has_sample_ = true;
+        } else {
+            sim::Duration err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+            rttvar_ = (3 * rttvar_ + err) / 4;
+            srtt_ = (7 * srtt_ + rtt) / 8;
+        }
+        backoff_ = 0;
+    }
+
+    // Doubles the RTO (called on each retransmission timeout).
+    void backoff() { backoff_ = std::min(backoff_ + 1, 20); }
+    void reset_backoff() { backoff_ = 0; }
+    [[nodiscard]] int backoff_count() const { return backoff_; }
+
+    [[nodiscard]] sim::Duration rto() const {
+        sim::Duration base = has_sample_ ? srtt_ + std::max(granularity_, 4 * rttvar_)
+                                         : initial_rto_;
+        base = std::clamp(base, min_rto_, max_rto_);
+        for (int i = 0; i < backoff_; ++i) {
+            base *= 2;
+            if (base >= max_rto_) return max_rto_;
+        }
+        return std::clamp(base, min_rto_, max_rto_);
+    }
+
+    [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+    [[nodiscard]] sim::Duration rttvar() const { return rttvar_; }
+    [[nodiscard]] bool has_sample() const { return has_sample_; }
+
+private:
+    sim::Duration initial_rto_;
+    sim::Duration min_rto_;
+    sim::Duration max_rto_;
+    sim::Duration granularity_ = sim::milliseconds{10};
+    sim::Duration srtt_{};
+    sim::Duration rttvar_{};
+    bool has_sample_ = false;
+    int backoff_ = 0;
+};
+
+} // namespace sttcp::tcp

@@ -1,0 +1,60 @@
+// TCP send buffer: unacknowledged + unsent outgoing bytes.
+//
+// The ring's front is always SND.UNA; the application appends at the tail
+// and cumulative ACKs consume from the front. Retransmission reads at an
+// offset without consuming.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/ring_buffer.hpp"
+#include "util/seq32.hpp"
+
+namespace sttcp::tcp {
+
+class SendBuffer {
+public:
+    explicit SendBuffer(std::size_t capacity) : ring_(capacity) {}
+
+    // Anchors the sequence mapping; called once the ISS is chosen (and again
+    // by the ST-TCP backup when it adopts the primary's sequence numbers).
+    void set_una(util::Seq32 una) { una_ = una; }
+
+    [[nodiscard]] util::Seq32 una() const { return una_; }
+    [[nodiscard]] util::Seq32 end() const {
+        return una_ + static_cast<std::uint32_t>(ring_.size());
+    }
+
+    [[nodiscard]] std::size_t size() const { return ring_.size(); }
+    [[nodiscard]] std::size_t free_space() const { return ring_.free_space(); }
+    [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+
+    // Appends application bytes; returns the count accepted.
+    std::size_t write(std::span<const std::uint8_t> data) { return ring_.write(data); }
+
+    // Copies bytes [seq, seq+out.size()) into out; returns bytes copied
+    // (0 if seq is outside the buffered range).
+    std::size_t copy_from(util::Seq32 seq, std::span<std::uint8_t> out) const {
+        if (seq < una_) return 0;
+        std::uint32_t offset = seq - una_;
+        if (offset >= ring_.size()) return 0;
+        return ring_.peek(out, offset);
+    }
+
+    // Cumulative ACK: releases bytes below `ack`. Returns bytes released.
+    std::size_t ack_to(util::Seq32 ack) {
+        if (ack <= una_) return 0;
+        std::uint32_t n = ack - una_;
+        assert(n <= ring_.size() && "acking bytes never sent");
+        ring_.consume(n);
+        una_ = ack;
+        return n;
+    }
+
+private:
+    util::RingBuffer ring_;
+    util::Seq32 una_;
+};
+
+} // namespace sttcp::tcp

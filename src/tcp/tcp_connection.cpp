@@ -1,0 +1,852 @@
+#include "tcp/tcp_connection.hpp"
+
+#include <algorithm>
+
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::tcp {
+
+using util::Seq32;
+
+namespace {
+// Invoke a callback by copy: handlers may replace the callback set from
+// inside the call (accept handlers do), which would otherwise destroy the
+// std::function we are executing.
+template <typename F, typename... Args>
+void fire(const F& f, Args&&... args) {
+    if (!f) return;
+    F copy = f;
+    copy(std::forward<Args>(args)...);
+}
+} // namespace
+
+TcpConnection::TcpConnection(HostStack& stack, FlowKey key, TcpConfig config)
+    : stack_(stack),
+      key_(key),
+      config_(config),
+      snd_(config.send_buffer_size),
+      rcv_(config.recv_buffer_size),
+      rtt_(config.initial_rto, config.min_rto, config.max_rto),
+      cc_(config.mss) {}
+
+TcpConnection::~TcpConnection() {
+    cancel_retransmit_timer();
+    stack_.sim().cancel(delack_timer_);
+    stack_.sim().cancel(persist_timer_);
+    stack_.sim().cancel(time_wait_timer_);
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+void TcpConnection::open_active() {
+    iss_ = stack_.generate_isn();
+    snd_una_ = iss_;
+    snd_nxt_ = iss_;
+    snd_max_ = iss_;
+    snd_.set_una(iss_ + 1);
+    state_ = TcpState::kSynSent;
+    send_syn(/*with_ack=*/false);
+}
+
+void TcpConnection::open_passive(const net::TcpSegment& syn) {
+    irs_ = syn.seq;
+    rcv_.init(syn.seq + 1);
+    if (syn.mss) config_.mss = std::min(config_.mss, *syn.mss);
+    iss_ = stack_.generate_isn();
+    snd_una_ = iss_;
+    snd_nxt_ = iss_;
+    snd_max_ = iss_;
+    snd_.set_una(iss_ + 1);
+    snd_wnd_ = syn.window;
+    snd_wl1_ = syn.seq;
+    snd_wl2_ = Seq32{0};
+    state_ = TcpState::kSynReceived;
+    send_syn(/*with_ack=*/true);
+}
+
+void TcpConnection::anchor_shadow_establish(Seq32 primary_iss) {
+    if (state_ != TcpState::kSynReceived) return;
+    rebase_send_seq(primary_iss + 1);
+    adopt_peer_seq_ = false;  // anchored exactly; never re-anchor from acks
+    cancel_retransmit_timer();
+    consecutive_retransmits_ = 0;
+    rtt_pending_ = false;
+    become_established();
+}
+
+void TcpConnection::open_shadow_join(Seq32 first_byte_seq, Seq32 iss) {
+    irs_ = first_byte_seq - 1;
+    rcv_.init(first_byte_seq);
+    iss_ = iss;
+    snd_una_ = iss_ + 1;
+    snd_nxt_ = snd_una_;
+    snd_max_ = snd_una_;
+    snd_.set_una(snd_una_);
+    snd_wnd_ = 0;  // learned from the first tapped client segment
+    snd_wl1_ = first_byte_seq - 1;
+    snd_wl2_ = iss_;
+    shadow_mode_ = true;
+    become_established();
+}
+
+void TcpConnection::close() {
+    switch (state_) {
+        case TcpState::kSynSent:
+            finish("closed");
+            return;
+        case TcpState::kSynReceived:
+        case TcpState::kEstablished:
+            state_ = TcpState::kFinWait1;
+            break;
+        case TcpState::kCloseWait:
+            state_ = TcpState::kLastAck;
+            break;
+        default:
+            return;  // already closing or closed
+    }
+    fin_queued_ = true;
+    try_send();
+}
+
+void TcpConnection::abort() {
+    if (state_ != TcpState::kClosed && state_ != TcpState::kListen &&
+        state_ != TcpState::kSynSent) {
+        send_rst(snd_nxt_);
+    }
+    finish("aborted");
+}
+
+void TcpConnection::rebase_send_seq(Seq32 una) {
+    iss_ = una - 1;
+    snd_una_ = una;
+    snd_nxt_ = una + static_cast<std::uint32_t>(snd_.size());
+    snd_max_ = snd_nxt_;
+    snd_.set_una(una);
+}
+
+void TcpConnection::release_shadow_acked() {
+    // NOTE: deliberately does not fire on_writable — callers in the send()
+    // path would recurse into the application's pump loop. The application
+    // observes the freed space on its next send() call.
+    if (!shadow_peer_ack_valid_) return;
+    Seq32 data_end = snd_.una() + static_cast<std::uint32_t>(snd_.size());
+    Seq32 effective = util::min(shadow_peer_ack_max_, data_end);
+    if (fin_sent_) effective = util::min(effective, fin_seq_);
+    if (effective <= snd_una_) return;
+    snd_.ack_to(effective);
+    snd_una_ = effective;
+    if (snd_nxt_ < effective) snd_nxt_ = effective;
+    snd_max_ = util::max(snd_max_, snd_nxt_);
+    if (flight_size() == 0 && !(fin_sent_ && !fin_fully_acked())) cancel_retransmit_timer();
+}
+
+void TcpConnection::on_takeover() {
+    if (state_ == TcpState::kClosed) return;
+    shadow_mode_ = false;
+    cc_.on_idle_restart();
+    rtt_.reset_backoff();
+    if (flight_size() > 0 || (fin_sent_ && !fin_fully_acked())) {
+        // Everything outstanding was last sent by the (dead) primary; stream
+        // the whole backlog again from the cumulative ack under slow start.
+        snd_nxt_ = snd_una_;
+        try_send();
+        arm_retransmit_timer();
+    } else {
+        send_ack_now();
+        try_send();
+    }
+}
+
+// --------------------------------------------------------------------- data
+
+std::size_t TcpConnection::send(util::ByteView data) {
+    if (fin_queued_) return 0;
+    switch (state_) {
+        case TcpState::kSynSent:
+        case TcpState::kSynReceived:
+        case TcpState::kEstablished:
+        case TcpState::kCloseWait:
+            break;
+        default:
+            return 0;
+    }
+    std::size_t n = snd_.write(data);
+    // Shadow mode: bytes the peer already acked (as delivered by the
+    // primary) are released the moment the replica produces them.
+    if (shadow_mode_) release_shadow_acked();
+    if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) try_send();
+    return n;
+}
+
+std::size_t TcpConnection::copy_received(util::Seq32 seq, std::span<std::uint8_t> out) const {
+    return rcv_.copy_range(seq, out);
+}
+
+std::size_t TcpConnection::read(std::span<std::uint8_t> out) {
+    std::size_t limit = out.size();
+    if (retention_) limit = std::min(limit, retention_->max_consumable());
+    if (limit == 0) return 0;
+
+    Seq32 front_seq = rcv_.read_seq();
+    std::uint16_t window_before = advertised_window();
+    std::size_t n = rcv_.read(out.subspan(0, std::min(limit, out.size())));
+    if (n == 0) return 0;
+    if (retention_) retention_->on_consumed(front_seq, util::ByteView{out.data(), n});
+
+    // Receiver-side window update: if we had closed the window below one MSS
+    // and reading opened it substantially, tell the peer (it may be probing).
+    if (window_before < config_.mss &&
+        rcv_.window() >= std::min<std::size_t>(config_.mss, rcv_.capacity() / 2) &&
+        (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+         state_ == TcpState::kFinWait2)) {
+        send_ack_now();
+    }
+    return n;
+}
+
+// ------------------------------------------------------------ segment input
+
+void TcpConnection::on_segment(const net::TcpSegment& seg) {
+    if (state_ == TcpState::kClosed) return;
+    ++stats_.segments_received;
+
+    if (state_ == TcpState::kSynSent) {
+        process_syn_sent(seg);
+        return;
+    }
+    process_general(seg);
+}
+
+void TcpConnection::process_syn_sent(const net::TcpSegment& seg) {
+    bool ack_ok = seg.flags.ack && seg.ack > iss_ && seg.ack <= snd_nxt_;
+    if (seg.flags.ack && !ack_ok) {
+        if (!seg.flags.rst) send_rst(seg.ack);
+        return;
+    }
+    if (seg.flags.rst) {
+        if (ack_ok) finish("connection refused");
+        return;
+    }
+    if (!seg.flags.syn) return;
+
+    irs_ = seg.seq;
+    rcv_.init(seg.seq + 1);
+    if (seg.mss) config_.mss = std::min(config_.mss, *seg.mss);
+    snd_wnd_ = seg.window;
+    snd_wl1_ = seg.seq;
+    snd_wl2_ = seg.ack;
+
+    if (ack_ok) {
+        snd_una_ = seg.ack;
+        if (rtt_pending_) {
+            rtt_.sample(stack_.sim().now() - rtt_sent_at_);
+            rtt_pending_ = false;
+        }
+        cancel_retransmit_timer();
+        consecutive_retransmits_ = 0;
+        become_established();
+        send_ack_now();
+        try_send();
+    } else {
+        // Simultaneous open.
+        state_ = TcpState::kSynReceived;
+        send_syn(/*with_ack=*/true);
+    }
+}
+
+bool TcpConnection::sequence_acceptable(const net::TcpSegment& seg) const {
+    std::uint32_t seg_len = seg.seq_len();
+    std::uint32_t win = static_cast<std::uint32_t>(rcv_.window());
+    Seq32 nxt = ack_seq();
+    if (seg_len == 0 && win == 0) return seg.seq == nxt;
+    if (seg_len == 0) return util::in_window(seg.seq, nxt, win);
+    if (win == 0) return false;
+    return util::in_window(seg.seq, nxt, win) ||
+           util::in_window(seg.seq + (seg_len - 1), nxt, win) ||
+           // Old-but-overlapping segments (partially duplicate data) are
+           // acceptable; payload trimming handles the overlap.
+           (seg.seq < nxt && nxt < seg.seq + seg_len);
+}
+
+void TcpConnection::process_general(const net::TcpSegment& seg) {
+    // Step 1: sequence check.
+    if (!sequence_acceptable(seg)) {
+        if (!seg.flags.rst) send_ack_now();
+        return;
+    }
+
+    // Step 2: RST.
+    if (seg.flags.rst) {
+        finish("connection reset");
+        return;
+    }
+
+    // Step 3: SYN.
+    if (seg.flags.syn) {
+        if (state_ == TcpState::kSynReceived && seg.seq == irs_) {
+            // Retransmitted SYN: our SYN/ACK was lost — resend it.
+            send_syn(/*with_ack=*/true);
+            return;
+        }
+        // SYN in the window of a synchronized connection is an error.
+        send_rst(snd_nxt_);
+        finish("SYN received in synchronized state");
+        return;
+    }
+
+    // Step 4: ACK (mandatory from here on).
+    if (!seg.flags.ack) return;
+    if (!process_ack(seg)) return;
+    if (state_ == TcpState::kClosed) return;
+
+    // Step 5: payload.
+    process_payload(seg);
+
+    // Step 6: FIN.
+    if (seg.flags.fin) process_fin(seg);
+}
+
+bool TcpConnection::process_ack(const net::TcpSegment& seg) {
+    if (state_ == TcpState::kSynReceived) {
+        // Adoption is only sound from a segment that provably carries the
+        // client's *handshake* acknowledgment (ack = primary_iss + 1): the
+        // client's first post-SYN segment, before we have received any
+        // data. A later ack (possible when the tap lost the early
+        // segments) already covers primary response bytes and would anchor
+        // our send stream forward of the primary's — silent divergence.
+        bool provably_initial =
+            rcv_.stream_offset() == 0 && seg.seq == irs_ + 1u && !remote_fin_seq_;
+        if (adopt_peer_seq_ && provably_initial) {
+            // ST-TCP backup ISN synchronization (paper §4.1): adopt the
+            // primary's sequence numbers from the client's handshake ACK.
+            rebase_send_seq(seg.ack);
+        } else if (adopt_peer_seq_) {
+            // Cannot anchor from this segment; stay in SYN_RCVD and wait
+            // for the tapped primary SYN/ACK (anchor_shadow_establish) or
+            // for late-join recovery. Do not RST a live flow.
+            return false;
+        } else if (!(seg.ack > snd_una_ && seg.ack <= snd_nxt_)) {
+            send_rst(seg.ack);
+            return false;
+        } else {
+            snd_una_ = seg.ack;
+        }
+        if (rtt_pending_) {
+            rtt_.sample(stack_.sim().now() - rtt_sent_at_);
+            rtt_pending_ = false;
+        }
+        cancel_retransmit_timer();
+        consecutive_retransmits_ = 0;
+        become_established();
+        // Fall through to regular ACK processing for window update etc.
+    }
+
+    if (shadow_mode_ && seg.ack > snd_max_) {
+        // The peer acks bytes our suppressed twin (the primary) delivered
+        // but our replica has not generated yet. Remember the high-water
+        // mark, release what we do have, and keep processing the segment —
+        // its payload (a client request) is exactly what lets us catch up.
+        shadow_peer_ack_max_ = shadow_peer_ack_valid_
+                                   ? util::max(shadow_peer_ack_max_, seg.ack)
+                                   : seg.ack;
+        shadow_peer_ack_valid_ = true;
+        Seq32 una_before = snd_una_;
+        release_shadow_acked();
+        if (snd_una_ > una_before) fire(callbacks_.on_writable);
+    }
+
+    Seq32 ack = seg.ack;
+    if (shadow_mode_ && ack > snd_max_) ack = snd_max_;
+
+    if (ack > snd_max_) {
+        // Acks something we never sent.
+        send_ack_now();
+        return false;
+    }
+
+    maybe_update_send_window(seg);
+
+    if (ack > snd_una_) {
+        // New data acknowledged.
+        std::uint32_t acked = ack - snd_una_;
+        snd_una_ = ack;
+        if (snd_nxt_ < ack) snd_nxt_ = ack;  // recovery: skip re-sending acked data
+        Seq32 data_ack = ack;
+        if (fin_sent_ && ack == fin_seq_ + 1) data_ack = fin_seq_;
+        snd_.ack_to(data_ack);
+
+        dup_acks_ = 0;
+        consecutive_retransmits_ = 0;
+        if (cc_.in_fast_recovery() && seg.ack >= recovery_point_) cc_.exit_fast_recovery();
+        cc_.on_ack(acked, flight_size());
+        rtt_.reset_backoff();
+        if (rtt_pending_ && seg.ack >= rtt_seq_) {
+            rtt_.sample(stack_.sim().now() - rtt_sent_at_);
+            rtt_pending_ = false;
+        }
+
+        if (flight_size() == 0 && !(fin_sent_ && !fin_fully_acked())) {
+            cancel_retransmit_timer();
+        } else {
+            arm_retransmit_timer();
+        }
+
+        if (fin_sent_ && fin_fully_acked()) {
+            switch (state_) {
+                case TcpState::kFinWait1:
+                    state_ = remote_fin_consumed_ ? TcpState::kTimeWait : TcpState::kFinWait2;
+                    if (state_ == TcpState::kTimeWait) enter_time_wait();
+                    break;
+                case TcpState::kClosing:
+                    enter_time_wait();
+                    break;
+                case TcpState::kLastAck:
+                    finish("closed");
+                    return false;
+                default:
+                    break;
+            }
+        }
+        fire(callbacks_.on_writable);
+        try_send();
+    } else if (seg.ack == snd_una_) {
+        bool is_dup = seg.payload.empty() && !seg.flags.fin && seg.window == snd_wnd_ &&
+                      flight_size() > 0;
+        if (is_dup) {
+            ++stats_.dup_acks_in;
+            ++dup_acks_;
+            if (dup_acks_ == 3) {
+                ++stats_.fast_retransmits;
+                recovery_point_ = snd_nxt_;
+                cc_.on_fast_retransmit(flight_size());
+                retransmit_head();
+                arm_retransmit_timer();
+            } else if (dup_acks_ > 3) {
+                cc_.on_dup_ack_in_recovery();
+                try_send();
+            }
+        }
+    }
+
+    // Window opened: cancel persist probing and push data.
+    if (snd_wnd_ > 0 && persist_timer_ != sim::kInvalidEventId) {
+        stack_.sim().cancel(persist_timer_);
+        persist_timer_ = sim::kInvalidEventId;
+        persist_backoff_ = 0;
+        try_send();
+    }
+    return true;
+}
+
+void TcpConnection::maybe_update_send_window(const net::TcpSegment& seg) {
+    if (snd_wl1_ < seg.seq || (snd_wl1_ == seg.seq && snd_wl2_ <= seg.ack)) {
+        snd_wnd_ = seg.window;
+        snd_wl1_ = seg.seq;
+        snd_wl2_ = seg.ack;
+    }
+}
+
+void TcpConnection::process_payload(const net::TcpSegment& seg) {
+    if (seg.payload.empty()) return;
+    switch (state_) {
+        case TcpState::kEstablished:
+        case TcpState::kFinWait1:
+        case TcpState::kFinWait2:
+            break;
+        default:
+            return;  // data after the peer's FIN is ignored
+    }
+
+    stats_.bytes_received += seg.payload.size();
+    std::uint64_t advanced = rcv_.accept(seg.seq, seg.payload);
+
+    if (advanced == 0) {
+        // Duplicate or out-of-order: immediate (duplicate) ACK feeds the
+        // sender's fast-retransmit machinery.
+        send_ack_now();
+        return;
+    }
+
+    maybe_consume_remote_fin();
+    fire(rcv_advance_hook_);
+
+    ++unacked_segments_;
+    if (!config_.delayed_ack || unacked_segments_ >= 2 || rcv_.has_gaps()) {
+        send_ack_now();
+    } else {
+        schedule_delayed_ack();
+    }
+    fire(callbacks_.on_readable);
+}
+
+void TcpConnection::process_fin(const net::TcpSegment& seg) {
+    std::uint32_t payload_len = static_cast<std::uint32_t>(seg.payload.size());
+    remote_fin_seq_ = (seg.seq + payload_len).raw();
+    maybe_consume_remote_fin();
+    if (!remote_fin_consumed_) {
+        // FIN arrived but earlier data is missing; ack what we have.
+        send_ack_now();
+    }
+}
+
+void TcpConnection::maybe_consume_remote_fin() {
+    if (remote_fin_consumed_ || !remote_fin_seq_) return;
+    if (Seq32{*remote_fin_seq_} != rcv_.rcv_nxt()) return;
+    remote_fin_consumed_ = true;
+
+    send_ack_now();
+    switch (state_) {
+        case TcpState::kSynReceived:
+        case TcpState::kEstablished:
+            state_ = TcpState::kCloseWait;
+            fire(callbacks_.on_remote_fin);
+            break;
+        case TcpState::kFinWait1:
+            if (fin_sent_ && fin_fully_acked()) {
+                enter_time_wait();
+            } else {
+                state_ = TcpState::kClosing;
+            }
+            fire(callbacks_.on_remote_fin);
+            break;
+        case TcpState::kFinWait2:
+            fire(callbacks_.on_remote_fin);
+            enter_time_wait();
+            break;
+        case TcpState::kTimeWait:
+            // Retransmitted FIN: re-ack and restart the 2MSL timer.
+            enter_time_wait();
+            break;
+        default:
+            break;
+    }
+}
+
+// ------------------------------------------------------------------- output
+
+Seq32 TcpConnection::ack_seq() const {
+    return rcv_.rcv_nxt() + (remote_fin_consumed_ ? 1u : 0u);
+}
+
+std::uint16_t TcpConnection::advertised_window() const {
+    return static_cast<std::uint16_t>(std::min<std::size_t>(rcv_.window(), 65535));
+}
+
+Seq32 TcpConnection::send_limit() const {
+    return snd_una_ + std::min(snd_wnd_, cc_.cwnd());
+}
+
+void TcpConnection::try_send() {
+    switch (state_) {
+        case TcpState::kEstablished:
+        case TcpState::kCloseWait:
+        case TcpState::kFinWait1:
+        case TcpState::kLastAck:
+            break;
+        default:
+            return;
+    }
+
+    while (true) {
+        Seq32 data_end = snd_.una() + static_cast<std::uint32_t>(snd_.size());
+        if (snd_nxt_ >= data_end) break;  // nothing (left) to send
+        std::uint32_t avail = data_end - snd_nxt_;
+
+        Seq32 limit = send_limit();
+        if (snd_nxt_ >= limit) {
+            if (snd_wnd_ == 0 && flight_size() == 0) arm_persist_timer();
+            break;
+        }
+        std::uint32_t usable = limit - snd_nxt_;
+        std::uint32_t n = std::min({avail, usable, static_cast<std::uint32_t>(config_.mss)});
+        if (n == 0) break;
+
+        // SND.NXT < SND.MAX means we are go-back-N retransmitting after an
+        // RTO; Nagle only applies to genuinely new data.
+        bool retransmission = snd_nxt_ < snd_max_;
+        if (!retransmission && config_.nagle && n < config_.mss && flight_size() > 0) break;
+
+        bool fin_now = fin_sent_ ? (snd_nxt_ + n == fin_seq_)
+                                 : (fin_queued_ && n == avail);
+        emit_data_segment(snd_nxt_, n, fin_now);
+        if (retransmission) ++stats_.retransmits;
+        snd_nxt_ += n;
+        if (fin_now) {
+            if (!fin_sent_) {
+                fin_sent_ = true;
+                fin_seq_ = snd_nxt_;
+            }
+            snd_nxt_ += 1;
+        }
+        snd_max_ = util::max(snd_max_, snd_nxt_);
+        arm_retransmit_timer();
+    }
+
+    send_fin_if_ready();
+}
+
+void TcpConnection::send_fin_if_ready() {
+    Seq32 data_end = snd_.una() + static_cast<std::uint32_t>(snd_.size());
+    if (snd_nxt_ < data_end) return;  // data still unsent
+    if (fin_sent_) {
+        // Retransmit the FIN only if SND.NXT was rolled back onto it.
+        if (snd_nxt_ != fin_seq_) return;
+        ++stats_.retransmits;
+    } else if (!fin_queued_) {
+        return;
+    }
+
+    net::TcpSegment seg;
+    seg.seq = snd_nxt_;
+    seg.flags.fin = true;
+    seg.flags.ack = true;
+    seg.ack = ack_seq();
+    if (!fin_sent_) {
+        fin_sent_ = true;
+        fin_seq_ = snd_nxt_;
+    }
+    snd_nxt_ += 1;
+    snd_max_ = util::max(snd_max_, snd_nxt_);
+    emit(std::move(seg));
+    arm_retransmit_timer();
+}
+
+void TcpConnection::emit_data_segment(Seq32 seq, std::size_t len, bool fin) {
+    net::TcpSegment seg;
+    seg.seq = seq;
+    seg.flags.ack = true;
+    seg.ack = ack_seq();
+    seg.flags.fin = fin;
+    seg.payload.resize(len);
+    std::size_t copied = snd_.copy_from(seq, seg.payload);
+    (void)copied;
+    seg.flags.psh = len < config_.mss || seq + static_cast<std::uint32_t>(len) ==
+                                             snd_.una() + static_cast<std::uint32_t>(snd_.size());
+
+    if (!rtt_pending_ && seq >= snd_max_) {  // Karn: never sample retransmits
+        rtt_pending_ = true;
+        rtt_seq_ = seq + static_cast<std::uint32_t>(len) + (fin ? 1 : 0);
+        rtt_sent_at_ = stack_.sim().now();
+    }
+    stats_.bytes_sent += len;
+    emit(std::move(seg));
+}
+
+void TcpConnection::send_syn(bool with_ack) {
+    net::TcpSegment seg;
+    seg.seq = iss_;
+    seg.flags.syn = true;
+    seg.flags.ack = with_ack;
+    if (with_ack) seg.ack = rcv_.rcv_nxt();
+    seg.mss = config_.mss;
+    snd_nxt_ = iss_ + 1;
+    snd_max_ = util::max(snd_max_, snd_nxt_);
+    // Karn's rule: only sample the first transmission of the SYN.
+    if (!rtt_pending_ && consecutive_retransmits_ == 0) {
+        rtt_pending_ = true;
+        rtt_seq_ = snd_nxt_;
+        rtt_sent_at_ = stack_.sim().now();
+    }
+    emit(std::move(seg));
+    arm_retransmit_timer();
+}
+
+void TcpConnection::send_ack_now() {
+    stack_.sim().cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
+    unacked_segments_ = 0;
+
+    net::TcpSegment seg;
+    seg.seq = snd_nxt_;
+    seg.flags.ack = true;
+    seg.ack = ack_seq();
+    ++stats_.pure_acks_out;
+    emit(std::move(seg));
+}
+
+void TcpConnection::schedule_delayed_ack() {
+    if (delack_timer_ != sim::kInvalidEventId) return;
+    auto self = weak_from_this();
+    delack_timer_ = stack_.sim().schedule_after(config_.delayed_ack_timeout, [self]() {
+        auto conn = self.lock();
+        if (!conn || !conn->stack_.powered() || conn->state_ == TcpState::kClosed) return;
+        conn->delack_timer_ = sim::kInvalidEventId;
+        conn->send_ack_now();
+    });
+}
+
+void TcpConnection::send_rst(Seq32 seq) {
+    net::TcpSegment seg;
+    seg.seq = seq;
+    seg.flags.rst = true;
+    seg.flags.ack = true;
+    seg.ack = ack_seq();
+    emit(std::move(seg));
+}
+
+void TcpConnection::emit(net::TcpSegment&& seg) {
+    seg.src_port = key_.local_port;
+    seg.dst_port = key_.remote_port;
+    seg.window = advertised_window();
+    last_advertised_window_ = seg.window;
+    ++stats_.segments_sent;
+    stack_.tcp_output(key_, std::move(seg));
+}
+
+// ------------------------------------------------------------------- timers
+
+void TcpConnection::arm_retransmit_timer() {
+    cancel_retransmit_timer();
+    auto self = weak_from_this();
+    retransmit_timer_ = stack_.sim().schedule_after(rtt_.rto(), [self]() {
+        auto conn = self.lock();
+        if (!conn || !conn->stack_.powered() || conn->state_ == TcpState::kClosed) return;
+        conn->retransmit_timer_ = sim::kInvalidEventId;
+        conn->on_retransmit_timeout();
+    });
+}
+
+void TcpConnection::cancel_retransmit_timer() {
+    stack_.sim().cancel(retransmit_timer_);
+    retransmit_timer_ = sim::kInvalidEventId;
+}
+
+void TcpConnection::on_retransmit_timeout() {
+    ++stats_.timeouts;
+    ++consecutive_retransmits_;
+
+    if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
+        if (consecutive_retransmits_ > config_.max_syn_retransmits) {
+            finish("connection timed out (SYN)");
+            return;
+        }
+        rtt_.backoff();
+        rtt_pending_ = false;
+        send_syn(/*with_ack=*/state_ == TcpState::kSynReceived);
+        return;
+    }
+
+    if (flight_size() == 0 && !(fin_sent_ && !fin_fully_acked())) return;
+
+    if (consecutive_retransmits_ > config_.max_retransmits) {
+        finish("connection timed out (retransmission limit)");
+        return;
+    }
+
+    cc_.on_timeout(flight_size());
+    rtt_.backoff();
+    rtt_pending_ = false;  // Karn: no sampling of retransmitted data
+    dup_acks_ = 0;
+    // Go-back-N: roll SND.NXT back to the cumulative ack and let the normal
+    // send path stream the backlog under slow start (cwnd is now 1 MSS, so
+    // exactly one segment goes out; incoming acks clock the rest).
+    snd_nxt_ = snd_una_;
+    if (state_ == TcpState::kFinWait1 || state_ == TcpState::kLastAck ||
+        state_ == TcpState::kClosing) {
+        // FIN retransmission path shares try_send/send_fin_if_ready.
+        try_send();
+    } else {
+        try_send();
+    }
+    arm_retransmit_timer();
+}
+
+void TcpConnection::retransmit_head() {
+    ++stats_.retransmits;
+    rtt_pending_ = false;
+
+    // All data acked, FIN outstanding: retransmit the FIN.
+    if (fin_sent_ && snd_una_ == fin_seq_) {
+        net::TcpSegment seg;
+        seg.seq = fin_seq_;
+        seg.flags.fin = true;
+        seg.flags.ack = true;
+        seg.ack = ack_seq();
+        emit(std::move(seg));
+        return;
+    }
+
+    Seq32 una = snd_.una();
+    Seq32 sent_data_end = fin_sent_ ? fin_seq_ : snd_nxt_;
+    if (sent_data_end <= una) return;
+    std::uint32_t outstanding = sent_data_end - una;
+    std::uint32_t n = std::min<std::uint32_t>(outstanding, config_.mss);
+    bool fin = fin_sent_ && una + n == fin_seq_;
+    emit_data_segment(una, n, fin);
+    rtt_pending_ = false;  // Karn: never sample a retransmitted segment
+}
+
+void TcpConnection::arm_persist_timer() {
+    if (persist_timer_ != sim::kInvalidEventId) return;
+    sim::Duration delay = config_.persist_min;
+    for (int i = 0; i < persist_backoff_ && delay < config_.persist_max; ++i) delay *= 2;
+    delay = std::min(delay, config_.persist_max);
+    auto self = weak_from_this();
+    persist_timer_ = stack_.sim().schedule_after(delay, [self]() {
+        auto conn = self.lock();
+        if (!conn || !conn->stack_.powered() || conn->state_ == TcpState::kClosed) return;
+        conn->persist_timer_ = sim::kInvalidEventId;
+        conn->on_persist_timeout();
+    });
+}
+
+void TcpConnection::on_persist_timeout() {
+    if (snd_wnd_ > 0) {
+        try_send();
+        return;
+    }
+    // Window probe: one byte of new data beyond the advertised window,
+    // without advancing SND.NXT (the peer acks with its current window).
+    Seq32 data_end = snd_.una() + static_cast<std::uint32_t>(snd_.size());
+    if (snd_nxt_ < data_end) {
+        net::TcpSegment seg;
+        seg.seq = snd_nxt_;
+        seg.flags.ack = true;
+        seg.ack = ack_seq();
+        seg.payload.resize(1);
+        snd_.copy_from(snd_nxt_, seg.payload);
+        emit(std::move(seg));
+    }
+    ++persist_backoff_;
+    arm_persist_timer();
+}
+
+void TcpConnection::enter_time_wait() {
+    state_ = TcpState::kTimeWait;
+    cancel_retransmit_timer();
+    stack_.sim().cancel(time_wait_timer_);
+    auto self = weak_from_this();
+    time_wait_timer_ = stack_.sim().schedule_after(2 * config_.msl, [self]() {
+        auto conn = self.lock();
+        if (!conn || conn->state_ != TcpState::kTimeWait) return;
+        conn->time_wait_timer_ = sim::kInvalidEventId;
+        conn->finish("closed (time-wait expired)");
+    });
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+bool TcpConnection::fin_fully_acked() const { return fin_sent_ && snd_una_ == fin_seq_ + 1; }
+
+void TcpConnection::become_established() {
+    state_ = TcpState::kEstablished;
+    fire(callbacks_.on_established);
+}
+
+void TcpConnection::finish(const std::string& reason) {
+    if (state_ == TcpState::kClosed) return;
+    state_ = TcpState::kClosed;
+    cancel_retransmit_timer();
+    stack_.sim().cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
+    stack_.sim().cancel(persist_timer_);
+    persist_timer_ = sim::kInvalidEventId;
+    stack_.sim().cancel(time_wait_timer_);
+    time_wait_timer_ = sim::kInvalidEventId;
+    auto self = shared_from_this();  // keep alive through deregistration
+    stack_.connection_closed(*this);
+    fire(close_hook_);
+    fire(callbacks_.on_closed, reason);
+}
+
+} // namespace sttcp::tcp

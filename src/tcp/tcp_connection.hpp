@@ -1,0 +1,262 @@
+// TCP connection (transmission control block + state machine).
+//
+// A faithful, compact RFC 793 implementation with the congestion/retransmit
+// behaviour of the Linux stack the paper modified: Reno congestion control,
+// Jacobson RTT estimation with 200 ms/2 min RTO clamping and doubling
+// backoff, delayed ACKs, fast retransmit, zero-window persist probing.
+//
+// Two deliberately small extension points carry all of ST-TCP:
+//   * set_adopt_peer_seq(): in SYN_RCVD, instead of rejecting an ACK that
+//     does not match our SYN/ACK, rebase our send sequence space onto it.
+//     This is the backup's ISN synchronization (paper §4.1 step 3).
+//   * set_retention_hook(): gates how many received bytes the application
+//     may consume and observes the consumed bytes. The ST-TCP primary uses
+//     it to implement the second receive buffer / LastByteAcked discard rule
+//     (paper §4.2, Figure 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/tcp_wire.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/congestion.hpp"
+#include "tcp/receive_buffer.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/send_buffer.hpp"
+#include "tcp/tcp_types.hpp"
+
+namespace sttcp::tcp {
+
+class HostStack;
+
+// See class comment for how ST-TCP uses this.
+class RetentionHook {
+public:
+    virtual ~RetentionHook() = default;
+    // Upper bound on bytes the application may consume right now (the
+    // second buffer's free space; SIZE_MAX = unlimited).
+    [[nodiscard]] virtual std::size_t max_consumable() = 0;
+    // Called with every chunk the application consumed; `seq` is the wire
+    // sequence number of data[0].
+    virtual void on_consumed(util::Seq32 seq, util::ByteView data) = 0;
+};
+
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+public:
+    struct Callbacks {
+        std::function<void()> on_established;
+        std::function<void()> on_readable;
+        std::function<void()> on_writable;
+        std::function<void()> on_remote_fin;
+        std::function<void(const std::string& reason)> on_closed;
+    };
+
+    TcpConnection(HostStack& stack, FlowKey key, TcpConfig config);
+    ~TcpConnection();
+
+    TcpConnection(const TcpConnection&) = delete;
+    TcpConnection& operator=(const TcpConnection&) = delete;
+
+    // ---- lifecycle -------------------------------------------------------
+    void open_active();                       // client: send SYN
+    void open_passive(const net::TcpSegment& syn);  // server: got SYN, send SYN/ACK
+    // ST-TCP late-join: constructs an ESTABLISHED server-side shadow from
+    // anchors supplied by the primary (tap missed the handshake). The
+    // receive stream is anchored at `first_byte_seq` (the earliest client
+    // byte the primary can replay) and the send space at `iss`.
+    void open_shadow_join(util::Seq32 first_byte_seq, util::Seq32 iss);
+    void close();                             // orderly: FIN after queued data
+    void abort();                             // RST and drop
+
+    // ---- data ------------------------------------------------------------
+    // Appends to the send buffer; returns bytes accepted (0 if full or not
+    // writable in this state).
+    std::size_t send(util::ByteView data);
+    // Reads received in-order bytes; bounded by the retention hook.
+    std::size_t read(std::span<std::uint8_t> out);
+    [[nodiscard]] std::size_t readable() const { return rcv_.readable(); }
+    [[nodiscard]] std::size_t send_space() const { return snd_.free_space(); }
+
+    // ---- introspection ----------------------------------------------------
+    [[nodiscard]] TcpState state() const { return state_; }
+    [[nodiscard]] const FlowKey& key() const { return key_; }
+    [[nodiscard]] const TcpConfig& config() const { return config_; }
+    [[nodiscard]] util::Seq32 snd_una() const { return snd_una_; }
+    [[nodiscard]] util::Seq32 snd_nxt() const { return snd_nxt_; }
+    [[nodiscard]] util::Seq32 snd_max() const { return snd_max_; }
+    [[nodiscard]] util::Seq32 rcv_nxt() const { return rcv_.rcv_nxt(); }
+    [[nodiscard]] util::Seq32 iss() const { return iss_; }
+    [[nodiscard]] util::Seq32 irs() const { return irs_; }
+    // Outstanding bytes: highest sequence ever sent minus the cumulative ack
+    // (SND.MAX - SND.UNA; SND.NXT may be rolled back during RTO recovery).
+    [[nodiscard]] std::uint32_t flight_size() const { return snd_max_ - snd_una_; }
+    [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+    [[nodiscard]] const RenoCongestion& congestion() const { return cc_; }
+    [[nodiscard]] std::uint64_t recv_stream_offset() const { return rcv_.stream_offset(); }
+    [[nodiscard]] const ReceiveBuffer& receive_buffer() const { return rcv_; }
+
+    struct Stats {
+        std::uint64_t segments_sent = 0;
+        std::uint64_t segments_received = 0;
+        std::uint64_t bytes_sent = 0;
+        std::uint64_t bytes_received = 0;
+        std::uint64_t retransmits = 0;
+        std::uint64_t fast_retransmits = 0;
+        std::uint64_t timeouts = 0;
+        std::uint64_t dup_acks_in = 0;
+        std::uint64_t pure_acks_out = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    void set_callbacks(Callbacks cbs) { callbacks_ = std::move(cbs); }
+
+    // ---- ST-TCP hooks ------------------------------------------------------
+    void set_adopt_peer_seq(bool on) { adopt_peer_seq_ = on; }
+    // Shadow mode (ST-TCP backup): this endpoint's output is suppressed and
+    // an identical primary is serving the peer. Peer ACKs may then run
+    // *ahead* of what this replica has generated (its application replays
+    // requests that arrived late via gap recovery). In shadow mode such
+    // ACKs are honoured: acked bytes are released as they are produced and
+    // SND.NXT fast-forwards past data the peer provably already has.
+    void set_shadow_mode(bool on) { shadow_mode_ = on; }
+    [[nodiscard]] bool shadow_mode() const { return shadow_mode_; }
+    void set_retention_hook(RetentionHook* hook) { retention_ = hook; }
+    // Observer fired whenever RCV.NXT advances (new in-order bytes). The
+    // ST-TCP backup drives its acknowledgment strategy from this without
+    // touching the application's callbacks.
+    void set_rcv_advance_hook(std::function<void()> hook) {
+        rcv_advance_hook_ = std::move(hook);
+    }
+    // Internal observer fired when the connection reaches CLOSED, separate
+    // from the application's on_closed callback (ST-TCP modules clean up
+    // their shadow state here).
+    void set_close_hook(std::function<void()> hook) { close_hook_ = std::move(hook); }
+    [[nodiscard]] std::uint32_t snd_wnd() const { return snd_wnd_; }
+    // Re-fires on_readable if data is pending — used by the ST-TCP primary
+    // when a backup ack frees second-buffer space and unblocks reads.
+    void notify_readable() {
+        if (readable() > 0) {
+            auto cb = callbacks_.on_readable;
+            if (cb) cb();
+        }
+    }
+    // Copies already-received bytes from the receive buffer starting at wire
+    // sequence `seq` (used by the primary to serve the backup's
+    // missing-segment requests for bytes not yet read by the application).
+    std::size_t copy_received(util::Seq32 seq, std::span<std::uint8_t> out) const;
+    // Forces the send sequence space onto `una` (backup ISN adoption; also
+    // used by late-join shadowing). Safe only when the send buffer is empty.
+    void rebase_send_seq(util::Seq32 una);
+    // ST-TCP backup: anchors a SYN_RCVD shadow directly to the primary's
+    // ISN as observed from the *tapped primary SYN/ACK* and establishes the
+    // connection. Exact even when the tap lost the client's handshake ACK.
+    void anchor_shadow_establish(util::Seq32 primary_iss);
+    // Kicks the send path — the backup calls this on takeover to retransmit
+    // immediately rather than wait out the RTO.
+    void on_takeover();
+
+    // ---- called by HostStack ----------------------------------------------
+    void on_segment(const net::TcpSegment& seg);
+
+private:
+    // segment processing helpers
+    void process_syn_sent(const net::TcpSegment& seg);
+    void process_general(const net::TcpSegment& seg);
+    bool sequence_acceptable(const net::TcpSegment& seg) const;
+    bool process_ack(const net::TcpSegment& seg);
+    void release_shadow_acked();
+    void process_payload(const net::TcpSegment& seg);
+    void process_fin(const net::TcpSegment& seg);
+    void maybe_consume_remote_fin();
+    void maybe_update_send_window(const net::TcpSegment& seg);
+    // ACK value we advertise: RCV.NXT, plus one if the peer's FIN has been
+    // consumed.
+    [[nodiscard]] util::Seq32 ack_seq() const;
+
+    // output
+    void try_send();
+    void send_syn(bool with_ack);
+    void send_ack_now();
+    void schedule_delayed_ack();
+    void send_fin_if_ready();
+    void emit_data_segment(util::Seq32 seq, std::size_t len, bool fin);
+    void emit(net::TcpSegment&& seg);
+    void send_rst(util::Seq32 seq);
+    [[nodiscard]] std::uint16_t advertised_window() const;
+
+    // timers
+    void arm_retransmit_timer();
+    void cancel_retransmit_timer();
+    void on_retransmit_timeout();
+    void retransmit_head();
+    void arm_persist_timer();
+    void on_persist_timeout();
+    void enter_time_wait();
+
+    // lifecycle
+    void become_established();
+    void finish(const std::string& reason);  // -> CLOSED, deregister
+
+    [[nodiscard]] bool fin_fully_acked() const;
+    [[nodiscard]] util::Seq32 send_limit() const;  // una + usable window
+
+    HostStack& stack_;
+    FlowKey key_;
+    TcpConfig config_;
+    TcpState state_ = TcpState::kClosed;
+    Callbacks callbacks_;
+
+    util::Seq32 iss_;
+    util::Seq32 irs_;
+    SendBuffer snd_;           // data bytes only, anchored at iss_+1
+    util::Seq32 snd_una_;      // includes SYN/FIN sequence space
+    util::Seq32 snd_nxt_;      // next sequence to transmit (rolls back on RTO)
+    util::Seq32 snd_max_;      // highest sequence ever transmitted
+    std::uint32_t snd_wnd_ = 0;
+    util::Seq32 snd_wl1_;
+    util::Seq32 snd_wl2_;
+    ReceiveBuffer rcv_;
+
+    bool fin_queued_ = false;
+    bool fin_sent_ = false;
+    util::Seq32 fin_seq_;  // valid when fin_sent_
+    std::optional<std::uint32_t> remote_fin_seq_;  // raw seq of peer's FIN
+    bool remote_fin_consumed_ = false;
+
+    RttEstimator rtt_;
+    RenoCongestion cc_;
+    int dup_acks_ = 0;
+    util::Seq32 recovery_point_;  // snd_nxt when fast recovery entered
+    int consecutive_retransmits_ = 0;
+    int persist_backoff_ = 0;
+
+    // one outstanding RTT sample (Karn's algorithm)
+    bool rtt_pending_ = false;
+    util::Seq32 rtt_seq_;
+    sim::TimePoint rtt_sent_at_{};
+
+    // delayed-ACK bookkeeping
+    int unacked_segments_ = 0;
+
+    sim::EventId retransmit_timer_ = sim::kInvalidEventId;
+    sim::EventId delack_timer_ = sim::kInvalidEventId;
+    sim::EventId persist_timer_ = sim::kInvalidEventId;
+    sim::EventId time_wait_timer_ = sim::kInvalidEventId;
+
+    bool adopt_peer_seq_ = false;
+    bool shadow_mode_ = false;
+    util::Seq32 shadow_peer_ack_max_;
+    bool shadow_peer_ack_valid_ = false;  // max is meaningless until first set
+    RetentionHook* retention_ = nullptr;
+    std::function<void()> rcv_advance_hook_;
+    std::function<void()> close_hook_;
+
+    std::uint16_t last_advertised_window_ = 0;
+
+    Stats stats_;
+};
+
+} // namespace sttcp::tcp

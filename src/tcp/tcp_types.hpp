@@ -1,0 +1,82 @@
+// Shared TCP types: state machine states, the connection 4-tuple, and the
+// per-connection configuration knobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+
+namespace sttcp::tcp {
+
+enum class TcpState {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kClosing,
+    kLastAck,
+    kTimeWait,
+};
+
+[[nodiscard]] std::string_view to_string(TcpState s);
+
+// Connection 4-tuple, always from the perspective of the local endpoint.
+struct FlowKey {
+    net::Ipv4Address local_ip;
+    std::uint16_t local_port = 0;
+    net::Ipv4Address remote_ip;
+    std::uint16_t remote_port = 0;
+
+    friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct TcpConfig {
+    std::size_t send_buffer_size = 64 * 1024;
+    std::size_t recv_buffer_size = 64 * 1024;
+    std::uint16_t mss = 1460;
+    bool nagle = true;
+
+    // Delayed ACK (RFC 1122): ack at least every second full-size segment,
+    // or after this timeout.
+    bool delayed_ack = true;
+    sim::Duration delayed_ack_timeout = sim::milliseconds{40};
+
+    // Linux RTO bounds, cited by the paper §6.2: 200 ms lower, 2 min upper,
+    // doubling on each retransmission.
+    sim::Duration min_rto = sim::milliseconds{200};
+    sim::Duration max_rto = sim::minutes{2};
+    sim::Duration initial_rto = sim::seconds{1};
+
+    // Give up after this many consecutive RTO retransmissions of the same
+    // data (Linux tcp_retries2-ish).
+    int max_retransmits = 15;
+    int max_syn_retransmits = 6;
+
+    // TIME_WAIT duration is 2*MSL; tests shrink this.
+    sim::Duration msl = sim::seconds{30};
+
+    // Zero-window persist probe bounds.
+    sim::Duration persist_min = sim::milliseconds{200};
+    sim::Duration persist_max = sim::seconds{60};
+
+    bool timestamps = false;  // the paper ran with TCP timestamps disabled
+};
+
+} // namespace sttcp::tcp
+
+template <>
+struct std::hash<sttcp::tcp::FlowKey> {
+    std::size_t operator()(const sttcp::tcp::FlowKey& k) const noexcept {
+        std::uint64_t a = static_cast<std::uint64_t>(k.local_ip.value()) << 32 |
+                          k.remote_ip.value();
+        std::uint64_t b = static_cast<std::uint64_t>(k.local_port) << 16 | k.remote_port;
+        return std::hash<std::uint64_t>{}(a ^ (b * 0x9e3779b97f4a7c15ULL));
+    }
+};

@@ -1,0 +1,19 @@
+#include "util/hexdump.hpp"
+
+namespace sttcp::util {
+
+std::string hexdump(std::span<const std::uint8_t> data, std::size_t max_bytes) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    std::size_t n = std::min(data.size(), max_bytes);
+    out.reserve(n * 3 + 4);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i) out.push_back(' ');
+        out.push_back(kHex[data[i] >> 4]);
+        out.push_back(kHex[data[i] & 0xf]);
+    }
+    if (data.size() > max_bytes) out += " ...";
+    return out;
+}
+
+} // namespace sttcp::util

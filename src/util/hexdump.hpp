@@ -1,0 +1,13 @@
+// Hex formatting helpers for trace output and test diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sttcp::util {
+
+// "de ad be ef ..." — at most max_bytes, with an ellipsis if truncated.
+[[nodiscard]] std::string hexdump(std::span<const std::uint8_t> data, std::size_t max_bytes = 64);
+
+} // namespace sttcp::util

@@ -1,0 +1,102 @@
+// Set of disjoint half-open intervals over 64-bit logical stream offsets.
+//
+// The TCP receive path maps 32-bit wrapping sequence numbers onto a 64-bit
+// unwrapped stream offset (see tcp/receive_buffer.hpp) and records which
+// ranges of the stream have arrived; this container tracks those ranges and
+// answers "how far is the stream contiguous from offset X" — which is
+// exactly NextByteExpected. The ST-TCP backup reuses it to detect tap gaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sttcp::util {
+
+class IntervalSet {
+public:
+    struct Interval {
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;  // half-open
+        friend bool operator==(const Interval&, const Interval&) = default;
+    };
+
+    // Inserts [begin, end), coalescing with any overlapping/adjacent runs.
+    void insert(std::uint64_t begin, std::uint64_t end) {
+        if (begin >= end) return;
+        // Find the first interval whose end >= begin (candidates to merge).
+        auto it = map_.lower_bound(begin);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= begin) it = prev;
+        }
+        while (it != map_.end() && it->first <= end) {
+            begin = std::min(begin, it->first);
+            end = std::max(end, it->second);
+            it = map_.erase(it);
+        }
+        map_.emplace(begin, end);
+    }
+
+    // Removes everything below `offset` (bytes delivered to the application).
+    void erase_below(std::uint64_t offset) {
+        auto it = map_.begin();
+        while (it != map_.end() && it->second <= offset) it = map_.erase(it);
+        if (it != map_.end() && it->first < offset) {
+            std::uint64_t end = it->second;
+            map_.erase(it);
+            map_.emplace(offset, end);
+        }
+    }
+
+    [[nodiscard]] bool contains(std::uint64_t offset) const {
+        auto it = map_.upper_bound(offset);
+        if (it == map_.begin()) return false;
+        --it;
+        return offset >= it->first && offset < it->second;
+    }
+
+    // Length of the contiguous run starting exactly at `offset` (0 if absent).
+    [[nodiscard]] std::uint64_t contiguous_from(std::uint64_t offset) const {
+        auto it = map_.upper_bound(offset);
+        if (it == map_.begin()) return 0;
+        --it;
+        if (offset < it->first || offset >= it->second) return 0;
+        return it->second - offset;
+    }
+
+    // Gaps inside [begin, end) — ranges not covered by any interval.
+    [[nodiscard]] std::vector<Interval> gaps(std::uint64_t begin, std::uint64_t end) const {
+        std::vector<Interval> out;
+        std::uint64_t cursor = begin;
+        for (auto it = map_.upper_bound(begin); cursor < end;) {
+            if (it != map_.begin()) {
+                auto prev = std::prev(it);
+                if (prev->second > cursor) cursor = prev->second;
+            }
+            if (cursor >= end) break;
+            std::uint64_t gap_end = (it == map_.end()) ? end : std::min(it->first, end);
+            if (cursor < gap_end) out.push_back({cursor, gap_end});
+            if (it == map_.end()) break;
+            cursor = it->second;
+            ++it;
+        }
+        return out;
+    }
+
+    [[nodiscard]] std::vector<Interval> intervals() const {
+        std::vector<Interval> out;
+        out.reserve(map_.size());
+        for (auto& [b, e] : map_) out.push_back({b, e});
+        return out;
+    }
+
+    [[nodiscard]] bool empty() const { return map_.empty(); }
+    [[nodiscard]] std::size_t count() const { return map_.size(); }
+    void clear() { map_.clear(); }
+
+private:
+    std::map<std::uint64_t, std::uint64_t> map_;  // begin -> end
+};
+
+} // namespace sttcp::util

@@ -1,0 +1,28 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace sttcp::util {
+
+std::string_view to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view msg) {
+    if (!enabled(level)) return;
+    if (sink_) {
+        sink_(level, component, msg);
+        return;
+    }
+    std::cerr << '[' << to_string(level) << "] " << component << ": " << msg << '\n';
+}
+
+} // namespace sttcp::util

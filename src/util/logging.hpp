@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by construction, so no synchronization is
+// needed. Components log through a shared Logger owned by the Simulation so
+// trace lines carry virtual timestamps (see sim/simulation.hpp).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sttcp::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+public:
+    using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+
+    void set_level(LogLevel level) { level_ = level; }
+    [[nodiscard]] LogLevel level() const { return level_; }
+    [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+    // Default sink writes to stderr; tests install capturing sinks.
+    void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+    void log(LogLevel level, std::string_view component, std::string_view msg);
+
+private:
+    LogLevel level_ = LogLevel::kWarn;
+    Sink sink_;
+};
+
+// Builds the message lazily: the stream body only runs if the level is on.
+#define STTCP_LOG(logger, level, component, body)                       \
+    do {                                                                \
+        if ((logger).enabled(level)) {                                  \
+            std::ostringstream sttcp_log_os_;                           \
+            sttcp_log_os_ << body;                                      \
+            (logger).log((level), (component), sttcp_log_os_.str());    \
+        }                                                               \
+    } while (0)
+
+} // namespace sttcp::util

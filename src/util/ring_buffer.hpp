@@ -1,0 +1,88 @@
+// Fixed-capacity byte ring buffer.
+//
+// Backs the TCP send and receive buffers. Capacity is set at construction
+// (TCP never grows a socket buffer mid-connection in our stack; ST-TCP's
+// "doubled" receive buffer is expressed as a second RingBuffer, see
+// sttcp/retention.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sttcp::util {
+
+class RingBuffer {
+public:
+    explicit RingBuffer(std::size_t capacity) : buf_(capacity) { assert(capacity > 0); }
+
+    [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] std::size_t free_space() const { return capacity() - size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] bool full() const { return size_ == capacity(); }
+
+    // Appends up to data.size() bytes; returns the number actually written
+    // (limited by free space).
+    std::size_t write(std::span<const std::uint8_t> data) {
+        std::size_t n = std::min(data.size(), free_space());
+        for (std::size_t i = 0; i < n; ++i) buf_[(head_ + size_ + i) % capacity()] = data[i];
+        size_ += n;
+        return n;
+    }
+
+    // Copies up to out.size() bytes from the front without consuming them;
+    // returns the number copied.
+    std::size_t peek(std::span<std::uint8_t> out, std::size_t offset = 0) const {
+        if (offset >= size_) return 0;
+        std::size_t n = std::min(out.size(), size_ - offset);
+        for (std::size_t i = 0; i < n; ++i) out[i] = buf_[(head_ + offset + i) % capacity()];
+        return n;
+    }
+
+    // Consumes up to n bytes from the front; returns the number consumed.
+    std::size_t consume(std::size_t n) {
+        n = std::min(n, size_);
+        head_ = (head_ + n) % capacity();
+        size_ -= n;
+        return n;
+    }
+
+    // Reads (copies then consumes) up to out.size() bytes.
+    std::size_t read(std::span<std::uint8_t> out) {
+        std::size_t n = peek(out);
+        consume(n);
+        return n;
+    }
+
+    // Overwrites bytes at a logical offset past the front (used by the TCP
+    // receive buffer to place out-of-order segments). The region must lie
+    // within [0, capacity); bytes between size() and offset+data.size() are
+    // not made readable until commit() extends size.
+    void write_at(std::size_t offset, std::span<const std::uint8_t> data) {
+        assert(offset + data.size() <= capacity());
+        for (std::size_t i = 0; i < data.size(); ++i)
+            buf_[(head_ + offset + i) % capacity()] = data[i];
+    }
+
+    // Extends the readable size to cover bytes placed with write_at.
+    void commit(std::size_t new_size) {
+        assert(new_size <= capacity());
+        assert(new_size >= size_);
+        size_ = new_size;
+    }
+
+    void clear() {
+        head_ = 0;
+        size_ = 0;
+    }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t head_ = 0;  // index of logical front
+    std::size_t size_ = 0;  // readable bytes
+};
+
+} // namespace sttcp::util

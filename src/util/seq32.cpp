@@ -1,0 +1,9 @@
+#include "util/seq32.hpp"
+
+#include <ostream>
+
+namespace sttcp::util {
+
+std::ostream& operator<<(std::ostream& os, Seq32 s) { return os << s.raw(); }
+
+} // namespace sttcp::util

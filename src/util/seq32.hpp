@@ -1,0 +1,58 @@
+// 32-bit TCP sequence-number arithmetic with wraparound (RFC 793 / RFC 1982).
+//
+// TCP sequence numbers live on a mod-2^32 circle; ordinary integer comparison
+// is wrong once a connection wraps (a 100 MB transfer wraps 0 times, but a
+// long-lived connection will). Every comparison in the TCP and ST-TCP layers
+// goes through this type so wraparound is handled in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+
+namespace sttcp::util {
+
+class Seq32 {
+public:
+    constexpr Seq32() = default;
+    constexpr explicit Seq32(std::uint32_t raw) : raw_(raw) {}
+
+    [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+
+    // Serial-number arithmetic: a < b iff the signed distance from a to b is
+    // positive. Distances of exactly 2^31 are ambiguous; TCP windows are far
+    // smaller than 2^31 so the ambiguity never arises in practice.
+    [[nodiscard]] friend constexpr bool operator==(Seq32 a, Seq32 b) = default;
+    [[nodiscard]] friend constexpr bool operator<(Seq32 a, Seq32 b) {
+        return static_cast<std::int32_t>(b.raw_ - a.raw_) > 0;
+    }
+    [[nodiscard]] friend constexpr bool operator>(Seq32 a, Seq32 b) { return b < a; }
+    [[nodiscard]] friend constexpr bool operator<=(Seq32 a, Seq32 b) { return !(b < a); }
+    [[nodiscard]] friend constexpr bool operator>=(Seq32 a, Seq32 b) { return !(a < b); }
+
+    friend constexpr Seq32 operator+(Seq32 a, std::uint32_t n) { return Seq32{a.raw_ + n}; }
+    friend constexpr Seq32 operator-(Seq32 a, std::uint32_t n) { return Seq32{a.raw_ - n}; }
+    constexpr Seq32& operator+=(std::uint32_t n) { raw_ += n; return *this; }
+    constexpr Seq32& operator-=(std::uint32_t n) { raw_ -= n; return *this; }
+
+    // Distance from b to a along the circle (a - b), as an unsigned count of
+    // bytes. Caller asserts a >= b in serial order.
+    [[nodiscard]] friend constexpr std::uint32_t operator-(Seq32 a, Seq32 b) {
+        return a.raw_ - b.raw_;
+    }
+
+private:
+    std::uint32_t raw_ = 0;
+};
+
+// True iff seq lies in the half-open window [lo, lo+len).
+[[nodiscard]] constexpr bool in_window(Seq32 seq, Seq32 lo, std::uint32_t len) {
+    return (seq - lo) < len;
+}
+
+[[nodiscard]] constexpr Seq32 min(Seq32 a, Seq32 b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Seq32 max(Seq32 a, Seq32 b) { return a < b ? b : a; }
+
+std::ostream& operator<<(std::ostream& os, Seq32 s);
+
+} // namespace sttcp::util

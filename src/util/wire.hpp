@@ -1,0 +1,136 @@
+// Big-endian (network byte order) wire encoding helpers.
+//
+// All packet formats in src/net serialize through these, so byte order is
+// decided in one place and the parsers can be fuzz-tested independently of
+// the protocol logic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sttcp::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+// Appends fixed-width big-endian integers to a growing byte vector.
+class WireWriter {
+public:
+    explicit WireWriter(Bytes& out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u16(std::uint16_t v) {
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+        out_.push_back(static_cast<std::uint8_t>(v));
+    }
+    void u32(std::uint32_t v) {
+        out_.push_back(static_cast<std::uint8_t>(v >> 24));
+        out_.push_back(static_cast<std::uint8_t>(v >> 16));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+        out_.push_back(static_cast<std::uint8_t>(v));
+    }
+    void u64(std::uint64_t v) {
+        u32(static_cast<std::uint32_t>(v >> 32));
+        u32(static_cast<std::uint32_t>(v));
+    }
+    void bytes(ByteView v) { out_.insert(out_.end(), v.begin(), v.end()); }
+    void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
+
+    [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+    // Patches a previously written big-endian u16 (e.g. a checksum field).
+    void patch_u16(std::size_t offset, std::uint16_t v) {
+        out_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+        out_.at(offset + 1) = static_cast<std::uint8_t>(v);
+    }
+
+private:
+    Bytes& out_;
+};
+
+// Thrown by WireReader when a packet is shorter than its header claims.
+class WireError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+// Consumes fixed-width big-endian integers from a byte view; throws
+// WireError on underrun so malformed packets are rejected, never misread.
+class WireReader {
+public:
+    explicit WireReader(ByteView in) : in_(in) {}
+
+    [[nodiscard]] std::uint8_t u8() { return take(1)[0]; }
+    [[nodiscard]] std::uint16_t u16() {
+        auto b = take(2);
+        return static_cast<std::uint16_t>(b[0] << 8 | b[1]);
+    }
+    [[nodiscard]] std::uint32_t u32() {
+        auto b = take(4);
+        return static_cast<std::uint32_t>(b[0]) << 24 | static_cast<std::uint32_t>(b[1]) << 16 |
+               static_cast<std::uint32_t>(b[2]) << 8 | static_cast<std::uint32_t>(b[3]);
+    }
+    [[nodiscard]] std::uint64_t u64() {
+        std::uint64_t hi = u32();
+        return hi << 32 | u32();
+    }
+    [[nodiscard]] ByteView bytes(std::size_t n) { return take(n); }
+    void skip(std::size_t n) { (void)take(n); }
+
+    [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+    [[nodiscard]] ByteView rest() { return take(remaining()); }
+
+private:
+    ByteView take(std::size_t n) {
+        if (remaining() < n) throw WireError{"packet truncated"};
+        ByteView v = in_.subspan(pos_, n);
+        pos_ += n;
+        return v;
+    }
+
+    ByteView in_;
+    std::size_t pos_ = 0;
+};
+
+// RFC 1071 Internet checksum over a byte sequence, with incremental folding.
+class InternetChecksum {
+public:
+    void add(ByteView data) {
+        std::size_t i = 0;
+        if (odd_) {
+            if (data.empty()) return;
+            sum_ += data[0];
+            odd_ = false;
+            i = 1;
+        }
+        for (; i + 1 < data.size(); i += 2)
+            sum_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+        if (i < data.size()) {
+            sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+            odd_ = true;
+        }
+    }
+    void add_u16(std::uint16_t v) {
+        std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+        add(ByteView{b, 2});
+    }
+    void add_u32(std::uint32_t v) {
+        add_u16(static_cast<std::uint16_t>(v >> 16));
+        add_u16(static_cast<std::uint16_t>(v));
+    }
+
+    [[nodiscard]] std::uint16_t finish() const {
+        std::uint64_t s = sum_;
+        while (s >> 16) s = (s & 0xffff) + (s >> 16);
+        return static_cast<std::uint16_t>(~s);
+    }
+
+private:
+    std::uint64_t sum_ = 0;
+    bool odd_ = false;
+};
+
+} // namespace sttcp::util

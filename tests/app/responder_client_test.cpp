@@ -1,0 +1,107 @@
+// ResponderApp + ClientDriver over a plain (non-replicated) stack: the
+// workload machinery must be correct independently of ST-TCP.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+
+namespace sttcp {
+namespace {
+
+using testing::TwoHostLan;
+
+struct AppFixture : ::testing::Test {
+    TwoHostLan lan;
+    app::ResponderApp server_app;
+    std::shared_ptr<tcp::TcpListener> listener;
+
+    AppFixture() {
+        listener = lan.server.tcp_listen(8000);
+        server_app.attach(*listener);
+    }
+
+    app::ClientDriver::Result run(const app::Workload& w,
+                                  sim::Duration limit = sim::minutes{5}) {
+        app::ClientDriver driver{lan.client, lan.server_ip, 8000, w};
+        bool done = false;
+        driver.start([&] { done = true; });
+        sim::TimePoint deadline = lan.sim.now() + limit;
+        while (!done && lan.sim.now() < deadline)
+            lan.sim.run_until(lan.sim.now() + sim::milliseconds{100});
+        return driver.result();
+    }
+};
+
+TEST_F(AppFixture, EchoWorkloadCompletesAndVerifies) {
+    auto r = run(app::Workload::echo());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_EQ(r.bytes_received, 100u * 150);
+    EXPECT_EQ(r.round_seconds.size(), 100u);
+    EXPECT_EQ(server_app.stats().requests_served, 100u);
+    EXPECT_EQ(server_app.stats().connections, 1u);
+}
+
+TEST_F(AppFixture, InteractiveRoundsAreUniform) {
+    auto r = run(app::Workload::interactive());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.bytes_received, 100u * 10240);
+    // Steady-state rounds (after slow start) should be nearly identical.
+    double mid = r.round_seconds[50];
+    for (std::size_t i = 40; i < 90; ++i) {
+        EXPECT_NEAR(r.round_seconds[i], mid, mid * 0.5) << "round " << i;
+    }
+}
+
+TEST_F(AppFixture, BulkTransferDeliversEveryByte) {
+    auto r = run(app::Workload::bulk_mb(2));
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.bytes_received, 2u << 20);
+    EXPECT_EQ(r.verify_errors, 0u);
+}
+
+TEST_F(AppFixture, UploadWorkloadDrainsClientData) {
+    auto r = run(app::Workload::upload_kb(64, 3));
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(server_app.stats().upload_bytes_received, 3u * 64 * 1024);
+    EXPECT_EQ(server_app.stats().requests_served, 3u);
+}
+
+TEST_F(AppFixture, SequentialRequestsNeverOverlap) {
+    // The driver is strictly request-then-response; the server serves them
+    // one at a time, so requests_served ticks in lockstep with rounds.
+    auto r = run(app::Workload{"mini", 5, 1024, 0});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.round_seconds.size(), 5u);
+    EXPECT_EQ(server_app.stats().requests_served, 5u);
+}
+
+TEST_F(AppFixture, ServerSurvivesClientAbort) {
+    app::ClientDriver driver{lan.client, lan.server_ip, 8000, app::Workload::bulk_mb(1)};
+    driver.start();
+    lan.sim.run_for(sim::milliseconds{200});
+    // Abort mid-transfer: server session must tear down without issue.
+    auto conns = lan.client.connections();
+    ASSERT_FALSE(conns.empty());
+    conns.front()->abort();
+    lan.sim.run_for(sim::seconds{2});
+    EXPECT_TRUE(lan.server.connections().empty());
+
+    // And the server still accepts new work afterwards.
+    auto r = run(app::Workload::echo());
+    EXPECT_TRUE(r.completed);
+}
+
+TEST_F(AppFixture, MultipleSequentialClients) {
+    for (int i = 0; i < 3; ++i) {
+        auto r = run(app::Workload{"burst", 10, 2048, 0});
+        ASSERT_TRUE(r.completed) << "client " << i;
+        EXPECT_EQ(r.verify_errors, 0u);
+    }
+    EXPECT_EQ(server_app.stats().connections, 3u);
+    EXPECT_EQ(server_app.stats().requests_served, 30u);
+}
+
+} // namespace
+} // namespace sttcp

@@ -1,0 +1,77 @@
+// Address types: the multicast bit and subnet logic that the tapping
+// architectures depend on.
+#include <gtest/gtest.h>
+
+#include "net/addr.hpp"
+
+namespace sttcp::net {
+namespace {
+
+TEST(MacAddress, LocalIsUnicast) {
+    MacAddress m = MacAddress::local(42);
+    EXPECT_TRUE(m.is_unicast());
+    EXPECT_FALSE(m.is_multicast());
+    EXPECT_FALSE(m.is_broadcast());
+}
+
+TEST(MacAddress, MulticastHasGroupBit) {
+    MacAddress m = MacAddress::multicast(42);
+    EXPECT_TRUE(m.is_multicast());
+    EXPECT_FALSE(m.is_unicast());
+    // The I/G bit is the least significant bit of the first octet.
+    EXPECT_EQ(m.bytes()[0] & 0x01, 0x01);
+}
+
+TEST(MacAddress, BroadcastIsMulticast) {
+    EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+    EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+}
+
+TEST(MacAddress, DistinctIds) {
+    EXPECT_NE(MacAddress::local(1), MacAddress::local(2));
+    EXPECT_NE(MacAddress::local(1), MacAddress::multicast(1));
+    EXPECT_EQ(MacAddress::local(7), MacAddress::local(7));
+}
+
+TEST(MacAddress, ToString) {
+    MacAddress m({0x02, 0x00, 0xde, 0xad, 0xbe, 0xef});
+    EXPECT_EQ(m.to_string(), "02:00:de:ad:be:ef");
+}
+
+TEST(Ipv4Address, OctetConstruction) {
+    Ipv4Address a{10, 0, 0, 100};
+    EXPECT_EQ(a.value(), 0x0a000064u);
+    EXPECT_EQ(a.to_string(), "10.0.0.100");
+}
+
+TEST(Ipv4Address, Unspecified) {
+    EXPECT_TRUE(Ipv4Address{}.is_unspecified());
+    EXPECT_FALSE((Ipv4Address{0, 0, 0, 1}).is_unspecified());
+}
+
+TEST(Ipv4Address, SubnetMembership) {
+    Ipv4Address net{10, 0, 0, 0};
+    EXPECT_TRUE((Ipv4Address{10, 0, 0, 5}).in_subnet(net, 24));
+    EXPECT_FALSE((Ipv4Address{10, 0, 1, 5}).in_subnet(net, 24));
+    EXPECT_TRUE((Ipv4Address{10, 0, 1, 5}).in_subnet(net, 16));
+    EXPECT_TRUE((Ipv4Address{192, 168, 1, 1}).in_subnet(net, 0));
+    // /32 requires exact match.
+    EXPECT_TRUE((Ipv4Address{10, 0, 0, 0}).in_subnet(net, 32));
+    EXPECT_FALSE((Ipv4Address{10, 0, 0, 1}).in_subnet(net, 32));
+}
+
+TEST(Ipv4Address, Ordering) {
+    EXPECT_LT((Ipv4Address{10, 0, 0, 1}), (Ipv4Address{10, 0, 0, 2}));
+    EXPECT_EQ((Ipv4Address{10, 0, 0, 1}), (Ipv4Address{10, 0, 0, 1}));
+}
+
+TEST(AddressHashes, UsableInMaps) {
+    std::hash<Ipv4Address> hip;
+    std::hash<MacAddress> hmac;
+    EXPECT_NE(hip(Ipv4Address{10, 0, 0, 1}), hip(Ipv4Address{10, 0, 0, 2}));
+    EXPECT_NE(hmac(MacAddress::local(1)), hmac(MacAddress::local(2)));
+    EXPECT_EQ(hip(Ipv4Address{1, 2, 3, 4}), hip(Ipv4Address{1, 2, 3, 4}));
+}
+
+} // namespace
+} // namespace sttcp::net

@@ -1,0 +1,330 @@
+// Link, NIC, hub, switch, power switch: the L2 machinery under the tap.
+#include <gtest/gtest.h>
+
+#include "net/hub.hpp"
+#include "net/nic.hpp"
+#include "net/power_switch.hpp"
+#include "net/switch.hpp"
+#include "sim/simulation.hpp"
+
+namespace sttcp::net {
+namespace {
+
+EthernetFrame frame_to(MacAddress dst, MacAddress src, std::size_t payload = 64) {
+    EthernetFrame f;
+    f.dst = dst;
+    f.src = src;
+    f.payload.assign(payload, 0xaa);
+    return f;
+}
+
+struct Sink final : FrameEndpoint {
+    void handle_frame(const EthernetFrame& frame) override {
+        frames.push_back(frame);
+        if (on_frame) on_frame(frame);
+    }
+    [[nodiscard]] std::string endpoint_name() const override { return "sink"; }
+    std::vector<EthernetFrame> frames;
+    std::function<void(const EthernetFrame&)> on_frame;
+};
+
+// ------------------------------------------------------------------- Link
+
+TEST(Link, DeliversAfterSerializationAndPropagation) {
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 8e6;  // 1 byte/us
+    cfg.propagation = sim::microseconds{100};
+    Link link{sim, cfg};
+    Sink a, b;
+    link.attach(a, b);
+
+    EthernetFrame f = frame_to(MacAddress::local(2), MacAddress::local(1), 100);
+    std::size_t wire = f.wire_size();
+    ASSERT_TRUE(link.send_from(a, f));
+
+    sim.run_until(sim::TimePoint{} + sim::microseconds{static_cast<int>(wire) + 99});
+    EXPECT_TRUE(b.frames.empty());  // not yet: tx time + propagation
+    sim.run_until(sim::TimePoint{} + sim::microseconds{static_cast<int>(wire) + 101});
+    ASSERT_EQ(b.frames.size(), 1u);
+    EXPECT_EQ(link.stats().frames_delivered, 1u);
+}
+
+TEST(Link, BackToBackFramesQueueOnSerialization) {
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 8e6;
+    cfg.propagation = sim::Duration{0};
+    Link link{sim, cfg};
+    Sink a, b;
+    link.attach(a, b);
+
+    EthernetFrame f = frame_to(MacAddress::local(2), MacAddress::local(1), 980);
+    std::size_t wire = f.wire_size();  // ~1018 bytes -> ~1018 us each
+    link.send_from(a, f);
+    link.send_from(a, f);
+    sim.run_until(sim::TimePoint{} + sim::microseconds{static_cast<int>(wire) + 1});
+    EXPECT_EQ(b.frames.size(), 1u);  // second still serializing
+    sim.run_until(sim::TimePoint{} + sim::microseconds{2 * static_cast<int>(wire) + 1});
+    EXPECT_EQ(b.frames.size(), 2u);
+}
+
+TEST(Link, DirectionsAreIndependent) {
+    sim::Simulation sim;
+    Link link{sim, LinkConfig{}};
+    Sink a, b;
+    link.attach(a, b);
+    link.send_from(a, frame_to(MacAddress::local(2), MacAddress::local(1)));
+    link.send_from(b, frame_to(MacAddress::local(1), MacAddress::local(2)));
+    sim.run();
+    EXPECT_EQ(a.frames.size(), 1u);
+    EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST(Link, QueueOverflowDropsTail) {
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 1e6;  // slow
+    cfg.queue_capacity_bytes = 3000;
+    Link link{sim, cfg};
+    Sink a, b;
+    link.attach(a, b);
+
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (link.send_from(a, frame_to(MacAddress::local(2), MacAddress::local(1), 950)))
+            ++accepted;
+    }
+    EXPECT_LT(accepted, 10);
+    EXPECT_GT(link.stats().frames_dropped_queue, 0u);
+    sim.run();
+    EXPECT_EQ(b.frames.size(), static_cast<std::size_t>(accepted));
+}
+
+TEST(Link, LossProbabilityDropsStatistically) {
+    sim::Simulation sim{7};
+    LinkConfig cfg;
+    cfg.loss_probability = 0.3;
+    Link link{sim, cfg};
+    Sink a, b;
+    link.attach(a, b);
+    for (int i = 0; i < 1000; ++i)
+        link.send_from(a, frame_to(MacAddress::local(2), MacAddress::local(1)));
+    sim.run();
+    double delivered = static_cast<double>(b.frames.size()) / 1000.0;
+    EXPECT_NEAR(delivered, 0.7, 0.05);
+    EXPECT_EQ(link.stats().frames_dropped_loss + link.stats().frames_delivered, 1000u);
+}
+
+TEST(Link, PerDirectionLossOverride) {
+    sim::Simulation sim{7};
+    LinkConfig cfg;
+    Link link{sim, cfg};
+    Sink a, b;
+    link.attach(a, b);
+    link.set_loss_toward(b, 1.0);  // everything toward b dies
+    for (int i = 0; i < 50; ++i) {
+        link.send_from(a, frame_to(MacAddress::local(2), MacAddress::local(1)));
+        link.send_from(b, frame_to(MacAddress::local(1), MacAddress::local(2)));
+    }
+    sim.run();
+    EXPECT_EQ(b.frames.size(), 0u);
+    EXPECT_EQ(a.frames.size(), 50u);
+}
+
+// -------------------------------------------------------------------- NIC
+
+struct NicFixture : ::testing::Test {
+    sim::Simulation sim;
+    Node node{"host"};
+    Nic nic{node, "eth0", MacAddress::local(1)};
+    Link link{sim, LinkConfig{}};
+    Sink peer;
+    std::vector<EthernetFrame> received;
+
+    NicFixture() {
+        link.attach(peer, nic);
+        nic.set_rx_handler([this](const EthernetFrame& f) { received.push_back(f); });
+    }
+    void deliver(MacAddress dst) {
+        link.send_from(peer, frame_to(dst, MacAddress::local(9)));
+        sim.run();
+    }
+};
+
+TEST_F(NicFixture, AcceptsOwnUnicastAndBroadcast) {
+    deliver(MacAddress::local(1));
+    deliver(MacAddress::broadcast());
+    EXPECT_EQ(received.size(), 2u);
+}
+
+TEST_F(NicFixture, FiltersForeignUnicast) {
+    deliver(MacAddress::local(2));
+    EXPECT_TRUE(received.empty());
+    EXPECT_EQ(nic.stats().rx_filtered, 1u);
+}
+
+TEST_F(NicFixture, MulticastRequiresMembership) {
+    deliver(MacAddress::multicast(5));
+    EXPECT_TRUE(received.empty());
+    nic.join_multicast(MacAddress::multicast(5));
+    deliver(MacAddress::multicast(5));
+    EXPECT_EQ(received.size(), 1u);
+    nic.leave_multicast(MacAddress::multicast(5));
+    deliver(MacAddress::multicast(5));
+    EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NicFixture, PromiscuousAcceptsEverything) {
+    nic.set_promiscuous(true);
+    deliver(MacAddress::local(99));
+    deliver(MacAddress::multicast(42));
+    EXPECT_EQ(received.size(), 2u);
+}
+
+TEST_F(NicFixture, PoweredOffNicIsDeaf) {
+    node.power_off();
+    deliver(MacAddress::local(1));
+    EXPECT_TRUE(received.empty());
+    // And mute.
+    nic.send(frame_to(MacAddress::local(9), nic.mac()));
+    sim.run();
+    EXPECT_TRUE(peer.frames.empty());
+}
+
+// -------------------------------------------------------------------- Hub
+
+TEST(Hub, RepeatsToAllOtherPorts) {
+    sim::Simulation sim;
+    Hub hub{sim, "hub"};
+    Sink a, b, c;
+    hub.connect(a, LinkConfig{});
+    hub.connect(b, LinkConfig{});
+    hub.connect(c, LinkConfig{});
+
+    a.link()->send_from(a, frame_to(MacAddress::local(2), MacAddress::local(1)));
+    sim.run();
+    EXPECT_TRUE(a.frames.empty());  // never back to the sender
+    EXPECT_EQ(b.frames.size(), 1u);
+    EXPECT_EQ(c.frames.size(), 1u);
+    EXPECT_EQ(hub.stats().frames_repeated, 1u);
+}
+
+// ----------------------------------------------------------------- Switch
+
+struct SwitchFixture : ::testing::Test {
+    sim::Simulation sim;
+    Switch sw{sim, "sw"};
+    Sink a, b, c;
+    std::size_t pa, pb, pc;
+
+    SwitchFixture() {
+        pa = sw.connect(a, LinkConfig{});
+        pb = sw.connect(b, LinkConfig{});
+        pc = sw.connect(c, LinkConfig{});
+    }
+    void send(Sink& from, MacAddress dst, MacAddress src) {
+        from.link()->send_from(from, frame_to(dst, src));
+        sim.run();
+    }
+};
+
+TEST_F(SwitchFixture, FloodsUnknownUnicastThenLearns) {
+    // b's MAC is unknown: flood.
+    send(a, MacAddress::local(2), MacAddress::local(1));
+    EXPECT_EQ(b.frames.size(), 1u);
+    EXPECT_EQ(c.frames.size(), 1u);
+    EXPECT_EQ(sw.learned_port(MacAddress::local(1)), pa);
+
+    // b replies; a's MAC is already learned so this is unicast (c sees
+    // nothing new), and the switch learns b for the next a->b send.
+    send(b, MacAddress::local(1), MacAddress::local(2));
+    EXPECT_EQ(a.frames.size(), 1u);
+    send(a, MacAddress::local(2), MacAddress::local(1));
+    EXPECT_EQ(b.frames.size(), 2u);
+    EXPECT_EQ(c.frames.size(), 1u);  // only the initial flood
+    EXPECT_GT(sw.stats().unicast_forwarded, 0u);
+}
+
+TEST_F(SwitchFixture, FloodsBroadcastAndMulticast) {
+    send(a, MacAddress::broadcast(), MacAddress::local(1));
+    send(a, MacAddress::multicast(9), MacAddress::local(1));
+    EXPECT_EQ(b.frames.size(), 2u);
+    EXPECT_EQ(c.frames.size(), 2u);
+    EXPECT_EQ(sw.stats().flooded, 2u);
+}
+
+TEST_F(SwitchFixture, MirrorCopiesBothDirections) {
+    // Learn MACs first.
+    send(a, MacAddress::broadcast(), MacAddress::local(1));
+    send(b, MacAddress::broadcast(), MacAddress::local(2));
+    c.frames.clear();
+
+    sw.set_mirror(pa, pc);  // observe a's port, tap at c
+    send(b, MacAddress::local(1), MacAddress::local(2));  // toward a: egress at pa
+    EXPECT_EQ(c.frames.size(), 1u);
+    send(a, MacAddress::local(2), MacAddress::local(1));  // from a: ingress at pa
+    EXPECT_EQ(c.frames.size(), 2u);
+    EXPECT_EQ(sw.stats().mirrored, 2u);
+
+    sw.clear_mirror();
+    send(a, MacAddress::local(2), MacAddress::local(1));
+    EXPECT_EQ(c.frames.size(), 2u);
+}
+
+// ------------------------------------------------------------ PowerSwitch
+
+TEST(PowerSwitch, FencesAfterLatencyAndConfirms) {
+    sim::Simulation sim;
+    Node victim{"victim"};
+    PowerSwitch psw{sim, sim::milliseconds{5}};
+    psw.manage(victim);
+
+    bool confirmed = false;
+    psw.power_off("victim", [&] { confirmed = true; });
+    sim.run_until(sim::TimePoint{} + sim::milliseconds{4});
+    EXPECT_TRUE(victim.powered());
+    EXPECT_FALSE(confirmed);
+    sim.run_until(sim::TimePoint{} + sim::milliseconds{6});
+    EXPECT_FALSE(victim.powered());
+    EXPECT_TRUE(confirmed);
+    EXPECT_EQ(psw.stats().nodes_killed, 1u);
+}
+
+TEST(PowerSwitch, FencingDeadNodeStillConfirms) {
+    sim::Simulation sim;
+    Node victim{"victim"};
+    victim.power_off();
+    PowerSwitch psw{sim, sim::milliseconds{5}};
+    psw.manage(victim);
+    bool confirmed = false;
+    psw.power_off("victim", [&] { confirmed = true; });
+    sim.run();
+    EXPECT_TRUE(confirmed);
+    EXPECT_EQ(psw.stats().nodes_killed, 0u);  // was already dead
+    EXPECT_EQ(psw.stats().commands, 1u);
+}
+
+TEST(PowerSwitch, UnknownNodeConfirmsWithoutAction) {
+    sim::Simulation sim;
+    PowerSwitch psw{sim, sim::milliseconds{1}};
+    bool confirmed = false;
+    psw.power_off("ghost", [&] { confirmed = true; });
+    sim.run();
+    EXPECT_TRUE(confirmed);
+}
+
+TEST(Node, PowerOffHooksFireOnce) {
+    Node n{"x"};
+    int fired = 0;
+    n.on_power_off([&] { ++fired; });
+    n.power_off();
+    n.power_off();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(n.powered());
+    n.power_on();
+    EXPECT_TRUE(n.powered());
+}
+
+} // namespace
+} // namespace sttcp::net

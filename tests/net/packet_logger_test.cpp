@@ -1,0 +1,134 @@
+// PacketLogger: the in-memory logger appliance that masks omission+crash
+// double failures (paper §3.2).
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+#include "net/packet_logger.hpp"
+
+namespace sttcp::net {
+namespace {
+
+const Ipv4Address kClient{10, 0, 0, 10};
+const Ipv4Address kService{10, 0, 0, 100};
+
+EthernetFrame tcp_frame(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+                        std::uint16_t dport, util::Seq32 seq, std::size_t len) {
+    TcpSegment seg;
+    seg.src_port = sport;
+    seg.dst_port = dport;
+    seg.seq = seq;
+    seg.flags.ack = true;
+    seg.payload.assign(len, 0x42);
+    Ipv4Packet ip;
+    ip.src = src;
+    ip.dst = dst;
+    ip.proto = IpProto::kTcp;
+    ip.payload = seg.serialize(src, dst);
+    EthernetFrame f;
+    f.dst = MacAddress::local(2);
+    f.src = MacAddress::local(1);
+    f.payload = ip.serialize();
+    return f;
+}
+
+struct LoggerFixture : ::testing::Test {
+    sim::Simulation sim;
+    Node node{"logger"};
+};
+
+TEST_F(LoggerFixture, FindsMatchingSequenceRanges) {
+    PacketLogger logger{sim, node};
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{1000}, 100));
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{1100}, 100));
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{1200}, 100));
+
+    // Exact middle segment.
+    auto hits = logger.find_tcp_range(kClient, kService, 5000, 80, util::Seq32{1100},
+                                      util::Seq32{1200});
+    EXPECT_EQ(hits.size(), 1u);
+
+    // Overlapping range catches two.
+    hits = logger.find_tcp_range(kClient, kService, 5000, 80, util::Seq32{1050},
+                                 util::Seq32{1150});
+    EXPECT_EQ(hits.size(), 2u);
+
+    // Disjoint range catches none.
+    hits = logger.find_tcp_range(kClient, kService, 5000, 80, util::Seq32{2000},
+                                 util::Seq32{3000});
+    EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(LoggerFixture, FiltersByFlow) {
+    PacketLogger logger{sim, node};
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{1000}, 100));
+    // Same range, different port / different direction.
+    logger.record(tcp_frame(kClient, kService, 5001, 80, util::Seq32{1000}, 100));
+    logger.record(tcp_frame(kService, kClient, 80, 5000, util::Seq32{1000}, 100));
+
+    auto hits = logger.find_tcp_range(kClient, kService, 5000, 80, util::Seq32{1000},
+                                      util::Seq32{1100});
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(LoggerFixture, IgnoresEmptyAndNonTcp) {
+    PacketLogger logger{sim, node};
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{1000}, 0));  // pure ack
+    EthernetFrame junk;
+    junk.type = EtherType::kArp;
+    junk.payload = {1, 2, 3};
+    logger.record(junk);
+    auto hits = logger.find_tcp_range(kClient, kService, 5000, 80, util::Seq32{0},
+                                      util::Seq32{0xffff0000});
+    EXPECT_TRUE(hits.empty());
+    EXPECT_EQ(logger.frame_count(), 2u);
+}
+
+TEST_F(LoggerFixture, MatchesAcrossSequenceWrap) {
+    PacketLogger logger{sim, node};
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{0xffffffb0u}, 100));
+    // Segment spans the wrap: [0xffffffb0, 0x14).
+    auto hits = logger.find_tcp_range(kClient, kService, 5000, 80, util::Seq32{0},
+                                      util::Seq32{0x10});
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(LoggerFixture, EvictsByByteBudget) {
+    PacketLogger::Config cfg;
+    cfg.max_bytes = 2000;
+    PacketLogger logger{sim, node, cfg};
+    for (int i = 0; i < 10; ++i)
+        logger.record(tcp_frame(kClient, kService, 5000, 80,
+                                util::Seq32{static_cast<std::uint32_t>(i) * 500}, 400));
+    EXPECT_LE(logger.stored_bytes(), cfg.max_bytes + 600);  // one frame of slack
+    EXPECT_GT(logger.stats().frames_evicted, 0u);
+    // Oldest frames are gone, newest remain.
+    EXPECT_TRUE(logger
+                    .find_tcp_range(kClient, kService, 5000, 80, util::Seq32{0},
+                                    util::Seq32{400})
+                    .empty());
+    EXPECT_FALSE(logger
+                     .find_tcp_range(kClient, kService, 5000, 80, util::Seq32{4500},
+                                     util::Seq32{4900})
+                     .empty());
+}
+
+TEST_F(LoggerFixture, EvictsByAge) {
+    PacketLogger::Config cfg;
+    cfg.max_age = sim::seconds{10};
+    PacketLogger logger{sim, node, cfg};
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{0}, 100));
+    sim.run_until(sim.now() + sim::seconds{60});
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{100}, 100));
+    EXPECT_EQ(logger.frame_count(), 1u);
+    EXPECT_EQ(logger.stats().frames_evicted, 1u);
+}
+
+TEST_F(LoggerFixture, DeadLoggerRecordsNothing) {
+    PacketLogger logger{sim, node};
+    node.power_off();
+    logger.record(tcp_frame(kClient, kService, 5000, 80, util::Seq32{0}, 100));
+    EXPECT_EQ(logger.frame_count(), 0u);
+}
+
+} // namespace
+} // namespace sttcp::net

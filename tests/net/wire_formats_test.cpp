@@ -1,0 +1,265 @@
+// Packet formats: serialize/parse round trips, checksum verification, and
+// rejection of corrupted or truncated input for every protocol layer.
+#include <gtest/gtest.h>
+
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_wire.hpp"
+#include "net/udp.hpp"
+
+namespace sttcp::net {
+namespace {
+
+const Ipv4Address kSrc{10, 0, 0, 1};
+const Ipv4Address kDst{10, 0, 0, 2};
+
+util::Bytes pattern(std::size_t n) {
+    util::Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    return b;
+}
+
+// ---------------------------------------------------------------- Ethernet
+
+TEST(EthernetFrame, RoundTrip) {
+    EthernetFrame f;
+    f.dst = MacAddress::local(1);
+    f.src = MacAddress::local(2);
+    f.type = EtherType::kArp;
+    f.payload = pattern(100);
+    EthernetFrame g = EthernetFrame::parse(f.serialize());
+    EXPECT_EQ(g.dst, f.dst);
+    EXPECT_EQ(g.src, f.src);
+    EXPECT_EQ(g.type, f.type);
+    EXPECT_EQ(g.payload, f.payload);
+}
+
+TEST(EthernetFrame, WireSizeIncludesPaddingAndOverhead) {
+    EthernetFrame f;
+    f.payload = pattern(10);  // below 46-byte minimum
+    EXPECT_EQ(f.wire_size(), 14u + 46 + 4 + 20);
+    f.payload = pattern(1000);
+    EXPECT_EQ(f.wire_size(), 14u + 1000 + 4 + 20);
+}
+
+TEST(EthernetFrame, TruncatedThrows) {
+    util::Bytes raw{1, 2, 3};
+    EXPECT_THROW((void)EthernetFrame::parse(raw), util::WireError);
+}
+
+// --------------------------------------------------------------------- ARP
+
+TEST(ArpMessage, RoundTrip) {
+    ArpMessage m;
+    m.op = ArpOp::kReply;
+    m.sender_mac = MacAddress::local(3);
+    m.sender_ip = kSrc;
+    m.target_mac = MacAddress::local(4);
+    m.target_ip = kDst;
+    ArpMessage n = ArpMessage::parse(m.serialize());
+    EXPECT_EQ(n.op, ArpOp::kReply);
+    EXPECT_EQ(n.sender_mac, m.sender_mac);
+    EXPECT_EQ(n.sender_ip, m.sender_ip);
+    EXPECT_EQ(n.target_mac, m.target_mac);
+    EXPECT_EQ(n.target_ip, m.target_ip);
+}
+
+TEST(ArpMessage, RejectsWrongHardwareType) {
+    ArpMessage m;
+    util::Bytes raw = m.serialize();
+    raw[1] = 9;  // HTYPE
+    EXPECT_THROW((void)ArpMessage::parse(raw), util::WireError);
+}
+
+// -------------------------------------------------------------------- IPv4
+
+TEST(Ipv4Packet, RoundTrip) {
+    Ipv4Packet p;
+    p.src = kSrc;
+    p.dst = kDst;
+    p.proto = IpProto::kUdp;
+    p.ttl = 17;
+    p.identification = 0xbeef;
+    p.payload = pattern(64);
+    Ipv4Packet q = Ipv4Packet::parse(p.serialize());
+    EXPECT_EQ(q.src, p.src);
+    EXPECT_EQ(q.dst, p.dst);
+    EXPECT_EQ(q.proto, p.proto);
+    EXPECT_EQ(q.ttl, p.ttl);
+    EXPECT_EQ(q.identification, p.identification);
+    EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Ipv4Packet, HeaderCorruptionDetected) {
+    Ipv4Packet p;
+    p.src = kSrc;
+    p.dst = kDst;
+    p.payload = pattern(20);
+    util::Bytes raw = p.serialize();
+    // Flip one bit in every header byte except the checksum itself and
+    // verify the parser rejects it (or produces a mismatching header).
+    for (std::size_t i = 0; i < Ipv4Packet::kHeaderSize; ++i) {
+        if (i == 10 || i == 11) continue;  // the checksum field
+        util::Bytes bad = raw;
+        bad[i] ^= 0x01;
+        EXPECT_THROW((void)Ipv4Packet::parse(bad), util::WireError) << "byte " << i;
+    }
+}
+
+TEST(Ipv4Packet, RejectsFragments) {
+    Ipv4Packet p;
+    p.src = kSrc;
+    p.dst = kDst;
+    p.payload = pattern(8);
+    util::Bytes raw = p.serialize();
+    raw[6] = 0x20;  // MF flag
+    // Fix the checksum so only the fragment check fires.
+    raw[10] = raw[11] = 0;
+    util::InternetChecksum sum;
+    sum.add(util::ByteView{raw.data(), 20});
+    std::uint16_t c = sum.finish();
+    raw[10] = static_cast<std::uint8_t>(c >> 8);
+    raw[11] = static_cast<std::uint8_t>(c);
+    EXPECT_THROW((void)Ipv4Packet::parse(raw), util::WireError);
+}
+
+TEST(Ipv4Packet, RejectsBadLength) {
+    Ipv4Packet p;
+    p.src = kSrc;
+    p.dst = kDst;
+    p.payload = pattern(8);
+    util::Bytes raw = p.serialize();
+    raw.resize(20);  // truncate the payload below the declared total length
+    EXPECT_THROW((void)Ipv4Packet::parse(raw), util::WireError);
+}
+
+// --------------------------------------------------------------------- UDP
+
+TEST(UdpDatagram, RoundTrip) {
+    UdpDatagram d;
+    d.src_port = 5700;
+    d.dst_port = 5701;
+    d.payload = pattern(33);
+    UdpDatagram e = UdpDatagram::parse(d.serialize(kSrc, kDst), kSrc, kDst);
+    EXPECT_EQ(e.src_port, d.src_port);
+    EXPECT_EQ(e.dst_port, d.dst_port);
+    EXPECT_EQ(e.payload, d.payload);
+}
+
+TEST(UdpDatagram, ChecksumCoversPseudoHeader) {
+    UdpDatagram d;
+    d.src_port = 1;
+    d.dst_port = 2;
+    d.payload = pattern(16);
+    util::Bytes raw = d.serialize(kSrc, kDst);
+    // Same bytes but claimed from a different source IP must fail.
+    EXPECT_THROW((void)UdpDatagram::parse(raw, Ipv4Address{10, 0, 0, 9}, kDst),
+                 util::WireError);
+    // Payload corruption must fail.
+    raw[raw.size() - 1] ^= 0xff;
+    EXPECT_THROW((void)UdpDatagram::parse(raw, kSrc, kDst), util::WireError);
+}
+
+// --------------------------------------------------------------------- TCP
+
+class TcpSegmentRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcpSegmentRoundTrip, PreservesEverything) {
+    TcpSegment s;
+    s.src_port = 49152;
+    s.dst_port = 8000;
+    s.seq = util::Seq32{0xfffffff0u};  // near wrap
+    s.ack = util::Seq32{77};
+    s.flags = {.fin = true, .syn = false, .rst = false, .psh = true, .ack = true, .urg = false};
+    s.window = 31234;
+    s.payload = pattern(GetParam());
+    TcpSegment t = TcpSegment::parse(s.serialize(kSrc, kDst), kSrc, kDst);
+    EXPECT_EQ(t.src_port, s.src_port);
+    EXPECT_EQ(t.dst_port, s.dst_port);
+    EXPECT_EQ(t.seq, s.seq);
+    EXPECT_EQ(t.ack, s.ack);
+    EXPECT_EQ(t.flags, s.flags);
+    EXPECT_EQ(t.window, s.window);
+    EXPECT_EQ(t.payload, s.payload);
+    EXPECT_FALSE(t.mss.has_value());
+    EXPECT_FALSE(t.timestamps.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, TcpSegmentRoundTrip,
+                         ::testing::Values(0, 1, 150, 1460));
+
+TEST(TcpSegment, MssOptionRoundTrip) {
+    TcpSegment s;
+    s.flags.syn = true;
+    s.mss = 1460;
+    TcpSegment t = TcpSegment::parse(s.serialize(kSrc, kDst), kSrc, kDst);
+    ASSERT_TRUE(t.mss.has_value());
+    EXPECT_EQ(*t.mss, 1460);
+    EXPECT_EQ(t.header_size(), 24u);
+}
+
+TEST(TcpSegment, TimestampOptionRoundTrip) {
+    TcpSegment s;
+    s.flags.ack = true;
+    s.timestamps = TcpTimestamps{123456, 654321};
+    TcpSegment t = TcpSegment::parse(s.serialize(kSrc, kDst), kSrc, kDst);
+    ASSERT_TRUE(t.timestamps.has_value());
+    EXPECT_EQ(t.timestamps->value, 123456u);
+    EXPECT_EQ(t.timestamps->echo_reply, 654321u);
+    EXPECT_EQ(t.header_size(), 32u);
+}
+
+TEST(TcpSegment, SeqLenCountsSynAndFin) {
+    TcpSegment s;
+    EXPECT_EQ(s.seq_len(), 0u);
+    s.flags.syn = true;
+    EXPECT_EQ(s.seq_len(), 1u);
+    s.flags.fin = true;
+    s.payload = pattern(10);
+    EXPECT_EQ(s.seq_len(), 12u);
+}
+
+TEST(TcpSegment, ChecksumDetectsCorruptionAnywhere) {
+    TcpSegment s;
+    s.src_port = 1;
+    s.dst_port = 2;
+    s.flags.ack = true;
+    s.payload = pattern(32);
+    util::Bytes raw = s.serialize(kSrc, kDst);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        util::Bytes bad = raw;
+        bad[i] ^= 0x10;
+        EXPECT_THROW((void)TcpSegment::parse(bad, kSrc, kDst), util::WireError)
+            << "byte " << i;
+    }
+}
+
+TEST(TcpSegment, ChecksumCoversPseudoHeader) {
+    TcpSegment s;
+    s.flags.ack = true;
+    util::Bytes raw = s.serialize(kSrc, kDst);
+    EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, Ipv4Address{9, 9, 9, 9}),
+                 util::WireError);
+}
+
+TEST(TcpSegment, RejectsBadDataOffset) {
+    TcpSegment s;
+    s.flags.ack = true;
+    util::Bytes raw = s.serialize(kSrc, kDst);
+    raw[12] = 0xf0;  // data offset 60 > segment size
+    EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, kDst), util::WireError);
+}
+
+TEST(TcpSegment, SummaryIsReadable) {
+    TcpSegment s;
+    s.src_port = 1234;
+    s.dst_port = 80;
+    s.flags.syn = true;
+    s.seq = util::Seq32{42};
+    EXPECT_NE(s.summary().find("SYN"), std::string::npos);
+    EXPECT_NE(s.summary().find("1234 > 80"), std::string::npos);
+}
+
+} // namespace
+} // namespace sttcp::net

@@ -1,0 +1,129 @@
+// EventQueue: deterministic ordering, cancellation, and time semantics that
+// every protocol timer depends on.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace sttcp::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(TimePoint{} + milliseconds{30}, [&] { order.push_back(3); });
+    q.schedule_at(TimePoint{} + milliseconds{10}, [&] { order.push_back(1); });
+    q.schedule_at(TimePoint{} + milliseconds{20}, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), TimePoint{} + milliseconds{30});
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule_at(TimePoint{} + milliseconds{5}, [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule_after(milliseconds{10}, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeOnBadIds) {
+    EventQueue q;
+    EventId id = q.schedule_after(milliseconds{10}, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(9999));  // never issued
+    q.run();
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+    EventQueue q;
+    EventId id = q.schedule_after(milliseconds{1}, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenIdle) {
+    EventQueue q;
+    EXPECT_EQ(q.run_until(TimePoint{} + seconds{5}), 0u);
+    EXPECT_EQ(q.now(), TimePoint{} + seconds{5});
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(TimePoint{} + milliseconds{10}, [&] { order.push_back(1); });
+    q.schedule_at(TimePoint{} + milliseconds{30}, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run_until(TimePoint{} + milliseconds{20}), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), TimePoint{} + milliseconds{20});
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsScheduledInsideCallbacksRun) {
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 5) q.schedule_after(milliseconds{1}, chain);
+    };
+    q.schedule_after(milliseconds{1}, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), TimePoint{} + milliseconds{5});
+}
+
+TEST(EventQueue, ZeroDelayRunsAtCurrentTime) {
+    EventQueue q;
+    q.run_until(TimePoint{} + seconds{1});
+    bool fired = false;
+    q.schedule_after(Duration{0}, [&] { fired = true; });
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.now(), TimePoint{} + seconds{1});
+}
+
+TEST(EventQueue, ExecutedCounter) {
+    EventQueue q;
+    for (int i = 0; i < 7; ++i) q.schedule_after(milliseconds{i}, [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueue, RunWithLimit) {
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i) q.schedule_after(milliseconds{i}, [&] { ++fired; });
+    EXPECT_EQ(q.run(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledHead) {
+    EventQueue q;
+    bool fired = false;
+    EventId a = q.schedule_at(TimePoint{} + milliseconds{10}, [] {});
+    q.schedule_at(TimePoint{} + milliseconds{50}, [&] { fired = true; });
+    q.cancel(a);
+    // The cancelled event at t=10 must not stop run_until from seeing that
+    // the next live event is beyond the deadline.
+    EXPECT_EQ(q.run_until(TimePoint{} + milliseconds{20}), 0u);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.run_until(TimePoint{} + milliseconds{60}), 1u);
+    EXPECT_TRUE(fired);
+}
+
+} // namespace
+} // namespace sttcp::sim

@@ -1,0 +1,93 @@
+// Deterministic RNG: reproducibility is what makes every experiment in this
+// repository repeatable bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace sttcp::sim {
+namespace {
+
+TEST(Random, SameSeedSameSequence) {
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+    Random a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Random, ReseedRestartsSequence) {
+    Random a(7);
+    std::uint64_t first = a.next_u64();
+    a.next_u64();
+    a.reseed(7);
+    EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Random, UniformRespectsBound) {
+    Random r(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i) {
+            EXPECT_LT(r.uniform(bound), bound);
+        }
+    }
+}
+
+TEST(Random, UniformCoversRange) {
+    Random r(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i) seen[r.uniform(8)] = true;
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Random, Uniform01InRange) {
+    Random r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, BernoulliExtremes) {
+    Random r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+        EXPECT_FALSE(r.bernoulli(-1.0));
+        EXPECT_TRUE(r.bernoulli(2.0));
+    }
+}
+
+TEST(Random, BernoulliRate) {
+    Random r(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (r.bernoulli(0.1)) ++hits;
+    EXPECT_NEAR(hits / 100000.0, 0.1, 0.01);
+}
+
+TEST(Random, RangeInclusive) {
+    Random r(17);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+    EXPECT_EQ(r.range(5, 5), 5);
+}
+
+} // namespace
+} // namespace sttcp::sim

@@ -1,0 +1,144 @@
+// Replica chain ("one or more backup servers", §3): two ranked backups,
+// promotion, re-homing, and cascading failover.
+#include <gtest/gtest.h>
+
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "harness/chain_testbed.hpp"
+
+namespace sttcp {
+namespace {
+
+using harness::ChainTestbed;
+using harness::TestbedOptions;
+
+struct ChainFixture : ::testing::Test {
+    TestbedOptions options() {
+        TestbedOptions opts;
+        opts.sttcp.hb_interval = sim::milliseconds{50};
+        opts.sttcp.sync_time = sim::milliseconds{50};
+        return opts;
+    }
+
+    void start() {
+        bed = std::make_unique<ChainTestbed>(options());
+        pl = bed->st_primary->listen(8000);
+        bl1 = bed->st_backup1->listen(8000);
+        bl2 = bed->st_backup2->listen(8000);
+        papp.attach(*pl);
+        b1app.attach(*bl1);
+        b2app.attach(*bl2);
+        bed->st_primary->start();
+        bed->st_backup1->start();
+        bed->st_backup2->start();
+    }
+
+    app::ClientDriver::Result run_client(const app::Workload& w,
+                                         sim::Duration limit = sim::minutes{2}) {
+        app::ClientDriver driver{*bed->client, bed->service_ip(), 8000, w};
+        bool done = false;
+        driver.start([&done] { done = true; });
+        sim::TimePoint deadline = bed->sim.now() + limit;
+        while (!done && bed->sim.now() < deadline)
+            bed->sim.run_until(bed->sim.now() + sim::milliseconds{50});
+        return driver.result();
+    }
+
+    std::unique_ptr<ChainTestbed> bed;
+    app::ResponderApp papp, b1app, b2app;
+    std::shared_ptr<tcp::TcpListener> pl, bl1, bl2;
+};
+
+TEST_F(ChainFixture, BothBackupsShadowFailureFree) {
+    start();
+    auto r = run_client(app::Workload::interactive());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_EQ(b1app.stats().requests_served, 100u);
+    EXPECT_EQ(b2app.stats().requests_served, 100u);
+    // The primary held every byte until BOTH backups acked (quorum release).
+    EXPECT_EQ(bed->st_primary->live_backups(), 2u);
+    EXPECT_EQ(bed->st_primary->retained_bytes(), 0u);
+}
+
+TEST_F(ChainFixture, PrimaryCrashPromotesBackup1AndBackup2Rehomes) {
+    start();
+    bed->sim.schedule_after(sim::milliseconds{700}, [this] { bed->crash_primary(); });
+    auto r = run_client(app::Workload::interactive());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.verify_errors, 0u);
+
+    EXPECT_TRUE(bed->st_backup1->has_taken_over());
+    ASSERT_NE(bed->st_backup1->promoted(), nullptr);
+    // Backup 1 now runs a full ST-TCP primary serving backup 2.
+    EXPECT_TRUE(bed->st_backup1->promoted()->fault_tolerant_mode());
+    EXPECT_EQ(bed->st_backup1->promoted()->live_backups(), 1u);
+
+    // Backup 2 re-homed to the promoted primary and kept shadowing.
+    EXPECT_FALSE(bed->st_backup2->has_taken_over());
+    EXPECT_EQ(bed->st_backup2->current_primary(), bed->backup1_ip());
+    EXPECT_EQ(bed->st_backup2->stats().rehomings, 1u);
+    EXPECT_EQ(b2app.stats().requests_served, 100u);
+    // And the promoted primary heard its acks.
+    EXPECT_GT(bed->st_backup1->promoted()->stats().backup_acks_received, 0u);
+}
+
+TEST_F(ChainFixture, CascadingFailoverSurvivesTwoFaults) {
+    start();
+    bed->sim.schedule_after(sim::milliseconds{500}, [this] { bed->crash_primary(); });
+    bed->sim.schedule_after(sim::milliseconds{1400}, [this] { bed->crash_backup1(); });
+    auto r = run_client(app::Workload::interactive(), sim::minutes{3});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_EQ(r.bytes_received, 100u * 10240);
+
+    EXPECT_TRUE(bed->st_backup1->has_taken_over());
+    EXPECT_TRUE(bed->st_backup2->has_taken_over());
+    ASSERT_NE(bed->st_backup2->promoted(), nullptr);
+    // Last survivor: no backups left, plain TCP service.
+    EXPECT_FALSE(bed->st_backup2->promoted()->fault_tolerant_mode());
+}
+
+TEST_F(ChainFixture, SimultaneousDoubleCrash) {
+    start();
+    bed->sim.schedule_after(sim::milliseconds{600}, [this] {
+        bed->crash_primary();
+        bed->crash_backup1();
+    });
+    auto r = run_client(app::Workload::interactive(), sim::minutes{3});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(bed->st_backup2->has_taken_over());
+}
+
+TEST_F(ChainFixture, Backup1CrashLeavesPrimaryFaultTolerant) {
+    start();
+    bed->sim.schedule_after(sim::milliseconds{400}, [this] { bed->crash_backup1(); });
+    auto r = run_client(app::Workload::interactive());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.verify_errors, 0u);
+    // One backup down: still fault-tolerant via backup 2.
+    EXPECT_TRUE(bed->st_primary->fault_tolerant_mode());
+    EXPECT_EQ(bed->st_primary->live_backups(), 1u);
+    EXPECT_EQ(bed->st_primary->stats().backups_declared_dead, 1u);
+    EXPECT_FALSE(bed->st_backup2->has_taken_over());
+
+    // ...and a subsequent primary crash still fails over (to backup 2).
+    bed->crash_primary();
+    auto r2 = run_client(app::Workload::echo(), sim::minutes{1});
+    ASSERT_TRUE(r2.completed);
+    EXPECT_TRUE(bed->st_backup2->has_taken_over());
+}
+
+TEST_F(ChainFixture, MidTransferCascadeKeepsEveryByte) {
+    start();
+    bed->sim.schedule_after(sim::milliseconds{300}, [this] { bed->crash_primary(); });
+    bed->sim.schedule_after(sim::milliseconds{1200}, [this] { bed->crash_backup1(); });
+    auto r = run_client(app::Workload::bulk_mb(5), sim::minutes{3});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.bytes_received, 5u << 20);
+    EXPECT_EQ(r.verify_errors, 0u);
+}
+
+} // namespace
+} // namespace sttcp

@@ -1,0 +1,111 @@
+// Chaos tests: loss + jitter-induced reordering on every link, applied to
+// plain TCP and to the full ST-TCP protocol with a mid-run crash. These are
+// the adversarial-network property tests: whatever the network does, the
+// byte stream the client verifies must be exact.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "harness/experiment.hpp"
+
+namespace sttcp {
+namespace {
+
+using testing::TwoHostLan;
+using testing::make_payload;
+
+// ---------------------------------------------------------- plain TCP chaos
+
+struct TcpChaosParams {
+    std::uint64_t seed;
+    double loss;
+    int jitter_ms;
+};
+
+class TcpChaos : public ::testing::TestWithParam<TcpChaosParams> {};
+
+TEST_P(TcpChaos, BulkTransferIsExactUnderLossAndReordering) {
+    auto p = GetParam();
+    net::LinkConfig link;
+    link.loss_probability = p.loss;
+    link.jitter = sim::milliseconds{p.jitter_ms};
+    tcp::TcpConfig cfg;
+    TwoHostLan lan(link, cfg);
+    // Re-seed for the parameterized run.
+    lan.sim.rng().reseed(p.seed);
+
+    auto listener = lan.server.tcp_listen(80);
+    std::shared_ptr<tcp::TcpConnection> sconn;
+    util::Bytes received;
+    listener->set_accept_handler([&](std::shared_ptr<tcp::TcpConnection> c) {
+        sconn = c;
+        tcp::TcpConnection::Callbacks cbs;
+        cbs.on_readable = [&received, &sconn]() {
+            std::uint8_t buf[8192];
+            while (std::size_t n = sconn->read(buf))
+                received.insert(received.end(), buf, buf + n);
+        };
+        sconn->set_callbacks(std::move(cbs));
+    });
+
+    auto conn = lan.client.tcp_connect(lan.server_ip, 80);
+    util::Bytes data = make_payload(192 * 1024, static_cast<std::uint8_t>(p.seed));
+    std::size_t offset = 0;
+    tcp::TcpConnection::Callbacks cbs;
+    auto pump = [&]() {
+        while (offset < data.size()) {
+            std::size_t n =
+                conn->send(util::ByteView{data.data() + offset, data.size() - offset});
+            if (n == 0) break;
+            offset += n;
+        }
+    };
+    cbs.on_established = pump;
+    cbs.on_writable = pump;
+    conn->set_callbacks(std::move(cbs));
+
+    lan.sim.run_until(sim::TimePoint{} + sim::minutes{10});
+    ASSERT_EQ(received.size(), data.size())
+        << "seed=" << p.seed << " loss=" << p.loss << " jitter=" << p.jitter_ms;
+    EXPECT_EQ(received, data);
+    if (p.jitter_ms > 0) {
+        // Reordering must actually have happened for this to test anything.
+        EXPECT_TRUE(sconn->stats().dup_acks_in > 0 || conn->stats().retransmits > 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossAndJitter, TcpChaos,
+    ::testing::Values(TcpChaosParams{1, 0.00, 5}, TcpChaosParams{2, 0.05, 0},
+                      TcpChaosParams{3, 0.05, 5}, TcpChaosParams{4, 0.10, 10},
+                      TcpChaosParams{5, 0.02, 20}),
+    [](const ::testing::TestParamInfo<TcpChaosParams>& info) {
+        return "seed" + std::to_string(info.param.seed) + "_loss" +
+               std::to_string(static_cast<int>(info.param.loss * 100)) + "_jit" +
+               std::to_string(info.param.jitter_ms);
+    });
+
+// ------------------------------------------------------------ ST-TCP chaos
+
+class SttcpChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SttcpChaos, FailoverUnderTapLossAndJitter) {
+    harness::ExperimentConfig cfg;
+    cfg.testbed.seed = GetParam();
+    cfg.testbed.sttcp.hb_interval = sim::milliseconds{50};
+    cfg.testbed.sttcp.sync_time = sim::milliseconds{50};
+    cfg.testbed.tap_loss = 0.08;
+    cfg.testbed.with_packet_logger = true;  // double failures will occur
+    cfg.workload = app::Workload::interactive();
+    cfg.crash_primary_at = sim::milliseconds{400 + 100 * (GetParam() % 7)};
+    cfg.time_limit = sim::minutes{5};
+    auto r = harness::run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason << " seed=" << GetParam();
+    EXPECT_EQ(r.verify_errors, 0u) << "seed=" << GetParam();
+    EXPECT_TRUE(r.failover_happened);
+    EXPECT_EQ(r.bytes_received, 100u * 10240);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SttcpChaos, ::testing::Range<std::uint64_t>(1, 9));
+
+} // namespace
+} // namespace sttcp

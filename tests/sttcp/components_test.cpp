@@ -1,0 +1,231 @@
+// Unit tests of ST-TCP's building blocks: control-channel wire protocol,
+// second receive buffer, failure detector.
+#include <gtest/gtest.h>
+
+#include "sttcp/control_messages.hpp"
+#include "sttcp/failure_detector.hpp"
+#include "sttcp/retention.hpp"
+
+namespace sttcp::core {
+namespace {
+
+using util::Seq32;
+
+ConnId test_conn() {
+    return ConnId{net::Ipv4Address{10, 0, 0, 100}, 8000, net::Ipv4Address{10, 0, 0, 10},
+                  49152};
+}
+
+// ------------------------------------------------------- ControlMessage
+
+class ControlRoundTrip : public ::testing::TestWithParam<ControlType> {};
+
+TEST_P(ControlRoundTrip, PreservesFields) {
+    ControlMessage m;
+    m.type = GetParam();
+    m.conn = test_conn();
+    m.seq = Seq32{0xdeadbeef};
+    m.seq_end = Seq32{0xfeedface};
+    if (GetParam() == ControlType::kMissingReply) m.payload = {1, 2, 3, 4, 5};
+    auto parsed = ControlMessage::parse(m.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, m.type);
+    EXPECT_EQ(parsed->conn, m.conn);
+    EXPECT_EQ(parsed->seq, m.seq);
+    EXPECT_EQ(parsed->seq_end, m.seq_end);
+    EXPECT_EQ(parsed->payload, m.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ControlRoundTrip,
+                         ::testing::Values(ControlType::kHeartbeat, ControlType::kBackupAck,
+                                           ControlType::kMissingReq,
+                                           ControlType::kMissingReply,
+                                           ControlType::kStateReq,
+                                           ControlType::kStateReply));
+
+TEST(ControlMessage, RejectsBadMagicAndTypes) {
+    ControlMessage m;
+    util::Bytes raw = m.serialize();
+    util::Bytes bad_magic = raw;
+    bad_magic[0] ^= 0xff;
+    EXPECT_FALSE(ControlMessage::parse(bad_magic).has_value());
+    util::Bytes bad_type = raw;
+    bad_type[1] = 99;
+    EXPECT_FALSE(ControlMessage::parse(bad_type).has_value());
+    util::Bytes truncated(raw.begin(), raw.begin() + 5);
+    EXPECT_FALSE(ControlMessage::parse(truncated).has_value());
+    EXPECT_FALSE(ControlMessage::parse({}).has_value());
+}
+
+TEST(ControlMessage, RejectsPayloadLengthLie) {
+    ControlMessage m;
+    m.type = ControlType::kMissingReply;
+    m.payload = {1, 2, 3};
+    util::Bytes raw = m.serialize();
+    raw.pop_back();  // payload shorter than the declared length
+    EXPECT_FALSE(ControlMessage::parse(raw).has_value());
+}
+
+TEST(ControlMessage, StateReplyHelpers) {
+    ConnState state{Seq32{100}, Seq32{250}, Seq32{0xabcdef01}};
+    ControlMessage m = ControlMessage::make_state_reply(test_conn(), state);
+    auto parsed = ControlMessage::parse(m.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    auto s = parsed->state_reply();
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->first_available_seq, state.first_available_seq);
+    EXPECT_EQ(s->rcv_nxt, state.rcv_nxt);
+    EXPECT_EQ(s->iss, state.iss);
+    // A non-state message yields nothing.
+    ControlMessage hb;
+    EXPECT_FALSE(hb.state_reply().has_value());
+}
+
+// -------------------------------------------------- SecondReceiveBuffer
+
+util::Bytes pattern(std::size_t n, std::uint8_t base = 0) {
+    util::Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(base + i);
+    return b;
+}
+
+TEST(SecondReceiveBuffer, RetainsConsumedBytesUntilAcked) {
+    SecondReceiveBuffer buf(32);
+    EXPECT_EQ(buf.max_consumable(), 32u);
+    buf.on_consumed(Seq32{1000}, pattern(10));
+    EXPECT_EQ(buf.size(), 10u);
+    EXPECT_EQ(buf.max_consumable(), 22u);
+    EXPECT_EQ(buf.front_seq(), Seq32{1000});
+
+    // Backup acked through byte 1004: five bytes released.
+    EXPECT_EQ(buf.release_through(Seq32{1004}), 5u);
+    EXPECT_EQ(buf.size(), 5u);
+    EXPECT_EQ(buf.front_seq(), Seq32{1005});
+    // Re-acking the same point releases nothing.
+    EXPECT_EQ(buf.release_through(Seq32{1004}), 0u);
+    // Acking beyond what is held clamps.
+    EXPECT_EQ(buf.release_through(Seq32{2000}), 5u);
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(SecondReceiveBuffer, ContiguousAppends) {
+    SecondReceiveBuffer buf(64);
+    buf.on_consumed(Seq32{0}, pattern(16, 0));
+    buf.on_consumed(Seq32{16}, pattern(16, 16));
+    EXPECT_EQ(buf.size(), 32u);
+    std::uint8_t out[32];
+    EXPECT_EQ(buf.copy_from(Seq32{0}, out), 32u);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], i);
+    // Mid-range fetch.
+    EXPECT_EQ(buf.copy_from(Seq32{20}, std::span<std::uint8_t>{out, 8}), 8u);
+    EXPECT_EQ(out[0], 20);
+    // Out-of-range fetches.
+    EXPECT_EQ(buf.copy_from(Seq32{32}, out), 0u);
+}
+
+TEST(SecondReceiveBuffer, ThrottlesWhenFull) {
+    SecondReceiveBuffer buf(16);
+    buf.on_consumed(Seq32{0}, pattern(16));
+    EXPECT_EQ(buf.max_consumable(), 0u);  // application reads must stall
+    buf.release_through(Seq32{7});
+    EXPECT_EQ(buf.max_consumable(), 8u);
+}
+
+TEST(SecondReceiveBuffer, DisableFlushesAndStopsRetaining) {
+    SecondReceiveBuffer buf(16);
+    buf.on_consumed(Seq32{0}, pattern(10));
+    buf.disable();
+    EXPECT_FALSE(buf.enabled());
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.max_consumable(), SIZE_MAX);
+    buf.on_consumed(Seq32{10}, pattern(10));
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(SecondReceiveBuffer, WorksAcrossSequenceWrap) {
+    SecondReceiveBuffer buf(64);
+    buf.on_consumed(Seq32{0xfffffff8u}, pattern(16));
+    EXPECT_EQ(buf.release_through(Seq32{0x3u}), 12u);  // through wrap
+    EXPECT_EQ(buf.front_seq(), Seq32{0x4u});
+    std::uint8_t out[4];
+    EXPECT_EQ(buf.copy_from(Seq32{0x4u}, out), 4u);
+    EXPECT_EQ(out[0], 12);
+}
+
+// ------------------------------------------------------ FailureDetector
+
+struct DetectorFixture : ::testing::Test {
+    sim::Simulation sim;
+};
+
+TEST_F(DetectorFixture, SuspectsAfterThreeMissedIntervals) {
+    FailureDetector fd{sim, sim::milliseconds{100}, 3};
+    bool suspected = false;
+    fd.set_on_suspect([&] { suspected = true; });
+    fd.start();
+    // Heartbeats arriving every 100 ms keep it quiet.
+    for (int i = 1; i <= 5; ++i) {
+        sim.schedule_at(sim::TimePoint{} + sim::milliseconds{100 * i}, [&] { fd.on_heartbeat(); });
+    }
+    sim.run_until(sim::TimePoint{} + sim::milliseconds{550});
+    EXPECT_FALSE(suspected);
+    // Silence from t=500: suspicion lands in [800, 900].
+    sim.run_until(sim::TimePoint{} + sim::milliseconds{790});
+    EXPECT_FALSE(suspected);
+    sim.run_until(sim::TimePoint{} + sim::milliseconds{910});
+    EXPECT_TRUE(suspected);
+    EXPECT_TRUE(fd.suspected());
+    double at = sim::to_seconds(fd.suspected_at());
+    EXPECT_GE(at, 0.79);
+    EXPECT_LE(at, 0.91);
+}
+
+TEST_F(DetectorFixture, StopPreventsSuspicion) {
+    FailureDetector fd{sim, sim::milliseconds{50}, 3};
+    bool suspected = false;
+    fd.set_on_suspect([&] { suspected = true; });
+    fd.start();
+    fd.stop();
+    sim.run_until(sim::TimePoint{} + sim::seconds{5});
+    EXPECT_FALSE(suspected);
+}
+
+TEST_F(DetectorFixture, AlivePredicateGatesChecks) {
+    // Crash semantics: a detector on a dead machine never fires (this is
+    // the bug class where a dead primary would otherwise fence the live
+    // backup).
+    FailureDetector fd{sim, sim::milliseconds{50}, 3};
+    bool alive = true;
+    bool suspected = false;
+    fd.set_alive_predicate([&] { return alive; });
+    fd.set_on_suspect([&] { suspected = true; });
+    fd.start();
+    sim.schedule_at(sim::TimePoint{} + sim::milliseconds{60}, [&] { alive = false; });
+    sim.run_until(sim::TimePoint{} + sim::seconds{5});
+    EXPECT_FALSE(suspected);
+}
+
+TEST_F(DetectorFixture, FiresOnlyOnce) {
+    FailureDetector fd{sim, sim::milliseconds{50}, 3};
+    int count = 0;
+    fd.set_on_suspect([&] { ++count; });
+    fd.start();
+    sim.run_until(sim::TimePoint{} + sim::seconds{5});
+    EXPECT_EQ(count, 1);
+}
+
+TEST_F(DetectorFixture, RestartClearsSuspicion) {
+    FailureDetector fd{sim, sim::milliseconds{50}, 3};
+    int count = 0;
+    fd.set_on_suspect([&] { ++count; });
+    fd.start();
+    sim.run_until(sim::TimePoint{} + sim::seconds{1});
+    EXPECT_EQ(count, 1);
+    fd.start();  // re-arm
+    EXPECT_FALSE(fd.suspected());
+    sim.run_until(sim.now() + sim::seconds{1});
+    EXPECT_EQ(count, 2);
+}
+
+} // namespace
+} // namespace sttcp::core

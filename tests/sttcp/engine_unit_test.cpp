@@ -1,0 +1,198 @@
+// Unit-level tests of the SttcpPrimary/SttcpBackup engines on the hub
+// testbed, driving the control channel and observing internal state
+// directly (the scenario tests exercise the same machinery end-to-end).
+#include <gtest/gtest.h>
+
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "harness/testbed.hpp"
+
+namespace sttcp {
+namespace {
+
+using harness::HubTestbed;
+using harness::TestbedOptions;
+
+struct EngineFixture : ::testing::Test {
+    TestbedOptions options() {
+        TestbedOptions opts;
+        opts.sttcp.hb_interval = sim::milliseconds{50};
+        opts.sttcp.sync_time = sim::milliseconds{50};
+        return opts;
+    }
+
+    void start(TestbedOptions opts) {
+        bed = std::make_unique<HubTestbed>(opts);
+        pl = bed->st_primary->listen(8000);
+        bl = bed->st_backup->listen(8000);
+        papp.attach(*pl);
+        bapp.attach(*bl);
+        bed->st_primary->start();
+        bed->st_backup->start();
+    }
+
+    void run_client(const app::Workload& w, sim::Duration limit = sim::minutes{1}) {
+        driver = std::make_unique<app::ClientDriver>(*bed->client, bed->service_ip(), 8000, w);
+        bool done = false;
+        driver->start([&done] { done = true; });
+        sim::TimePoint deadline = bed->sim.now() + limit;
+        while (!done && bed->sim.now() < deadline)
+            bed->sim.run_until(bed->sim.now() + sim::milliseconds{50});
+        ASSERT_TRUE(driver->result().completed);
+    }
+
+    std::unique_ptr<HubTestbed> bed;
+    app::ResponderApp papp, bapp;
+    std::shared_ptr<tcp::TcpListener> pl, bl;
+    std::unique_ptr<app::ClientDriver> driver;
+};
+
+TEST_F(EngineFixture, HeartbeatsFlowBothWaysDuringIdle) {
+    start(options());
+    bed->sim.run_until(sim::TimePoint{} + sim::seconds{2});
+    // ~40 HBs each way in 2 s at 50 ms, plus ack-response heartbeats.
+    EXPECT_GE(bed->st_primary->stats().heartbeats_sent, 35u);
+    EXPECT_GE(bed->st_backup->stats().heartbeats_sent, 35u);
+    EXPECT_GE(bed->st_backup->stats().heartbeats_received, 35u);
+    EXPECT_TRUE(bed->st_primary->fault_tolerant_mode());
+    EXPECT_FALSE(bed->st_backup->has_taken_over());
+}
+
+TEST_F(EngineFixture, BackupAcksReleaseRetention) {
+    start(options());
+    run_client(app::Workload::upload_kb(32, 1));
+    // Nearly everything the client uploaded was retained and then released
+    // via backup acks (the tail may be freed by connection teardown).
+    EXPECT_GT(bed->st_primary->stats().backup_acks_received, 0u);
+    EXPECT_GE(bed->st_primary->stats().bytes_released, 30u * 1024);
+    EXPECT_EQ(bed->st_primary->retained_bytes(), 0u);
+}
+
+TEST_F(EngineFixture, ShadowConnectionsTrackConnectionLifecycle) {
+    start(options());
+    run_client(app::Workload::echo());
+    // Session closed: both engines dismantled their per-connection state.
+    bed->sim.run_until(bed->sim.now() + sim::seconds{1});
+    EXPECT_EQ(bed->st_primary->shadowed_connections(), 0u);
+    EXPECT_EQ(bed->st_backup->shadowed_connections(), 0u);
+}
+
+TEST_F(EngineFixture, PrimaryServesMissingBytesInChunks) {
+    // Force a large gap: the backup misses a 32 KB upload entirely, then
+    // recovers it via MissingReq; replies are chunked <= 1200 B.
+    TestbedOptions opts = options();
+    start(opts);
+    // Blind the tap for the middle of the upload.
+    bed->sim.schedule_after(sim::milliseconds{30}, [this] {
+        bed->backup_link->set_loss_toward(*bed->backup_nic, 1.0);
+    });
+    bed->sim.schedule_after(sim::milliseconds{80}, [this] {
+        bed->backup_link->set_loss_toward(*bed->backup_nic, 0.0);
+    });
+    run_client(app::Workload::upload_kb(64, 1));
+    EXPECT_GT(bed->st_backup->stats().gaps_detected, 0u);
+    EXPECT_GT(bed->st_primary->stats().missing_requests_served, 0u);
+    EXPECT_GT(bed->st_primary->stats().missing_bytes_sent, 1200u);  // multiple chunks
+    EXPECT_EQ(bed->st_backup->stats().missing_bytes_recovered,
+              bed->st_primary->stats().missing_bytes_sent);
+    // The replica fully drained the upload despite the blind window.
+    EXPECT_EQ(bapp.stats().upload_bytes_received, 64u * 1024);
+}
+
+TEST_F(EngineFixture, NonFtModeUnblocksStalledReads) {
+    // Tiny second buffer + no backup acks (backup crashed mid-upload): the
+    // primary's reads stall on retention until the failure detector fires
+    // and non-FT mode flushes the gate.
+    TestbedOptions opts = options();
+    opts.sttcp.second_buffer_bytes = 4 * 1024;
+    opts.sttcp.ack_threshold_bytes = 3 * 1024;
+    start(opts);
+    bed->sim.schedule_after(sim::milliseconds{40}, [this] { bed->crash_backup(); });
+    run_client(app::Workload::upload_kb(128, 1), sim::minutes{2});
+    EXPECT_FALSE(bed->st_primary->fault_tolerant_mode());
+    EXPECT_EQ(papp.stats().upload_bytes_received, 128u * 1024);
+    EXPECT_EQ(bed->st_primary->retained_bytes(), 0u);
+}
+
+TEST_F(EngineFixture, PrimaryIgnoresControlFromStrangers) {
+    // A stranger (the client host) floods well-formed heartbeats at the
+    // primary's control port while the real backup is dead. They must not
+    // count as backup liveness: the primary still declares the backup
+    // failed on schedule.
+    start(options());
+    bed->sim.run_until(sim::TimePoint{} + sim::milliseconds{300});
+    bed->crash_backup();
+    auto sock = bed->client->udp_bind(4000);
+    std::function<void()> spam = [&]() {
+        core::ControlMessage hb;
+        hb.type = core::ControlType::kHeartbeat;
+        sock->send_to(bed->primary_ip(), bed->options.sttcp.control_port, hb.serialize());
+        if (bed->sim.now() < sim::TimePoint{} + sim::seconds{1})
+            bed->sim.schedule_after(sim::milliseconds{20}, spam);
+    };
+    spam();
+    bed->sim.run_until(sim::TimePoint{} + sim::seconds{1});
+    EXPECT_FALSE(bed->st_primary->fault_tolerant_mode());
+}
+
+TEST_F(EngineFixture, MalformedControlDatagramsAreDropped) {
+    start(options());
+    bed->sim.run_until(sim::TimePoint{} + sim::milliseconds{200});
+    auto sock = bed->backup->udp_bind(4001);  // correct source host
+    sock->send_to(bed->primary_ip(), bed->options.sttcp.control_port,
+                  util::Bytes{0x00, 0x01, 0x02});
+    util::Bytes garbage(64, 0xff);
+    sock->send_to(bed->primary_ip(), bed->options.sttcp.control_port, garbage);
+    bed->sim.run_until(bed->sim.now() + sim::milliseconds{300});
+    // Still fully operational afterwards.
+    run_client(app::Workload::echo());
+    EXPECT_EQ(driver->result().verify_errors, 0u);
+}
+
+TEST_F(EngineFixture, TakeoverIsIdempotent) {
+    start(options());
+    run_client(app::Workload::echo());
+    bed->st_backup->take_over();
+    EXPECT_TRUE(bed->st_backup->has_taken_over());
+    bed->st_backup->take_over();  // second call is a no-op
+    EXPECT_EQ(bed->st_backup->stats().failovers, 1u);
+}
+
+TEST_F(EngineFixture, PostTakeoverControlTrafficIsIgnored) {
+    start(options());
+    bed->st_backup->take_over();
+    std::uint64_t before = bed->st_backup->stats().control_messages_received;
+    // A (zombie) primary heartbeat after takeover must not resurrect the
+    // shadow machinery.
+    auto sock = bed->primary->udp_bind(4002);
+    core::ControlMessage hb;
+    hb.type = core::ControlType::kHeartbeat;
+    sock->send_to(bed->backup_ip(), bed->options.sttcp.control_port, hb.serialize());
+    bed->sim.run_until(bed->sim.now() + sim::milliseconds{200});
+    EXPECT_EQ(bed->st_backup->stats().control_messages_received, before);
+}
+
+TEST_F(EngineFixture, FencerConfirmsBeforeTakeover) {
+    // Replace the fencer with one that delays confirmation; takeover must
+    // wait for it (the perfect-failure-detector contract).
+    start(options());
+    bool fenced = false;
+    bed->st_backup->set_fencer(
+        [this, &fenced](net::Ipv4Address, std::function<void()> done) {
+            bed->sim.schedule_after(sim::milliseconds{300},
+                                    [&fenced, done = std::move(done)]() {
+                                        fenced = true;
+                                        done();
+                                    });
+        });
+    bed->sim.schedule_after(sim::milliseconds{100}, [this] { bed->crash_primary(); });
+    // Detection at ~150-200 ms; fencing adds 300 ms.
+    bed->sim.run_until(sim::TimePoint{} + sim::milliseconds{450});
+    EXPECT_FALSE(bed->st_backup->has_taken_over());
+    bed->sim.run_until(sim::TimePoint{} + sim::milliseconds{800});
+    EXPECT_TRUE(fenced);
+    EXPECT_TRUE(bed->st_backup->has_taken_over());
+}
+
+} // namespace
+} // namespace sttcp

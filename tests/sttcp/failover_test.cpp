@@ -1,0 +1,216 @@
+// Integration tests of the full ST-TCP protocol on the paper's testbed:
+// shadowing, suppression, ISN adoption, failover transparency, tap-gap
+// recovery, and backup-failure fallback.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace sttcp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::HubTestbed;
+using harness::TestbedOptions;
+using harness::run_experiment;
+
+TestbedOptions fast_options() {
+    TestbedOptions opts;
+    opts.sttcp.hb_interval = sim::milliseconds{50};
+    opts.sttcp.sync_time = sim::milliseconds{50};
+    return opts;
+}
+
+TEST(SttcpShadow, BackupShadowsConnectionAndStaysSilent) {
+    HubTestbed bed{fast_options()};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000, app::Workload::echo()};
+    bool done = false;
+    driver.start([&] { done = true; });
+
+    // Probe the shadow state mid-run (the shadow is dismantled on close).
+    std::size_t shadowed_mid_run = 0;
+    bool seq_state_matched = false;
+    bed.sim.schedule_after(sim::milliseconds{500}, [&]() {
+        shadowed_mid_run = bed.st_backup->shadowed_connections();
+        auto pconn = bed.primary->connections();
+        auto bconn = bed.backup->connections();
+        if (pconn.size() == 1 && bconn.size() == 1) {
+            seq_state_matched = pconn[0]->iss().raw() == bconn[0]->iss().raw() &&
+                                pconn[0]->rcv_nxt().raw() == bconn[0]->rcv_nxt().raw();
+        }
+    });
+
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::seconds{30})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed);
+    EXPECT_EQ(driver.result().verify_errors, 0u);
+
+    // Backup shadowed the connection and executed the app identically.
+    EXPECT_EQ(shadowed_mid_run, 1u);
+    EXPECT_TRUE(seq_state_matched);
+    EXPECT_EQ(bapp.stats().requests_served, papp.stats().requests_served);
+    EXPECT_EQ(bapp.stats().response_bytes_queued, papp.stats().response_bytes_queued);
+
+    // ...but never emitted a TCP segment: everything it tried was suppressed.
+    EXPECT_GT(bed.backup->stats().tcp_segments_suppressed, 0u);
+}
+
+TEST(SttcpFailover, EchoContinuesAcrossPrimaryCrash) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::echo();
+    cfg.crash_primary_at = sim::milliseconds{400};  // mid-run
+    auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+    // Detection at 3 missed 50 ms heartbeats: suspicion within ~[0.15, 0.25] s.
+    EXPECT_GE(r.suspected_after_seconds, 0.10);
+    EXPECT_LE(r.suspected_after_seconds, 0.30);
+    // Paper §6.2/Table 2: sub-second failover at 50 ms HB.
+    EXPECT_LE(r.takeover_after_seconds, 1.0);
+}
+
+TEST(SttcpFailover, InteractiveContinuesAcrossPrimaryCrash) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::interactive();
+    cfg.crash_primary_at = sim::milliseconds{900};
+    auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+}
+
+TEST(SttcpFailover, BulkTransferContinuesAcrossPrimaryCrash) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::bulk_mb(1);
+    cfg.crash_primary_at = sim::milliseconds{300};
+    auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+    EXPECT_EQ(r.bytes_received, 1u << 20);
+}
+
+TEST(SttcpFailover, CrashBetweenRoundsIsAlsoTransparent) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::echo();
+    // Long after the run would normally finish? No — crash very early,
+    // before the first response completes the run: 10ms is inside round 1.
+    cfg.crash_primary_at = sim::milliseconds{10};
+    auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+}
+
+TEST(SttcpFailover, FailureFreeRunMatchesStandardTcpTiming) {
+    // Paper Table 1: ST-TCP adds no measurable overhead when failure-free.
+    ExperimentConfig st;
+    st.testbed = fast_options();
+    st.workload = app::Workload::interactive();
+    auto st_result = run_experiment(st);
+
+    ExperimentConfig plain = st;
+    plain.testbed.fault_tolerant = false;
+    auto plain_result = run_experiment(plain);
+
+    ASSERT_TRUE(st_result.completed);
+    ASSERT_TRUE(plain_result.completed);
+    EXPECT_EQ(st_result.verify_errors, 0u);
+    // Within 1% of each other.
+    EXPECT_NEAR(st_result.total_seconds, plain_result.total_seconds,
+                0.01 * plain_result.total_seconds);
+}
+
+TEST(SttcpFailover, BackupCrashTriggersNonFaultTolerantMode) {
+    HubTestbed bed{fast_options()};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::interactive()};
+    bool done = false;
+    driver.start([&] { done = true; });
+    bed.sim.schedule_after(sim::milliseconds{300}, [&] { bed.crash_backup(); });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::minutes{5})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed);
+    EXPECT_EQ(driver.result().verify_errors, 0u);
+    EXPECT_FALSE(bed.st_primary->fault_tolerant_mode());
+    EXPECT_EQ(bed.st_primary->retained_bytes(), 0u);  // retention flushed
+}
+
+TEST(SttcpTapLoss, GapsAreRecoveredOverControlChannel) {
+    // Client->server upload direction is what the backup must not lose.
+    // Interactive has 100 x 150 B requests; drop 20% of frames into the
+    // backup's NIC and verify the shadow still converges via MissingReq.
+    TestbedOptions opts = fast_options();
+    opts.tap_loss = 0.2;
+    HubTestbed bed{opts};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::interactive()};
+    bool done = false;
+    driver.start([&] { done = true; });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::minutes{5})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed);
+
+    // Backup saw every request despite the lossy tap.
+    EXPECT_EQ(bapp.stats().requests_served, 100u);
+    EXPECT_GT(bed.st_backup->stats().gaps_detected, 0u);
+    EXPECT_GT(bed.st_backup->stats().missing_bytes_recovered, 0u);
+
+    auto pconn = bed.primary->connections();
+    auto bconn = bed.backup->connections();
+    if (!pconn.empty() && !bconn.empty()) {
+        EXPECT_EQ(pconn[0]->rcv_nxt().raw(), bconn[0]->rcv_nxt().raw());
+    }
+}
+
+TEST(SttcpTapLoss, FailoverWithLossyTapNeedsTheLogger) {
+    // Omission + crash double failure (paper §3.2): bytes the primary acked
+    // but the backup's tap dropped are unrecoverable from the client — the
+    // in-memory packet logger on the LAN masks this. With the logger
+    // attached, a crash under 10% tap loss must still fail over cleanly.
+    TestbedOptions opts = fast_options();
+    opts.tap_loss = 0.1;
+    opts.with_packet_logger = true;
+    ExperimentConfig cfg;
+    cfg.testbed = opts;
+    cfg.workload = app::Workload::interactive();
+    cfg.crash_primary_at = sim::milliseconds{700};
+    auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+}
+
+} // namespace
+} // namespace sttcp

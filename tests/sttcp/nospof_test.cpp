@@ -1,0 +1,144 @@
+// Figure-3 no-SPOF architecture: dual rails, dual inline loggers,
+// dual-homed servers, directional tap split.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/nospof_testbed.hpp"
+
+namespace sttcp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::NoSpofTestbed;
+using harness::TestbedOptions;
+using harness::run_nospof_experiment;
+
+TestbedOptions fast_options() {
+    TestbedOptions opts;
+    opts.sttcp.hb_interval = sim::milliseconds{50};
+    opts.sttcp.sync_time = sim::milliseconds{50};
+    return opts;
+}
+
+TEST(NoSpof, FailureFreeServiceWorksAcrossBothRails) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::interactive();
+    auto r = run_nospof_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    // The backup replica tracked the whole session via the split taps.
+    EXPECT_EQ(r.backup_app_stats.requests_served, 100u);
+    EXPECT_GT(r.backup_stack_stats.tcp_segments_suppressed, 0u);
+}
+
+TEST(NoSpof, DirectionalTapSplitAcrossTheTwoNics) {
+    NoSpofTestbed bed{fast_options()};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::interactive()};
+    bool done = false;
+    driver.start([&] { done = true; });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::minutes{1})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+    ASSERT_TRUE(driver.result().completed);
+
+    // NIC-A carries client->server (requests: small); NIC-B carries
+    // server->client (responses: ~1 MB). Both taps were active, neither NIC
+    // is promiscuous — pure multicast-group delivery.
+    EXPECT_FALSE(bed.backup_nic_a->promiscuous());
+    EXPECT_FALSE(bed.backup_nic_b->promiscuous());
+    EXPECT_GT(bed.backup_nic_a->stats().rx_frames, 100u);
+    EXPECT_GT(bed.backup_nic_b->stats().rx_bytes, 800u * 1024);
+    EXPECT_GT(bed.backup_nic_b->stats().rx_bytes, bed.backup_nic_a->stats().rx_bytes);
+
+    // Each inline logger holds its direction: logger A the request stream,
+    // logger B the response stream — together the complete state (§3.2).
+    auto conns = bed.client->connections();
+    // The client connection may be in TIME_WAIT; find its ports via stats
+    // instead: query a wide range on both loggers.
+    EXPECT_GT(bed.logger_a->stats().frames_forwarded, 0u);
+    EXPECT_GT(bed.logger_b->stats().frames_forwarded, 0u);
+    EXPECT_GT(bed.logger_b->store().stored_bytes(), bed.logger_a->store().stored_bytes());
+}
+
+TEST(NoSpof, FailoverWorksInTheReplicatedArchitecture) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::interactive();
+    cfg.crash_primary_at = sim::milliseconds{900};
+    auto r = run_nospof_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+    EXPECT_LE(r.takeover_after_seconds, 1.0);
+}
+
+TEST(NoSpof, BulkFailoverAcrossRails) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::bulk_mb(2);
+    cfg.crash_primary_at = sim::milliseconds{400};
+    auto r = run_nospof_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.bytes_received, 2u << 20);
+    EXPECT_EQ(r.verify_errors, 0u);
+}
+
+TEST(NoSpof, LossyTapRecoversViaRailALogger) {
+    // Tap loss on both rails + primary crash: the missing client bytes can
+    // only come from rail A's inline logger (the primary is dead and the
+    // client purged them).
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.testbed.tap_loss = 0.15;
+    cfg.workload = app::Workload::interactive();
+    cfg.crash_primary_at = sim::milliseconds{700};
+    auto r = run_nospof_experiment(cfg);
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+}
+
+TEST(NoSpof, DeadLoggerDegradesOnlyItsRailRecovery) {
+    // Killing logger B severs rail B (server->client): that rail's inline
+    // appliance is in the data path, which is exactly why Figure 3 has two.
+    // This test documents the failure granularity: the service dies with
+    // rail B (no dynamic rerouting in scope), but rail A — and with it the
+    // control channel and client->server logging — stays intact.
+    NoSpofTestbed bed{fast_options()};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000, app::Workload::echo()};
+    bool done = false;
+    driver.start([&] { done = true; });
+    bed.sim.schedule_after(sim::milliseconds{300}, [&] { bed.crash_logger_b(); });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::seconds{10})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    // Some rounds completed before the cut; afterwards responses cannot
+    // reach the client.
+    EXPECT_FALSE(done);
+    EXPECT_GT(driver.result().bytes_received, 0u);
+    // Rail A is alive: the primary/backup heartbeat exchange continues, so
+    // neither side wrongly suspects the other.
+    EXPECT_FALSE(bed.st_backup->has_taken_over());
+    EXPECT_TRUE(bed.st_primary->fault_tolerant_mode());
+    EXPECT_GT(bed.logger_b->stats().frames_dropped_dead, 0u);
+}
+
+} // namespace
+} // namespace sttcp

@@ -1,0 +1,145 @@
+// Switched-Ethernet tap architectures (paper §3.1, Figure 2): port
+// mirroring and the unicast-IP -> multicast-MAC scheme, each carrying the
+// full ST-TCP protocol including failover across a gateway.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/switch_testbed.hpp"
+
+namespace sttcp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::SwitchTestbed;
+using harness::TapMode;
+using harness::TestbedOptions;
+using harness::run_switch_experiment;
+
+TestbedOptions fast_options() {
+    TestbedOptions opts;
+    opts.sttcp.hb_interval = sim::milliseconds{50};
+    opts.sttcp.sync_time = sim::milliseconds{50};
+    return opts;
+}
+
+class SwitchTapModes : public ::testing::TestWithParam<TapMode> {};
+
+TEST_P(SwitchTapModes, FailureFreeRunBehavesLikeStandardTcp) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::interactive();
+    auto st = run_switch_experiment(cfg, GetParam());
+    ASSERT_TRUE(st.completed) << st.failure_reason;
+    EXPECT_EQ(st.verify_errors, 0u);
+    // The backup shadow processed the whole client stream silently.
+    EXPECT_EQ(st.backup_app_stats.requests_served, 100u);
+    EXPECT_GT(st.backup_stack_stats.tcp_segments_suppressed, 0u);
+
+    ExperimentConfig plain = cfg;
+    plain.testbed.fault_tolerant = false;
+    auto base = run_switch_experiment(plain, GetParam());
+    ASSERT_TRUE(base.completed);
+    EXPECT_NEAR(st.total_seconds, base.total_seconds, 0.02 * base.total_seconds);
+}
+
+TEST_P(SwitchTapModes, FailoverAcrossGatewayIsTransparent) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::interactive();
+    cfg.crash_primary_at = sim::milliseconds{900};
+    auto r = run_switch_experiment(cfg, GetParam());
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+    EXPECT_LE(r.takeover_after_seconds, 1.0);
+}
+
+TEST_P(SwitchTapModes, BulkFailover) {
+    ExperimentConfig cfg;
+    cfg.testbed = fast_options();
+    cfg.workload = app::Workload::bulk_mb(1);
+    cfg.crash_primary_at = sim::milliseconds{300};
+    auto r = run_switch_experiment(cfg, GetParam());
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(r.failover_happened);
+    EXPECT_EQ(r.bytes_received, 1u << 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SwitchTapModes,
+                         ::testing::Values(TapMode::kPortMirror, TapMode::kMulticastMac),
+                         [](const ::testing::TestParamInfo<TapMode>& info) {
+                             return info.param == TapMode::kPortMirror ? "PortMirror"
+                                                                       : "MulticastMac";
+                         });
+
+TEST(SwitchTapDetails, MulticastSchemeFloodsWithoutPromiscuousMode) {
+    SwitchTestbed bed{fast_options(), TapMode::kMulticastMac};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    EXPECT_FALSE(bed.backup_nic->promiscuous());
+    EXPECT_TRUE(bed.backup_nic->in_group(SwitchTestbed::sme()));
+    EXPECT_TRUE(bed.backup_nic->in_group(SwitchTestbed::gme()));
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000, app::Workload::echo()};
+    bool done = false;
+    driver.start([&] { done = true; });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::seconds{30})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed);
+    EXPECT_EQ(driver.result().verify_errors, 0u);
+    EXPECT_EQ(bapp.stats().requests_served, 100u);
+    // The switch flooded multicast rather than unicasting; the backup's NIC
+    // accepted group traffic without promiscuous mode.
+    EXPECT_GT(bed.ether_switch.stats().flooded, 100u);
+}
+
+TEST(SwitchTapDetails, Rfc1812ForbidsLearningMulticastMacs) {
+    // The reason the paper needs *static* ARP entries: a router must not
+    // accept a multicast MAC from an ARP reply.
+    net::ArpTable table;
+    EXPECT_FALSE(table.learn(net::Ipv4Address{10, 0, 0, 100}, net::MacAddress::multicast(7)));
+    EXPECT_EQ(table.lookup(net::Ipv4Address{10, 0, 0, 100}), std::nullopt);
+    // Static configuration is allowed and survives later dynamic learns.
+    table.add_static(net::Ipv4Address{10, 0, 0, 100}, net::MacAddress::multicast(7));
+    EXPECT_TRUE(table.lookup(net::Ipv4Address{10, 0, 0, 100}).has_value());
+    EXPECT_FALSE(table.learn(net::Ipv4Address{10, 0, 0, 100}, net::MacAddress::local(3)));
+    EXPECT_EQ(*table.lookup(net::Ipv4Address{10, 0, 0, 100}), net::MacAddress::multicast(7));
+}
+
+TEST(SwitchTapDetails, MirrorModeFailoverUpdatesGatewayArp) {
+    SwitchTestbed bed{fast_options(), TapMode::kPortMirror};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::interactive()};
+    bool done = false;
+    driver.start([&] { done = true; });
+    bed.sim.schedule_after(sim::milliseconds{700}, [&] { bed.crash_primary(); });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::minutes{2})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed);
+    EXPECT_TRUE(bed.st_backup->has_taken_over());
+    // The gratuitous ARP moved the service IP to the backup's MAC in the
+    // gateway's table (unicast delivery now goes to the backup's port).
+    auto mac = bed.gateway->arp_table().lookup(bed.service_ip());
+    ASSERT_TRUE(mac.has_value());
+    EXPECT_EQ(*mac, bed.backup_nic->mac());
+}
+
+} // namespace
+} // namespace sttcp

@@ -1,0 +1,175 @@
+// SendBuffer and ReceiveBuffer: sequence-number anchored byte stores,
+// including out-of-order reassembly and wraparound.
+#include <gtest/gtest.h>
+
+#include "tcp/receive_buffer.hpp"
+#include "util/wire.hpp"
+#include "tcp/send_buffer.hpp"
+
+namespace sttcp::tcp {
+namespace {
+
+using util::Seq32;
+
+util::Bytes pattern(std::size_t n, std::uint8_t base = 0) {
+    util::Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(base + i);
+    return b;
+}
+
+// ------------------------------------------------------------- SendBuffer
+
+TEST(SendBuffer, SequenceAnchoredReads) {
+    SendBuffer sb(64);
+    sb.set_una(Seq32{1000});
+    sb.write(pattern(20));
+    EXPECT_EQ(sb.end(), Seq32{1020});
+
+    std::uint8_t out[10];
+    EXPECT_EQ(sb.copy_from(Seq32{1000}, out), 10u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(sb.copy_from(Seq32{1015}, out), 5u);
+    EXPECT_EQ(out[0], 15);
+    EXPECT_EQ(sb.copy_from(Seq32{1020}, out), 0u);  // past end
+    EXPECT_EQ(sb.copy_from(Seq32{999}, out), 0u);   // before una
+}
+
+TEST(SendBuffer, AckReleasesAndAdvances) {
+    SendBuffer sb(64);
+    sb.set_una(Seq32{500});
+    sb.write(pattern(30));
+    EXPECT_EQ(sb.ack_to(Seq32{510}), 10u);
+    EXPECT_EQ(sb.una(), Seq32{510});
+    EXPECT_EQ(sb.size(), 20u);
+    // Duplicate/old acks release nothing.
+    EXPECT_EQ(sb.ack_to(Seq32{510}), 0u);
+    EXPECT_EQ(sb.ack_to(Seq32{400}), 0u);
+    // Data shifts: seq 510 now reads byte 10 of the original pattern.
+    std::uint8_t out[1];
+    sb.copy_from(Seq32{510}, out);
+    EXPECT_EQ(out[0], 10);
+}
+
+TEST(SendBuffer, WorksAcrossSequenceWrap) {
+    SendBuffer sb(64);
+    sb.set_una(Seq32{0xfffffff0u});
+    sb.write(pattern(32));
+    EXPECT_EQ(sb.end(), Seq32{0x10u});
+    std::uint8_t out[8];
+    EXPECT_EQ(sb.copy_from(Seq32{0x0u}, out), 8u);
+    EXPECT_EQ(out[0], 16);
+    EXPECT_EQ(sb.ack_to(Seq32{0x8u}), 24u);
+    EXPECT_EQ(sb.size(), 8u);
+}
+
+// ---------------------------------------------------------- ReceiveBuffer
+
+TEST(ReceiveBuffer, InOrderDelivery) {
+    ReceiveBuffer rb(64);
+    rb.init(Seq32{100});
+    EXPECT_EQ(rb.accept(Seq32{100}, pattern(10)), 10u);
+    EXPECT_EQ(rb.rcv_nxt(), Seq32{110});
+    EXPECT_EQ(rb.readable(), 10u);
+    std::uint8_t out[10];
+    EXPECT_EQ(rb.read(out), 10u);
+    EXPECT_EQ(out[3], 3);
+    EXPECT_EQ(rb.read_seq(), Seq32{110});
+}
+
+TEST(ReceiveBuffer, OutOfOrderReassembly) {
+    ReceiveBuffer rb(64);
+    rb.init(Seq32{0});
+    // Middle first: no advance, parked.
+    EXPECT_EQ(rb.accept(Seq32{10}, pattern(10, 10)), 0u);
+    EXPECT_TRUE(rb.has_gaps());
+    EXPECT_EQ(rb.readable(), 0u);
+    // The hole fills: both chunks become readable at once.
+    EXPECT_EQ(rb.accept(Seq32{0}, pattern(10, 0)), 20u);
+    EXPECT_FALSE(rb.has_gaps());
+    std::uint8_t out[20];
+    EXPECT_EQ(rb.read(out), 20u);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ReceiveBuffer, DuplicateAndOverlapTrimmed) {
+    ReceiveBuffer rb(64);
+    rb.init(Seq32{0});
+    rb.accept(Seq32{0}, pattern(10));
+    // Full duplicate: nothing new.
+    EXPECT_EQ(rb.accept(Seq32{0}, pattern(10)), 0u);
+    // Overlap: only the tail is new.
+    EXPECT_EQ(rb.accept(Seq32{5}, pattern(10, 5)), 5u);
+    EXPECT_EQ(rb.rcv_nxt(), Seq32{15});
+    std::uint8_t out[15];
+    rb.read(out);
+    for (int i = 0; i < 15; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ReceiveBuffer, WindowShrinksWithUnreadData) {
+    ReceiveBuffer rb(32);
+    rb.init(Seq32{0});
+    EXPECT_EQ(rb.window(), 32u);
+    rb.accept(Seq32{0}, pattern(20));
+    EXPECT_EQ(rb.window(), 12u);
+    std::uint8_t out[20];
+    rb.read(out);
+    EXPECT_EQ(rb.window(), 32u);
+}
+
+TEST(ReceiveBuffer, DataBeyondWindowTrimmed) {
+    ReceiveBuffer rb(16);
+    rb.init(Seq32{0});
+    // 32 bytes offered into a 16-byte buffer: only 16 fit.
+    EXPECT_EQ(rb.accept(Seq32{0}, pattern(32)), 16u);
+    EXPECT_EQ(rb.rcv_nxt(), Seq32{16});
+    EXPECT_EQ(rb.window(), 0u);
+}
+
+TEST(ReceiveBuffer, CopyRangeServesUnreadBytes) {
+    ReceiveBuffer rb(64);
+    rb.init(Seq32{1000});
+    rb.accept(Seq32{1000}, pattern(30));
+    std::uint8_t out[10];
+    // Nothing read yet: all 30 bytes available by sequence.
+    EXPECT_EQ(rb.copy_range(Seq32{1005}, out), 10u);
+    EXPECT_EQ(out[0], 5);
+    // Read 10, then the first 10 are gone.
+    std::uint8_t sink[10];
+    rb.read(sink);
+    EXPECT_EQ(rb.copy_range(Seq32{1005}, out), 0u);
+    EXPECT_EQ(rb.copy_range(Seq32{1010}, out), 10u);
+    EXPECT_EQ(out[0], 10);
+    EXPECT_EQ(rb.copy_range(Seq32{1040}, out), 0u);  // beyond received
+}
+
+TEST(ReceiveBuffer, StreamOffsetsAreMonotonic) {
+    ReceiveBuffer rb(64);
+    rb.init(Seq32{0xfffffff0u});  // wraps immediately
+    rb.accept(Seq32{0xfffffff0u}, pattern(32));
+    EXPECT_EQ(rb.stream_offset(), 32u);
+    EXPECT_EQ(rb.rcv_nxt(), Seq32{0x10u});
+    std::uint8_t out[32];
+    rb.read(out);
+    EXPECT_EQ(rb.read_offset(), 32u);
+    EXPECT_EQ(rb.read_seq(), Seq32{0x10u});
+}
+
+TEST(ReceiveBuffer, ManySmallOutOfOrderSegments) {
+    ReceiveBuffer rb(256);
+    rb.init(Seq32{0});
+    // Deliver 16 x 16-byte chunks in a scrambled but fixed order.
+    int order[16] = {7, 3, 12, 0, 15, 8, 1, 10, 5, 14, 2, 9, 6, 13, 4, 11};
+    std::uint64_t total = 0;
+    for (int idx : order) {
+        auto seq = Seq32{static_cast<std::uint32_t>(idx) * 16};
+        total += rb.accept(seq, pattern(16, static_cast<std::uint8_t>(idx * 16)));
+    }
+    EXPECT_EQ(total, 256u);
+    EXPECT_FALSE(rb.has_gaps());
+    std::uint8_t out[256];
+    EXPECT_EQ(rb.read(out), 256u);
+    for (int i = 0; i < 256; ++i) EXPECT_EQ(out[i], i % 256);
+}
+
+} // namespace
+} // namespace sttcp::tcp

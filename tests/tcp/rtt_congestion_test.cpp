@@ -1,0 +1,139 @@
+// RttEstimator and RenoCongestion: the timing/throughput machinery whose
+// Linux parameters the paper's failover analysis depends on (§6.2).
+#include <gtest/gtest.h>
+
+#include "tcp/congestion.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace sttcp::tcp {
+namespace {
+
+RttEstimator make_rtt() {
+    return RttEstimator{sim::seconds{1}, sim::milliseconds{200}, sim::minutes{2}};
+}
+
+TEST(RttEstimator, InitialRtoBeforeAnySample) {
+    auto rtt = make_rtt();
+    EXPECT_FALSE(rtt.has_sample());
+    EXPECT_EQ(rtt.rto(), sim::seconds{1});
+}
+
+TEST(RttEstimator, FirstSampleSetsSrttAndVariance) {
+    auto rtt = make_rtt();
+    rtt.sample(sim::milliseconds{100});
+    EXPECT_EQ(rtt.srtt(), sim::milliseconds{100});
+    EXPECT_EQ(rtt.rttvar(), sim::milliseconds{50});
+    // RTO = srtt + 4*rttvar = 300ms, above the 200ms floor.
+    EXPECT_EQ(rtt.rto(), sim::milliseconds{300});
+}
+
+TEST(RttEstimator, ConvergesOnStableRtt) {
+    auto rtt = make_rtt();
+    for (int i = 0; i < 50; ++i) rtt.sample(sim::milliseconds{80});
+    EXPECT_NEAR(sim::to_seconds(rtt.srtt()), 0.080, 0.002);
+    // Variance decays; RTO hits the Linux 200ms floor (paper §6.2).
+    EXPECT_EQ(rtt.rto(), sim::milliseconds{200});
+}
+
+TEST(RttEstimator, RtoFloorsAt200ms) {
+    auto rtt = make_rtt();
+    for (int i = 0; i < 20; ++i) rtt.sample(sim::microseconds{500});
+    EXPECT_EQ(rtt.rto(), sim::milliseconds{200});
+}
+
+TEST(RttEstimator, BackoffDoublesUpToCap) {
+    auto rtt = make_rtt();
+    rtt.sample(sim::milliseconds{100});  // RTO 300ms
+    sim::Duration prev = rtt.rto();
+    for (int i = 0; i < 8; ++i) {
+        rtt.backoff();
+        EXPECT_EQ(rtt.rto(), std::min(2 * prev, sim::Duration{sim::minutes{2}}));
+        prev = rtt.rto();
+    }
+    // Paper: "increased by a factor of two with every retransmission...
+    // upper bound 2 min".
+    for (int i = 0; i < 20; ++i) rtt.backoff();
+    EXPECT_EQ(rtt.rto(), sim::minutes{2});
+}
+
+TEST(RttEstimator, NewSampleResetsBackoff) {
+    auto rtt = make_rtt();
+    rtt.sample(sim::milliseconds{100});
+    rtt.backoff();
+    rtt.backoff();
+    EXPECT_EQ(rtt.backoff_count(), 2);
+    rtt.sample(sim::milliseconds{100});
+    EXPECT_EQ(rtt.backoff_count(), 0);
+    // Second identical sample: rttvar decayed to 37.5ms -> RTO = 250ms.
+    EXPECT_EQ(rtt.rto(), sim::milliseconds{250});
+}
+
+TEST(RenoCongestion, StartsInSlowStartWithTwoMss) {
+    RenoCongestion cc{1460};
+    EXPECT_TRUE(cc.in_slow_start());
+    EXPECT_EQ(cc.cwnd(), 2u * 1460);
+}
+
+TEST(RenoCongestion, SlowStartDoublesPerRtt) {
+    RenoCongestion cc{1000};
+    // Acking a full window's worth grows cwnd by one MSS per MSS acked.
+    std::uint32_t before = cc.cwnd();
+    cc.on_ack(1000, before);
+    cc.on_ack(1000, before);
+    EXPECT_EQ(cc.cwnd(), before + 2000);
+}
+
+TEST(RenoCongestion, CongestionAvoidanceIsLinear) {
+    RenoCongestion cc{1000};
+    cc.on_timeout(10000);         // ssthresh = 5000, cwnd = 1000
+    for (int i = 0; i < 8; ++i) cc.on_ack(1000, 4000);  // grow past ssthresh
+    ASSERT_FALSE(cc.in_slow_start());
+    std::uint32_t w = cc.cwnd();
+    cc.on_ack(1000, w);
+    // ~ mss*mss/cwnd per ack: far less than one MSS.
+    EXPECT_LT(cc.cwnd() - w, 1000u);
+    EXPECT_GE(cc.cwnd() - w, 1u);
+}
+
+TEST(RenoCongestion, TimeoutCollapsesToOneMss) {
+    RenoCongestion cc{1460};
+    for (int i = 0; i < 20; ++i) cc.on_ack(1460, 10 * 1460);
+    cc.on_timeout(20 * 1460);
+    EXPECT_EQ(cc.cwnd(), 1460u);
+    EXPECT_EQ(cc.ssthresh(), 10u * 1460);
+    EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(RenoCongestion, TimeoutSsthreshFloorsAtTwoMss) {
+    RenoCongestion cc{1460};
+    cc.on_timeout(1460);
+    EXPECT_EQ(cc.ssthresh(), 2u * 1460);
+}
+
+TEST(RenoCongestion, FastRetransmitHalvesAndInflates) {
+    RenoCongestion cc{1000};
+    for (int i = 0; i < 20; ++i) cc.on_ack(1000, 10000);
+    cc.on_fast_retransmit(10000);
+    EXPECT_TRUE(cc.in_fast_recovery());
+    EXPECT_EQ(cc.ssthresh(), 5000u);
+    EXPECT_EQ(cc.cwnd(), 5000u + 3000);
+    cc.on_dup_ack_in_recovery();
+    EXPECT_EQ(cc.cwnd(), 5000u + 4000);
+    cc.exit_fast_recovery();
+    EXPECT_FALSE(cc.in_fast_recovery());
+    EXPECT_EQ(cc.cwnd(), 5000u);
+}
+
+TEST(RenoCongestion, IdleRestartShrinksToInitialWindow) {
+    RenoCongestion cc{1000};
+    for (int i = 0; i < 30; ++i) cc.on_ack(1000, 10000);
+    cc.on_idle_restart();
+    EXPECT_EQ(cc.cwnd(), 2000u);
+    // Does not grow a small window.
+    cc.on_timeout(1000);
+    cc.on_idle_restart();
+    EXPECT_EQ(cc.cwnd(), 1000u);
+}
+
+} // namespace
+} // namespace sttcp::tcp

@@ -1,0 +1,349 @@
+// TCP state-machine edge cases: close variants, retransmission behaviour,
+// option negotiation, sequence wraparound, timer dynamics.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace sttcp {
+namespace {
+
+using testing::TwoHostLan;
+using testing::make_payload;
+
+struct Pair {
+    TwoHostLan lan;
+    std::shared_ptr<tcp::TcpListener> listener;
+    std::shared_ptr<tcp::TcpConnection> server_conn;
+    std::shared_ptr<tcp::TcpConnection> client_conn;
+
+    explicit Pair(tcp::TcpConfig cfg = {}, net::LinkConfig link = {}) : lan(link, cfg) {
+        listener = lan.server.tcp_listen(80);
+        listener->set_accept_handler(
+            [this](std::shared_ptr<tcp::TcpConnection> c) { server_conn = std::move(c); });
+    }
+
+    void connect_and_settle() {
+        client_conn = lan.client.tcp_connect(lan.server_ip, 80);
+        lan.sim.run_for(sim::seconds{1});
+        ASSERT_EQ(client_conn->state(), tcp::TcpState::kEstablished);
+        ASSERT_NE(server_conn, nullptr);
+    }
+};
+
+TEST(TcpEdge, MssIsNegotiatedDownward) {
+    tcp::TcpConfig small;
+    small.mss = 500;
+    TwoHostLan lan({}, {});
+    // Client advertises MSS 500; the server must not send larger segments.
+    tcp::HostStack small_client{lan.sim, lan.client_node, small};
+    // Rebind the client NIC to the small-MSS stack.
+    small_client.add_interface(lan.client_nic, lan.client_ip, 24);
+
+    auto listener = lan.server.tcp_listen(80);
+    std::shared_ptr<tcp::TcpConnection> server_conn;
+    listener->set_accept_handler(
+        [&](std::shared_ptr<tcp::TcpConnection> c) { server_conn = std::move(c); });
+    auto conn = small_client.tcp_connect(lan.server_ip, 80);
+    lan.sim.run_for(sim::seconds{1});
+    ASSERT_NE(server_conn, nullptr);
+    EXPECT_EQ(server_conn->config().mss, 500);
+    EXPECT_EQ(conn->config().mss, 500);
+}
+
+TEST(TcpEdge, SimultaneousClose) {
+    Pair p;
+    p.connect_and_settle();
+    // Both sides close in the same instant: FINs cross -> CLOSING -> TIME_WAIT.
+    p.client_conn->close();
+    p.server_conn->close();
+    p.lan.sim.run_for(sim::seconds{2});
+    EXPECT_TRUE(p.client_conn->state() == tcp::TcpState::kTimeWait ||
+                p.client_conn->state() == tcp::TcpState::kClosed);
+    EXPECT_TRUE(p.server_conn->state() == tcp::TcpState::kTimeWait ||
+                p.server_conn->state() == tcp::TcpState::kClosed);
+    // After 2MSL both are gone.
+    p.lan.sim.run_for(sim::minutes{2});
+    EXPECT_EQ(p.client_conn->state(), tcp::TcpState::kClosed);
+    EXPECT_EQ(p.server_conn->state(), tcp::TcpState::kClosed);
+}
+
+TEST(TcpEdge, HalfCloseStillDeliversData) {
+    Pair p;
+    p.connect_and_settle();
+    util::Bytes received;
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_readable = [&]() {
+        std::uint8_t buf[1024];
+        while (std::size_t n = p.client_conn->read(buf))
+            received.insert(received.end(), buf, buf + n);
+    };
+    p.client_conn->set_callbacks(std::move(cbs));
+
+    // Client closes its direction; server keeps sending.
+    p.client_conn->close();
+    p.lan.sim.run_for(sim::seconds{1});
+    EXPECT_EQ(p.server_conn->state(), tcp::TcpState::kCloseWait);
+    util::Bytes data = make_payload(5000);
+    EXPECT_GT(p.server_conn->send(data), 0u);
+    p.lan.sim.run_for(sim::seconds{2});
+    EXPECT_EQ(received, data);
+    // Server finishes; connection winds down fully.
+    p.server_conn->close();
+    p.lan.sim.run_for(sim::minutes{2});
+    EXPECT_EQ(p.client_conn->state(), tcp::TcpState::kClosed);
+    EXPECT_EQ(p.server_conn->state(), tcp::TcpState::kClosed);
+}
+
+TEST(TcpEdge, CloseWithQueuedDataFlushesFirst) {
+    Pair p;
+    p.connect_and_settle();
+    util::Bytes received;
+    bool fin_seen = false;
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_readable = [&]() {
+        std::uint8_t buf[8192];
+        while (std::size_t n = p.server_conn->read(buf))
+            received.insert(received.end(), buf, buf + n);
+    };
+    cbs.on_remote_fin = [&]() { fin_seen = true; };
+    p.server_conn->set_callbacks(std::move(cbs));
+
+    util::Bytes data = make_payload(20000);
+    ASSERT_EQ(p.client_conn->send(data), data.size());
+    p.client_conn->close();  // FIN must trail the 20 KB
+    p.lan.sim.run_for(sim::seconds{3});
+    EXPECT_EQ(received, data);
+    EXPECT_TRUE(fin_seen);
+}
+
+TEST(TcpEdge, SendAfterCloseIsRejected) {
+    Pair p;
+    p.connect_and_settle();
+    p.client_conn->close();
+    EXPECT_EQ(p.client_conn->send(make_payload(10)), 0u);
+}
+
+TEST(TcpEdge, AbortSendsRstAndPeerResets) {
+    Pair p;
+    p.connect_and_settle();
+    std::string server_reason;
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_closed = [&](const std::string& r) { server_reason = r; };
+    p.server_conn->set_callbacks(std::move(cbs));
+    p.client_conn->abort();
+    EXPECT_EQ(p.client_conn->state(), tcp::TcpState::kClosed);
+    p.lan.sim.run_for(sim::seconds{1});
+    EXPECT_EQ(server_reason, "connection reset");
+}
+
+TEST(TcpEdge, SynRetransmissionUsesExponentialBackoff) {
+    // No server at all: watch the client's SYN retries at 1s, 2s, 4s...
+    TwoHostLan lan;
+    lan.client.arp_table().add_static(net::Ipv4Address{10, 0, 0, 99},
+                                      net::MacAddress::local(99));
+    auto conn = lan.client.tcp_connect(net::Ipv4Address{10, 0, 0, 99}, 80);
+    auto sent_at = [&](sim::Duration t) {
+        lan.sim.run_until(sim::TimePoint{} + t);
+        return conn->stats().segments_sent;
+    };
+    EXPECT_EQ(sent_at(sim::milliseconds{500}), 1u);   // initial SYN
+    EXPECT_EQ(sent_at(sim::milliseconds{1500}), 2u);  // +1s
+    EXPECT_EQ(sent_at(sim::milliseconds{3500}), 3u);  // +2s
+    EXPECT_EQ(sent_at(sim::milliseconds{7500}), 4u);  // +4s
+    // Eventually gives up.
+    lan.sim.run_for(sim::minutes{3});
+    EXPECT_EQ(conn->state(), tcp::TcpState::kClosed);
+}
+
+TEST(TcpEdge, ExactlyThreeDupAcksTriggerFastRetransmit) {
+    // Lossless path; we inject one artificial drop by filtering a single
+    // data segment at the server's egress. The drop targets the 9th
+    // segment, by which point slow start has opened cwnd far enough that at
+    // least three later segments are in flight to generate dup acks.
+    Pair p;
+    p.connect_and_settle();
+    int dropped = 0;
+    p.lan.server.set_tcp_egress_filter(
+        [&](const net::TcpSegment& seg, net::Ipv4Address, net::Ipv4Address) {
+            if (!seg.payload.empty() &&
+                seg.seq == p.server_conn->iss() + 1u + 8u * 1460u && dropped == 0) {
+                ++dropped;
+                return false;
+            }
+            return true;
+        });
+    util::Bytes received;
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_readable = [&]() {
+        std::uint8_t buf[8192];
+        while (std::size_t n = p.client_conn->read(buf))
+            received.insert(received.end(), buf, buf + n);
+    };
+    p.client_conn->set_callbacks(std::move(cbs));
+
+    util::Bytes data = make_payload(1460 * 16);
+    p.server_conn->send(data);
+    p.lan.sim.run_for(sim::seconds{2});
+    EXPECT_EQ(received, data);
+    EXPECT_EQ(dropped, 1);
+    EXPECT_EQ(p.server_conn->stats().fast_retransmits, 1u);
+    EXPECT_GE(p.server_conn->stats().dup_acks_in, 3u);
+    // Fast retransmit avoided the full RTO collapse.
+    EXPECT_EQ(p.server_conn->stats().timeouts, 0u);
+}
+
+TEST(TcpEdge, TransferAcrossSequenceWrap) {
+    // Pin the client's ISN just below the 2^32 boundary so a 64 KB transfer
+    // crosses the wrap, and verify byte-exact delivery.
+    net::LinkConfig link;
+    tcp::TcpConfig cfg;
+    sim::Simulation sim{7};
+    net::Hub hub{sim, "hub"};
+    net::Node cn{"c"}, sn{"s"};
+    net::Nic cnic{cn, "eth0", net::MacAddress::local(1)};
+    net::Nic snic{sn, "eth0", net::MacAddress::local(2)};
+    hub.connect(cnic, link);
+    hub.connect(snic, link);
+    tcp::HostStack client{sim, cn, cfg}, server{sim, sn, cfg};
+    client.add_interface(cnic, net::Ipv4Address{10, 0, 0, 1}, 24);
+    server.add_interface(snic, net::Ipv4Address{10, 0, 0, 2}, 24);
+    client.set_isn_generator([] { return util::Seq32{0xffffffffu - 20000u}; });
+
+    auto listener = server.tcp_listen(80);
+    std::shared_ptr<tcp::TcpConnection> sconn;
+    util::Bytes received;
+    listener->set_accept_handler([&](std::shared_ptr<tcp::TcpConnection> c) {
+        sconn = c;
+        tcp::TcpConnection::Callbacks cbs;
+        cbs.on_readable = [&received, &sconn]() {
+            std::uint8_t buf[8192];
+            while (std::size_t n = sconn->read(buf))
+                received.insert(received.end(), buf, buf + n);
+        };
+        sconn->set_callbacks(std::move(cbs));
+    });
+    auto conn = client.tcp_connect(net::Ipv4Address{10, 0, 0, 2}, 80);
+    sim.run_until(sim::TimePoint{} + sim::seconds{1});
+    ASSERT_EQ(conn->state(), tcp::TcpState::kEstablished);
+    ASSERT_EQ(conn->iss().raw(), 0xffffffffu - 20000u);
+
+    util::Bytes data = make_payload(64 * 1024);
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        offset += conn->send(util::ByteView{data.data() + offset, data.size() - offset});
+        sim.run_until(sim.now() + sim::milliseconds{200});
+    }
+    sim.run_until(sim.now() + sim::seconds{5});
+    ASSERT_EQ(received.size(), data.size());
+    EXPECT_EQ(received, data);
+    // The stream really did cross the wrap.
+    EXPECT_LT(conn->snd_nxt().raw(), 0xffff0000u);
+}
+
+TEST(TcpEdge, NagleCoalescesSmallWrites) {
+    Pair p;
+    p.connect_and_settle();
+    // 50 x 10-byte writes with Nagle on: far fewer than 50 segments.
+    for (int i = 0; i < 50; ++i) p.client_conn->send(make_payload(10));
+    p.lan.sim.run_for(sim::seconds{2});
+    std::uint64_t with_nagle = p.client_conn->stats().segments_sent;
+    EXPECT_LT(with_nagle, 30u);
+}
+
+TEST(TcpEdge, NagleOffSendsEagerly) {
+    tcp::TcpConfig cfg;
+    cfg.nagle = false;
+    Pair p{cfg};
+    p.connect_and_settle();
+    std::uint64_t before = p.client_conn->stats().segments_sent;
+    for (int i = 0; i < 20; ++i) p.client_conn->send(make_payload(10));
+    p.lan.sim.run_for(sim::seconds{1});
+    // Every write went straight out (plus acks don't count as client sends).
+    EXPECT_GE(p.client_conn->stats().segments_sent - before, 20u);
+}
+
+TEST(TcpEdge, DelayedAckReducesPureAcks) {
+    Pair p;
+    p.connect_and_settle();
+    // Server sends a steady stream; the client acks at most every other
+    // full segment (RFC 1122), so pure acks <= ~segments/2 + timer acks.
+    util::Bytes data = make_payload(1460 * 20);
+    p.server_conn->send(data);
+    std::uint8_t buf[65536];
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_readable = [&]() { while (p.client_conn->read(buf)) {} };
+    p.client_conn->set_callbacks(std::move(cbs));
+    p.lan.sim.run_for(sim::seconds{3});
+    EXPECT_LE(p.client_conn->stats().pure_acks_out, 14u);
+}
+
+TEST(TcpEdge, RetransmissionLimitAbortsConnection) {
+    tcp::TcpConfig cfg;
+    cfg.max_retransmits = 4;
+    cfg.max_rto = sim::seconds{2};  // keep the test fast
+    Pair p{cfg};
+    p.connect_and_settle();
+    std::string reason;
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_closed = [&](const std::string& r) { reason = r; };
+    p.client_conn->set_callbacks(std::move(cbs));
+
+    // Kill the server mid-connection; client data goes unacked forever.
+    p.lan.server_node.power_off();
+    p.client_conn->send(make_payload(100));
+    p.lan.sim.run_for(sim::minutes{2});
+    EXPECT_EQ(p.client_conn->state(), tcp::TcpState::kClosed);
+    EXPECT_EQ(reason, "connection timed out (retransmission limit)");
+    EXPECT_GE(p.client_conn->stats().timeouts, 4u);
+}
+
+TEST(TcpEdge, RtoBackoffDoublesWhilePeerIsDead) {
+    Pair p;
+    p.connect_and_settle();
+    p.lan.server_node.power_off();
+    p.client_conn->send(make_payload(100));
+    p.lan.sim.run_for(sim::seconds{1});
+    int backoff_1s = p.client_conn->rtt().backoff_count();
+    p.lan.sim.run_for(sim::seconds{7});
+    int backoff_8s = p.client_conn->rtt().backoff_count();
+    // Paper §6.2: RTO doubles per retransmission — so the count grows only
+    // logarithmically in elapsed time.
+    EXPECT_GT(backoff_8s, backoff_1s);
+    EXPECT_LE(backoff_8s, backoff_1s + 4);
+}
+
+TEST(TcpEdge, TimeWaitReacksRetransmittedFin) {
+    tcp::TcpConfig cfg;
+    cfg.msl = sim::seconds{1};  // short TIME_WAIT for the test
+    Pair p{cfg};
+    p.connect_and_settle();
+    p.client_conn->close();
+    p.lan.sim.run_for(sim::milliseconds{500});
+    p.server_conn->close();
+    p.lan.sim.run_for(sim::milliseconds{500});
+    ASSERT_EQ(p.client_conn->state(), tcp::TcpState::kTimeWait);
+    // Re-deliver the server's FIN (as if its ack got lost).
+    net::TcpSegment fin;
+    fin.src_port = 80;
+    fin.dst_port = p.client_conn->key().local_port;
+    fin.seq = p.server_conn->snd_nxt() - 1u;
+    fin.ack = p.client_conn->snd_nxt();
+    fin.flags.fin = true;
+    fin.flags.ack = true;
+    std::uint64_t acks_before = p.client_conn->stats().pure_acks_out;
+    p.client_conn->on_segment(fin);
+    EXPECT_GT(p.client_conn->stats().pure_acks_out, acks_before);
+    EXPECT_EQ(p.client_conn->state(), tcp::TcpState::kTimeWait);
+}
+
+TEST(TcpEdge, IsnRandomizationDiffersAcrossConnections) {
+    Pair p;
+    p.connect_and_settle();
+    auto first_iss = p.client_conn->iss();
+    auto conn2 = p.lan.client.tcp_connect(p.lan.server_ip, 80);
+    p.lan.sim.run_for(sim::seconds{1});
+    EXPECT_NE(conn2->iss().raw(), first_iss.raw());
+}
+
+} // namespace
+} // namespace sttcp

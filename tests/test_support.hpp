@@ -1,0 +1,53 @@
+// Shared fixtures for integration tests: small canned topologies.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/hub.hpp"
+#include "net/nic.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/host_stack.hpp"
+
+namespace sttcp::testing {
+
+// Two hosts (10.0.0.1 client, 10.0.0.2 server) on one hub.
+struct TwoHostLan {
+    explicit TwoHostLan(net::LinkConfig link = {}, tcp::TcpConfig tcp = {})
+        : sim(42),
+          hub(sim, "hub"),
+          client_node("client"),
+          server_node("server"),
+          client_nic(client_node, "eth0", net::MacAddress::local(1)),
+          server_nic(server_node, "eth0", net::MacAddress::local(2)),
+          client(sim, client_node, tcp),
+          server(sim, server_node, tcp) {
+        hub.connect(client_nic, link);
+        hub.connect(server_nic, link);
+        client.add_interface(client_nic, net::Ipv4Address{10, 0, 0, 1}, 24);
+        server.add_interface(server_nic, net::Ipv4Address{10, 0, 0, 2}, 24);
+    }
+
+    sim::Simulation sim;
+    net::Hub hub;
+    net::Node client_node;
+    net::Node server_node;
+    net::Nic client_nic;
+    net::Nic server_nic;
+    tcp::HostStack client;
+    tcp::HostStack server;
+
+    net::Ipv4Address client_ip{10, 0, 0, 1};
+    net::Ipv4Address server_ip{10, 0, 0, 2};
+};
+
+inline util::Bytes make_payload(std::size_t n, std::uint8_t seed = 0) {
+    util::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = static_cast<std::uint8_t>((i * 131 + seed) & 0xff);
+    return data;
+}
+
+} // namespace sttcp::testing

@@ -1,0 +1,140 @@
+// IntervalSet: out-of-order range tracking behind TCP reassembly and the
+// backup's gap detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hpp"
+#include "util/interval_set.hpp"
+
+namespace sttcp::util {
+namespace {
+
+TEST(IntervalSet, InsertAndContains) {
+    IntervalSet s;
+    s.insert(10, 20);
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_TRUE(s.contains(19));
+    EXPECT_FALSE(s.contains(20));
+    EXPECT_FALSE(s.contains(9));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(IntervalSet, EmptyInsertIgnored) {
+    IntervalSet s;
+    s.insert(5, 5);
+    s.insert(7, 3);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, CoalescesOverlapping) {
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(15, 30);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.intervals()[0], (IntervalSet::Interval{10, 30}));
+}
+
+TEST(IntervalSet, CoalescesAdjacent) {
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(20, 25);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.intervals()[0], (IntervalSet::Interval{10, 25}));
+}
+
+TEST(IntervalSet, KeepsDisjoint) {
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(30, 40);
+    EXPECT_EQ(s.count(), 2u);
+    // Bridging insert merges everything.
+    s.insert(18, 32);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.intervals()[0], (IntervalSet::Interval{10, 40}));
+}
+
+TEST(IntervalSet, ContiguousFrom) {
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(25, 30);
+    EXPECT_EQ(s.contiguous_from(10), 10u);
+    EXPECT_EQ(s.contiguous_from(15), 5u);
+    EXPECT_EQ(s.contiguous_from(20), 0u);
+    EXPECT_EQ(s.contiguous_from(25), 5u);
+    EXPECT_EQ(s.contiguous_from(5), 0u);
+}
+
+TEST(IntervalSet, EraseBelow) {
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(30, 40);
+    s.erase_below(15);
+    ASSERT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.intervals()[0], (IntervalSet::Interval{15, 20}));
+    s.erase_below(25);
+    ASSERT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.intervals()[0], (IntervalSet::Interval{30, 40}));
+    s.erase_below(100);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, Gaps) {
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(30, 40);
+    auto gaps = s.gaps(0, 50);
+    ASSERT_EQ(gaps.size(), 3u);
+    EXPECT_EQ(gaps[0], (IntervalSet::Interval{0, 10}));
+    EXPECT_EQ(gaps[1], (IntervalSet::Interval{20, 30}));
+    EXPECT_EQ(gaps[2], (IntervalSet::Interval{40, 50}));
+
+    auto inner = s.gaps(12, 38);
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(inner[0], (IntervalSet::Interval{20, 30}));
+
+    EXPECT_TRUE(s.gaps(10, 20).empty());
+}
+
+TEST(IntervalSet, GapsOnEmptySet) {
+    IntervalSet s;
+    auto gaps = s.gaps(5, 15);
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0], (IntervalSet::Interval{5, 15}));
+}
+
+// Property test against a per-offset reference model.
+class IntervalSetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetModelTest, MatchesSetModel) {
+    sim::Random rng(GetParam());
+    IntervalSet s;
+    std::set<std::uint64_t> model;  // set of covered offsets in [0, 256)
+
+    for (int step = 0; step < 500; ++step) {
+        std::uint64_t begin = rng.uniform(256);
+        std::uint64_t end = begin + rng.uniform(32);
+        s.insert(begin, end);
+        for (std::uint64_t o = begin; o < end; ++o) model.insert(o);
+
+        if (step % 37 == 36) {
+            std::uint64_t cut = rng.uniform(256);
+            s.erase_below(cut);
+            model.erase(model.begin(), model.lower_bound(cut));
+        }
+
+        // Spot-check membership and contiguity at random probes.
+        for (int probe = 0; probe < 8; ++probe) {
+            std::uint64_t o = rng.uniform(260);
+            ASSERT_EQ(s.contains(o), model.count(o) > 0) << "offset " << o;
+            std::uint64_t run = 0;
+            while (model.count(o + run)) ++run;
+            ASSERT_EQ(s.contiguous_from(o), run) << "offset " << o;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetModelTest, ::testing::Values(11, 22, 33));
+
+} // namespace
+} // namespace sttcp::util

@@ -1,0 +1,71 @@
+// Logger and hexdump utilities.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "util/hexdump.hpp"
+#include "util/logging.hpp"
+
+namespace sttcp::util {
+namespace {
+
+TEST(Logger, RespectsLevels) {
+    Logger logger;
+    std::vector<std::string> lines;
+    logger.set_sink([&](LogLevel, std::string_view, std::string_view msg) {
+        lines.emplace_back(msg);
+    });
+    logger.set_level(LogLevel::kInfo);
+    EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+    EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+
+    logger.log(LogLevel::kDebug, "x", "dropped");
+    logger.log(LogLevel::kInfo, "x", "kept");
+    logger.log(LogLevel::kError, "x", "kept too");
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "kept");
+}
+
+TEST(Logger, MacroIsLazy) {
+    Logger logger;
+    logger.set_level(LogLevel::kError);
+    int evaluations = 0;
+    auto expensive = [&]() {
+        ++evaluations;
+        return 42;
+    };
+    STTCP_LOG(logger, LogLevel::kDebug, "x", "value=" << expensive());
+    EXPECT_EQ(evaluations, 0);
+    logger.set_sink([](LogLevel, std::string_view, std::string_view) {});
+    STTCP_LOG(logger, LogLevel::kError, "x", "value=" << expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logger, LevelNames) {
+    EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+    EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(SimulationLogger, SinkSeesVirtualTime) {
+    sim::Simulation sim;
+    std::vector<double> stamps;
+    sim.logger().set_level(LogLevel::kInfo);
+    sim.logger().set_sink([&](LogLevel, std::string_view, std::string_view) {
+        stamps.push_back(sim::to_seconds(sim.now()));
+    });
+    sim.schedule_after(sim::seconds{2}, [&] {
+        STTCP_LOG(sim.logger(), LogLevel::kInfo, "test", "tick");
+    });
+    sim.run();
+    ASSERT_EQ(stamps.size(), 1u);
+    EXPECT_DOUBLE_EQ(stamps[0], 2.0);
+}
+
+TEST(Hexdump, FormatsAndTruncates) {
+    std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(hexdump(data), "de ad be ef");
+    EXPECT_EQ(hexdump({data, 4}, 2), "de ad ...");
+    EXPECT_EQ(hexdump({data, 0u}), "");
+}
+
+} // namespace
+} // namespace sttcp::util

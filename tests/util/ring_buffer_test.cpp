@@ -1,0 +1,145 @@
+// RingBuffer: the byte store under the TCP send/receive buffers and the
+// ST-TCP second receive buffer.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/random.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::util {
+namespace {
+
+Bytes seq_bytes(std::size_t n, std::uint8_t start = 0) {
+    Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(start + i);
+    return b;
+}
+
+TEST(RingBuffer, WriteReadBasic) {
+    RingBuffer ring(16);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.free_space(), 16u);
+
+    Bytes in = seq_bytes(10);
+    EXPECT_EQ(ring.write(in), 10u);
+    EXPECT_EQ(ring.size(), 10u);
+
+    std::uint8_t out[10];
+    EXPECT_EQ(ring.read(out), 10u);
+    EXPECT_TRUE(std::equal(out, out + 10, in.begin()));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WriteIsBoundedByCapacity) {
+    RingBuffer ring(8);
+    Bytes in = seq_bytes(12);
+    EXPECT_EQ(ring.write(in), 8u);
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring.write(in), 0u);
+}
+
+TEST(RingBuffer, WrapAround) {
+    RingBuffer ring(8);
+    ring.write(seq_bytes(6));
+    ring.consume(4);  // head now at 4
+    EXPECT_EQ(ring.write(seq_bytes(6, 100)), 6u);  // wraps physically
+    std::uint8_t out[8];
+    EXPECT_EQ(ring.read(out), 8u);
+    EXPECT_EQ(out[0], 4);    // leftover from first write
+    EXPECT_EQ(out[1], 5);
+    EXPECT_EQ(out[2], 100);  // second write
+    EXPECT_EQ(out[7], 105);
+}
+
+TEST(RingBuffer, PeekDoesNotConsume) {
+    RingBuffer ring(16);
+    ring.write(seq_bytes(8));
+    std::uint8_t out[4];
+    EXPECT_EQ(ring.peek(out), 4u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(ring.size(), 8u);
+    EXPECT_EQ(ring.peek(out, 4), 4u);
+    EXPECT_EQ(out[0], 4);
+    EXPECT_EQ(ring.peek(out, 8), 0u);  // offset beyond size
+}
+
+TEST(RingBuffer, ConsumeClamps) {
+    RingBuffer ring(8);
+    ring.write(seq_bytes(5));
+    EXPECT_EQ(ring.consume(100), 5u);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WriteAtAndCommit) {
+    RingBuffer ring(16);
+    // Place bytes out of order: [4,8) first, then [0,4), then commit 8.
+    Bytes hi = seq_bytes(4, 4);
+    Bytes lo = seq_bytes(4, 0);
+    ring.write_at(4, hi);
+    EXPECT_EQ(ring.size(), 0u);  // nothing readable yet
+    ring.write_at(0, lo);
+    ring.commit(8);
+    std::uint8_t out[8];
+    EXPECT_EQ(ring.read(out), 8u);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(RingBuffer, WriteAtWrapsPhysically) {
+    RingBuffer ring(8);
+    ring.write(seq_bytes(8));
+    ring.consume(6);  // head at 6, size 2
+    ring.write_at(2, seq_bytes(4, 50));  // occupies physical 0..3 after wrap
+    ring.commit(6);
+    std::uint8_t out[6];
+    EXPECT_EQ(ring.read(out), 6u);
+    EXPECT_EQ(out[0], 6);
+    EXPECT_EQ(out[1], 7);
+    EXPECT_EQ(out[2], 50);
+    EXPECT_EQ(out[5], 53);
+}
+
+TEST(RingBuffer, Clear) {
+    RingBuffer ring(8);
+    ring.write(seq_bytes(5));
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.free_space(), 8u);
+}
+
+// Property test: a long random schedule of writes/reads behaves exactly
+// like a std::deque reference model.
+class RingBufferModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingBufferModelTest, MatchesDequeModel) {
+    sim::Random rng(GetParam());
+    RingBuffer ring(64);
+    std::deque<std::uint8_t> model;
+
+    for (int step = 0; step < 3000; ++step) {
+        if (rng.bernoulli(0.5)) {
+            std::size_t n = static_cast<std::size_t>(rng.uniform(40)) + 1;
+            Bytes data(n);
+            for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(256));
+            std::size_t wrote = ring.write(data);
+            EXPECT_EQ(wrote, std::min(n, 64 - model.size()));
+            model.insert(model.end(), data.begin(), data.begin() + static_cast<long>(wrote));
+        } else {
+            std::size_t n = static_cast<std::size_t>(rng.uniform(40)) + 1;
+            std::vector<std::uint8_t> out(n);
+            std::size_t got = ring.read(out);
+            ASSERT_EQ(got, std::min(n, model.size()));
+            for (std::size_t i = 0; i < got; ++i) {
+                ASSERT_EQ(out[i], model.front()) << "step " << step;
+                model.pop_front();
+            }
+        }
+        ASSERT_EQ(ring.size(), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingBufferModelTest, ::testing::Values(1, 2, 3, 99));
+
+} // namespace
+} // namespace sttcp::util

@@ -1,0 +1,106 @@
+// Seq32: serial-number arithmetic on the mod-2^32 circle. Everything in the
+// TCP and ST-TCP layers depends on these comparisons being right across the
+// wrap boundary.
+#include <gtest/gtest.h>
+
+#include "util/seq32.hpp"
+
+namespace sttcp::util {
+namespace {
+
+TEST(Seq32, BasicOrdering) {
+    EXPECT_LT(Seq32{1}, Seq32{2});
+    EXPECT_GT(Seq32{2}, Seq32{1});
+    EXPECT_LE(Seq32{2}, Seq32{2});
+    EXPECT_GE(Seq32{2}, Seq32{2});
+    EXPECT_EQ(Seq32{7}, Seq32{7});
+    EXPECT_NE(Seq32{7}, Seq32{8});
+}
+
+TEST(Seq32, OrderingAcrossWrap) {
+    Seq32 near_max{0xfffffff0u};
+    Seq32 wrapped{0x10u};
+    // 0x10 is "after" 0xfffffff0 on the circle.
+    EXPECT_LT(near_max, wrapped);
+    EXPECT_GT(wrapped, near_max);
+}
+
+TEST(Seq32, AdditionWraps) {
+    Seq32 s{0xffffffffu};
+    EXPECT_EQ((s + 1).raw(), 0u);
+    EXPECT_EQ((s + 100).raw(), 99u);
+    s += 2;
+    EXPECT_EQ(s.raw(), 1u);
+}
+
+TEST(Seq32, SubtractionWraps) {
+    Seq32 s{5};
+    EXPECT_EQ((s - 10).raw(), 0xfffffffbu);
+    s -= 6;
+    EXPECT_EQ(s.raw(), 0xffffffffu);
+}
+
+TEST(Seq32, DistanceAcrossWrap) {
+    Seq32 a{10};
+    Seq32 b{0xfffffff6u};
+    // a is 20 bytes after b on the circle.
+    EXPECT_EQ(a - b, 20u);
+}
+
+TEST(Seq32, MinMax) {
+    Seq32 near_max{0xffffff00u};
+    Seq32 wrapped{0x100u};
+    EXPECT_EQ(util::min(near_max, wrapped), near_max);
+    EXPECT_EQ(util::max(near_max, wrapped), wrapped);
+    EXPECT_EQ(util::min(wrapped, near_max), near_max);
+}
+
+TEST(Seq32, InWindowBasic) {
+    EXPECT_TRUE(in_window(Seq32{100}, Seq32{100}, 1));
+    EXPECT_FALSE(in_window(Seq32{101}, Seq32{100}, 1));
+    EXPECT_TRUE(in_window(Seq32{150}, Seq32{100}, 51));
+    EXPECT_FALSE(in_window(Seq32{99}, Seq32{100}, 1000));
+    EXPECT_FALSE(in_window(Seq32{100}, Seq32{100}, 0));
+}
+
+TEST(Seq32, InWindowAcrossWrap) {
+    Seq32 lo{0xffffffe0u};
+    EXPECT_TRUE(in_window(Seq32{0x5u}, lo, 0x40));   // wrapped but inside
+    EXPECT_FALSE(in_window(Seq32{0x25u}, lo, 0x40)); // just outside
+    EXPECT_TRUE(in_window(Seq32{0xffffffe0u}, lo, 0x40));
+}
+
+// Property sweep: for any base b, ordering of b+i vs b+j matches ordering
+// of i vs j as long as the distance stays below 2^31.
+class Seq32PropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Seq32PropertyTest, OrderingIsTranslationInvariant) {
+    std::uint32_t base = GetParam();
+    const std::uint32_t offsets[] = {0, 1, 1000, 0xffff, 0x7ffffffe};
+    for (std::uint32_t i : offsets) {
+        for (std::uint32_t j : offsets) {
+            Seq32 a = Seq32{base} + i;
+            Seq32 b = Seq32{base} + j;
+            EXPECT_EQ(a < b, i < j) << "base=" << base << " i=" << i << " j=" << j;
+            EXPECT_EQ(a == b, i == j);
+            if (i >= j) {
+                EXPECT_EQ(a - b, i - j);
+            }
+        }
+    }
+}
+
+TEST_P(Seq32PropertyTest, AddThenSubtractRoundTrips) {
+    std::uint32_t base = GetParam();
+    for (std::uint32_t delta : {0u, 1u, 1460u, 0x7fffffffu, 0xfffffffeu}) {
+        Seq32 s{base};
+        EXPECT_EQ(((s + delta) - delta).raw(), base);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WrapBoundaries, Seq32PropertyTest,
+                         ::testing::Values(0u, 1u, 0x7fffffffu, 0x80000000u, 0xfffffff0u,
+                                           0xffffffffu, 12345u));
+
+} // namespace
+} // namespace sttcp::util

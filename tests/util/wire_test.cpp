@@ -1,0 +1,151 @@
+// WireWriter/WireReader/InternetChecksum: the byte-order and checksum
+// foundation of every packet format.
+#include <gtest/gtest.h>
+
+#include "util/wire.hpp"
+
+namespace sttcp::util {
+namespace {
+
+TEST(WireWriter, BigEndianEncoding) {
+    Bytes out;
+    WireWriter w{out};
+    w.u8(0x01);
+    w.u16(0x0203);
+    w.u32(0x04050607);
+    w.u64(0x08090a0b0c0d0e0fULL);
+    ASSERT_EQ(out.size(), 15u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i + 1) << "at offset " << i;
+}
+
+TEST(WireWriter, PatchU16) {
+    Bytes out;
+    WireWriter w{out};
+    w.u16(0);
+    w.u16(0xbeef);
+    w.patch_u16(0, 0xdead);
+    EXPECT_EQ(out[0], 0xde);
+    EXPECT_EQ(out[1], 0xad);
+    EXPECT_EQ(out[2], 0xbe);
+    EXPECT_EQ(out[3], 0xef);
+}
+
+TEST(WireWriter, BytesAndZeros) {
+    Bytes out;
+    WireWriter w{out};
+    std::uint8_t payload[] = {9, 8, 7};
+    w.bytes(ByteView{payload, 3});
+    w.zeros(2);
+    EXPECT_EQ(out, (Bytes{9, 8, 7, 0, 0}));
+}
+
+TEST(WireReader, RoundTrip) {
+    Bytes out;
+    WireWriter w{out};
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    WireReader r{out};
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, UnderrunThrows) {
+    Bytes out{1, 2, 3};
+    WireReader r{out};
+    EXPECT_EQ(r.u16(), 0x0102);
+    EXPECT_THROW((void)r.u16(), WireError);
+    // After a throw the reader has not silently consumed anything extra.
+    EXPECT_EQ(r.remaining(), 1u);
+    EXPECT_EQ(r.u8(), 3);
+}
+
+TEST(WireReader, SkipAndRest) {
+    Bytes out{1, 2, 3, 4, 5};
+    WireReader r{out};
+    r.skip(2);
+    auto rest = r.rest();
+    ASSERT_EQ(rest.size(), 3u);
+    EXPECT_EQ(rest[0], 3);
+    EXPECT_THROW(r.skip(1), WireError);
+}
+
+// RFC 1071 worked example.
+TEST(InternetChecksum, Rfc1071Example) {
+    std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    InternetChecksum sum;
+    sum.add(ByteView{data, 8});
+    EXPECT_EQ(sum.finish(), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(InternetChecksum, VerifiesToZero) {
+    // A message with its own checksum folded in sums to zero — the
+    // verification property every parser relies on.
+    std::uint8_t data[] = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00,
+                           0x40, 0x06, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                           0x0a, 0x00, 0x00, 0x02};
+    InternetChecksum sum;
+    sum.add(ByteView{data, sizeof data});
+    std::uint16_t c = sum.finish();
+    data[10] = static_cast<std::uint8_t>(c >> 8);
+    data[11] = static_cast<std::uint8_t>(c);
+    InternetChecksum verify;
+    verify.add(ByteView{data, sizeof data});
+    EXPECT_EQ(verify.finish(), 0);
+}
+
+TEST(InternetChecksum, IncrementalEqualsOneShot) {
+    Bytes data;
+    for (int i = 0; i < 999; ++i) data.push_back(static_cast<std::uint8_t>(i * 37));
+    InternetChecksum one_shot;
+    one_shot.add(data);
+
+    // Split at every kind of odd/even boundary, including odd-length chunks
+    // that exercise the carry-byte path.
+    for (std::size_t split : {1u, 2u, 3u, 500u, 997u, 998u}) {
+        InternetChecksum inc;
+        inc.add(ByteView{data.data(), split});
+        inc.add(ByteView{data.data() + split, data.size() - split});
+        EXPECT_EQ(inc.finish(), one_shot.finish()) << "split at " << split;
+    }
+    // Three-way odd splits.
+    InternetChecksum inc3;
+    inc3.add(ByteView{data.data(), 7});
+    inc3.add(ByteView{data.data() + 7, 11});
+    inc3.add(ByteView{data.data() + 18, data.size() - 18});
+    EXPECT_EQ(inc3.finish(), one_shot.finish());
+}
+
+TEST(InternetChecksum, DetectsSingleByteCorruption) {
+    Bytes data;
+    for (int i = 0; i < 64; ++i) data.push_back(static_cast<std::uint8_t>(i));
+    InternetChecksum sum;
+    sum.add(data);
+    std::uint16_t good = sum.finish();
+
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        Bytes corrupted = data;
+        corrupted[i] ^= 0x40;
+        InternetChecksum s;
+        s.add(corrupted);
+        EXPECT_NE(s.finish(), good) << "corruption at byte " << i << " undetected";
+    }
+}
+
+TEST(InternetChecksum, HelpersMatchByteEquivalent) {
+    InternetChecksum a;
+    a.add_u16(0x1234);
+    a.add_u32(0xdeadbeef);
+    std::uint8_t bytes[] = {0x12, 0x34, 0xde, 0xad, 0xbe, 0xef};
+    InternetChecksum b;
+    b.add(ByteView{bytes, 6});
+    EXPECT_EQ(a.finish(), b.finish());
+}
+
+} // namespace
+} // namespace sttcp::util
