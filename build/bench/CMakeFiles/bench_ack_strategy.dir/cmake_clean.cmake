@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ack_strategy.dir/bench_ack_strategy.cpp.o"
+  "CMakeFiles/bench_ack_strategy.dir/bench_ack_strategy.cpp.o.d"
+  "bench_ack_strategy"
+  "bench_ack_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ack_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack_micro.dir/bench_stack_micro.cpp.o"
+  "CMakeFiles/bench_stack_micro.dir/bench_stack_micro.cpp.o.d"
+  "bench_stack_micro"
+  "bench_stack_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tap_loss.dir/bench_tap_loss.cpp.o"
+  "CMakeFiles/bench_tap_loss.dir/bench_tap_loss.cpp.o.d"
+  "bench_tap_loss"
+  "bench_tap_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tap_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_chain.dir/replica_chain.cpp.o"
+  "CMakeFiles/replica_chain.dir/replica_chain.cpp.o.d"
+  "replica_chain"
+  "replica_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_session.dir/web_session.cpp.o"
+  "CMakeFiles/web_session.dir/web_session.cpp.o.d"
+  "web_session"
+  "web_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

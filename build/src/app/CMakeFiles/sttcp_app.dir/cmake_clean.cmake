@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_app.dir/client_driver.cpp.o"
+  "CMakeFiles/sttcp_app.dir/client_driver.cpp.o.d"
+  "CMakeFiles/sttcp_app.dir/responder.cpp.o"
+  "CMakeFiles/sttcp_app.dir/responder.cpp.o.d"
+  "libsttcp_app.a"
+  "libsttcp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_harness.dir/chain_testbed.cpp.o"
+  "CMakeFiles/sttcp_harness.dir/chain_testbed.cpp.o.d"
+  "CMakeFiles/sttcp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/sttcp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/sttcp_harness.dir/nospof_testbed.cpp.o"
+  "CMakeFiles/sttcp_harness.dir/nospof_testbed.cpp.o.d"
+  "CMakeFiles/sttcp_harness.dir/switch_testbed.cpp.o"
+  "CMakeFiles/sttcp_harness.dir/switch_testbed.cpp.o.d"
+  "CMakeFiles/sttcp_harness.dir/testbed.cpp.o"
+  "CMakeFiles/sttcp_harness.dir/testbed.cpp.o.d"
+  "libsttcp_harness.a"
+  "libsttcp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/sttcp_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/arp.cpp" "src/net/CMakeFiles/sttcp_net.dir/arp.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/arp.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/sttcp_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/frame_trace.cpp" "src/net/CMakeFiles/sttcp_net.dir/frame_trace.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/frame_trace.cpp.o.d"
+  "/root/repo/src/net/hub.cpp" "src/net/CMakeFiles/sttcp_net.dir/hub.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/hub.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/sttcp_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/sttcp_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/packet_logger.cpp" "src/net/CMakeFiles/sttcp_net.dir/packet_logger.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/packet_logger.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/sttcp_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/tcp_wire.cpp" "src/net/CMakeFiles/sttcp_net.dir/tcp_wire.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/tcp_wire.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/sttcp_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sttcp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

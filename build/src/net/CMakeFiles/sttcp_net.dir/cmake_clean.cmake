@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_net.dir/addr.cpp.o"
+  "CMakeFiles/sttcp_net.dir/addr.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/arp.cpp.o"
+  "CMakeFiles/sttcp_net.dir/arp.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/ethernet.cpp.o"
+  "CMakeFiles/sttcp_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/frame_trace.cpp.o"
+  "CMakeFiles/sttcp_net.dir/frame_trace.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/hub.cpp.o"
+  "CMakeFiles/sttcp_net.dir/hub.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/ipv4.cpp.o"
+  "CMakeFiles/sttcp_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/link.cpp.o"
+  "CMakeFiles/sttcp_net.dir/link.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/packet_logger.cpp.o"
+  "CMakeFiles/sttcp_net.dir/packet_logger.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/switch.cpp.o"
+  "CMakeFiles/sttcp_net.dir/switch.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/tcp_wire.cpp.o"
+  "CMakeFiles/sttcp_net.dir/tcp_wire.cpp.o.d"
+  "CMakeFiles/sttcp_net.dir/udp.cpp.o"
+  "CMakeFiles/sttcp_net.dir/udp.cpp.o.d"
+  "libsttcp_net.a"
+  "libsttcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

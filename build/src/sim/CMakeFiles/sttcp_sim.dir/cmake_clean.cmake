@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sttcp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sttcp_sim.dir/simulation.cpp.o"
+  "CMakeFiles/sttcp_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/sttcp_sim.dir/time.cpp.o"
+  "CMakeFiles/sttcp_sim.dir/time.cpp.o.d"
+  "libsttcp_sim.a"
+  "libsttcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_core.dir/backup.cpp.o"
+  "CMakeFiles/sttcp_core.dir/backup.cpp.o.d"
+  "CMakeFiles/sttcp_core.dir/control_messages.cpp.o"
+  "CMakeFiles/sttcp_core.dir/control_messages.cpp.o.d"
+  "CMakeFiles/sttcp_core.dir/primary.cpp.o"
+  "CMakeFiles/sttcp_core.dir/primary.cpp.o.d"
+  "libsttcp_core.a"
+  "libsttcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/host_stack.cpp" "src/tcp/CMakeFiles/sttcp_tcp.dir/host_stack.cpp.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/host_stack.cpp.o.d"
+  "/root/repo/src/tcp/tcp_connection.cpp" "src/tcp/CMakeFiles/sttcp_tcp.dir/tcp_connection.cpp.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/tcp_connection.cpp.o.d"
+  "/root/repo/src/tcp/tcp_types.cpp" "src/tcp/CMakeFiles/sttcp_tcp.dir/tcp_types.cpp.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/tcp_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sttcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

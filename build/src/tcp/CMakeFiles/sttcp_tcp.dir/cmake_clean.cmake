@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_tcp.dir/host_stack.cpp.o"
+  "CMakeFiles/sttcp_tcp.dir/host_stack.cpp.o.d"
+  "CMakeFiles/sttcp_tcp.dir/tcp_connection.cpp.o"
+  "CMakeFiles/sttcp_tcp.dir/tcp_connection.cpp.o.d"
+  "CMakeFiles/sttcp_tcp.dir/tcp_types.cpp.o"
+  "CMakeFiles/sttcp_tcp.dir/tcp_types.cpp.o.d"
+  "libsttcp_tcp.a"
+  "libsttcp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

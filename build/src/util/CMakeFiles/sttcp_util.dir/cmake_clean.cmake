@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_util.dir/hexdump.cpp.o"
+  "CMakeFiles/sttcp_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/sttcp_util.dir/logging.cpp.o"
+  "CMakeFiles/sttcp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sttcp_util.dir/seq32.cpp.o"
+  "CMakeFiles/sttcp_util.dir/seq32.cpp.o.d"
+  "libsttcp_util.a"
+  "libsttcp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

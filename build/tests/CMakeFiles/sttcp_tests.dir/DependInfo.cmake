@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/protocol_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/app/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/app/protocol_test.cpp.o.d"
+  "/root/repo/tests/app/responder_client_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/app/responder_client_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/app/responder_client_test.cpp.o.d"
+  "/root/repo/tests/net/addr_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/net/addr_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/net/addr_test.cpp.o.d"
+  "/root/repo/tests/net/devices_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/net/devices_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/net/devices_test.cpp.o.d"
+  "/root/repo/tests/net/frame_trace_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/net/frame_trace_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/net/frame_trace_test.cpp.o.d"
+  "/root/repo/tests/net/inline_logger_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/net/inline_logger_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/net/inline_logger_test.cpp.o.d"
+  "/root/repo/tests/net/packet_logger_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/net/packet_logger_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/net/packet_logger_test.cpp.o.d"
+  "/root/repo/tests/net/wire_formats_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/net/wire_formats_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/net/wire_formats_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sttcp/chain_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/chain_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/chain_test.cpp.o.d"
+  "/root/repo/tests/sttcp/chaos_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/chaos_test.cpp.o.d"
+  "/root/repo/tests/sttcp/components_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/components_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/components_test.cpp.o.d"
+  "/root/repo/tests/sttcp/engine_unit_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/engine_unit_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/engine_unit_test.cpp.o.d"
+  "/root/repo/tests/sttcp/failover_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/failover_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/failover_test.cpp.o.d"
+  "/root/repo/tests/sttcp/nospof_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/nospof_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/nospof_test.cpp.o.d"
+  "/root/repo/tests/sttcp/scenarios_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/scenarios_test.cpp.o.d"
+  "/root/repo/tests/sttcp/switch_tap_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/switch_tap_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/switch_tap_test.cpp.o.d"
+  "/root/repo/tests/sttcp/window_transparency_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/sttcp/window_transparency_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/sttcp/window_transparency_test.cpp.o.d"
+  "/root/repo/tests/tcp/buffers_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/tcp/buffers_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/tcp/buffers_test.cpp.o.d"
+  "/root/repo/tests/tcp/host_stack_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/tcp/host_stack_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/tcp/host_stack_test.cpp.o.d"
+  "/root/repo/tests/tcp/rtt_congestion_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/tcp/rtt_congestion_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/tcp/rtt_congestion_test.cpp.o.d"
+  "/root/repo/tests/tcp/tcp_end_to_end_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/tcp/tcp_end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/tcp/tcp_end_to_end_test.cpp.o.d"
+  "/root/repo/tests/tcp/tcp_protocol_edges_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/tcp/tcp_protocol_edges_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/tcp/tcp_protocol_edges_test.cpp.o.d"
+  "/root/repo/tests/util/interval_set_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/util/interval_set_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/util/interval_set_test.cpp.o.d"
+  "/root/repo/tests/util/logging_hexdump_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/util/logging_hexdump_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/util/logging_hexdump_test.cpp.o.d"
+  "/root/repo/tests/util/ring_buffer_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/util/ring_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/util/ring_buffer_test.cpp.o.d"
+  "/root/repo/tests/util/seq32_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/util/seq32_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/util/seq32_test.cpp.o.d"
+  "/root/repo/tests/util/wire_test.cpp" "tests/CMakeFiles/sttcp_tests.dir/util/wire_test.cpp.o" "gcc" "tests/CMakeFiles/sttcp_tests.dir/util/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sttcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttcp/CMakeFiles/sttcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/sttcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/sttcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sttcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
