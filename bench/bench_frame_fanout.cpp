@@ -1,0 +1,132 @@
+// Frame fan-out throughput through the shared-medium hub.
+//
+// Measures the simulator's hottest path: every client frame entering the hub
+// is repeated out of every other port (paper §6's tap-by-hub topology), so
+// one send costs one link delivery per port. Reports host-time frames/sec
+// over a 1-primary + 1-backup-tap + N-client topology as JSON, so successive
+// PRs can track the datapath cost of keeping the backup in sync.
+//
+// Usage: bench_frame_fanout [frames_per_client] [clients] [payload_bytes]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/hub.hpp"
+#include "net/nic.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+
+using namespace sttcp;
+
+namespace {
+
+struct Host {
+    Host(std::string name, net::MacAddress mac)
+        : node(name), nic(node, "eth0", mac) {}
+    net::Node node;
+    net::Nic nic;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t frames_per_client =
+        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
+    const std::size_t n_clients = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4;
+    const std::size_t payload_bytes =
+        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 1460;
+
+    sim::Simulation sim{42};
+
+    net::Hub hub{sim, "hub"};
+    net::LinkConfig link_cfg;
+    link_cfg.bandwidth_bps = 1e9;  // keep serialization ahead of the pacing below
+
+    Host primary{"primary", net::MacAddress::local(1)};
+    Host backup{"backup", net::MacAddress::local(2)};
+    backup.nic.set_promiscuous(true);  // the ST-TCP tap sees everything
+
+    hub.connect(primary.nic, link_cfg);
+    hub.connect(backup.nic, link_cfg);
+
+    std::vector<std::unique_ptr<Host>> clients;
+    for (std::size_t i = 0; i < n_clients; ++i) {
+        clients.push_back(std::make_unique<Host>("client" + std::to_string(i),
+                                                 net::MacAddress::local(10 + static_cast<std::uint32_t>(i))));
+        hub.connect(clients.back()->nic, link_cfg);
+    }
+
+    std::uint64_t primary_rx = 0, backup_rx = 0;
+    primary.nic.set_rx_handler([&](const net::EthernetFrame&) { ++primary_rx; });
+    backup.nic.set_rx_handler([&](const net::EthernetFrame&) { ++backup_rx; });
+
+    util::Bytes pattern(payload_bytes);
+    for (std::size_t i = 0; i < payload_bytes; ++i)
+        pattern[i] = static_cast<std::uint8_t>(i);
+
+    // Each client paces one frame every 100 us toward the primary; the hub
+    // repeats it to every port, the tap takes a copy, the other clients
+    // filter it out. This is exactly the per-frame cost of fault tolerance.
+    const sim::Duration pace = sim::microseconds{100};
+    struct Sender {
+        Host* host;
+        std::size_t remaining;
+    };
+    std::vector<Sender> senders;
+    for (auto& c : clients) senders.push_back({c.get(), frames_per_client});
+
+    std::function<void(std::size_t)> send_one = [&](std::size_t idx) {
+        Sender& s = senders[idx];
+        if (s.remaining == 0) return;
+        --s.remaining;
+        net::EthernetFrame f;
+        f.dst = primary.nic.mac();
+        f.src = s.host->nic.mac();
+        f.type = net::EtherType::kIpv4;
+        f.payload = pattern;
+        s.host->nic.send(std::move(f));
+        sim.schedule_after(pace, [&, idx]() { send_one(idx); });
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < senders.size(); ++i) send_one(i);
+    sim.run();
+    auto t1 = std::chrono::steady_clock::now();
+    double host_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+    const std::uint64_t frames_sent = frames_per_client * n_clients;
+    // Every sent frame crosses the client uplink once and each of the other
+    // (n_clients + 1) hub ports once.
+    std::uint64_t deliveries = primary_rx + backup_rx;
+    double frames_per_sec = static_cast<double>(frames_sent) / host_seconds;
+
+    std::printf("{\n"
+                "  \"bench\": \"frame_fanout\",\n"
+                "  \"topology\": {\"clients\": %zu, \"taps\": 1, \"payload_bytes\": %zu},\n"
+                "  \"frames_sent\": %llu,\n"
+                "  \"primary_rx\": %llu,\n"
+                "  \"backup_tap_rx\": %llu,\n"
+                "  \"events_executed\": %llu,\n"
+                "  \"host_seconds\": %.6f,\n"
+                "  \"frames_per_sec\": %.1f\n"
+                "}\n",
+                n_clients, payload_bytes,
+                static_cast<unsigned long long>(frames_sent),
+                static_cast<unsigned long long>(primary_rx),
+                static_cast<unsigned long long>(backup_rx),
+                static_cast<unsigned long long>(sim.queue().executed()),
+                host_seconds, frames_per_sec);
+
+    // Sanity: the tap must have seen every frame, or the bench is not
+    // measuring the fan-out it claims to.
+    if (backup_rx != frames_sent || primary_rx != frames_sent) {
+        std::fprintf(stderr, "fanout mismatch: sent=%llu primary=%llu backup=%llu\n",
+                     static_cast<unsigned long long>(frames_sent),
+                     static_cast<unsigned long long>(primary_rx),
+                     static_cast<unsigned long long>(backup_rx));
+        return 1;
+    }
+    (void)deliveries;
+    return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release and emits BENCH_frame_fanout.json at the
+# repo root. Extra arguments are forwarded to bench_frame_fanout
+# ([frames_per_client] [clients] [payload_bytes]).
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+build_dir="$repo_root/build-rel"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target bench_frame_fanout bench_stack_micro
+
+"$build_dir/bench/bench_frame_fanout" "$@" | tee "$repo_root/BENCH_frame_fanout.json"
+
+echo "wrote $repo_root/BENCH_frame_fanout.json" >&2
+echo "micro suite: $build_dir/bench/bench_stack_micro" >&2

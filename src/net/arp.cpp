@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/buffer_pool.hpp"
+
 namespace sttcp::net {
 
 namespace {
@@ -14,7 +16,7 @@ MacAddress read_mac(util::WireReader& r) {
 } // namespace
 
 util::Bytes ArpMessage::serialize() const {
-    util::Bytes out;
+    util::Bytes out = util::BufferPool::instance().take(kWireSize);
     util::WireWriter w{out};
     w.u16(1);       // HTYPE: Ethernet
     w.u16(0x0800);  // PTYPE: IPv4

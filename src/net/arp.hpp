@@ -24,6 +24,8 @@ struct ArpMessage {
     MacAddress target_mac;  // ignored in requests
     Ipv4Address target_ip;
 
+    static constexpr std::size_t kWireSize = 28;
+
     [[nodiscard]] util::Bytes serialize() const;
     [[nodiscard]] static ArpMessage parse(util::ByteView raw);
 };

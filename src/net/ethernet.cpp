@@ -1,10 +1,11 @@
 #include "net/ethernet.hpp"
 
+#include "util/buffer_pool.hpp"
+
 namespace sttcp::net {
 
 util::Bytes EthernetFrame::serialize() const {
-    util::Bytes out;
-    out.reserve(kHeaderSize + payload.size());
+    util::Bytes out = util::BufferPool::instance().take(kHeaderSize + payload.size());
     util::WireWriter w{out};
     w.bytes(util::ByteView{dst.bytes()});
     w.bytes(util::ByteView{src.bytes()});
@@ -24,8 +25,7 @@ EthernetFrame EthernetFrame::parse(util::ByteView raw) {
     std::copy(s.begin(), s.end(), mac.begin());
     f.src = MacAddress{mac};
     f.type = static_cast<EtherType>(r.u16());
-    auto rest = r.rest();
-    f.payload.assign(rest.begin(), rest.end());
+    f.payload = util::SharedPayload::copy_of(r.rest());
     return f;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "net/addr.hpp"
+#include "util/shared_payload.hpp"
 #include "util/wire.hpp"
 
 namespace sttcp::net {
@@ -20,7 +21,9 @@ struct EthernetFrame {
     MacAddress dst;
     MacAddress src;
     EtherType type = EtherType::kIpv4;
-    util::Bytes payload;
+    // Ref-counted: copying a frame (hub fan-out, tap observers, the packet
+    // logger) shares one payload allocation instead of duplicating it.
+    util::SharedPayload payload;
 
     static constexpr std::size_t kHeaderSize = 14;
     static constexpr std::size_t kFcsSize = 4;

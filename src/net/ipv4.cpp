@@ -1,10 +1,11 @@
 #include "net/ipv4.hpp"
 
+#include "util/buffer_pool.hpp"
+
 namespace sttcp::net {
 
 util::Bytes Ipv4Packet::serialize() const {
-    util::Bytes out;
-    out.reserve(total_size());
+    util::Bytes out = util::BufferPool::instance().take(total_size());
     util::WireWriter w{out};
     w.u8(0x45);  // version 4, IHL 5
     w.u8(0);     // DSCP/ECN

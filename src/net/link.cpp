@@ -11,6 +11,7 @@ bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
     Direction& dir = direction_toward(*receiver);
 
     std::size_t wire = frame.wire_size();
+    drain_transmitted(dir, sim_.now());
     if (dir.queued_bytes + wire > config_.queue_capacity_bytes) {
         ++stats_.frames_dropped_queue;
         return false;
@@ -22,6 +23,7 @@ bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
         static_cast<double>(wire) * 8.0 / config_.bandwidth_bps * 1e9)};
     sim::TimePoint tx_done = start + tx_time;
     dir.busy_until = tx_done;
+    dir.in_flight.emplace_back(tx_done, wire);
 
     double loss = dir.loss_probability >= 0 ? dir.loss_probability : config_.loss_probability;
     bool lost = sim_.rng().bernoulli(loss);
@@ -31,10 +33,7 @@ bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
         arrival += sim::Duration{static_cast<std::int64_t>(
             sim_.rng().uniform(static_cast<std::uint64_t>(config_.jitter.count()) + 1))};
     }
-    sim_.schedule_at(arrival, [this, receiver, f = std::move(frame), wire, lost]() mutable {
-        Direction& d = direction_toward(*receiver);
-        assert(d.queued_bytes >= wire);
-        d.queued_bytes -= wire;
+    sim_.schedule_at(arrival, [this, receiver, f = std::move(frame), wire, lost]() {
         if (lost) {
             ++stats_.frames_dropped_loss;
             return;

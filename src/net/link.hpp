@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "net/device.hpp"
@@ -70,9 +71,21 @@ public:
 private:
     struct Direction {
         sim::TimePoint busy_until{};
+        // Bytes occupying the transmit queue. A frame leaves the queue when
+        // its serialization finishes (tx_done) — propagation time does not
+        // hold queue memory — so entries are lazily drained against now()
+        // before every capacity check.
         std::size_t queued_bytes = 0;
+        std::deque<std::pair<sim::TimePoint, std::size_t>> in_flight;  // (tx_done, wire bytes)
         double loss_probability = -1.0;  // <0: use link-level config
     };
+
+    static void drain_transmitted(Direction& dir, sim::TimePoint now) {
+        while (!dir.in_flight.empty() && dir.in_flight.front().first <= now) {
+            dir.queued_bytes -= dir.in_flight.front().second;
+            dir.in_flight.pop_front();
+        }
+    }
 
     Direction& direction_toward(const FrameEndpoint& receiver) {
         return &receiver == b_ ? a_to_b_ : b_to_a_;

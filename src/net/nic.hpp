@@ -7,10 +7,11 @@
 // binding lives in the stack (stack/interface config).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "net/device.hpp"
 #include "net/link.hpp"
@@ -32,9 +33,17 @@ public:
     void set_promiscuous(bool on) { promiscuous_ = on; }
     [[nodiscard]] bool promiscuous() const { return promiscuous_; }
 
-    void join_multicast(MacAddress group) { groups_.insert(group); }
-    void leave_multicast(MacAddress group) { groups_.erase(group); }
-    [[nodiscard]] bool in_group(MacAddress group) const { return groups_.count(group) > 0; }
+    void join_multicast(MacAddress group) {
+        auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+        if (it == groups_.end() || *it != group) groups_.insert(it, group);
+    }
+    void leave_multicast(MacAddress group) {
+        auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+        if (it != groups_.end() && *it == group) groups_.erase(it);
+    }
+    [[nodiscard]] bool in_group(MacAddress group) const {
+        return std::binary_search(groups_.begin(), groups_.end(), group);
+    }
 
     // Upcall into the protocol stack. The frame has already passed the
     // address filter.
@@ -64,7 +73,7 @@ public:
     [[nodiscard]] bool accepts(const MacAddress& dst) const {
         if (promiscuous_) return true;
         if (dst == mac_ || dst.is_broadcast()) return true;
-        return dst.is_multicast() && groups_.count(dst) > 0;
+        return dst.is_multicast() && in_group(dst);
     }
 
     struct Stats {
@@ -81,7 +90,9 @@ private:
     std::string name_;
     MacAddress mac_;
     bool promiscuous_ = false;
-    std::set<MacAddress> groups_;
+    // Sorted; a NIC joins 2-3 groups in practice and accepts() runs per
+    // delivered frame, so a flat vector beats a node-based set.
+    std::vector<MacAddress> groups_;
     RxHandler rx_handler_;
     Stats stats_;
 };

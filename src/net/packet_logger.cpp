@@ -13,7 +13,7 @@ std::vector<util::Bytes> PacketLogger::find_tcp_range(Ipv4Address src_ip, Ipv4Ad
     std::vector<util::Bytes> out;
     for (const auto& entry : log_) {
         try {
-            EthernetFrame frame = EthernetFrame::parse(entry.raw);
+            const EthernetFrame& frame = entry.frame;
             if (frame.type != EtherType::kIpv4) continue;
             Ipv4Packet ip = Ipv4Packet::parse(frame.payload);
             if (ip.proto != IpProto::kTcp || ip.src != src_ip || ip.dst != dst_ip) continue;
@@ -23,7 +23,7 @@ std::vector<util::Bytes> PacketLogger::find_tcp_range(Ipv4Address src_ip, Ipv4Ad
             util::Seq32 lo = seg.seq;
             util::Seq32 hi = seg.seq + static_cast<std::uint32_t>(seg.payload.size());
             // Overlap test on the sequence circle.
-            if (lo < seq_end && seq_begin < hi) out.push_back(entry.raw);
+            if (lo < seq_end && seq_begin < hi) out.push_back(frame.serialize());
         } catch (const util::WireError&) {
             continue;  // non-parseable frames are simply not matches
         }

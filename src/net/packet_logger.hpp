@@ -40,9 +40,10 @@ public:
     void record(const EthernetFrame& frame) {
         if (!node_.powered()) return;
         evict(sim_.now());
-        util::Bytes raw = frame.serialize();
-        stored_bytes_ += raw.size();
-        log_.push_back({sim_.now(), std::move(raw)});
+        // Zero-copy: the entry shares the frame's payload buffer; frames are
+        // serialized only on the (rare) recovery lookup path.
+        stored_bytes_ += stored_size(frame);
+        log_.push_back({sim_.now(), frame});
         ++stats_.frames_logged;
     }
 
@@ -68,13 +69,17 @@ public:
 private:
     struct Entry {
         sim::TimePoint at;
-        util::Bytes raw;
+        EthernetFrame frame;  // payload shared with the delivered frame
     };
+
+    [[nodiscard]] static std::size_t stored_size(const EthernetFrame& frame) {
+        return EthernetFrame::kHeaderSize + frame.payload.size();
+    }
 
     void evict(sim::TimePoint now) {
         while (!log_.empty() &&
                (stored_bytes_ > config_.max_bytes || log_.front().at + config_.max_age < now)) {
-            stored_bytes_ -= log_.front().raw.size();
+            stored_bytes_ -= stored_size(log_.front().frame);
             log_.pop_front();
             ++stats_.frames_evicted;
         }

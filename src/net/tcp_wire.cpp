@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/buffer_pool.hpp"
+
 namespace sttcp::net {
 
 namespace {
@@ -22,8 +24,7 @@ std::size_t TcpSegment::header_size() const {
 }
 
 util::Bytes TcpSegment::serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
-    util::Bytes out;
-    out.reserve(total_size());
+    util::Bytes out = util::BufferPool::instance().take(total_size());
     util::WireWriter w{out};
     w.u16(src_port);
     w.u16(dst_port);

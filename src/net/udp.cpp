@@ -1,5 +1,7 @@
 #include "net/udp.hpp"
 
+#include "util/buffer_pool.hpp"
+
 namespace sttcp::net {
 
 namespace {
@@ -13,8 +15,7 @@ void add_pseudo_header(util::InternetChecksum& sum, Ipv4Address src, Ipv4Address
 } // namespace
 
 util::Bytes UdpDatagram::serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
-    util::Bytes out;
-    out.reserve(total_size());
+    util::Bytes out = util::BufferPool::instance().take(total_size());
     util::WireWriter w{out};
     w.u16(src_port);
     w.u16(dst_port);

@@ -4,40 +4,41 @@
 
 namespace sttcp::sim {
 
-EventId EventQueue::schedule_at(TimePoint when, Callback cb) {
-    assert(when >= now_ && "cannot schedule in the past");
-    EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
-    ++live_count_;
-    return id;
+void EventQueue::release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.armed = false;
+    s.cb = nullptr;  // drop captures now, not at slot reuse
+    if (++s.gen == 0) s.gen = 1;  // keep make_id() != kInvalidEventId on wrap
+    free_slots_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventId id) {
     if (id == kInvalidEventId) return false;
-    // Only mark if it could still be pending (ids are monotonically issued).
-    if (id >= next_id_) return false;
-    auto [_, inserted] = cancelled_.insert(id);
-    if (inserted && live_count_ > 0) {
-        --live_count_;
-        return true;
-    }
-    return false;
+    auto slot = static_cast<std::uint32_t>(id >> 32);
+    auto gen = static_cast<std::uint32_t>(id);
+    if (slot >= slots_.size()) return false;
+    const Slot& s = slots_[slot];
+    if (!s.armed || s.gen != gen) return false;  // already fired or cancelled
+    release_slot(slot);
+    assert(live_count_ > 0);
+    --live_count_;
+    return true;
 }
 
 bool EventQueue::pop_one() {
     while (!heap_.empty()) {
-        // priority_queue::top() is const; we need to move the callback out.
-        Entry e = std::move(const_cast<Entry&>(heap_.top()));
+        Entry e = heap_.top();
         heap_.pop();
-        if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
+        if (!is_live(e)) continue;  // cancelled: slot was re-generationed
+        // Move the callback out before releasing: the callback may schedule
+        // new events that reuse (and overwrite) this very slot.
+        Callback cb = std::move(slots_[e.slot].cb);
+        release_slot(e.slot);
         assert(e.when >= now_);
         now_ = e.when;
         --live_count_;
         ++executed_;
-        e.cb();
+        cb();
         return true;
     }
     return false;
@@ -53,8 +54,7 @@ std::size_t EventQueue::run_until(TimePoint deadline) {
     std::size_t n = 0;
     while (!heap_.empty()) {
         // Skip cancelled entries at the top so top().when is a live event.
-        if (cancelled_.count(heap_.top().id)) {
-            cancelled_.erase(heap_.top().id);
+        if (!is_live(heap_.top())) {
             heap_.pop();
             continue;
         }

@@ -2,16 +2,19 @@
 //
 // Events fire in (time, insertion-order) order, which — together with the
 // deterministic RNG — makes every run bit-for-bit reproducible. Cancellation
-// is lazy: cancel() marks the id dead and the queue skips it when popped, so
-// protocol timers (which are rescheduled constantly) stay O(log n).
+// is O(1) and allocation-free: every event id carries a (slot, generation)
+// pair into a slot table, so cancel() is two array writes and a popped entry
+// proves it is alive with one generation compare — no hash lookup, no
+// tombstone set. Callbacks live in an InlineFunction whose buffer is sized
+// for the simulator's hot lambdas (link delivery, RTO timers), so scheduling
+// does not touch the heap either.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace sttcp::sim {
@@ -21,13 +24,29 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
 public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void(), 64>;
 
     [[nodiscard]] TimePoint now() const { return now_; }
 
-    EventId schedule_at(TimePoint when, Callback cb);
-    EventId schedule_after(Duration delay, Callback cb) {
-        return schedule_at(now_ + delay, std::move(cb));
+    // The callable is constructed directly into its slot: scheduling a
+    // lambda performs no InlineFunction relocation at all.
+    template <typename F>
+    EventId schedule_at(TimePoint when, F&& f) {
+        std::uint32_t slot = acquire_slot();
+        Slot& s = slots_[slot];
+        s.armed = true;
+        if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
+            s.cb = std::forward<F>(f);
+        } else {
+            s.cb.emplace(std::forward<F>(f));
+        }
+        heap_.push(Entry{when, next_seq_++, slot, s.gen});
+        ++live_count_;
+        return make_id(slot, s.gen);
+    }
+    template <typename F>
+    EventId schedule_after(Duration delay, F&& f) {
+        return schedule_at(now_ + delay, std::forward<F>(f));
     }
 
     // Cancels a pending event; no-op (returns false) if it already fired,
@@ -49,11 +68,14 @@ public:
     [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
 private:
+    // Heap entries are 24-byte PODs: the callback lives in the slot table,
+    // not the heap, so every sift during push/pop moves plain words instead
+    // of running InlineFunction's relocate through a function pointer.
     struct Entry {
         TimePoint when;
         std::uint64_t seq;  // tie-break: FIFO among same-time events
-        EventId id;
-        Callback cb;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
     struct Later {
         bool operator()(const Entry& a, const Entry& b) const {
@@ -61,14 +83,41 @@ private:
             return a.seq > b.seq;
         }
     };
+    // A slot is armed while its event is pending; the generation advances
+    // every time the slot is released (fire or cancel), which invalidates
+    // every id and heap entry minted for earlier occupancies. Slots are
+    // stable across heap operations, so the callback is stored here.
+    struct Slot {
+        std::uint32_t gen = 1;
+        bool armed = false;
+        Callback cb;
+    };
 
+    [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+        return static_cast<EventId>(slot) << 32 | gen;
+    }
+    [[nodiscard]] bool is_live(const Entry& e) const {
+        const Slot& s = slots_[e.slot];
+        return s.armed && s.gen == e.gen;
+    }
+    [[nodiscard]] std::uint32_t acquire_slot() {
+        if (!free_slots_.empty()) {
+            std::uint32_t slot = free_slots_.back();
+            free_slots_.pop_back();
+            return slot;
+        }
+        auto slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+        return slot;
+    }
+    void release_slot(std::uint32_t slot);
     bool pop_one();
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> cancelled_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
     TimePoint now_{};
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
     std::size_t live_count_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -1,0 +1,139 @@
+// Move-only callable with inline small-buffer storage.
+//
+// std::function's inline buffer (16 bytes on libstdc++) is too small for the
+// simulator's hot callbacks — a link-delivery lambda captures a whole
+// EthernetFrame — so every scheduled event used to heap-allocate. This type
+// stores callables up to kInlineBytes in place and only falls back to the
+// heap beyond that. Being move-only it also accepts move-only captures,
+// which std::function cannot hold at all.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace sttcp::sim {
+
+template <typename Signature, std::size_t InlineBytes = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+public:
+    static constexpr std::size_t kInlineBytes = InlineBytes;
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+                 std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+    InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+        emplace(std::forward<F>(f));
+    }
+
+    // Constructs the callable directly in place (replacing any current
+    // target) — lets containers of InlineFunction skip the construct-then-
+    // relocate dance on their hot path.
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+                 std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+    void emplace(F&& f) {
+        destroy();
+        using D = std::remove_cvref_t<F>;
+        if constexpr (fits_inline<D>) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            vtable_ = &kInlineVTable<D>;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            vtable_ = &kHeapVTable<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+    InlineFunction& operator=(InlineFunction&& other) noexcept {
+        if (this != &other) {
+            destroy();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+    R operator()(Args... args) {
+        return vtable_->call(storage_, std::forward<Args>(args)...);
+    }
+
+    // Whether a callable of type D would avoid the heap (exposed for tests).
+    template <typename D>
+    static constexpr bool fits_inline =
+        sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+private:
+    struct VTable {
+        R (*call)(void* storage, Args&&... args);
+        void (*relocate)(void* dst, void* src);  // move into dst, destroy src
+        void (*destroy)(void* storage);
+    };
+
+    template <typename D>
+    struct InlineModel {
+        static R call(void* storage, Args&&... args) {
+            return (*std::launder(static_cast<D*>(storage)))(std::forward<Args>(args)...);
+        }
+        static void relocate(void* dst, void* src) {
+            D* from = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+        }
+        static void destroy(void* storage) { std::launder(static_cast<D*>(storage))->~D(); }
+    };
+
+    template <typename D>
+    struct HeapModel {
+        static R call(void* storage, Args&&... args) {
+            return (**std::launder(static_cast<D**>(storage)))(std::forward<Args>(args)...);
+        }
+        static void relocate(void* dst, void* src) {
+            ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+        }
+        static void destroy(void* storage) { delete *std::launder(static_cast<D**>(storage)); }
+    };
+
+    template <typename D>
+    static constexpr VTable kInlineVTable{&InlineModel<D>::call, &InlineModel<D>::relocate,
+                                          &InlineModel<D>::destroy};
+    template <typename D>
+    static constexpr VTable kHeapVTable{&HeapModel<D>::call, &HeapModel<D>::relocate,
+                                        &HeapModel<D>::destroy};
+
+    void move_from(InlineFunction& other) noexcept {
+        vtable_ = other.vtable_;
+        if (vtable_) {
+            vtable_->relocate(storage_, other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    void destroy() {
+        if (vtable_) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[InlineBytes >= sizeof(void*)
+                                                         ? InlineBytes
+                                                         : sizeof(void*)]{};
+    const VTable* vtable_ = nullptr;
+};
+
+} // namespace sttcp::sim

@@ -30,11 +30,13 @@ public:
     [[nodiscard]] Random& rng() { return rng_; }
     [[nodiscard]] util::Logger& logger() { return logger_; }
 
-    EventId schedule_at(TimePoint when, EventQueue::Callback cb) {
-        return queue_.schedule_at(when, std::move(cb));
+    template <typename F>
+    EventId schedule_at(TimePoint when, F&& f) {
+        return queue_.schedule_at(when, std::forward<F>(f));
     }
-    EventId schedule_after(Duration delay, EventQueue::Callback cb) {
-        return queue_.schedule_after(delay, std::move(cb));
+    template <typename F>
+    EventId schedule_after(Duration delay, F&& f) {
+        return queue_.schedule_after(delay, std::forward<F>(f));
     }
     bool cancel(EventId id) { return queue_.cancel(id); }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/buffer_pool.hpp"
+
 namespace sttcp::tcp {
 
 namespace {
@@ -374,6 +376,8 @@ void HostStack::transmit_on(std::size_t iface_index, net::Ipv4Address next_hop,
     frame.src = iface.nic->mac();
     frame.type = net::EtherType::kIpv4;
     frame.payload = packet.serialize();
+    // The L3 buffer has been flattened into the frame; recycle it.
+    util::BufferPool::instance().give(std::move(packet.payload));
     iface.nic->send(std::move(frame));
 }
 

@@ -1,0 +1,39 @@
+#include "util/buffer_pool.hpp"
+
+namespace sttcp::util {
+
+BufferPool& BufferPool::instance() {
+    thread_local BufferPool pool;
+    return pool;
+}
+
+Bytes BufferPool::take(std::size_t reserve_hint) {
+    ++stats_.takes;
+    Bytes out;
+    if (!free_.empty()) {
+        out = std::move(free_.back());
+        free_.pop_back();
+        out.clear();
+        ++stats_.reuses;
+    }
+    if (out.capacity() < reserve_hint) out.reserve(reserve_hint);
+    return out;
+}
+
+void BufferPool::give(Bytes&& buffer) {
+    ++stats_.gives;
+    if (buffer.capacity() == 0 || buffer.capacity() > kMaxCapacity ||
+        free_.size() >= kMaxFree) {
+        ++stats_.dropped;
+        Bytes discard = std::move(buffer);  // freed here
+        return;
+    }
+    free_.push_back(std::move(buffer));
+}
+
+void BufferPool::drain() {
+    free_.clear();
+    free_.shrink_to_fit();
+}
+
+} // namespace sttcp::util

@@ -1,0 +1,54 @@
+// Free-list recycler for serialization buffers.
+//
+// Every frame the simulator moves is serialized into a util::Bytes vector;
+// at millions of frames per host-second the malloc/free pair per buffer is
+// the dominant cost of the wire codecs. The pool keeps a bounded free list
+// of retired vectors and hands their capacity back to the next serialize()
+// call, so the steady-state datapath performs no heap allocation.
+//
+// The pool is thread_local (one per simulation thread): the simulator is
+// single-threaded by design, and a thread-local list keeps take()/give()
+// free of synchronization.
+#pragma once
+
+#include <cstdint>
+
+#include "util/wire.hpp"
+
+namespace sttcp::util {
+
+class BufferPool {
+public:
+    // Retired buffers beyond this many, or larger than this capacity, are
+    // simply freed: the pool must never become a memory leak shaped like a
+    // cache. 64 KiB covers every frame the MTU admits with a wide margin.
+    static constexpr std::size_t kMaxFree = 64;
+    static constexpr std::size_t kMaxCapacity = 64 * 1024;
+
+    [[nodiscard]] static BufferPool& instance();
+
+    // Returns an empty vector with capacity >= reserve_hint, reusing a
+    // retired buffer when one is available.
+    [[nodiscard]] Bytes take(std::size_t reserve_hint);
+
+    // Retires a buffer, keeping its capacity for a future take().
+    void give(Bytes&& buffer);
+
+    struct Stats {
+        std::uint64_t takes = 0;
+        std::uint64_t reuses = 0;   // takes served from the free list
+        std::uint64_t gives = 0;
+        std::uint64_t dropped = 0;  // gives rejected (full list / oversized)
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+
+    // Frees everything held by the pool (tests and leak checkers).
+    void drain();
+
+private:
+    std::vector<Bytes> free_;
+    Stats stats_;
+};
+
+} // namespace sttcp::util

@@ -1,0 +1,87 @@
+#include "util/shared_payload.hpp"
+
+#include <ostream>
+
+namespace sttcp::util {
+
+SharedPayload::SharedPayload(Bytes&& bytes) : node_(acquire_node(std::move(bytes))) {}
+
+SharedPayload::SharedPayload(ByteView data) {
+    if (data.empty()) return;
+    Bytes b = BufferPool::instance().take(data.size());
+    b.assign(data.begin(), data.end());
+    node_ = acquire_node(std::move(b));
+}
+
+SharedPayload::SharedPayload(std::initializer_list<std::uint8_t> init)
+    : SharedPayload(ByteView{init.begin(), init.size()}) {}
+
+void SharedPayload::assign(std::size_t n, std::uint8_t value) {
+    Bytes b = BufferPool::instance().take(n);
+    b.assign(n, value);
+    *this = SharedPayload{std::move(b)};
+}
+
+Bytes& SharedPayload::mutable_bytes() {
+    if (!node_) {
+        node_ = acquire_node(BufferPool::instance().take(0));
+    } else if (node_->refs > 1) {
+        Bytes copy = BufferPool::instance().take(node_->bytes.size());
+        copy.assign(node_->bytes.begin(), node_->bytes.end());
+        reset();
+        node_ = acquire_node(std::move(copy));
+    }
+    return node_->bytes;
+}
+
+void SharedPayload::reset() {
+    if (node_ && --node_->refs == 0) release_node(node_);
+    node_ = nullptr;
+}
+
+// Node free list: nodes parked here hold no bytes (their vector was given
+// back to the BufferPool), so reviving one costs two pointer moves. The
+// wrapper destructor frees parked nodes at thread exit (they are raw
+// pointers, so the vector alone would leak them).
+std::vector<SharedPayload::Node*>& SharedPayload::node_pool() {
+    struct Pool {
+        std::vector<Node*> list;
+        ~Pool() {
+            for (Node* node : list) delete node;
+        }
+    };
+    thread_local Pool pool;
+    return pool.list;
+}
+
+SharedPayload::Node* SharedPayload::acquire_node(Bytes&& bytes) {
+    auto& list = node_pool();
+    Node* node;
+    if (!list.empty()) {
+        node = list.back();
+        list.pop_back();
+    } else {
+        node = new Node;
+    }
+    node->refs = 1;
+    node->bytes = std::move(bytes);
+    return node;
+}
+
+void SharedPayload::release_node(Node* node) {
+    BufferPool::instance().give(std::move(node->bytes));
+    node->bytes = Bytes{};
+    auto& list = node_pool();
+    if (list.size() < BufferPool::kMaxFree) {
+        list.push_back(node);
+    } else {
+        delete node;
+    }
+}
+
+std::ostream& operator<<(std::ostream& os, const SharedPayload& p) {
+    os << "SharedPayload{" << p.size() << " bytes}";
+    return os;
+}
+
+} // namespace sttcp::util

@@ -1,0 +1,114 @@
+// Immutable, ref-counted payload buffer: the zero-copy unit of the frame
+// datapath.
+//
+// A frame entering the hub is repeated out of every other port; before this
+// type existed each repeat copied the payload vector. SharedPayload lets
+// every copy of an EthernetFrame alias one allocation: copying a payload is
+// a refcount bump, reading it is a ByteView, and the buffer returns to the
+// BufferPool when the last reference drops. Payloads are immutable once
+// attached to a frame ("immutable after send"); mutable_bytes() is the
+// copy-on-write escape hatch for the rare path that must edit in place.
+//
+// Refcounts are plain integers: the simulator is single-threaded and the
+// nodes live in a thread_local free list alongside the BufferPool.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <type_traits>
+
+#include "util/buffer_pool.hpp"
+#include "util/wire.hpp"
+
+namespace sttcp::util {
+
+class SharedPayload {
+public:
+    SharedPayload() = default;
+
+    // Adopts the vector (its capacity later returns to the BufferPool).
+    // Implicit on purpose: `frame.payload = packet.serialize()` is the
+    // canonical producer. The lvalue overload copies through the pool.
+    SharedPayload(Bytes&& bytes);
+    SharedPayload(const Bytes& bytes) : SharedPayload(ByteView{bytes}) {}
+    SharedPayload(std::initializer_list<std::uint8_t> init);
+    explicit SharedPayload(ByteView data);
+
+    SharedPayload(const SharedPayload& other) noexcept : node_(other.node_) {
+        if (node_) ++node_->refs;
+    }
+    SharedPayload(SharedPayload&& other) noexcept : node_(other.node_) {
+        other.node_ = nullptr;
+    }
+    SharedPayload& operator=(const SharedPayload& other) noexcept {
+        SharedPayload tmp{other};
+        swap(tmp);
+        return *this;
+    }
+    SharedPayload& operator=(SharedPayload&& other) noexcept {
+        swap(other);
+        return *this;
+    }
+    ~SharedPayload() { reset(); }
+
+    [[nodiscard]] static SharedPayload copy_of(ByteView data) { return SharedPayload{data}; }
+
+    [[nodiscard]] ByteView view() const {
+        return node_ ? ByteView{node_->bytes} : ByteView{};
+    }
+    operator ByteView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] const std::uint8_t* data() const { return view().data(); }
+    [[nodiscard]] std::size_t size() const { return node_ ? node_->bytes.size() : 0; }
+    [[nodiscard]] bool empty() const { return size() == 0; }
+    [[nodiscard]] ByteView::iterator begin() const { return view().begin(); }
+    [[nodiscard]] ByteView::iterator end() const { return view().end(); }
+
+    void assign(std::size_t n, std::uint8_t value);
+    template <typename It>
+        requires(!std::is_integral_v<It>)
+    void assign(It first, It last) {
+        Bytes b = BufferPool::instance().take(0);
+        b.assign(first, last);
+        *this = SharedPayload{std::move(b)};
+    }
+
+    // Copy-on-write: exclusive access to the bytes. If the buffer is shared
+    // the contents are copied first, so other frame copies never observe the
+    // edit. For test/diagnostic paths, not the datapath.
+    [[nodiscard]] Bytes& mutable_bytes();
+
+    void reset();
+
+    // Number of payloads aliasing this buffer (0 for the empty payload).
+    [[nodiscard]] std::size_t use_count() const { return node_ ? node_->refs : 0; }
+
+    void swap(SharedPayload& other) noexcept { std::swap(node_, other.node_); }
+
+    friend bool operator==(const SharedPayload& a, const SharedPayload& b) {
+        ByteView va = a.view(), vb = b.view();
+        return va.size() == vb.size() && std::equal(va.begin(), va.end(), vb.begin());
+    }
+    friend bool operator==(const SharedPayload& a, const Bytes& b) {
+        ByteView va = a.view();
+        return va.size() == b.size() && std::equal(va.begin(), va.end(), b.begin());
+    }
+
+private:
+    struct Node {
+        std::size_t refs = 0;
+        Bytes bytes;
+    };
+
+    [[nodiscard]] static Node* acquire_node(Bytes&& bytes);
+    static void release_node(Node* node);
+    [[nodiscard]] static std::vector<Node*>& node_pool();
+
+    Node* node_ = nullptr;
+};
+
+std::ostream& operator<<(std::ostream& os, const SharedPayload& p);
+
+} // namespace sttcp::util

@@ -101,6 +101,40 @@ TEST(Link, QueueOverflowDropsTail) {
     EXPECT_EQ(b.frames.size(), static_cast<std::size_t>(accepted));
 }
 
+TEST(Link, QueueReleasesAtSerializationEndNotArrival) {
+    // Regression: queue bytes must be released when a frame finishes
+    // serializing (tx_done), not when it arrives. With a long propagation
+    // delay the two differ by a lot, and holding queue memory across the
+    // flight time starves the transmit queue.
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 8e6;  // 1 byte/us
+    cfg.propagation = sim::seconds{1};
+    cfg.queue_capacity_bytes = 2100;
+    Link link{sim, cfg};
+    Sink a, b;
+    link.attach(a, b);
+
+    // 962-byte payload -> exactly 1000 wire bytes.
+    EthernetFrame f = frame_to(MacAddress::local(2), MacAddress::local(1), 962);
+    ASSERT_EQ(f.wire_size(), 1000u);
+    ASSERT_TRUE(link.send_from(a, f));
+    ASSERT_TRUE(link.send_from(a, f));
+    // Queue holds 2000 of 2100 bytes: a third frame does not fit yet.
+    EXPECT_FALSE(link.send_from(a, f));
+    EXPECT_EQ(link.stats().frames_dropped_queue, 1u);
+
+    // Both frames finish serializing at 1000us and 2000us; they arrive a
+    // full second later. Past tx_done the queue must be empty again.
+    sim.run_until(sim::TimePoint{} + sim::microseconds{2001});
+    EXPECT_EQ(b.frames.size(), 0u);  // still propagating
+    EXPECT_TRUE(link.send_from(a, f));
+
+    sim.run();
+    EXPECT_EQ(b.frames.size(), 3u);
+    EXPECT_EQ(link.stats().frames_delivered, 3u);
+}
+
 TEST(Link, LossProbabilityDropsStatistically) {
     sim::Simulation sim{7};
     LinkConfig cfg;

@@ -111,6 +111,82 @@ TEST(EventQueue, RunWithLimit) {
     EXPECT_EQ(q.pending(), 6u);
 }
 
+TEST(EventQueue, CancelledEventsAreNotCountedExecuted) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule_after(milliseconds{1}, [&] { ++fired; });
+    EventId victim = q.schedule_after(milliseconds{2}, [&] { ++fired; });
+    q.schedule_after(milliseconds{3}, [&] { ++fired; });
+    EXPECT_EQ(q.pending(), 3u);
+    EXPECT_TRUE(q.cancel(victim));
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_EQ(q.run(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.executed(), 2u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, StaleIdNeverCancelsALaterEvent) {
+    // An id that already fired must stay dead forever, even after the queue
+    // has issued many more events (i.e. internal storage may be reused).
+    EventQueue q;
+    EventId stale = q.schedule_after(milliseconds{1}, [] {});
+    q.run();
+    ASSERT_EQ(q.executed(), 1u);
+
+    bool fired = false;
+    std::vector<EventId> later;
+    for (int i = 0; i < 64; ++i)
+        later.push_back(q.schedule_after(milliseconds{1 + i}, [&] { fired = true; }));
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_EQ(q.pending(), 64u);
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.executed(), 65u);
+    for (EventId id : later) EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInsideCallback) {
+    EventQueue q;
+    bool fired = false;
+    EventId victim = q.schedule_at(TimePoint{} + milliseconds{20}, [&] { fired = true; });
+    q.schedule_at(TimePoint{} + milliseconds{10}, [&] { EXPECT_TRUE(q.cancel(victim)); });
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.now(), TimePoint{} + milliseconds{10});
+}
+
+TEST(EventQueue, FifoTieBreakSurvivesCancellation) {
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(q.schedule_at(TimePoint{} + milliseconds{5}, [&, i] { order.push_back(i); }));
+    q.cancel(ids[1]);
+    q.cancel(ids[4]);
+    q.cancel(ids[7]);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5, 6}));
+}
+
+TEST(EventQueue, ScheduleCancelChurnStaysConsistent) {
+    // Deterministic schedule/cancel interleave: every odd event is cancelled,
+    // every even one must fire exactly once, and the counters must agree.
+    EventQueue q;
+    int fired = 0;
+    for (int round = 0; round < 50; ++round) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 10; ++i)
+            ids.push_back(q.schedule_after(milliseconds{i}, [&] { ++fired; }));
+        for (int i = 1; i < 10; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+        q.run();
+    }
+    EXPECT_EQ(fired, 50 * 5);
+    EXPECT_EQ(q.executed(), 250u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, RunUntilSkipsCancelledHead) {
     EventQueue q;
     bool fired = false;

@@ -1,0 +1,82 @@
+// InlineFunction: the small-buffer callback type under every scheduled event.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/inline_function.hpp"
+
+namespace sttcp::sim {
+namespace {
+
+using Fn = InlineFunction<int(int), 64>;
+
+TEST(InlineFunction, EmptyIsFalsy) {
+    Fn f;
+    EXPECT_FALSE(f);
+    Fn g = nullptr;
+    EXPECT_FALSE(g);
+}
+
+TEST(InlineFunction, CallsSmallLambdaInline) {
+    int base = 10;
+    Fn f = [base](int x) { return base + x; };
+    static_assert(Fn::fits_inline<decltype([base = 0](int x) { return base + x; })>);
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f(5), 15);
+}
+
+TEST(InlineFunction, HeapFallbackForLargeCaptures) {
+    struct Big {
+        char bytes[128] = {};
+    };
+    Big big;
+    big.bytes[0] = 7;
+    auto lambda = [big](int x) { return big.bytes[0] + x; };
+    static_assert(!Fn::fits_inline<decltype(lambda)>);
+    Fn f = lambda;
+    EXPECT_EQ(f(1), 8);
+    Fn g = std::move(f);  // heap case relocates by pointer steal
+    EXPECT_EQ(g(2), 9);
+    EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): moved-from is empty
+}
+
+TEST(InlineFunction, MoveTransfersState) {
+    int calls = 0;
+    InlineFunction<void()> f = [&calls] { ++calls; };
+    InlineFunction<void()> g = std::move(f);
+    EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(g);
+    g();
+    g();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, MoveAssignDestroysOldTarget) {
+    auto counter = std::make_shared<int>(0);
+    InlineFunction<void()> f = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+    f = [] {};
+    EXPECT_EQ(counter.use_count(), 1);  // old capture destroyed
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCaptures) {
+    auto p = std::make_unique<int>(42);
+    InlineFunction<int()> f = [p = std::move(p)] { return *p; };
+    EXPECT_EQ(f(), 42);
+    InlineFunction<int()> g = std::move(f);
+    EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce) {
+    auto counter = std::make_shared<int>(0);
+    {
+        InlineFunction<void()> f = [counter] {};
+        InlineFunction<void()> g = std::move(f);
+        InlineFunction<void()> h = std::move(g);
+        EXPECT_EQ(counter.use_count(), 2);  // exactly one live copy across moves
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+} // namespace
+} // namespace sttcp::sim

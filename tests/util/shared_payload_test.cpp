@@ -1,0 +1,171 @@
+// SharedPayload and BufferPool: the zero-copy buffer machinery under the
+// frame datapath.
+#include <gtest/gtest.h>
+
+#include "util/buffer_pool.hpp"
+#include "util/shared_payload.hpp"
+
+namespace sttcp::util {
+namespace {
+
+Bytes pattern(std::size_t n) {
+    Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i & 0xff);
+    return b;
+}
+
+// ---------------------------------------------------------- SharedPayload
+
+TEST(SharedPayload, DefaultIsEmpty) {
+    SharedPayload p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.size(), 0u);
+    EXPECT_EQ(p.use_count(), 0u);
+    EXPECT_TRUE(p.view().empty());
+}
+
+TEST(SharedPayload, AdoptsVectorAndReadsBack) {
+    SharedPayload p{pattern(100)};
+    EXPECT_EQ(p.size(), 100u);
+    EXPECT_EQ(p.use_count(), 1u);
+    ByteView v = p;
+    ASSERT_EQ(v.size(), 100u);
+    EXPECT_EQ(v[0], 0u);
+    EXPECT_EQ(v[99], 99u);
+}
+
+TEST(SharedPayload, CopySharesOneAllocation) {
+    SharedPayload a{pattern(64)};
+    SharedPayload b = a;
+    SharedPayload c = b;
+    EXPECT_EQ(a.use_count(), 3u);
+    EXPECT_EQ(a.data(), b.data());
+    EXPECT_EQ(b.data(), c.data());
+    c.reset();
+    EXPECT_EQ(a.use_count(), 2u);
+    EXPECT_EQ(c.use_count(), 0u);
+}
+
+TEST(SharedPayload, MoveTransfersWithoutRefcountChange) {
+    SharedPayload a{pattern(32)};
+    const std::uint8_t* ptr = a.data();
+    SharedPayload b = std::move(a);
+    EXPECT_EQ(b.use_count(), 1u);
+    EXPECT_EQ(b.data(), ptr);
+    EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from is empty
+}
+
+TEST(SharedPayload, CopyOfMakesAnIndependentBuffer) {
+    Bytes src = pattern(16);
+    SharedPayload p = SharedPayload::copy_of(ByteView{src});
+    src[0] = 0xff;
+    EXPECT_EQ(p.view()[0], 0u);
+}
+
+TEST(SharedPayload, MutableBytesCopiesOnlyWhenShared) {
+    SharedPayload a{pattern(8)};
+    const std::uint8_t* before = a.data();
+    a.mutable_bytes()[0] = 0xee;  // sole owner: in place
+    EXPECT_EQ(a.data(), before);
+
+    SharedPayload b = a;
+    b.mutable_bytes()[0] = 0x11;  // shared: copy-on-write
+    EXPECT_NE(a.data(), b.data());
+    EXPECT_EQ(a.view()[0], 0xee);
+    EXPECT_EQ(b.view()[0], 0x11);
+    EXPECT_EQ(a.use_count(), 1u);
+    EXPECT_EQ(b.use_count(), 1u);
+}
+
+TEST(SharedPayload, AssignAndInitializerList) {
+    SharedPayload p;
+    p.assign(5, 0xab);
+    EXPECT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.view()[4], 0xab);
+
+    Bytes src = pattern(7);
+    p.assign(src.begin(), src.end());
+    EXPECT_EQ(p, src);
+
+    SharedPayload q{1, 2, 3};
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.view()[2], 3u);
+}
+
+TEST(SharedPayload, ContentEquality) {
+    SharedPayload a{pattern(20)};
+    SharedPayload b = SharedPayload::copy_of(a.view());
+    EXPECT_EQ(a, b);                 // same contents, different buffers
+    EXPECT_EQ(a, pattern(20));       // against a raw vector
+    SharedPayload c{pattern(21)};
+    EXPECT_FALSE(a == c);
+}
+
+TEST(SharedPayload, IterationMatchesView) {
+    SharedPayload p{pattern(10)};
+    std::size_t i = 0;
+    for (std::uint8_t byte : p) EXPECT_EQ(byte, i++);
+    EXPECT_EQ(i, 10u);
+}
+
+// ------------------------------------------------------------- BufferPool
+
+TEST(BufferPool, RecyclesCapacity) {
+    BufferPool& pool = BufferPool::instance();
+    pool.drain();
+
+    Bytes b = pool.take(4096);
+    EXPECT_GE(b.capacity(), 4096u);
+    b.assign(100, 0x55);
+    const std::uint8_t* ptr = b.data();
+    pool.give(std::move(b));
+    EXPECT_EQ(pool.free_count(), 1u);
+
+    Bytes c = pool.take(64);
+    EXPECT_EQ(c.data(), ptr);  // same allocation came back
+    EXPECT_TRUE(c.empty());    // but cleared
+    EXPECT_EQ(pool.free_count(), 0u);
+    pool.give(std::move(c));
+}
+
+TEST(BufferPool, IgnoresUselessBuffers) {
+    BufferPool& pool = BufferPool::instance();
+    pool.drain();
+    pool.give(Bytes{});  // no capacity: nothing to recycle
+    EXPECT_EQ(pool.free_count(), 0u);
+
+    Bytes huge;
+    huge.reserve(BufferPool::kMaxCapacity + 1);
+    pool.give(std::move(huge));  // oversized: let it die
+    EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(BufferPool, FreeListIsBounded) {
+    BufferPool& pool = BufferPool::instance();
+    pool.drain();
+    for (std::size_t i = 0; i < BufferPool::kMaxFree + 10; ++i) {
+        Bytes b;
+        b.reserve(64);
+        pool.give(std::move(b));
+    }
+    EXPECT_EQ(pool.free_count(), BufferPool::kMaxFree);
+    pool.drain();
+    EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(BufferPool, PayloadReleaseFeedsThePool) {
+    BufferPool& pool = BufferPool::instance();
+    pool.drain();
+    {
+        SharedPayload p{pattern(256)};
+        SharedPayload q = p;  // refcount 2: release of q must not recycle yet
+        q.reset();
+        EXPECT_EQ(pool.free_count(), 0u);
+    }
+    // Last reference dropped: the payload's vector is back in the pool.
+    EXPECT_EQ(pool.free_count(), 1u);
+    pool.drain();
+}
+
+} // namespace
+} // namespace sttcp::util
