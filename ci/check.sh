@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Full correctness gate for the ST-TCP repo. Runs everything a PR must pass:
+#
+#   1. default build (invariant auditor ON) + full ctest suite
+#   2. hardened-warnings build: -Werror -Wshadow -Wconversion -Wswitch-enum
+#   3. ASan/UBSan build + full ctest suite
+#   4. custom protocol lints (tools/lint.py)
+#   5. clang-tidy over files changed vs the merge base (skipped with a notice
+#      when clang-tidy is not installed)
+#
+# Usage: ci/check.sh [base-ref]     (default base-ref: origin/main or HEAD~1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "1/5 default build (STTCP_AUDIT=ON) + tests"
+cmake -B build-ci -S . >/dev/null
+cmake --build build-ci -j"$JOBS"
+ctest --test-dir build-ci --output-on-failure -j"$JOBS"
+
+step "2/5 hardened warnings-as-errors build"
+cmake -B build-ci-werror -S . -DSTTCP_WERROR=ON >/dev/null
+cmake --build build-ci-werror -j"$JOBS"
+
+step "3/5 sanitizer build (ASan+UBSan) + tests"
+cmake -B build-ci-asan -S . -DSTTCP_SANITIZE=ON >/dev/null
+cmake --build build-ci-asan -j"$JOBS"
+ctest --test-dir build-ci-asan --output-on-failure -j"$JOBS"
+
+step "4/5 protocol lints"
+python3 tools/lint.py
+
+step "5/5 clang-tidy (changed files)"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed — skipping (profile: .clang-tidy)"
+else
+    BASE="${1:-}"
+    if [ -z "$BASE" ]; then
+        BASE=$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse HEAD~1)
+    fi
+    CHANGED=$(git diff --name-only "$BASE" -- 'src/*.cpp' | while read -r f; do
+                  [ -f "$f" ] && echo "$f"; done)
+    if [ -z "$CHANGED" ]; then
+        echo "no changed src/*.cpp files vs $BASE"
+    else
+        # compile_commands.json is exported by the default build above.
+        echo "$CHANGED" | xargs clang-tidy -p "$ROOT/build-ci"
+    fi
+fi
+
+step "all checks passed"

@@ -1,0 +1,44 @@
+#include "check/audit.hpp"
+
+#include <cstdio>
+
+namespace sttcp::check {
+
+namespace {
+constexpr std::size_t kRecentCap = 32;
+} // namespace
+
+void Audit::report(Violation v) {
+    if (capture_ != nullptr) {
+        capture_->push_back(std::move(v));
+        return;
+    }
+    ++count_;
+    if (v.when) {
+        std::fprintf(stderr, "[AUDIT] %s violated at t=%.6fs [%s]: %s\n",
+                     v.invariant.c_str(), sim::to_seconds(*v.when),
+                     v.where.c_str(), v.detail.c_str());
+    } else {
+        std::fprintf(stderr, "[AUDIT] %s violated [%s]: %s\n", v.invariant.c_str(),
+                     v.where.c_str(), v.detail.c_str());
+    }
+    if (recent_.size() >= kRecentCap) recent_.erase(recent_.begin());
+    recent_.push_back(std::move(v));
+}
+
+std::uint64_t Audit::violation_count() { return count_; }
+
+const std::vector<Violation>& Audit::recent() { return recent_; }
+
+void Audit::clear_recent() { recent_.clear(); }
+
+bool require(bool ok, std::string_view invariant, std::string_view where,
+             std::string detail, std::optional<sim::TimePoint> when) {
+    if (!ok) {
+        Audit::report(Violation{std::string{invariant}, std::string{where},
+                                std::move(detail), when});
+    }
+    return ok;
+}
+
+} // namespace sttcp::check

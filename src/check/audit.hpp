@@ -1,0 +1,99 @@
+// Invariant-violation reporting core for the ST-TCP correctness auditors.
+//
+// The paper's safety argument rests on invariants that are otherwise only
+// implicit in the code (Figure 4's discard rule, §4.1's sequence-space
+// synchronization, §4.4's suppression/takeover legality). The auditors in
+// this directory check them at runtime; this header is the single funnel
+// every violation goes through.
+//
+// Reporting model (single-threaded, like the simulator itself):
+//   * default: the violation is logged to stderr and a process-wide counter
+//     is incremented. The test binary installs a gtest listener that fails
+//     any test whose run incremented the counter.
+//   * capture: tests that *deliberately* corrupt state install a
+//     ScopedCapture; violations are then routed into it (and only it), so a
+//     fault-injection test can assert the auditor fired without failing.
+//
+// Auditing is compiled in when the STTCP_AUDIT CMake option is ON (the
+// default). When OFF, kEnabled is false and every hook call site guarded by
+// `if constexpr (check::kEnabled)` compiles away; the auditor classes stay
+// compiled so unit tests can still exercise them directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+#ifndef STTCP_AUDIT
+#define STTCP_AUDIT 0
+#endif
+
+namespace sttcp::check {
+
+inline constexpr bool kEnabled = STTCP_AUDIT != 0;
+
+struct Violation {
+    // Stable dotted name, e.g. "sttcp.retention.release_past_acked". The
+    // full catalogue lives in DESIGN.md §8.
+    std::string invariant;
+    // Component or connection the violation belongs to ("10.0.0.100:8000<-...").
+    std::string where;
+    // Human-readable specifics: the values that broke the invariant.
+    std::string detail;
+    // Virtual time, when the reporting site has access to the simulation
+    // clock (buffer-level hooks do not).
+    std::optional<sim::TimePoint> when;
+};
+
+class Audit {
+public:
+    using Handler = std::function<void(const Violation&)>;
+
+    // Routes to the active capture if one is installed, otherwise logs to
+    // stderr and increments the process-wide counter.
+    static void report(Violation v);
+
+    // Total violations reported outside any capture since process start.
+    [[nodiscard]] static std::uint64_t violation_count();
+
+    // Most recent uncaptured violations (bounded ring; newest last) — used
+    // by the test listener to name the invariant that failed a test.
+    [[nodiscard]] static const std::vector<Violation>& recent();
+
+    static void clear_recent();
+
+private:
+    friend class ScopedCapture;
+    static inline std::vector<Violation>* capture_ = nullptr;
+    static inline std::uint64_t count_ = 0;
+    static inline std::vector<Violation> recent_;
+};
+
+// Redirects every report into `into` for this scope (fault-injection tests).
+// Nesting restores the previous capture target.
+class ScopedCapture {
+public:
+    explicit ScopedCapture(std::vector<Violation>& into)
+        : previous_(Audit::capture_) {
+        Audit::capture_ = &into;
+    }
+    ~ScopedCapture() { Audit::capture_ = previous_; }
+
+    ScopedCapture(const ScopedCapture&) = delete;
+    ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+private:
+    std::vector<Violation>* previous_;
+};
+
+// Convenience used by auditors: report only when `ok` is false. Returns ok
+// so call sites can chain.
+bool require(bool ok, std::string_view invariant, std::string_view where,
+             std::string detail, std::optional<sim::TimePoint> when = {});
+
+} // namespace sttcp::check

@@ -1,0 +1,92 @@
+#include "check/sttcp_auditor.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "sttcp/retention.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace sttcp::check {
+
+using util::Seq32;
+
+namespace {
+std::string flow_of(const tcp::TcpConnection& conn) {
+    const tcp::FlowKey& key = conn.key();
+    std::ostringstream os;
+    os << key.local_ip << ':' << key.local_port << "<->" << key.remote_ip << ':'
+       << key.remote_port;
+    return os.str();
+}
+} // namespace
+
+void SttcpInvariantAuditor::audit_retention(const tcp::TcpConnection& conn,
+                                            const core::SecondReceiveBuffer& retention,
+                                            std::optional<Seq32> min_backup_acked,
+                                            std::optional<sim::TimePoint> now) {
+    if (!retention.enabled()) return;
+    std::string where = flow_of(conn);
+
+    if (min_backup_acked) {
+        // Figure 4: every discarded byte must be <= LastByteAcked. The front
+        // of the second buffer is LastByteAcked+1 from the primary's point
+        // of view, so it may never pass the quorum ack bound.
+        require(retention.front_seq() <= *min_backup_acked + 1u,
+                "sttcp.retention.release_past_acked", where,
+                "retention front " + std::to_string(retention.front_seq().raw()) +
+                    " passed min backup ack bound " +
+                    std::to_string(min_backup_acked->raw() + 1),
+                now);
+    }
+
+    if (retention.size() > 0) {
+        // Figure 4b: [second buffer][first buffer] tile the received stream
+        // with no hole — a hole is a read byte nobody retains.
+        Seq32 retention_end = retention.front_seq() + static_cast<std::uint32_t>(retention.size());
+        Seq32 read_seq = conn.receive_buffer().read_seq();
+        require(retention_end == read_seq, "sttcp.retention.contiguous_with_first_buffer",
+                where,
+                "second buffer ends at " + std::to_string(retention_end.raw()) +
+                    " but LastByteRead+1 is " + std::to_string(read_seq.raw()) +
+                    " — a read byte was discarded without a backup ack",
+                now);
+    }
+}
+
+void SttcpInvariantAuditor::audit_backup_drop(bool detector_suspected,
+                                              std::string_view backup,
+                                              std::optional<sim::TimePoint> now) {
+    require(detector_suspected, "sttcp.fencing.drop_requires_suspicion", backup,
+            "backup dropped from the ack quorum without failure-detector suspicion",
+            now);
+}
+
+void SttcpInvariantAuditor::audit_egress_decision(bool taken_over, bool src_is_service_ip,
+                                                  bool allowed, std::string_view where,
+                                                  std::optional<sim::TimePoint> now) {
+    require(!(allowed && src_is_service_ip && !taken_over),
+            "sttcp.backup.output_suppressed_pre_takeover", where,
+            "egress filter passed a service-IP segment before takeover", now);
+}
+
+void SttcpInvariantAuditor::audit_isn_sync(const tcp::TcpConnection& conn,
+                                           Seq32 primary_iss,
+                                           std::optional<sim::TimePoint> now) {
+    require(conn.iss() == primary_iss, "sttcp.backup.isn_synchronized", flow_of(conn),
+            "shadow ISS " + std::to_string(conn.iss().raw()) +
+                " != primary ISS " + std::to_string(primary_iss.raw()),
+            now);
+}
+
+void SttcpInvariantAuditor::audit_takeover(bool already_taken_over,
+                                           std::size_t live_seniors,
+                                           std::string_view where,
+                                           std::optional<sim::TimePoint> now) {
+    require(!already_taken_over, "sttcp.takeover.at_most_once", where,
+            "succession decided to take over twice", now);
+    require(live_seniors == 0, "sttcp.fencing.takeover_requires_seniors_dead", where,
+            std::to_string(live_seniors) + " senior(s) still alive at takeover decision",
+            now);
+}
+
+} // namespace sttcp::check

@@ -1,0 +1,79 @@
+// ST-TCP protocol-level invariant auditor (primary + backup engines).
+//
+// Checks the paper's safety rules at the points where the engines act:
+//
+//   sttcp.retention.release_past_acked       the primary never discards a
+//       retained byte past min over live backups' LastByteAcked (Figure 4)
+//   sttcp.retention.contiguous_with_first_buffer   the second buffer is
+//       exactly [LastByteAcked+1, LastByteRead]: its end abuts the first
+//       (TCP) buffer's read point (Figure 4b). A gap here means a read byte
+//       was discarded without a backup ack — the unrecoverable-byte bug the
+//       whole design exists to prevent.
+//   sttcp.retention.capture_gap              bytes entering the second
+//       buffer extend it contiguously (LastByteRead advances without holes)
+//   sttcp.backup.output_suppressed_pre_takeover    no TCP segment sourced
+//       from the service IP leaves the backup before takeover (§4.2)
+//   sttcp.backup.isn_synchronized            a shadow anchored from the
+//       tapped primary SYN/ACK carries exactly the primary's ISN (§4.1)
+//   sttcp.fencing.drop_requires_suspicion    the primary only drops a
+//       backup from the ack quorum after its failure detector suspected it
+//       (suspicion -> fencing -> certainty, §4.4)
+//   sttcp.fencing.takeover_requires_seniors_dead   detector-driven takeover
+//       only happens once every member ranked above is confirmed dead (§4.4)
+//   sttcp.takeover.at_most_once              the takeover transition fires
+//       at most once per backup engine
+//
+// All checks are stateless pure functions over engine state passed in by
+// the hook sites, so the fault-injection tests can also drive them directly
+// with corrupted values.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "check/audit.hpp"
+#include "util/seq32.hpp"
+
+namespace sttcp::tcp {
+class TcpConnection;
+}
+
+namespace sttcp::core {
+class SecondReceiveBuffer;
+}
+
+namespace sttcp::check {
+
+class SttcpInvariantAuditor {
+public:
+    // -- primary side -------------------------------------------------------
+    // Audits one shadowed connection's retention state. `min_backup_acked`
+    // is the release bound just applied (engaged right after a release);
+    // pass nullopt for a standing-state audit.
+    static void audit_retention(const tcp::TcpConnection& conn,
+                                const core::SecondReceiveBuffer& retention,
+                                std::optional<util::Seq32> min_backup_acked,
+                                std::optional<sim::TimePoint> now);
+
+    static void audit_backup_drop(bool detector_suspected, std::string_view backup,
+                                  std::optional<sim::TimePoint> now);
+
+    // -- backup side --------------------------------------------------------
+    // Audits one egress-filter decision. `allowed` is what the filter is
+    // about to return for a segment sourced from the service IP.
+    static void audit_egress_decision(bool taken_over, bool src_is_service_ip,
+                                      bool allowed, std::string_view where,
+                                      std::optional<sim::TimePoint> now);
+
+    // After anchoring a shadow to the tapped primary SYN/ACK (§4.1).
+    static void audit_isn_sync(const tcp::TcpConnection& conn, util::Seq32 primary_iss,
+                               std::optional<sim::TimePoint> now);
+
+    // Detector-driven succession decided to take over.
+    static void audit_takeover(bool already_taken_over, std::size_t live_seniors,
+                               std::string_view where,
+                               std::optional<sim::TimePoint> now);
+};
+
+} // namespace sttcp::check

@@ -1,0 +1,136 @@
+#include "check/tcp_auditor.hpp"
+
+#include <sstream>
+
+#include "net/tcp_wire.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace sttcp::check {
+
+using util::Seq32;
+
+std::string TcpInvariantAuditor::describe(const tcp::TcpConnection& conn) {
+    const tcp::FlowKey& key = conn.key();
+    std::ostringstream os;
+    os << key.local_ip << ':' << key.local_port << "<->" << key.remote_ip << ':'
+       << key.remote_port;
+    return os.str();
+}
+
+void TcpInvariantAuditor::audit_state(const tcp::TcpConnection& conn,
+                                      sim::TimePoint now_time) {
+    if (conn.state() == tcp::TcpState::kClosed || conn.state() == tcp::TcpState::kListen)
+        return;
+    std::string where = describe(conn);
+    std::optional<sim::TimePoint> now = now_time;
+
+    Seq32 una = conn.snd_una();
+    Seq32 nxt = conn.snd_nxt();
+    Seq32 max = conn.snd_max();
+    std::ostringstream seqs;
+    seqs << "una=" << una << " nxt=" << nxt << " max=" << max;
+
+    require(una <= nxt, "tcp.snd.una_le_nxt", where, seqs.str(), now);
+    require(nxt <= max, "tcp.snd.nxt_le_max", where, seqs.str(), now);
+    if (last_snd_max_) {
+        require(*last_snd_max_ <= max, "tcp.snd.max_monotone", where, seqs.str(), now);
+    }
+    last_snd_max_ = max;
+
+    // The send buffer's front is SND.UNA in *data* space: it lags SND.UNA by
+    // one while the SYN is unacknowledged (buffer anchored at ISS+1) and
+    // again once the FIN's sequence slot is acknowledged.
+    Seq32 buf_una = conn.send_buffer().una();
+    std::uint32_t lag_fwd = buf_una - una;   // buffer ahead of una (SYN phase)
+    std::uint32_t lag_back = una - buf_una;  // una ahead of buffer (FIN acked)
+    require(lag_fwd <= 1 || lag_back <= 1, "tcp.snd.buffer_anchor", where,
+            "send buffer front " + std::to_string(buf_una.raw()) +
+                " does not track SND.UNA " + std::to_string(una.raw()),
+            now);
+
+    Seq32 data_end = conn.send_buffer().end();
+    Seq32 nxt_limit = data_end + (conn.fin_sent() ? 1u : 0u);
+    require(nxt <= nxt_limit, "tcp.snd.nxt_in_buffer", where,
+            "SND.NXT " + std::to_string(nxt.raw()) + " past buffered end " +
+                std::to_string(nxt_limit.raw()),
+            now);
+
+    const tcp::ReceiveBuffer& rcv = conn.receive_buffer();
+    require(rcv.read_offset() <= rcv.stream_offset(), "tcp.rcv.read_le_nxt", where,
+            "read_off=" + std::to_string(rcv.read_offset()) +
+                " nxt_off=" + std::to_string(rcv.stream_offset()),
+            now);
+    if (last_rcv_offset_) {
+        require(rcv.stream_offset() >= *last_rcv_offset_, "tcp.rcv.nxt_monotone", where,
+                "stream offset retreated from " + std::to_string(*last_rcv_offset_) +
+                    " to " + std::to_string(rcv.stream_offset()),
+                now);
+    }
+    last_rcv_offset_ = rcv.stream_offset();
+}
+
+void TcpInvariantAuditor::audit_emit(const tcp::TcpConnection& conn,
+                                     const net::TcpSegment& seg, sim::TimePoint now_time) {
+    std::string where = describe(conn);
+    std::optional<sim::TimePoint> now = now_time;
+
+    if (seg.flags.ack && !seg.flags.rst) {
+        if (last_emitted_ack_) {
+            require(*last_emitted_ack_ <= seg.ack, "tcp.ack.monotone", where,
+                    "cumulative ACK retreated from " +
+                        std::to_string(last_emitted_ack_->raw()) + " to " +
+                        std::to_string(seg.ack.raw()),
+                    now);
+        }
+        last_emitted_ack_ = seg.ack;
+
+        // RFC 793: "shrinking the window" — the advertised right edge
+        // (ACK + window) must never move left.
+        Seq32 right = seg.ack + seg.window;
+        if (last_window_right_edge_) {
+            require(*last_window_right_edge_ <= right, "tcp.wnd.right_edge_monotone",
+                    where,
+                    "advertised right edge retracted from " +
+                        std::to_string(last_window_right_edge_->raw()) + " to " +
+                        std::to_string(right.raw()),
+                    now);
+        }
+        last_window_right_edge_ = right;
+    }
+
+    if (!seg.payload.empty() && !seg.flags.rst && !seg.flags.syn) {
+        Seq32 buf_una = conn.send_buffer().una();
+        Seq32 buf_end = conn.send_buffer().end();
+        Seq32 seg_end = seg.seq + static_cast<std::uint32_t>(seg.payload.size());
+        require(buf_una <= seg.seq && seg_end <= buf_end, "tcp.emit.payload_in_buffer",
+                where,
+                "payload [" + std::to_string(seg.seq.raw()) + ", " +
+                    std::to_string(seg_end.raw()) + ") outside send buffer [" +
+                    std::to_string(buf_una.raw()) + ", " + std::to_string(buf_end.raw()) +
+                    ")",
+                now);
+    }
+}
+
+void TcpInvariantAuditor::audit_rebase(const tcp::TcpConnection& conn, Seq32 una,
+                                       sim::TimePoint now_time) {
+    reset_baselines();
+    std::string where = describe(conn);
+    std::optional<sim::TimePoint> now = now_time;
+    bool coherent = conn.iss() + 1u == una && conn.snd_una() == una &&
+                    conn.send_buffer().una() == una && conn.snd_nxt() == conn.snd_max();
+    std::ostringstream detail;
+    detail << "rebase onto " << una << ": iss=" << conn.iss() << " una=" << conn.snd_una()
+           << " buf_una=" << conn.send_buffer().una() << " nxt=" << conn.snd_nxt()
+           << " max=" << conn.snd_max();
+    require(coherent, "tcp.seq.rebase_consistent", where, detail.str(), now);
+}
+
+void TcpInvariantAuditor::reset_baselines() {
+    last_rcv_offset_.reset();
+    last_snd_max_.reset();
+    last_emitted_ack_.reset();
+    last_window_right_edge_.reset();
+}
+
+} // namespace sttcp::check

@@ -1,0 +1,76 @@
+// Per-connection TCP sequence-space auditor.
+//
+// One instance lives inside every TcpConnection (audit builds). It is called
+// after each inbound segment is processed, on every outbound segment, and
+// after every sequence-space rebase, and checks the RFC 793 orderings the
+// rest of the stack silently assumes:
+//
+//   tcp.snd.una_le_nxt            SND.UNA <= SND.NXT
+//   tcp.snd.nxt_le_max            SND.NXT <= SND.MAX
+//   tcp.snd.max_monotone          SND.MAX never retreats (reset on rebase)
+//   tcp.snd.buffer_anchor         send buffer front tracks SND.UNA (+-1 for
+//                                 SYN/FIN sequence space)
+//   tcp.snd.nxt_in_buffer         SND.NXT never points past buffered data
+//                                 (+1 once a FIN occupies sequence space)
+//   tcp.rcv.read_le_nxt           LastByteRead+1 <= NextByteExpected (Fig. 4)
+//   tcp.rcv.nxt_monotone          RCV.NXT (as a stream offset) never retreats
+//   tcp.ack.monotone              emitted cumulative ACK never retreats
+//   tcp.wnd.right_edge_monotone   emitted ACK+window never retracts an
+//                                 advertised window (RFC 793 "shrinking")
+//   tcp.emit.payload_in_buffer    every emitted data byte lies inside the
+//                                 send buffer's [una, end) range
+//   tcp.seq.rebase_consistent     after an ST-TCP ISN rebase (§4.1) the send
+//                                 space is coherent: ISS+1 == SND.UNA ==
+//                                 buffer front, SND.NXT == SND.MAX
+//
+// The auditor only reads connection state (it is a const observer); it keeps
+// its own monotonicity baselines, which a rebase resets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "check/audit.hpp"
+#include "util/seq32.hpp"
+
+namespace sttcp::net {
+struct TcpSegment;
+}
+
+namespace sttcp::tcp {
+class TcpConnection;
+}
+
+namespace sttcp::check {
+
+class TcpInvariantAuditor {
+public:
+    // Full state audit; call after any mutation batch (segment processed,
+    // application read/send, timer fired).
+    void audit_state(const tcp::TcpConnection& conn, sim::TimePoint now);
+
+    // Outbound-segment audit; call from the connection's emit path with the
+    // fully populated segment (ack/window/payload set).
+    void audit_emit(const tcp::TcpConnection& conn, const net::TcpSegment& seg,
+                    sim::TimePoint now);
+
+    // Post-rebase audit (ST-TCP ISN adoption / late join). `una` is the new
+    // anchor the caller asked for. Also resets monotonicity baselines: a
+    // rebase legitimately moves the whole send space.
+    void audit_rebase(const tcp::TcpConnection& conn, util::Seq32 una,
+                      sim::TimePoint now);
+
+    // Receive-space baselines survive a send-space rebase; this clears
+    // everything (open_shadow_join re-anchors both spaces).
+    void reset_baselines();
+
+private:
+    [[nodiscard]] static std::string describe(const tcp::TcpConnection& conn);
+
+    std::optional<std::uint64_t> last_rcv_offset_;
+    std::optional<util::Seq32> last_snd_max_;
+    std::optional<util::Seq32> last_emitted_ack_;
+    std::optional<util::Seq32> last_window_right_edge_;
+};
+
+} // namespace sttcp::check

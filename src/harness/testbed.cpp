@@ -14,16 +14,16 @@ HubTestbed::HubTestbed(TestbedOptions opts)
     primary_nic = std::make_unique<net::Nic>(*primary_node, "eth0", net::MacAddress::local(2));
     backup_nic = std::make_unique<net::Nic>(*backup_node, "eth0", net::MacAddress::local(3));
 
-    net::LinkConfig server_link;
-    server_link.bandwidth_bps = opts.server_bandwidth_bps;
-    server_link.propagation = opts.propagation;
-    net::LinkConfig client_link = server_link;
-    client_link.bandwidth_bps = opts.client_bandwidth_bps;
-    client_link.loss_probability = opts.client_link_loss;
+    net::LinkConfig server_link_cfg;
+    server_link_cfg.bandwidth_bps = opts.server_bandwidth_bps;
+    server_link_cfg.propagation = opts.propagation;
+    net::LinkConfig client_link_cfg = server_link_cfg;
+    client_link_cfg.bandwidth_bps = opts.client_bandwidth_bps;
+    client_link_cfg.loss_probability = opts.client_link_loss;
 
-    this->client_link = &hub.connect(*client_nic, client_link);
-    this->primary_link = &hub.connect(*primary_nic, server_link);
-    this->backup_link = &hub.connect(*backup_nic, server_link);
+    this->client_link = &hub.connect(*client_nic, client_link_cfg);
+    this->primary_link = &hub.connect(*primary_nic, server_link_cfg);
+    this->backup_link = &hub.connect(*backup_nic, server_link_cfg);
     if (opts.tap_loss > 0) this->backup_link->set_loss_toward(*backup_nic, opts.tap_loss);
 
     client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
@@ -64,7 +64,7 @@ HubTestbed::HubTestbed(TestbedOptions opts)
     if (opts.with_packet_logger) {
         logger_node = std::make_unique<net::Node>("logger");
         logger_nic = std::make_unique<net::Nic>(*logger_node, "eth0", net::MacAddress::local(9));
-        hub.connect(*logger_nic, server_link);
+        hub.connect(*logger_nic, server_link_cfg);
         packet_logger = std::make_unique<net::PacketLogger>(sim, *logger_node);
         packet_logger->attach(*logger_nic);
         if (st_backup) {

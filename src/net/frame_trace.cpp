@@ -47,7 +47,7 @@ std::string FrameTrace::describe(const EthernetFrame& frame) {
                            << dgram.payload.size();
                         break;
                     }
-                    default:
+                    case IpProto::kIcmp:
                         os << ip.src.to_string() << " > " << ip.dst.to_string()
                            << "  proto=" << static_cast<int>(ip.proto);
                         break;

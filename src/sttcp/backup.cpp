@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/sttcp_auditor.hpp"
+
 namespace sttcp::core {
 
 namespace {
@@ -20,8 +22,13 @@ SttcpBackup::SttcpBackup(tcp::HostStack& stack, Options options)
     stack_.suppress_arp_for(options_.service_ip);
     stack_.set_tcp_egress_filter([this](const net::TcpSegment&, net::Ipv4Address src,
                                         net::Ipv4Address) {
-        if (taken_over_) return true;
-        return src != options_.service_ip;
+        bool allowed = taken_over_ || src != options_.service_ip;
+        if constexpr (check::kEnabled) {
+            check::SttcpInvariantAuditor::audit_egress_decision(
+                taken_over_, src == options_.service_ip, allowed, "backup egress filter",
+                stack_.sim().now());
+        }
+        return allowed;
     });
     stack_.set_tcp_tap([this](const net::TcpSegment& seg, net::Ipv4Address src,
                               net::Ipv4Address dst) { on_tap(seg, src, dst); });
@@ -130,7 +137,9 @@ void SttcpBackup::on_control(util::ByteView data, net::Ipv4Address src,
         case ControlType::kStateReply:
             if (src == current_primary_) on_state_reply(*msg);
             break;
-        default:
+        case ControlType::kBackupAck:
+        case ControlType::kMissingReq:
+        case ControlType::kStateReq:
             break;  // a primary never sends acks/requests
     }
 }
@@ -243,6 +252,10 @@ void SttcpBackup::on_tap(const net::TcpSegment& seg, net::Ipv4Address src,
     // ACK may have been lost to the tap).
     if (seg.flags.syn && shadow.conn->state() == tcp::TcpState::kSynReceived) {
         shadow.conn->anchor_shadow_establish(seg.seq);
+        if constexpr (check::kEnabled) {
+            check::SttcpInvariantAuditor::audit_isn_sync(*shadow.conn, seg.seq,
+                                                         stack_.sim().now());
+        }
         return;
     }
     if (shadow.conn->state() != tcp::TcpState::kEstablished &&
@@ -386,6 +399,12 @@ void SttcpBackup::evaluate_succession() {
         }
         return;
     }
+    if constexpr (check::kEnabled) {
+        auto live = static_cast<std::size_t>(std::count_if(
+            seniors_.begin(), seniors_.end(), [](const Senior& s) { return s.alive; }));
+        check::SttcpInvariantAuditor::audit_takeover(taken_over_, live, "backup succession",
+                                                     stack_.sim().now());
+    }
     take_over();
 }
 
@@ -460,7 +479,7 @@ void SttcpBackup::recover_from_logger(const ConnId& id, Shadow& shadow) {
         try {
             net::EthernetFrame frame = net::EthernetFrame::parse(raw);
             if (frame.type != net::EtherType::kIpv4) continue;
-            net::Ipv4Packet ip = net::Ipv4Packet::parse(frame.payload);
+            net::Ipv4Packet ip = net::Ipv4Packet::parse(frame.payload.view());
             if (ip.proto != net::IpProto::kTcp) continue;
             net::TcpSegment seg = net::TcpSegment::parse(ip.payload, ip.src, ip.dst);
             std::uint64_t before = conn.recv_stream_offset();

@@ -1,6 +1,9 @@
 #include "sttcp/primary.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "check/sttcp_auditor.hpp"
 
 namespace sttcp::core {
 
@@ -156,10 +159,23 @@ void SttcpPrimary::maybe_release(Shadowed& shadowed) {
     }
     if (!have_min) return;
     std::size_t released = shadowed.retention->release_through(min_acked);
+    if constexpr (check::kEnabled) {
+        check::SttcpInvariantAuditor::audit_retention(*shadowed.conn, *shadowed.retention,
+                                                      min_acked, stack_.sim().now());
+    }
     if (released > 0) {
         stats_.bytes_released += released;
         // Freed second-buffer space may unblock application reads.
         shadowed.conn->notify_readable();
+    }
+}
+
+void SttcpPrimary::audit_connections() {
+    if constexpr (check::kEnabled) {
+        for (auto& [_, shadowed] : conns_) {
+            check::SttcpInvariantAuditor::audit_retention(
+                *shadowed.conn, *shadowed.retention, std::nullopt, stack_.sim().now());
+        }
     }
 }
 
@@ -244,6 +260,12 @@ void SttcpPrimary::on_backup_suspected(net::Ipv4Address ip) {
 void SttcpPrimary::drop_backup(net::Ipv4Address ip) {
     Backup* backup = find_backup(ip);
     if (backup == nullptr || !backup->alive) return;
+    if constexpr (check::kEnabled) {
+        std::ostringstream who;
+        who << "backup " << ip;
+        check::SttcpInvariantAuditor::audit_backup_drop(backup->detector->suspected(),
+                                                        who.str(), stack_.sim().now());
+    }
     backup->alive = false;
     backup->detector->stop();
     ++stats_.backups_declared_dead;

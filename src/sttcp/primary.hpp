@@ -85,6 +85,11 @@ public:
         return control_->stats();
     }
 
+    // Runs the standing retention invariants (Figure 4) over every shadowed
+    // connection — a no-op unless built with STTCP_AUDIT. Tests call this to
+    // sweep state that is only otherwise audited when a backup ack arrives.
+    void audit_connections();
+
 private:
     struct Shadowed {
         std::shared_ptr<tcp::TcpConnection> conn;

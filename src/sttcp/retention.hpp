@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "check/audit.hpp"
 #include "tcp/tcp_connection.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/seq32.hpp"
@@ -33,7 +35,20 @@ public:
     }
     void on_consumed(util::Seq32 seq, util::ByteView data) override {
         if (!enabled_) return;
-        if (ring_.empty()) front_seq_ = seq;
+        if (ring_.empty()) {
+            front_seq_ = seq;
+        } else if constexpr (check::kEnabled) {
+            // Consumed chunks must extend the retained run byte-for-byte; a
+            // gap means some read byte was never captured (Figure 4's
+            // "retained until backup-acked" guarantee is already broken).
+            check::require(seq == front_seq_ + static_cast<std::uint32_t>(ring_.size()),
+                           "sttcp.retention.capture_gap", "second_receive_buffer",
+                           "consumed chunk at " + std::to_string(seq.raw()) +
+                               " but retained run ends at " +
+                               std::to_string((front_seq_ +
+                                               static_cast<std::uint32_t>(ring_.size()))
+                                                  .raw()));
+        }
         std::size_t n = ring_.write(data);
         // The connection asked max_consumable() first, so it all fits.
         (void)n;

@@ -28,6 +28,16 @@ void UdpSocket::send_to(net::Ipv4Address dst_ip, std::uint16_t dst_port, util::B
 HostStack::HostStack(sim::Simulation& simulation, net::Node& node, TcpConfig tcp_config)
     : sim_(simulation), node_(node), tcp_config_(tcp_config) {}
 
+HostStack::~HostStack() {
+    sim_.cancel(closed_drain_);
+    closed_drain_ = sim::kInvalidEventId;
+    // Connections that never reached CLOSED (a crashed host keeps its
+    // ESTABLISHED connections forever) still hold application sessions via
+    // their callbacks, and those sessions hold the connections — detach to
+    // break the cycles before the map drops its references.
+    for (auto& [key, conn] : connections_) conn->detach_hooks();
+}
+
 std::size_t HostStack::add_interface(net::Nic& nic, net::Ipv4Address ip, int prefix_len) {
     std::size_t index = interfaces_.size();
     interfaces_.push_back(Interface{&nic, ip, prefix_len, {}});
@@ -144,8 +154,8 @@ void HostStack::on_ip(std::size_t iface_index, const net::EthernetFrame& frame) 
             case net::IpProto::kUdp:
                 deliver_udp(packet);
                 break;
-            default:
-                break;
+            case net::IpProto::kIcmp:
+                break;  // not modelled
         }
         return;
     }
@@ -287,7 +297,21 @@ void HostStack::register_connection(std::shared_ptr<TcpConnection> conn) {
     connections_[conn->key()] = std::move(conn);
 }
 
-void HostStack::connection_closed(TcpConnection& conn) { connections_.erase(conn.key()); }
+void HostStack::connection_closed(TcpConnection& conn) {
+    auto it = connections_.find(conn.key());
+    if (it == connections_.end()) return;
+    // finish() is about to detach the hooks that kept the connection alive,
+    // and it is executing on this very connection several frames up the
+    // stack. Park the reference and drop it after the stack unwinds.
+    closed_conns_.push_back(std::move(it->second));
+    connections_.erase(it);
+    if (closed_drain_ == sim::kInvalidEventId) {
+        closed_drain_ = sim_.schedule_after(sim::Duration::zero(), [this] {
+            closed_drain_ = sim::kInvalidEventId;
+            closed_conns_.clear();
+        });
+    }
+}
 
 std::shared_ptr<UdpSocket> HostStack::udp_bind(std::uint16_t port) {
     auto sock = std::make_shared<UdpSocket>(*this, port);

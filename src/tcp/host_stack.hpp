@@ -90,6 +90,7 @@ private:
 class HostStack {
 public:
     HostStack(sim::Simulation& simulation, net::Node& node, TcpConfig tcp_config = {});
+    ~HostStack();
 
     HostStack(const HostStack&) = delete;
     HostStack& operator=(const HostStack&) = delete;
@@ -219,6 +220,12 @@ private:
     std::unordered_map<net::Ipv4Address, std::vector<PendingPacket>> arp_pending_;
 
     std::unordered_map<FlowKey, std::shared_ptr<TcpConnection>> connections_;
+    // Connections that reached CLOSED this event. finish() runs deep inside
+    // segment processing on the connection itself and detaches the hooks
+    // that were keeping it alive, so the last reference is parked here and
+    // dropped once the call stack has fully unwound.
+    std::vector<std::shared_ptr<TcpConnection>> closed_conns_;
+    sim::EventId closed_drain_ = sim::kInvalidEventId;
     std::unordered_map<std::uint16_t, std::weak_ptr<TcpListener>> listeners_;
     std::unordered_map<std::uint16_t, std::weak_ptr<UdpSocket>> udp_sockets_;
     std::uint16_t next_ephemeral_port_ = 49152;

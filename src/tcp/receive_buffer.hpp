@@ -13,7 +13,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 
+#include "check/audit.hpp"
 #include "util/interval_set.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/seq32.hpp"
@@ -63,8 +65,7 @@ public:
     std::uint64_t accept(util::Seq32 seq, std::span<const std::uint8_t> data) {
         if (data.empty()) return 0;
         // Map onto stream offsets via the signed circular distance to RCV.NXT.
-        auto delta = static_cast<std::int64_t>(
-            static_cast<std::int32_t>(seq.raw() - rcv_nxt().raw()));
+        auto delta = static_cast<std::int64_t>(util::seq_delta(seq, rcv_nxt()));
         std::int64_t begin = static_cast<std::int64_t>(nxt_off_) + delta;
         std::int64_t end = begin + static_cast<std::int64_t>(data.size());
 
@@ -84,6 +85,12 @@ public:
             nxt_off_ += advance;
             received_.erase_below(nxt_off_);
             ring_.commit(static_cast<std::size_t>(nxt_off_ - read_off_));
+        }
+        if constexpr (check::kEnabled) {
+            check::require(nxt_off_ - read_off_ <= ring_.capacity(),
+                           "tcp.rcv.within_capacity", "receive_buffer",
+                           "unread span " + std::to_string(nxt_off_ - read_off_) +
+                               " exceeds capacity " + std::to_string(ring_.capacity()));
         }
         return advance;
     }
@@ -109,8 +116,7 @@ public:
     // range). Serves the ST-TCP primary's missing-segment replies for bytes
     // the application has not read yet.
     std::size_t copy_range(util::Seq32 seq, std::span<std::uint8_t> out) const {
-        auto delta = static_cast<std::int64_t>(
-            static_cast<std::int32_t>(seq.raw() - read_seq().raw()));
+        auto delta = static_cast<std::int64_t>(util::seq_delta(seq, read_seq()));
         if (delta < 0 || static_cast<std::uint64_t>(delta) >= ring_.size()) return 0;
         return ring_.peek(out, static_cast<std::size_t>(delta));
     }

@@ -7,7 +7,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 
+#include "check/audit.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/seq32.hpp"
 
@@ -46,6 +48,12 @@ public:
     std::size_t ack_to(util::Seq32 ack) {
         if (ack <= una_) return 0;
         std::uint32_t n = ack - una_;
+        if constexpr (check::kEnabled) {
+            check::require(n <= ring_.size(), "tcp.snd.ack_within_sent", "send_buffer",
+                           "cumulative ACK " + std::to_string(ack.raw()) + " releases " +
+                               std::to_string(n) + " bytes but only " +
+                               std::to_string(ring_.size()) + " are buffered");
+        }
         assert(n <= ring_.size() && "acking bytes never sent");
         ring_.consume(n);
         una_ = ack;

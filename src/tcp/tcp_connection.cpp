@@ -32,8 +32,11 @@ TcpConnection::TcpConnection(HostStack& stack, FlowKey key, TcpConfig config)
 TcpConnection::~TcpConnection() {
     cancel_retransmit_timer();
     stack_.sim().cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
     stack_.sim().cancel(persist_timer_);
+    persist_timer_ = sim::kInvalidEventId;
     stack_.sim().cancel(time_wait_timer_);
+    time_wait_timer_ = sim::kInvalidEventId;
 }
 
 // ---------------------------------------------------------------- lifecycle
@@ -86,6 +89,7 @@ void TcpConnection::open_shadow_join(Seq32 first_byte_seq, Seq32 iss) {
     snd_wl1_ = first_byte_seq - 1;
     snd_wl2_ = iss_;
     shadow_mode_ = true;
+    if constexpr (check::kEnabled) auditor_.reset_baselines();
     become_established();
 }
 
@@ -101,7 +105,13 @@ void TcpConnection::close() {
         case TcpState::kCloseWait:
             state_ = TcpState::kLastAck;
             break;
-        default:
+        case TcpState::kClosed:
+        case TcpState::kListen:
+        case TcpState::kFinWait1:
+        case TcpState::kFinWait2:
+        case TcpState::kClosing:
+        case TcpState::kLastAck:
+        case TcpState::kTimeWait:
             return;  // already closing or closed
     }
     fin_queued_ = true;
@@ -122,6 +132,7 @@ void TcpConnection::rebase_send_seq(Seq32 una) {
     snd_nxt_ = una + static_cast<std::uint32_t>(snd_.size());
     snd_max_ = snd_nxt_;
     snd_.set_una(una);
+    if constexpr (check::kEnabled) auditor_.audit_rebase(*this, una, stack_.sim().now());
 }
 
 void TcpConnection::release_shadow_acked() {
@@ -167,7 +178,13 @@ std::size_t TcpConnection::send(util::ByteView data) {
         case TcpState::kEstablished:
         case TcpState::kCloseWait:
             break;
-        default:
+        case TcpState::kClosed:
+        case TcpState::kListen:
+        case TcpState::kFinWait1:
+        case TcpState::kFinWait2:
+        case TcpState::kClosing:
+        case TcpState::kLastAck:
+        case TcpState::kTimeWait:
             return 0;
     }
     std::size_t n = snd_.write(data);
@@ -201,6 +218,7 @@ std::size_t TcpConnection::read(std::span<std::uint8_t> out) {
          state_ == TcpState::kFinWait2)) {
         send_ack_now();
     }
+    if constexpr (check::kEnabled) auditor_.audit_state(*this, stack_.sim().now());
     return n;
 }
 
@@ -212,9 +230,10 @@ void TcpConnection::on_segment(const net::TcpSegment& seg) {
 
     if (state_ == TcpState::kSynSent) {
         process_syn_sent(seg);
-        return;
+    } else {
+        process_general(seg);
     }
-    process_general(seg);
+    if constexpr (check::kEnabled) auditor_.audit_state(*this, stack_.sim().now());
 }
 
 void TcpConnection::process_syn_sent(const net::TcpSegment& seg) {
@@ -403,7 +422,14 @@ bool TcpConnection::process_ack(const net::TcpSegment& seg) {
                 case TcpState::kLastAck:
                     finish("closed");
                     return false;
-                default:
+                case TcpState::kClosed:
+                case TcpState::kListen:
+                case TcpState::kSynSent:
+                case TcpState::kSynReceived:
+                case TcpState::kEstablished:
+                case TcpState::kFinWait2:
+                case TcpState::kCloseWait:
+                case TcpState::kTimeWait:
                     break;
             }
         }
@@ -453,7 +479,14 @@ void TcpConnection::process_payload(const net::TcpSegment& seg) {
         case TcpState::kFinWait1:
         case TcpState::kFinWait2:
             break;
-        default:
+        case TcpState::kClosed:
+        case TcpState::kListen:
+        case TcpState::kSynSent:
+        case TcpState::kSynReceived:
+        case TcpState::kCloseWait:
+        case TcpState::kClosing:
+        case TcpState::kLastAck:
+        case TcpState::kTimeWait:
             return;  // data after the peer's FIN is ignored
     }
 
@@ -517,7 +550,12 @@ void TcpConnection::maybe_consume_remote_fin() {
             // Retransmitted FIN: re-ack and restart the 2MSL timer.
             enter_time_wait();
             break;
-        default:
+        case TcpState::kClosed:
+        case TcpState::kListen:
+        case TcpState::kSynSent:
+        case TcpState::kCloseWait:
+        case TcpState::kClosing:
+        case TcpState::kLastAck:
             break;
     }
 }
@@ -543,7 +581,13 @@ void TcpConnection::try_send() {
         case TcpState::kFinWait1:
         case TcpState::kLastAck:
             break;
-        default:
+        case TcpState::kClosed:
+        case TcpState::kListen:
+        case TcpState::kSynSent:
+        case TcpState::kSynReceived:
+        case TcpState::kFinWait2:
+        case TcpState::kClosing:
+        case TcpState::kTimeWait:
             return;
     }
 
@@ -690,6 +734,7 @@ void TcpConnection::emit(net::TcpSegment&& seg) {
     seg.window = advertised_window();
     last_advertised_window_ = seg.window;
     ++stats_.segments_sent;
+    if constexpr (check::kEnabled) auditor_.audit_emit(*this, seg, stack_.sim().now());
     stack_.tcp_output(key_, std::move(seg));
 }
 
@@ -847,6 +892,14 @@ void TcpConnection::finish(const std::string& reason) {
     stack_.connection_closed(*this);
     fire(close_hook_);
     fire(callbacks_.on_closed, reason);
+    detach_hooks();
+}
+
+void TcpConnection::detach_hooks() {
+    callbacks_ = Callbacks{};
+    close_hook_ = nullptr;
+    rcv_advance_hook_ = nullptr;
+    retention_ = nullptr;
 }
 
 } // namespace sttcp::tcp

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "check/tcp_auditor.hpp"
 #include "net/tcp_wire.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/congestion.hpp"
@@ -97,6 +98,8 @@ public:
     [[nodiscard]] const RenoCongestion& congestion() const { return cc_; }
     [[nodiscard]] std::uint64_t recv_stream_offset() const { return rcv_.stream_offset(); }
     [[nodiscard]] const ReceiveBuffer& receive_buffer() const { return rcv_; }
+    [[nodiscard]] const SendBuffer& send_buffer() const { return snd_; }
+    [[nodiscard]] bool fin_sent() const { return fin_sent_; }
 
     struct Stats {
         std::uint64_t segments_sent = 0;
@@ -134,6 +137,11 @@ public:
     // from the application's on_closed callback (ST-TCP modules clean up
     // their shadow state here).
     void set_close_hook(std::function<void()> hook) { close_hook_ = std::move(hook); }
+    // Drops every application callback and ST-TCP hook. Called on CLOSED and
+    // by the owning stack's destructor: application sessions capture a
+    // shared_ptr to this connection while the connection's callbacks own the
+    // session, and this is the edge that breaks that ownership cycle.
+    void detach_hooks();
     [[nodiscard]] std::uint32_t snd_wnd() const { return snd_wnd_; }
     // Re-fires on_readable if data is pending — used by the ST-TCP primary
     // when a backup ack frees second-buffer space and unblocks reads.
@@ -255,6 +263,9 @@ private:
     std::function<void()> close_hook_;
 
     std::uint16_t last_advertised_window_ = 0;
+
+    // Runtime invariant auditor (no-op unless built with STTCP_AUDIT).
+    check::TcpInvariantAuditor auditor_;
 
     Stats stats_;
 };

@@ -45,6 +45,14 @@ private:
     std::uint32_t raw_ = 0;
 };
 
+// Signed circular distance from `b` to `a`: positive when a is ahead of b in
+// serial order, negative when behind. This is the ONLY sanctioned way to turn
+// two sequence numbers into a signed offset; raw `a.raw() - b.raw()` casts
+// scattered around the codebase are rejected by tools/lint.py.
+[[nodiscard]] constexpr std::int32_t seq_delta(Seq32 a, Seq32 b) {
+    return static_cast<std::int32_t>(a.raw() - b.raw());
+}
+
 // True iff seq lies in the half-open window [lo, lo+len).
 [[nodiscard]] constexpr bool in_window(Seq32 seq, Seq32 lo, std::uint32_t len) {
     return (seq - lo) < len;

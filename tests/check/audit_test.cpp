@@ -1,0 +1,182 @@
+// Fault-injection tests for the invariant auditor: corrupt the very state
+// the paper's safety argument depends on and assert the auditor names the
+// broken invariant. Violations are routed into a check::ScopedCapture so the
+// suite-wide zero-violation listener (tests/main.cpp) does not fail these
+// tests for firing on purpose.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/sttcp_auditor.hpp"
+#include "harness/experiment.hpp"
+#include "sttcp/retention.hpp"
+#include "../test_support.hpp"
+
+namespace sttcp {
+namespace {
+
+using check::Audit;
+using check::ScopedCapture;
+using check::Violation;
+using harness::HubTestbed;
+using harness::TestbedOptions;
+using util::Seq32;
+
+bool has_violation(const std::vector<Violation>& captured, std::string_view name) {
+    return std::any_of(captured.begin(), captured.end(),
+                       [&](const Violation& v) { return v.invariant == name; });
+}
+
+TEST(AuditCore, RequireReportsOnlyFailures) {
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    EXPECT_TRUE(check::require(true, "test.ok", "here", "fine"));
+    EXPECT_FALSE(check::require(false, "test.bad", "here", "broken"));
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].invariant, "test.bad");
+    EXPECT_EQ(captured[0].where, "here");
+}
+
+TEST(AuditCore, CaptureShieldsTheGlobalCounter) {
+    std::uint64_t before = Audit::violation_count();
+    {
+        std::vector<Violation> captured;
+        ScopedCapture capture{captured};
+        check::require(false, "test.captured", "here", "routed into capture");
+    }
+    EXPECT_EQ(Audit::violation_count(), before);
+}
+
+TEST(AuditFaultInjection, RetentionCaptureGapIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    core::SecondReceiveBuffer retention{1024};
+    util::Bytes chunk = testing::make_payload(10);
+
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    retention.on_consumed(Seq32{1000}, chunk);   // retained run: [1000, 1010)
+    retention.on_consumed(Seq32{1010}, chunk);   // contiguous: fine
+    EXPECT_TRUE(captured.empty());
+    retention.on_consumed(Seq32{1030}, chunk);   // hole [1020, 1030): never retained
+    EXPECT_TRUE(has_violation(captured, "sttcp.retention.capture_gap"));
+}
+
+// Figure 4's discard rule, violated end-to-end: detach the retention hook on
+// the primary's live connection so bytes the application reads stop being
+// captured into the second buffer. Those bytes are exactly the paper's
+// failure mode — read from the first buffer, acked to the client, retained
+// nowhere — and the standing audit must flag the hole.
+TEST(AuditFaultInjection, DiscardWithoutBackupAckIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    TestbedOptions opts;
+    opts.sttcp.hb_interval = sim::milliseconds{50};
+    // Backup acks only once at connection start, then stays quiet for the
+    // whole test: read bytes accumulate in the second buffer.
+    opts.sttcp.sync_time = sim::seconds{30};
+    HubTestbed bed{opts};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    // Long echo run (~9 s of virtual time): the test injects its fault and
+    // audits mid-stream, well before the workload completes.
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload{"echo-long", 1000, 150, 0}};
+    bool done = false;
+    driver.start([&] { done = true; });
+
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+
+    bed.sim.run_until(bed.sim.now() + sim::seconds{1});
+    ASSERT_FALSE(done);
+    ASSERT_GT(bed.st_primary->retained_bytes(), 0u);
+    ASSERT_EQ(bed.primary->connections().size(), 1u);
+
+    // Inject the fault: stop retaining while the application keeps reading.
+    bed.primary->connections()[0]->set_retention_hook(nullptr);
+    bed.sim.run_until(bed.sim.now() + sim::seconds{1});
+
+    // The standing sweep must see the hole between the frozen second buffer
+    // and LastByteRead.
+    EXPECT_FALSE(has_violation(captured, "sttcp.retention.contiguous_with_first_buffer"));
+    bed.st_primary->audit_connections();
+    EXPECT_TRUE(has_violation(captured, "sttcp.retention.contiguous_with_first_buffer"));
+}
+
+// Direct corruption of the release bound: the second buffer's front passed
+// LastByteAcked, meaning bytes were discarded that no backup acknowledged.
+TEST(AuditFaultInjection, ReleasePastAckedIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    testing::TwoHostLan lan;
+    auto listener = lan.server.tcp_listen(8000);
+    auto conn = lan.client.tcp_connect(lan.server_ip, 8000);
+    lan.sim.run_until(lan.sim.now() + sim::seconds{1});
+    ASSERT_EQ(conn->state(), tcp::TcpState::kEstablished);
+
+    core::SecondReceiveBuffer retention{1024};
+    util::Bytes chunk = testing::make_payload(10);
+
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    retention.on_consumed(Seq32{1000}, chunk);  // front_seq = 1000
+    // Quorum says LastByteAcked = 900: the buffer should still hold [901...,
+    // but its front already moved to 1000 — bytes 901..999 are gone unacked.
+    check::SttcpInvariantAuditor::audit_retention(*conn, retention, Seq32{900},
+                                                  std::nullopt);
+    EXPECT_TRUE(has_violation(captured, "sttcp.retention.release_past_acked"));
+}
+
+TEST(AuditFaultInjection, AckBeyondSentDataIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    tcp::SendBuffer buf{128};
+    buf.set_una(Seq32{5000});
+    util::Bytes data = testing::make_payload(10);
+    ASSERT_EQ(buf.write(data), 10u);
+
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    buf.ack_to(Seq32{5050});  // peer "acked" 50 bytes; only 10 were ever sent
+    EXPECT_TRUE(has_violation(captured, "tcp.snd.ack_within_sent"));
+}
+
+TEST(AuditFaultInjection, FencelessBackupDropIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    check::SttcpInvariantAuditor::audit_backup_drop(/*detector_suspected=*/false,
+                                                    "backup 10.0.0.3", std::nullopt);
+    EXPECT_TRUE(has_violation(captured, "sttcp.fencing.drop_requires_suspicion"));
+}
+
+TEST(AuditFaultInjection, EgressLeakBeforeTakeoverIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    // A service-IP segment passing the filter before takeover is the one
+    // decision the suppression invariant forbids.
+    check::SttcpInvariantAuditor::audit_egress_decision(
+        /*taken_over=*/false, /*src_is_service_ip=*/true, /*allowed=*/true,
+        "backup egress filter", std::nullopt);
+    EXPECT_TRUE(has_violation(captured, "sttcp.backup.output_suppressed_pre_takeover"));
+}
+
+TEST(AuditFaultInjection, DoubleTakeoverIsDetected) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    check::SttcpInvariantAuditor::audit_takeover(/*already_taken_over=*/true,
+                                                 /*live_seniors=*/1, "backup succession",
+                                                 std::nullopt);
+    EXPECT_TRUE(has_violation(captured, "sttcp.takeover.at_most_once"));
+    EXPECT_TRUE(has_violation(captured, "sttcp.fencing.takeover_requires_seniors_dead"));
+}
+
+} // namespace
+} // namespace sttcp

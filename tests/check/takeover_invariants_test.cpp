@@ -1,0 +1,142 @@
+// Wire-level checks of the two takeover-time invariants (paper §4.4):
+//
+//   1. Before the primary fails, the backup puts ZERO TCP segments on the
+//      wire — its entire replica runs behind the egress filter. Verified by
+//      observing every frame delivered on the client's link and attributing
+//      it to its sender MAC.
+//   2. The first data segment the promoted backup sends starts at or below
+//      the client's RCV.NXT — sequence-contiguous with the client's view of
+//      the stream, so the client's TCP accepts the stream without a gap or
+//      a reset. This is the observable consequence of ISN synchronization
+//      (§4.1) plus ack-bounded discard (Figure 4).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_wire.hpp"
+
+namespace sttcp {
+namespace {
+
+using harness::HubTestbed;
+using harness::TestbedOptions;
+using util::Seq32;
+
+TEST(TakeoverInvariants, BackupSilentBeforeCrashAndContiguousAfter) {
+    TestbedOptions opts;
+    opts.sttcp.hb_interval = sim::milliseconds{50};
+    opts.sttcp.sync_time = sim::milliseconds{50};
+    HubTestbed bed{opts};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    const net::MacAddress backup_mac = net::MacAddress::local(3);
+    bool crashed = false;
+    std::uint64_t backup_tcp_pre_crash = 0;
+    std::uint64_t backup_tcp_post_crash = 0;
+    bool first_data_seen = false;
+    Seq32 first_data_seq;
+    bool client_view_valid = false;
+    Seq32 client_rcv_nxt_then;
+
+    // Every frame delivered on the client's hub link, attributed by sender
+    // MAC: primary is local(2), backup is local(3).
+    bed.client_link->set_observer([&](const net::EthernetFrame& frame,
+                                      const net::FrameEndpoint&) {
+        if (frame.type != net::EtherType::kIpv4 || frame.src != backup_mac) return;
+        net::Ipv4Packet ip = net::Ipv4Packet::parse(frame.payload);
+        if (ip.proto != net::IpProto::kTcp) return;
+        if (!crashed) {
+            ++backup_tcp_pre_crash;
+            return;
+        }
+        ++backup_tcp_post_crash;
+        net::TcpSegment seg = net::TcpSegment::parse(ip.payload, ip.src, ip.dst);
+        if (first_data_seen || seg.payload.empty()) return;
+        first_data_seen = true;
+        first_data_seq = seg.seq;
+        // Snapshot the client's view of the stream at the moment the first
+        // post-takeover payload arrives.
+        auto conns = bed.client->connections();
+        if (conns.size() == 1) {
+            client_view_valid = true;
+            client_rcv_nxt_then = conns[0]->rcv_nxt();
+        }
+    });
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000, app::Workload::echo()};
+    bool done = false;
+    driver.start([&] { done = true; });
+
+    bed.sim.schedule_after(sim::milliseconds{400}, [&]() {
+        crashed = true;
+        bed.crash_primary();
+    });
+
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::seconds{30})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed) << driver.result().failure_reason;
+    EXPECT_EQ(driver.result().verify_errors, 0u);
+    EXPECT_TRUE(bed.st_backup->stats().failovers > 0);
+
+    // Invariant 1: total silence before the crash.
+    EXPECT_EQ(backup_tcp_pre_crash, 0u);
+    EXPECT_GT(backup_tcp_post_crash, 0u);
+
+    // Invariant 2: the first post-takeover payload overlaps or abuts the
+    // client's receive frontier — no sequence gap, no data from the future.
+    ASSERT_TRUE(first_data_seen);
+    ASSERT_TRUE(client_view_valid);
+    EXPECT_LE(util::seq_delta(first_data_seq, client_rcv_nxt_then), 0)
+        << "first post-takeover segment seq=" << first_data_seq.raw()
+        << " is ahead of the client's RCV.NXT=" << client_rcv_nxt_then.raw();
+}
+
+// The suppression invariant holds under load and tap loss too: even while
+// the backup is busy recovering gaps via the control channel, nothing it
+// does may reach the client as TCP before takeover.
+TEST(TakeoverInvariants, BackupSilentUnderTapLossWithoutFailure) {
+    TestbedOptions opts;
+    opts.sttcp.hb_interval = sim::milliseconds{50};
+    opts.sttcp.sync_time = sim::milliseconds{50};
+    opts.tap_loss = 0.05;
+    HubTestbed bed{opts};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(8000);
+    auto bl = bed.st_backup->listen(8000);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    const net::MacAddress backup_mac = net::MacAddress::local(3);
+    std::uint64_t backup_tcp_frames = 0;
+    bed.client_link->set_observer([&](const net::EthernetFrame& frame,
+                                      const net::FrameEndpoint&) {
+        if (frame.type != net::EtherType::kIpv4 || frame.src != backup_mac) return;
+        net::Ipv4Packet ip = net::Ipv4Packet::parse(frame.payload);
+        if (ip.proto == net::IpProto::kTcp) ++backup_tcp_frames;
+    });
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::upload_kb(32, 2)};
+    bool done = false;
+    driver.start([&] { done = true; });
+    while (!done && bed.sim.now() < sim::TimePoint{} + sim::seconds{30})
+        bed.sim.run_until(bed.sim.now() + sim::milliseconds{100});
+
+    ASSERT_TRUE(driver.result().completed) << driver.result().failure_reason;
+    EXPECT_EQ(backup_tcp_frames, 0u);
+    // The tap actually lost frames, so the recovery path really ran.
+    EXPECT_GT(bed.st_backup->stats().missing_bytes_recovered, 0u);
+}
+
+} // namespace
+} // namespace sttcp

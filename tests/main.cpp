@@ -1,0 +1,46 @@
+// Test entry point: standard gtest main plus an invariant-audit listener.
+//
+// Every test runs with the ST-TCP runtime auditor compiled in (STTCP_AUDIT
+// is ON by default), so the whole suite doubles as a protocol-invariant
+// sweep: any uncaptured violation reported during a test fails that test,
+// naming the invariant. Fault-injection tests that corrupt state on purpose
+// route violations into a check::ScopedCapture instead, which this listener
+// never sees.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/audit.hpp"
+
+namespace {
+
+class AuditListener : public testing::EmptyTestEventListener {
+public:
+    void OnTestStart(const testing::TestInfo&) override {
+        start_count_ = sttcp::check::Audit::violation_count();
+        sttcp::check::Audit::clear_recent();
+    }
+
+    void OnTestEnd(const testing::TestInfo&) override {
+        std::uint64_t delta = sttcp::check::Audit::violation_count() - start_count_;
+        if (delta == 0) return;
+        std::string names;
+        for (const auto& v : sttcp::check::Audit::recent()) {
+            if (!names.empty()) names += ", ";
+            names += v.invariant;
+        }
+        ADD_FAILURE() << delta << " invariant violation(s) during this test: " << names;
+    }
+
+private:
+    std::uint64_t start_count_ = 0;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    testing::InitGoogleTest(&argc, argv);
+    testing::UnitTest::GetInstance()->listeners().Append(new AuditListener);
+    return RUN_ALL_TESTS();
+}

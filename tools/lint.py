@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Custom protocol lints for the ST-TCP codebase.
+
+Three rules, each guarding an invariant the type system cannot express:
+
+  seq-raw        TCP sequence numbers are mod-2^32; the only safe way to
+                 compare or difference them is util::Seq32's serial-number
+                 operators (or util::seq_delta for a signed offset). Raw
+                 `x.raw() - y.raw()`-style arithmetic outside util/seq32 is
+                 exactly how wraparound bugs are written.
+
+  payload-alloc  Frame payloads are ref-counted (util::SharedPayload) and
+                 recycled (util::BufferPool). A naked new[]/delete[] of a
+                 byte buffer anywhere else bypasses both the zero-copy path
+                 and the pool accounting.
+
+  stale-event    sim::EventQueue cancellation is generation-checked;
+                 cancelling a handle and keeping the old value around invites
+                 double-cancel of a recycled slot. Every `cancel(handle_)` of
+                 a member handle must be followed by reassignment of that
+                 handle (usually `handle_ = sim::kInvalidEventId`) within a
+                 few lines.
+
+A finding can be waived on its line (or the line above) with:
+    // lint:allow <rule-name> -- reason
+Exit status: 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
+
+# ---------------------------------------------------------------- rule: seq-raw
+# Arithmetic mixing .raw() with +/- (either side), or a signed cast of a
+# .raw() difference. util/seq32.* is the sanctioned home of this arithmetic.
+SEQ_RAW_PATTERNS = [
+    re.compile(r"\.raw\(\)\s*[-+]\s*(?!1\s*[,)\s;])"),  # seq.raw() - x (allow ±1 literals)
+    re.compile(r"[-+]\s*\w+(?:\.\w+\(\))*\.raw\(\)"),   # x - seq.raw()
+    re.compile(r"static_cast<\s*std::u?int32_t\s*>\s*\(\s*\w+(?:\.\w+\(\))*\.raw\(\)"),
+]
+SEQ_RAW_EXEMPT = {"util/seq32.hpp", "util/seq32.cpp"}
+
+# ----------------------------------------------------------- rule: payload-alloc
+PAYLOAD_ALLOC_PATTERNS = [
+    re.compile(r"\bnew\s+(?:std::)?uint8_t\s*\["),
+    re.compile(r"\bnew\s+(?:unsigned\s+char|std::byte|char)\s*\["),
+    re.compile(r"\bdelete\s*\[\]"),
+    re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("),
+]
+PAYLOAD_ALLOC_EXEMPT = {
+    "util/shared_payload.hpp",
+    "util/shared_payload.cpp",
+    "util/buffer_pool.hpp",
+    "util/buffer_pool.cpp",
+}
+
+# ------------------------------------------------------------- rule: stale-event
+CANCEL_RE = re.compile(r"\bcancel\s*\(\s*(\w+)\s*\)")
+STALE_EVENT_WINDOW = 3  # lines after the cancel in which the reset must appear
+
+
+def is_comment(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def allowed(lines: list[str], idx: int, rule: str) -> bool:
+    """True if line idx (0-based) or the line above carries a waiver."""
+    for check in (idx, idx - 1):
+        if 0 <= check < len(lines):
+            m = ALLOW_RE.search(lines[check])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def check_patterns(rel: str, lines: list[str], patterns, exempt, rule: str):
+    if rel in exempt:
+        return
+    for i, line in enumerate(lines):
+        if is_comment(line):
+            continue
+        code = line.split("//", 1)[0]
+        for pat in patterns:
+            if pat.search(code) and not allowed(lines, i, rule):
+                yield (i + 1, rule, code.strip())
+                break
+
+
+def check_stale_event(rel: str, lines: list[str]):
+    for i, line in enumerate(lines):
+        if is_comment(line):
+            continue
+        code = line.split("//", 1)[0]
+        m = CANCEL_RE.search(code)
+        if not m:
+            continue
+        handle = m.group(1)
+        # Only member/long-lived handles matter; locals that die at scope end
+        # (no trailing underscore) cannot be reused later.
+        if not handle.endswith("_"):
+            continue
+        reset_re = re.compile(rf"\b{re.escape(handle)}\s*=")
+        window = lines[i + 1 : i + 1 + STALE_EVENT_WINDOW]
+        # A reset on the same line (e.g. `cancel(std::exchange(h_, ...))`) or
+        # within the window satisfies the rule.
+        if reset_re.search(code.split("cancel", 1)[1]) or any(
+            reset_re.search(w.split("//", 1)[0]) for w in window
+        ):
+            continue
+        if allowed(lines, i, "stale-event"):
+            continue
+        yield (i + 1, "stale-event", code.strip())
+
+
+def main() -> int:
+    findings = []
+    for path in sorted(SRC_ROOT.rglob("*")):
+        if path.suffix not in {".hpp", ".cpp"}:
+            continue
+        rel = path.relative_to(SRC_ROOT).as_posix()
+        lines = path.read_text().splitlines()
+        findings += [
+            (rel, *f)
+            for f in check_patterns(rel, lines, SEQ_RAW_PATTERNS, SEQ_RAW_EXEMPT, "seq-raw")
+        ]
+        findings += [
+            (rel, *f)
+            for f in check_patterns(
+                rel, lines, PAYLOAD_ALLOC_PATTERNS, PAYLOAD_ALLOC_EXEMPT, "payload-alloc"
+            )
+        ]
+        findings += [(rel, *f) for f in check_stale_event(rel, lines)]
+
+    for rel, lineno, rule, snippet in findings:
+        print(f"src/{rel}:{lineno}: [{rule}] {snippet}")
+    if findings:
+        print(f"\n{len(findings)} lint violation(s). "
+              f"Waive intentionally with '// lint:allow <rule>'.")
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
