@@ -1,0 +1,115 @@
+// Per-frame cost of the impairment pipeline.
+//
+// Every frame the simulator carries now runs the blackout -> loss ->
+// duplication -> corruption -> jitter -> spike pipeline, so its overhead is
+// a tax on every experiment and every soak trial. This bench pushes frames
+// point-to-point through a Link under increasingly rich configurations and
+// reports host-time frames/sec per row, so successive PRs can see what an
+// added stage costs — and that the all-zero configuration stays free.
+//
+// Usage: bench_impairment [frames] [payload_bytes]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+using namespace sttcp;
+
+namespace {
+
+struct Sink final : net::FrameEndpoint {
+    void handle_frame(const net::EthernetFrame&) override { ++received; }
+    [[nodiscard]] std::string endpoint_name() const override { return "sink"; }
+    std::uint64_t received = 0;
+};
+
+struct Row {
+    const char* label;
+    net::ImpairmentConfig cfg;
+    bool blackouts = false;
+};
+
+double run_row(const Row& row, std::size_t frames, std::size_t payload_bytes,
+               std::uint64_t* delivered) {
+    sim::Simulation sim{42};
+    net::LinkConfig link_cfg;
+    link_cfg.bandwidth_bps = 1e9;
+    // Frames are blasted in batches, not paced; an ample queue keeps the
+    // delivered column about the pipeline (loss/blackout), not tail drops.
+    link_cfg.queue_capacity_bytes = 16 * 1024 * 1024;
+    Sink a, b;
+    net::Link link{sim, link_cfg};
+    link.attach(a, b);
+    link.set_impairments(row.cfg);
+    if (row.blackouts) {
+        // Sprinkle windows through the run so in_blackout always has a list
+        // to consult (the pruning path is part of the cost being measured).
+        for (int w = 0; w < 50; ++w)
+            link.schedule_blackout(sim::TimePoint{} + sim::milliseconds{1 + 7 * w},
+                                   sim::microseconds{300});
+    }
+
+    net::EthernetFrame proto;
+    proto.dst = net::MacAddress::local(2);
+    proto.src = net::MacAddress::local(1);
+    proto.type = net::EtherType::kIpv4;
+    proto.payload.assign(payload_bytes, 0x5a);
+
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < frames; ++i) {
+        link.send_from(a, proto);
+        if ((i & 0x3ff) == 0) sim.run();  // drain deliveries in batches
+    }
+    sim.run();
+    auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+    *delivered = link.stats().frames_delivered;
+    return static_cast<double>(frames) / elapsed.count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t frames =
+        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 200000;
+    const std::size_t payload_bytes =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 1460;
+
+    Row rows[6];
+    rows[0].label = "all stages zero (legacy fast path)";
+    rows[1].label = "uniform loss 5%";
+    rows[1].cfg.loss = 0.05;
+    rows[2].label = "gilbert-elliott bursty loss";
+    rows[2].cfg.gilbert_elliott = true;
+    rows[2].cfg.ge_p_enter_bad = 0.02;
+    rows[2].cfg.ge_p_exit_bad = 0.3;
+    rows[2].cfg.ge_loss_bad = 0.8;
+    rows[3].label = "loss + dup + jitter + spikes";
+    rows[3].cfg.loss = 0.05;
+    rows[3].cfg.duplicate = 0.05;
+    rows[3].cfg.jitter = sim::milliseconds{2};
+    rows[3].cfg.spike = 0.01;
+    rows[3].cfg.spike_delay = sim::milliseconds{50};
+    rows[4].label = "corruption 5% (copy-on-write)";
+    rows[4].cfg.corrupt = 0.05;
+    rows[4].cfg.corrupt_max_bits = 3;
+    rows[5].label = "everything + 50 blackout windows";
+    rows[5].cfg = rows[3].cfg;
+    rows[5].cfg.corrupt = 0.05;
+    rows[5].blackouts = true;
+
+    std::printf("Impairment pipeline cost: %zu frames, %zu-byte payload\n\n", frames,
+                payload_bytes);
+    std::printf("%-38s %14s %12s\n", "configuration", "frames/sec", "delivered");
+    for (int i = 0; i < 74; ++i) std::putchar('-');
+    std::putchar('\n');
+
+    for (const Row& row : rows) {
+        std::uint64_t delivered = 0;
+        double fps = run_row(row, frames, payload_bytes, &delivered);
+        std::printf("%-38s %14.0f %12llu\n", row.label, fps,
+                    static_cast<unsigned long long>(delivered));
+    }
+    return 0;
+}

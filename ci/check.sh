@@ -2,10 +2,13 @@
 # Full correctness gate for the ST-TCP repo. Runs everything a PR must pass:
 #
 #   1. default build (invariant auditor ON) + full ctest suite
-#   2. hardened-warnings build: -Werror -Wshadow -Wconversion -Wswitch-enum
-#   3. ASan/UBSan build + full ctest suite
-#   4. custom protocol lints (tools/lint.py)
-#   5. clang-tidy over files changed vs the merge base (skipped with a notice
+#   2. chaos soak: 200 seeded trials + a deliberate failure-pipeline demo
+#      (reproduce-by-seed and shrink must themselves work)
+#   3. hardened-warnings build: -Werror -Wshadow -Wconversion -Wswitch-enum
+#      + 200-trial soak on that binary
+#   4. ASan/UBSan build + full ctest suite + 200-trial soak under sanitizers
+#   5. custom protocol lints (tools/lint.py)
+#   6. clang-tidy over files changed vs the merge base (skipped with a notice
 #      when clang-tidy is not installed)
 #
 # Usage: ci/check.sh [base-ref]     (default base-ref: origin/main or HEAD~1)
@@ -17,24 +20,33 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-step "1/5 default build (STTCP_AUDIT=ON) + tests"
+step "1/6 default build (STTCP_AUDIT=ON) + tests"
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j"$JOBS"
 ctest --test-dir build-ci --output-on-failure -j"$JOBS"
 
-step "2/5 hardened warnings-as-errors build"
+step "2/6 chaos soak: 200 trials + failure-pipeline demo"
+build-ci/tools/sttcp_soak --trials 200 --seed-base 1
+# The demo invariant fails on purpose; the run must reproduce it by seed and
+# shrink it to at most 2 active impairment dimensions, proving the
+# reproducer/shrinker pipeline works before anyone needs it in anger.
+build-ci/tools/sttcp_soak --demo-failure
+
+step "3/6 hardened warnings-as-errors build + soak"
 cmake -B build-ci-werror -S . -DSTTCP_WERROR=ON >/dev/null
 cmake --build build-ci-werror -j"$JOBS"
+build-ci-werror/tools/sttcp_soak --trials 200 --seed-base 1
 
-step "3/5 sanitizer build (ASan+UBSan) + tests"
+step "4/6 sanitizer build (ASan+UBSan) + tests + soak"
 cmake -B build-ci-asan -S . -DSTTCP_SANITIZE=ON >/dev/null
 cmake --build build-ci-asan -j"$JOBS"
 ctest --test-dir build-ci-asan --output-on-failure -j"$JOBS"
+build-ci-asan/tools/sttcp_soak --trials 200 --seed-base 1
 
-step "4/5 protocol lints"
+step "5/6 protocol lints"
 python3 tools/lint.py
 
-step "5/5 clang-tidy (changed files)"
+step "6/6 clang-tidy (changed files)"
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not installed — skipping (profile: .clang-tidy)"
 else

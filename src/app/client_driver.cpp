@@ -65,7 +65,11 @@ void ClientDriver::on_readable() {
             std::uint8_t expect = offset < kHeaderSize
                                       ? expected_header[static_cast<std::size_t>(offset)]
                                       : response_byte(round_, offset);
-            if (buf[i] != expect) ++result_.verify_errors;
+            if (buf[i] != expect) {
+                ++result_.verify_errors;
+                if (result_.first_verify_errors.size() < 8)
+                    result_.first_verify_errors.push_back({round_, offset, expect, buf[i]});
+            }
         }
         round_received_ += n;
         result_.bytes_received += n;

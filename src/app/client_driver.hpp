@@ -37,6 +37,15 @@ struct Workload {
 
 class ClientDriver {
 public:
+    // A byte that did not match the deterministic response stream (the
+    // first few are kept so a failing soak seed can be triaged directly).
+    struct VerifyError {
+        std::uint32_t round = 0;
+        std::uint64_t offset = 0;  // within the round's response
+        std::uint8_t expected = 0;
+        std::uint8_t got = 0;
+    };
+
     struct Result {
         bool completed = false;
         bool failed = false;           // connection error before completion
@@ -45,6 +54,7 @@ public:
         sim::TimePoint finished_at{};
         std::uint64_t bytes_received = 0;
         std::uint64_t verify_errors = 0;
+        std::vector<VerifyError> first_verify_errors;  // capped at 8
         std::vector<double> round_seconds;  // per-round completion times
 
         [[nodiscard]] double total_seconds() const {

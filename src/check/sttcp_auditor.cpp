@@ -27,10 +27,13 @@ void SttcpInvariantAuditor::audit_retention(const tcp::TcpConnection& conn,
     if (!retention.enabled()) return;
     std::string where = flow_of(conn);
 
-    if (min_backup_acked) {
+    if (min_backup_acked && retention.primed()) {
         // Figure 4: every discarded byte must be <= LastByteAcked. The front
         // of the second buffer is LastByteAcked+1 from the primary's point
-        // of view, so it may never pass the quorum ack bound.
+        // of view, so it may never pass the quorum ack bound. Before the
+        // first byte is retained front_seq() is unanchored (the backup acks
+        // the tapped handshake while the client's opening segment may still
+        // be in retransmission), so the comparison starts once primed.
         require(retention.front_seq() <= *min_backup_acked + 1u,
                 "sttcp.retention.release_past_acked", where,
                 "retention front " + std::to_string(retention.front_seq().raw()) +

@@ -1,0 +1,207 @@
+#include "fuzz/scenario.hpp"
+
+#include <sstream>
+
+#include "sim/random.hpp"
+
+namespace sttcp::fuzz {
+
+namespace {
+
+// Salt for the scenario-sampling stream: the simulation itself is seeded
+// with the raw trial seed, so the sampler must draw from a different
+// sequence or scenario shape and network randomness would be correlated.
+constexpr std::uint64_t kScenarioSalt = 0x9e3779b97f4a7c15ULL;
+
+double uniform_in(sim::Random& rng, double lo, double hi) {
+    return lo + rng.uniform01() * (hi - lo);
+}
+
+sim::Duration millis_in(sim::Random& rng, std::int64_t lo, std::int64_t hi) {
+    return sim::milliseconds{rng.range(lo, hi)};
+}
+
+// Topologies with complete packet logging, where impairing the tap itself
+// (loss or blackout toward the backup's NIC) is survivable: any tapped byte
+// the backup misses is recoverable from the logger at takeover, and a
+// tap-side false suspicion is converted into a clean takeover by fencing.
+// kSwitchMirror's SPAN session is occupied by the backup (no full logger)
+// and kChain runs two backups without one, so both rely on primary
+// retention alone — the fuzzer leaves their taps clean.
+bool tap_impairable(Topology t) {
+    return t == Topology::kHub || t == Topology::kSwitchMulticast || t == Topology::kNoSpof;
+}
+
+} // namespace
+
+const char* dim_name(Dim d) {
+    switch (d) {
+        case Dim::kUniformLoss: return "uniform-loss";
+        case Dim::kBurstLoss: return "burst-loss";
+        case Dim::kDuplication: return "duplication";
+        case Dim::kCorruption: return "corruption";
+        case Dim::kJitter: return "jitter";
+        case Dim::kDelaySpikes: return "delay-spikes";
+        case Dim::kBlackout: return "blackout";
+        case Dim::kBandwidthFlap: return "bandwidth-flap";
+        case Dim::kTapLoss: return "tap-loss";
+        case Dim::kCount: break;
+    }
+    return "?";
+}
+
+const char* topology_name(Topology t) {
+    switch (t) {
+        case Topology::kHub: return "hub";
+        case Topology::kSwitchMirror: return "switch-mirror";
+        case Topology::kSwitchMulticast: return "switch-multicast";
+        case Topology::kNoSpof: return "nospof";
+        case Topology::kChain: return "chain";
+    }
+    return "?";
+}
+
+Scenario Scenario::sample(std::uint64_t seed) {
+    sim::Random rng{seed ^ kScenarioSalt};
+    Scenario s;
+    s.seed = seed;
+
+    // Topology, weighted toward the paper's hub testbed.
+    std::uint64_t t = rng.uniform(100);
+    if (t < 30) s.topology = Topology::kHub;
+    else if (t < 48) s.topology = Topology::kSwitchMirror;
+    else if (t < 66) s.topology = Topology::kSwitchMulticast;
+    else if (t < 84) s.topology = Topology::kNoSpof;
+    else s.topology = Topology::kChain;
+
+    // Workload.
+    switch (rng.uniform(4)) {
+        case 0: s.workload = app::Workload::echo(); break;
+        case 1: s.workload = app::Workload::interactive(); break;
+        case 2:
+            s.workload = app::Workload{"bulk-soak", 1,
+                                       static_cast<std::uint32_t>(rng.range(256, 768)) * 1024, 0};
+            break;
+        default:
+            s.workload = app::Workload::upload_kb(static_cast<std::uint32_t>(rng.range(32, 96)), 2);
+            break;
+    }
+
+    // Protocol knobs (paper §4.3, §6).
+    constexpr std::int64_t hb_choices[] = {25, 50, 100};
+    s.hb_interval = sim::milliseconds{hb_choices[rng.uniform(3)]};
+    s.sync_time = sim::milliseconds{rng.uniform(2) == 0 ? 25 : 50};
+    constexpr std::size_t ack_choices[] = {0, 4096, 16384};
+    s.ack_threshold_bytes = ack_choices[rng.uniform(3)];
+    s.fencing_latency = millis_in(rng, 1, 15);
+
+    // Crash schedule.
+    s.crash_primary = rng.bernoulli(0.7);
+    s.crash_primary_at = millis_in(rng, 200, 2000);
+    s.crash_promoted = rng.bernoulli(0.5);
+    s.crash_promoted_at = s.crash_primary_at + millis_in(rng, 600, 1500);
+    if (s.topology != Topology::kChain || !s.crash_primary) s.crash_promoted = false;
+
+    // Active dimensions: each independently, ~45%.
+    for (std::size_t d = 0; d < kDimCount; ++d)
+        if (rng.bernoulli(0.45)) s.dims.set(d);
+
+    // Per-dimension parameters — ALWAYS sampled, in a fixed order, so the
+    // shrinker can clear dimension bits without perturbing anything else.
+    s.uniform_loss = uniform_in(rng, 0.01, 0.10);
+    s.ge_p_enter_bad = uniform_in(rng, 0.005, 0.04);
+    s.ge_p_exit_bad = uniform_in(rng, 0.15, 0.5);
+    s.ge_loss_bad = uniform_in(rng, 0.3, 0.9);
+    s.dup_probability = uniform_in(rng, 0.01, 0.12);
+    s.corrupt_probability = uniform_in(rng, 0.005, 0.04);
+    s.corrupt_max_bits = static_cast<int>(rng.range(1, 4));
+    // The soak checks byte-exactness, so it must only inflict corruption the
+    // protocol CAN detect. A single flipped bit always changes the Internet
+    // checksum (a lone ±2^k never cancels); two or more flips can compensate
+    // (same bit index, opposite directions, even byte distance) and slip
+    // through every checksum — real silent corruption à la Stone &
+    // Partridge, but not a protocol bug. The draw above is kept (and
+    // clamped) so seed→scenario mapping stays stable for every other field;
+    // multi-bit corruption remains available to targeted engine tests.
+    s.corrupt_max_bits = 1;
+    s.jitter = millis_in(rng, 1, 20);
+    s.spike_probability = uniform_in(rng, 0.002, 0.02);
+    s.spike_delay = millis_in(rng, 30, 120);
+    std::uint64_t target = rng.uniform(3);
+    s.blackout_at = millis_in(rng, 150, 1500);
+    s.blackout_len = millis_in(rng, 80, 1000);
+    double control_hb_factor = uniform_in(rng, 0.5, 2.2);
+    s.bw_factor = uniform_in(rng, 0.2, 0.6);
+    s.bw_flap_at = millis_in(rng, 100, 1200);
+    s.bw_restore_after = millis_in(rng, 200, 1200);
+    s.tap_loss = uniform_in(rng, 0.02, 0.20);
+
+    // Blackout target. A control-channel blackout must stay below the
+    // 3-heartbeat suspicion deadline on BOTH ends: longer and primary and
+    // backup would each suspect — and fence — the other (mutual fencing =
+    // designed total outage, not a bug the soak should report). Tap-directed
+    // blackouts may exceed the deadline: only the backup goes blind, and the
+    // resulting one-sided suspicion becomes a legitimate takeover.
+    s.blackout_target = static_cast<BlackoutTarget>(target);
+    if (s.blackout_target == BlackoutTarget::kTap && !tap_impairable(s.topology))
+        s.blackout_target = BlackoutTarget::kClientLink;
+    if (s.blackout_target == BlackoutTarget::kControlChannel)
+        s.blackout_len = std::chrono::duration_cast<sim::Duration>(
+            s.hb_interval * control_hb_factor);
+
+    if (!tap_impairable(s.topology)) s.clear(Dim::kTapLoss);
+
+    return s;
+}
+
+std::string Scenario::dims_csv() const {
+    std::string out;
+    for (std::size_t d = 0; d < kDimCount; ++d) {
+        if (!dims.test(d)) continue;
+        if (!out.empty()) out += ',';
+        out += dim_name(static_cast<Dim>(d));
+    }
+    return out.empty() ? "none" : out;
+}
+
+std::string Scenario::describe() const {
+    std::ostringstream os;
+    os << "seed=" << seed << " topo=" << topology_name(topology) << " wl=" << workload.name
+       << " hb=" << sim::to_seconds(hb_interval) * 1e3 << "ms"
+       << " sync=" << sim::to_seconds(sync_time) * 1e3 << "ms"
+       << " ackX=" << ack_threshold_bytes;
+    if (crash_primary)
+        os << " crash@" << sim::to_seconds(crash_primary_at) << "s";
+    if (crash_promoted)
+        os << " crash2@" << sim::to_seconds(crash_promoted_at) << "s";
+    os << " dims=[" << dims_csv() << "]";
+    if (has(Dim::kBlackout)) {
+        const char* tgt = blackout_target == BlackoutTarget::kClientLink ? "client"
+                          : blackout_target == BlackoutTarget::kTap      ? "tap"
+                                                                         : "control";
+        os << " blackout=" << tgt << "@" << sim::to_seconds(blackout_at) << "s+"
+           << sim::to_seconds(blackout_len) << "s";
+    }
+    return os.str();
+}
+
+std::optional<std::bitset<kDimCount>> parse_dims(const std::string& csv) {
+    std::bitset<kDimCount> mask;
+    if (csv == "none") return mask;
+    std::stringstream ss{csv};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        bool found = false;
+        for (std::size_t d = 0; d < kDimCount; ++d) {
+            if (item == dim_name(static_cast<Dim>(d))) {
+                mask.set(d);
+                found = true;
+                break;
+            }
+        }
+        if (!found) return std::nullopt;
+    }
+    return mask;
+}
+
+} // namespace sttcp::fuzz

@@ -1,0 +1,116 @@
+// Seed → scenario: the sampling half of the chaos soak fuzzer.
+//
+// One uint64 seed deterministically derives EVERYTHING a trial needs — the
+// topology, workload, heartbeat interval, backup ack threshold X (§4.3),
+// fencing latency, the crash schedule, and which impairment dimensions are
+// active with which parameters. `sttcp_soak --seed N` therefore replays a
+// trial bit-for-bit, which is what makes a soak failure a reproducer instead
+// of an anecdote.
+//
+// Every parameter is sampled unconditionally from a dedicated RNG stream
+// (salted so it never collides with the simulation's own stream), and the
+// active-dimension set is a separate bitmask. Clearing a bit disables that
+// impairment WITHOUT shifting any other sampled value — the property the
+// shrinker relies on to delta-debug a failure down to its minimal dimension
+// set.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "app/client_driver.hpp"
+#include "sim/time.hpp"
+
+namespace sttcp::fuzz {
+
+enum class Topology {
+    kHub,             // paper §6 testbed (with packet logger)
+    kSwitchMirror,    // Figure 2, SPAN port tap
+    kSwitchMulticast, // Figure 2, multicast-MAC tap (with packet logger)
+    kNoSpof,          // Figure 3, dual rails + inline loggers
+    kChain,           // §3 "one or more backups": two ranked backups
+};
+
+// Impairment dimensions the shrinker can disable independently.
+enum class Dim : std::size_t {
+    kUniformLoss,   // Bernoulli loss on the client link, both directions
+    kBurstLoss,     // Gilbert–Elliott on the client link, both directions
+    kDuplication,   // frame duplication on the client link
+    kCorruption,    // payload bit flips on the client link
+    kJitter,        // uniform reordering jitter on the client link
+    kDelaySpikes,   // rare large delays on the client link
+    kBlackout,      // timed blackout (client link / tap / control channel)
+    kBandwidthFlap, // client-link bandwidth drop + restore
+    kTapLoss,       // loss toward the backup's tap NIC(s) only
+    kCount,
+};
+inline constexpr std::size_t kDimCount = static_cast<std::size_t>(Dim::kCount);
+
+[[nodiscard]] const char* dim_name(Dim d);
+[[nodiscard]] const char* topology_name(Topology t);
+
+// Where a kBlackout window lands.
+enum class BlackoutTarget {
+    kClientLink,     // both directions: pure delay adversity
+    kTap,            // toward the backup's NIC: tap gap + possible false
+                     // suspicion, which fencing must convert into a clean
+                     // takeover (paper §4.4)
+    kControlChannel, // primary's link, both directions, capped below the
+                     // 3-heartbeat deadline so no takeover may result (§3.2)
+};
+
+struct Scenario {
+    std::uint64_t seed = 0;
+
+    Topology topology = Topology::kHub;
+    app::Workload workload;
+    sim::Duration hb_interval{};
+    sim::Duration sync_time{};
+    std::size_t ack_threshold_bytes = 0;  // 0 = paper default (3/4 buffer)
+    sim::Duration fencing_latency{};
+
+    // Crash schedule. crash_promoted only materializes on kChain (crashing
+    // the sole promoted backup of a two-server topology ends the service by
+    // design — nothing left to migrate to).
+    bool crash_primary = false;
+    sim::Duration crash_primary_at{};
+    bool crash_promoted = false;
+    sim::Duration crash_promoted_at{};  // measured from trial start
+
+    std::bitset<kDimCount> dims;
+    [[nodiscard]] bool has(Dim d) const { return dims.test(static_cast<std::size_t>(d)); }
+    void clear(Dim d) { dims.reset(static_cast<std::size_t>(d)); }
+
+    // Per-dimension parameters (always sampled, applied only when active).
+    double uniform_loss = 0;
+    double ge_p_enter_bad = 0, ge_p_exit_bad = 0, ge_loss_bad = 0;
+    double dup_probability = 0;
+    double corrupt_probability = 0;
+    int corrupt_max_bits = 1;
+    sim::Duration jitter{};
+    double spike_probability = 0;
+    sim::Duration spike_delay{};
+    BlackoutTarget blackout_target = BlackoutTarget::kClientLink;
+    sim::Duration blackout_at{};
+    sim::Duration blackout_len{};
+    double bw_factor = 1.0;
+    sim::Duration bw_flap_at{};
+    sim::Duration bw_restore_after{};
+    double tap_loss = 0;
+
+    [[nodiscard]] static Scenario sample(std::uint64_t seed);
+
+    // One-line human summary, stable enough to diff across replays.
+    [[nodiscard]] std::string describe() const;
+
+    // Comma-separated active-dimension list, e.g. "burst-loss,corruption".
+    [[nodiscard]] std::string dims_csv() const;
+};
+
+// Parses a dims CSV back into a mask (for `--dims`); returns nullopt on an
+// unknown name.
+[[nodiscard]] std::optional<std::bitset<kDimCount>> parse_dims(const std::string& csv);
+
+} // namespace sttcp::fuzz

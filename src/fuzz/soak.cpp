@@ -1,0 +1,365 @@
+#include "fuzz/soak.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "check/audit.hpp"
+#include "harness/chain_testbed.hpp"
+#include "harness/nospof_testbed.hpp"
+#include "harness/switch_testbed.hpp"
+#include "harness/testbed.hpp"
+#include "net/frame_trace.hpp"
+#include "net/ipv4.hpp"
+
+namespace sttcp::fuzz {
+
+namespace {
+
+constexpr std::uint16_t kServicePort = 8000;
+
+// The links a scenario's impairments land on, per topology.
+struct TapRef {
+    net::Link* link = nullptr;
+    const net::FrameEndpoint* nic = nullptr;  // direction: into the backup
+};
+struct Instruments {
+    net::Link* client = nullptr;   // generic dims + client blackouts + bw flap
+    net::Link* control = nullptr;  // primary's link: control-channel blackouts
+    std::vector<TapRef> taps;      // tap loss / tap blackouts
+
+    [[nodiscard]] std::vector<net::Link*> counted() const {
+        std::vector<net::Link*> out{client, control};
+        for (const TapRef& t : taps) out.push_back(t.link);
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    }
+};
+
+// Wire-silence probe: counts TCP frames a backup puts on its link before it
+// has taken over (must stay 0 — paper §4.1 output suppression).
+struct EgressWatch {
+    net::Link* link = nullptr;
+    net::MacAddress mac;             // the backup NIC whose egress is policed
+    std::function<bool()> allowed;   // true once takeover makes egress legal
+};
+
+harness::TestbedOptions make_options(const Scenario& sc, bool with_logger) {
+    harness::TestbedOptions o;
+    o.seed = sc.seed;
+    o.sttcp.hb_interval = sc.hb_interval;
+    o.sttcp.sync_time = sc.sync_time;
+    o.sttcp.ack_threshold_bytes = sc.ack_threshold_bytes;
+    o.fencing_latency = sc.fencing_latency;
+    o.with_packet_logger = with_logger;
+    // The soak oracle is transparency (every byte exact), not client
+    // patience: under sampled loss+corruption the default Linux-ish retry
+    // budgets (6 SYN retransmits ≈ 127 s) can legitimately be exhausted —
+    // a plain-TCP client would give up identically, so that outcome says
+    // nothing about ST-TCP. Give the soak client a much deeper budget and
+    // let the virtual time limit bound truly wedged trials instead.
+    o.tcp.max_syn_retransmits = 12;
+    o.tcp.max_retransmits = 24;
+    return o;
+}
+
+void apply_impairments(sim::Simulation& sim, const Instruments& ins, const Scenario& sc) {
+    net::ImpairmentConfig imp;
+    if (sc.has(Dim::kUniformLoss)) imp.loss = sc.uniform_loss;
+    if (sc.has(Dim::kBurstLoss)) {
+        imp.gilbert_elliott = true;
+        imp.ge_p_enter_bad = sc.ge_p_enter_bad;
+        imp.ge_p_exit_bad = sc.ge_p_exit_bad;
+        imp.ge_loss_bad = sc.ge_loss_bad;
+    }
+    if (sc.has(Dim::kDuplication)) imp.duplicate = sc.dup_probability;
+    if (sc.has(Dim::kCorruption)) {
+        imp.corrupt = sc.corrupt_probability;
+        imp.corrupt_max_bits = sc.corrupt_max_bits;
+    }
+    if (sc.has(Dim::kJitter)) imp.jitter = sc.jitter;
+    if (sc.has(Dim::kDelaySpikes)) {
+        imp.spike = sc.spike_probability;
+        imp.spike_delay = sc.spike_delay;
+    }
+    ins.client->set_impairments(imp);
+
+    if (sc.has(Dim::kTapLoss)) {
+        net::ImpairmentConfig tap;
+        tap.loss = sc.tap_loss;
+        for (const TapRef& t : ins.taps) t.link->set_impairments_toward(*t.nic, tap);
+    }
+
+    if (sc.has(Dim::kBlackout)) {
+        sim::TimePoint from = sim.now() + sc.blackout_at;
+        switch (sc.blackout_target) {
+            case BlackoutTarget::kClientLink:
+                ins.client->schedule_blackout(from, sc.blackout_len);
+                break;
+            case BlackoutTarget::kTap:
+                for (const TapRef& t : ins.taps)
+                    t.link->schedule_blackout_toward(*t.nic, from, sc.blackout_len);
+                break;
+            case BlackoutTarget::kControlChannel:
+                ins.control->schedule_blackout(from, sc.blackout_len);
+                break;
+        }
+    }
+
+    if (sc.has(Dim::kBandwidthFlap)) {
+        net::Link* link = ins.client;
+        double orig = link->config().bandwidth_bps;
+        sim.schedule_after(sc.bw_flap_at,
+                           [link, orig, f = sc.bw_factor] { link->set_bandwidth_bps(orig * f); });
+        sim.schedule_after(sc.bw_flap_at + sc.bw_restore_after,
+                           [link, orig] { link->set_bandwidth_bps(orig); });
+    }
+}
+
+// Builds the client driver, applies the chaos schedule, runs to completion
+// or the virtual-time limit, and collects the raw observations. Crash hooks
+// are supplied by the per-topology caller (null = dimension not present).
+TrialResult run_common(sim::Simulation& sim, tcp::HostStack& client_stack,
+                       net::Ipv4Address service_ip, const Scenario& sc,
+                       const SoakOptions& opts, const Instruments& ins,
+                       const std::vector<EgressWatch>& watches,
+                       const std::function<void()>& crash_primary,
+                       const std::function<void()>& crash_promoted) {
+    TrialResult r;
+    apply_impairments(sim, ins, sc);
+
+    std::optional<net::FrameTrace> trace;
+    if (opts.trace_client_link) {
+        trace.emplace(sim);
+        trace->attach(*ins.client, "client");
+    }
+
+    std::uint64_t egress = 0;
+    for (const EgressWatch& w : watches) {
+        w.link->set_observer([mac = w.mac, allowed = w.allowed, &egress](
+                                 const net::EthernetFrame& f, const net::FrameEndpoint&) {
+            if (f.src != mac || f.type != net::EtherType::kIpv4 || allowed()) return;
+            try {
+                if (net::Ipv4Packet::parse(f.payload.view()).proto == net::IpProto::kTcp)
+                    ++egress;
+            } catch (const std::exception&) {
+                // Unparseable = corrupted in transit, not backup egress.
+            }
+        });
+    }
+
+    if (sc.crash_primary && crash_primary) sim.schedule_after(sc.crash_primary_at, crash_primary);
+    if (sc.crash_promoted && crash_promoted)
+        sim.schedule_after(sc.crash_promoted_at, crash_promoted);
+
+    app::ClientDriver driver{client_stack, service_ip, kServicePort, sc.workload};
+    bool done = false;
+    driver.start([&done] { done = true; });
+    sim::TimePoint limit = sim.now() + opts.time_limit;
+    while (!done && sim.now() < limit)
+        sim.run_until(std::min(limit, sim.now() + sim::milliseconds{100}));
+
+    const auto& cr = driver.result();
+    r.completed = cr.completed;
+    r.client_failure = cr.failed ? cr.failure_reason : (cr.completed ? "" : "virtual time limit");
+    r.bytes_received = cr.bytes_received;
+    r.verify_errors = cr.verify_errors;
+    for (const auto& e : cr.first_verify_errors) {
+        if (!r.verify_detail.empty()) r.verify_detail += ", ";
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "round %u off %llu want %02x got %02x", e.round,
+                      static_cast<unsigned long long>(e.offset), e.expected, e.got);
+        r.verify_detail += buf;
+    }
+    r.virtual_seconds = sim::to_seconds(sim.now());
+    r.pre_takeover_backup_tcp_frames = egress;
+    for (net::Link* link : ins.counted()) {
+        const auto& s = link->stats();
+        r.frames_corrupted += s.frames_corrupted;
+        r.frames_duplicated += s.frames_duplicated;
+        r.frames_dropped_loss += s.frames_dropped_loss;
+        r.frames_dropped_blackout += s.frames_dropped_blackout;
+        r.delay_spikes += s.delay_spikes;
+    }
+    for (const EgressWatch& w : watches) w.link->set_observer({});
+    return r;
+}
+
+TrialResult run_hub(const Scenario& sc, const SoakOptions& opts) {
+    harness::HubTestbed bed{make_options(sc, /*with_logger=*/true)};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(kServicePort);
+    auto bl = bed.st_backup->listen(kServicePort);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    Instruments ins;
+    ins.client = bed.client_link;
+    ins.control = bed.primary_link;
+    ins.taps = {{bed.backup_link, bed.backup_nic.get()}};
+    std::vector<EgressWatch> watches{{bed.backup_link, bed.backup_nic->mac(),
+                                      [&b = *bed.st_backup] { return b.has_taken_over(); }}};
+    TrialResult r = run_common(bed.sim, *bed.client, bed.service_ip(), sc, opts, ins, watches,
+                               [&bed] { bed.crash_primary(); }, nullptr);
+    r.failover_happened = bed.st_backup->has_taken_over();
+    return r;
+}
+
+TrialResult run_switch(const Scenario& sc, const SoakOptions& opts, harness::TapMode mode) {
+    bool multicast = mode == harness::TapMode::kMulticastMac;
+    harness::SwitchTestbed bed{make_options(sc, /*with_logger=*/multicast), mode};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(kServicePort);
+    auto bl = bed.st_backup->listen(kServicePort);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    Instruments ins;
+    ins.client = bed.wan_link.get();
+    ins.control = &bed.ether_switch.link_at(bed.primary_port);
+    if (multicast)  // mirror's tap dims are masked off at sampling time
+        ins.taps = {{&bed.ether_switch.link_at(bed.backup_port), bed.backup_nic.get()}};
+    std::vector<EgressWatch> watches{{&bed.ether_switch.link_at(bed.backup_port),
+                                      bed.backup_nic->mac(),
+                                      [&b = *bed.st_backup] { return b.has_taken_over(); }}};
+    TrialResult r = run_common(bed.sim, *bed.client, bed.service_ip(), sc, opts, ins, watches,
+                               [&bed] { bed.crash_primary(); }, nullptr);
+    r.failover_happened = bed.st_backup->has_taken_over();
+    return r;
+}
+
+TrialResult run_nospof(const Scenario& sc, const SoakOptions& opts) {
+    harness::NoSpofTestbed bed{make_options(sc, /*with_logger=*/false)};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(kServicePort);
+    auto bl = bed.st_backup->listen(kServicePort);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    Instruments ins;
+    ins.client = bed.wan_client_link;
+    ins.control = bed.primary_nic_a->link();
+    ins.taps = {{bed.backup_nic_a->link(), bed.backup_nic_a.get()},
+                {bed.backup_nic_b->link(), bed.backup_nic_b.get()}};
+    auto allowed = [&b = *bed.st_backup] { return b.has_taken_over(); };
+    std::vector<EgressWatch> watches{
+        {bed.backup_nic_a->link(), bed.backup_nic_a->mac(), allowed},
+        {bed.backup_nic_b->link(), bed.backup_nic_b->mac(), allowed}};
+    TrialResult r = run_common(bed.sim, *bed.client, bed.service_ip(), sc, opts, ins, watches,
+                               [&bed] { bed.crash_primary(); }, nullptr);
+    r.failover_happened = bed.st_backup->has_taken_over();
+    return r;
+}
+
+TrialResult run_chain(const Scenario& sc, const SoakOptions& opts) {
+    harness::ChainTestbed bed{make_options(sc, /*with_logger=*/false)};
+    app::ResponderApp papp, b1app, b2app;
+    auto pl = bed.st_primary->listen(kServicePort);
+    auto bl1 = bed.st_backup1->listen(kServicePort);
+    auto bl2 = bed.st_backup2->listen(kServicePort);
+    papp.attach(*pl);
+    b1app.attach(*bl1);
+    b2app.attach(*bl2);
+    bed.st_primary->start();
+    bed.st_backup1->start();
+    bed.st_backup2->start();
+
+    Instruments ins;
+    ins.client = bed.client_nic->link();
+    ins.control = bed.primary_nic->link();
+    std::vector<EgressWatch> watches{
+        {bed.backup1_nic->link(), bed.backup1_nic->mac(),
+         [&b = *bed.st_backup1] { return b.has_taken_over(); }},
+        {bed.backup2_nic->link(), bed.backup2_nic->mac(),
+         [&b = *bed.st_backup2] { return b.has_taken_over(); }}};
+    TrialResult r = run_common(bed.sim, *bed.client, bed.service_ip(), sc, opts, ins, watches,
+                               [&bed] { bed.crash_primary(); }, [&bed] { bed.crash_backup1(); });
+    r.failover_happened =
+        bed.st_backup1->has_taken_over() || bed.st_backup2->has_taken_over();
+    return r;
+}
+
+} // namespace
+
+TrialResult run_trial(const Scenario& scenario, const SoakOptions& options) {
+    std::uint64_t audit_before = check::Audit::violation_count();
+    TrialResult r;
+    switch (scenario.topology) {
+        case Topology::kHub: r = run_hub(scenario, options); break;
+        case Topology::kSwitchMirror:
+            r = run_switch(scenario, options, harness::TapMode::kPortMirror);
+            break;
+        case Topology::kSwitchMulticast:
+            r = run_switch(scenario, options, harness::TapMode::kMulticastMac);
+            break;
+        case Topology::kNoSpof: r = run_nospof(scenario, options); break;
+        case Topology::kChain: r = run_chain(scenario, options); break;
+    }
+    r.audit_violations = check::Audit::violation_count() - audit_before;
+
+    std::string fail;
+    auto add = [&fail](const std::string& m) {
+        if (!fail.empty()) fail += "; ";
+        fail += m;
+    };
+    std::uint64_t expected =
+        std::uint64_t{scenario.workload.rounds} * scenario.workload.response_size;
+    if (!r.completed) {
+        add("client did not complete (" + r.client_failure + ")");
+    } else {
+        if (r.verify_errors != 0)
+            add("response verify errors: " + std::to_string(r.verify_errors) +
+                (r.verify_detail.empty() ? "" : " (" + r.verify_detail + ")"));
+        if (r.bytes_received != expected)
+            add("byte count mismatch: got " + std::to_string(r.bytes_received) + ", want " +
+                std::to_string(expected));
+    }
+    if (r.pre_takeover_backup_tcp_frames != 0)
+        add("backup TCP egress before takeover: " +
+            std::to_string(r.pre_takeover_backup_tcp_frames) + " frame(s)");
+    if (r.audit_violations != 0)
+        add("auditor violations: " + std::to_string(r.audit_violations));
+    if (options.demo_fail_on_corruption && scenario.has(Dim::kCorruption) &&
+        r.frames_corrupted > 0)
+        add("demo invariant: " + std::to_string(r.frames_corrupted) +
+            " corrupted frame(s) on the wire");
+
+    r.passed = fail.empty();
+    r.failure = std::move(fail);
+    return r;
+}
+
+Scenario shrink(const Scenario& failing, const SoakOptions& options, int* steps) {
+    Scenario current = failing;
+    int spent = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t d = 0; d < kDimCount; ++d) {
+            if (!current.dims.test(d)) continue;
+            Scenario candidate = current;
+            candidate.dims.reset(d);
+            ++spent;
+            if (!run_trial(candidate, options).passed) {
+                current = candidate;  // still fails without this dimension
+                progress = true;
+            }
+        }
+    }
+    if (steps) *steps = spent;
+    return current;
+}
+
+} // namespace sttcp::fuzz

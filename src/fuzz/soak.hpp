@@ -1,0 +1,69 @@
+// Trial runner + shrinker for the chaos soak fuzzer.
+//
+// One trial = build the sampled topology, attach invariant instrumentation,
+// apply the impairment schedule, run the workload end to end, and check:
+//
+//   1. the client completed with zero verify errors and the exact byte
+//      count (transparency, paper §6 — the client cannot tell a migrated
+//      connection from an unbroken one);
+//   2. the backup emitted NO TCP traffic before takeover (output
+//      suppression, §4.1 — the shadow must be invisible on the wire);
+//   3. the runtime auditor (check/audit.hpp) stayed silent.
+//
+// A failed trial is reported with its seed; `sttcp_soak --seed N` rebuilds
+// the identical scenario and `shrink()` delta-debugs the active impairment
+// dimensions down to a minimal failing set.
+#pragma once
+
+#include <string>
+
+#include "fuzz/scenario.hpp"
+
+namespace sttcp::fuzz {
+
+struct SoakOptions {
+    sim::Duration time_limit = sim::minutes{30};  // virtual time per trial
+    // Dump a tcpdump-style line for every frame delivered on the client
+    // link (stderr) — the first tool to reach for on a failing seed.
+    bool trace_client_link = false;
+    // Demo invariant for exercising the failure pipeline: fail any trial in
+    // which the link corrupted at least one frame. Deliberately violated by
+    // every corruption-dimension scenario, so reproduction and shrinking can
+    // be demonstrated (and CI-verified) without a real protocol bug.
+    bool demo_fail_on_corruption = false;
+};
+
+struct TrialResult {
+    bool passed = false;
+    std::string failure;  // empty iff passed
+
+    // Raw observations the checks were derived from.
+    bool completed = false;
+    std::string client_failure;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t verify_errors = 0;
+    std::string verify_detail;  // first few mismatches, for triage
+    std::uint64_t pre_takeover_backup_tcp_frames = 0;
+    std::uint64_t audit_violations = 0;
+    bool failover_happened = false;
+    double virtual_seconds = 0;
+
+    // Impairment effects actually inflicted (summed over the instrumented
+    // links) — lets the soak report prove the adversity was real.
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t frames_duplicated = 0;
+    std::uint64_t frames_dropped_loss = 0;
+    std::uint64_t frames_dropped_blackout = 0;
+    std::uint64_t delay_spikes = 0;
+};
+
+[[nodiscard]] TrialResult run_trial(const Scenario& scenario, const SoakOptions& options);
+
+// Greedy delta-debugging over the active impairment dimensions: repeatedly
+// drop any dimension whose removal keeps the trial failing, until a fixed
+// point. Returns the minimal scenario; `steps` (if non-null) receives the
+// number of re-runs spent.
+[[nodiscard]] Scenario shrink(const Scenario& failing, const SoakOptions& options,
+                              int* steps = nullptr);
+
+} // namespace sttcp::fuzz

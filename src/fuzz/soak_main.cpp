@@ -1,0 +1,236 @@
+// sttcp_soak — seeded chaos-soak fuzzer for the ST-TCP stack.
+//
+//   sttcp_soak --trials 200 --seed-base 1     # soak: N seeds, stop on failure
+//   sttcp_soak --seed 42                      # replay one trial verbatim
+//   sttcp_soak --seed 42 --dims burst-loss    # replay with a reduced dim set
+//   sttcp_soak --demo-failure                 # prove the failure pipeline:
+//                                             #   find a failing trial, replay
+//                                             #   it from its seed, shrink it
+//
+// Every trial is a pure function of its seed: the printed `--seed N` line IS
+// the reproducer. Exit status: 0 = all green, 1 = invariant violation (or a
+// broken failure pipeline under --demo-failure), 2 = usage error.
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "check/audit.hpp"
+#include "fuzz/soak.hpp"
+
+namespace {
+
+using namespace sttcp;
+using namespace sttcp::fuzz;
+
+struct CliOptions {
+    std::uint64_t trials = 100;
+    std::uint64_t seed_base = 1;
+    bool have_single_seed = false;
+    std::uint64_t single_seed = 0;
+    bool demo_failure = false;
+    bool trace = false;
+    bool no_shrink = false;
+    bool verbose = false;
+    std::optional<std::bitset<kDimCount>> dims_mask;
+};
+
+void print_usage(std::ostream& os) {
+    os << "usage: sttcp_soak [--trials N] [--seed-base S] [--seed S] [--dims csv]\n"
+          "                  [--demo-failure] [--no-shrink] [--verbose] [--trace]\n";
+}
+
+void print_failure(const Scenario& sc, const TrialResult& r) {
+    std::cout << "\nFAIL " << sc.describe() << "\n  " << r.failure << "\n  observed:"
+              << " completed=" << r.completed << " bytes=" << r.bytes_received
+              << " failover=" << r.failover_happened
+              << " pre-takeover-egress=" << r.pre_takeover_backup_tcp_frames
+              << " audit=" << r.audit_violations << "\n"
+              << "  REPRODUCE: sttcp_soak --seed " << sc.seed << "\n";
+}
+
+// Shrinks a failing scenario and prints the minimal reproducer; returns the
+// minimal scenario.
+Scenario shrink_and_report(const Scenario& sc, const SoakOptions& opts) {
+    int steps = 0;
+    Scenario minimal = shrink(sc, opts, &steps);
+    std::cout << "  shrunk (" << steps << " re-runs): " << sc.dims.count() << " -> "
+              << minimal.dims.count() << " active dimension(s): [" << minimal.dims_csv()
+              << "]\n"
+              << "  MINIMAL: sttcp_soak --seed " << minimal.seed << " --dims "
+              << minimal.dims_csv() << "\n";
+    return minimal;
+}
+
+struct Coverage {
+    std::uint64_t passed = 0;
+    std::array<std::uint64_t, kDimCount> dim_active{};
+    std::array<std::uint64_t, 5> topo{};
+    std::uint64_t crashes = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t corrupted = 0, duplicated = 0, dropped_loss = 0, dropped_blackout = 0,
+                  spikes = 0;
+
+    void record(const Scenario& sc, const TrialResult& r) {
+        if (r.passed) ++passed;
+        for (std::size_t d = 0; d < kDimCount; ++d)
+            if (sc.dims.test(d)) ++dim_active[d];
+        ++topo[static_cast<std::size_t>(sc.topology)];
+        if (sc.crash_primary) ++crashes;
+        if (r.failover_happened) ++failovers;
+        corrupted += r.frames_corrupted;
+        duplicated += r.frames_duplicated;
+        dropped_loss += r.frames_dropped_loss;
+        dropped_blackout += r.frames_dropped_blackout;
+        spikes += r.delay_spikes;
+    }
+
+    void print(std::uint64_t trials) const {
+        std::cout << "\n" << passed << "/" << trials << " trials passed\n";
+        std::cout << "topologies:";
+        constexpr std::array<Topology, 5> all = {Topology::kHub, Topology::kSwitchMirror,
+                                                 Topology::kSwitchMulticast, Topology::kNoSpof,
+                                                 Topology::kChain};
+        for (Topology t : all)
+            std::cout << " " << topology_name(t) << "=" << topo[static_cast<std::size_t>(t)];
+        std::cout << "\ndimensions:";
+        for (std::size_t d = 0; d < kDimCount; ++d)
+            std::cout << " " << dim_name(static_cast<Dim>(d)) << "=" << dim_active[d];
+        std::cout << "\ncrash trials: " << crashes << ", failovers observed: " << failovers
+                  << "\ninflicted: lost=" << dropped_loss << " blackout=" << dropped_blackout
+                  << " duplicated=" << duplicated << " corrupted=" << corrupted
+                  << " delay-spikes=" << spikes << "\n";
+        if (!check::kEnabled)
+            std::cout << "note: runtime auditor compiled out (STTCP_AUDIT=0)\n";
+    }
+};
+
+Scenario sample_with_mask(std::uint64_t seed, const CliOptions& cli) {
+    Scenario sc = Scenario::sample(seed);
+    if (cli.dims_mask) sc.dims &= *cli.dims_mask;
+    return sc;
+}
+
+int run_batch(const CliOptions& cli, const SoakOptions& opts) {
+    Coverage cov;
+    for (std::uint64_t i = 0; i < cli.trials; ++i) {
+        Scenario sc = sample_with_mask(cli.seed_base + i, cli);
+        TrialResult r = run_trial(sc, opts);
+        cov.record(sc, r);
+        if (cli.verbose)
+            std::cout << (r.passed ? "ok   " : "FAIL ") << sc.describe() << " ("
+                      << r.virtual_seconds << "s virtual)\n";
+        if (!r.passed) {
+            print_failure(sc, r);
+            if (!cli.no_shrink) (void)shrink_and_report(sc, opts);
+            cov.print(i + 1);
+            return 1;
+        }
+    }
+    cov.print(cli.trials);
+    return 0;
+}
+
+int run_single(const CliOptions& cli, const SoakOptions& opts) {
+    Scenario sc = sample_with_mask(cli.single_seed, cli);
+    std::cout << sc.describe() << "\n";
+    TrialResult r = run_trial(sc, opts);
+    if (r.passed) {
+        std::cout << "ok (" << r.virtual_seconds << "s virtual"
+                  << (r.failover_happened ? ", failover" : "") << ")\n";
+        return 0;
+    }
+    print_failure(sc, r);
+    if (!cli.no_shrink) (void)shrink_and_report(sc, opts);
+    return 1;
+}
+
+// End-to-end proof that the failure pipeline works: plant a deliberately
+// failing invariant (any corrupted frame fails the trial), then require that
+// (a) a failure is found, (b) its seed replays to the identical failure, and
+// (c) the shrinker reduces it to at most 2 active dimensions.
+int run_demo(const CliOptions& cli, SoakOptions opts) {
+    opts.demo_fail_on_corruption = true;
+    constexpr std::uint64_t kMaxSearch = 500;
+    for (std::uint64_t i = 0; i < kMaxSearch; ++i) {
+        std::uint64_t seed = cli.seed_base + i;
+        Scenario sc = sample_with_mask(seed, cli);
+        TrialResult r = run_trial(sc, opts);
+        if (r.passed) continue;
+
+        print_failure(sc, r);
+        TrialResult replay = run_trial(sc, opts);
+        if (replay.passed || replay.failure != r.failure) {
+            std::cout << "demo: REPLAY DIVERGED — got \""
+                      << (replay.passed ? "pass" : replay.failure) << "\"\n";
+            return 1;
+        }
+        std::cout << "  replay of seed " << seed << ": identical failure — deterministic\n";
+
+        Scenario minimal = shrink_and_report(sc, opts);
+        if (minimal.dims.count() > 2) {
+            std::cout << "demo: shrinker left " << minimal.dims.count()
+                      << " dimensions (> 2)\n";
+            return 1;
+        }
+        TrialResult min_run = run_trial(minimal, opts);
+        if (min_run.passed) {
+            std::cout << "demo: minimal scenario does not fail\n";
+            return 1;
+        }
+        std::cout << "demo failure pipeline verified (search + replay + shrink)\n";
+        return 0;
+    }
+    std::cout << "demo: no failing trial found in " << kMaxSearch << " seeds\n";
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next_u64 = [&](std::uint64_t& out) {
+            if (i + 1 >= argc) return false;
+            out = std::stoull(argv[++i]);
+            return true;
+        };
+        if (arg == "--trials") {
+            if (!next_u64(cli.trials)) { print_usage(std::cerr); return 2; }
+        } else if (arg == "--seed-base") {
+            if (!next_u64(cli.seed_base)) { print_usage(std::cerr); return 2; }
+        } else if (arg == "--seed") {
+            if (!next_u64(cli.single_seed)) { print_usage(std::cerr); return 2; }
+            cli.have_single_seed = true;
+        } else if (arg == "--dims") {
+            if (i + 1 >= argc) { print_usage(std::cerr); return 2; }
+            cli.dims_mask = parse_dims(argv[++i]);
+            if (!cli.dims_mask) {
+                std::cerr << "unknown dimension in --dims\n";
+                return 2;
+            }
+        } else if (arg == "--trace") {
+            cli.trace = true;
+        } else if (arg == "--demo-failure") {
+            cli.demo_failure = true;
+        } else if (arg == "--no-shrink") {
+            cli.no_shrink = true;
+        } else if (arg == "--verbose") {
+            cli.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            print_usage(std::cerr);
+            return 2;
+        }
+    }
+
+    SoakOptions opts;
+    opts.trace_client_link = cli.trace;
+    if (cli.demo_failure) return run_demo(cli, opts);
+    if (cli.have_single_seed) return run_single(cli, opts);
+    return run_batch(cli, opts);
+}

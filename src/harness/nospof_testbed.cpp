@@ -32,10 +32,14 @@ NoSpofTestbed::NoSpofTestbed(TestbedOptions opts)
     lan_link.propagation = opts.propagation;
     net::LinkConfig client_link = lan_link;
     client_link.bandwidth_bps = opts.client_bandwidth_bps;
-    client_link.loss_probability = opts.client_link_loss;
 
     // WAN segment: client and both gateways.
     wan_client_link = &wan.connect(*client_nic, client_link);
+    if (opts.client_link_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.client_link_loss;
+        wan_client_link->set_impairments(imp);
+    }
     wan.connect(*gwa_wan_nic, lan_link);
     wan.connect(*gwb_wan_nic, lan_link);
 
@@ -46,8 +50,11 @@ NoSpofTestbed::NoSpofTestbed(TestbedOptions opts)
     logger_gwa_link->attach(logger_a->side_b(), *gwa_lan_nic);
     switch_a.connect(*primary_nic_a, lan_link);
     std::size_t backup_port_a = switch_a.connect(*backup_nic_a, lan_link);
-    if (opts.tap_loss > 0)
-        switch_a.link_at(backup_port_a).set_loss_toward(*backup_nic_a, opts.tap_loss);
+    if (opts.tap_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.tap_loss;
+        switch_a.link_at(backup_port_a).set_impairments_toward(*backup_nic_a, imp);
+    }
 
     // Rail B: switch B <-> logger B <-> gateway B; primary/backup NIC-B.
     logger_b = std::make_unique<net::InlineLogger>(sim, *logger_b_node);
@@ -56,8 +63,11 @@ NoSpofTestbed::NoSpofTestbed(TestbedOptions opts)
     logger_gwb_link->attach(logger_b->side_b(), *gwb_lan_nic);
     switch_b.connect(*primary_nic_b, lan_link);
     std::size_t backup_port_b = switch_b.connect(*backup_nic_b, lan_link);
-    if (opts.tap_loss > 0)
-        switch_b.link_at(backup_port_b).set_loss_toward(*backup_nic_b, opts.tap_loss);
+    if (opts.tap_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.tap_loss;
+        switch_b.link_at(backup_port_b).set_impairments_toward(*backup_nic_b, imp);
+    }
 
     // Stacks.
     client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);

@@ -26,18 +26,25 @@ SwitchTestbed::SwitchTestbed(TestbedOptions opts, TapMode mode)
     lan_link.propagation = opts.propagation;
     net::LinkConfig client_link = lan_link;
     client_link.bandwidth_bps = opts.client_bandwidth_bps;
-    client_link.loss_probability = opts.client_link_loss;
 
     // WAN side: point-to-point client <-> gateway.
     wan_link = std::make_unique<net::Link>(sim, client_link);
     wan_link->attach(*client_nic, *gateway_wan_nic);
+    if (opts.client_link_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.client_link_loss;
+        wan_link->set_impairments(imp);
+    }
 
     // LAN side: everything hangs off the switch.
     gateway_port = ether_switch.connect(*gateway_lan_nic, lan_link);
     primary_port = ether_switch.connect(*primary_nic, lan_link);
     backup_port = ether_switch.connect(*backup_nic, lan_link);
-    if (opts.tap_loss > 0)
-        ether_switch.link_at(backup_port).set_loss_toward(*backup_nic, opts.tap_loss);
+    if (opts.tap_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.tap_loss;
+        ether_switch.link_at(backup_port).set_impairments_toward(*backup_nic, imp);
+    }
 
     client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
     gateway = std::make_unique<tcp::HostStack>(sim, *gateway_node, opts.tcp);

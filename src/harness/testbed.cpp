@@ -19,12 +19,20 @@ HubTestbed::HubTestbed(TestbedOptions opts)
     server_link_cfg.propagation = opts.propagation;
     net::LinkConfig client_link_cfg = server_link_cfg;
     client_link_cfg.bandwidth_bps = opts.client_bandwidth_bps;
-    client_link_cfg.loss_probability = opts.client_link_loss;
 
     this->client_link = &hub.connect(*client_nic, client_link_cfg);
     this->primary_link = &hub.connect(*primary_nic, server_link_cfg);
     this->backup_link = &hub.connect(*backup_nic, server_link_cfg);
-    if (opts.tap_loss > 0) this->backup_link->set_loss_toward(*backup_nic, opts.tap_loss);
+    if (opts.client_link_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.client_link_loss;
+        this->client_link->set_impairments(imp);
+    }
+    if (opts.tap_loss > 0) {
+        net::ImpairmentConfig imp;
+        imp.loss = opts.tap_loss;
+        this->backup_link->set_impairments_toward(*backup_nic, imp);
+    }
 
     client = std::make_unique<tcp::HostStack>(sim, *client_node, opts.tcp);
     primary = std::make_unique<tcp::HostStack>(sim, *primary_node, opts.tcp);

@@ -1,0 +1,53 @@
+#include "net/impairment.hpp"
+
+#include <algorithm>
+
+namespace sttcp::net {
+
+bool Impairment::in_blackout(sim::TimePoint now) {
+    if (blackouts_.empty()) return false;
+    bool active = false;
+    for (const Window& w : blackouts_)
+        if (w.from <= now && now < w.until) {
+            active = true;
+            break;
+        }
+    // Prune windows that can never match again so long soaks stay O(live).
+    std::erase_if(blackouts_, [now](const Window& w) { return w.until <= now; });
+    return active;
+}
+
+ImpairmentActions Impairment::evaluate(sim::Random& rng, bool corruptible,
+                                       bool allow_duplicate) {
+    ImpairmentActions actions;
+
+    // Loss. The Gilbert–Elliott chain advances exactly once per evaluated
+    // frame; sampling the transition before the loss draw means a frame that
+    // *enters* the bad state already suffers bursty loss, which is how burst
+    // onsets behave on real links.
+    if (config_.gilbert_elliott) {
+        if (ge_bad_) {
+            if (rng.bernoulli(config_.ge_p_exit_bad)) ge_bad_ = false;
+        } else {
+            if (rng.bernoulli(config_.ge_p_enter_bad)) ge_bad_ = true;
+        }
+        actions.drop_loss = rng.bernoulli(ge_bad_ ? config_.ge_loss_bad : config_.ge_loss_good);
+    } else {
+        actions.drop_loss = rng.bernoulli(config_.loss);
+    }
+
+    if (allow_duplicate) actions.duplicate = rng.bernoulli(config_.duplicate);
+    if (corruptible) actions.corrupt = rng.bernoulli(config_.corrupt);
+
+    if (config_.jitter > sim::Duration{0}) {
+        actions.extra_delay += sim::Duration{static_cast<std::int64_t>(
+            rng.uniform(static_cast<std::uint64_t>(config_.jitter.count()) + 1))};
+    }
+    if (rng.bernoulli(config_.spike)) {
+        actions.spiked = true;
+        actions.extra_delay += config_.spike_delay;
+    }
+    return actions;
+}
+
+} // namespace sttcp::net

@@ -1,0 +1,116 @@
+// Composable network-impairment pipeline, one instance per Link direction.
+//
+// The paper's transparency claim (§4.2, §6) says the client cannot tell a
+// migrated connection from an unbroken one *whatever the network does*. The
+// original Link modeled only uniform Bernoulli loss and uniform jitter; real
+// LANs also produce bursty loss (interference, switch buffer pressure),
+// frame duplication (spanning-tree flaps), bit corruption that escapes the
+// link CRC, delay spikes (GC pauses in middleboxes), temporary blackouts
+// (cable re-seats, partitions), and bandwidth changes (auto-negotiation
+// drops). This type models all of them as one pipeline evaluated per frame,
+// driven exclusively by the simulation RNG so a run is reproducible by seed.
+//
+// Stage order per frame (fixed, documented, and draw-stable: a stage whose
+// probability is zero consumes no randomness, so configs that only use the
+// legacy loss/jitter fields replay the exact RNG stream the pre-impairment
+// Link produced):
+//
+//   blackout -> burst/uniform loss -> duplication -> corruption -> jitter
+//            -> delay spike
+//
+// Loss model: when `gilbert_elliott` is set the two-state Gilbert–Elliott
+// chain advances once per frame (good->bad with p_enter_bad, bad->good with
+// p_exit_bad) and the state's loss rate applies; otherwise `loss` applies
+// uniformly. Corruption flips 1..corrupt_max_bits random bits in the frame
+// payload via copy-on-write, so other holders of the ref-counted payload
+// (hub fan-out, the packet logger) never observe the damage — exactly like
+// a bit error on one segment of real cable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace sttcp::net {
+
+struct ImpairmentConfig {
+    // Uniform per-frame loss (legacy LinkConfig::loss_probability maps here).
+    double loss = 0.0;
+
+    // Gilbert–Elliott bursty loss; when enabled it replaces `loss`.
+    bool gilbert_elliott = false;
+    double ge_p_enter_bad = 0.0;  // P(good -> bad) per frame
+    double ge_p_exit_bad = 1.0;   // P(bad -> good) per frame
+    double ge_loss_good = 0.0;    // loss rate while in the good state
+    double ge_loss_bad = 1.0;     // loss rate while in the bad state
+
+    // P(an extra copy of the frame is transmitted right behind the first).
+    double duplicate = 0.0;
+
+    // P(1..corrupt_max_bits random payload bits flip). Corrupted frames are
+    // still delivered: the IP/TCP/UDP checksums above are the defense being
+    // exercised. Only IPv4 frames are corruptible — ARP carries no checksum,
+    // so a flipped ARP is indistinguishable from a hostile spoof, which is
+    // outside the paper's crash-failure fault model.
+    double corrupt = 0.0;
+    int corrupt_max_bits = 3;
+
+    // Uniform extra delay in [0, jitter] per frame (legacy
+    // LinkConfig::jitter maps here). Nonzero jitter reorders frames.
+    sim::Duration jitter{0};
+
+    // Rare large delay added on top of jitter with probability `spike`.
+    double spike = 0.0;
+    sim::Duration spike_delay{0};
+};
+
+// What the pipeline decided for one transmission attempt.
+struct ImpairmentActions {
+    bool drop_loss = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    bool spiked = false;
+    sim::Duration extra_delay{0};
+};
+
+class Impairment {
+public:
+    [[nodiscard]] const ImpairmentConfig& config() const { return config_; }
+    void set_config(const ImpairmentConfig& config) { config_ = config; }
+
+    // Legacy-field wrappers (LinkConfig::loss_probability / set_loss_toward).
+    void set_loss(double probability) { config_.loss = probability; }
+    void set_jitter(sim::Duration jitter) { config_.jitter = jitter; }
+
+    // Registers a [from, from+duration) window during which every frame
+    // entering this direction vanishes. Windows may overlap; past windows
+    // are pruned lazily.
+    void schedule_blackout(sim::TimePoint from, sim::Duration duration) {
+        blackouts_.push_back({from, from + duration});
+    }
+    [[nodiscard]] bool in_blackout(sim::TimePoint now);
+
+    // Evaluates every probabilistic stage for one frame, consuming RNG draws
+    // in the fixed stage order. `corruptible` gates the corruption stage
+    // (IPv4 frames with a payload); `allow_duplicate` is false for the extra
+    // copy itself so duplication cannot cascade.
+    [[nodiscard]] ImpairmentActions evaluate(sim::Random& rng, bool corruptible,
+                                             bool allow_duplicate);
+
+    // True while the Gilbert–Elliott chain sits in the bad (bursty) state.
+    [[nodiscard]] bool ge_bad() const { return ge_bad_; }
+
+private:
+    struct Window {
+        sim::TimePoint from;
+        sim::TimePoint until;
+    };
+
+    ImpairmentConfig config_;
+    std::vector<Window> blackouts_;
+    bool ge_bad_ = false;
+};
+
+} // namespace sttcp::net

@@ -9,9 +9,54 @@ bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
     assert((&sender == a_ || &sender == b_) && "sender not on this link");
     FrameEndpoint* receiver = peer_of(sender);
     Direction& dir = direction_toward(*receiver);
+    ++stats_.frames_sent;
 
+    // Blackout windows consume the frame before it reaches the queue — the
+    // cable is unplugged, the NIC's transmit ring is not. No RNG draw.
+    if (dir.impairment.in_blackout(sim_.now())) {
+        ++stats_.frames_dropped_blackout;
+        return true;
+    }
+
+    // Queue admission happens before any probabilistic stage so an
+    // overflowed frame consumes no randomness (draw-order compatibility
+    // with the pre-pipeline Link).
     std::size_t wire = frame.wire_size();
     drain_transmitted(dir, sim_.now());
+    if (dir.queued_bytes + wire > config_.queue_capacity_bytes) {
+        ++stats_.frames_dropped_queue;
+        return false;
+    }
+
+    const bool corruptible = frame.type == EtherType::kIpv4 && !frame.payload.empty();
+    int max_bits = dir.impairment.config().corrupt_max_bits;
+    ImpairmentActions actions = dir.impairment.evaluate(sim_.rng(), corruptible,
+                                                        /*allow_duplicate=*/true);
+
+    // The duplicate is an extra physical copy of the *original* frame, taken
+    // before the first copy is possibly corrupted (a bit error damages one
+    // transmission, not the sender's buffer).
+    EthernetFrame dup_copy;
+    bool duplicate = actions.duplicate;
+    if (duplicate) dup_copy = frame;
+
+    transmit_copy(dir, receiver, std::move(frame), actions, max_bits);
+
+    if (duplicate) {
+        ++stats_.frames_duplicated;
+        // The copy rolls its own loss/corruption/delay but cannot cascade
+        // into further duplicates; it serializes right behind the first.
+        ImpairmentActions dup_actions = dir.impairment.evaluate(sim_.rng(), corruptible,
+                                                                /*allow_duplicate=*/false);
+        drain_transmitted(dir, sim_.now());
+        transmit_copy(dir, receiver, std::move(dup_copy), dup_actions, max_bits);
+    }
+    return true;
+}
+
+bool Link::transmit_copy(Direction& dir, FrameEndpoint* receiver, EthernetFrame frame,
+                         const ImpairmentActions& actions, int corrupt_max_bits) {
+    std::size_t wire = frame.wire_size();
     if (dir.queued_bytes + wire > config_.queue_capacity_bytes) {
         ++stats_.frames_dropped_queue;
         return false;
@@ -25,14 +70,11 @@ bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
     dir.busy_until = tx_done;
     dir.in_flight.emplace_back(tx_done, wire);
 
-    double loss = dir.loss_probability >= 0 ? dir.loss_probability : config_.loss_probability;
-    bool lost = sim_.rng().bernoulli(loss);
+    if (actions.corrupt) corrupt_payload(frame, corrupt_max_bits);
+    if (actions.spiked) ++stats_.delay_spikes;
 
-    sim::TimePoint arrival = tx_done + config_.propagation;
-    if (config_.jitter > sim::Duration{0}) {
-        arrival += sim::Duration{static_cast<std::int64_t>(
-            sim_.rng().uniform(static_cast<std::uint64_t>(config_.jitter.count()) + 1))};
-    }
+    sim::TimePoint arrival = tx_done + config_.propagation + actions.extra_delay;
+    bool lost = actions.drop_loss;
     sim_.schedule_at(arrival, [this, receiver, f = std::move(frame), wire, lost]() {
         if (lost) {
             ++stats_.frames_dropped_loss;
@@ -46,8 +88,43 @@ bool Link::send_from(const FrameEndpoint& sender, EthernetFrame frame) {
     return true;
 }
 
+void Link::corrupt_payload(EthernetFrame& frame, int max_bits) {
+    // Copy-on-write: other holders of the ref-counted payload (hub fan-out,
+    // the packet logger's stored copy) keep the pristine bytes.
+    util::Bytes& bytes = frame.payload.mutable_bytes();
+    if (bytes.empty()) return;
+    if (max_bits < 1) max_bits = 1;
+    auto flips = 1 + sim_.rng().uniform(static_cast<std::uint64_t>(max_bits));
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        std::uint64_t bit = sim_.rng().uniform(bytes.size() * 8);
+        bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    ++stats_.frames_corrupted;
+}
+
 void Link::set_loss_toward(const FrameEndpoint& receiver, double probability) {
-    direction_toward(receiver).loss_probability = probability;
+    Direction& dir = direction_toward(receiver);
+    dir.impairment.set_loss(probability >= 0 ? probability : config_.loss_probability);
+}
+
+void Link::set_impairments(const ImpairmentConfig& config) {
+    a_to_b_.impairment.set_config(config);
+    b_to_a_.impairment.set_config(config);
+}
+
+void Link::set_impairments_toward(const FrameEndpoint& receiver,
+                                  const ImpairmentConfig& config) {
+    direction_toward(receiver).impairment.set_config(config);
+}
+
+void Link::schedule_blackout(sim::TimePoint from, sim::Duration duration) {
+    a_to_b_.impairment.schedule_blackout(from, duration);
+    b_to_a_.impairment.schedule_blackout(from, duration);
+}
+
+void Link::schedule_blackout_toward(const FrameEndpoint& receiver, sim::TimePoint from,
+                                    sim::Duration duration) {
+    direction_toward(receiver).impairment.schedule_blackout(from, duration);
 }
 
 } // namespace sttcp::net

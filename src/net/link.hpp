@@ -2,8 +2,16 @@
 //
 // Models per-direction serialization (a frame occupies the wire for
 // wire_size*8/bandwidth), propagation delay, a drop-tail transmit queue, and
-// an optional Bernoulli loss process. This is where "the backup's IP stack
-// can drop packets" (paper §4.2) is injected for tap-loss experiments.
+// a per-direction impairment pipeline (net/impairment.hpp): uniform and
+// Gilbert–Elliott bursty loss, duplication, bit-flip corruption, jitter,
+// delay spikes, and timed blackouts. This is where "the backup's IP stack
+// can drop packets" (paper §4.2) is injected for tap-loss experiments, and
+// where the chaos soak fuzzer applies its adversity schedules.
+//
+// The legacy LinkConfig::loss_probability / jitter fields and
+// set_loss_toward() remain as thin wrappers over the pipeline so existing
+// call sites and seed-pinned tests keep their exact behavior (including the
+// RNG draw order: loss first, then jitter).
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include <functional>
 
 #include "net/device.hpp"
+#include "net/impairment.hpp"
 #include "sim/simulation.hpp"
 
 namespace sttcp::net {
@@ -19,17 +28,18 @@ struct LinkConfig {
     double bandwidth_bps = 100e6;          // 100 Mbit/s, the paper's LAN
     sim::Duration propagation = sim::microseconds{5};
     std::size_t queue_capacity_bytes = 256 * 1024;  // drop-tail per direction
-    double loss_probability = 0.0;         // per-frame, per-direction
+    double loss_probability = 0.0;         // wrapper: per-direction pipeline loss
     // Uniform random extra delay in [0, jitter] added per frame. Nonzero
     // jitter REORDERS frames — the hardest input for the TCP reassembly and
     // the ST-TCP tap, and exactly what multi-path LANs produce.
-    sim::Duration jitter{0};
+    sim::Duration jitter{0};               // wrapper: per-direction pipeline jitter
 };
 
 class Link {
 public:
-    Link(sim::Simulation& simulation, LinkConfig config)
-        : sim_(simulation), config_(config) {}
+    Link(sim::Simulation& simulation, LinkConfig config) : sim_(simulation) {
+        set_config(config);
+    }
 
     Link(const Link&) = delete;
     Link& operator=(const Link&) = delete;
@@ -42,14 +52,45 @@ public:
     }
 
     // Queues a frame for transmission from `sender` toward the other end.
-    // Returns false if the transmit queue overflowed (frame dropped).
+    // Returns false if the transmit queue overflowed (frame dropped); a
+    // frame eaten by a blackout window still returns true — it left the NIC.
     bool send_from(const FrameEndpoint& sender, EthernetFrame frame);
 
     // Sets per-direction loss for the direction *into* `receiver` (used to
-    // make only the backup's tap lossy).
+    // make only the backup's tap lossy). Negative restores the link-level
+    // LinkConfig::loss_probability. Wrapper over the impairment pipeline.
     void set_loss_toward(const FrameEndpoint& receiver, double probability);
 
-    void set_config(const LinkConfig& config) { config_ = config; }
+    // ---- impairment pipeline ------------------------------------------------
+    // Full per-direction pipeline access. set_impairments applies one config
+    // to both directions; the *_toward variants address the direction whose
+    // frames are delivered into `receiver`.
+    void set_impairments(const ImpairmentConfig& config);
+    void set_impairments_toward(const FrameEndpoint& receiver, const ImpairmentConfig& config);
+    [[nodiscard]] Impairment& impairment_toward(const FrameEndpoint& receiver) {
+        return direction_toward(receiver).impairment;
+    }
+
+    // Timed blackout: every frame entering the direction(s) during
+    // [from, from+duration) vanishes (counted as frames_dropped_blackout).
+    // Scheduling both directions partitions the link.
+    void schedule_blackout(sim::TimePoint from, sim::Duration duration);
+    void schedule_blackout_toward(const FrameEndpoint& receiver, sim::TimePoint from,
+                                  sim::Duration duration);
+
+    // Bandwidth change (auto-negotiation drop, congested uplink). Applies to
+    // frames queued from now on; frames already serializing keep their time.
+    void set_bandwidth_bps(double bps) { config_.bandwidth_bps = bps; }
+
+    void set_config(const LinkConfig& config) {
+        config_ = config;
+        // The legacy fields are the base pipeline for both directions; an
+        // explicit set_impairments*/set_loss_toward call overrides them.
+        for (Direction* dir : {&a_to_b_, &b_to_a_}) {
+            dir->impairment.set_loss(config.loss_probability);
+            dir->impairment.set_jitter(config.jitter);
+        }
+    }
     [[nodiscard]] const LinkConfig& config() const { return config_; }
 
     // Observer sees every frame that completes delivery (after loss).
@@ -57,10 +98,22 @@ public:
     void set_observer(Observer obs) { observer_ = std::move(obs); }
 
     struct Stats {
+        std::uint64_t frames_sent = 0;        // send_from calls (pre-impairment)
         std::uint64_t frames_delivered = 0;
         std::uint64_t frames_dropped_queue = 0;
         std::uint64_t frames_dropped_loss = 0;
+        std::uint64_t frames_dropped_blackout = 0;
+        std::uint64_t frames_duplicated = 0;  // extra copies created
+        std::uint64_t frames_corrupted = 0;   // copies delivered with flipped bits
+        std::uint64_t delay_spikes = 0;
         std::uint64_t bytes_delivered = 0;
+        // Frame conservation: once all in-flight deliveries have drained,
+        //   delivered + dropped_queue + dropped_loss + dropped_blackout
+        //     == sent + duplicated.
+        [[nodiscard]] std::uint64_t accounted() const {
+            return frames_delivered + frames_dropped_queue + frames_dropped_loss +
+                   frames_dropped_blackout;
+        }
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -77,7 +130,7 @@ private:
         // before every capacity check.
         std::size_t queued_bytes = 0;
         std::deque<std::pair<sim::TimePoint, std::size_t>> in_flight;  // (tx_done, wire bytes)
-        double loss_probability = -1.0;  // <0: use link-level config
+        Impairment impairment;
     };
 
     static void drain_transmitted(Direction& dir, sim::TimePoint now) {
@@ -90,6 +143,12 @@ private:
     Direction& direction_toward(const FrameEndpoint& receiver) {
         return &receiver == b_ ? a_to_b_ : b_to_a_;
     }
+
+    // Queues one physical copy (queue admission, serialization, delivery
+    // scheduling). Returns false on queue overflow.
+    bool transmit_copy(Direction& dir, FrameEndpoint* receiver, EthernetFrame frame,
+                       const ImpairmentActions& actions, int corrupt_max_bits);
+    void corrupt_payload(EthernetFrame& frame, int max_bits);
 
     sim::Simulation& sim_;
     LinkConfig config_;

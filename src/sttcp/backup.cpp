@@ -180,12 +180,33 @@ bool SttcpBackup::on_orphan_segment(const net::TcpSegment& seg, net::Ipv4Address
         stack_.sim().now() - pending->second < options_.config.sync_time) {
         return true;  // request already in flight
     }
+    bool fresh = pending == pending_joins_.end();
     pending_joins_[id] = stack_.sim().now();
+    send_state_request(id);
+    // Re-request on a timer, not just on the next orphan segment: a client
+    // that is purely receiving (bulk download) may never transmit again, and
+    // a lost kStateReply would otherwise leave the connection unshadowed
+    // until the primary dies with it (found by the chaos soak).
+    if (fresh) schedule_join_retry(id);
+    return true;
+}
+
+void SttcpBackup::send_state_request(const ConnId& id) {
     ControlMessage req;
     req.type = ControlType::kStateReq;
     req.conn = id;
     control_->send_to(current_primary_, options_.config.control_port, req.serialize());
-    return true;
+}
+
+void SttcpBackup::schedule_join_retry(const ConnId& id) {
+    stack_.sim().schedule_after(options_.config.sync_time, [this, id]() {
+        if (taken_over_ || !started_ || !stack_.powered()) return;
+        auto it = pending_joins_.find(id);
+        if (it == pending_joins_.end() || conns_.count(id)) return;  // joined
+        it->second = stack_.sim().now();
+        send_state_request(id);
+        schedule_join_retry(id);
+    });
 }
 
 void SttcpBackup::on_state_reply(const ControlMessage& msg) {
@@ -251,7 +272,7 @@ void SttcpBackup::on_tap(const net::TcpSegment& seg, net::Ipv4Address src,
     // anchor for the shadow's send sequence space (the client's handshake
     // ACK may have been lost to the tap).
     if (seg.flags.syn && shadow.conn->state() == tcp::TcpState::kSynReceived) {
-        shadow.conn->anchor_shadow_establish(seg.seq);
+        shadow.conn->anchor_shadow(seg.seq);
         if constexpr (check::kEnabled) {
             check::SttcpInvariantAuditor::audit_isn_sync(*shadow.conn, seg.seq,
                                                          stack_.sim().now());
@@ -465,16 +486,26 @@ void SttcpBackup::promote() {
 }
 
 void SttcpBackup::recover_from_logger(const ConnId& id, Shadow& shadow) {
-    if (!logger_query_ || !shadow.primary_acked_valid) return;
+    if (!logger_query_) return;
     auto& conn = *shadow.conn;
     if (conn.state() != tcp::TcpState::kEstablished &&
         conn.state() != tcp::TcpState::kCloseWait)
         return;
     util::Seq32 begin = conn.rcv_nxt();
-    util::Seq32 end = shadow.primary_acked;
+    // The tapped primary->client acks put a floor under what must be
+    // recovered, but the same tap fault that lost the data usually lost the
+    // acks too (a blackout toward our NIC eats both), so primary_acked can
+    // under-report. The dead primary can never have acked client bytes
+    // beyond its own receive window above our rcv_nxt — the twin stacks run
+    // the same config — so sweep that whole span: replaying a byte the
+    // client could still retransmit is harmless (reassembly dedups), while
+    // missing an acked byte deadlocks the promoted connection forever.
+    util::Seq32 end = begin + static_cast<std::uint32_t>(conn.config().recv_buffer_size);
+    if (shadow.primary_acked_valid && shadow.primary_acked > end)
+        end = shadow.primary_acked;
     if (end <= begin) return;
 
-    ++stats_.logger_recoveries;
+    std::uint64_t recovered = 0;
     for (const util::Bytes& raw : logger_query_(id, begin, end)) {
         try {
             net::EthernetFrame frame = net::EthernetFrame::parse(raw);
@@ -484,10 +515,14 @@ void SttcpBackup::recover_from_logger(const ConnId& id, Shadow& shadow) {
             net::TcpSegment seg = net::TcpSegment::parse(ip.payload, ip.src, ip.dst);
             std::uint64_t before = conn.recv_stream_offset();
             conn.on_segment(seg);
-            stats_.logger_bytes_recovered += conn.recv_stream_offset() - before;
+            recovered += conn.recv_stream_offset() - before;
         } catch (const util::WireError&) {
             continue;  // a corrupted log entry is not a usable recovery source
         }
+    }
+    if (recovered > 0) {
+        ++stats_.logger_recoveries;
+        stats_.logger_bytes_recovered += recovered;
     }
 }
 

@@ -139,6 +139,8 @@ private:
     bool on_orphan_segment(const net::TcpSegment& seg, net::Ipv4Address src,
                            net::Ipv4Address dst);
     void on_state_reply(const ControlMessage& msg);
+    void send_state_request(const ConnId& id);
+    void schedule_join_retry(const ConnId& id);
     void maybe_ack(Shadow& shadow, bool force);
     void send_heartbeat();
     void schedule_heartbeat();

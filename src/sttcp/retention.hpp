@@ -35,7 +35,21 @@ public:
     }
     void on_consumed(util::Seq32 seq, util::ByteView data) override {
         if (!enabled_) return;
-        if (ring_.empty()) {
+        if (!primed_) {
+            // First retained byte anchors the sequence space; until now
+            // front_seq_ was meaningless (see primed()).
+            front_seq_ = seq;
+            primed_ = true;
+        } else if (ring_.empty()) {
+            // release_through() kept front_seq_ at LastByteAcked+1 across the
+            // empty stretch, and the next consumed byte must continue there.
+            if constexpr (check::kEnabled) {
+                check::require(seq == front_seq_, "sttcp.retention.capture_gap",
+                               "second_receive_buffer",
+                               "consumed chunk at " + std::to_string(seq.raw()) +
+                                   " but retained run ends at " +
+                                   std::to_string(front_seq_.raw()));
+            }
             front_seq_ = seq;
         } else if constexpr (check::kEnabled) {
             // Consumed chunks must extend the retained run byte-for-byte; a
@@ -83,6 +97,13 @@ public:
     }
     [[nodiscard]] bool enabled() const { return enabled_; }
 
+    // False until the first byte is retained. Before that, front_seq() is
+    // not anchored in the connection's sequence space and must not be
+    // compared against backup acks — a backup acks the bare handshake as
+    // soon as it taps it, which can be long before the first data byte if
+    // the client's opening segment is lost (found by the chaos soak).
+    [[nodiscard]] bool primed() const { return primed_; }
+
     [[nodiscard]] std::size_t size() const { return ring_.size(); }
     [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
     [[nodiscard]] util::Seq32 front_seq() const { return front_seq_; }
@@ -90,6 +111,7 @@ public:
 private:
     util::RingBuffer ring_;
     util::Seq32 front_seq_;  // wire seq of ring front (LastByteAcked+1)
+    bool primed_ = false;
     bool enabled_ = true;
 };
 

@@ -67,14 +67,18 @@ void TcpConnection::open_passive(const net::TcpSegment& syn) {
     send_syn(/*with_ack=*/true);
 }
 
-void TcpConnection::anchor_shadow_establish(Seq32 primary_iss) {
+void TcpConnection::anchor_shadow(Seq32 primary_iss) {
     if (state_ != TcpState::kSynReceived) return;
     rebase_send_seq(primary_iss + 1);
+    snd_una_ = primary_iss;   // our twin's SYN/ACK is in flight, not yet acked
     adopt_peer_seq_ = false;  // anchored exactly; never re-anchor from acks
     cancel_retransmit_timer();
     consecutive_retransmits_ = 0;
     rtt_pending_ = false;
-    become_established();
+    // Deliberately NOT established: the client has not acked the SYN/ACK
+    // (it may never have received it). process_ack() completes the
+    // handshake from the next tapped client ack; a shadow promoted while
+    // still here re-sends the SYN/ACK from on_takeover().
 }
 
 void TcpConnection::open_shadow_join(Seq32 first_byte_seq, Seq32 iss) {
@@ -153,9 +157,20 @@ void TcpConnection::release_shadow_acked() {
 
 void TcpConnection::on_takeover() {
     if (state_ == TcpState::kClosed) return;
+    if (shadow_mode_) adopted_ = true;
     shadow_mode_ = false;
     cc_.on_idle_restart();
     rtt_.reset_backoff();
+    if (state_ == TcpState::kSynReceived) {
+        // Promoted mid-handshake: the client never acked the SYN/ACK and
+        // may never have received the primary's copy (found by the chaos
+        // soak: corrupted SYN/ACK + primary crash left the client
+        // retransmitting SYNs against a shadow that believed the handshake
+        // was done). Resend it; send_syn arms the retransmit timer, so the
+        // normal SYN_RCVD schedule drives the rest.
+        send_syn(/*with_ack=*/true);
+        return;
+    }
     if (flight_size() > 0 || (fin_sent_ && !fin_fully_acked())) {
         // Everything outstanding was last sent by the (dead) primary; stream
         // the whole backlog again from the cumulative ack under slow start.
@@ -341,14 +356,23 @@ bool TcpConnection::process_ack(const net::TcpSegment& seg) {
             rebase_send_seq(seg.ack);
         } else if (adopt_peer_seq_) {
             // Cannot anchor from this segment; stay in SYN_RCVD and wait
-            // for the tapped primary SYN/ACK (anchor_shadow_establish) or
-            // for late-join recovery. Do not RST a live flow.
+            // for the tapped primary SYN/ACK (anchor_shadow) or for
+            // late-join recovery. Do not RST a live flow.
             return false;
-        } else if (!(seg.ack > snd_una_ && seg.ack <= snd_nxt_)) {
+        } else if (seg.ack > snd_una_ && seg.ack <= snd_nxt_) {
+            snd_una_ = seg.ack;
+        } else if (shadow_mode_ && seg.ack > snd_nxt_) {
+            // Anchored shadow whose tap lost the client's handshake ACK:
+            // this later client segment still proves the client completed
+            // the handshake with our (suppressed) twin. The overshoot acks
+            // primary bytes our replica has not generated yet — the shadow
+            // high-water tracking below accounts for those.
+            snd_una_ = snd_nxt_;
+        } else if (shadow_mode_) {
+            return false;  // stale tapped duplicate; keep waiting
+        } else {
             send_rst(seg.ack);
             return false;
-        } else {
-            snd_una_ = seg.ack;
         }
         if (rtt_pending_) {
             rtt_.sample(stack_.sim().now() - rtt_sent_at_);
@@ -376,6 +400,19 @@ bool TcpConnection::process_ack(const net::TcpSegment& seg) {
 
     Seq32 ack = seg.ack;
     if (shadow_mode_ && ack > snd_max_) ack = snd_max_;
+
+    if (adopted_ && ack > snd_max_) {
+        // Promoted replica: the client can legitimately hold bytes the dead
+        // primary sent that we never (re)transmitted — e.g. sent while the
+        // tap was dark. Whatever the app has already regenerated is
+        // byte-identical to what the primary sent, so count it as
+        // transmitted-and-acked; anything beyond arrives as the app refills
+        // the buffer and the client's duplicate acks walk us forward.
+        Seq32 data_end = snd_.una() + static_cast<std::uint32_t>(snd_.size());
+        Seq32 fast_forward = util::min(ack, data_end);
+        if (fast_forward > snd_max_) snd_max_ = fast_forward;
+        if (ack > snd_max_) ack = snd_max_;
+    }
 
     if (ack > snd_max_) {
         // Acks something we never sent.

@@ -159,9 +159,11 @@ public:
     // used by late-join shadowing). Safe only when the send buffer is empty.
     void rebase_send_seq(util::Seq32 una);
     // ST-TCP backup: anchors a SYN_RCVD shadow directly to the primary's
-    // ISN as observed from the *tapped primary SYN/ACK* and establishes the
-    // connection. Exact even when the tap lost the client's handshake ACK.
-    void anchor_shadow_establish(util::Seq32 primary_iss);
+    // ISN as observed from the *tapped primary SYN/ACK*. The shadow stays in
+    // SYN_RCVD — the handshake is only complete once a tapped client ack
+    // covers the SYN, and a shadow promoted before that must retransmit the
+    // SYN/ACK itself (the client may never have seen the primary's copy).
+    void anchor_shadow(util::Seq32 primary_iss);
     // Kicks the send path — the backup calls this on takeover to retransmit
     // immediately rather than wait out the RTO.
     void on_takeover();
@@ -256,6 +258,7 @@ private:
 
     bool adopt_peer_seq_ = false;
     bool shadow_mode_ = false;
+    bool adopted_ = false;  // was a shadow, promoted by on_takeover()
     util::Seq32 shadow_peer_ack_max_;
     bool shadow_peer_ack_valid_ = false;  // max is meaningless until first set
     RetentionHook* retention_ = nullptr;

@@ -1,0 +1,56 @@
+// Pinned soak seeds. Each ran thousands of virtual events and, at some
+// commit, either exposed a real protocol bug (named below) or covers a
+// topology/dimension mix the cheap unit tests cannot. Scenario sampling is
+// part of the regression: Scenario::sample(seed) must keep mapping these
+// seeds to the same scenarios, so a sampler change that silently retires a
+// reproducer fails here first.
+#include <gtest/gtest.h>
+
+#include "fuzz/soak.hpp"
+
+namespace sttcp::fuzz {
+namespace {
+
+void expect_seed_passes(std::uint64_t seed) {
+    Scenario sc = Scenario::sample(seed);
+    TrialResult r = run_trial(sc, SoakOptions{});
+    EXPECT_TRUE(r.passed) << sc.describe() << "\n  " << r.failure
+                          << "\n  reproduce: sttcp_soak --seed " << seed;
+}
+
+// A shadow anchored mid-handshake (tapped SYN/ACK corrupted, client ACK
+// never seen) was promoted as ESTABLISHED and answered the client's SYN
+// retransmissions with bare ACKs — RFC 793 deadlock. The promoted backup
+// must stay in SYN_RCVD and resend the SYN/ACK itself.
+TEST(SoakRegression, Seed4_MidHandshakePromotionResendsSynAck) { expect_seed_passes(4); }
+
+// Tap loss ate the client's SYN entirely; the one kStateReq the backup sent
+// was lost too, and a pure-download client never sent another orphan
+// segment to retrigger it. The state-request must retry on a timer.
+TEST(SoakRegression, Seed21_LateJoinStateRequestRetries) { expect_seed_passes(21); }
+
+// After a takeover the client held bytes the dead primary sent during a tap
+// blackout; its acks ran beyond the replica's snd_max and were treated as
+// "acks something we never sent" — a 2-minute-RTO livelock. Adopted
+// connections fast-forward snd_max into app-regenerated data instead.
+TEST(SoakRegression, Seed31_AdoptedConnectionAckFastForward) { expect_seed_passes(31); }
+
+// Two opposite flips of the same bit index at even byte distance cancel in
+// the Internet checksum (Stone & Partridge) — silent corruption no TCP can
+// catch. The soak samples corrupt_max_bits=1, whose errors are always
+// detectable; this seed replays the exact collision scenario.
+TEST(SoakRegression, Seed43_SingleBitCorruptionAlwaysDetectable) { expect_seed_passes(43); }
+
+// A tap blackout ate client upload bytes AND the primary acks covering
+// them, so at takeover the backup believed nothing was missing and skipped
+// logger recovery — while the client had already discarded the acked bytes.
+// Recovery now sweeps the full receive-window span above rcv_nxt.
+TEST(SoakRegression, Seed54_LoggerRecoverySweepsReceiveWindow) { expect_seed_passes(54); }
+
+// Topology/dimension coverage beyond the bug seeds.
+TEST(SoakRegression, Seed12_SwitchMulticastSixDimensions) { expect_seed_passes(12); }
+TEST(SoakRegression, Seed103_ChainClientBlackout) { expect_seed_passes(103); }
+TEST(SoakRegression, Seed140_NoSpofCorruptionJitter) { expect_seed_passes(140); }
+
+} // namespace
+} // namespace sttcp::fuzz

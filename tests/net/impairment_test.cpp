@@ -1,0 +1,281 @@
+// Impairment pipeline: Gilbert–Elliott bursty loss, duplication, bit-flip
+// corruption, blackouts, bandwidth changes — and the frame-conservation
+// property that every sent frame is accounted for exactly once.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace sttcp::net {
+namespace {
+
+EthernetFrame ipv4_frame(std::size_t payload = 256, std::uint8_t fill = 0x5a) {
+    EthernetFrame f;
+    f.dst = MacAddress::local(2);
+    f.src = MacAddress::local(1);
+    f.type = EtherType::kIpv4;
+    f.payload.assign(payload, fill);
+    return f;
+}
+
+struct Sink final : FrameEndpoint {
+    void handle_frame(const EthernetFrame& frame) override { frames.push_back(frame); }
+    [[nodiscard]] std::string endpoint_name() const override { return "sink"; }
+    std::vector<EthernetFrame> frames;
+};
+
+struct ImpairedLink : ::testing::Test {
+    sim::Simulation sim{7};
+    Link link{sim, LinkConfig{}};
+    Sink a, b;
+
+    ImpairedLink() { link.attach(a, b); }
+
+    void blast(int n, std::size_t payload = 256) {
+        for (int i = 0; i < n; ++i) link.send_from(a, ipv4_frame(payload));
+        sim.run();
+    }
+};
+
+// ------------------------------------------------------- Gilbert–Elliott
+
+TEST_F(ImpairedLink, GilbertElliottLossIsBursty) {
+    // Same long-run loss rate two ways: uniform, and GE with rare but
+    // near-total bad states. The GE stream must clump its drops.
+    ImpairmentConfig cfg;
+    cfg.gilbert_elliott = true;
+    cfg.ge_p_enter_bad = 0.01;
+    cfg.ge_p_exit_bad = 0.25;
+    cfg.ge_loss_bad = 0.95;
+    link.set_impairments(cfg);
+
+    // Track per-frame delivery in send order via delivery count deltas.
+    constexpr int kFrames = 4000;
+    std::vector<bool> delivered(kFrames, false);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < kFrames; ++i) {
+        link.send_from(a, ipv4_frame(64));
+        sim.run();  // drain so stats attribute to this frame
+        delivered[static_cast<std::size_t>(i)] = link.stats().frames_delivered > prev;
+        prev = link.stats().frames_delivered;
+    }
+
+    std::uint64_t losses = link.stats().frames_dropped_loss;
+    ASSERT_GT(losses, 50u);  // the bad state was actually entered
+    // Burstiness: count runs of consecutive drops. Uniform loss at the same
+    // rate would give mean run length ~= 1/(1-p) ~ 1.04; GE gives ~1/p_exit.
+    int runs = 0;
+    std::uint64_t dropped = 0;
+    for (int i = 0; i < kFrames; ++i) {
+        if (delivered[static_cast<std::size_t>(i)]) continue;
+        ++dropped;
+        if (i == 0 || delivered[static_cast<std::size_t>(i - 1)]) ++runs;
+    }
+    ASSERT_GT(runs, 0);
+    double mean_run = static_cast<double>(dropped) / runs;
+    EXPECT_GT(mean_run, 2.0) << "losses did not clump: mean drop-run " << mean_run;
+}
+
+TEST_F(ImpairedLink, ZeroProbabilityStagesConsumeNoRandomness) {
+    // Draw-order compatibility: a pipeline whose extra stages are all zero
+    // must leave the RNG stream exactly where plain uniform loss does.
+    sim::Simulation sim_a{99}, sim_b{99};
+    Link plain{sim_a, LinkConfig{}}, piped{sim_b, LinkConfig{}};
+    Sink pa, pb, qa, qb;
+    plain.attach(pa, pb);
+    piped.attach(qa, qb);
+    plain.set_loss_toward(pb, 0.3);
+    ImpairmentConfig cfg;  // everything but loss at zero probability
+    cfg.loss = 0.3;
+    piped.set_impairments_toward(qb, cfg);
+
+    for (int i = 0; i < 500; ++i) {
+        plain.send_from(pa, ipv4_frame(64));
+        piped.send_from(qa, ipv4_frame(64));
+    }
+    sim_a.run();
+    sim_b.run();
+    EXPECT_EQ(plain.stats().frames_delivered, piped.stats().frames_delivered);
+    EXPECT_EQ(sim_a.rng().next_u64(), sim_b.rng().next_u64());
+}
+
+// ----------------------------------------------------------- duplication
+
+TEST_F(ImpairedLink, DuplicationDeliversExtraCopiesButNeverCascades) {
+    ImpairmentConfig cfg;
+    cfg.duplicate = 1.0;  // every frame duplicated once — and only once
+    link.set_impairments(cfg);
+    blast(100);
+    EXPECT_EQ(link.stats().frames_duplicated, 100u);
+    EXPECT_EQ(b.frames.size(), 200u);
+    EXPECT_EQ(link.stats().frames_delivered, 200u);
+}
+
+// ------------------------------------------------------------ corruption
+
+TEST_F(ImpairedLink, CorruptionFlipsBitsCopyOnWrite) {
+    ImpairmentConfig cfg;
+    cfg.corrupt = 1.0;
+    cfg.corrupt_max_bits = 3;
+    link.set_impairments(cfg);
+
+    EthernetFrame original = ipv4_frame(128, 0x00);
+    link.send_from(a, original);  // sender keeps a handle on the payload
+    sim.run();
+
+    ASSERT_EQ(b.frames.size(), 1u);
+    EXPECT_EQ(link.stats().frames_corrupted, 1u);
+    // The sender's buffer is untouched (a bit error damages one
+    // transmission, not the sending NIC's memory) ...
+    for (std::uint8_t byte : original.payload.view()) EXPECT_EQ(byte, 0x00);
+    // ... while the delivered copy carries 1..3 flipped bits.
+    int flipped = 0;
+    util::ByteView got = b.frames[0].payload.view();
+    for (std::size_t i = 0; i < got.size(); ++i)
+        flipped += __builtin_popcount(got[i]);
+    EXPECT_GE(flipped, 1);
+    EXPECT_LE(flipped, 3);
+}
+
+TEST_F(ImpairedLink, ArpFramesAreNeverCorrupted) {
+    ImpairmentConfig cfg;
+    cfg.corrupt = 1.0;
+    link.set_impairments(cfg);
+    EthernetFrame arp = ipv4_frame(64, 0x11);
+    arp.type = EtherType::kArp;
+    for (int i = 0; i < 20; ++i) link.send_from(a, arp);
+    sim.run();
+    EXPECT_EQ(link.stats().frames_corrupted, 0u);
+    for (const auto& f : b.frames)
+        for (std::uint8_t byte : f.payload.view()) EXPECT_EQ(byte, 0x11);
+}
+
+// -------------------------------------------------------------- blackout
+
+TEST_F(ImpairedLink, BlackoutWindowEatsFramesThenHeals) {
+    link.schedule_blackout(sim::TimePoint{} + sim::milliseconds{10}, sim::milliseconds{20});
+    auto send_at = [&](std::int64_t ms) {
+        sim.schedule_at(sim::TimePoint{} + sim::milliseconds{ms},
+                        [&]() { link.send_from(a, ipv4_frame(64)); });
+    };
+    send_at(5);   // before: delivered
+    send_at(15);  // inside: vanishes
+    send_at(29);  // still inside
+    send_at(31);  // after: delivered
+    sim.run();
+    EXPECT_EQ(b.frames.size(), 2u);
+    EXPECT_EQ(link.stats().frames_dropped_blackout, 2u);
+}
+
+TEST_F(ImpairedLink, BlackoutTowardOneDirectionLeavesTheOtherAlive) {
+    link.schedule_blackout_toward(b, sim::TimePoint{}, sim::seconds{1});
+    link.send_from(a, ipv4_frame(64));  // toward b: blacked out
+    link.send_from(b, ipv4_frame(64));  // toward a: fine
+    sim.run();
+    EXPECT_TRUE(b.frames.empty());
+    EXPECT_EQ(a.frames.size(), 1u);
+}
+
+// ------------------------------------------------------ bandwidth change
+
+TEST_F(ImpairedLink, BandwidthDropSlowsSubsequentFrames) {
+    // 1000 wire bytes at 8 Mbit/s = 1 ms; at 0.8 Mbit/s = 10 ms.
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 8e6;
+    cfg.propagation = sim::Duration{0};
+    link.set_config(cfg);
+    EthernetFrame f = ipv4_frame(962);
+    ASSERT_EQ(f.wire_size(), 1000u);
+
+    link.send_from(a, f);
+    sim.run();
+    ASSERT_EQ(b.frames.size(), 1u);
+    EXPECT_LT(sim.now() - sim::TimePoint{}, sim::milliseconds{2});
+
+    link.set_bandwidth_bps(0.8e6);
+    sim::TimePoint before = sim.now();
+    link.send_from(a, f);
+    sim.run();
+    ASSERT_EQ(b.frames.size(), 2u);
+    EXPECT_GE(sim.now() - before, sim::milliseconds{9});
+}
+
+// ---------------------------------------------- frame conservation property
+
+struct ConservationParams {
+    std::uint64_t seed;
+    bool ge;
+    double loss, dup, corrupt, spike;
+    int jitter_ms;
+    bool blackout;
+    std::size_t queue_bytes;
+};
+
+class FrameConservation : public ::testing::TestWithParam<ConservationParams> {};
+
+// delivered + dropped_queue + dropped_loss + dropped_blackout
+//   == sent + duplicated, for any impairment mix, once in-flight frames
+// drain. Every frame is accounted for exactly once — no double counting, no
+// silent vanishing.
+TEST_P(FrameConservation, EveryFrameAccountedExactlyOnce) {
+    auto p = GetParam();
+    sim::Simulation sim{p.seed};
+    LinkConfig link_cfg;
+    link_cfg.queue_capacity_bytes = p.queue_bytes;
+    Link link{sim, link_cfg};
+    Sink a, b;
+    link.attach(a, b);
+
+    ImpairmentConfig cfg;
+    if (p.ge) {
+        cfg.gilbert_elliott = true;
+        cfg.ge_p_enter_bad = 0.02;
+        cfg.ge_p_exit_bad = 0.3;
+        cfg.ge_loss_bad = 0.8;
+    } else {
+        cfg.loss = p.loss;
+    }
+    cfg.duplicate = p.dup;
+    cfg.corrupt = p.corrupt;
+    cfg.spike = p.spike;
+    cfg.spike_delay = sim::milliseconds{40};
+    cfg.jitter = sim::milliseconds{p.jitter_ms};
+    link.set_impairments(cfg);
+    if (p.blackout)
+        link.schedule_blackout(sim::TimePoint{} + sim::milliseconds{3}, sim::milliseconds{4});
+
+    for (int i = 0; i < 1500; ++i) {
+        link.send_from(a, ipv4_frame(static_cast<std::size_t>(64 + (i % 9) * 150)));
+        if (i % 50 == 0) sim.run();  // let the queue breathe sometimes
+    }
+    sim.run();
+
+    const Link::Stats& s = link.stats();
+    EXPECT_EQ(s.accounted(), s.frames_sent + s.frames_duplicated)
+        << "delivered=" << s.frames_delivered << " q=" << s.frames_dropped_queue
+        << " loss=" << s.frames_dropped_loss << " blk=" << s.frames_dropped_blackout
+        << " sent=" << s.frames_sent << " dup=" << s.frames_duplicated;
+    EXPECT_EQ(b.frames.size(), s.frames_delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, FrameConservation,
+    ::testing::Values(
+        // seed   ge     loss  dup   corr  spike jit blackout queue
+        ConservationParams{1, false, 0.00, 0.00, 0.0, 0.00, 0, false, 256 * 1024},
+        ConservationParams{2, false, 0.10, 0.05, 0.0, 0.00, 3, false, 256 * 1024},
+        ConservationParams{3, true, 0.00, 0.10, 0.1, 0.01, 5, true, 256 * 1024},
+        ConservationParams{4, false, 0.05, 0.30, 0.2, 0.02, 8, true, 256 * 1024},
+        // Tiny queue: overflow drops interact with duplication (the extra
+        // copy can overflow even when the first was admitted).
+        ConservationParams{5, false, 0.02, 0.50, 0.0, 0.00, 2, false, 2 * 1024},
+        ConservationParams{6, true, 0.00, 0.25, 0.1, 0.01, 4, true, 2 * 1024}),
+    [](const ::testing::TestParamInfo<ConservationParams>& info) {
+        return "mix" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace sttcp::net

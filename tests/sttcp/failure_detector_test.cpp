@@ -1,0 +1,142 @@
+// FailureDetector boundaries (paper §4.4: "missing three consecutive HB").
+//
+// The detector's deadline arithmetic is the line between availability
+// (detect real crashes fast) and stability (never fence a live primary), so
+// the exact boundary — a heartbeat landing ON the 3-interval tick — and the
+// jitter tolerance below it are pinned here.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "harness/testbed.hpp"
+#include "sttcp/failure_detector.hpp"
+
+namespace sttcp {
+namespace {
+
+constexpr sim::Duration kI = sim::milliseconds{50};
+const sim::TimePoint kT0{};
+
+struct FailureDetectorDeadline : ::testing::Test {
+    sim::Simulation sim;
+    core::FailureDetector det{sim, kI, 3};
+    int suspect_calls = 0;
+
+    FailureDetectorDeadline() {
+        det.set_on_suspect([this]() { ++suspect_calls; });
+    }
+    void heartbeat_at(std::int64_t ms) {
+        sim.schedule_at(kT0 + sim::milliseconds{ms}, [this]() { det.on_heartbeat(); });
+    }
+};
+
+TEST_F(FailureDetectorDeadline, SilenceSuspectsExactlyAtThreeIntervals) {
+    det.start();
+    sim.run_until(kT0 + sim::milliseconds{149});
+    EXPECT_FALSE(det.suspected());
+    sim.run_until(kT0 + sim::milliseconds{151});
+    ASSERT_TRUE(det.suspected());
+    EXPECT_EQ(det.suspected_at(), kT0 + 3 * kI);
+    EXPECT_EQ(suspect_calls, 1);
+}
+
+TEST_F(FailureDetectorDeadline, HeartbeatJustBeforeDeadlineResetsIt) {
+    det.start();
+    heartbeat_at(149);  // inside the third interval, before the 150ms check
+    sim.run_until(kT0 + sim::milliseconds{400});
+    ASSERT_TRUE(det.suspected());
+    // New deadline: 149ms + 3 intervals, observed at the next sample tick
+    // (200, 250, 300ms — 299 < 149+150, so the 300ms tick fires it).
+    EXPECT_EQ(det.suspected_at(), kT0 + sim::milliseconds{300});
+}
+
+TEST_F(FailureDetectorDeadline, HeartbeatExactlyOnTheDeadlineTickWinsTheTie) {
+    // Simultaneous events run in FIFO enqueue order. The heartbeat here was
+    // enqueued before the 150ms sample (which only enters the queue at the
+    // 100ms check), so it refreshes last_heard first and the deadline tick
+    // sees a live primary. Pinned so a queue reordering that flips this
+    // boundary — silently making detection one tick more aggressive —
+    // fails loudly.
+    det.start();
+    heartbeat_at(150);
+    sim.run_until(kT0 + sim::milliseconds{151});
+    EXPECT_FALSE(det.suspected());
+    sim.run_until(kT0 + sim::milliseconds{301});
+    ASSERT_TRUE(det.suspected());
+    EXPECT_EQ(det.suspected_at(), kT0 + sim::milliseconds{300});
+}
+
+TEST_F(FailureDetectorDeadline, HeavyJitterBelowDeadlineNeverSuspects) {
+    // Heartbeats nominally every interval but displaced by up to ±40% —
+    // consecutive gaps up to ~1.8 intervals, always under the 3-interval
+    // deadline. The detector must ride it out.
+    det.start();
+    std::int64_t t = 0;
+    sim::Random rng{7};
+    for (int i = 0; i < 200; ++i) {
+        t += 50;
+        std::int64_t displaced = t + static_cast<std::int64_t>(rng.range(-20, 20));
+        heartbeat_at(displaced);
+    }
+    sim.run_until(kT0 + sim::milliseconds{200 * 50});
+    EXPECT_FALSE(det.suspected());
+    EXPECT_EQ(suspect_calls, 0);
+}
+
+TEST_F(FailureDetectorDeadline, DeadHostDetectorUnschedulesItself) {
+    bool alive = true;
+    det.set_alive_predicate([&alive]() { return alive; });
+    det.start();
+    sim.schedule_at(kT0 + sim::milliseconds{60}, [&alive]() { alive = false; });
+    sim.run();
+    // Silence would have suspected at 150ms, but the host died first: a
+    // detector on a dead machine runs nothing.
+    EXPECT_FALSE(det.suspected());
+}
+
+// ------------------------------------------------- engine-level blackout
+
+// A control-channel outage SHORTER than the suspicion deadline must not
+// trigger a takeover: the backup misses two heartbeats, the third arrives
+// in time, and the run completes with the primary alive throughout.
+TEST(FailureDetectorEngine, ControlBlackoutUnderDeadlineCausesNoFalseTakeover) {
+    harness::TestbedOptions opt;
+    opt.seed = 5;
+    opt.sttcp.hb_interval = sim::milliseconds{50};
+    opt.sttcp.sync_time = sim::milliseconds{50};
+    harness::HubTestbed bed{opt};
+
+    // Black out the backup's hub port in both directions for 2.2 heartbeat
+    // intervals: inbound HBs AND the backup's own outbound HBs vanish, so
+    // both detectors are stressed but neither may cross its deadline.
+    bed.backup_link->schedule_blackout(bed.sim.now() + sim::milliseconds{300},
+                                       sim::milliseconds{110});
+
+    app::ResponderApp primary_app, backup_app;
+    auto primary_listener = bed.st_primary->listen(8000);
+    auto backup_listener = bed.st_backup->listen(8000);
+    primary_app.attach(*primary_listener);
+    backup_app.attach(*backup_listener);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::interactive()};
+    bool done = false;
+    driver.start([&]() { done = true; });
+
+    sim::TimePoint limit = bed.sim.now() + sim::minutes{5};
+    while (!done && bed.sim.now() < limit)
+        bed.sim.run_until(std::min(limit, bed.sim.now() + sim::milliseconds{100}));
+
+    const auto& r = driver.result();
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_FALSE(bed.st_backup->has_taken_over());
+    EXPECT_TRUE(bed.primary_node->powered());  // nobody fenced anybody
+    EXPECT_GT(bed.backup_link->stats().frames_dropped_blackout, 0u);
+}
+
+} // namespace
+} // namespace sttcp

@@ -1,0 +1,129 @@
+// Bit-flip corruption end to end: flipped payload bits must be caught by
+// the IP/TCP checksums, the stream must stay byte-exact, and on ST-TCP the
+// damage must never leak into the application or the backup's shadow state.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "app/client_driver.hpp"
+#include "app/responder.hpp"
+#include "harness/testbed.hpp"
+#include "net/impairment.hpp"
+
+namespace sttcp {
+namespace {
+
+using testing::TwoHostLan;
+using testing::make_payload;
+
+// ------------------------------------------------------------- plain TCP
+
+TEST(TcpCorruption, BulkTransferIsExactUnderBitFlips) {
+    TwoHostLan lan;
+    net::ImpairmentConfig imp;
+    imp.corrupt = 0.05;
+    imp.corrupt_max_bits = 3;  // multi-bit is fine point-to-point: no tap to confuse
+    lan.client_nic.link()->set_impairments(imp);
+    lan.server_nic.link()->set_impairments(imp);
+
+    auto listener = lan.server.tcp_listen(80);
+    std::shared_ptr<tcp::TcpConnection> sconn;
+    util::Bytes received;
+    listener->set_accept_handler([&](std::shared_ptr<tcp::TcpConnection> c) {
+        sconn = c;
+        tcp::TcpConnection::Callbacks cbs;
+        cbs.on_readable = [&received, &sconn]() {
+            std::uint8_t buf[8192];
+            while (std::size_t n = sconn->read(buf))
+                received.insert(received.end(), buf, buf + n);
+        };
+        sconn->set_callbacks(std::move(cbs));
+    });
+
+    auto conn = lan.client.tcp_connect(lan.server_ip, 80);
+    util::Bytes data = make_payload(96 * 1024);
+    std::size_t offset = 0;
+    tcp::TcpConnection::Callbacks cbs;
+    auto pump = [&]() {
+        while (offset < data.size()) {
+            std::size_t n =
+                conn->send(util::ByteView{data.data() + offset, data.size() - offset});
+            if (n == 0) break;
+            offset += n;
+        }
+    };
+    cbs.on_established = pump;
+    cbs.on_writable = pump;
+    conn->set_callbacks(std::move(cbs));
+
+    lan.sim.run_until(sim::TimePoint{} + sim::minutes{10});
+
+    // The corruption actually happened, every damaged segment was rejected
+    // by a checksum, and the stream came through untouched.
+    std::uint64_t corrupted = lan.client_nic.link()->stats().frames_corrupted +
+                              lan.server_nic.link()->stats().frames_corrupted;
+    ASSERT_GT(corrupted, 0u);
+    EXPECT_GT(lan.client.stats().parse_errors + lan.server.stats().parse_errors, 0u);
+    ASSERT_EQ(received.size(), data.size());
+    EXPECT_EQ(received, data);
+}
+
+// --------------------------------------------------------------- ST-TCP
+
+// Corruption on the paper's hub testbed. Every corrupted frame is seen
+// TWICE by server-side stacks (the hub repeats it to the primary and to the
+// tapping backup) — both must reject it, the responder application must see
+// only clean requests, and the backup's shadow must stay byte-identical to
+// the primary (proved by a clean failover mid-stream).
+TEST(SttcpCorruption, CorruptedFramesNeverReachAppOrShadow) {
+    harness::TestbedOptions opt;
+    opt.seed = 11;
+    opt.sttcp.hb_interval = sim::milliseconds{50};
+    opt.sttcp.sync_time = sim::milliseconds{50};
+    harness::HubTestbed bed{opt};
+
+    net::ImpairmentConfig imp;
+    imp.corrupt = 0.03;
+    imp.corrupt_max_bits = 1;
+    bed.client_link->set_impairments(imp);
+
+    app::ResponderApp primary_app, backup_app;
+    auto primary_listener = bed.st_primary->listen(8000);
+    auto backup_listener = bed.st_backup->listen(8000);
+    primary_app.attach(*primary_listener);
+    backup_app.attach(*backup_listener);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    app::ClientDriver driver{*bed.client, bed.service_ip(), 8000,
+                             app::Workload::upload_kb(128, 3)};
+    bool done = false;
+    driver.start([&]() { done = true; });
+
+    // Mid-round-1: the 3x128KB upload takes ~250ms on the 14 Mbit/s client
+    // link, so the crash lands while retention still holds unsynced bytes.
+    bed.sim.schedule_after(sim::milliseconds{100}, [&]() { bed.crash_primary(); });
+    sim::TimePoint limit = bed.sim.now() + sim::minutes{10};
+    while (!done && bed.sim.now() < limit)
+        bed.sim.run_until(std::min(limit, bed.sim.now() + sim::milliseconds{100}));
+
+    const auto& r = driver.result();
+    ASSERT_TRUE(r.completed) << r.failure_reason;
+    EXPECT_EQ(r.verify_errors, 0u);
+    EXPECT_TRUE(bed.st_backup->has_taken_over());
+
+    // Adversity was real and was caught at the checksum layer on both
+    // server-side stacks (primary directly, backup via its tap).
+    ASSERT_GT(bed.client_link->stats().frames_corrupted, 0u);
+    EXPECT_GT(bed.primary->stats().parse_errors, 0u);
+    EXPECT_GT(bed.backup->stats().parse_errors, 0u);
+
+    // The application layer never saw a damaged byte: the promoted backup's
+    // responder consumed the full upload stream of both rounds and served
+    // clean requests (a corrupted request id or length would have desynced
+    // the deterministic responder and shown up as client verify errors).
+    // The shadow responder consumed every upload byte of all three rounds.
+    EXPECT_GE(backup_app.stats().upload_bytes_received, 3u * 128 * 1024);
+}
+
+} // namespace
+} // namespace sttcp

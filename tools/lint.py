@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom protocol lints for the ST-TCP codebase.
 
-Three rules, each guarding an invariant the type system cannot express:
+Four rules, each guarding an invariant the type system cannot express:
 
   seq-raw        TCP sequence numbers are mod-2^32; the only safe way to
                  compare or difference them is util::Seq32's serial-number
@@ -13,6 +13,13 @@ Three rules, each guarding an invariant the type system cannot express:
                  recycled (util::BufferPool). A naked new[]/delete[] of a
                  byte buffer anywhere else bypasses both the zero-copy path
                  and the pool accounting.
+
+  impairment-api Network adversity flows through the per-direction pipeline
+                 (net/impairment.hpp): Link::set_impairments*, set_loss_toward,
+                 schedule_blackout*. The legacy LinkConfig::loss_probability
+                 field is a compatibility wrapper owned by net/link.* — code
+                 that pokes it directly bypasses the pipeline's stats,
+                 determinism guarantees, and per-direction addressing.
 
   stale-event    sim::EventQueue cancellation is generation-checked;
                  cancelling a handle and keeping the old value around invites
@@ -59,6 +66,15 @@ PAYLOAD_ALLOC_EXEMPT = {
     "util/shared_payload.cpp",
     "util/buffer_pool.hpp",
     "util/buffer_pool.cpp",
+}
+
+# ----------------------------------------------------------- rule: impairment-api
+IMPAIRMENT_API_PATTERNS = [re.compile(r"\bloss_probability\b")]
+IMPAIRMENT_API_EXEMPT = {
+    "net/link.hpp",
+    "net/link.cpp",
+    "net/impairment.hpp",
+    "net/impairment.cpp",
 }
 
 # ------------------------------------------------------------- rule: stale-event
@@ -135,6 +151,12 @@ def main() -> int:
             (rel, *f)
             for f in check_patterns(
                 rel, lines, PAYLOAD_ALLOC_PATTERNS, PAYLOAD_ALLOC_EXEMPT, "payload-alloc"
+            )
+        ]
+        findings += [
+            (rel, *f)
+            for f in check_patterns(
+                rel, lines, IMPAIRMENT_API_PATTERNS, IMPAIRMENT_API_EXEMPT, "impairment-api"
             )
         ]
         findings += [(rel, *f) for f in check_stale_event(rel, lines)]
