@@ -8,6 +8,11 @@
 #      + 200-trial soak on that binary
 #   4. ASan/UBSan build + full ctest suite + 200-trial soak under sanitizers
 #   5. custom protocol lints (tools/lint.py)
+#
+# Steps 1, 3 and 4 also build and run tools/staticcheck (layering DAG,
+# state-funnel, event lifecycle, [this]-capture, seq-raw) over src/ with a
+# --json report per profile — the analyzer must agree with itself in every
+# compiler configuration.
 #   6. clang-tidy over files changed vs the merge base (skipped with a notice
 #      when clang-tidy is not installed)
 #
@@ -23,6 +28,7 @@ step() { printf '\n=== %s ===\n' "$*"; }
 step "1/6 default build (STTCP_AUDIT=ON) + tests"
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j"$JOBS"
+build-ci/tools/staticcheck/staticcheck --root src --json build-ci/staticcheck.json
 ctest --test-dir build-ci --output-on-failure -j"$JOBS"
 
 step "2/6 chaos soak: 200 trials + failure-pipeline demo"
@@ -35,11 +41,13 @@ build-ci/tools/sttcp_soak --demo-failure
 step "3/6 hardened warnings-as-errors build + soak"
 cmake -B build-ci-werror -S . -DSTTCP_WERROR=ON >/dev/null
 cmake --build build-ci-werror -j"$JOBS"
+build-ci-werror/tools/staticcheck/staticcheck --root src --json build-ci-werror/staticcheck.json
 build-ci-werror/tools/sttcp_soak --trials 200 --seed-base 1
 
 step "4/6 sanitizer build (ASan+UBSan) + tests + soak"
 cmake -B build-ci-asan -S . -DSTTCP_SANITIZE=ON >/dev/null
 cmake --build build-ci-asan -j"$JOBS"
+build-ci-asan/tools/staticcheck/staticcheck --root src --json build-ci-asan/staticcheck.json
 ctest --test-dir build-ci-asan --output-on-failure -j"$JOBS"
 build-ci-asan/tools/sttcp_soak --trials 200 --seed-base 1
 

@@ -1,5 +1,9 @@
 #include "app/client_driver.hpp"
 
+// lint:allow-file this-capture -- callbacks are installed on this driver's own
+// connection and TcpConnection::detach_hooks() clears them when the connection
+// finishes; the driver outlives its connection in every harness.
+
 namespace sttcp::app {
 
 void ClientDriver::start(std::function<void()> on_done) {

@@ -1,5 +1,9 @@
 #include "app/responder.hpp"
 
+// lint:allow-file this-capture -- per-connection callbacks are cleared by
+// TcpConnection::detach_hooks() at connection teardown, and the accept handler
+// lives on a listener the app outlives in every harness.
+
 namespace sttcp::app {
 
 namespace {

@@ -2,7 +2,10 @@
 
 #include <sstream>
 
+#include <string>
+
 #include "net/tcp_wire.hpp"
+#include "tcp/state_machine.hpp"
 #include "tcp/tcp_connection.hpp"
 
 namespace sttcp::check {
@@ -110,6 +113,17 @@ void TcpInvariantAuditor::audit_emit(const tcp::TcpConnection& conn,
                     ")",
                 now);
     }
+}
+
+void TcpInvariantAuditor::audit_transition(const tcp::TcpConnection& conn,
+                                           tcp::TcpState from, tcp::TcpState to,
+                                           sim::TimePoint now_time) {
+    require(tcp::is_legal_transition(from, to), "tcp.state.legal_transition",
+            describe(conn),
+            std::string(tcp::to_string(from)) + " -> " + std::string(tcp::to_string(to)) +
+                " is not an edge of the RFC 793 / ST-TCP transition matrix "
+                "(tcp/state_machine.hpp, DESIGN.md §10)",
+            now_time);
 }
 
 void TcpInvariantAuditor::audit_rebase(const tcp::TcpConnection& conn, Seq32 una,

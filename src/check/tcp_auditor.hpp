@@ -22,6 +22,9 @@
 //   tcp.seq.rebase_consistent     after an ST-TCP ISN rebase (§4.1) the send
 //                                 space is coherent: ISS+1 == SND.UNA ==
 //                                 buffer front, SND.NXT == SND.MAX
+//   tcp.state.legal_transition    every state change is an edge of the
+//                                 RFC 793 / ST-TCP adjacency matrix
+//                                 (tcp/state_machine.hpp, DESIGN.md §10)
 //
 // The auditor only reads connection state (it is a const observer); it keeps
 // its own monotonicity baselines, which a rebase resets.
@@ -39,6 +42,7 @@ struct TcpSegment;
 
 namespace sttcp::tcp {
 class TcpConnection;
+enum class TcpState : std::uint8_t;
 }
 
 namespace sttcp::check {
@@ -53,6 +57,12 @@ public:
     // fully populated segment (ack/window/payload set).
     void audit_emit(const tcp::TcpConnection& conn, const net::TcpSegment& seg,
                     sim::TimePoint now);
+
+    // State-transition audit; called by TcpConnection::transition() — the
+    // single sanctioned write to state_ (enforced by tools/staticcheck's
+    // state-funnel rule) — before the write happens.
+    void audit_transition(const tcp::TcpConnection& conn, tcp::TcpState from,
+                          tcp::TcpState to, sim::TimePoint now);
 
     // Post-rebase audit (ST-TCP ISN adoption / late join). `una` is the new
     // anchor the caller asked for. Also resets monotonicity baselines: a

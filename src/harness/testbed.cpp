@@ -1,5 +1,9 @@
 #include "harness/testbed.hpp"
 
+// lint:allow-file this-capture -- the testbed owns every engine the
+// fencer/logger-query callbacks are handed to, and tears them down (in
+// reverse order) before it is destroyed; the captures cannot dangle.
+
 namespace sttcp::harness {
 
 HubTestbed::HubTestbed(TestbedOptions opts)

@@ -11,6 +11,7 @@
 namespace sttcp::net {
 
 void FrameTrace::attach(Link& link, std::string label) {
+    // lint:allow this-capture -- the tracer is attached for the whole run; it and the observed Link share the sim epoch.
     link.set_observer([this, label = std::move(label)](const EthernetFrame& frame,
                                                        const FrameEndpoint& receiver) {
         emit(label, frame, receiver);

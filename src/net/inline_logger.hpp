@@ -62,6 +62,7 @@ private:
         store_.record(frame);
         ++stats_.frames_forwarded;
         FrameEndpoint& out = from == 'A' ? side_b_ : side_a_;
+        // lint:allow this-capture -- topology device: the InlineLogger lives for the whole sim epoch, so forwarding events cannot outlive it.
         sim_.schedule_after(latency_, [this, &out, frame]() {
             if (!node_.powered() || out.link() == nullptr) return;
             out.link()->send_from(out, frame);

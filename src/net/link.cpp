@@ -75,6 +75,7 @@ bool Link::transmit_copy(Direction& dir, FrameEndpoint* receiver, EthernetFrame 
 
     sim::TimePoint arrival = tx_done + config_.propagation + actions.extra_delay;
     bool lost = actions.drop_loss;
+    // lint:allow this-capture -- topology device: a Link lives for the whole sim epoch, so delivery events cannot outlive it.
     sim_.schedule_at(arrival, [this, receiver, f = std::move(frame), wire, lost]() {
         if (lost) {
             ++stats_.frames_dropped_loss;

@@ -34,6 +34,7 @@ public:
     // Attach to a NIC (typically promiscuous, on the tapped segment).
     void attach(Nic& nic) {
         nic.set_promiscuous(true);
+        // lint:allow this-capture -- the logger appliance and the NIC it taps are both topology, alive for the whole sim epoch.
         nic.set_rx_handler([this](const EthernetFrame& f) { record(f); });
     }
 

@@ -28,6 +28,7 @@ public:
     // Idempotent: fencing an already-dead node still confirms.
     void power_off(const std::string& node_name, std::function<void()> on_done) {
         ++stats_.commands;
+        // lint:allow this-capture -- topology device: the PowerSwitch lives for the whole sim epoch, so fencing events cannot outlive it.
         sim_.schedule_after(latency_, [this, node_name, cb = std::move(on_done)]() {
             auto it = nodes_.find(node_name);
             if (it != nodes_.end()) {

@@ -57,6 +57,7 @@ void Switch::forward(std::size_t in_port, EthernetFrame frame) {
 
 void Switch::transmit(std::size_t out_port, const EthernetFrame& frame) {
     // Store-and-forward latency, then egress serialization on the link.
+    // lint:allow this-capture -- topology device: the Switch lives for the whole sim epoch, so forwarding events cannot outlive it.
     sim_.schedule_after(latency_, [this, out_port, frame]() {
         links_[out_port]->send_from(*ports_[out_port], frame);
     });

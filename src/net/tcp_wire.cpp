@@ -1,3 +1,4 @@
+// lint:allow-file seq-raw -- sanctioned wire-format boundary (see header).
 #include "net/tcp_wire.hpp"
 
 #include <sstream>

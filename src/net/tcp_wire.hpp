@@ -3,6 +3,9 @@
 // The paper disabled the TCP timestamp option in its experiments (§6); our
 // stack supports it but leaves it off by default so the backup's suppressed
 // segments are byte-identical to the primary's.
+//
+// lint:allow-file seq-raw -- sanctioned wire-format boundary: sequence
+// numbers leave Seq32 here (and only here) to be written as big-endian u32s.
 #pragma once
 
 #include <cstdint>

@@ -238,7 +238,7 @@ void SttcpBackup::on_state_reply(const ControlMessage& msg) {
     // Fetch everything the primary has seen that we missed.
     if (state->rcv_nxt > state->first_available_seq) {
         it->second.has_requested = true;
-        it->second.requested_through = state->rcv_nxt.raw();
+        it->second.requested_through = state->rcv_nxt;
         stats_.missing_bytes_requested += state->rcv_nxt - state->first_available_seq;
         ++stats_.gaps_detected;
         ControlMessage req;
@@ -294,14 +294,13 @@ void SttcpBackup::on_tap(const net::TcpSegment& seg, net::Ipv4Address src,
     util::Seq32 end = seg.ack;
     if (end - begin > kMaxRequestSpan) end = begin + kMaxRequestSpan;
     // Suppress duplicate requests for a range already in flight.
-    if (shadow.has_requested && end <= util::Seq32{shadow.requested_through} &&
-        begin >= our_nxt)
+    if (shadow.has_requested && end <= shadow.requested_through && begin >= our_nxt)
         return;
 
     ++stats_.gaps_detected;
     stats_.missing_bytes_requested += end - begin;
     shadow.has_requested = true;
-    shadow.requested_through = end.raw();
+    shadow.requested_through = end;
 
     ControlMessage req;
     req.type = ControlType::kMissingReq;

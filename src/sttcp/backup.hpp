@@ -70,6 +70,12 @@ public:
         const ConnId&, util::Seq32 begin, util::Seq32 end)>;
 
     SttcpBackup(tcp::HostStack& stack, Options options);
+    // Stops, so the heartbeat/sync timers' [this]-capturing events cannot
+    // outlive the engine (found by staticcheck's event-lifecycle rule).
+    ~SttcpBackup() { stop(); }
+
+    SttcpBackup(const SttcpBackup&) = delete;
+    SttcpBackup& operator=(const SttcpBackup&) = delete;
 
     // The service listener; the same application code as on the primary
     // installs its accept handler here.
@@ -118,7 +124,7 @@ private:
         std::shared_ptr<tcp::TcpConnection> conn;
         util::Seq32 last_byte_acked;     // to the primary, over the control channel
         bool acked_once = false;
-        std::uint32_t requested_through = 0;  // raw seq end of last MissingReq
+        util::Seq32 requested_through;   // seq end of last MissingReq
         bool has_requested = false;
         // Highest client-byte ack observed from the primary (tap): evidence
         // of what the client can never retransmit.

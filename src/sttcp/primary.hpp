@@ -46,6 +46,12 @@ public:
     using Fencer = std::function<void(net::Ipv4Address peer, std::function<void()> on_confirmed)>;
 
     SttcpPrimary(tcp::HostStack& stack, Options options);
+    // Stops, so the heartbeat timer's [this]-capturing event cannot outlive
+    // the engine (found by staticcheck's event-lifecycle rule).
+    ~SttcpPrimary() { stop(); }
+
+    SttcpPrimary(const SttcpPrimary&) = delete;
+    SttcpPrimary& operator=(const SttcpPrimary&) = delete;
 
     // Replaces stack.tcp_listen() for the fault-tolerant service.
     std::shared_ptr<tcp::TcpListener> listen(std::uint16_t port);

@@ -1,6 +1,12 @@
 // TCP Reno congestion control (RFC 5681): slow start, congestion avoidance,
 // fast retransmit, fast recovery — the algorithms in the Linux 2.2 stack the
 // paper modified.
+//
+// Seq32 audit note: every uint32_t in this class (cwnd, ssthresh, mss,
+// acked, flight_size) is a byte *count*, not a point in sequence space —
+// linear quantities bounded far below 2^31, never compared on the mod-2^32
+// circle. They deliberately stay raw integers; positions live in
+// util::Seq32 (enforced by tools/staticcheck's seq-raw rule).
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,127 @@
+// Compile-time TCP state-transition specification.
+//
+// The paper's correctness argument (§4.1 handshake synchronization, §4.4
+// takeover) requires the backup's TCP state machine to track the primary's
+// exactly; that only holds if every state change the stack can make is an
+// edge of a declared specification. This header IS that specification: a
+// constexpr adjacency matrix over TcpState built from the RFC 793 §3.2
+// transition diagram plus the three ST-TCP extensions, checked three ways:
+//
+//   * compile time — the static_asserts below pin the load-bearing legal
+//     and illegal edges, so editing the matrix by accident fails the build;
+//   * runtime — TcpConnection::transition() is the single sanctioned write
+//     to state_ and reports `tcp.state.legal_transition` through the
+//     invariant auditor for any off-matrix move;
+//   * statically — tools/staticcheck's `state-funnel` rule forbids any
+//     direct `state_ =` write outside the funnel, so the matrix cannot be
+//     bypassed by new code.
+//
+// The full edge catalogue with per-edge references lives in DESIGN.md §10.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "tcp/tcp_types.hpp"
+
+namespace sttcp::tcp {
+
+inline constexpr std::size_t kTcpStateCount = 11;
+
+namespace detail {
+
+constexpr std::size_t idx(TcpState s) { return static_cast<std::size_t>(s); }
+
+using TransitionMatrix = std::array<std::array<bool, kTcpStateCount>, kTcpStateCount>;
+
+constexpr TransitionMatrix make_transition_matrix() {
+    TransitionMatrix m{};
+    auto edge = [&m](TcpState from, TcpState to) { m[idx(from)][idx(to)] = true; };
+    using enum TcpState;
+
+    // ---- opens (RFC 793 p.23 diagram, top half) --------------------------
+    edge(kClosed, kListen);        // passive OPEN (spec edge; this stack
+                                   // creates connections per-SYN instead)
+    edge(kClosed, kSynSent);       // active OPEN: send SYN
+    edge(kClosed, kSynReceived);   // rcv SYN from a listener's demux: send
+                                   // SYN/ACK (open_passive; RFC routes this
+                                   // via LISTEN, the demux shortcut does not)
+    edge(kClosed, kEstablished);   // ST-TCP §4.1 late join: open_shadow_join
+                                   // builds an ESTABLISHED shadow from the
+                                   // primary's anchors when the tap missed
+                                   // the whole handshake
+    edge(kListen, kSynSent);       // SEND on a listening socket
+    edge(kListen, kSynReceived);   // rcv SYN: send SYN/ACK
+
+    // ---- handshake -------------------------------------------------------
+    edge(kSynSent, kSynReceived);  // rcv SYN (simultaneous open): send ACK
+    edge(kSynSent, kEstablished);  // rcv SYN/ACK: send ACK
+    edge(kSynReceived, kEstablished);  // rcv ACK of SYN/ACK; also ST-TCP
+                                       // §4.1 ISN adoption and the anchored
+                                       // shadow's tapped handshake completion
+    edge(kSynReceived, kFinWait1);     // CLOSE before the handshake finishes
+    edge(kSynReceived, kCloseWait);    // FIN consumed while still SYN_RCVD
+                                       // (defensive; see DESIGN.md §10)
+
+    // ---- established-side closes (RFC 793 p.23 diagram, bottom half) -----
+    edge(kEstablished, kFinWait1);   // CLOSE: send FIN
+    edge(kEstablished, kCloseWait);  // rcv FIN: send ACK
+    edge(kFinWait1, kFinWait2);      // rcv ACK of FIN
+    edge(kFinWait1, kClosing);       // rcv FIN (simultaneous close)
+    edge(kFinWait1, kTimeWait);      // rcv FIN + ACK of FIN in one step
+    edge(kFinWait2, kTimeWait);      // rcv FIN: send ACK
+    edge(kClosing, kTimeWait);       // rcv ACK of FIN
+    edge(kCloseWait, kLastAck);      // CLOSE: send FIN
+    edge(kTimeWait, kTimeWait);      // rcv retransmitted FIN: re-ACK and
+                                     // restart the 2MSL timer (RFC 793 p.73)
+
+    // ---- abortive exits: RST / abort() / retransmission give-up ----------
+    // Every non-CLOSED state may fall directly to CLOSED (finish()).
+    // CLOSED itself is absorbing: finish() is idempotent and never re-fires.
+    for (std::size_t from = 0; from < kTcpStateCount; ++from) {
+        if (from != idx(kClosed)) m[from][idx(kClosed)] = true;
+    }
+    return m;
+}
+
+inline constexpr TransitionMatrix kLegalTransitions = make_transition_matrix();
+
+} // namespace detail
+
+// True iff `from -> to` is an edge of the RFC 793 / ST-TCP specification.
+[[nodiscard]] constexpr bool is_legal_transition(TcpState from, TcpState to) {
+    return detail::kLegalTransitions[detail::idx(from)][detail::idx(to)];
+}
+
+// ---- compile-time pins on the load-bearing edges --------------------------
+// Handshake order cannot be skipped (the acceptance example: a listener may
+// only reach ESTABLISHED through SYN_RCVD).
+static_assert(!is_legal_transition(TcpState::kListen, TcpState::kEstablished));
+static_assert(is_legal_transition(TcpState::kListen, TcpState::kSynReceived));
+static_assert(is_legal_transition(TcpState::kSynReceived, TcpState::kEstablished));
+// The ST-TCP late-join shadow is the one sanctioned handshake bypass (§4.1).
+static_assert(is_legal_transition(TcpState::kClosed, TcpState::kEstablished));
+// Teardown cannot run backwards or skip the FIN exchange.
+static_assert(!is_legal_transition(TcpState::kEstablished, TcpState::kTimeWait));
+static_assert(!is_legal_transition(TcpState::kFinWait2, TcpState::kFinWait1));
+static_assert(!is_legal_transition(TcpState::kCloseWait, TcpState::kEstablished));
+static_assert(!is_legal_transition(TcpState::kTimeWait, TcpState::kEstablished));
+// CLOSED is absorbing, and reachable from everywhere else (abort/RST).
+static_assert(!is_legal_transition(TcpState::kClosed, TcpState::kClosed));
+static_assert([] {
+    for (std::size_t s = 0; s < kTcpStateCount; ++s) {
+        if (s == detail::idx(TcpState::kClosed)) continue;
+        if (!detail::kLegalTransitions[s][detail::idx(TcpState::kClosed)]) return false;
+    }
+    return true;
+}());
+// TIME_WAIT restart is the only legal self-loop (retransmitted-FIN re-ACK).
+static_assert([] {
+    for (std::size_t s = 0; s < kTcpStateCount; ++s) {
+        if (detail::kLegalTransitions[s][s] && s != detail::idx(TcpState::kTimeWait))
+            return false;
+    }
+    return true;
+}());
+
+} // namespace sttcp::tcp

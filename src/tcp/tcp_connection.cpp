@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tcp/host_stack.hpp"
+#include "tcp/state_machine.hpp"
 
 namespace sttcp::tcp {
 
@@ -47,7 +48,7 @@ void TcpConnection::open_active() {
     snd_nxt_ = iss_;
     snd_max_ = iss_;
     snd_.set_una(iss_ + 1);
-    state_ = TcpState::kSynSent;
+    transition(TcpState::kSynSent);
     send_syn(/*with_ack=*/false);
 }
 
@@ -63,7 +64,7 @@ void TcpConnection::open_passive(const net::TcpSegment& syn) {
     snd_wnd_ = syn.window;
     snd_wl1_ = syn.seq;
     snd_wl2_ = Seq32{0};
-    state_ = TcpState::kSynReceived;
+    transition(TcpState::kSynReceived);
     send_syn(/*with_ack=*/true);
 }
 
@@ -104,10 +105,10 @@ void TcpConnection::close() {
             return;
         case TcpState::kSynReceived:
         case TcpState::kEstablished:
-            state_ = TcpState::kFinWait1;
+            transition(TcpState::kFinWait1);
             break;
         case TcpState::kCloseWait:
-            state_ = TcpState::kLastAck;
+            transition(TcpState::kLastAck);
             break;
         case TcpState::kClosed:
         case TcpState::kListen:
@@ -283,7 +284,7 @@ void TcpConnection::process_syn_sent(const net::TcpSegment& seg) {
         try_send();
     } else {
         // Simultaneous open.
-        state_ = TcpState::kSynReceived;
+        transition(TcpState::kSynReceived);
         send_syn(/*with_ack=*/true);
     }
 }
@@ -450,8 +451,11 @@ bool TcpConnection::process_ack(const net::TcpSegment& seg) {
         if (fin_sent_ && fin_fully_acked()) {
             switch (state_) {
                 case TcpState::kFinWait1:
-                    state_ = remote_fin_consumed_ ? TcpState::kTimeWait : TcpState::kFinWait2;
-                    if (state_ == TcpState::kTimeWait) enter_time_wait();
+                    if (remote_fin_consumed_) {
+                        enter_time_wait();
+                    } else {
+                        transition(TcpState::kFinWait2);
+                    }
                     break;
                 case TcpState::kClosing:
                     enter_time_wait();
@@ -551,7 +555,7 @@ void TcpConnection::process_payload(const net::TcpSegment& seg) {
 
 void TcpConnection::process_fin(const net::TcpSegment& seg) {
     std::uint32_t payload_len = static_cast<std::uint32_t>(seg.payload.size());
-    remote_fin_seq_ = (seg.seq + payload_len).raw();
+    remote_fin_seq_ = seg.seq + payload_len;
     maybe_consume_remote_fin();
     if (!remote_fin_consumed_) {
         // FIN arrived but earlier data is missing; ack what we have.
@@ -561,21 +565,21 @@ void TcpConnection::process_fin(const net::TcpSegment& seg) {
 
 void TcpConnection::maybe_consume_remote_fin() {
     if (remote_fin_consumed_ || !remote_fin_seq_) return;
-    if (Seq32{*remote_fin_seq_} != rcv_.rcv_nxt()) return;
+    if (*remote_fin_seq_ != rcv_.rcv_nxt()) return;
     remote_fin_consumed_ = true;
 
     send_ack_now();
     switch (state_) {
         case TcpState::kSynReceived:
         case TcpState::kEstablished:
-            state_ = TcpState::kCloseWait;
+            transition(TcpState::kCloseWait);
             fire(callbacks_.on_remote_fin);
             break;
         case TcpState::kFinWait1:
             if (fin_sent_ && fin_fully_acked()) {
                 enter_time_wait();
             } else {
-                state_ = TcpState::kClosing;
+                transition(TcpState::kClosing);
             }
             fire(callbacks_.on_remote_fin);
             break;
@@ -894,7 +898,7 @@ void TcpConnection::on_persist_timeout() {
 }
 
 void TcpConnection::enter_time_wait() {
-    state_ = TcpState::kTimeWait;
+    transition(TcpState::kTimeWait);
     cancel_retransmit_timer();
     stack_.sim().cancel(time_wait_timer_);
     auto self = weak_from_this();
@@ -910,14 +914,21 @@ void TcpConnection::enter_time_wait() {
 
 bool TcpConnection::fin_fully_acked() const { return fin_sent_ && snd_una_ == fin_seq_ + 1; }
 
+void TcpConnection::transition(TcpState to) {
+    if constexpr (check::kEnabled) {
+        auditor_.audit_transition(*this, state_, to, stack_.sim().now());
+    }
+    state_ = to;  // lint:allow state-funnel -- the funnel's own write
+}
+
 void TcpConnection::become_established() {
-    state_ = TcpState::kEstablished;
+    transition(TcpState::kEstablished);
     fire(callbacks_.on_established);
 }
 
 void TcpConnection::finish(const std::string& reason) {
     if (state_ == TcpState::kClosed) return;
-    state_ = TcpState::kClosed;
+    transition(TcpState::kClosed);
     cancel_retransmit_timer();
     stack_.sim().cancel(delack_timer_);
     delack_timer_ = sim::kInvalidEventId;

@@ -207,6 +207,11 @@ private:
     void enter_time_wait();
 
     // lifecycle
+    // The single sanctioned write to state_. Consults the constexpr legality
+    // matrix in tcp/state_machine.hpp through the invariant auditor; direct
+    // `state_ =` writes anywhere else are rejected by tools/staticcheck's
+    // state-funnel rule.
+    void transition(TcpState to);
     void become_established();
     void finish(const std::string& reason);  // -> CLOSED, deregister
 
@@ -233,7 +238,7 @@ private:
     bool fin_queued_ = false;
     bool fin_sent_ = false;
     util::Seq32 fin_seq_;  // valid when fin_sent_
-    std::optional<std::uint32_t> remote_fin_seq_;  // raw seq of peer's FIN
+    std::optional<util::Seq32> remote_fin_seq_;  // seq just past the peer's FIN
     bool remote_fin_consumed_ = false;
 
     RttEstimator rtt_;

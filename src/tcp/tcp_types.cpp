@@ -1,22 +1,4 @@
+// to_string(TcpState) moved inline into tcp_types.hpp so the check/ layer can
+// use it without a link dependency; this TU keeps the library non-empty and
+// pins the header as self-contained.
 #include "tcp/tcp_types.hpp"
-
-namespace sttcp::tcp {
-
-std::string_view to_string(TcpState s) {
-    switch (s) {
-        case TcpState::kClosed: return "CLOSED";
-        case TcpState::kListen: return "LISTEN";
-        case TcpState::kSynSent: return "SYN_SENT";
-        case TcpState::kSynReceived: return "SYN_RCVD";
-        case TcpState::kEstablished: return "ESTABLISHED";
-        case TcpState::kFinWait1: return "FIN_WAIT_1";
-        case TcpState::kFinWait2: return "FIN_WAIT_2";
-        case TcpState::kCloseWait: return "CLOSE_WAIT";
-        case TcpState::kClosing: return "CLOSING";
-        case TcpState::kLastAck: return "LAST_ACK";
-        case TcpState::kTimeWait: return "TIME_WAIT";
-    }
-    return "?";
-}
-
-} // namespace sttcp::tcp

@@ -11,7 +11,9 @@
 
 namespace sttcp::tcp {
 
-enum class TcpState {
+// Fixed underlying type so observers (check/tcp_auditor.hpp) can forward-
+// declare the enum without depending on this header.
+enum class TcpState : std::uint8_t {
     kClosed,
     kListen,
     kSynSent,
@@ -25,7 +27,24 @@ enum class TcpState {
     kTimeWait,
 };
 
-[[nodiscard]] std::string_view to_string(TcpState s);
+// Inline so observers that only link the reporting core (src/check/) can
+// name states in violation messages without a link-time dependency on tcp/.
+[[nodiscard]] inline std::string_view to_string(TcpState s) {
+    switch (s) {
+        case TcpState::kClosed: return "CLOSED";
+        case TcpState::kListen: return "LISTEN";
+        case TcpState::kSynSent: return "SYN_SENT";
+        case TcpState::kSynReceived: return "SYN_RCVD";
+        case TcpState::kEstablished: return "ESTABLISHED";
+        case TcpState::kFinWait1: return "FIN_WAIT_1";
+        case TcpState::kFinWait2: return "FIN_WAIT_2";
+        case TcpState::kCloseWait: return "CLOSE_WAIT";
+        case TcpState::kClosing: return "CLOSING";
+        case TcpState::kLastAck: return "LAST_ACK";
+        case TcpState::kTimeWait: return "TIME_WAIT";
+    }
+    return "?";
+}
 
 // Connection 4-tuple, always from the perspective of the local endpoint.
 struct FlowKey {

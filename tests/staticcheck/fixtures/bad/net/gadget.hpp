@@ -1,0 +1,22 @@
+// Fixture: [this]-capturing registration with no teardown path.
+#pragma once
+
+#include <functional>
+
+class Bus {
+public:
+    void subscribe(std::function<void()> fn);
+};
+
+class Gadget {
+public:
+    explicit Gadget(Bus& bus) : bus_(bus) {}
+
+    void hook() {
+        bus_.subscribe([this] { ++hits_; });
+    }
+
+private:
+    Bus& bus_;
+    int hits_ = 0;
+};

@@ -1,0 +1,22 @@
+// Fixture: event-lifecycle violations — a cancel with no reset, and an
+// EventId member whose class has no destructor to cancel it.
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class BadEngine {
+public:
+    explicit BadEngine(sim::Simulation& s) : sim_(s) {}
+
+    void disarm() {
+        sim_.cancel(timer_);
+    }
+
+private:
+    sim::Simulation& sim_;
+    sim::EventId timer_ = sim::kInvalidEventId;
+};

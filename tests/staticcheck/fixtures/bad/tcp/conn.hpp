@@ -1,0 +1,16 @@
+// Fixture: layer-dag violation (tcp including sttcp) and a state_ write
+// outside the transition() funnel.
+#pragma once
+#include "sttcp/engine.hpp"
+
+enum class TcpState { kClosed, kEstablished };
+
+class BadConn {
+public:
+    void bump() {
+        state_ = TcpState::kEstablished;
+    }
+
+private:
+    TcpState state_ = TcpState::kClosed;
+};

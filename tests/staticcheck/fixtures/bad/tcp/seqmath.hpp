@@ -1,0 +1,16 @@
+// Fixture: raw sequence-number arithmetic outside util/seq32.
+#pragma once
+
+#include <cstdint>
+
+class FakeSeq {
+public:
+    [[nodiscard]] std::uint32_t raw() const { return v_; }
+
+private:
+    std::uint32_t v_ = 0;
+};
+
+inline std::int32_t bad_delta(FakeSeq a, FakeSeq b) {
+    return static_cast<std::int32_t>(a.raw() - b.raw());
+}

@@ -1,0 +1,5 @@
+// Fixture: include cycle (util/a.hpp <-> util/b.hpp).
+#pragma once
+#include "util/b.hpp"
+
+inline int a_value() { return 1; }

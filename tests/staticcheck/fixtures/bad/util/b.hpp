@@ -1,0 +1,5 @@
+// Fixture: include cycle — the include below closes it.
+#pragma once
+#include "util/a.hpp"
+
+inline int b_value() { return 2; }

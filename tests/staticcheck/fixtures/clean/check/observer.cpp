@@ -1,0 +1,6 @@
+// Fixture: sanctioned observer back-edge — check/*.cpp may include protocol
+// headers (the auditors observe tcp/sttcp state), while check *headers*
+// stay at rank 2 so protocol headers can include them without a cycle.
+#include "tcp/conn.hpp"
+
+void observe_conn() {}

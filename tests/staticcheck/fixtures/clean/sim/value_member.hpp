@@ -1,0 +1,22 @@
+// Fixture: [this] capture registered on a *value* member — the receiver
+// dies with the owner, so the capture cannot dangle and no teardown is
+// required.
+#pragma once
+
+#include <functional>
+
+class Logger {
+public:
+    void set_sink(std::function<void()> fn);
+};
+
+class Owner {
+public:
+    void init() {
+        logger_.set_sink([this] { ++events_; });
+    }
+
+private:
+    Logger logger_;
+    int events_ = 0;
+};

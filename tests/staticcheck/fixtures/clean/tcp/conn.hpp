@@ -1,0 +1,36 @@
+// Fixture: the legal idioms — every state change through the transition()
+// funnel (with its one sanctioned waiver), cancel-and-reset, and a
+// destructor covering the timer.
+#pragma once
+
+#include "util/seq.hpp"
+
+enum class TcpState { kClosed, kEstablished };
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class GoodConn {
+public:
+    explicit GoodConn(sim::Simulation& s) : sim_(s) {}
+    ~GoodConn() { disarm(); }
+
+    void establish() { transition(TcpState::kEstablished); }
+
+    void disarm() {
+        sim_.cancel(timer_);
+        timer_ = sim::kInvalidEventId;
+    }
+
+private:
+    void transition(TcpState to) {
+        state_ = to;  // lint:allow state-funnel -- the funnel's own write
+    }
+
+    sim::Simulation& sim_;
+    sim::EventId timer_ = sim::kInvalidEventId;
+    TcpState state_ = TcpState::kClosed;
+};

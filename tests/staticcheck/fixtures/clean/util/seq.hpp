@@ -1,0 +1,16 @@
+// Fixture: serialization-position raw() is fine anywhere — only adjacency
+// to + or - (or an int32 cast) makes it sequence arithmetic.
+#pragma once
+
+#include <cstdint>
+
+class FakeSeq {
+public:
+    [[nodiscard]] std::uint32_t raw() const { return v_; }
+
+private:
+    std::uint32_t v_ = 0;
+};
+
+inline void put_u32(std::uint32_t) {}
+inline void serialize(const FakeSeq& s) { put_u32(s.raw()); }

@@ -1,0 +1,27 @@
+// Fixture: the unified waiver syntax. A line-scoped `lint:allow` covers its
+// own line and the line below; `lint:allow-file` covers the whole file.
+// lint:allow-file seq-raw -- fixture exercising the file-scoped waiver
+#pragma once
+
+enum class TcpState { kClosed, kEstablished };
+
+class WaivedConn {
+public:
+    void force_established() {
+        // lint:allow state-funnel -- fixture exercising the line-scoped waiver
+        state_ = TcpState::kEstablished;
+    }
+
+private:
+    TcpState state_ = TcpState::kClosed;
+};
+
+class WaivedSeq {
+public:
+    [[nodiscard]] unsigned raw() const { return v_; }
+
+private:
+    unsigned v_ = 0;
+};
+
+inline unsigned waived_delta(WaivedSeq a, WaivedSeq b) { return a.raw() - b.raw(); }

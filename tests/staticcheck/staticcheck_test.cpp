@@ -1,0 +1,93 @@
+// End-to-end tests of the staticcheck binary over planted fixture trees:
+// every rule must fire at the expected file:line on the bad tree, the clean
+// tree and both waiver syntaxes must pass, and — the self-hosting check —
+// the real src/ tree must be clean. The binary path and fixture root come
+// in as compile definitions from tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+    int exit_code = -1;
+    std::string output;
+};
+
+RunResult run_staticcheck(const std::string& args) {
+    std::string cmd = std::string(STTCP_STATICCHECK_BIN) + " " + args + " 2>&1";
+    RunResult r;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return r;
+    char buf[4096];
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+    int status = pclose(pipe);
+    if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+    return r;
+}
+
+std::string fixture(const char* tree) {
+    return std::string(STTCP_STATICCHECK_FIXTURES) + "/" + tree;
+}
+
+TEST(Staticcheck, BadTreeFiresEveryRuleAtTheRightLine) {
+    RunResult r = run_staticcheck("--root " + fixture("bad"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("tcp/conn.hpp:4: [layer-dag]"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("util/b.hpp:3: [include-cycle]"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("util/a.hpp -> util/b.hpp -> util/a.hpp"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("tcp/conn.hpp:11: [state-funnel]"), std::string::npos) << r.output;
+    // Both halves of event-lifecycle: missing destructor (at the class) and
+    // a cancel that leaves the id armed (at the cancel).
+    EXPECT_NE(r.output.find("sttcp/engine.hpp:11: [event-lifecycle]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("sttcp/engine.hpp:16: [event-lifecycle]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("net/gadget.hpp:16: [this-capture]"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("tcp/seqmath.hpp:15: [seq-raw]"), std::string::npos) << r.output;
+}
+
+TEST(Staticcheck, CleanTreePasses) {
+    RunResult r = run_staticcheck("--root " + fixture("clean"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("files clean"), std::string::npos) << r.output;
+}
+
+TEST(Staticcheck, BothWaiverSyntaxesSuppress) {
+    RunResult r = run_staticcheck("--root " + fixture("waived"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Staticcheck, SrcTreeIsClean) {
+    // The self-hosting gate: the analyzer must pass over the real sources.
+    RunResult r = run_staticcheck("--root " + std::string(STTCP_SRC_DIR));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Staticcheck, JsonReportListsFindings) {
+    std::string json_path = ::testing::TempDir() + "/staticcheck_report.json";
+    RunResult r = run_staticcheck("--root " + fixture("bad") + " --json " + json_path);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+
+    std::ifstream in(json_path);
+    ASSERT_TRUE(in.good()) << "no JSON report at " << json_path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string json = ss.str();
+    EXPECT_NE(json.find("\"rule\": \"state-funnel\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"rule\": \"layer-dag\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"file\": \"tcp/conn.hpp\""), std::string::npos) << json;
+    std::remove(json_path.c_str());
+}
+
+TEST(Staticcheck, UnknownArgumentIsAUsageError) {
+    RunResult r = run_staticcheck("--frobnicate");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+} // namespace

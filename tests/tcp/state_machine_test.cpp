@@ -1,0 +1,118 @@
+// The compile-time TCP transition matrix (tcp/state_machine.hpp) and its
+// runtime enforcement through TcpConnection::transition() + the invariant
+// auditor. The matrix itself is pinned by static_asserts in the header;
+// these tests document the interesting edges and prove the runtime side
+// actually fires — the acceptance check for the whole funnel refactor is
+// that an illegal transition is caught *twice*: statically (staticcheck's
+// state-funnel rule forbids bypassing the funnel) and at runtime (the
+// auditor names tcp.state.legal_transition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/tcp_auditor.hpp"
+#include "harness/testbed.hpp"
+#include "tcp/state_machine.hpp"
+
+namespace sttcp {
+namespace {
+
+using check::ScopedCapture;
+using check::Violation;
+using harness::HubTestbed;
+using harness::TestbedOptions;
+using tcp::is_legal_transition;
+using tcp::TcpState;
+
+TEST(StateMachineMatrix, Rfc793Edges) {
+    // The three-way handshake, both directions.
+    EXPECT_TRUE(is_legal_transition(TcpState::kClosed, TcpState::kSynSent));
+    EXPECT_TRUE(is_legal_transition(TcpState::kClosed, TcpState::kListen));
+    EXPECT_TRUE(is_legal_transition(TcpState::kSynSent, TcpState::kEstablished));
+    EXPECT_TRUE(is_legal_transition(TcpState::kSynReceived, TcpState::kEstablished));
+    // Close choreography.
+    EXPECT_TRUE(is_legal_transition(TcpState::kEstablished, TcpState::kFinWait1));
+    EXPECT_TRUE(is_legal_transition(TcpState::kFinWait1, TcpState::kFinWait2));
+    EXPECT_TRUE(is_legal_transition(TcpState::kFinWait1, TcpState::kClosing));
+    EXPECT_TRUE(is_legal_transition(TcpState::kFinWait2, TcpState::kTimeWait));
+    EXPECT_TRUE(is_legal_transition(TcpState::kCloseWait, TcpState::kLastAck));
+    EXPECT_TRUE(is_legal_transition(TcpState::kLastAck, TcpState::kClosed));
+    EXPECT_TRUE(is_legal_transition(TcpState::kTimeWait, TcpState::kClosed));
+}
+
+TEST(StateMachineMatrix, SttcpExtensionEdges) {
+    // §4.1 late join: a shadow connection materializes directly in
+    // ESTABLISHED from the client's handshake ACK.
+    EXPECT_TRUE(is_legal_transition(TcpState::kClosed, TcpState::kEstablished));
+    // A retransmitted FIN restarts 2MSL: TIME_WAIT is the only self-loop.
+    EXPECT_TRUE(is_legal_transition(TcpState::kTimeWait, TcpState::kTimeWait));
+    EXPECT_FALSE(is_legal_transition(TcpState::kEstablished, TcpState::kEstablished));
+    // Abort/RST: any non-Closed state may drop to Closed.
+    EXPECT_TRUE(is_legal_transition(TcpState::kSynSent, TcpState::kClosed));
+    EXPECT_TRUE(is_legal_transition(TcpState::kEstablished, TcpState::kClosed));
+    EXPECT_TRUE(is_legal_transition(TcpState::kFinWait2, TcpState::kClosed));
+}
+
+TEST(StateMachineMatrix, IllegalEdgesStayIllegal) {
+    EXPECT_FALSE(is_legal_transition(TcpState::kListen, TcpState::kEstablished));
+    EXPECT_FALSE(is_legal_transition(TcpState::kEstablished, TcpState::kTimeWait));
+    EXPECT_FALSE(is_legal_transition(TcpState::kFinWait2, TcpState::kFinWait1));
+    EXPECT_FALSE(is_legal_transition(TcpState::kCloseWait, TcpState::kEstablished));
+    EXPECT_FALSE(is_legal_transition(TcpState::kTimeWait, TcpState::kEstablished));
+    EXPECT_FALSE(is_legal_transition(TcpState::kClosed, TcpState::kClosed));
+}
+
+bool has_violation(const std::vector<Violation>& captured, std::string_view name) {
+    return std::any_of(captured.begin(), captured.end(),
+                       [&](const Violation& v) { return v.invariant == name; });
+}
+
+TEST(StateMachineRuntime, AuditorNamesIllegalTransition) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    HubTestbed bed{TestbedOptions{}};
+    auto conn = bed.client->tcp_connect(bed.service_ip(), 8000);
+    check::TcpInvariantAuditor auditor;
+
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    auditor.audit_transition(*conn, TcpState::kListen, TcpState::kEstablished,
+                             bed.sim.now());
+    EXPECT_TRUE(has_violation(captured, "tcp.state.legal_transition"));
+}
+
+TEST(StateMachineRuntime, AuditorAcceptsSttcpLateJoin) {
+    if (!check::kEnabled) GTEST_SKIP() << "built without STTCP_AUDIT";
+    HubTestbed bed{TestbedOptions{}};
+    auto conn = bed.client->tcp_connect(bed.service_ip(), 8000);
+    check::TcpInvariantAuditor auditor;
+
+    std::vector<Violation> captured;
+    ScopedCapture capture{captured};
+    auditor.audit_transition(*conn, TcpState::kClosed, TcpState::kEstablished,
+                             bed.sim.now());
+    EXPECT_FALSE(has_violation(captured, "tcp.state.legal_transition"));
+}
+
+// Regression for the two genuine findings staticcheck's event-lifecycle rule
+// surfaced: SttcpPrimary and SttcpBackup had no destructors, so a started
+// engine destroyed with its heartbeat/sync timers pending left [this]-
+// capturing events armed in the queue. Destroy both engines mid-flight and
+// keep the simulation running — under ASan this is a use-after-free unless
+// ~SttcpPrimary()/~SttcpBackup() cancel the timers (they call stop()).
+TEST(EngineLifetime, DestroyingStartedEnginesCancelsTheirTimers) {
+    HubTestbed bed{TestbedOptions{}};
+    bed.st_primary->start();
+    bed.st_backup->start();
+    // Let the heartbeat machinery arm fresh timers.
+    bed.sim.run_until(bed.sim.now() + sim::milliseconds{700});
+    bed.st_primary.reset();
+    bed.st_backup.reset();
+    // Anything they left scheduled fires here.
+    bed.sim.run_until(bed.sim.now() + sim::seconds{5});
+}
+
+} // namespace
+} // namespace sttcp

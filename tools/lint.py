@@ -1,13 +1,8 @@
 #!/usr/bin/env python3
 """Custom protocol lints for the ST-TCP codebase.
 
-Four rules, each guarding an invariant the type system cannot express:
-
-  seq-raw        TCP sequence numbers are mod-2^32; the only safe way to
-                 compare or difference them is util::Seq32's serial-number
-                 operators (or util::seq_delta for a signed offset). Raw
-                 `x.raw() - y.raw()`-style arithmetic outside util/seq32 is
-                 exactly how wraparound bugs are written.
+Two regex rules remain here, each guarding an invariant the type system
+cannot express but which never needs token- or flow-awareness:
 
   payload-alloc  Frame payloads are ref-counted (util::SharedPayload) and
                  recycled (util::BufferPool). A naked new[]/delete[] of a
@@ -21,15 +16,15 @@ Four rules, each guarding an invariant the type system cannot express:
                  that pokes it directly bypasses the pipeline's stats,
                  determinism guarantees, and per-direction addressing.
 
-  stale-event    sim::EventQueue cancellation is generation-checked;
-                 cancelling a handle and keeping the old value around invites
-                 double-cancel of a recycled slot. Every `cancel(handle_)` of
-                 a member handle must be followed by reassignment of that
-                 handle (usually `handle_ = sim::kInvalidEventId`) within a
-                 few lines.
+The former seq-raw and stale-event regex rules are retired: both needed
+real token streams and flow awareness to avoid false positives, and now
+live in tools/staticcheck (rules `seq-raw` and `event-lifecycle`), which
+also enforces the include-layering DAG, the TCP state-transition funnel,
+and [this]-capture teardown. See DESIGN.md §10.
 
-A finding can be waived on its line (or the line above) with:
-    // lint:allow <rule-name> -- reason
+Waiver syntax (shared verbatim with staticcheck):
+    // lint:allow <rule-name> -- reason        (this line or the line below)
+    // lint:allow-file <rule-name> -- reason   (the whole file)
 Exit status: 0 when clean, 1 when any violation is found.
 """
 
@@ -43,16 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
-
-# ---------------------------------------------------------------- rule: seq-raw
-# Arithmetic mixing .raw() with +/- (either side), or a signed cast of a
-# .raw() difference. util/seq32.* is the sanctioned home of this arithmetic.
-SEQ_RAW_PATTERNS = [
-    re.compile(r"\.raw\(\)\s*[-+]\s*(?!1\s*[,)\s;])"),  # seq.raw() - x (allow ±1 literals)
-    re.compile(r"[-+]\s*\w+(?:\.\w+\(\))*\.raw\(\)"),   # x - seq.raw()
-    re.compile(r"static_cast<\s*std::u?int32_t\s*>\s*\(\s*\w+(?:\.\w+\(\))*\.raw\(\)"),
-]
-SEQ_RAW_EXEMPT = {"util/seq32.hpp", "util/seq32.cpp"}
+ALLOW_FILE_RE = re.compile(r"//\s*lint:allow-file\s+([\w-]+)")
 
 # ----------------------------------------------------------- rule: payload-alloc
 PAYLOAD_ALLOC_PATTERNS = [
@@ -77,14 +63,20 @@ IMPAIRMENT_API_EXEMPT = {
     "net/impairment.cpp",
 }
 
-# ------------------------------------------------------------- rule: stale-event
-CANCEL_RE = re.compile(r"\bcancel\s*\(\s*(\w+)\s*\)")
-STALE_EVENT_WINDOW = 3  # lines after the cancel in which the reset must appear
-
 
 def is_comment(line: str) -> bool:
     stripped = line.lstrip()
     return stripped.startswith("//") or stripped.startswith("*")
+
+
+def file_waivers(lines: list[str]) -> set[str]:
+    """Rules waived for the whole file via `// lint:allow-file <rule>`."""
+    waived = set()
+    for line in lines:
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            waived.add(m.group(1))
+    return waived
 
 
 def allowed(lines: list[str], idx: int, rule: str) -> bool:
@@ -98,7 +90,7 @@ def allowed(lines: list[str], idx: int, rule: str) -> bool:
 
 
 def check_patterns(rel: str, lines: list[str], patterns, exempt, rule: str):
-    if rel in exempt:
+    if rel in exempt or rule in file_waivers(lines):
         return
     for i, line in enumerate(lines):
         if is_comment(line):
@@ -110,32 +102,6 @@ def check_patterns(rel: str, lines: list[str], patterns, exempt, rule: str):
                 break
 
 
-def check_stale_event(rel: str, lines: list[str]):
-    for i, line in enumerate(lines):
-        if is_comment(line):
-            continue
-        code = line.split("//", 1)[0]
-        m = CANCEL_RE.search(code)
-        if not m:
-            continue
-        handle = m.group(1)
-        # Only member/long-lived handles matter; locals that die at scope end
-        # (no trailing underscore) cannot be reused later.
-        if not handle.endswith("_"):
-            continue
-        reset_re = re.compile(rf"\b{re.escape(handle)}\s*=")
-        window = lines[i + 1 : i + 1 + STALE_EVENT_WINDOW]
-        # A reset on the same line (e.g. `cancel(std::exchange(h_, ...))`) or
-        # within the window satisfies the rule.
-        if reset_re.search(code.split("cancel", 1)[1]) or any(
-            reset_re.search(w.split("//", 1)[0]) for w in window
-        ):
-            continue
-        if allowed(lines, i, "stale-event"):
-            continue
-        yield (i + 1, "stale-event", code.strip())
-
-
 def main() -> int:
     findings = []
     for path in sorted(SRC_ROOT.rglob("*")):
@@ -143,10 +109,6 @@ def main() -> int:
             continue
         rel = path.relative_to(SRC_ROOT).as_posix()
         lines = path.read_text().splitlines()
-        findings += [
-            (rel, *f)
-            for f in check_patterns(rel, lines, SEQ_RAW_PATTERNS, SEQ_RAW_EXEMPT, "seq-raw")
-        ]
         findings += [
             (rel, *f)
             for f in check_patterns(
@@ -159,7 +121,6 @@ def main() -> int:
                 rel, lines, IMPAIRMENT_API_PATTERNS, IMPAIRMENT_API_EXEMPT, "impairment-api"
             )
         ]
-        findings += [(rel, *f) for f in check_stale_event(rel, lines)]
 
     for rel, lineno, rule, snippet in findings:
         print(f"src/{rel}:{lineno}: [{rule}] {snippet}")

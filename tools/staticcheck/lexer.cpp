@@ -1,0 +1,199 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace staticcheck {
+
+namespace {
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first so "<<=" beats "<<" beats "<".
+constexpr std::array<std::string_view, 21> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "==", "!=", "<=", ">=", "->", "::",
+    "+=",  "-=",  "*=",  "/=",  "&&", "||", "<<", ">>", "++", "--", "|=",
+};
+
+// Parses waiver comments out of a single comment's text.
+void scan_comment_for_waivers(std::string_view comment, int line,
+                              std::vector<Waiver>& out) {
+    constexpr std::string_view kTag = "lint:allow";
+    std::size_t pos = comment.find(kTag);
+    if (pos == std::string_view::npos) return;
+    std::size_t p = pos + kTag.size();
+    bool whole_file = false;
+    constexpr std::string_view kFileSuffix = "-file";
+    if (comment.substr(p).starts_with(kFileSuffix)) {
+        whole_file = true;
+        p += kFileSuffix.size();
+    }
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    std::size_t start = p;
+    while (p < comment.size() &&
+           (is_ident_char(comment[p]) || comment[p] == '-')) {
+        ++p;
+    }
+    if (p == start) return;
+    out.push_back({std::string(comment.substr(start, p - start)), line, whole_file});
+}
+
+} // namespace
+
+LexResult lex(std::string_view text) {
+    LexResult r;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = text.size();
+
+    auto push = [&](TokKind kind, std::size_t begin, std::size_t end) {
+        r.tokens.push_back({kind, text.substr(begin, end - begin), line});
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment (waiver carrier).
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t end = text.find('\n', i);
+            if (end == std::string_view::npos) end = n;
+            scan_comment_for_waivers(text.substr(i, end - i), line, r.waivers);
+            i = end;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t end = text.find("*/", i + 2);
+            if (end == std::string_view::npos) end = n;
+            std::string_view body = text.substr(i, end - i);
+            scan_comment_for_waivers(body, line, r.waivers);
+            for (char bc : body) {
+                if (bc == '\n') ++line;
+            }
+            i = (end == n) ? n : end + 2;
+            continue;
+        }
+
+        // Preprocessor directive: consume the logical line (with backslash
+        // continuations); record quoted includes.
+        if (c == '#') {
+            std::size_t begin = i;
+            std::size_t j = i;
+            while (j < n) {
+                std::size_t eol = text.find('\n', j);
+                if (eol == std::string_view::npos) {
+                    j = n;
+                    break;
+                }
+                // Continuation?
+                std::size_t back = eol;
+                while (back > j && std::isspace(static_cast<unsigned char>(text[back - 1])) &&
+                       text[back - 1] != '\n') {
+                    --back;
+                }
+                if (back > j && text[back - 1] == '\\') {
+                    ++line;
+                    j = eol + 1;
+                    continue;
+                }
+                j = eol;
+                break;
+            }
+            std::string_view directive = text.substr(begin, j - begin);
+            std::size_t inc = directive.find("include");
+            if (inc != std::string_view::npos) {
+                std::size_t q1 = directive.find('"', inc);
+                if (q1 != std::string_view::npos) {
+                    std::size_t q2 = directive.find('"', q1 + 1);
+                    if (q2 != std::string_view::npos) {
+                        r.includes.push_back(
+                            {std::string(directive.substr(q1 + 1, q2 - q1 - 1)), line});
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
+
+        // Raw string literal.
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            std::size_t paren = text.find('(', i + 2);
+            if (paren != std::string_view::npos) {
+                std::string delim(text.substr(i + 2, paren - (i + 2)));
+                std::string closer = ")" + delim + "\"";
+                std::size_t end = text.find(closer, paren + 1);
+                if (end == std::string_view::npos) end = n;
+                else end += closer.size();
+                for (std::size_t k = i; k < end && k < n; ++k) {
+                    if (text[k] == '\n') ++line;
+                }
+                push(TokKind::kString, i, std::min(end, n));
+                i = std::min(end, n);
+                continue;
+            }
+        }
+
+        // String / char literal with escape handling.
+        if (c == '"' || c == '\'') {
+            std::size_t begin = i;
+            char quote = c;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n) ++i;
+                if (text[i] == '\n') ++line;
+                ++i;
+            }
+            if (i < n) ++i;  // closing quote
+            push(quote == '"' ? TokKind::kString : TokKind::kChar, begin, i);
+            continue;
+        }
+
+        if (is_ident_start(c)) {
+            std::size_t begin = i;
+            while (i < n && is_ident_char(text[i])) ++i;
+            push(TokKind::kIdent, begin, i);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t begin = i;
+            while (i < n && (is_ident_char(text[i]) || text[i] == '.' ||
+                             ((text[i] == '+' || text[i] == '-') && i > begin &&
+                              (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                               text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+                ++i;
+            }
+            push(TokKind::kNumber, begin, i);
+            continue;
+        }
+
+        // Punctuation: longest match against the multi-char table.
+        for (std::string_view op : kMultiPunct) {
+            if (text.substr(i, op.size()) == op) {
+                push(TokKind::kPunct, i, i + op.size());
+                i += op.size();
+                goto next;
+            }
+        }
+        push(TokKind::kPunct, i, i + 1);
+        ++i;
+    next:;
+    }
+    return r;
+}
+
+} // namespace staticcheck

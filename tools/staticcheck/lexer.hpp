@@ -1,0 +1,55 @@
+// Minimal C++ lexer for the ST-TCP protocol static analyzer.
+//
+// Deliberately not a real C++ front end: no preprocessing, no template
+// instantiation, no name lookup. It produces exactly what the rules in
+// rules.cpp need — a token stream with line numbers, the quoted #include
+// list, and the waiver comments — while being immune to the failure modes
+// of the old regex lints (matches inside strings, comments, or macro
+// bodies). Anything it cannot classify becomes a punctuation token and is
+// simply never matched by a rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace staticcheck {
+
+enum class TokKind {
+    kIdent,    // identifiers and keywords
+    kNumber,   // numeric literal (any base; suffixes folded in)
+    kString,   // "..." or R"(...)" (contents dropped)
+    kChar,     // '...'
+    kPunct,    // operators and punctuation, longest-match (e.g. "==", "->")
+};
+
+struct Token {
+    TokKind kind;
+    std::string_view text;  // view into the file buffer owned by SourceFile
+    int line = 0;
+};
+
+struct Include {
+    std::string path;  // quoted-form include path, verbatim
+    int line = 0;
+};
+
+// One `// lint:allow <rule> -- reason` waiver (line-scoped) or
+// `// lint:allow-file <rule> -- reason` (whole-file). The same syntax is
+// understood by tools/lint.py; DESIGN.md §10 documents it.
+struct Waiver {
+    std::string rule;
+    int line = 0;       // line the comment sits on
+    bool whole_file = false;
+};
+
+struct LexResult {
+    std::vector<Token> tokens;
+    std::vector<Include> includes;   // quoted includes only ("our" headers)
+    std::vector<Waiver> waivers;
+};
+
+// Lexes `text` (which must outlive the returned tokens).
+[[nodiscard]] LexResult lex(std::string_view text);
+
+} // namespace staticcheck

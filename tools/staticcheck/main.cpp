@@ -1,0 +1,97 @@
+// staticcheck — the ST-TCP protocol static analyzer.
+//
+//   staticcheck [--root DIR] [--json FILE]
+//
+// Analyzes every *.hpp/*.cpp under DIR (default: src/ next to the binary's
+// CWD) and prints one `path:line: [rule] message` per finding. Exit status
+// is 1 when there are findings, 2 on usage/IO errors, 0 when clean.
+//
+// Rules (DESIGN.md §10): layer-dag, include-cycle, state-funnel,
+// event-lifecycle, this-capture, seq-raw. Waive a finding with
+// `// lint:allow <rule> -- reason` on or above the line, or
+// `// lint:allow-file <rule> -- reason` anywhere in the file.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "model.hpp"
+#include "rules.hpp"
+
+namespace {
+
+// Minimal JSON string escape for paths and messages.
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string root = "src";
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: staticcheck [--root DIR] [--json FILE]\n";
+            return 0;
+        } else {
+            std::cerr << "staticcheck: unknown argument '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    staticcheck::Tree tree;
+    if (!staticcheck::load_tree(root, tree)) return 2;
+
+    std::vector<staticcheck::Finding> findings = staticcheck::run_all_rules(tree);
+    for (const staticcheck::Finding& f : findings) {
+        std::cout << f.rel << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream js(json_path);
+        if (!js) {
+            std::cerr << "staticcheck: cannot write " << json_path << "\n";
+            return 2;
+        }
+        js << "{\n  \"root\": \"" << json_escape(root) << "\",\n  \"files\": "
+           << tree.files.size() << ",\n  \"findings\": [";
+        for (std::size_t i = 0; i < findings.size(); ++i) {
+            const auto& f = findings[i];
+            js << (i == 0 ? "" : ",") << "\n    {\"file\": \"" << json_escape(f.rel)
+               << "\", \"line\": " << f.line << ", \"rule\": \"" << json_escape(f.rule)
+               << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+        }
+        js << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+    }
+
+    if (findings.empty()) {
+        std::cerr << "staticcheck: " << tree.files.size() << " files clean\n";
+        return 0;
+    }
+    std::cerr << "staticcheck: " << findings.size() << " finding(s) in " << tree.files.size()
+              << " files\n";
+    return 1;
+}

@@ -1,0 +1,358 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace staticcheck {
+
+namespace fs = std::filesystem;
+
+bool SourceFile::waived(int line, const std::string& rule) const {
+    for (const Waiver& w : lex.waivers) {
+        if (w.rule != rule) continue;
+        if (w.whole_file) return true;
+        // A waiver comment covers its own line (trailing comment) and the
+        // line below it (comment-above-code style).
+        if (w.line == line || w.line + 1 == line) return true;
+    }
+    return false;
+}
+
+const MemberVar* ClassModel::find_member(std::string_view n) const {
+    for (const MemberVar& m : members) {
+        if (m.name == n) return &m;
+    }
+    return nullptr;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural parse
+// ---------------------------------------------------------------------------
+
+struct Scope {
+    enum Kind { kNamespace, kClass, kBlock } kind = kBlock;
+    std::string name;  // class name for kClass
+};
+
+// Flattens a token range into a readable type/declaration string.
+std::string flatten(const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+    std::string out;
+    for (std::size_t i = begin; i < end; ++i) {
+        std::string_view t = toks[i].text;
+        if (!out.empty() && t != "::" && t != "<" && t != ">" && t != "," &&
+            (out.back() != ':' && out.back() != '<')) {
+            out += ' ';
+        }
+        out += t;
+    }
+    return out;
+}
+
+// Returns the index one past the brace that matches toks[open] (which must
+// be "{"), or toks.size() if unbalanced.
+std::size_t skip_braces(const std::vector<Token>& toks, std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == "{") ++depth;
+        else if (toks[i].text == "}") {
+            if (--depth == 0) return i + 1;
+        }
+    }
+    return toks.size();
+}
+
+bool is_keyword_like(std::string_view t) {
+    return t == "const" || t == "constexpr" || t == "static" || t == "inline" ||
+           t == "mutable" || t == "virtual" || t == "explicit" || t == "typename" ||
+           t == "volatile";
+}
+
+struct Parser {
+    const SourceFile& file;
+    Tree& tree;
+    const std::vector<Token>& toks;
+
+    explicit Parser(const SourceFile& f, Tree& t) : file(f), tree(t), toks(f.lex.tokens) {}
+
+    ClassModel& class_for(const std::string& name, int line) {
+        ClassModel& c = tree.classes[name];
+        if (c.name.empty()) {
+            c.name = name;
+            c.declared_in = &file;
+            c.line = line;
+        }
+        return c;
+    }
+
+    // Parses the statement whose tokens start at `i` inside `scopes`;
+    // returns the index of the first token after the statement.
+    std::size_t statement(std::size_t i, std::vector<Scope>& scopes);
+
+    void run() {
+        std::vector<Scope> scopes;
+        std::size_t i = 0;
+        while (i < toks.size()) {
+            if (toks[i].text == "}") {
+                if (!scopes.empty()) scopes.pop_back();
+                ++i;
+                continue;
+            }
+            i = statement(i, scopes);
+        }
+    }
+
+    // --- statement-head classification helpers ---
+
+    // Looks for `class`/`struct` introducing a definition in [begin, end):
+    // the keyword must be followed by an identifier (and optional `final`)
+    // whose next token is `{` or `:`. Rejects `enum class` and
+    // `template <class T>` forms.
+    bool find_class_head(std::size_t begin, std::size_t end, std::string& name) const {
+        for (std::size_t j = begin; j < end; ++j) {
+            std::string_view t = toks[j].text;
+            if (t != "class" && t != "struct") continue;
+            if (j > begin && toks[j - 1].text == "enum") continue;
+            std::size_t k = j + 1;
+            if (k >= end || toks[k].kind != TokKind::kIdent) continue;
+            std::string cand(toks[k].text);
+            ++k;
+            if (k < end && toks[k].text == "final") ++k;
+            if (k < end && (toks[k].text == "{" || toks[k].text == ":")) {
+                name = std::move(cand);
+                return true;
+            }
+            if (k == end) {  // `class X` right before the statement's `{`
+                name = std::move(cand);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // If [begin, end) (tokens before a `{`) looks like a function header,
+    // extracts the unqualified name and the `Class::` qualifier.
+    bool find_function_head(std::size_t begin, std::size_t end, std::string& name,
+                            std::string& qualifier, int& line) const {
+        // Find the first `(` — its preceding identifier is the name. Skip
+        // a leading `template <...>` clause and `[[...]]` attributes.
+        std::size_t j = begin;
+        if (j < end && toks[j].text == "template") return false;  // none in tree
+        for (; j < end; ++j) {
+            if (toks[j].text == "(") break;
+        }
+        if (j >= end || j == begin) return false;
+        std::size_t nm = j - 1;
+        if (toks[nm].kind != TokKind::kIdent && toks[nm].text != "]") {
+            // operator overloads (`operator==`): name is punct after `operator`.
+            if (nm >= 1 && toks[nm - 1].text == "operator") {
+                name = "operator" + std::string(toks[nm].text);
+                line = toks[nm].line;
+                if (nm >= 3 && toks[nm - 2].text == "::" && toks[nm - 3].kind == TokKind::kIdent) {
+                    qualifier = std::string(toks[nm - 3].text);
+                }
+                return true;
+            }
+            return false;
+        }
+        if (toks[nm].kind != TokKind::kIdent) return false;
+        name = std::string(toks[nm].text);
+        line = toks[nm].line;
+        if (nm >= 1 && toks[nm - 1].text == "~") name = "~" + name;
+        // Qualifier: `Class :: [~] name (`
+        std::size_t q = nm;
+        if (q >= 1 && toks[q - 1].text == "~") --q;
+        if (q >= 2 && toks[q - 1].text == "::" && toks[q - 2].kind == TokKind::kIdent) {
+            qualifier = std::string(toks[q - 2].text);
+        }
+        return true;
+    }
+
+    void record_member_var(ClassModel& cls, std::size_t begin, std::size_t end) {
+        // Declaration part: tokens before a top-level `=` (default init).
+        std::size_t decl_end = end;
+        int paren = 0, angle_guard = 0;
+        for (std::size_t j = begin; j < end; ++j) {
+            std::string_view t = toks[j].text;
+            if (t == "(") ++paren;
+            else if (t == ")") --paren;
+            else if (t == "<") ++angle_guard;
+            else if (t == ">") angle_guard = std::max(0, angle_guard - 1);
+            else if (t == "=" && paren == 0 && angle_guard == 0) {
+                decl_end = j;
+                break;
+            }
+        }
+        if (decl_end <= begin) return;
+        const Token& last = toks[decl_end - 1];
+        if (last.kind != TokKind::kIdent) return;
+        if (last.text.size() < 2 || last.text.back() != '_') return;  // not a member
+        // `name(` is a function declaration, not a variable.
+        if (decl_end < end && toks[decl_end].text == "(") return;
+        MemberVar m;
+        m.name = std::string(last.text);
+        m.line = last.line;
+        m.type = flatten(toks, begin, decl_end - 1);
+        std::string_view prev = decl_end >= 2 ? toks[decl_end - 2].text : std::string_view{};
+        m.is_value = prev != "*" && prev != "&" &&
+                     m.type.find("_ptr") == std::string::npos;  // smart ptrs point elsewhere
+        if (cls.find_member(m.name) == nullptr) cls.members.push_back(std::move(m));
+    }
+};
+
+std::size_t Parser::statement(std::size_t i, std::vector<Scope>& scopes) {
+    const std::size_t begin = i;
+    const std::size_t n = toks.size();
+    bool in_class = !scopes.empty() && scopes.back().kind == Scope::kClass;
+
+    // Access specifiers inside a class: `public:` etc.
+    if (in_class && i + 1 < n && toks[i].kind == TokKind::kIdent &&
+        (toks[i].text == "public" || toks[i].text == "private" || toks[i].text == "protected") &&
+        toks[i + 1].text == ":") {
+        return i + 2;
+    }
+
+    // Scan to the statement terminator, stepping over braced initializers
+    // that are part of a larger statement (e.g. `sim::TimePoint t_{};`).
+    while (i < n) {
+        std::string_view t = toks[i].text;
+        if (t == ";") break;
+        if (t == "}") break;  // enclosing scope closes mid-statement: bail
+        if (t == "{") {
+            // Braced initializer iff directly after an identifier/`=`/`,`
+            // with no class/namespace/function head in this statement.
+            std::string cname;
+            std::string fname, fqual;
+            int fline = 0;
+            if (find_class_head(begin, i, cname)) {
+                // Class/struct definition.
+                class_for(cname, toks[begin].line);
+                scopes.push_back({Scope::kClass, cname});
+                return i + 1;
+            }
+            if (toks[begin].text == "namespace") {
+                scopes.push_back({Scope::kNamespace, ""});
+                return i + 1;
+            }
+            bool has_enum = false;
+            for (std::size_t j = begin; j < i; ++j) {
+                if (toks[j].text == "enum") has_enum = true;
+            }
+            if (has_enum) {
+                // Enum body: opaque; skip entirely (the `;` after follows).
+                return skip_braces(toks, i);
+            }
+            if (find_function_head(begin, i, fname, fqual, fline)) {
+                std::size_t end = skip_braces(toks, i);
+                FunctionBody body;
+                body.file = &file;
+                body.name = fname;
+                body.begin = i;
+                body.end = end;
+                body.line = fline;
+                if (!fqual.empty()) {
+                    body.class_name = fqual;
+                } else if (in_class) {
+                    body.class_name = scopes.back().name;
+                }
+                if (!body.class_name.empty()) {
+                    ClassModel& cls = class_for(body.class_name, fline);
+                    if (!fname.empty() && fname[0] == '~') cls.has_user_dtor_decl = true;
+                    cls.functions.push_back(body);
+                } else {
+                    tree.free_functions.push_back(body);
+                }
+                // Trailing `;` (e.g. after a lambda-free inline body there is
+                // none; after `} ;` of a class there would be, but that path
+                // is the scope-pop branch, not this one).
+                return end;
+            }
+            // Braced initializer / unknown construct: step over it and keep
+            // scanning the same statement.
+            i = skip_braces(toks, i);
+            continue;
+        }
+        ++i;
+    }
+
+    std::size_t term = i;  // index of `;` (or `}` / n if bailing)
+    if (term < n && toks[term].text == "}") return term;  // let run() pop
+
+    if (in_class && term > begin) {
+        ClassModel& cls = class_for(scopes.back().name, toks[begin].line);
+        // Destructor declaration `~X(...)...;` (possibly `= default`).
+        if (toks[begin].text == "~" ||
+            (begin + 1 < term && toks[begin].text == "virtual" && toks[begin + 1].text == "~")) {
+            cls.has_user_dtor_decl = true;
+            for (std::size_t j = begin; j < term; ++j) {
+                if (toks[j].text == "default") cls.dtor_defaulted = true;
+            }
+        } else {
+            bool skip = is_keyword_like(toks[begin].text) && toks[begin].text == "static";
+            if (!skip) record_member_var(cls, begin, term);
+        }
+    }
+    return term < n ? term + 1 : n;
+}
+
+// ---------------------------------------------------------------------------
+// Tree loading
+// ---------------------------------------------------------------------------
+
+bool read_file(const fs::path& p, std::string& out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+bool load_tree(const std::string& root, Tree& out) {
+    out.root = root;
+    std::error_code ec;
+    std::vector<fs::path> paths;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end; it.increment(ec)) {
+        if (ec) {
+            std::cerr << "staticcheck: error walking " << root << ": " << ec.message() << "\n";
+            return false;
+        }
+        if (!it->is_regular_file()) continue;
+        const fs::path& p = it->path();
+        if (p.extension() == ".hpp" || p.extension() == ".cpp") paths.push_back(p);
+    }
+    if (ec) {
+        std::cerr << "staticcheck: cannot open " << root << ": " << ec.message() << "\n";
+        return false;
+    }
+    std::sort(paths.begin(), paths.end());
+    out.files.reserve(paths.size());  // stable addresses for back-pointers
+
+    for (const fs::path& p : paths) {
+        SourceFile f;
+        f.abs_path = p.string();
+        f.rel = fs::relative(p, root).generic_string();
+        f.layer = f.rel.substr(0, f.rel.find('/'));
+        if (f.layer == f.rel) f.layer = "";  // file at the root itself
+        f.is_header = p.extension() == ".hpp";
+        if (!read_file(p, f.text)) {
+            std::cerr << "staticcheck: cannot read " << f.abs_path << "\n";
+            return false;
+        }
+        out.files.push_back(std::move(f));
+    }
+    // Lex after the vector is final so string_views stay valid.
+    for (SourceFile& f : out.files) {
+        f.lex = lex(f.text);
+        Parser(f, out).run();
+    }
+    return true;
+}
+
+} // namespace staticcheck

@@ -1,0 +1,85 @@
+// Source model for the ST-TCP static analyzer: files, layers, and a
+// lightweight structural parse (namespaces, classes, member declarations,
+// function bodies) built on the token stream from lexer.hpp.
+//
+// The structural parse is heuristic by design — it understands the Google-
+// style subset this codebase is written in (members suffixed `_`, one class
+// per logical unit, out-of-line definitions qualified `Class::member`) and
+// degrades safely: a construct it cannot classify produces no class/function
+// record and therefore no finding, never a false one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace staticcheck {
+
+struct SourceFile {
+    std::string abs_path;
+    std::string rel;       // path relative to the analysis root, '/'-separated
+    std::string layer;     // first path component of rel ("tcp", "net", ...)
+    bool is_header = false;
+    std::string text;      // owns the buffer the token views point into
+    LexResult lex;
+
+    // True when `line` (1-based) carries a waiver for `rule` on itself or
+    // the line above, or the file carries a lint:allow-file waiver.
+    [[nodiscard]] bool waived(int line, const std::string& rule) const;
+};
+
+// A member variable declaration inside a class.
+struct MemberVar {
+    std::string name;
+    std::string type;      // flattened type tokens, e.g. "sim::EventId"
+    bool is_value = false; // value member (not a reference, not a pointer)
+    int line = 0;
+};
+
+// A function body: [begin, end) token indices into its file's token stream.
+struct FunctionBody {
+    const SourceFile* file = nullptr;
+    std::string class_name;  // enclosing/qualifying class ("" for free fns)
+    std::string name;        // unqualified; "~Class" for destructors
+    std::size_t begin = 0;   // index of the '{'
+    std::size_t end = 0;     // index one past the matching '}'
+    int line = 0;
+};
+
+// A class aggregated across all files of the tree (declaration in the
+// header, out-of-line definitions in the .cpp).
+struct ClassModel {
+    std::string name;
+    const SourceFile* declared_in = nullptr;
+    int line = 0;
+    std::vector<MemberVar> members;
+    std::vector<FunctionBody> functions;  // bodies only (decl-only fns absent)
+    bool has_user_dtor_decl = false;      // "~X(" seen anywhere in the class
+    bool dtor_defaulted = false;          // "~X() = default"
+
+    [[nodiscard]] const MemberVar* find_member(std::string_view n) const;
+};
+
+struct Tree {
+    std::string root;                 // analysis root (the src/ directory)
+    std::vector<SourceFile> files;    // stable addresses (reserved up front)
+    std::map<std::string, ClassModel> classes;  // by class name
+    std::vector<FunctionBody> free_functions;
+};
+
+// Loads every *.hpp / *.cpp under `root` and builds the structural model.
+// Returns false (with a message on stderr) if the root cannot be read.
+[[nodiscard]] bool load_tree(const std::string& root, Tree& out);
+
+struct Finding {
+    std::string rel;   // file, relative to the root
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+} // namespace staticcheck

@@ -1,0 +1,425 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace staticcheck {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+void report(std::vector<Finding>& out, const SourceFile& file, int line,
+            const char* rule, std::string message) {
+    if (file.waived(line, rule)) return;
+    out.push_back({file.rel, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layer-dag
+//
+// The include-layering DAG (DESIGN.md §10.1). A file in layer L may only
+// include headers from layers of rank <= rank(L). One sanctioned class of
+// back-edges: check/*.cpp (the invariant auditors' implementations) may
+// include net/tcp/sttcp headers — the auditors *observe* the protocol
+// layers, but their headers stay at rank 2 so protocol headers can include
+// them without a cycle.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, int>& layer_ranks() {
+    static const std::map<std::string, int> kRanks = {
+        {"util", 0}, {"sim", 1},    {"check", 2},   {"net", 3},  {"tcp", 4},
+        {"sttcp", 5}, {"app", 6},   {"harness", 7}, {"fuzz", 8},
+    };
+    return kRanks;
+}
+
+void rule_layer_dag(const Tree& tree, std::vector<Finding>& out) {
+    const auto& ranks = layer_ranks();
+    for (const SourceFile& f : tree.files) {
+        auto self = ranks.find(f.layer);
+        if (self == ranks.end()) continue;  // unlayered file (e.g. fixtures root)
+        for (const Include& inc : f.lex.includes) {
+            std::string inc_layer = inc.path.substr(0, inc.path.find('/'));
+            auto target = ranks.find(inc_layer);
+            if (target == ranks.end()) continue;  // not one of ours
+            if (target->second <= self->second) continue;
+            // Sanctioned observer back-edge: check implementation files.
+            if (f.layer == "check" && !f.is_header && target->second <= ranks.at("sttcp")) {
+                continue;
+            }
+            report(out, f, inc.line, "layer-dag",
+                   "layer '" + f.layer + "' (rank " + std::to_string(self->second) +
+                       ") must not include '" + inc.path + "' from layer '" + inc_layer +
+                       "' (rank " + std::to_string(target->second) +
+                       "); see the layering DAG in DESIGN.md §10.1");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-cycle
+//
+// Quoted includes that resolve inside the tree must form a DAG. Each cycle
+// is reported once, at the include that closes it.
+// ---------------------------------------------------------------------------
+
+void rule_include_cycle(const Tree& tree, std::vector<Finding>& out) {
+    std::map<std::string, const SourceFile*> by_rel;
+    for (const SourceFile& f : tree.files) by_rel[f.rel] = &f;
+
+    enum Color { kWhite, kGray, kBlack };
+    std::map<const SourceFile*, Color> color;
+
+    // Iterative DFS carrying the in-progress path so the cycle can be named.
+    struct Edge {
+        const SourceFile* from;
+        const Include* inc;
+        const SourceFile* to;
+    };
+    for (const SourceFile& start : tree.files) {
+        if (color[&start] != kWhite) continue;
+        std::vector<std::pair<const SourceFile*, std::size_t>> stack;  // (file, next include idx)
+        std::vector<Edge> path;
+        color[&start] = kGray;
+        stack.push_back({&start, 0});
+        while (!stack.empty()) {
+            auto& [file, idx] = stack.back();
+            if (idx >= file->lex.includes.size()) {
+                color[file] = kBlack;
+                stack.pop_back();
+                if (!path.empty()) path.pop_back();
+                continue;
+            }
+            const Include& inc = file->lex.includes[idx++];
+            auto it = by_rel.find(inc.path);
+            if (it == by_rel.end()) continue;  // system / generated header
+            const SourceFile* next = it->second;
+            if (color[next] == kGray) {
+                // Found a cycle: name it from the path.
+                std::string chain = next->rel;
+                bool in_cycle = false;
+                for (const Edge& e : path) {
+                    if (e.from == next) in_cycle = true;
+                    if (in_cycle) chain += " -> " + e.to->rel;
+                }
+                chain += " -> " + next->rel;
+                report(out, *file, inc.line, "include-cycle",
+                       "include cycle: " + chain);
+                continue;
+            }
+            if (color[next] != kWhite) continue;
+            color[next] = kGray;
+            path.push_back({file, &inc, next});
+            stack.push_back({next, 0});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: state-funnel
+//
+// Every class holding a `TcpState state_` member must route all writes
+// through its transition() funnel (which consults tcp/state_machine.hpp and
+// carries the one sanctioned waiver). Any other `state_ = ...` in a member
+// function is a bypass of both the compile-time legality matrix and the
+// runtime auditor hook.
+// ---------------------------------------------------------------------------
+
+void rule_state_funnel(const Tree& tree, std::vector<Finding>& out) {
+    for (const auto& [name, cls] : tree.classes) {
+        const MemberVar* state = cls.find_member("state_");
+        if (state == nullptr || state->type.find("TcpState") == std::string::npos) continue;
+        for (const FunctionBody& fn : cls.functions) {
+            const auto& toks = fn.file->lex.tokens;
+            for (std::size_t i = fn.begin; i + 1 < fn.end; ++i) {
+                if (toks[i].text != "state_" || toks[i + 1].text != "=") continue;
+                // Skip declarations of locals shadowing the member
+                // (`TcpState state_ = ...` — type token right before).
+                if (i > 0 && toks[i - 1].kind == TokKind::kIdent) continue;
+                report(out, *fn.file, toks[i].line, "state-funnel",
+                       "direct write to " + name + "::state_ in " + fn.name +
+                           "(); all transitions must go through the transition() "
+                           "funnel so tcp/state_machine.hpp and the invariant "
+                           "auditor see them");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: event-lifecycle
+//
+// Flow-aware checks on sim::EventId members:
+//   (a) a cancel(member_) must be followed, within the next three
+//       statements, by an assignment to that member (kInvalidEventId or a
+//       reschedule) — a cancelled-but-armed id silently no-ops the next
+//       cancel after the slot is reused;
+//   (b) every class with EventId members needs a user-provided destructor
+//       that cancels each of them, directly or through member functions it
+//       calls (e.g. ~X() { stop(); }): pending timers fire [this]-capturing
+//       callbacks into freed memory otherwise.
+// ---------------------------------------------------------------------------
+
+// Member names of `sim::EventId` type in the class.
+std::set<std::string> event_members(const ClassModel& cls) {
+    std::set<std::string> out;
+    for (const MemberVar& m : cls.members) {
+        if (m.type.find("EventId") != std::string::npos) out.insert(m.name);
+    }
+    return out;
+}
+
+// Members of `events` cancelled in [begin, end): idents inside the argument
+// list of a call whose callee token is `cancel`.
+std::set<std::string> cancels_in_range(const std::vector<Token>& toks, std::size_t begin,
+                                       std::size_t end, const std::set<std::string>& events,
+                                       std::vector<std::pair<std::string, std::size_t>>* sites) {
+    std::set<std::string> out;
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+        if (toks[i].text != "cancel" || toks[i + 1].text != "(") continue;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < end; ++j) {
+            if (toks[j].text == "(") ++depth;
+            else if (toks[j].text == ")") {
+                if (--depth == 0) break;
+            } else if (toks[j].kind == TokKind::kIdent && events.count(std::string(toks[j].text))) {
+                std::string name(toks[j].text);
+                out.insert(name);
+                if (sites != nullptr) sites->push_back({name, i});
+            }
+        }
+    }
+    return out;
+}
+
+// Names of the class's own member functions called from [begin, end)
+// (unqualified calls, plus `this->f(...)`).
+std::set<std::string> self_calls(const ClassModel& cls, const std::vector<Token>& toks,
+                                 std::size_t begin, std::size_t end) {
+    std::set<std::string> names;
+    for (const FunctionBody& f : cls.functions) names.insert(f.name);
+    std::set<std::string> out;
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+        if (toks[i].kind != TokKind::kIdent || toks[i + 1].text != "(") continue;
+        if (!names.count(std::string(toks[i].text))) continue;
+        if (i > begin) {
+            std::string_view prev = toks[i - 1].text;
+            if (prev == "." || prev == "::") continue;  // some other object's method
+            if (prev == "->" && (i < 2 || toks[i - 2].text != "this")) continue;
+        }
+        out.insert(std::string(toks[i].text));
+    }
+    return out;
+}
+
+void rule_event_lifecycle(const Tree& tree, std::vector<Finding>& out) {
+    for (const auto& [name, cls] : tree.classes) {
+        std::set<std::string> events = event_members(cls);
+        if (events.empty()) continue;
+
+        // (a) stale-cancel window.
+        for (const FunctionBody& fn : cls.functions) {
+            const auto& toks = fn.file->lex.tokens;
+            std::vector<std::pair<std::string, std::size_t>> sites;
+            cancels_in_range(toks, fn.begin, fn.end, events, &sites);
+            for (const auto& [member, at] : sites) {
+                int statements = 0;
+                bool reset = false;
+                for (std::size_t j = at; j < fn.end && statements <= 3; ++j) {
+                    if (toks[j].text == ";") ++statements;
+                    if (statements >= 1 && j + 1 < fn.end && toks[j].text == member &&
+                        toks[j + 1].text == "=") {
+                        reset = true;
+                        break;
+                    }
+                }
+                if (!reset) {
+                    report(out, *fn.file, toks[at].line, "event-lifecycle",
+                           name + "::" + member + " is cancelled but not reset: assign "
+                           "sim::kInvalidEventId (or reschedule) within the next "
+                           "statements, or the stale id will alias a reused slot");
+                }
+            }
+        }
+
+        // (b) destructor coverage.
+        const std::string dtor_name = "~" + name;
+        const FunctionBody* dtor = nullptr;
+        for (const FunctionBody& fn : cls.functions) {
+            if (fn.name == dtor_name) dtor = &fn;
+        }
+        if (dtor == nullptr) {
+            if (cls.declared_in != nullptr) {
+                report(out, *cls.declared_in, cls.line, "event-lifecycle",
+                       name + " has sim::EventId members (" + *events.begin() +
+                           ", ...) but no destructor body that cancels them; pending "
+                           "timers would fire [this]-capturing callbacks after free");
+            }
+            continue;
+        }
+        // Transitive closure of self-calls starting at the destructor.
+        std::set<std::string> visited{dtor->name};
+        std::vector<const FunctionBody*> work{dtor};
+        std::set<std::string> cancelled;
+        while (!work.empty()) {
+            const FunctionBody* fn = work.back();
+            work.pop_back();
+            const auto& toks = fn->file->lex.tokens;
+            auto c = cancels_in_range(toks, fn->begin, fn->end, events, nullptr);
+            cancelled.insert(c.begin(), c.end());
+            for (const std::string& callee : self_calls(cls, toks, fn->begin, fn->end)) {
+                if (!visited.insert(callee).second) continue;
+                for (const FunctionBody& g : cls.functions) {
+                    if (g.name == callee) work.push_back(&g);
+                }
+            }
+        }
+        for (const std::string& m : events) {
+            if (cancelled.count(m)) continue;
+            report(out, *dtor->file, dtor->line, "event-lifecycle",
+                   dtor_name + "() does not cancel " + name + "::" + m +
+                       " (directly or via a called member function); a pending "
+                       "timer outliving the object is a use-after-free");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: this-capture
+//
+// A class whose member functions register [this]-capturing callbacks must
+// provide a teardown path — detach_hooks()/detach()/stop()/shutdown() or a
+// user destructor — so the registration cannot outlive the object.
+// Exemption: the callback receiver is a value member of the class (it dies
+// with us, so the capture cannot dangle).
+// ---------------------------------------------------------------------------
+
+bool has_teardown(const ClassModel& cls) {
+    if (cls.has_user_dtor_decl && !cls.dtor_defaulted) return true;
+    for (const FunctionBody& fn : cls.functions) {
+        if (fn.name == "detach_hooks" || fn.name == "detach" || fn.name == "stop" ||
+            fn.name == "shutdown") {
+            return true;
+        }
+    }
+    return false;
+}
+
+void rule_this_capture(const Tree& tree, std::vector<Finding>& out) {
+    for (const auto& [name, cls] : tree.classes) {
+        if (has_teardown(cls)) continue;
+        for (const FunctionBody& fn : cls.functions) {
+            const auto& toks = fn.file->lex.tokens;
+            for (std::size_t i = fn.begin; i + 2 < fn.end; ++i) {
+                if (toks[i].text != "[" || toks[i + 1].text != "this") continue;
+                if (toks[i + 2].text != "]" && toks[i + 2].text != ",") continue;
+                // Receiver exemption: `member_.method([this]...)` where
+                // member_ is a value member — its registrations die with us.
+                if (i >= fn.begin + 4 && toks[i - 1].text == "(" &&
+                    toks[i - 2].kind == TokKind::kIdent && toks[i - 3].text == ".") {
+                    const MemberVar* recv = cls.find_member(toks[i - 4].text);
+                    if (recv != nullptr && recv->is_value) continue;
+                }
+                report(out, *fn.file, toks[i].line, "this-capture",
+                       name + "::" + fn.name + "() registers a [this]-capturing "
+                       "callback but " + name + " has no teardown "
+                       "(detach_hooks()/stop()/destructor) to unregister it; the "
+                       "callback dangles if the object dies first");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: seq-raw
+//
+// Raw arithmetic on unwrapped sequence numbers. `Seq32::raw()` exists for
+// serialization and diagnostics; the moment its result meets + or - the
+// code is doing modular sequence math outside the type that defines it
+// (util/seq32.hpp is the one implementation, and is exempt by path).
+// Replaces the old regex `seq-raw` lint in tools/lint.py, which could not
+// see token boundaries and needed a pile of waivers.
+// ---------------------------------------------------------------------------
+
+void rule_seq_raw(const Tree& tree, std::vector<Finding>& out) {
+    for (const SourceFile& f : tree.files) {
+        if (f.rel.rfind("util/seq32", 0) == 0) continue;  // the implementation
+        const auto& toks = f.lex.tokens;
+        for (std::size_t i = 2; i + 2 < toks.size(); ++i) {
+            if (toks[i].text != "raw" || toks[i - 1].text != "." ||
+                toks[i + 1].text != "(" || toks[i + 2].text != ")") {
+                continue;
+            }
+            const int line = toks[i].line;
+            // `x.raw() + ...` / `x.raw() - ...`
+            if (i + 3 < toks.size() &&
+                (toks[i + 3].text == "+" || toks[i + 3].text == "-")) {
+                report(out, f, line, "seq-raw",
+                       "arithmetic on .raw() sequence bits; use util::Seq32 "
+                       "operators or util::seq_delta()");
+                continue;
+            }
+            // `... + x.raw()` — walk back over the `a.b.raw` chain.
+            std::size_t s = i - 1;  // the '.'
+            while (s >= 2 && toks[s].text == "." && toks[s - 1].kind == TokKind::kIdent) {
+                if (s < 3 || toks[s - 2].text != ".") {
+                    s = s - 1;  // chain starts at the ident
+                    break;
+                }
+                s -= 2;
+            }
+            if (s >= 1 && (toks[s - 1].text == "+" || toks[s - 1].text == "-")) {
+                report(out, f, line, "seq-raw",
+                       "arithmetic on .raw() sequence bits; use util::Seq32 "
+                       "operators or util::seq_delta()");
+                continue;
+            }
+            // `static_cast<...int32...>(x.raw())` — a raw serial-number delta
+            // hand-rolled at the call site.
+            if (s >= 2 && toks[s - 1].text == "(" && toks[s - 2].text == ">") {
+                bool cast = false, int32 = false;
+                for (std::size_t back = s >= 10 ? s - 10 : 0; back + 1 < s; ++back) {
+                    if (toks[back].text == "static_cast") cast = true;
+                    if (toks[back].text.find("int32") != std::string_view::npos) int32 = true;
+                }
+                if (cast && int32) {
+                    report(out, f, line, "seq-raw",
+                           "static_cast of .raw() to a signed delta; use "
+                           "util::seq_delta()");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding> run_all_rules(const Tree& tree) {
+    std::vector<Finding> out;
+    rule_layer_dag(tree, out);
+    rule_include_cycle(tree, out);
+    rule_state_funnel(tree, out);
+    rule_event_lifecycle(tree, out);
+    rule_this_capture(tree, out);
+    rule_seq_raw(tree, out);
+    std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+        if (a.rel != b.rel) return a.rel < b.rel;
+        if (a.line != b.line) return a.line < b.line;
+        return a.rule < b.rule;
+    });
+    // One finding per (file, line, rule) — e.g. `a.raw() - b.raw()` matches
+    // the adjacency pattern on both operands.
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Finding& a, const Finding& b) {
+                              return a.rel == b.rel && a.line == b.line && a.rule == b.rule;
+                          }),
+              out.end());
+    return out;
+}
+
+} // namespace staticcheck

@@ -1,0 +1,16 @@
+// The protocol lint rules. Each rule is a pure function of the Tree; all
+// findings are filtered through the waiver table (// lint:allow <rule> --
+// reason, or // lint:allow-file <rule> -- reason) before being returned.
+// DESIGN.md §10 documents every rule and the waiver syntax.
+#pragma once
+
+#include <vector>
+
+#include "model.hpp"
+
+namespace staticcheck {
+
+// Runs every rule over the tree; findings are sorted by (file, line).
+[[nodiscard]] std::vector<Finding> run_all_rules(const Tree& tree);
+
+} // namespace staticcheck
