@@ -6,10 +6,11 @@
 // over a 1-primary + 1-backup-tap + N-client topology as JSON, so successive
 // PRs can track the datapath cost of keeping the backup in sync.
 //
-// Usage: bench_frame_fanout [frames_per_client] [clients] [payload_bytes]
+// Usage: bench_frame_fanout [frames_per_client] [clients] [payload_bytes] [wheel|heap]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "net/hub.hpp"
@@ -37,7 +38,10 @@ int main(int argc, char** argv) {
     const std::size_t payload_bytes =
         argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 1460;
 
-    sim::Simulation sim{42};
+    sim::EventQueue::Backend backend = sim::EventQueue::Backend::kWheel;
+    if (argc > 4 && std::strcmp(argv[4], "heap") == 0) backend = sim::EventQueue::Backend::kHeap;
+
+    sim::Simulation sim{42, backend};
 
     net::Hub hub{sim, "hub"};
     net::LinkConfig link_cfg;

@@ -1,0 +1,217 @@
+// 10,000-connection scale benchmark for the ST-TCP fast path.
+//
+// Drives N concurrent client connections through the paper's hub topology —
+// client -> hub -> primary, with the backup shadowing every flow off the
+// tap — with the runtime invariant auditors ON. Two phases:
+//
+//   1. establish: all N connections handshake (SYNs staggered 2 us apart so
+//      the listener sees a realistic arrival ramp, not one mega-burst);
+//   2. steady state: every connection runs `rounds` echo requests (150 B
+//      request -> 158 B response), each request sent only after the previous
+//      response fully verified-by-length.
+//
+// Reports host-time throughput as JSON (BENCH_scale.json): connections/sec
+// established, steady-state frames/sec through the hub, scheduler events/sec,
+// and the peak number of armed timers — the number the timing wheel exists
+// for (the binary heap pays O(log n) on every churn at that depth; the wheel
+// pays O(1)).
+//
+// Usage: bench_scale [connections] [rounds] [backend wheel|heap]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/protocol.hpp"
+#include "app/responder.hpp"
+#include "check/audit.hpp"
+#include "harness/testbed.hpp"
+
+using namespace sttcp;
+
+namespace {
+
+constexpr std::uint16_t kServicePort = 8000;
+// Total response bytes per round; the 8-byte echoed header is the stream's
+// first 8 bytes, included in response_size (see app/responder.cpp).
+constexpr std::size_t kResponseSize = 150;
+constexpr std::size_t kResponseTotal = kResponseSize;
+
+struct ClientConn {
+    std::shared_ptr<tcp::TcpConnection> conn;
+    std::uint32_t rounds_left = 0;
+    std::size_t response_pending = 0;  // bytes of the current response not yet read
+    bool established = false;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t n_conns = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 10000;
+    const std::uint32_t rounds = argc > 2 ? static_cast<std::uint32_t>(std::atoll(argv[2])) : 2;
+    sim::EventQueue::Backend backend = sim::EventQueue::Backend::kWheel;
+    if (argc > 3 && std::strcmp(argv[3], "heap") == 0) backend = sim::EventQueue::Backend::kHeap;
+
+    harness::TestbedOptions o;
+    o.seed = 42;
+    o.backend = backend;
+    // Small per-connection buffers bound the footprint of 3 stacks x N
+    // connections (client + primary + backup shadow) plus N second receive
+    // buffers on the primary; an echo round needs well under 2 KB in flight.
+    o.tcp.send_buffer_size = 2048;
+    o.tcp.recv_buffer_size = 2048;
+    // The client link's paper-calibrated 14 Mbit/s would serialize 10k
+    // handshakes into minutes of *virtual* time; scale runs measure host
+    // throughput, so give the LAN uniform fast links.
+    o.client_bandwidth_bps = 1e9;
+    o.server_bandwidth_bps = 1e9;
+    o.propagation = sim::microseconds{50};
+
+    harness::HubTestbed bed{o};
+    app::ResponderApp papp, bapp;
+    auto pl = bed.st_primary->listen(kServicePort);
+    auto bl = bed.st_backup->listen(kServicePort);
+    papp.attach(*pl);
+    bapp.attach(*bl);
+    bed.st_primary->start();
+    bed.st_backup->start();
+
+    sim::EventQueue& q = bed.sim.queue();
+    std::vector<ClientConn> conns(n_conns);
+    std::size_t established = 0;
+
+    // ---- Phase 1: establish N connections --------------------------------
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n_conns; ++i) {
+        bed.sim.schedule_after(sim::microseconds{2 * static_cast<std::int64_t>(i)}, [&, i] {
+            ClientConn& c = conns[i];
+            c.conn = bed.client->tcp_connect(bed.service_ip(), kServicePort);
+            c.rounds_left = rounds;
+            tcp::TcpConnection::Callbacks cbs;
+            cbs.on_established = [&, i]() {
+                conns[i].established = true;
+                ++established;
+            };
+            cbs.on_readable = [&, i]() {
+                ClientConn& cc = conns[i];
+                std::uint8_t buf[512];
+                while (std::size_t n = cc.conn->read(buf)) {
+                    if (n > cc.response_pending) {
+                        std::fprintf(stderr, "conn %zu: stray response bytes\n", i);
+                        std::exit(1);
+                    }
+                    cc.response_pending -= n;
+                }
+            };
+            c.conn->set_callbacks(std::move(cbs));
+        });
+    }
+    const std::uint64_t executed_connect0 = q.executed();
+    while (established < n_conns) {
+        if (q.empty()) {
+            std::fprintf(stderr, "established only %zu/%zu connections\n", established, n_conns);
+            return 1;
+        }
+        bed.sim.run_for(sim::milliseconds{100});
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    const double establish_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const std::uint64_t establish_events = q.executed() - executed_connect0;
+
+    // ---- Phase 2: steady-state echo rounds -------------------------------
+    const std::uint64_t frames0 = bed.hub.stats().frames_repeated;
+    const std::uint64_t executed0 = q.executed();
+
+    std::size_t active = n_conns;
+    std::uint32_t next_id = 1;
+    // Mutually recursive via std::function locals that outlive the run loop:
+    // kick() queues a request, poll() watches for the full response and then
+    // kicks the next round — so the send pattern interleaves like real
+    // concurrent clients instead of one sequential sweep.
+    std::function<void(std::size_t)> kick;
+    std::function<void(std::size_t)> poll = [&](std::size_t i) {
+        if (conns[i].response_pending == 0) {
+            kick(i);
+        } else {
+            bed.sim.schedule_after(sim::milliseconds{1}, [&poll, i] { poll(i); });
+        }
+    };
+    kick = [&](std::size_t i) {
+        ClientConn& c = conns[i];
+        if (c.rounds_left == 0) {
+            --active;
+            return;
+        }
+        --c.rounds_left;
+        app::Request req;
+        req.id = next_id++;
+        req.response_size = kResponseSize;
+        c.response_pending += kResponseTotal;
+        util::Bytes wire = app::encode_request(req);
+        if (c.conn->send(wire) != wire.size()) {
+            std::fprintf(stderr, "conn %zu: send buffer full\n", i);
+            std::exit(1);
+        }
+        bed.sim.schedule_after(sim::milliseconds{1}, [&poll, i] { poll(i); });
+    };
+    for (std::size_t i = 0; i < n_conns; ++i) {
+        bed.sim.schedule_after(sim::microseconds{static_cast<std::int64_t>(i)},
+                               [&kick, i] { kick(i); });
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    while (active > 0) {
+        if (q.empty()) {
+            std::fprintf(stderr, "wedged with %zu connections unfinished\n", active);
+            return 1;
+        }
+        bed.sim.run_for(sim::milliseconds{100});
+    }
+    auto t3 = std::chrono::steady_clock::now();
+    const double steady_seconds = std::chrono::duration<double>(t3 - t2).count();
+    const std::uint64_t steady_frames = bed.hub.stats().frames_repeated - frames0;
+    const std::uint64_t steady_events = q.executed() - executed0;
+
+    const auto& pstats = bed.st_primary->stats();
+    std::printf(
+        "{\n"
+        "  \"bench\": \"scale\",\n"
+        "  \"backend\": \"%s\",\n"
+        "  \"connections\": %zu,\n"
+        "  \"rounds\": %u,\n"
+        "  \"auditors\": %s,\n"
+        "  \"established\": %zu,\n"
+        "  \"connects_per_sec\": %.1f,\n"
+        "  \"establish_events\": %llu,\n"
+        "  \"steady_frames\": %llu,\n"
+        "  \"steady_frames_per_sec\": %.1f,\n"
+        "  \"steady_events_per_sec\": %.1f,\n"
+        "  \"events_executed_total\": %llu,\n"
+        "  \"peak_armed_timers\": %llu,\n"
+        "  \"timer_rearms\": %llu,\n"
+        "  \"backup_acks\": %llu,\n"
+        "  \"host_seconds\": %.3f\n"
+        "}\n",
+        backend == sim::EventQueue::Backend::kWheel ? "wheel" : "heap", n_conns, rounds,
+        check::kEnabled ? "true" : "false", established,
+        static_cast<double>(n_conns) / establish_seconds,
+        static_cast<unsigned long long>(establish_events),
+        static_cast<unsigned long long>(steady_frames),
+        static_cast<double>(steady_frames) / steady_seconds,
+        static_cast<double>(steady_events) / steady_seconds,
+        static_cast<unsigned long long>(q.executed()),
+        static_cast<unsigned long long>(q.peak_pending()),
+        static_cast<unsigned long long>(q.rearmed()),
+        static_cast<unsigned long long>(pstats.backup_acks_received),
+        establish_seconds + steady_seconds);
+
+    if (check::kEnabled && check::Audit::violation_count() != 0) {
+        std::fprintf(stderr, "auditor violations: %llu\n",
+                     static_cast<unsigned long long>(check::Audit::violation_count()));
+        return 1;
+    }
+    return 0;
+}

@@ -10,11 +10,15 @@
 #   5. custom protocol lints (tools/lint.py)
 #
 # Steps 1, 3 and 4 also build and run tools/staticcheck (layering DAG,
-# state-funnel, event lifecycle, [this]-capture, seq-raw) over src/ with a
-# --json report per profile — the analyzer must agree with itself in every
-# compiler configuration.
+# state-funnel, event lifecycle, [this]-capture, seq-raw, timer-rearm) over
+# src/ with a --json report per profile — the analyzer must agree with
+# itself in every compiler configuration.
 #   6. clang-tidy over files changed vs the merge base (skipped with a notice
 #      when clang-tidy is not installed)
+#   7. parallel-soak identity: --jobs 4 output must be byte-identical to
+#      --jobs 1 (sharding may never change results or their order)
+#   8. Release bench smoke: quick-sized runs of all three benches, failing on
+#      a >15% throughput drop against the committed BENCH_*.json medians
 #
 # Usage: ci/check.sh [base-ref]     (default base-ref: origin/main or HEAD~1)
 set -euo pipefail
@@ -25,36 +29,36 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-step "1/6 default build (STTCP_AUDIT=ON) + tests"
+step "1/8 default build (STTCP_AUDIT=ON) + tests"
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j"$JOBS"
 build-ci/tools/staticcheck/staticcheck --root src --json build-ci/staticcheck.json
 ctest --test-dir build-ci --output-on-failure -j"$JOBS"
 
-step "2/6 chaos soak: 200 trials + failure-pipeline demo"
+step "2/8 chaos soak: 200 trials + failure-pipeline demo"
 build-ci/tools/sttcp_soak --trials 200 --seed-base 1
 # The demo invariant fails on purpose; the run must reproduce it by seed and
 # shrink it to at most 2 active impairment dimensions, proving the
 # reproducer/shrinker pipeline works before anyone needs it in anger.
 build-ci/tools/sttcp_soak --demo-failure
 
-step "3/6 hardened warnings-as-errors build + soak"
+step "3/8 hardened warnings-as-errors build + soak"
 cmake -B build-ci-werror -S . -DSTTCP_WERROR=ON >/dev/null
 cmake --build build-ci-werror -j"$JOBS"
 build-ci-werror/tools/staticcheck/staticcheck --root src --json build-ci-werror/staticcheck.json
 build-ci-werror/tools/sttcp_soak --trials 200 --seed-base 1
 
-step "4/6 sanitizer build (ASan+UBSan) + tests + soak"
+step "4/8 sanitizer build (ASan+UBSan) + tests + soak"
 cmake -B build-ci-asan -S . -DSTTCP_SANITIZE=ON >/dev/null
 cmake --build build-ci-asan -j"$JOBS"
 build-ci-asan/tools/staticcheck/staticcheck --root src --json build-ci-asan/staticcheck.json
 ctest --test-dir build-ci-asan --output-on-failure -j"$JOBS"
 build-ci-asan/tools/sttcp_soak --trials 200 --seed-base 1
 
-step "5/6 protocol lints"
+step "5/8 protocol lints"
 python3 tools/lint.py
 
-step "6/6 clang-tidy (changed files)"
+step "6/8 clang-tidy (changed files)"
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not installed — skipping (profile: .clang-tidy)"
 else
@@ -71,5 +75,59 @@ else
         echo "$CHANGED" | xargs clang-tidy -p "$ROOT/build-ci"
     fi
 fi
+
+step "7/8 parallel soak identity (--jobs 4 == --jobs 1)"
+build-ci/tools/sttcp_soak --trials 40 --seed-base 7 --verbose --jobs 1 > build-ci/soak-j1.txt
+build-ci/tools/sttcp_soak --trials 40 --seed-base 7 --verbose --jobs 4 > build-ci/soak-j4.txt
+diff -u build-ci/soak-j1.txt build-ci/soak-j4.txt
+echo "sharded soak output byte-identical"
+
+step "8/8 Release bench smoke vs committed medians"
+cmake -B build-ci-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci-rel -j"$JOBS" \
+    --target bench_frame_fanout bench_scale bench_timer_wheel
+# Each bench runs 3 times; the best sample must land within 15% of the
+# committed median. Best-of-3 vs median absorbs single-core CI jitter, and
+# one full retry round absorbs a transiently-throttled host window (observed
+# 2x swings on shared runners) while still catching a persistent regression.
+bench_guard() {
+    local name="$1" committed="$2" key="$3"
+    shift 3
+    local attempt
+    for attempt in 1 2; do
+        local runs=()
+        for _ in 1 2 3; do runs+=("$("$@")"); done
+        if python3 - "$name" "$committed" "$key" "${runs[@]}" <<'PY'
+import json, sys
+name, committed, key, *samples = sys.argv[1:]
+want = json.load(open(committed))[key + "_median"]
+got = max(json.loads(s)[key] for s in samples)
+floor = 0.85 * want
+status = "ok" if got >= floor else "below floor"
+print(f"{name}: {key} best-of-3 {got:.1f} vs committed median {want:.1f} "
+      f"(floor {floor:.1f}) — {status}")
+sys.exit(0 if got >= floor else 1)
+PY
+        then return 0; fi
+        [ "$attempt" = 1 ] && echo "$name: retrying once (transient host slowdown?)"
+    done
+    echo "$name: REGRESSION — persistently >15% below the committed median" >&2
+    return 1
+}
+bench_guard frame_fanout BENCH_frame_fanout.json frames_per_sec \
+    build-ci-rel/bench/bench_frame_fanout
+bench_guard scale BENCH_scale.json steady_events_per_sec \
+    build-ci-rel/bench/bench_scale 10000 2
+# Absolute events/sec swings with host frequency, so the scheduler bench is
+# gated on the wheel/heap speedup ratio instead: both backends run
+# interleaved in one invocation and best-of-3 per backend cancels machine
+# drift (single runs still see 2x frequency swings on shared runners). The
+# committed wheel_speedup_median also enforces the >1.1x wheel acceptance
+# bar.
+bench_guard timer_wheel BENCH_timer_wheel.json wheel_speedup \
+    sh -c 'build-ci-rel/bench/bench_timer_wheel 10000 50 3 | python3 -c "
+import json,sys; d=json.load(sys.stdin)
+d[\"wheel_speedup\"]=round(max(d[\"wheel_events_per_sec\"])/max(d[\"heap_events_per_sec\"]),3)
+print(json.dumps(d))"'
 
 step "all checks passed"

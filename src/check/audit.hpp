@@ -6,8 +6,11 @@
 // this directory check them at runtime; this header is the single funnel
 // every violation goes through.
 //
-// Reporting model (single-threaded, like the simulator itself):
-//   * default: the violation is logged to stderr and a process-wide counter
+// Reporting model (per-thread: one simulation never crosses threads, but
+// the soak runner's --jobs mode drives independent simulations on worker
+// threads, so the counter, ring and capture target are thread_local —
+// each trial's before/after delta only ever sees its own violations):
+//   * default: the violation is logged to stderr and a per-thread counter
 //     is incremented. The test binary installs a gtest listener that fails
 //     any test whose run incremented the counter.
 //   * capture: tests that *deliberately* corrupt state install a
@@ -58,7 +61,8 @@ public:
     // stderr and increments the process-wide counter.
     static void report(Violation v);
 
-    // Total violations reported outside any capture since process start.
+    // Total violations reported outside any capture on this thread since
+    // thread start.
     [[nodiscard]] static std::uint64_t violation_count();
 
     // Most recent uncaptured violations (bounded ring; newest last) — used
@@ -69,9 +73,9 @@ public:
 
 private:
     friend class ScopedCapture;
-    static inline std::vector<Violation>* capture_ = nullptr;
-    static inline std::uint64_t count_ = 0;
-    static inline std::vector<Violation> recent_;
+    static inline thread_local std::vector<Violation>* capture_ = nullptr;
+    static inline thread_local std::uint64_t count_ = 0;
+    static inline thread_local std::vector<Violation> recent_;
 };
 
 // Redirects every report into `into` for this scope (fault-injection tests).

@@ -50,9 +50,11 @@ struct EgressWatch {
     std::function<bool()> allowed;   // true once takeover makes egress legal
 };
 
-harness::TestbedOptions make_options(const Scenario& sc, bool with_logger) {
+harness::TestbedOptions make_options(const Scenario& sc, const SoakOptions& opts,
+                                     bool with_logger) {
     harness::TestbedOptions o;
     o.seed = sc.seed;
+    o.backend = opts.backend;
     o.sttcp.hb_interval = sc.hb_interval;
     o.sttcp.sync_time = sc.sync_time;
     o.sttcp.ack_threshold_bytes = sc.ack_threshold_bytes;
@@ -178,6 +180,8 @@ TrialResult run_common(sim::Simulation& sim, tcp::HostStack& client_stack,
         r.verify_detail += buf;
     }
     r.virtual_seconds = sim::to_seconds(sim.now());
+    r.events_executed = sim.queue().executed();
+    r.event_order_digest = sim.queue().order_digest();
     r.pre_takeover_backup_tcp_frames = egress;
     for (net::Link* link : ins.counted()) {
         const auto& s = link->stats();
@@ -192,7 +196,7 @@ TrialResult run_common(sim::Simulation& sim, tcp::HostStack& client_stack,
 }
 
 TrialResult run_hub(const Scenario& sc, const SoakOptions& opts) {
-    harness::HubTestbed bed{make_options(sc, /*with_logger=*/true)};
+    harness::HubTestbed bed{make_options(sc, opts, /*with_logger=*/true)};
     app::ResponderApp papp, bapp;
     auto pl = bed.st_primary->listen(kServicePort);
     auto bl = bed.st_backup->listen(kServicePort);
@@ -215,7 +219,7 @@ TrialResult run_hub(const Scenario& sc, const SoakOptions& opts) {
 
 TrialResult run_switch(const Scenario& sc, const SoakOptions& opts, harness::TapMode mode) {
     bool multicast = mode == harness::TapMode::kMulticastMac;
-    harness::SwitchTestbed bed{make_options(sc, /*with_logger=*/multicast), mode};
+    harness::SwitchTestbed bed{make_options(sc, opts, /*with_logger=*/multicast), mode};
     app::ResponderApp papp, bapp;
     auto pl = bed.st_primary->listen(kServicePort);
     auto bl = bed.st_backup->listen(kServicePort);
@@ -239,7 +243,7 @@ TrialResult run_switch(const Scenario& sc, const SoakOptions& opts, harness::Tap
 }
 
 TrialResult run_nospof(const Scenario& sc, const SoakOptions& opts) {
-    harness::NoSpofTestbed bed{make_options(sc, /*with_logger=*/false)};
+    harness::NoSpofTestbed bed{make_options(sc, opts, /*with_logger=*/false)};
     app::ResponderApp papp, bapp;
     auto pl = bed.st_primary->listen(kServicePort);
     auto bl = bed.st_backup->listen(kServicePort);
@@ -264,7 +268,7 @@ TrialResult run_nospof(const Scenario& sc, const SoakOptions& opts) {
 }
 
 TrialResult run_chain(const Scenario& sc, const SoakOptions& opts) {
-    harness::ChainTestbed bed{make_options(sc, /*with_logger=*/false)};
+    harness::ChainTestbed bed{make_options(sc, opts, /*with_logger=*/false)};
     app::ResponderApp papp, b1app, b2app;
     auto pl = bed.st_primary->listen(kServicePort);
     auto bl1 = bed.st_backup1->listen(kServicePort);

@@ -18,11 +18,16 @@
 #include <string>
 
 #include "fuzz/scenario.hpp"
+#include "sim/event_queue.hpp"
 
 namespace sttcp::fuzz {
 
 struct SoakOptions {
     sim::Duration time_limit = sim::minutes{30};  // virtual time per trial
+    // Scheduler backend for the trial's simulation. The heap backend is the
+    // determinism oracle: running the same seed under both backends must
+    // produce identical TrialResults and event_order_digest values.
+    sim::EventQueue::Backend backend = sim::EventQueue::Backend::kWheel;
     // Dump a tcpdump-style line for every frame delivered on the client
     // link (stderr) — the first tool to reach for on a failing seed.
     bool trace_client_link = false;
@@ -47,6 +52,12 @@ struct TrialResult {
     std::uint64_t audit_violations = 0;
     bool failover_happened = false;
     double virtual_seconds = 0;
+
+    // Scheduler forensics: total events the trial's queue executed and the
+    // running digest over their (seq, deadline) execution order. Two runs of
+    // the same seed — on any backend — must agree on both.
+    std::uint64_t events_executed = 0;
+    std::uint64_t event_order_digest = 0;
 
     // Impairment effects actually inflicted (summed over the instrumented
     // links) — lets the soak report prove the adversity was real.

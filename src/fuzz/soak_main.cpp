@@ -11,9 +11,15 @@
 // the reproducer. Exit status: 0 = all green, 1 = invariant violation (or a
 // broken failure pipeline under --demo-failure), 2 = usage error.
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "check/audit.hpp"
 #include "fuzz/soak.hpp"
@@ -32,11 +38,14 @@ struct CliOptions {
     bool trace = false;
     bool no_shrink = false;
     bool verbose = false;
+    unsigned jobs = 1;
+    sim::EventQueue::Backend backend = sim::EventQueue::Backend::kWheel;
     std::optional<std::bitset<kDimCount>> dims_mask;
 };
 
 void print_usage(std::ostream& os) {
     os << "usage: sttcp_soak [--trials N] [--seed-base S] [--seed S] [--dims csv]\n"
+          "                  [--jobs N] [--backend wheel|heap]\n"
           "                  [--demo-failure] [--no-shrink] [--verbose] [--trace]\n";
 }
 
@@ -111,21 +120,86 @@ Scenario sample_with_mask(std::uint64_t seed, const CliOptions& cli) {
     return sc;
 }
 
+// Consumes one finished trial: coverage, verbose line, and on failure the
+// full report + shrink. Shared by the sequential and sharded batch paths so
+// their observable output is identical by construction. Returns false when
+// the batch must stop (first failure).
+bool consume_trial(const CliOptions& cli, const SoakOptions& opts, Coverage& cov,
+                   std::uint64_t index, const Scenario& sc, const TrialResult& r) {
+    cov.record(sc, r);
+    if (cli.verbose)
+        std::cout << (r.passed ? "ok   " : "FAIL ") << sc.describe() << " ("
+                  << r.virtual_seconds << "s virtual)\n";
+    if (!r.passed) {
+        print_failure(sc, r);
+        if (!cli.no_shrink) (void)shrink_and_report(sc, opts);
+        cov.print(index + 1);
+        return false;
+    }
+    return true;
+}
+
+// Shards trials across worker threads. Each trial is a pure function of its
+// seed (its own Simulation, EventQueue and RNG; per-thread auditor counters
+// and buffer pools), so workers never share mutable state — only the finished
+// TrialResults flow back. The main thread consumes results strictly in seed
+// order, so stdout, coverage accounting and the stop-on-first-failure cut
+// are byte-identical to --jobs 1; workers that raced ahead of a failure have
+// their results discarded. Shrinking reruns trials on the main thread only.
+int run_batch_sharded(const CliOptions& cli, const SoakOptions& opts) {
+    struct Done {
+        Scenario sc;
+        TrialResult r;
+    };
+    std::vector<std::optional<Done>> results(cli.trials);
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<bool> stop{false};
+    std::mutex mu;
+    std::condition_variable cv;
+
+    auto worker = [&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cli.trials) return;
+            Scenario sc = sample_with_mask(cli.seed_base + i, cli);
+            TrialResult r = run_trial(sc, opts);
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                results[i] = Done{std::move(sc), std::move(r)};
+            }
+            cv.notify_one();
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(cli.jobs);
+    for (unsigned t = 0; t < cli.jobs; ++t) pool.emplace_back(worker);
+
+    int rc = 0;
+    Coverage cov;
+    for (std::uint64_t i = 0; i < cli.trials; ++i) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return results[i].has_value(); });
+        Done done = std::move(*results[i]);
+        results[i].reset();
+        lock.unlock();
+        if (!consume_trial(cli, opts, cov, i, done.sc, done.r)) {
+            rc = 1;
+            break;
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    if (rc == 0) cov.print(cli.trials);
+    return rc;
+}
+
 int run_batch(const CliOptions& cli, const SoakOptions& opts) {
+    if (cli.jobs > 1) return run_batch_sharded(cli, opts);
     Coverage cov;
     for (std::uint64_t i = 0; i < cli.trials; ++i) {
         Scenario sc = sample_with_mask(cli.seed_base + i, cli);
         TrialResult r = run_trial(sc, opts);
-        cov.record(sc, r);
-        if (cli.verbose)
-            std::cout << (r.passed ? "ok   " : "FAIL ") << sc.describe() << " ("
-                      << r.virtual_seconds << "s virtual)\n";
-        if (!r.passed) {
-            print_failure(sc, r);
-            if (!cli.no_shrink) (void)shrink_and_report(sc, opts);
-            cov.print(i + 1);
-            return 1;
-        }
+        if (!consume_trial(cli, opts, cov, i, sc, r)) return 1;
     }
     cov.print(cli.trials);
     return 0;
@@ -210,6 +284,21 @@ int main(int argc, char** argv) {
                 std::cerr << "unknown dimension in --dims\n";
                 return 2;
             }
+        } else if (arg == "--jobs") {
+            std::uint64_t jobs = 0;
+            if (!next_u64(jobs) || jobs == 0) { print_usage(std::cerr); return 2; }
+            cli.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--backend") {
+            if (i + 1 >= argc) { print_usage(std::cerr); return 2; }
+            std::string which = argv[++i];
+            if (which == "wheel") {
+                cli.backend = sim::EventQueue::Backend::kWheel;
+            } else if (which == "heap") {
+                cli.backend = sim::EventQueue::Backend::kHeap;
+            } else {
+                std::cerr << "unknown backend: " << which << "\n";
+                return 2;
+            }
         } else if (arg == "--trace") {
             cli.trace = true;
         } else if (arg == "--demo-failure") {
@@ -230,6 +319,7 @@ int main(int argc, char** argv) {
 
     SoakOptions opts;
     opts.trace_client_link = cli.trace;
+    opts.backend = cli.backend;
     if (cli.demo_failure) return run_demo(cli, opts);
     if (cli.have_single_seed) return run_single(cli, opts);
     return run_batch(cli, opts);

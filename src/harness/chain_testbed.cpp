@@ -7,7 +7,7 @@
 namespace sttcp::harness {
 
 ChainTestbed::ChainTestbed(TestbedOptions opts)
-    : sim(opts.seed),
+    : sim(opts.seed, opts.backend),
       hub(sim, "hub"),
       power(sim, opts.fencing_latency),
       options(opts) {

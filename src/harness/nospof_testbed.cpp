@@ -7,7 +7,7 @@
 namespace sttcp::harness {
 
 NoSpofTestbed::NoSpofTestbed(TestbedOptions opts)
-    : sim(opts.seed),
+    : sim(opts.seed, opts.backend),
       switch_a(sim, "swA"),
       switch_b(sim, "swB"),
       wan(sim, "wan"),

@@ -7,7 +7,7 @@
 namespace sttcp::harness {
 
 SwitchTestbed::SwitchTestbed(TestbedOptions opts, TapMode mode)
-    : sim(opts.seed),
+    : sim(opts.seed, opts.backend),
       ether_switch(sim, "sw0"),
       power(sim, opts.fencing_latency),
       tap_mode(mode),

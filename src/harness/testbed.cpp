@@ -7,7 +7,7 @@
 namespace sttcp::harness {
 
 HubTestbed::HubTestbed(TestbedOptions opts)
-    : sim(opts.seed),
+    : sim(opts.seed, opts.backend),
       hub(sim, "hub"),
       power(sim, opts.fencing_latency),
       options(opts) {

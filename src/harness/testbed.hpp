@@ -32,6 +32,10 @@ namespace sttcp::harness {
 
 struct TestbedOptions {
     std::uint64_t seed = 1;
+    // Scheduler backend for the testbed's Simulation. The heap backend is
+    // kept as a determinism oracle: cross-backend tests run the same trial
+    // under both and compare EventQueue::order_digest().
+    sim::EventQueue::Backend backend = sim::EventQueue::Backend::kWheel;
     tcp::TcpConfig tcp;
     core::SttcpConfig sttcp;
     // false = baseline: a standard TCP server on the primary, no backup

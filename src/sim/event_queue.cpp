@@ -1,12 +1,24 @@
 #include "sim/event_queue.hpp"
 
+#include <bit>
 #include <cassert>
+#include <utility>
 
 namespace sttcp::sim {
+namespace {
+
+// Order-sensitive accumulator (boost::hash_combine construction): equal
+// digests <=> equal (seq, when) execution sequences, which is exactly the
+// determinism contract the heap/wheel cross-check pins.
+void mix(std::uint64_t& h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+} // namespace
 
 void EventQueue::release_slot(std::uint32_t slot) {
     Slot& s = slots_[slot];
-    s.armed = false;
+    s.state = Slot::kFree;
     s.cb = nullptr;  // drop captures now, not at slot reuse
     if (++s.gen == 0) s.gen = 1;  // keep make_id() != kInvalidEventId on wrap
     free_slots_.push_back(slot);
@@ -18,53 +30,258 @@ bool EventQueue::cancel(EventId id) {
     auto gen = static_cast<std::uint32_t>(id);
     if (slot >= slots_.size()) return false;
     const Slot& s = slots_[slot];
-    if (!s.armed || s.gen != gen) return false;  // already fired or cancelled
+    if (s.state != Slot::kArmed || s.gen != gen) return false;  // fired or cancelled
     release_slot(slot);
     assert(live_count_ > 0);
     --live_count_;
+    purge_if_drained();
     return true;
 }
 
-bool EventQueue::pop_one() {
+bool EventQueue::rearm(EventId id, TimePoint when) {
+    if (id == kInvalidEventId) return false;
+    auto slot = static_cast<std::uint32_t>(id >> 32);
+    auto gen = static_cast<std::uint32_t>(id);
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (s.state == Slot::kFree || s.gen != gen) return false;
+    if (when < now_) when = now_;
+    // The event consumes a fresh sequence number — identical FIFO placement
+    // to cancel()+schedule_at() — and its previous queue entry, now
+    // mismatching live_seq, dies as a tombstone.
+    const bool was_firing = s.state == Slot::kFiring;
+    s.state = Slot::kArmed;
+    s.live_seq = next_seq_;
+    insert_entry(Entry{when, next_seq_++, slot, gen});
+    if (was_firing) ++live_count_;  // the firing entry was already consumed
+    ++rearmed_;
+    if (live_count_ > peak_pending_) peak_pending_ = live_count_;
+    return true;
+}
+
+void EventQueue::insert_entry(const Entry& e) {
+    if (backend_ == Backend::kHeap) {
+        heap_.push(e);
+    } else {
+        wheel_place(e);
+    }
+}
+
+void EventQueue::wheel_place(const Entry& e) {
+    const std::uint64_t t = to_ticks(e.when);
+    assert(t >= cursor_);  // schedule clamps to now() and now() >= cursor
+    const std::uint64_t diff = t ^ cursor_;
+    const int level = diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kSlotBits;
+    const auto li = static_cast<std::size_t>(level);
+    const std::uint64_t index = (t >> (level * kSlotBits)) & kSlotMask;
+    Bucket& b = wheel_[li][static_cast<std::size_t>(index)];
+    // An append extends an activated bucket's (when, seq) order iff its
+    // deadline is >= the current tail's (its seq is the global maximum). An
+    // out-of-order append just drops the flag; the next pop re-sorts the
+    // unconsumed suffix.
+    if (b.sorted && !b.entries.empty() && to_ns(e.when) < to_ns(b.entries.back().when))
+        b.sorted = false;
+    b.entries.push_back(e);
+    occupancy_[li] |= std::uint64_t{1} << index;
+    ++wheel_stored_;
+}
+
+void EventQueue::clear_level0_bucket(std::uint64_t index) {
+    Bucket& b = wheel_[0][static_cast<std::size_t>(index)];
+    b.entries.clear();
+    b.head = 0;
+    b.sorted = false;
+    occupancy_[0] &= ~(std::uint64_t{1} << index);
+}
+
+bool EventQueue::wheel_advance(std::uint64_t limit_ticks) {
+    for (;;) {
+        // Lowest non-empty bucket at or after the cursor, scanning fine to
+        // coarse: level L+1's whole future window lies beyond level L's, so
+        // the first hit is the globally earliest candidate.
+        int level = -1;
+        std::uint64_t index = 0;
+        for (int l = 0; l < kLevels; ++l) {
+            const std::uint64_t cur = (cursor_ >> (l * kSlotBits)) & kSlotMask;
+            const std::uint64_t mask = occupancy_[static_cast<std::size_t>(l)] >> cur;
+            if (mask != 0) {
+                level = l;
+                index = cur + static_cast<std::uint64_t>(std::countr_zero(mask));
+                break;
+            }
+        }
+        if (level < 0) return false;  // nothing stored at or after the cursor
+        const int shift = (level + 1) * kSlotBits;
+        const std::uint64_t prefix = shift >= 64 ? 0 : (cursor_ >> shift) << shift;
+        const std::uint64_t base = prefix | index << (level * kSlotBits);
+        if (base > limit_ticks) {
+            // Never move the cursor past the caller's deadline: a later
+            // schedule_at() between now() and the next event must still
+            // land in front of the cursor.
+            if (limit_ticks > cursor_) cursor_ = limit_ticks;
+            return false;
+        }
+        cursor_ = base;
+        const auto li = static_cast<std::size_t>(level);
+        if (level == 0) {
+            Bucket& b = wheel_[0][static_cast<std::size_t>(index)];
+            if (!b.sorted) {
+                // Activation: order the unconsumed suffix by exact deadline
+                // (ties stay in seq order — entries arrived seq-ascending and
+                // insertion sort is stable), restoring heap-identical
+                // (when, seq) order within this 1.024 us tick. Buckets are
+                // tiny and usually nearly sorted already; insertion sort
+                // beats std::stable_sort's temporary-buffer allocation here.
+                Entry* const first = b.entries.data() + b.head;
+                Entry* const last = b.entries.data() + b.entries.size();
+                for (Entry* p = first + 1; p < last; ++p) {
+                    if (to_ns(p->when) >= to_ns((p - 1)->when)) continue;
+                    Entry tmp = *p;
+                    Entry* q = p;
+                    for (; q > first && to_ns(tmp.when) < to_ns((q - 1)->when); --q)
+                        *q = *(q - 1);
+                    *q = tmp;
+                }
+                b.sorted = true;
+            }
+            while (b.head < b.entries.size() && !is_live(b.entries[b.head])) {
+                ++b.head;  // sweep tombstones
+                --wheel_stored_;
+            }
+            if (b.head >= b.entries.size()) {
+                clear_level0_bucket(index);
+                continue;  // the bucket held only cancelled entries
+            }
+            return true;
+        }
+        // Lazy cascade: the cursor reached a coarse bucket; redistribute it
+        // into the finer levels, which are provably empty in this window
+        // (they were scanned first), so append order is preserved.
+        // Tombstones are dropped here for free. The scratch swap recycles
+        // vector capacity between the bucket and the scratch across
+        // cascades, so steady-state cascading never touches the allocator.
+        Bucket& b = wheel_[li][static_cast<std::size_t>(index)];
+        cascade_scratch_.clear();
+        cascade_scratch_.swap(b.entries);
+        b.head = 0;
+        occupancy_[li] &= ~(std::uint64_t{1} << index);
+        for (const Entry& e : cascade_scratch_) {
+            --wheel_stored_;
+            if (is_live(e)) wheel_place(e);
+        }
+    }
+}
+
+bool EventQueue::wheel_pop(std::uint64_t limit_ns) {
+    if (live_count_ == 0) {
+        purge_if_drained();
+        return false;
+    }
+    if (!wheel_advance(limit_ns >> kTickShift)) return false;
+    const std::uint64_t index = cursor_ & kSlotMask;
+    Bucket& b = wheel_[0][static_cast<std::size_t>(index)];
+    // The cursor bucket's tick may equal the deadline's while its earliest
+    // entry still lies a few hundred ns beyond it; such an entry stays put
+    // (the bucket keeps its sorted suffix) for the next run.
+    if (to_ns(b.entries[b.head].when) > limit_ns) return false;
+    const Entry e = b.entries[b.head];
+    ++b.head;
+    --wheel_stored_;
+    if (b.head >= b.entries.size()) clear_level0_bucket(index);
+    execute(e);
+    return true;
+}
+
+bool EventQueue::heap_pop(std::uint64_t limit_ns) {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
+        if (!is_live(heap_.top())) {  // cancelled or rearmed away
+            heap_.pop();
+            continue;
+        }
+        if (to_ns(heap_.top().when) > limit_ns) return false;
+        const Entry e = heap_.top();
         heap_.pop();
-        if (!is_live(e)) continue;  // cancelled: slot was re-generationed
-        // Move the callback out before releasing: the callback may schedule
-        // new events that reuse (and overwrite) this very slot.
-        Callback cb = std::move(slots_[e.slot].cb);
-        release_slot(e.slot);
-        assert(e.when >= now_);
-        now_ = e.when;
-        --live_count_;
-        ++executed_;
-        cb();
+        execute(e);
         return true;
     }
     return false;
 }
 
+bool EventQueue::pop_one(std::uint64_t limit_ns) {
+    return backend_ == Backend::kHeap ? heap_pop(limit_ns) : wheel_pop(limit_ns);
+}
+
+void EventQueue::execute(const Entry& e) {
+    // Move the callback out before firing: the callback may schedule new
+    // events that reuse (and overwrite) this very slot.
+    Callback cb = std::move(slots_[e.slot].cb);
+    slots_[e.slot].state = Slot::kFiring;
+    assert(e.when >= now_);
+    now_ = e.when;
+    --live_count_;
+    ++executed_;
+    mix(digest_, e.seq);
+    mix(digest_, to_ticks(e.when));
+    cb();
+    // Re-fetch: the callback may have grown slots_. If it rearmed its own
+    // slot (kArmed again under the same generation) the slot stays live and
+    // gets its callable back; any other state means the slot was released —
+    // and possibly re-acquired by an unrelated schedule — during the
+    // callback, so it must not be touched.
+    Slot& s = slots_[e.slot];
+    if (s.state == Slot::kFiring) {
+        release_slot(e.slot);
+        purge_if_drained();
+    } else if (s.state == Slot::kArmed && s.gen == e.gen) {
+        assert(!s.cb);
+        s.cb = std::move(cb);
+    }
+}
+
+void EventQueue::purge_if_drained() {
+    if (live_count_ != 0) return;
+    if (backend_ == Backend::kHeap) {
+        if (!heap_.empty()) heap_ = {};  // every remaining entry is a tombstone
+        return;
+    }
+    if (wheel_stored_ != 0) {
+        for (std::size_t l = 0; l < kLevels; ++l) {
+            std::uint64_t occ = occupancy_[l];
+            while (occ != 0) {
+                const auto index = static_cast<std::size_t>(std::countr_zero(occ));
+                occ &= occ - 1;
+                wheel_[l][index].entries.clear();
+                wheel_[l][index].head = 0;
+                wheel_[l][index].sorted = false;
+            }
+            occupancy_[l] = 0;
+        }
+        wheel_stored_ = 0;
+    }
+    // With nothing stored the cursor can jump straight to now(), keeping
+    // future insertions on the finest levels.
+    cursor_ = to_ticks(now_);
+}
+
 std::size_t EventQueue::run(std::size_t limit) {
     std::size_t n = 0;
-    while (n < limit && pop_one()) ++n;
+    while (n < limit && pop_one(UINT64_MAX)) ++n;
     return n;
 }
 
 std::size_t EventQueue::run_until(TimePoint deadline) {
+    if (deadline < now_) return 0;
     std::size_t n = 0;
-    while (!heap_.empty()) {
-        // Skip cancelled entries at the top so top().when is a live event.
-        if (!is_live(heap_.top())) {
-            heap_.pop();
-            continue;
-        }
-        if (heap_.top().when > deadline) break;
-        if (pop_one()) ++n;
-    }
-    if (now_ < deadline) now_ = deadline;
+    while (pop_one(to_ns(deadline))) ++n;
+    now_ = deadline;
+    // Everything still stored provably lies at or beyond the deadline's tick
+    // (wheel_advance cascaded any straddling bucket), so the cursor may come
+    // up to that tick.
+    const std::uint64_t limit_ticks = to_ticks(deadline);
+    if (backend_ == Backend::kWheel && limit_ticks > cursor_) cursor_ = limit_ticks;
     return n;
 }
 
-bool EventQueue::step() { return pop_one(); }
+bool EventQueue::step() { return pop_one(UINT64_MAX); }
 
 } // namespace sttcp::sim

@@ -8,8 +8,37 @@
 // tombstone set. Callbacks live in an InlineFunction whose buffer is sized
 // for the simulator's hot lambdas (link delivery, RTO timers), so scheduling
 // does not touch the heap either.
+//
+// Two interchangeable backends implement the ordering contract:
+//
+//   * kWheel (default) — a hierarchical timing wheel (Varghese–Lauck):
+//     9 levels of 64 slots at a 1.024 us tick (1 tick = 2^10 ns), so level L
+//     buckets span 64^L ticks and 6*9 = 54 bits cover every representable
+//     TimePoint. Insertion picks the level of the highest bit in which the
+//     target tick differs from the wheel cursor; advancing lazily cascades
+//     one coarse bucket into finer levels only when the cursor reaches it.
+//     The coarse tick is deliberate: the simulator's hot events (link
+//     deliveries a few us out) land directly in level 0 and never cascade,
+//     where a 1 ns tick would push nearly every event up 3-4 levels and pay
+//     that many re-placements. Schedule, cancel and rearm are O(1); finding
+//     the next event is O(levels).
+//   * kHeap — the original binary heap. It survives as the determinism
+//     oracle: tests replay a recorded trial under both backends and compare
+//     order_digest(), proving the wheel executes the identical sequence.
+//
+// Exact (time, insertion-order) execution — not merely tick-order — rests on
+// two rules. Entries keep their exact nanosecond deadline, and a level-0
+// bucket is stable-sorted by (when, seq) once, lazily, when the cursor
+// activates it; events quantized into the same 1.024 us tick therefore still
+// fire in precise heap-identical order. Appends into an already-activated
+// bucket (same-tick schedules from a running callback) clear its sorted flag
+// unless they extend the order, and the next pop re-sorts the unconsumed
+// suffix. Cascades only happen when every finer level is already empty in
+// the cursor's future window, so redistributed entries land in empty
+// buckets and are sorted at their own activation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -26,22 +55,33 @@ class EventQueue {
 public:
     using Callback = InlineFunction<void(), 64>;
 
+    enum class Backend : std::uint8_t { kWheel, kHeap };
+
+    explicit EventQueue(Backend backend = Backend::kWheel) : backend_(backend) {}
+
     [[nodiscard]] TimePoint now() const { return now_; }
+    [[nodiscard]] Backend backend() const { return backend_; }
 
     // The callable is constructed directly into its slot: scheduling a
-    // lambda performs no InlineFunction relocation at all.
+    // lambda performs no InlineFunction relocation at all. Deadlines in the
+    // past clamp to now(): a late timer fires immediately, it never rewinds
+    // simulated time.
     template <typename F>
     EventId schedule_at(TimePoint when, F&& f) {
+        if (when < now_) when = now_;
         std::uint32_t slot = acquire_slot();
         Slot& s = slots_[slot];
-        s.armed = true;
+        s.state = Slot::kArmed;
+        s.live_seq = next_seq_;
         if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
             s.cb = std::forward<F>(f);
         } else {
             s.cb.emplace(std::forward<F>(f));
         }
-        heap_.push(Entry{when, next_seq_++, slot, s.gen});
+        insert_entry(Entry{when, next_seq_++, slot, s.gen});
         ++live_count_;
+        ++scheduled_;
+        if (live_count_ > peak_pending_) peak_pending_ = live_count_;
         return make_id(slot, s.gen);
     }
     template <typename F>
@@ -52,6 +92,18 @@ public:
     // Cancels a pending event; no-op (returns false) if it already fired,
     // was cancelled, or the id is kInvalidEventId.
     bool cancel(EventId id);
+
+    // Moves a pending event to a new deadline without invalidating its id:
+    // the (slot, generation) pair is kept, the old queue entry becomes a
+    // tombstone, and the event consumes a fresh sequence number — exactly
+    // the FIFO position a cancel()+schedule_at() pair would have produced,
+    // minus the slot churn. Deadlines in the past clamp to now(). Uniquely,
+    // rearm() is also legal from inside the event's own callback (where
+    // cancel() on the own id already returns false): the slot stays live and
+    // the same callback fires again at the new deadline, which is how the
+    // periodic ST-TCP timers avoid tearing down and re-emplacing their
+    // lambda every interval. Returns false if the id is stale or invalid.
+    bool rearm(EventId id, TimePoint when);
 
     // Runs events until the queue is empty or `limit` events fired.
     // Returns the number of events executed.
@@ -67,10 +119,32 @@ public:
     [[nodiscard]] std::size_t pending() const { return live_count_; }
     [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+    // Cancelled/rearmed entries whose storage has not been reclaimed yet.
+    // Must read 0 after a run() that drains the queue — a nonzero value at
+    // that point is a tombstone leak (asserted by tests, not just eyeballed).
+    [[nodiscard]] std::size_t dead_entries() const {
+        return stored_entries() - live_count_;
+    }
+
+    // High-water mark of concurrently armed events (the "peak armed timers"
+    // column in BENCH_scale.json).
+    [[nodiscard]] std::size_t peak_pending() const { return peak_pending_; }
+
+    // Total schedule_at/schedule_after and rearm() calls — lets tests pin
+    // "this change did not add timer churn" as a counter equality.
+    [[nodiscard]] std::uint64_t scheduled() const { return scheduled_; }
+    [[nodiscard]] std::uint64_t rearmed() const { return rearmed_; }
+
+    // Order-sensitive digest over every executed event's (seq, deadline).
+    // Two backends that executed the identical event sequence — and only
+    // those — report equal digests for equal workloads.
+    [[nodiscard]] std::uint64_t order_digest() const { return digest_; }
+
 private:
-    // Heap entries are 24-byte PODs: the callback lives in the slot table,
-    // not the heap, so every sift during push/pop moves plain words instead
-    // of running InlineFunction's relocate through a function pointer.
+    // Queue entries are 24-byte PODs: the callback lives in the slot table,
+    // not the wheel/heap, so moving entries around shuffles plain words
+    // instead of running InlineFunction's relocate through a function
+    // pointer.
     struct Entry {
         TimePoint when;
         std::uint64_t seq;  // tie-break: FIFO among same-time events
@@ -83,22 +157,46 @@ private:
             return a.seq > b.seq;
         }
     };
-    // A slot is armed while its event is pending; the generation advances
-    // every time the slot is released (fire or cancel), which invalidates
-    // every id and heap entry minted for earlier occupancies. Slots are
-    // stable across heap operations, so the callback is stored here.
+    // A slot is kArmed while its event is pending and kFiring while its
+    // callback is executing (so rearm() from inside the callback can re-arm
+    // the same slot). The generation advances every time the slot is
+    // released (fire or cancel), which invalidates every id and queue entry
+    // minted for earlier occupancies; live_seq additionally identifies
+    // *which* queue entry is current, so rearm() can orphan the old one
+    // without touching the generation. Slots are stable across queue
+    // operations, so the callback is stored here.
     struct Slot {
+        enum State : std::uint8_t { kFree, kArmed, kFiring };
         std::uint32_t gen = 1;
-        bool armed = false;
+        State state = kFree;
+        std::uint64_t live_seq = 0;
         Callback cb;
+    };
+
+    // ---- timing wheel geometry ---------------------------------------------
+    static constexpr int kTickShift = 10;                // 1 tick = 1.024 us
+    static constexpr int kSlotBits = 6;                  // 64 buckets per level
+    static constexpr int kSlotsPerLevel = 1 << kSlotBits;
+    static constexpr std::uint64_t kSlotMask = kSlotsPerLevel - 1;
+    static constexpr int kLevels = 9;  // 6*9 = 54 bits >= any TimePoint tick
+    struct Bucket {
+        std::vector<Entry> entries;  // append order; see `sorted`
+        std::size_t head = 0;        // consumed prefix of the level-0 cursor bucket
+        bool sorted = false;         // [head, end) is (when, seq)-ordered (level 0)
     };
 
     [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
         return static_cast<EventId>(slot) << 32 | gen;
     }
+    [[nodiscard]] static std::uint64_t to_ns(TimePoint t) {
+        return static_cast<std::uint64_t>(t.time_since_epoch().count());
+    }
+    [[nodiscard]] static std::uint64_t to_ticks(TimePoint t) {
+        return to_ns(t) >> kTickShift;
+    }
     [[nodiscard]] bool is_live(const Entry& e) const {
         const Slot& s = slots_[e.slot];
-        return s.armed && s.gen == e.gen;
+        return s.state == Slot::kArmed && s.gen == e.gen && s.live_seq == e.seq;
     }
     [[nodiscard]] std::uint32_t acquire_slot() {
         if (!free_slots_.empty()) {
@@ -110,16 +208,51 @@ private:
         slots_.emplace_back();
         return slot;
     }
+    [[nodiscard]] std::size_t stored_entries() const {
+        return backend_ == Backend::kHeap ? heap_.size() : wheel_stored_;
+    }
     void release_slot(std::uint32_t slot);
-    bool pop_one();
+    void insert_entry(const Entry& e);
+    void wheel_place(const Entry& e);
+    void clear_level0_bucket(std::uint64_t index);
+    // Positions cursor_ on the level-0 bucket of the earliest live entry
+    // with tick <= limit_ticks (cascading coarse buckets as needed) and
+    // returns true; returns false — never moving cursor_ past limit_ticks —
+    // when no such entry exists.
+    bool wheel_advance(std::uint64_t limit_ticks);
+    // The pops take the *exact* nanosecond deadline: a bucket whose tick
+    // equals the deadline's may still hold events a few hundred ns beyond it.
+    bool wheel_pop(std::uint64_t limit_ns);
+    bool heap_pop(std::uint64_t limit_ns);
+    bool pop_one(std::uint64_t limit_ns);
+    void execute(const Entry& e);
+    void purge_if_drained();
 
+    Backend backend_;
+
+    // kHeap backend state.
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+    // kWheel backend state. cursor_ is the wheel's read position in ticks:
+    // every bucket strictly before it has been drained or cascaded. At every
+    // public API boundary cursor_ <= now() in ticks, so a fresh insert
+    // (clamped to >= now()) can never land behind the cursor.
+    std::array<std::array<Bucket, kSlotsPerLevel>, kLevels> wheel_{};
+    std::array<std::uint64_t, kLevels> occupancy_{};  // bit b: bucket b non-empty
+    std::uint64_t cursor_ = 0;
+    std::size_t wheel_stored_ = 0;
+    std::vector<Entry> cascade_scratch_;  // capacity recycled across cascades
+
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_slots_;
     TimePoint now_{};
     std::uint64_t next_seq_ = 0;
     std::size_t live_count_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t peak_pending_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t rearmed_ = 0;
+    std::uint64_t digest_ = 0x7374'7463'7031'2003ULL;
 };
 
 } // namespace sttcp::sim

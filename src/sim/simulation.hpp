@@ -16,7 +16,9 @@ namespace sttcp::sim {
 
 class Simulation {
 public:
-    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {
+    explicit Simulation(std::uint64_t seed = 1,
+                        EventQueue::Backend backend = EventQueue::Backend::kWheel)
+        : queue_(backend), rng_(seed) {
         // Prefix every log line with the virtual timestamp.
         logger_.set_sink([this](util::LogLevel level, std::string_view component,
                                 std::string_view msg) { default_sink(level, component, msg); });
@@ -39,6 +41,8 @@ public:
         return queue_.schedule_after(delay, std::forward<F>(f));
     }
     bool cancel(EventId id) { return queue_.cancel(id); }
+    bool rearm(EventId id, TimePoint when) { return queue_.rearm(id, when); }
+    bool rearm_after(EventId id, Duration delay) { return queue_.rearm(id, now() + delay); }
 
     std::size_t run(std::size_t limit = SIZE_MAX) { return queue_.run(limit); }
     std::size_t run_until(TimePoint deadline) { return queue_.run_until(deadline); }

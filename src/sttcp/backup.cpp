@@ -337,13 +337,17 @@ void SttcpBackup::maybe_ack(Shadow& shadow, bool force) {
 }
 
 void SttcpBackup::schedule_sync() {
+    // Periodic-rearm pattern: the callback re-arms its own slot each
+    // SyncTime, so the ack-strategy clock never tears a slot down.
     sync_timer_ = stack_.sim().schedule_after(options_.config.sync_time, [this]() {
-        sync_timer_ = sim::kInvalidEventId;
-        if (!stack_.powered() || !started_ || taken_over_) return;
+        if (!stack_.powered() || !started_ || taken_over_) {
+            sync_timer_ = sim::kInvalidEventId;
+            return;
+        }
         // SyncTime expired: ack every shadowed connection regardless of how
         // few bytes arrived (paper §4.3, second trigger).
         for (auto& [_, shadow] : conns_) maybe_ack(shadow, /*force=*/true);
-        schedule_sync();
+        stack_.sim().rearm_after(sync_timer_, options_.config.sync_time);
     });
 }
 
@@ -363,10 +367,12 @@ void SttcpBackup::send_heartbeat() {
 
 void SttcpBackup::schedule_heartbeat() {
     hb_timer_ = stack_.sim().schedule_after(options_.config.hb_interval, [this]() {
-        hb_timer_ = sim::kInvalidEventId;
-        if (!stack_.powered() || !started_ || taken_over_) return;
+        if (!stack_.powered() || !started_ || taken_over_) {
+            hb_timer_ = sim::kInvalidEventId;
+            return;
+        }
         send_heartbeat();
-        schedule_heartbeat();
+        stack_.sim().rearm_after(hb_timer_, options_.config.hb_interval);
     });
 }
 

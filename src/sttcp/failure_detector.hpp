@@ -58,17 +58,23 @@ public:
 
 private:
     void schedule_check() {
+        // One persistent event samples the whole lifetime of the detector:
+        // the callback rearms its own slot for the next interval, so the
+        // hot sampling path is a queue re-insert — no slot teardown, no
+        // lambda re-emplacement. check_event_ stays valid across samples.
         check_event_ = sim_.schedule_after(interval_, [this]() {
-            check_event_ = sim::kInvalidEventId;
-            if (stopped_ || suspected_) return;
-            if (alive_ && !alive_()) return;
+            if (stopped_ || suspected_ || (alive_ && !alive_())) {
+                check_event_ = sim::kInvalidEventId;
+                return;
+            }
             if (sim_.now() - last_heard_ >= threshold_ * interval_) {
+                check_event_ = sim::kInvalidEventId;
                 suspected_ = true;
                 suspected_at_ = sim_.now();
                 if (on_suspect_) on_suspect_();
                 return;
             }
-            schedule_check();
+            sim_.rearm_after(check_event_, interval_);
         });
     }
 

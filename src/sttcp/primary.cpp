@@ -239,10 +239,12 @@ void SttcpPrimary::send_heartbeat() {
 
 void SttcpPrimary::schedule_heartbeat() {
     hb_timer_ = stack_.sim().schedule_after(options_.config.hb_interval, [this]() {
-        hb_timer_ = sim::kInvalidEventId;
-        if (!stack_.powered() || !started_ || !ft_mode_) return;
+        if (!stack_.powered() || !started_ || !ft_mode_) {
+            hb_timer_ = sim::kInvalidEventId;
+            return;
+        }
         send_heartbeat();
-        schedule_heartbeat();
+        stack_.sim().rearm_after(hb_timer_, options_.config.hb_interval);
     });
 }
 

@@ -737,8 +737,10 @@ void TcpConnection::send_syn(bool with_ack) {
 }
 
 void TcpConnection::send_ack_now() {
-    stack_.sim().cancel(delack_timer_);
-    delack_timer_ = sim::kInvalidEventId;
+    if (delack_timer_ != sim::kInvalidEventId) {
+        stack_.sim().cancel(delack_timer_);
+        delack_timer_ = sim::kInvalidEventId;
+    }
     unacked_segments_ = 0;
 
     net::TcpSegment seg;
@@ -750,6 +752,10 @@ void TcpConnection::send_ack_now() {
 }
 
 void TcpConnection::schedule_delayed_ack() {
+    // Coalesce: while armed, the deadline (first unacked segment + timeout)
+    // is by construction unchanged, so a second in-order segment must not
+    // cancel and reschedule — it either rides the armed timer or trips the
+    // 2-segment ack in process_payload. Pinned by DelayedAckCoalescing.
     if (delack_timer_ != sim::kInvalidEventId) return;
     auto self = weak_from_this();
     delack_timer_ = stack_.sim().schedule_after(config_.delayed_ack_timeout, [self]() {
@@ -782,14 +788,29 @@ void TcpConnection::emit(net::TcpSegment&& seg) {
 // ------------------------------------------------------------------- timers
 
 void TcpConnection::arm_retransmit_timer() {
-    cancel_retransmit_timer();
+    // Hottest timer in the stack: try_send() re-arms once per emitted
+    // segment and every ack that leaves data in flight re-arms again. Two
+    // fast paths replace the old cancel+schedule pair: an unchanged
+    // deadline (same event, same RTO — every segment after the first in a
+    // burst) is a no-op, and a changed deadline moves the armed event in
+    // place with rearm().
+    const sim::TimePoint deadline = stack_.sim().now() + rtt_.rto();
+    if (retransmit_timer_ != sim::kInvalidEventId) {
+        if (deadline == retransmit_deadline_) return;
+        if (stack_.sim().rearm(retransmit_timer_, deadline)) {
+            retransmit_deadline_ = deadline;
+            return;
+        }
+        retransmit_timer_ = sim::kInvalidEventId;  // stale id; fall through
+    }
     auto self = weak_from_this();
-    retransmit_timer_ = stack_.sim().schedule_after(rtt_.rto(), [self]() {
+    retransmit_timer_ = stack_.sim().schedule_at(deadline, [self]() {
         auto conn = self.lock();
         if (!conn || !conn->stack_.powered() || conn->state_ == TcpState::kClosed) return;
         conn->retransmit_timer_ = sim::kInvalidEventId;
         conn->on_retransmit_timeout();
     });
+    retransmit_deadline_ = deadline;
 }
 
 void TcpConnection::cancel_retransmit_timer() {
@@ -862,22 +883,31 @@ void TcpConnection::retransmit_head() {
     rtt_pending_ = false;  // Karn: never sample a retransmitted segment
 }
 
-void TcpConnection::arm_persist_timer() {
-    if (persist_timer_ != sim::kInvalidEventId) return;
+sim::Duration TcpConnection::persist_delay() const {
     sim::Duration delay = config_.persist_min;
     for (int i = 0; i < persist_backoff_ && delay < config_.persist_max; ++i) delay *= 2;
-    delay = std::min(delay, config_.persist_max);
+    return std::min(delay, config_.persist_max);
+}
+
+void TcpConnection::arm_persist_timer() {
+    if (persist_timer_ != sim::kInvalidEventId) return;
     auto self = weak_from_this();
-    persist_timer_ = stack_.sim().schedule_after(delay, [self]() {
+    persist_timer_ = stack_.sim().schedule_after(persist_delay(), [self]() {
         auto conn = self.lock();
-        if (!conn || !conn->stack_.powered() || conn->state_ == TcpState::kClosed) return;
-        conn->persist_timer_ = sim::kInvalidEventId;
+        if (!conn) return;
+        if (!conn->stack_.powered() || conn->state_ == TcpState::kClosed) {
+            conn->persist_timer_ = sim::kInvalidEventId;
+            return;
+        }
+        // Not reset to kInvalidEventId here: on_persist_timeout() rearms
+        // the firing event in place for the next probe.
         conn->on_persist_timeout();
     });
 }
 
 void TcpConnection::on_persist_timeout() {
     if (snd_wnd_ > 0) {
+        persist_timer_ = sim::kInvalidEventId;  // window opened; probing over
         try_send();
         return;
     }
@@ -894,15 +924,25 @@ void TcpConnection::on_persist_timeout() {
         emit(std::move(seg));
     }
     ++persist_backoff_;
-    arm_persist_timer();
+    // Same slot, same lambda, next backoff step: rearm() from inside the
+    // firing callback keeps persist_timer_ valid with zero slot churn.
+    if (!stack_.sim().rearm_after(persist_timer_, persist_delay())) {
+        persist_timer_ = sim::kInvalidEventId;
+        arm_persist_timer();
+    }
 }
 
 void TcpConnection::enter_time_wait() {
     transition(TcpState::kTimeWait);
     cancel_retransmit_timer();
-    stack_.sim().cancel(time_wait_timer_);
+    const sim::TimePoint deadline = stack_.sim().now() + 2 * config_.msl;
+    // Re-entry (a retransmitted FIN restarts 2MSL) moves the armed timer.
+    if (time_wait_timer_ != sim::kInvalidEventId &&
+        stack_.sim().rearm(time_wait_timer_, deadline)) {
+        return;
+    }
     auto self = weak_from_this();
-    time_wait_timer_ = stack_.sim().schedule_after(2 * config_.msl, [self]() {
+    time_wait_timer_ = stack_.sim().schedule_at(deadline, [self]() {
         auto conn = self.lock();
         if (!conn || conn->state_ != TcpState::kTimeWait) return;
         conn->time_wait_timer_ = sim::kInvalidEventId;

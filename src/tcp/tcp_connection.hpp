@@ -202,6 +202,7 @@ private:
     void cancel_retransmit_timer();
     void on_retransmit_timeout();
     void retransmit_head();
+    [[nodiscard]] sim::Duration persist_delay() const;
     void arm_persist_timer();
     void on_persist_timeout();
     void enter_time_wait();
@@ -260,6 +261,10 @@ private:
     sim::EventId delack_timer_ = sim::kInvalidEventId;
     sim::EventId persist_timer_ = sim::kInvalidEventId;
     sim::EventId time_wait_timer_ = sim::kInvalidEventId;
+    // Deadline the armed retransmit timer points at: a burst of segments in
+    // one try_send() re-arms at an identical now+RTO, and the memo turns
+    // those re-arms into no-ops instead of rearm() round trips.
+    sim::TimePoint retransmit_deadline_{};
 
     bool adopt_peer_seq_ = false;
     bool shadow_mode_ = false;

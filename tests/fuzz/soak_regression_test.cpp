@@ -52,5 +52,25 @@ TEST(SoakRegression, Seed12_SwitchMulticastSixDimensions) { expect_seed_passes(1
 TEST(SoakRegression, Seed103_ChainClientBlackout) { expect_seed_passes(103); }
 TEST(SoakRegression, Seed140_NoSpofCorruptionJitter) { expect_seed_passes(140); }
 
+// Scheduler-backend determinism on recorded soak trials: the timing wheel
+// must execute the byte-identical event order as the binary-heap oracle —
+// equal order digests, equal event counts, equal verdicts — on full trials
+// (handshakes, chaos schedules, failovers), not just unit-test scripts.
+TEST(SoakRegression, WheelMatchesHeapEventOrderOnRecordedTrials) {
+    for (std::uint64_t seed : {4ull, 21ull, 43ull, 103ull}) {
+        Scenario sc = Scenario::sample(seed);
+        SoakOptions wheel_opts, heap_opts;
+        wheel_opts.backend = sim::EventQueue::Backend::kWheel;
+        heap_opts.backend = sim::EventQueue::Backend::kHeap;
+        TrialResult w = run_trial(sc, wheel_opts);
+        TrialResult h = run_trial(sc, heap_opts);
+        EXPECT_EQ(w.event_order_digest, h.event_order_digest) << sc.describe();
+        EXPECT_EQ(w.events_executed, h.events_executed) << sc.describe();
+        EXPECT_GT(w.events_executed, 500u) << "trial too small to prove anything";
+        EXPECT_EQ(w.passed, h.passed);
+        EXPECT_EQ(w.bytes_received, h.bytes_received);
+    }
+}
+
 } // namespace
 } // namespace sttcp::fuzz

@@ -1,0 +1,251 @@
+// Timing-wheel backend semantics that the heap backend got for free:
+// FIFO across wheel levels, cascade correctness at level boundaries, the
+// rearm() move-in-place contract, and dead-entry accounting. The last tests
+// pin the determinism contract itself: both backends must execute a churny
+// scripted workload in the byte-identical order (equal order_digest()).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace sttcp::sim {
+namespace {
+
+using Backend = EventQueue::Backend;
+
+constexpr std::array<Backend, 2> kBothBackends{Backend::kWheel, Backend::kHeap};
+
+// One wheel tick is 2^10 ns (kTickShift in event_queue.hpp); deadlines built
+// in ticks land exactly on the level boundaries the cascade tests probe.
+constexpr std::int64_t kTickNs = 1024;
+
+TimePoint at_ticks(std::uint64_t ticks) {
+    return TimePoint{} + nanoseconds{static_cast<std::int64_t>(ticks) * kTickNs};
+}
+
+// Same-deadline events must run in schedule order even when they were
+// inserted into different wheel levels: the first is scheduled while the
+// deadline is far away (coarse level), the second after the cursor has
+// advanced close to it (level 0). The cascade must preserve seq order.
+TEST(TimerWheel, FifoTieBreakAcrossLevels) {
+    EventQueue q{Backend::kWheel};
+    std::vector<int> order;
+    const TimePoint deadline = at_ticks(100'000);  // ~102 ms
+    q.schedule_at(deadline, [&] { order.push_back(0); });        // coarse level
+    q.run_until(at_ticks(99'999));                               // cursor 1 tick short
+    q.schedule_at(deadline, [&] { order.push_back(1); });        // fine level
+    q.schedule_at(deadline, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.now(), deadline);
+}
+
+// Deadlines straddling every level-0/level-1 and level-1/level-2 boundary
+// (ticks 63..65, 64^2-1..64^2+1, 64^3-1..64^3+1) must still execute in
+// (time, seq) order. Scheduled shuffled to make the wheel do the sorting.
+TEST(TimerWheel, CascadeCorrectAtLevelBoundaries) {
+    constexpr std::uint64_t kL1 = 64, kL2 = 64 * 64, kL3 = 64ull * 64 * 64;
+    const std::array<std::uint64_t, 12> ticks{kL3 + 1, kL1 - 1, kL2,     kL3 - 1,
+                                              kL1,     kL2 + 1, kL1 + 1, kL2 - 1,
+                                              kL3,     kL1,     kL2,     kL3};
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        std::vector<std::uint64_t> fired;
+        for (std::uint64_t t : ticks)
+            q.schedule_at(at_ticks(t), [&fired, t] { fired.push_back(t); });
+        q.run();
+        std::vector<std::uint64_t> want(ticks.begin(), ticks.end());
+        std::stable_sort(want.begin(), want.end());
+        EXPECT_EQ(fired, want) << "backend " << static_cast<int>(b);
+    }
+}
+
+// Events quantized into the same 1.024 us wheel tick share a level-0 bucket
+// but must still fire in exact (nanosecond, seq) order — the bucket is
+// lazily sorted at activation — and a run_until deadline falling mid-tick
+// must leave the later-in-tick events unfired.
+TEST(TimerWheel, SubTickOrderingExact) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        std::vector<int> order;
+        const TimePoint base = at_ticks(4);  // tick-aligned; offsets stay in-tick
+        q.schedule_at(base + nanoseconds{300}, [&] { order.push_back(3); });
+        q.schedule_at(base + nanoseconds{100}, [&] { order.push_back(1); });
+        q.schedule_at(base + nanoseconds{200}, [&] { order.push_back(2); });
+        q.schedule_at(base + nanoseconds{100}, [&] { order.push_back(11); });  // FIFO tie
+        q.run_until(base + nanoseconds{150});
+        EXPECT_EQ(order, (std::vector<int>{1, 11})) << "backend " << static_cast<int>(b);
+        q.run();
+        EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3})) << "backend " << static_cast<int>(b);
+        EXPECT_EQ(q.dead_entries(), 0u);
+    }
+}
+
+TEST(TimerWheel, RearmLaterAndEarlier) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        int fired = 0;
+        EventId id = q.schedule_after(milliseconds{10}, [&] { ++fired; });
+        ASSERT_TRUE(q.rearm(id, TimePoint{} + milliseconds{50}));  // later
+        EXPECT_EQ(q.run_until(TimePoint{} + milliseconds{20}), 0u);
+        EXPECT_EQ(fired, 0);
+        ASSERT_TRUE(q.rearm(id, TimePoint{} + milliseconds{25}));  // earlier (in past of old)
+        EXPECT_EQ(q.run_until(TimePoint{} + milliseconds{30}), 1u);
+        EXPECT_EQ(fired, 1);
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+// A rearm into the past clamps to now(): the event fires immediately on the
+// next run, never "before" the current virtual time.
+TEST(TimerWheel, RearmPastDeadlineClampsToNow) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        q.schedule_after(milliseconds{40}, [] {});
+        q.run();  // now = 40ms
+        TimePoint fired_at{};
+        EventId id = q.schedule_after(milliseconds{10}, [&] { fired_at = q.now(); });
+        ASSERT_TRUE(q.rearm(id, TimePoint{} + milliseconds{5}));  // 35 ms in the past
+        q.run();
+        EXPECT_EQ(fired_at, TimePoint{} + milliseconds{40});
+    }
+}
+
+TEST(TimerWheel, RearmRejectsInvalidAndCancelledIds) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        EXPECT_FALSE(q.rearm(kInvalidEventId, TimePoint{} + milliseconds{1}));
+        EventId id = q.schedule_after(milliseconds{1}, [] {});
+        ASSERT_TRUE(q.cancel(id));
+        EXPECT_FALSE(q.rearm(id, TimePoint{} + milliseconds{2}));
+        q.run();
+    }
+}
+
+// The periodic-timer idiom the protocol code uses: one persistent event
+// whose callback rearms its own id. The id must stay valid across firings
+// and cancel must still work from outside.
+TEST(TimerWheel, RearmFromOwnCallbackIsPeriodic) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        int fired = 0;
+        EventId id = kInvalidEventId;
+        id = q.schedule_after(milliseconds{10}, [&] {
+            if (++fired < 5) {
+                ASSERT_TRUE(q.rearm(id, q.now() + milliseconds{10}));
+            }
+        });
+        q.run();
+        EXPECT_EQ(fired, 5);
+        EXPECT_EQ(q.now(), TimePoint{} + milliseconds{50});
+        EXPECT_FALSE(q.cancel(id));  // slot retired after the last firing
+        EXPECT_EQ(q.dead_entries(), 0u);
+    }
+}
+
+// rearm() consumes a fresh seq exactly like cancel+schedule would, so two
+// same-deadline events keep their relative order when one is rearmed last.
+TEST(TimerWheel, RearmTakesFifoSlotOfReschedule) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        std::vector<int> order;
+        const TimePoint t = TimePoint{} + milliseconds{10};
+        EventId a = q.schedule_at(t, [&] { order.push_back(0); });
+        q.schedule_at(t, [&] { order.push_back(1); });
+        ASSERT_TRUE(q.rearm(a, t));  // same deadline, but now behind event 1
+        q.run();
+        EXPECT_EQ(order, (std::vector<int>{1, 0}));
+    }
+}
+
+// Cancelled entries are tombstones until the queue sweeps them; after a
+// full drain none may linger (satellite: dead_entries() asserted zero).
+TEST(TimerWheel, DeadEntriesDrainToZero) {
+    for (Backend b : kBothBackends) {
+        EventQueue q{b};
+        std::vector<EventId> ids;
+        for (int i = 0; i < 200; ++i)
+            ids.push_back(q.schedule_after(milliseconds{i % 37}, [] {}));
+        for (std::size_t i = 0; i < ids.size(); i += 2) ASSERT_TRUE(q.cancel(ids[i]));
+        EXPECT_EQ(q.pending(), 100u);
+        q.run();
+        EXPECT_EQ(q.dead_entries(), 0u);
+        EXPECT_TRUE(q.empty());
+        // Cancel-only drain: live work removed without ever running.
+        EventId only = q.schedule_after(seconds{5}, [] {});
+        ASSERT_TRUE(q.cancel(only));
+        EXPECT_EQ(q.dead_entries(), 0u);
+    }
+}
+
+// Deterministic scripted churn (LCG-driven schedule/cancel/rearm/run_until
+// mix, including nested scheduling from callbacks) must produce identical
+// execution on both backends: same executed() count, same order_digest().
+TEST(TimerWheel, CrossBackendDigestIdentical) {
+    auto run_script = [](Backend b) {
+        EventQueue q{b};
+        std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+        auto rnd = [&lcg] {
+            lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+            return lcg >> 33;
+        };
+        std::vector<EventId> live;
+        for (int step = 0; step < 400; ++step) {
+            switch (rnd() % 5) {
+                case 0:
+                case 1: {
+                    Duration d = microseconds{rnd() % 50'000};
+                    live.push_back(q.schedule_after(d, [&q, &rnd] {
+                        if (rnd() % 3 == 0) q.schedule_after(microseconds{rnd() % 500}, [] {});
+                    }));
+                    break;
+                }
+                case 2:
+                    if (!live.empty()) {
+                        q.cancel(live[rnd() % live.size()]);
+                    }
+                    break;
+                case 3:
+                    if (!live.empty()) {
+                        EventId id = live[rnd() % live.size()];
+                        q.rearm(id, q.now() + microseconds{rnd() % 20'000});
+                    }
+                    break;
+                case 4:
+                    q.run_until(q.now() + microseconds{rnd() % 2'000});
+                    break;
+            }
+        }
+        q.run();
+        EXPECT_EQ(q.dead_entries(), 0u);
+        return std::pair{q.executed(), q.order_digest()};
+    };
+    auto wheel = run_script(Backend::kWheel);
+    auto heap = run_script(Backend::kHeap);
+    EXPECT_EQ(wheel.first, heap.first);
+    EXPECT_EQ(wheel.second, heap.second);
+    EXPECT_GT(wheel.first, 100u);  // the script actually executed work
+}
+
+// Counters used by the churn pin tests: scheduled() counts fresh arms,
+// rearmed() counts move-in-place, peak_pending() high-watermarks liveness.
+TEST(TimerWheel, ChurnCountersAccount) {
+    EventQueue q;
+    EventId a = q.schedule_after(milliseconds{1}, [] {});
+    q.schedule_after(milliseconds{2}, [] {});
+    EXPECT_EQ(q.scheduled(), 2u);
+    EXPECT_EQ(q.peak_pending(), 2u);
+    ASSERT_TRUE(q.rearm(a, TimePoint{} + milliseconds{3}));
+    EXPECT_EQ(q.scheduled(), 2u);
+    EXPECT_EQ(q.rearmed(), 1u);
+    q.run();
+    EXPECT_EQ(q.peak_pending(), 2u);
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+} // namespace
+} // namespace sttcp::sim

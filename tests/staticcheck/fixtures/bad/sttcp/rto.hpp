@@ -1,0 +1,27 @@
+// Fixture: timer-rearm violation — an EventId member cancelled and
+// immediately rescheduled, which is rearm() spelled as two calls.
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class BadRto {
+public:
+    explicit BadRto(sim::Simulation& s) : sim_(s) {}
+    ~BadRto() {
+        sim_.cancel(rto_);
+        rto_ = sim::kInvalidEventId;
+    }
+
+    void extend_deadline() {
+        sim_.cancel(rto_);
+        rto_ = sim_.schedule_after(100, [] {});
+    }
+
+private:
+    sim::Simulation& sim_;
+    sim::EventId rto_ = sim::kInvalidEventId;
+};

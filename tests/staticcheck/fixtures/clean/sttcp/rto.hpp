@@ -1,0 +1,33 @@
+// Fixture: the timer-rearm rule's happy path — deadline moves go through
+// rearm(), cancels that really mean "stop" reset the id.
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class CleanRto {
+public:
+    explicit CleanRto(sim::Simulation& s) : sim_(s) {}
+    ~CleanRto() {
+        sim_.cancel(rto_);
+        rto_ = sim::kInvalidEventId;
+    }
+
+    void extend_deadline() {
+        if (!sim_.rearm(rto_, 100)) {
+            rto_ = sim_.schedule_after(100, [] {});
+        }
+    }
+
+    void stop() {
+        sim_.cancel(rto_);
+        rto_ = sim::kInvalidEventId;
+    }
+
+private:
+    sim::Simulation& sim_;
+    sim::EventId rto_ = sim::kInvalidEventId;
+};

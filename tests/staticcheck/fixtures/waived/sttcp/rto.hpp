@@ -1,0 +1,29 @@
+// Fixture: line-scoped waiver for timer-rearm — a site where cancel and
+// reschedule target different queues and so cannot be a single rearm().
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class WaivedRto {
+public:
+    WaivedRto(sim::Simulation& a, sim::Simulation& b) : a_(a), b_(b) {}
+    ~WaivedRto() {
+        a_.cancel(rto_);
+        rto_ = sim::kInvalidEventId;
+    }
+
+    void migrate_deadline() {
+        // lint:allow timer-rearm -- moves the timer across queues, not in place
+        a_.cancel(rto_);
+        rto_ = b_.schedule_after(100, [] {});
+    }
+
+private:
+    sim::Simulation& a_;
+    sim::Simulation& b_;
+    sim::EventId rto_ = sim::kInvalidEventId;
+};

@@ -48,6 +48,7 @@ TEST(Staticcheck, BadTreeFiresEveryRuleAtTheRightLine) {
         << r.output;
     EXPECT_NE(r.output.find("sttcp/engine.hpp:16: [event-lifecycle]"), std::string::npos)
         << r.output;
+    EXPECT_NE(r.output.find("sttcp/rto.hpp:20: [timer-rearm]"), std::string::npos) << r.output;
     EXPECT_NE(r.output.find("net/gadget.hpp:16: [this-capture]"), std::string::npos) << r.output;
     EXPECT_NE(r.output.find("tcp/seqmath.hpp:15: [seq-raw]"), std::string::npos) << r.output;
 }

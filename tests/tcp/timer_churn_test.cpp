@@ -1,0 +1,94 @@
+// Scheduler-churn pins for the TCP timer paths (delayed ACK, retransmit,
+// persist). The rearm() conversions replaced cancel+schedule churn with
+// move-in-place rearms and made unchanged-deadline re-arms no-ops; these
+// tests pin the resulting counter profile of a canned workload so a
+// regression that silently reintroduces per-segment timer teardown shows up
+// as a counter jump, not a perf mystery six months later.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace sttcp {
+namespace {
+
+using testing::TwoHostLan;
+using testing::make_payload;
+
+struct ChurnFixture {
+    TwoHostLan lan;
+    std::shared_ptr<tcp::TcpListener> listener;
+    std::shared_ptr<tcp::TcpConnection> server_conn;
+    std::shared_ptr<tcp::TcpConnection> client_conn;
+    std::size_t client_received = 0;
+
+    ChurnFixture() {
+        listener = lan.server.tcp_listen(7);
+        listener->set_accept_handler(
+            [this](std::shared_ptr<tcp::TcpConnection> conn) { server_conn = conn; });
+        client_conn = lan.client.tcp_connect(lan.server_ip, 7);
+        tcp::TcpConnection::Callbacks cbs;
+        cbs.on_readable = [this]() {
+            std::uint8_t buf[4096];
+            while (std::size_t n = client_conn->read(buf)) client_received += n;
+        };
+        client_conn->set_callbacks(std::move(cbs));
+        lan.sim.run_for(sim::seconds{1});  // settle the handshake
+    }
+};
+
+// Golden churn profile for the DelayedAckCoalescing workload below.
+constexpr std::uint64_t kGoldenScheduled = 306;
+constexpr std::uint64_t kGoldenRearmed = 20;
+constexpr std::uint64_t kGoldenExecuted = 257;
+
+// A server->client stream delivered in paced 1000-byte writes: each write
+// arms the client's delayed-ACK timer (first segment) and the second
+// segment trips the 2-segment immediate ACK — no cancel+reschedule while
+// the timer is armed. The retransmit timer is armed once per burst and
+// rearmed (never torn down) as acks move the window. The exact counter
+// triple below is the pin; if an edit to the timer paths changes it, either
+// the edit reintroduced churn (scheduled() jumps by ~one per segment) or it
+// legitimately changed event flow — re-golden only in the second case.
+TEST(TcpTimerChurn, DelayedAckCoalescing) {
+    ChurnFixture f;
+    sim::EventQueue& q = f.lan.sim.queue();
+    const std::uint64_t scheduled0 = q.scheduled();
+    const std::uint64_t rearmed0 = q.rearmed();
+    const std::uint64_t executed0 = q.executed();
+
+    // Phase 1 — bulk: keep the send window full so acks advance the
+    // retransmit deadline while the timer stays armed (the rearm path).
+    util::Bytes bulk = make_payload(64 * 1024);
+    util::ByteView rest{bulk};
+    while (!rest.empty()) {
+        std::size_t n = f.server_conn->send(rest);
+        rest = rest.subspan(n);
+        f.lan.sim.run_for(sim::milliseconds{20});
+    }
+    f.lan.sim.run_for(sim::seconds{2});
+    // Phase 2 — paced trickle: sub-MSS writes with idle gaps, so every
+    // chunk arms the delayed-ACK timer exactly once and lets it fire.
+    util::Bytes chunk = make_payload(1000);
+    for (int i = 0; i < 24; ++i) {
+        ASSERT_EQ(f.server_conn->send(chunk), chunk.size());
+        f.lan.sim.run_for(sim::milliseconds{250});
+    }
+    ASSERT_EQ(f.client_received, 64u * 1024u + 24u * 1000u);
+
+    const std::uint64_t scheduled = q.scheduled() - scheduled0;
+    const std::uint64_t rearmed = q.rearmed() - rearmed0;
+    const std::uint64_t executed = q.executed() - executed0;
+    // Golden churn profile for this workload (update deliberately, with the
+    // printout below, never to silence a surprise):
+    EXPECT_EQ(scheduled, kGoldenScheduled) << "fresh timer arms changed";
+    EXPECT_EQ(rearmed, kGoldenRearmed) << "move-in-place rearms changed";
+    EXPECT_EQ(executed, kGoldenExecuted) << "events executed changed";
+    // And the structural claim behind the golden numbers: the retransmit
+    // path must move its deadline with rearm(), never cancel+schedule —
+    // under the old churny code rearmed would be 0 and scheduled would grow
+    // by one per ack that advanced the window.
+    EXPECT_GT(rearmed, 0u);
+}
+
+} // namespace
+} // namespace sttcp

@@ -7,7 +7,7 @@
 // is 1 when there are findings, 2 on usage/IO errors, 0 when clean.
 //
 // Rules (DESIGN.md §10): layer-dag, include-cycle, state-funnel,
-// event-lifecycle, this-capture, seq-raw. Waive a finding with
+// event-lifecycle, timer-rearm, this-capture, seq-raw. Waive a finding with
 // `// lint:allow <rule> -- reason` on or above the line, or
 // `// lint:allow-file <rule> -- reason` anywhere in the file.
 #include <fstream>

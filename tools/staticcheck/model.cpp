@@ -141,11 +141,28 @@ struct Parser {
         // Find the first `(` — its preceding identifier is the name. Skip
         // a leading `template <...>` clause and `[[...]]` attributes.
         std::size_t j = begin;
-        if (j < end && toks[j].text == "template") return false;  // none in tree
+        if (j < end && toks[j].text == "template") {
+            // Skip the balanced `template <...>` clause; the function head
+            // proper starts after it (EventQueue::schedule_at and friends).
+            ++j;
+            if (j >= end || toks[j].text != "<") return false;
+            int angle = 0;
+            for (; j < end; ++j) {
+                if (toks[j].text == "<") ++angle;
+                else if (toks[j].text == ">") {
+                    if (--angle == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+            }
+            if (angle != 0 || j >= end) return false;
+        }
+        const std::size_t head_begin = j;
         for (; j < end; ++j) {
             if (toks[j].text == "(") break;
         }
-        if (j >= end || j == begin) return false;
+        if (j >= end || j == head_begin) return false;
         std::size_t nm = j - 1;
         if (toks[nm].kind != TokKind::kIdent && toks[nm].text != "]") {
             // operator overloads (`operator==`): name is punct after `operator`.

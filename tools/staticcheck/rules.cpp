@@ -290,6 +290,59 @@ void rule_event_lifecycle(const Tree& tree, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: timer-rearm
+//
+// Adjacent cancel+reschedule on the same sim::EventId member. The pair
+//
+//     q.cancel(timer_);
+//     timer_ = q.schedule_at(when, ...);
+//
+// is exactly what EventQueue::rearm(timer_, when) does, minus the slot
+// churn (a slot release + reacquire and a torn-down/re-emplaced callback)
+// and minus the window in which the member holds a dead id. Flagged when a
+// cancel of an EventId member is followed within three statements by an
+// assignment of a schedule_at/schedule_after result to that same member.
+// Sites where cancel and reschedule are legitimately separate (different
+// queues, conditional teardown between them) carry a lint:allow waiver.
+// ---------------------------------------------------------------------------
+
+void rule_timer_rearm(const Tree& tree, std::vector<Finding>& out) {
+    for (const auto& [name, cls] : tree.classes) {
+        std::set<std::string> events = event_members(cls);
+        if (events.empty()) continue;
+        for (const FunctionBody& fn : cls.functions) {
+            const auto& toks = fn.file->lex.tokens;
+            std::vector<std::pair<std::string, std::size_t>> sites;
+            cancels_in_range(toks, fn.begin, fn.end, events, &sites);
+            for (const auto& [member, at] : sites) {
+                int statements = 0;
+                for (std::size_t j = at; j + 1 < fn.end && statements <= 3; ++j) {
+                    if (toks[j].text == ";") ++statements;
+                    if (statements < 1 || toks[j].text != member || toks[j + 1].text != "=")
+                        continue;
+                    // RHS of the assignment, up to its terminating ';'.
+                    bool reschedules = false;
+                    for (std::size_t k = j + 2; k < fn.end && toks[k].text != ";"; ++k) {
+                        if (toks[k].text == "schedule_at" || toks[k].text == "schedule_after") {
+                            reschedules = true;
+                            break;
+                        }
+                    }
+                    if (reschedules) {
+                        report(out, *fn.file, toks[at].line, "timer-rearm",
+                               name + "::" + fn.name + "() cancels " + member +
+                                   " and immediately reschedules it; use rearm(" + member +
+                                   ", when) — one call, no slot churn, identical FIFO "
+                                   "placement");
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: this-capture
 //
 // A class whose member functions register [this]-capturing callbacks must
@@ -405,6 +458,7 @@ std::vector<Finding> run_all_rules(const Tree& tree) {
     rule_include_cycle(tree, out);
     rule_state_funnel(tree, out);
     rule_event_lifecycle(tree, out);
+    rule_timer_rearm(tree, out);
     rule_this_capture(tree, out);
     rule_seq_raw(tree, out);
     std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
