@@ -1,0 +1,49 @@
+#include "fuzz/shard.hpp"
+
+#include <utility>
+
+namespace sttcp::fuzz {
+
+ShardedTrialRunner::ShardedTrialRunner(std::uint64_t trials, unsigned jobs,
+                                       Sampler sampler, const SoakOptions& opts)
+    : trials_(trials), sampler_(std::move(sampler)), opts_(opts), results_(trials) {
+    pool_.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) {
+        pool_.emplace_back([this] { worker(); });
+    }
+}
+
+ShardedTrialRunner::~ShardedTrialRunner() { stop(); }
+
+void ShardedTrialRunner::worker() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= trials_) return;
+        Scenario sc = sampler_(i);
+        TrialResult r = run_trial(sc, opts_);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            results_[i] = Done{std::move(sc), std::move(r)};
+        }
+        cv_.notify_one();
+    }
+}
+
+ShardedTrialRunner::Done ShardedTrialRunner::wait(std::uint64_t index) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // lint:allow guarded-by -- the cv wait predicate runs with mu_ held
+    cv_.wait(lock, [&] { return results_[index].has_value(); });
+    Done done = std::move(*results_[index]);
+    results_[index].reset();
+    return done;
+}
+
+void ShardedTrialRunner::stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool_) {
+        if (t.joinable()) t.join();
+    }
+    pool_.clear();
+}
+
+} // namespace sttcp::fuzz

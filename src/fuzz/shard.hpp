@@ -1,0 +1,75 @@
+// ShardedTrialRunner — fans a batch of seeded soak trials out across worker
+// threads while the consumer sees results strictly in seed order.
+//
+// Each trial is a pure function of its seed (its own Simulation, EventQueue
+// and RNG; per-thread auditor counters and buffer pools), so workers never
+// share mutable state — only finished TrialResults flow back through the
+// mutex-guarded results table. Consuming in seed order makes stdout,
+// coverage accounting and the stop-on-first-failure cut byte-identical to a
+// single-threaded run; workers that raced ahead of a failure have their
+// results discarded.
+//
+// The members below carry `guarded_by` annotations checked by the
+// staticcheck guarded-by dataflow rule (DESIGN.md §12.3); the build-tsan CI
+// profile re-checks the same discipline dynamically under ThreadSanitizer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "fuzz/soak.hpp"
+
+namespace sttcp::fuzz {
+
+class ShardedTrialRunner {
+public:
+    // A finished trial: the sampled scenario and its result.
+    struct Done {
+        Scenario sc;
+        TrialResult r;
+    };
+
+    // Samples trial `index`'s scenario; must be pure (called from workers).
+    using Sampler = std::function<Scenario(std::uint64_t index)>;
+
+    // Starts `jobs` workers over `trials` seeds. `sampler` and `opts` must
+    // outlive the runner.
+    ShardedTrialRunner(std::uint64_t trials, unsigned jobs, Sampler sampler,
+                       const SoakOptions& opts);
+    ~ShardedTrialRunner();
+
+    ShardedTrialRunner(const ShardedTrialRunner&) = delete;
+    ShardedTrialRunner& operator=(const ShardedTrialRunner&) = delete;
+
+    // Blocks until trial `index` has finished and returns it. Call with
+    // strictly increasing indices starting at 0; each result is handed out
+    // once.
+    [[nodiscard]] Done wait(std::uint64_t index);
+
+    // Asks workers to stop after their current trial and joins them.
+    // Idempotent; the destructor calls it too.
+    void stop();
+
+private:
+    void worker();
+
+    const std::uint64_t trials_;
+    const Sampler sampler_;
+    const SoakOptions& opts_;
+    std::atomic<std::uint64_t> next_{0};
+    std::atomic<bool> stop_{false};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::optional<Done>> results_;  // guarded_by(mu_)
+
+    // Touched only by the constructor and stop() on the owning thread.
+    std::vector<std::thread> pool_;
+};
+
+} // namespace sttcp::fuzz

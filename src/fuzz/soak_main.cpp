@@ -11,17 +11,14 @@
 // the reproducer. Exit status: 0 = all green, 1 = invariant violation (or a
 // broken failure pipeline under --demo-failure), 2 = usage error.
 #include <array>
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <iostream>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "check/audit.hpp"
+#include "fuzz/shard.hpp"
 #include "fuzz/soak.hpp"
 
 namespace {
@@ -139,56 +136,25 @@ bool consume_trial(const CliOptions& cli, const SoakOptions& opts, Coverage& cov
     return true;
 }
 
-// Shards trials across worker threads. Each trial is a pure function of its
-// seed (its own Simulation, EventQueue and RNG; per-thread auditor counters
-// and buffer pools), so workers never share mutable state — only the finished
-// TrialResults flow back. The main thread consumes results strictly in seed
-// order, so stdout, coverage accounting and the stop-on-first-failure cut
-// are byte-identical to --jobs 1; workers that raced ahead of a failure have
-// their results discarded. Shrinking reruns trials on the main thread only.
+// Shards trials across worker threads via ShardedTrialRunner (fuzz/shard.hpp).
+// The main thread consumes results strictly in seed order, so stdout,
+// coverage accounting and the stop-on-first-failure cut are byte-identical
+// to --jobs 1. Shrinking reruns trials on the main thread only.
 int run_batch_sharded(const CliOptions& cli, const SoakOptions& opts) {
-    struct Done {
-        Scenario sc;
-        TrialResult r;
-    };
-    std::vector<std::optional<Done>> results(cli.trials);
-    std::atomic<std::uint64_t> next{0};
-    std::atomic<bool> stop{false};
-    std::mutex mu;
-    std::condition_variable cv;
-
-    auto worker = [&] {
-        while (!stop.load(std::memory_order_relaxed)) {
-            std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= cli.trials) return;
-            Scenario sc = sample_with_mask(cli.seed_base + i, cli);
-            TrialResult r = run_trial(sc, opts);
-            {
-                std::lock_guard<std::mutex> lock(mu);
-                results[i] = Done{std::move(sc), std::move(r)};
-            }
-            cv.notify_one();
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(cli.jobs);
-    for (unsigned t = 0; t < cli.jobs; ++t) pool.emplace_back(worker);
+    ShardedTrialRunner runner(
+        cli.trials, cli.jobs,
+        [&cli](std::uint64_t i) { return sample_with_mask(cli.seed_base + i, cli); }, opts);
 
     int rc = 0;
     Coverage cov;
     for (std::uint64_t i = 0; i < cli.trials; ++i) {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return results[i].has_value(); });
-        Done done = std::move(*results[i]);
-        results[i].reset();
-        lock.unlock();
+        ShardedTrialRunner::Done done = runner.wait(i);
         if (!consume_trial(cli, opts, cov, i, done.sc, done.r)) {
             rc = 1;
             break;
         }
     }
-    stop.store(true, std::memory_order_relaxed);
-    for (std::thread& t : pool) t.join();
+    runner.stop();
     if (rc == 0) cov.print(cli.trials);
     return rc;
 }

@@ -1,4 +1,3 @@
-// lint:allow-file seq-raw -- sanctioned wire-format boundary (see header).
 #include "net/tcp_wire.hpp"
 
 #include <sstream>

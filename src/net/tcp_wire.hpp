@@ -4,8 +4,9 @@
 // stack supports it but leaves it off by default so the backup's suppressed
 // segments are byte-identical to the primary's.
 //
-// lint:allow-file seq-raw -- sanctioned wire-format boundary: sequence
-// numbers leave Seq32 here (and only here) to be written as big-endian u32s.
+// Sequence numbers leave Seq32 here (and only here) to be written as
+// big-endian u32s; plain .raw() serialization needs no waiver — the
+// seq-raw rule only fires on arithmetic over the raw bits.
 #pragma once
 
 #include <cstdint>

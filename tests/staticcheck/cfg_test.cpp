@@ -1,0 +1,102 @@
+// Unit tests for the per-function CFG builder and the dataflow solver:
+// the statement subset must produce connected graphs, anything outside the
+// subset must mark the CFG not-ok (the safe-degradation contract of
+// DESIGN.md §12.4), and lambda bodies must surface as opaque sub-ranges.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cfg.hpp"
+#include "dataflow.hpp"
+#include "lexer.hpp"
+
+namespace {
+
+using staticcheck::Cfg;
+using staticcheck::LexResult;
+using staticcheck::build_cfg;
+
+struct Built {
+    LexResult lexed;
+    Cfg cfg;
+};
+
+// Lexes a brace-enclosed body and builds its CFG.
+Built build(const std::string& body) {
+    Built b;
+    b.lexed = staticcheck::lex(body);
+    b.cfg = build_cfg(b.lexed.tokens, 0, b.lexed.tokens.size());
+    return b;
+}
+
+// The entry state reaches the exit node through the solver.
+bool exit_reachable(const Built& b) {
+    auto in = staticcheck::solve_forward(
+        b.cfg, 0, [](int, const int& s) { return s + 1; },
+        [](const int& a, const int& bb) { return a < bb ? a : bb; });
+    return !in.empty() && in[static_cast<std::size_t>(b.cfg.exit)].has_value();
+}
+
+TEST(StaticcheckCfg, StraightLineBody) {
+    Built b = build("{ a = 1; f(a); return a; }");
+    ASSERT_TRUE(b.cfg.ok);
+    EXPECT_TRUE(exit_reachable(b));
+}
+
+TEST(StaticcheckCfg, IfElseBothPathsReachExit) {
+    Built b = build("{ if (x) { a(); } else { b(); } c(); }");
+    ASSERT_TRUE(b.cfg.ok);
+    EXPECT_TRUE(exit_reachable(b));
+}
+
+TEST(StaticcheckCfg, IfConstexprIsModelled) {
+    Built b = build("{ if constexpr (kFlag) { a(); } b(); }");
+    ASSERT_TRUE(b.cfg.ok);
+    EXPECT_TRUE(exit_reachable(b));
+}
+
+TEST(StaticcheckCfg, LoopsAreModelled) {
+    EXPECT_TRUE(build("{ while (x) { step(); } }").cfg.ok);
+    EXPECT_TRUE(build("{ for (int i = 0; i < n; ++i) { step(i); } }").cfg.ok);
+    EXPECT_TRUE(build("{ for (auto& v : vec) { use(v); } }").cfg.ok);
+    EXPECT_TRUE(build("{ do { step(); } while (x); }").cfg.ok);
+}
+
+TEST(StaticcheckCfg, SwitchWithBreaksAndDefault) {
+    Built b = build(
+        "{ switch (s) { case kA: a(); break; case kB: b(); [[fallthrough]]; "
+        "default: d(); break; } tail(); }");
+    ASSERT_TRUE(b.cfg.ok);
+    EXPECT_TRUE(exit_reachable(b));
+}
+
+TEST(StaticcheckCfg, EarlyReturnAndBreakContinue) {
+    Built b = build("{ while (x) { if (y) { break; } if (z) { continue; } w(); } t(); }");
+    ASSERT_TRUE(b.cfg.ok);
+    EXPECT_TRUE(exit_reachable(b));
+    EXPECT_TRUE(build("{ if (x) { return 1; } return 2; }").cfg.ok);
+}
+
+TEST(StaticcheckCfg, LambdaBodiesAreOpaqueSubRanges) {
+    Built b = build("{ q.schedule_after(10, [this] { fire(); }); done(); }");
+    ASSERT_TRUE(b.cfg.ok);
+    ASSERT_EQ(b.cfg.lambda_bodies.size(), 1u);
+    auto [lo, hi] = b.cfg.lambda_bodies[0];
+    EXPECT_TRUE(b.cfg.opaque(lo));
+    EXPECT_TRUE(b.cfg.opaque(hi - 1));
+    // The tokens around the lambda stay transparent.
+    EXPECT_FALSE(b.cfg.opaque(hi));
+}
+
+TEST(StaticcheckCfg, UnmodellableConstructsDegradeSafely) {
+    EXPECT_FALSE(build("{ goto out; out: return; }").cfg.ok);
+    EXPECT_FALSE(build("{ retry: f(); if (x) { return; } }").cfg.ok);
+    EXPECT_FALSE(build("{ try { f(); } catch (...) { g(); } }").cfg.ok);
+    EXPECT_FALSE(build("{ co_return; }").cfg.ok);
+}
+
+TEST(StaticcheckCfg, CaseLabelsAreNotMistakenForGotoLabels) {
+    EXPECT_TRUE(build("{ switch (x) { case kOne: f(); break; } }").cfg.ok);
+}
+
+} // namespace

@@ -1,0 +1,28 @@
+// Fixture: guarded-by violations — an annotated member accessed with no
+// lock at all, and one whose lock is only held on one of two paths (the
+// intersection join proves nothing is held at the access).
+#pragma once
+
+#include <mutex>
+
+class BadCounter {
+public:
+    void add(int n) {
+        total_ += n;
+    }
+
+    int read_racy(bool fast) {
+        if (!fast) {
+            mu_.lock();
+        }
+        int v = total_;
+        if (!fast) {
+            mu_.unlock();
+        }
+        return v;
+    }
+
+private:
+    std::mutex mu_;
+    int total_ = 0;  // guarded_by(mu_)
+};

@@ -1,0 +1,42 @@
+// Fixture: path-sensitive event-lifecycle violations the old adjacency
+// window could not see — a reset missing on one branch only, a read of a
+// cancelled id, and an overwrite of a definitely-live id.
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class BadPaths {
+public:
+    explicit BadPaths(sim::Simulation& s) : sim_(s) {}
+    ~BadPaths() {
+        sim_.cancel(timer_);
+        timer_ = sim::kInvalidEventId;
+    }
+
+    void stop_if(bool hard) {
+        sim_.cancel(timer_);
+        if (hard) {
+            timer_ = sim::kInvalidEventId;
+        }
+    }
+
+    void double_arm() {
+        timer_ = sim_.schedule_after(50, [] {});
+        timer_ = sim_.schedule_after(90, [] {});
+    }
+
+    bool was_armed() {
+        sim_.cancel(timer_);
+        bool armed = timer_ != sim::kInvalidEventId;
+        timer_ = sim::kInvalidEventId;
+        return armed;
+    }
+
+private:
+    sim::Simulation& sim_;
+    sim::EventId timer_ = sim::kInvalidEventId;
+};

@@ -1,0 +1,22 @@
+// Fixture: payload-move violations — a buffer moved twice and a buffer
+// read after every path to the read has moved it.
+#pragma once
+
+#include <utility>
+
+struct Bytes {
+    void clear();
+    unsigned long size() const;
+};
+
+void sink(Bytes&& b);
+
+inline void double_move(Bytes b) {
+    sink(std::move(b));
+    sink(std::move(b));
+}
+
+inline unsigned long use_after_move(Bytes b) {
+    sink(std::move(b));
+    return b.size();
+}

@@ -1,0 +1,8 @@
+// Fixture: a waiver that suppresses nothing — waiver.stale reports it so
+// dead waivers cannot accumulate and masquerade as known findings.
+#pragma once
+
+// lint:allow seq-raw -- left over from a refactor; nothing here uses raw()
+inline int identity(int x) {
+    return x;
+}

@@ -1,0 +1,35 @@
+// Fixture: correct lock discipline for a guarded_by member — RAII guards,
+// a nested-scope guard that dies with its block, and manual lock/unlock
+// that dominates every access.
+#pragma once
+
+#include <mutex>
+
+class CleanCounter {
+public:
+    void add(int n) {
+        std::lock_guard<std::mutex> lock(mu_);
+        total_ += n;
+    }
+
+    int drain() {
+        int v = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            v = total_;
+            total_ = 0;
+        }
+        return v;
+    }
+
+    int read_manual() {
+        mu_.lock();
+        int v = total_;
+        mu_.unlock();
+        return v;
+    }
+
+private:
+    std::mutex mu_;
+    int total_ = 0;  // guarded_by(mu_)
+};

@@ -1,0 +1,51 @@
+// Fixture: branchy but correct EventId handling — every path resets after
+// a cancel, rearm() transfers ownership of the slot, and reads happen only
+// while the id is provably not stale. The dataflow engine must prove all
+// of this clean (the old three-statement window could not).
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class CleanPaths {
+public:
+    explicit CleanPaths(sim::Simulation& s) : sim_(s) {}
+    ~CleanPaths() { stop(); }
+
+    void stop() {
+        sim_.cancel(timer_);
+        timer_ = sim::kInvalidEventId;
+    }
+
+    void stop_if(bool hard) {
+        if (hard) {
+            sim_.cancel(timer_);
+            timer_ = sim::kInvalidEventId;
+        } else {
+            sim_.cancel(timer_);
+            timer_ = sim::kInvalidEventId;
+        }
+    }
+
+    void extend_or_arm() {
+        if (!sim_.rearm(timer_, 100)) {
+            timer_ = sim_.schedule_after(100, [] {});
+        }
+    }
+
+    bool toggle(bool on) {
+        if (on) {
+            timer_ = sim_.schedule_after(10, [] {});
+            return true;
+        }
+        stop();
+        return false;
+    }
+
+private:
+    sim::Simulation& sim_;
+    sim::EventId timer_ = sim::kInvalidEventId;
+};

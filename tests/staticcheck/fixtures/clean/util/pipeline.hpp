@@ -1,0 +1,27 @@
+// Fixture: correct buffer-move discipline — a moved-from buffer refilled
+// before the paths rejoin, and a read that happens strictly before the
+// move. The dataflow engine must prove both clean.
+#pragma once
+
+#include <utility>
+
+struct Bytes {
+    void clear();
+    unsigned long size() const;
+};
+
+void sink(Bytes&& b);
+
+inline Bytes reuse_after_refill(Bytes b, bool flush) {
+    if (flush) {
+        sink(std::move(b));
+        b.clear();
+    }
+    return b;
+}
+
+inline unsigned long move_last(Bytes b) {
+    unsigned long n = b.size();
+    sink(std::move(b));
+    return n;
+}

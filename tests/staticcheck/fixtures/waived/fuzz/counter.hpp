@@ -1,0 +1,22 @@
+// Fixture: a waived guarded-by access — a monitoring snapshot that
+// deliberately tolerates a torn read, with the waiver naming the reason.
+#pragma once
+
+#include <mutex>
+
+class WaivedCounter {
+public:
+    void add(int n) {
+        std::lock_guard<std::mutex> lock(mu_);
+        total_ += n;
+    }
+
+    int peek_unlocked() {
+        // lint:allow guarded-by -- stats snapshot tolerates a torn read
+        return total_;
+    }
+
+private:
+    std::mutex mu_;
+    int total_ = 0;  // guarded_by(mu_)
+};

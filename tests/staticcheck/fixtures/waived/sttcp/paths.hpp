@@ -1,0 +1,31 @@
+// Fixture: a line-scoped waiver on a path-sensitive event-lifecycle
+// finding — the cancel intentionally leaves the id armed because the
+// surrounding teardown protocol resets it from the owner's side.
+#pragma once
+
+namespace sim {
+using EventId = unsigned;
+inline constexpr EventId kInvalidEventId = 0;
+class Simulation;
+} // namespace sim
+
+class WaivedPaths {
+public:
+    explicit WaivedPaths(sim::Simulation& s) : sim_(s) {}
+    ~WaivedPaths() {
+        sim_.cancel(timer_);
+        timer_ = sim::kInvalidEventId;
+    }
+
+    void detach(bool owner_resets) {
+        // lint:allow event-lifecycle -- the owner resets the id after detach
+        sim_.cancel(timer_);
+        if (!owner_resets) {
+            timer_ = sim::kInvalidEventId;
+        }
+    }
+
+private:
+    sim::Simulation& sim_;
+    sim::EventId timer_ = sim::kInvalidEventId;
+};

@@ -1,0 +1,18 @@
+// Fixture: a waived payload-move finding — this call site relies on the
+// moved-from-is-empty guarantee of the concrete Bytes type and says so.
+#pragma once
+
+#include <utility>
+
+struct Bytes {
+    void clear();
+    unsigned long size() const;
+};
+
+void sink(Bytes&& b);
+
+inline unsigned long moved_then_sized(Bytes b) {
+    sink(std::move(b));
+    // lint:allow payload-move -- moved-from Bytes is a valid empty vector here
+    return b.size();
+}

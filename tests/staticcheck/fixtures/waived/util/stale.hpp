@@ -1,0 +1,9 @@
+// Fixture: waiver.stale is itself waivable — a deliberately kept waiver
+// (for code landing in a follow-up) suppressed by a waiver.stale waiver.
+// lint:allow-file waiver.stale -- fixture keeps a waiver for a pending change
+#pragma once
+
+// lint:allow seq-raw -- raw() delta math returns here in the next change
+inline int identity(int x) {
+    return x;
+}

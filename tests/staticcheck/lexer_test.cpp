@@ -1,0 +1,110 @@
+// Unit tests pinning the staticcheck lexer's behavior on the edge cases a
+// heuristic C++ tokenizer is most likely to mangle: raw strings, line
+// splices inside string literals, CRLF input, digraphs, and the waiver /
+// guarded_by comment syntaxes. The dataflow rules trust the token stream's
+// line numbers, so these are load-bearing, not decorative.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace {
+
+using staticcheck::LexResult;
+using staticcheck::TokKind;
+using staticcheck::lex;
+
+std::vector<std::string> texts(const LexResult& r) {
+    std::vector<std::string> out;
+    for (const auto& t : r.tokens) out.emplace_back(t.text);
+    return out;
+}
+
+TEST(StaticcheckLexer, RawStringIsOneTokenAndTracksLines) {
+    // The )x" inside the raw string must not terminate it; only )delim" does.
+    std::string src = "auto s = R\"delim(line one )x\"\nline two)delim\";\nint after;\n";
+    LexResult r = lex(src);
+    ASSERT_GE(r.tokens.size(), 6u);
+    // auto s = <string> ; int after ;
+    EXPECT_EQ(r.tokens[3].kind, TokKind::kString);
+    // The newline inside the raw string advances the line counter, so the
+    // tokens after it sit on their true lines.
+    const auto& after = r.tokens[5];
+    EXPECT_EQ(std::string(after.text), "int");
+    EXPECT_EQ(after.line, 3);
+}
+
+TEST(StaticcheckLexer, LineSpliceInsideStringLiteral) {
+    // A backslash-newline inside a plain string literal is a line splice:
+    // one string token, and following tokens account for the spliced line.
+    std::string src = "auto s = \"ab\\\ncd\";\nint after;\n";
+    LexResult r = lex(src);
+    std::vector<std::string> t = texts(r);
+    ASSERT_GE(t.size(), 6u);
+    EXPECT_EQ(r.tokens[3].kind, TokKind::kString);
+    EXPECT_EQ(t[4], ";");
+    const auto& after = r.tokens[5];
+    EXPECT_EQ(std::string(after.text), "int");
+    EXPECT_EQ(after.line, 3);
+}
+
+TEST(StaticcheckLexer, CrlfInputCountsLinesOnce) {
+    std::string src = "int a;\r\nint b;\r\nint c;\r\n";
+    LexResult r = lex(src);
+    ASSERT_EQ(r.tokens.size(), 9u);
+    EXPECT_EQ(r.tokens[0].line, 1);  // int
+    EXPECT_EQ(r.tokens[3].line, 2);  // int
+    EXPECT_EQ(r.tokens[6].line, 3);  // int
+    // No token text carries a stray '\r'.
+    for (const auto& tok : r.tokens) {
+        EXPECT_EQ(tok.text.find('\r'), std::string_view::npos);
+    }
+}
+
+TEST(StaticcheckLexer, DigraphsLexAsSeparatePunctuation) {
+    // The lexer does not fold C++ digraphs (<% %> <: :>); they come out as
+    // the individual characters. Pinned so a rule never accidentally
+    // depends on digraph folding.
+    LexResult r = lex("a<%b%>c<:d:>e");
+    std::vector<std::string> t = texts(r);
+    std::vector<std::string> expect = {"a", "<", "%", "b", "%",  ">", "c",
+                                       "<", ":", "d", ":", ">", "e"};
+    EXPECT_EQ(t, expect);
+}
+
+TEST(StaticcheckLexer, MultiCharOperatorsAreLongestMatch) {
+    LexResult r = lex("a<<=b; c->*d; e<=>f;");
+    std::vector<std::string> t = texts(r);
+    EXPECT_EQ(t[1], "<<=");
+    EXPECT_EQ(t[5], "->*");
+    // No three-way token in the table: pinned as <= then >.
+    EXPECT_EQ(t[9], "<=");
+    EXPECT_EQ(t[10], ">");
+}
+
+TEST(StaticcheckLexer, WaiverRuleNamesMayContainDots) {
+    LexResult r = lex("// lint:allow waiver.stale -- kept for a pending change\nint x;\n");
+    ASSERT_EQ(r.waivers.size(), 1u);
+    EXPECT_EQ(r.waivers[0].rule, "waiver.stale");
+    EXPECT_EQ(r.waivers[0].line, 1);
+    EXPECT_FALSE(r.waivers[0].whole_file);
+}
+
+TEST(StaticcheckLexer, GuardedByAnnotationParsed) {
+    LexResult r = lex("int total_ = 0;  // guarded_by(mu_)\n");
+    ASSERT_EQ(r.annotations.size(), 1u);
+    EXPECT_EQ(r.annotations[0].mutex, "mu_");
+    EXPECT_EQ(r.annotations[0].line, 1);
+}
+
+TEST(StaticcheckLexer, StringAndCommentContentsNeverBecomeTokens) {
+    LexResult r = lex("auto s = \"state_ = x; cancel(timer_)\"; /* state_ = y; */ int z;\n");
+    for (const auto& tok : r.tokens) {
+        EXPECT_NE(std::string(tok.text), "state_");
+        EXPECT_NE(std::string(tok.text), "cancel");
+    }
+}
+
+} // namespace

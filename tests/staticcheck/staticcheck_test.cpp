@@ -53,6 +53,41 @@ TEST(Staticcheck, BadTreeFiresEveryRuleAtTheRightLine) {
     EXPECT_NE(r.output.find("tcp/seqmath.hpp:15: [seq-raw]"), std::string::npos) << r.output;
 }
 
+TEST(Staticcheck, DataflowRulesFireAtTheRightLine) {
+    RunResult r = run_staticcheck("--root " + fixture("bad"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // Path-sensitive event-lifecycle: reset missing on one branch only
+    // (reported at the cancel), overwrite of a definitely-live id, and a
+    // read of a definitely-cancelled id.
+    EXPECT_NE(r.output.find("sttcp/paths.hpp:21: [event-lifecycle]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("sttcp/paths.hpp:29: [event-lifecycle]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("sttcp/paths.hpp:34: [event-lifecycle]"), std::string::npos)
+        << r.output;
+    // guarded-by: no lock at all, and lock held on only one of two paths.
+    EXPECT_NE(r.output.find("fuzz/counter.hpp:11: [guarded-by]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("fuzz/counter.hpp:18: [guarded-by]"), std::string::npos)
+        << r.output;
+    // payload-move: double move, and read after an unconditional move.
+    EXPECT_NE(r.output.find("util/pipeline.hpp:16: [payload-move]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("util/pipeline.hpp:21: [payload-move]"), std::string::npos)
+        << r.output;
+    // waiver.stale: a waiver that suppresses nothing.
+    EXPECT_NE(r.output.find("util/stale.hpp:5: [waiver.stale]"), std::string::npos)
+        << r.output;
+}
+
+TEST(Staticcheck, ParallelRunIsByteIdenticalToSerial) {
+    RunResult serial = run_staticcheck("--root " + fixture("bad") + " --jobs 1");
+    RunResult parallel = run_staticcheck("--root " + fixture("bad") + " --jobs 4");
+    EXPECT_EQ(serial.exit_code, 1);
+    EXPECT_EQ(parallel.exit_code, 1);
+    EXPECT_EQ(serial.output, parallel.output);
+}
+
 TEST(Staticcheck, CleanTreePasses) {
     RunResult r = run_staticcheck("--root " + fixture("clean"));
     EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -89,6 +124,32 @@ TEST(Staticcheck, JsonReportListsFindings) {
 TEST(Staticcheck, UnknownArgumentIsAUsageError) {
     RunResult r = run_staticcheck("--frobnicate");
     EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Staticcheck, SarifOutputMatchesGolden) {
+    std::string sarif_path = ::testing::TempDir() + "/staticcheck_report.sarif";
+    RunResult r = run_staticcheck("--root " + fixture("bad") + " --sarif " + sarif_path);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+
+    std::ifstream in(sarif_path);
+    ASSERT_TRUE(in.good()) << "no SARIF report at " << sarif_path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string actual = ss.str();
+    std::remove(sarif_path.c_str());
+
+    std::ifstream gold(std::string(STTCP_STATICCHECK_GOLDEN) + "/bad.sarif");
+    ASSERT_TRUE(gold.good()) << "missing golden file";
+    std::stringstream gs;
+    gs << gold.rdbuf();
+    std::string expected = gs.str();
+    // The golden is root-agnostic: @ROOT@ stands for the absolute fixture
+    // root embedded in originalUriBaseIds.
+    const std::string marker = "@ROOT@";
+    std::size_t pos = expected.find(marker);
+    ASSERT_NE(pos, std::string::npos);
+    expected.replace(pos, marker.size(), fixture("bad"));
+    EXPECT_EQ(actual, expected);
 }
 
 } // namespace

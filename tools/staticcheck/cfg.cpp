@@ -1,0 +1,463 @@
+#include "cfg.hpp"
+
+namespace staticcheck {
+
+namespace {
+
+// A parsed statement fragment: the node control enters through, and the
+// nodes whose fall-through edge is still dangling (to be wired to whatever
+// comes next). `entry == -1` never escapes the builder: every statement
+// produces at least one node.
+struct Frag {
+    int entry = -1;
+    std::vector<int> exits;
+};
+
+struct Builder {
+    const std::vector<Token>& toks;
+    std::size_t limit;  // one past the body's closing '}'
+    Cfg cfg;
+    int scope_counter = 0;
+    bool failed = false;
+
+    struct LoopCtx {
+        bool is_switch = false;
+        std::vector<int> breaks;     // nodes whose succ is the construct's end
+        std::vector<int> continues;  // nodes whose succ is the loop's re-test
+    };
+    std::vector<LoopCtx> loops;
+
+    Builder(const std::vector<Token>& t, std::size_t lim) : toks(t), limit(lim) {}
+
+    int add_node(std::size_t lo, std::size_t hi, int scope) {
+        cfg.nodes.push_back({lo, hi, {}, scope, -1});
+        return static_cast<int>(cfg.nodes.size()) - 1;
+    }
+
+    void wire(const std::vector<int>& from, int to) {
+        for (int n : from) cfg.nodes[static_cast<std::size_t>(n)].succ.push_back(to);
+    }
+
+    // Index one past the brace matching toks[open] (== "{").
+    std::size_t match_brace(std::size_t open) {
+        int depth = 0;
+        for (std::size_t i = open; i < limit; ++i) {
+            if (toks[i].text == "{") ++depth;
+            else if (toks[i].text == "}") {
+                if (--depth == 0) return i + 1;
+            }
+        }
+        failed = true;
+        return limit;
+    }
+
+    // Index of the ")" matching toks[open] (== "("), or limit on failure.
+    std::size_t match_paren(std::size_t open) {
+        int depth = 0;
+        for (std::size_t i = open; i < limit; ++i) {
+            if (toks[i].text == "(") ++depth;
+            else if (toks[i].text == ")") {
+                if (--depth == 0) return i;
+            }
+        }
+        failed = true;
+        return limit;
+    }
+
+    // Index of the "]" matching toks[open] (== "["), or limit on failure.
+    std::size_t match_bracket(std::size_t open) {
+        int depth = 0;
+        for (std::size_t i = open; i < limit; ++i) {
+            if (toks[i].text == "[") ++depth;
+            else if (toks[i].text == "]") {
+                if (--depth == 0) return i;
+            }
+        }
+        failed = true;
+        return limit;
+    }
+
+    // Records lambda bodies inside [lo, hi) so rules can skip them and
+    // analyze them separately. Conservative shape match: a '[' capture list
+    // (not an attribute), optional '(params)', a short run of specifier
+    // tokens, then '{'. A braced range misclassified as a lambda merely
+    // becomes opaque — degrade-safe.
+    void detect_lambdas(std::size_t lo, std::size_t hi) {
+        std::size_t i = lo;
+        while (i < hi) {
+            if (toks[i].text != "[") {
+                ++i;
+                continue;
+            }
+            if (i + 1 < hi && toks[i + 1].text == "[") {  // [[attribute]]
+                i += 2;
+                continue;
+            }
+            std::size_t close = match_bracket(i);
+            if (close >= hi) return;
+            std::size_t m = close + 1;
+            if (m < hi && toks[m].text == "(") {
+                m = match_paren(m);
+                if (m >= hi) return;
+                ++m;
+            }
+            // Specifiers / trailing return: mutable, noexcept, -> type...
+            std::size_t steps = 0;
+            while (m < hi && steps < 16 && toks[m].text != "{" && toks[m].text != ";" &&
+                   toks[m].text != "," && toks[m].text != ")" && toks[m].text != "=" &&
+                   toks[m].text != "]") {
+                ++m;
+                ++steps;
+            }
+            if (m < hi && toks[m].text == "{") {
+                std::size_t body_end = match_brace(m);
+                cfg.lambda_bodies.push_back({m, body_end});
+                i = body_end;
+            } else {
+                i = close + 1;
+            }
+        }
+    }
+
+    int make_range_node(std::size_t lo, std::size_t hi, int scope) {
+        detect_lambdas(lo, hi);
+        return add_node(lo, hi, scope);
+    }
+
+    // --- statements -------------------------------------------------------
+
+    // Scans a plain statement starting at i: ends at the first ';' at
+    // paren depth 0, stepping over braced sub-ranges whole. Returns one
+    // past the terminator.
+    std::size_t plain_statement_end(std::size_t i) {
+        int paren = 0;
+        while (i < limit) {
+            std::string_view t = toks[i].text;
+            if (t == "{") {
+                i = match_brace(i);
+                continue;
+            }
+            if (t == "}") return i;  // enclosing block closes: no terminator
+            if (t == "(" || t == "[") ++paren;
+            else if (t == ")" || t == "]") --paren;
+            else if (t == ";" && paren == 0) return i + 1;
+            ++i;
+        }
+        return limit;
+    }
+
+    LoopCtx* nearest_loop() {
+        for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+            if (!it->is_switch) return &*it;
+        }
+        return nullptr;
+    }
+
+    // Parses one statement at i inside brace scope `scope`; advances i.
+    Frag parse_stmt(std::size_t& i, int scope) {
+        std::string_view t = toks[i].text;
+
+        if (t == "{") return parse_block(i);
+
+        if (t == "goto" || t == "try" || t == "catch" || t == "co_await" ||
+            t == "co_yield" || t == "co_return") {
+            failed = true;
+            i = limit;
+            return {};
+        }
+        // A `label:` target would invalidate the structured CFG.
+        if (toks[i].kind == TokKind::kIdent && i + 1 < limit && toks[i + 1].text == ":" &&
+            t != "case" && t != "default" && t != "public" && t != "private" &&
+            t != "protected") {
+            failed = true;
+            i = limit;
+            return {};
+        }
+
+        if (t == "if") return parse_if(i, scope);
+        if (t == "while") return parse_while(i, scope);
+        if (t == "do") return parse_do(i, scope);
+        if (t == "for") return parse_for(i, scope);
+        if (t == "switch") return parse_switch(i, scope);
+
+        if (t == "return" || t == "throw") {
+            std::size_t end = plain_statement_end(i);
+            int n = make_range_node(i, end, scope);
+            cfg.nodes[static_cast<std::size_t>(n)].succ.push_back(cfg.exit);
+            i = end;
+            return {n, {}};
+        }
+        if (t == "break") {
+            int n = add_node(i, i + 1, scope);
+            if (loops.empty()) {
+                failed = true;
+            } else {
+                loops.back().breaks.push_back(n);
+            }
+            i = plain_statement_end(i);
+            return {n, {}};
+        }
+        if (t == "continue") {
+            int n = add_node(i, i + 1, scope);
+            LoopCtx* loop = nearest_loop();
+            if (loop == nullptr) {
+                failed = true;
+            } else {
+                loop->continues.push_back(n);
+            }
+            i = plain_statement_end(i);
+            return {n, {}};
+        }
+        if (t == ";") {
+            int n = add_node(i, i, scope);
+            ++i;
+            return {n, {n}};
+        }
+
+        // Plain statement (declaration, expression, braced init, lambda...).
+        std::size_t end = plain_statement_end(i);
+        int n = make_range_node(i, end, scope);
+        i = end;
+        return {n, {n}};
+    }
+
+    Frag parse_block(std::size_t& i) {
+        const int scope = ++scope_counter;
+        std::size_t close = match_brace(i) - 1;  // index of '}'
+        ++i;
+        Frag frag;
+        std::vector<int> dangling;
+        while (i < close && !failed) {
+            Frag f = parse_stmt(i, scope);
+            if (failed) return {};
+            if (frag.entry == -1) frag.entry = f.entry;
+            wire(dangling, f.entry);
+            dangling = f.exits;
+        }
+        // Synthetic scope-exit node: guards acquired in this scope die here.
+        int se = add_node(0, 0, scope);
+        cfg.nodes[static_cast<std::size_t>(se)].closes_scope = scope;
+        wire(dangling, se);
+        if (frag.entry == -1) frag.entry = se;
+        frag.exits = {se};
+        i = close + 1;
+        return frag;
+    }
+
+    Frag parse_if(std::size_t& i, int scope) {
+        if (i + 1 < limit && toks[i + 1].text == "constexpr") ++i;  // if constexpr (...)
+        if (i + 1 >= limit || toks[i + 1].text != "(") {
+            failed = true;
+            return {};
+        }
+        std::size_t rparen = match_paren(i + 1);
+        if (failed) return {};
+        int cond = make_range_node(i + 2, rparen, scope);
+        i = rparen + 1;
+        Frag then = parse_stmt(i, scope);
+        if (failed) return {};
+        cfg.nodes[static_cast<std::size_t>(cond)].succ.push_back(then.entry);
+        Frag out{cond, then.exits};
+        if (i < limit && toks[i].text == "else") {
+            ++i;
+            Frag els = parse_stmt(i, scope);
+            if (failed) return {};
+            cfg.nodes[static_cast<std::size_t>(cond)].succ.push_back(els.entry);
+            out.exits.insert(out.exits.end(), els.exits.begin(), els.exits.end());
+        } else {
+            out.exits.push_back(cond);  // false edge falls through
+        }
+        return out;
+    }
+
+    Frag parse_while(std::size_t& i, int scope) {
+        if (i + 1 >= limit || toks[i + 1].text != "(") {
+            failed = true;
+            return {};
+        }
+        std::size_t rparen = match_paren(i + 1);
+        if (failed) return {};
+        int cond = make_range_node(i + 2, rparen, scope);
+        i = rparen + 1;
+        loops.push_back({});
+        Frag body = parse_stmt(i, scope);
+        LoopCtx ctx = loops.back();
+        loops.pop_back();
+        if (failed) return {};
+        cfg.nodes[static_cast<std::size_t>(cond)].succ.push_back(body.entry);
+        wire(body.exits, cond);
+        wire(ctx.continues, cond);
+        Frag out{cond, {cond}};
+        out.exits.insert(out.exits.end(), ctx.breaks.begin(), ctx.breaks.end());
+        return out;
+    }
+
+    Frag parse_do(std::size_t& i, int scope) {
+        ++i;  // past 'do'
+        loops.push_back({});
+        Frag body = parse_stmt(i, scope);
+        LoopCtx ctx = loops.back();
+        loops.pop_back();
+        if (failed) return {};
+        if (i >= limit || toks[i].text != "while" || i + 1 >= limit ||
+            toks[i + 1].text != "(") {
+            failed = true;
+            return {};
+        }
+        std::size_t rparen = match_paren(i + 1);
+        if (failed) return {};
+        int cond = make_range_node(i + 2, rparen, scope);
+        i = rparen + 1;
+        if (i < limit && toks[i].text == ";") ++i;
+        wire(body.exits, cond);
+        wire(ctx.continues, cond);
+        cfg.nodes[static_cast<std::size_t>(cond)].succ.push_back(body.entry);
+        Frag out{body.entry, {cond}};
+        out.exits.insert(out.exits.end(), ctx.breaks.begin(), ctx.breaks.end());
+        return out;
+    }
+
+    Frag parse_for(std::size_t& i, int scope) {
+        if (i + 1 >= limit || toks[i + 1].text != "(") {
+            failed = true;
+            return {};
+        }
+        std::size_t lparen = i + 1;
+        std::size_t rparen = match_paren(lparen);
+        if (failed) return {};
+
+        // Split the header on top-level ';' — two of them: classic for;
+        // none: range-for (the ':' form).
+        std::vector<std::size_t> semis;
+        int depth = 0;
+        for (std::size_t j = lparen + 1; j < rparen; ++j) {
+            std::string_view t = toks[j].text;
+            if (t == "(" || t == "[" || t == "{") ++depth;
+            else if (t == ")" || t == "]" || t == "}") --depth;
+            else if (t == ";" && depth == 0) semis.push_back(j);
+        }
+
+        if (semis.size() == 2) {
+            int init = make_range_node(lparen + 1, semis[0], scope);
+            int cond = make_range_node(semis[0] + 1, semis[1], scope);
+            int inc = make_range_node(semis[1] + 1, rparen, scope);
+            cfg.nodes[static_cast<std::size_t>(init)].succ.push_back(cond);
+            i = rparen + 1;
+            loops.push_back({});
+            Frag body = parse_stmt(i, scope);
+            LoopCtx ctx = loops.back();
+            loops.pop_back();
+            if (failed) return {};
+            cfg.nodes[static_cast<std::size_t>(cond)].succ.push_back(body.entry);
+            wire(body.exits, inc);
+            wire(ctx.continues, inc);
+            cfg.nodes[static_cast<std::size_t>(inc)].succ.push_back(cond);
+            Frag out{init, {cond}};
+            out.exits.insert(out.exits.end(), ctx.breaks.begin(), ctx.breaks.end());
+            return out;
+        }
+        if (semis.empty()) {
+            // Range-for: one header node, looped through the body.
+            int head = make_range_node(lparen + 1, rparen, scope);
+            i = rparen + 1;
+            loops.push_back({});
+            Frag body = parse_stmt(i, scope);
+            LoopCtx ctx = loops.back();
+            loops.pop_back();
+            if (failed) return {};
+            cfg.nodes[static_cast<std::size_t>(head)].succ.push_back(body.entry);
+            wire(body.exits, head);
+            wire(ctx.continues, head);
+            Frag out{head, {head}};
+            out.exits.insert(out.exits.end(), ctx.breaks.begin(), ctx.breaks.end());
+            return out;
+        }
+        failed = true;  // for-with-one-semi: not a shape we model
+        return {};
+    }
+
+    Frag parse_switch(std::size_t& i, int scope) {
+        if (i + 1 >= limit || toks[i + 1].text != "(") {
+            failed = true;
+            return {};
+        }
+        std::size_t rparen = match_paren(i + 1);
+        if (failed) return {};
+        int cond = make_range_node(i + 2, rparen, scope);
+        i = rparen + 1;
+        if (i >= limit || toks[i].text != "{") {
+            failed = true;
+            return {};
+        }
+        const int body_scope = ++scope_counter;
+        std::size_t close = match_brace(i) - 1;  // index of '}'
+        ++i;
+
+        loops.push_back({.is_switch = true, .breaks = {}, .continues = {}});
+        bool pending_label = false;
+        bool has_default = false;
+        std::vector<int> dangling;
+        while (i < close && !failed) {
+            std::string_view t = toks[i].text;
+            if (t == "case" || t == "default") {
+                if (t == "default") has_default = true;
+                // Skip to the label's ':' (a lone ":", never "::").
+                while (i < close && toks[i].text != ":") ++i;
+                if (i >= close) {
+                    failed = true;
+                    break;
+                }
+                ++i;
+                pending_label = true;
+                continue;
+            }
+            Frag f = parse_stmt(i, body_scope);
+            if (failed) break;
+            wire(dangling, f.entry);
+            if (pending_label) {
+                cfg.nodes[static_cast<std::size_t>(cond)].succ.push_back(f.entry);
+                pending_label = false;
+            }
+            dangling = f.exits;
+        }
+        LoopCtx ctx = loops.back();
+        loops.pop_back();
+        if (failed) return {};
+        i = close + 1;
+        // Scope-exit for the switch body.
+        int se = add_node(0, 0, body_scope);
+        cfg.nodes[static_cast<std::size_t>(se)].closes_scope = body_scope;
+        wire(dangling, se);
+        wire(ctx.breaks, se);
+        Frag out{cond, {se}};
+        if (!has_default || pending_label) out.exits.push_back(cond);
+        return out;
+    }
+
+    Cfg run(std::size_t open) {
+        cfg.entry = add_node(0, 0, 0);
+        cfg.exit = add_node(0, 0, 0);
+        std::size_t i = open;
+        Frag body = parse_block(i);
+        if (failed || i != limit) {
+            cfg.ok = false;
+            return std::move(cfg);
+        }
+        cfg.nodes[static_cast<std::size_t>(cfg.entry)].succ.push_back(body.entry);
+        wire(body.exits, cfg.exit);
+        cfg.ok = true;
+        return std::move(cfg);
+    }
+};
+
+} // namespace
+
+Cfg build_cfg(const std::vector<Token>& toks, std::size_t open, std::size_t end) {
+    if (open >= toks.size() || toks[open].text != "{" || end > toks.size() || end <= open) {
+        return {};
+    }
+    Builder b(toks, end);
+    return b.run(open);
+}
+
+} // namespace staticcheck

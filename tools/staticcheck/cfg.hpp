@@ -1,0 +1,56 @@
+// Per-function control-flow graphs for the flow-sensitive rules.
+//
+// The builder understands the statement subset this codebase is written in:
+// plain statements, blocks, if/else chains, while/do/for (including
+// range-for), switch with case/default labels and fall-through, return,
+// break and continue. Lambda bodies are opaque to the enclosing function's
+// CFG (their tokens are skipped when a rule scans a node's range) and are
+// surfaced as sub-ranges so each can be analyzed as a function of its own.
+//
+// Safe-degradation contract (DESIGN.md §12.4): any construct the builder
+// does not model — goto, labels, try/catch, unbalanced tokens — marks the
+// whole CFG not-ok, and every dataflow rule must then skip the function.
+// A skipped function can cause a missed finding, never a false one.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace staticcheck {
+
+// One CFG node: a token range (a statement or a condition) plus successor
+// edges. Synthetic nodes (entry, exit, scope-exit) have an empty range.
+struct CfgNode {
+    std::size_t lo = 0, hi = 0;  // token range [lo, hi); lo == hi if synthetic
+    std::vector<int> succ;
+    int scope_id = 0;            // innermost brace scope the node executes in
+    int closes_scope = -1;       // >= 0: synthetic exit of that brace scope
+};
+
+struct Cfg {
+    bool ok = false;             // false => body not modellable, skip it
+    int entry = -1;
+    int exit = -1;
+    std::vector<CfgNode> nodes;
+    // Immediate lambda bodies inside this function: token ranges from their
+    // '{' to one past the matching '}'. Opaque to this CFG; build_cfg each
+    // to analyze the lambda as its own function.
+    std::vector<std::pair<std::size_t, std::size_t>> lambda_bodies;
+
+    // True when token index i lies inside an opaque lambda body.
+    [[nodiscard]] bool opaque(std::size_t i) const {
+        for (const auto& [lo, hi] : lambda_bodies) {
+            if (i >= lo && i < hi) return true;
+        }
+        return false;
+    }
+};
+
+// Builds the CFG for a brace-enclosed body: toks[open] must be "{" and
+// `end` one past its matching "}" (FunctionBody::begin/end).
+[[nodiscard]] Cfg build_cfg(const std::vector<Token>& toks, std::size_t open, std::size_t end);
+
+} // namespace staticcheck

@@ -1,0 +1,760 @@
+#include "dataflow.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace staticcheck {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared scanning helpers
+// ---------------------------------------------------------------------------
+
+// True when toks[i] is a bare reference (not `obj.x`, `ns::x` or `p->x`;
+// `this->x` counts as bare).
+bool bare(const std::vector<Token>& toks, std::size_t i) {
+    if (i == 0) return true;
+    std::string_view p = toks[i - 1].text;
+    if (p == "." || p == "::") return false;
+    if (p == "->") return i >= 2 && toks[i - 2].text == "this";
+    return true;
+}
+
+// Index of the ")" matching toks[open] (== "("), clamped to hi.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open, std::size_t hi) {
+    int depth = 0;
+    for (std::size_t i = open; i < hi; ++i) {
+        if (toks[i].text == "(") ++depth;
+        else if (toks[i].text == ")") {
+            if (--depth == 0) return i;
+        }
+    }
+    return hi;
+}
+
+// One past the opaque lambda body containing i (i must satisfy cfg.opaque).
+std::size_t opaque_end(const Cfg& cfg, std::size_t i) {
+    std::size_t end = i + 1;
+    for (const auto& [lo, hi] : cfg.lambda_bodies) {
+        if (i >= lo && i < hi) end = std::max(end, hi);
+    }
+    return end;
+}
+
+// Builds the CFG of [begin, end) plus — transitively — the CFGs of every
+// nested lambda body, each analyzed as a function of its own. A body the
+// builder cannot model is silently dropped (safe degradation).
+std::vector<Cfg> collect_cfgs(const std::vector<Token>& toks, std::size_t begin,
+                              std::size_t end) {
+    std::vector<Cfg> out;
+    std::vector<std::pair<std::size_t, std::size_t>> work{{begin, end}};
+    while (!work.empty()) {
+        auto [b, e] = work.back();
+        work.pop_back();
+        Cfg c = build_cfg(toks, b, e);
+        if (!c.ok) continue;
+        for (const auto& lb : c.lambda_bodies) work.push_back(lb);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+// True when toks[i] looks like the name in a local declaration shadowing a
+// member (`EventId timer_ = ...`) rather than an expression read: the
+// previous token is an identifier that is not one of the keywords that
+// legally precede an expression.
+bool looks_like_decl(const std::vector<Token>& toks, std::size_t i, std::size_t lo) {
+    if (i <= lo || toks[i - 1].kind != TokKind::kIdent) return false;
+    std::string_view p = toks[i - 1].text;
+    return p != "return" && p != "co_return" && p != "co_yield" && p != "throw" &&
+           p != "else" && p != "do" && p != "case" && p != "delete";
+}
+
+void add(std::vector<Finding>& out, const SourceFile& file, int line, const char* rule,
+         std::string message) {
+    out.push_back({file.rel, line, rule, std::move(message), &file});
+}
+
+// Names of the class's own member functions (used to havoc state across
+// self-calls: a helper may reassign any member, so definite facts die).
+std::set<std::string> self_function_names(const ClassModel& cls) {
+    std::set<std::string> names;
+    for (const FunctionBody& f : cls.functions) names.insert(f.name);
+    return names;
+}
+
+// ---------------------------------------------------------------------------
+// event-lifecycle / timer-rearm: EventId definite-state tracking
+//
+// Lattice per EventId member: the powerset of {Live, Cancelled, Invalid,
+// Other} (join = union), so "definitely cancelled" (== {Cancelled}) and
+// "possibly cancelled" (Cancelled ∈ set) are both expressible. The
+// cancel_line rides along (min on join) to report at the cancel site.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint8_t kEvLive = 1, kEvCancelled = 2, kEvInvalid = 4, kEvOther = 8;
+
+struct EvVal {
+    std::uint8_t may = kEvOther;
+    int cancel_line = 0;
+    bool operator==(const EvVal&) const = default;
+};
+using EvState = std::vector<EvVal>;
+
+EvState ev_join(const EvState& a, const EvState& b) {
+    EvState r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        r[i].may = a[i].may | b[i].may;
+        int la = a[i].cancel_line, lb = b[i].cancel_line;
+        r[i].cancel_line = (la == 0) ? lb : (lb == 0 ? la : std::min(la, lb));
+    }
+    return r;
+}
+
+struct EvCtx {
+    const ClassModel& cls;
+    const SourceFile& file;
+    const std::vector<Token>& toks;
+    const Cfg* cfg = nullptr;
+    std::vector<std::string> members;  // index order fixes the state layout
+    std::set<std::string> self_fns;
+    std::string fn_name;
+    std::vector<Finding>* report = nullptr;  // non-null during the report pass
+
+    [[nodiscard]] int member_index(std::string_view name) const {
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (members[i] == name) return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+EvState ev_transfer(const EvCtx& ctx, int node, EvState st) {
+    const CfgNode& nd = ctx.cfg->nodes[static_cast<std::size_t>(node)];
+    const auto& toks = ctx.toks;
+    for (std::size_t i = nd.lo; i < nd.hi; ++i) {
+        if (ctx.cfg->opaque(i)) {
+            i = opaque_end(*ctx.cfg, i) - 1;
+            continue;
+        }
+        const Token& tk = toks[i];
+        if (tk.kind != TokKind::kIdent) continue;
+
+        // q.cancel(member_): the member becomes definitely-Cancelled.
+        if ((tk.text == "cancel" || tk.text == "rearm") && i + 1 < nd.hi &&
+            toks[i + 1].text == "(") {
+            const bool is_cancel = tk.text == "cancel";
+            std::size_t close = match_paren(toks, i + 1, nd.hi);
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (ctx.cfg->opaque(j)) {
+                    j = opaque_end(*ctx.cfg, j) - 1;
+                    continue;
+                }
+                if (toks[j].kind != TokKind::kIdent || !bare(toks, j)) continue;
+                int mi = ctx.member_index(toks[j].text);
+                if (mi < 0) continue;
+                EvVal& v = st[static_cast<std::size_t>(mi)];
+                if (v.may == kEvCancelled && ctx.report != nullptr) {
+                    add(*ctx.report, ctx.file, toks[j].line, "event-lifecycle",
+                        ctx.cls.name + "::" + ctx.members[static_cast<std::size_t>(mi)] +
+                            " is already cancelled here (cancel at line " +
+                            std::to_string(v.cancel_line) + " never reset it); " +
+                            (is_cancel ? "this cancel" : "this rearm") +
+                            " of the stale id is a silent no-op once the slot is reused");
+                }
+                if (is_cancel) {
+                    v = {kEvCancelled, tk.line};
+                } else {
+                    v = {kEvOther, 0};  // rearm: live on success, unchanged on failure
+                }
+                break;  // first event-member argument is the target
+            }
+            i = close;
+            continue;
+        }
+
+        int mi = bare(toks, i) ? ctx.member_index(tk.text) : -1;
+        if (mi >= 0) {
+            // `EventId timer_ = ...` style shadow declaration: skip.
+            if (looks_like_decl(toks, i, nd.lo)) continue;
+            EvVal& v = st[static_cast<std::size_t>(mi)];
+            if (i + 1 < nd.hi && toks[i + 1].text == "=") {
+                // Classify the right-hand side up to the statement's ';'.
+                std::uint8_t next_may = kEvOther;
+                int paren = 0;
+                for (std::size_t j = i + 2; j < nd.hi; ++j) {
+                    if (ctx.cfg->opaque(j)) {
+                        j = opaque_end(*ctx.cfg, j) - 1;
+                        continue;
+                    }
+                    std::string_view t = toks[j].text;
+                    if (t == "(") ++paren;
+                    else if (t == ")") --paren;
+                    else if (t == ";" && paren == 0) break;
+                    else if (t == "schedule_at" || t == "schedule_after") next_may = kEvLive;
+                    else if (t == "kInvalidEventId" && next_may == kEvOther)
+                        next_may = kEvInvalid;
+                }
+                if (ctx.report != nullptr && next_may == kEvLive) {
+                    if (v.may == kEvCancelled) {
+                        add(*ctx.report, ctx.file, v.cancel_line, "timer-rearm",
+                            ctx.cls.name + "::" + ctx.fn_name + "() cancels " +
+                                ctx.members[static_cast<std::size_t>(mi)] +
+                                " and reschedules it with no other write in between "
+                                "(line " + std::to_string(tk.line) + "); use rearm(" +
+                                ctx.members[static_cast<std::size_t>(mi)] +
+                                ", when) — one call, no slot churn, identical FIFO "
+                                "placement");
+                    } else if (v.may == kEvLive) {
+                        add(*ctx.report, ctx.file, tk.line, "event-lifecycle",
+                            ctx.cls.name + "::" + ctx.fn_name + "() overwrites " +
+                                ctx.members[static_cast<std::size_t>(mi)] +
+                                " while it still holds a live id; the armed event "
+                                "leaks and its callback will still fire — cancel or "
+                                "rearm first");
+                    }
+                }
+                v = {next_may, 0};
+                continue;
+            }
+            // A read. A definitely-cancelled id is stale: comparing or
+            // passing it around acts on an id the queue may have reused.
+            if (v.may == kEvCancelled && ctx.report != nullptr) {
+                add(*ctx.report, ctx.file, tk.line, "event-lifecycle",
+                    ctx.cls.name + "::" + ctx.members[static_cast<std::size_t>(mi)] +
+                        " is read here but was cancelled at line " +
+                        std::to_string(v.cancel_line) +
+                        " and never reset; assign sim::kInvalidEventId (or "
+                        "reschedule) before using the member again");
+            }
+            continue;
+        }
+
+        // Self-call: a member function may rewrite any member — havoc.
+        if (i + 1 < nd.hi && toks[i + 1].text == "(" && bare(toks, i) &&
+            ctx.self_fns.count(std::string(tk.text)) != 0) {
+            for (EvVal& v : st) v = {kEvOther, 0};
+        }
+    }
+    return st;
+}
+
+void run_event_dataflow(EvCtx& ctx, const FunctionBody& fn, std::vector<Finding>& out) {
+    for (const Cfg& cfg : collect_cfgs(ctx.toks, fn.begin, fn.end)) {
+        ctx.cfg = &cfg;
+        EvState entry(ctx.members.size());
+        ctx.report = nullptr;
+        auto in = solve_forward(
+            cfg, entry, [&](int n, const EvState& s) { return ev_transfer(ctx, n, s); },
+            ev_join);
+        if (in.empty()) continue;  // iteration cap: skip, never guess
+        ctx.report = &out;
+        for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+            if (!in[n].has_value()) continue;  // unreachable
+            (void)ev_transfer(ctx, static_cast<int>(n), *in[n]);
+        }
+        // Path-sensitive cancel-without-reset: a member that may still be
+        // Cancelled when the function returns was cancelled on some path
+        // and reset on none of the paths reaching that cancel.
+        const auto& exit_state = in[static_cast<std::size_t>(cfg.exit)];
+        if (exit_state.has_value()) {
+            for (std::size_t m = 0; m < ctx.members.size(); ++m) {
+                const EvVal& v = (*exit_state)[m];
+                if ((v.may & kEvCancelled) == 0) continue;
+                add(out, ctx.file, v.cancel_line, "event-lifecycle",
+                    ctx.cls.name + "::" + ctx.members[m] +
+                        " is cancelled here but not reset on every path to return; "
+                        "assign sim::kInvalidEventId (or reschedule), or the stale "
+                        "id will alias a reused slot");
+            }
+        }
+        ctx.report = nullptr;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// guarded-by: lock discipline for `// guarded_by(mu_)` members
+//
+// Lattice: the set of definitely-held (mutex, guard, scope) acquisitions;
+// join = intersection, so an access reachable both with and without the
+// lock is a finding. RAII guards die at their brace scope's synthetic
+// scope-exit node; manual mutex_.lock()/unlock() is tracked unscoped.
+// ---------------------------------------------------------------------------
+
+struct Held {
+    std::string mutex;
+    std::string guard;  // guard object name; empty for manual .lock()
+    int scope = -1;
+    bool operator==(const Held&) const = default;
+    bool operator<(const Held& o) const {
+        return std::tie(mutex, guard, scope) < std::tie(o.mutex, o.guard, o.scope);
+    }
+};
+using LockState = std::vector<Held>;  // kept sorted (a set)
+
+LockState lock_join(const LockState& a, const LockState& b) {
+    LockState r;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(r));
+    return r;
+}
+
+void lock_insert(LockState& st, Held h) {
+    auto it = std::lower_bound(st.begin(), st.end(), h);
+    if (it == st.end() || !(*it == h)) st.insert(it, std::move(h));
+}
+
+bool is_guard_type(std::string_view t) {
+    return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock";
+}
+
+struct GuardCtx {
+    const ClassModel& cls;
+    const SourceFile& file;
+    const std::vector<Token>& toks;
+    const Cfg* cfg = nullptr;
+    std::map<std::string, std::string> guarded;   // member -> required mutex
+    std::set<std::string> mutexes;                // names a guard can take
+    std::map<std::string, std::string> bindings;  // guard object -> mutex
+    std::string fn_name;
+    std::vector<Finding>* report = nullptr;
+};
+
+LockState lock_transfer(const GuardCtx& ctx, int node, LockState st) {
+    const CfgNode& nd = ctx.cfg->nodes[static_cast<std::size_t>(node)];
+    if (nd.closes_scope >= 0) {
+        std::erase_if(st, [&](const Held& h) { return h.scope == nd.closes_scope; });
+        return st;
+    }
+    const auto& toks = ctx.toks;
+    for (std::size_t i = nd.lo; i < nd.hi; ++i) {
+        if (ctx.cfg->opaque(i)) {
+            i = opaque_end(*ctx.cfg, i) - 1;
+            continue;
+        }
+        const Token& tk = toks[i];
+        if (tk.kind != TokKind::kIdent) continue;
+
+        // RAII guard declaration: lock_guard<...> g(mu_); / scoped_lock ...
+        if (is_guard_type(tk.text)) {
+            // Find the argument list '(' at template depth 0 (">>" closes two).
+            int angle = 0;
+            std::size_t open = nd.hi;
+            std::string guard_name;
+            for (std::size_t j = i + 1; j < nd.hi && j < i + 24; ++j) {
+                std::string_view t = toks[j].text;
+                if (t == "<") ++angle;
+                else if (t == ">") angle = std::max(0, angle - 1);
+                else if (t == ">>") angle = std::max(0, angle - 2);
+                else if (t == "(" && angle == 0) {
+                    open = j;
+                    if (toks[j - 1].kind == TokKind::kIdent)
+                        guard_name = std::string(toks[j - 1].text);
+                    break;
+                } else if (t == ";") {
+                    break;
+                }
+            }
+            if (open >= nd.hi) continue;
+            std::size_t close = match_paren(toks, open, nd.hi);
+            bool deferred = false;
+            std::vector<std::string> acquired;
+            for (std::size_t j = open + 1; j < close; ++j) {
+                if (toks[j].text == "defer_lock") deferred = true;
+                if (toks[j].kind == TokKind::kIdent && bare(toks, j) &&
+                    ctx.mutexes.count(std::string(toks[j].text)) != 0) {
+                    acquired.push_back(std::string(toks[j].text));
+                }
+            }
+            if (!deferred) {
+                for (const std::string& m : acquired)
+                    lock_insert(st, {m, guard_name, nd.scope_id});
+            }
+            i = close;
+            continue;
+        }
+
+        // Manual lock()/unlock() on a mutex member or a named guard object.
+        if (i + 2 < nd.hi && toks[i + 1].text == "." &&
+            (toks[i + 2].text == "lock" || toks[i + 2].text == "unlock") && bare(toks, i)) {
+            std::string name(tk.text);
+            const bool is_lock = toks[i + 2].text == "lock";
+            std::string mutex;
+            std::string guard;
+            if (ctx.mutexes.count(name) != 0) {
+                mutex = name;
+            } else if (auto it = ctx.bindings.find(name); it != ctx.bindings.end()) {
+                mutex = it->second;
+                guard = name;
+            }
+            if (!mutex.empty()) {
+                if (is_lock) {
+                    lock_insert(st, {mutex, guard, nd.scope_id});
+                } else {
+                    std::erase_if(st, [&](const Held& h) {
+                        return h.mutex == mutex && (guard.empty() || h.guard == guard);
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+
+        // Access to a guarded member: the matching mutex must be held.
+        if (bare(toks, i)) {
+            auto g = ctx.guarded.find(std::string(tk.text));
+            if (g != ctx.guarded.end()) {
+                if (looks_like_decl(toks, i, nd.lo)) continue;  // shadow decl
+                bool held = std::any_of(st.begin(), st.end(),
+                                        [&](const Held& h) { return h.mutex == g->second; });
+                if (!held && ctx.report != nullptr) {
+                    add(*ctx.report, ctx.file, tk.line, "guarded-by",
+                        ctx.cls.name + "::" + g->first + " is guarded_by(" + g->second +
+                            ") but " + g->second + " is not provably held on every "
+                            "path to this access in " + ctx.fn_name + "()");
+                }
+            }
+        }
+    }
+    return st;
+}
+
+// Pre-scan of a whole body: records guard-object → mutex bindings so a
+// later `g.lock()` / `g.unlock()` resolves to the right mutex.
+void collect_guard_bindings(GuardCtx& ctx, std::size_t begin, std::size_t end) {
+    const auto& toks = ctx.toks;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (!is_guard_type(toks[i].text)) continue;
+        int angle = 0;
+        for (std::size_t j = i + 1; j < end && j < i + 24; ++j) {
+            std::string_view t = toks[j].text;
+            if (t == "<") ++angle;
+            else if (t == ">") angle = std::max(0, angle - 1);
+            else if (t == ">>") angle = std::max(0, angle - 2);
+            else if (t == "(" && angle == 0) {
+                if (toks[j - 1].kind != TokKind::kIdent) break;
+                std::size_t close = match_paren(toks, j, end);
+                for (std::size_t k = j + 1; k < close; ++k) {
+                    if (toks[k].kind == TokKind::kIdent && bare(toks, k) &&
+                        ctx.mutexes.count(std::string(toks[k].text)) != 0) {
+                        ctx.bindings[std::string(toks[j - 1].text)] =
+                            std::string(toks[k].text);
+                        break;
+                    }
+                }
+                break;
+            } else if (t == ";") {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// payload-move: SharedPayload / Bytes use-after-move
+//
+// Lattice per tracked variable: powerset of {Valid, Moved, Other}; a read
+// while definitely-Moved is a finding. Tracked: members, parameters and
+// locals whose declared type names SharedPayload or Bytes. Only the exact
+// `std::move(x)` shape marks a move (anything fancier degrades to no-op).
+// ---------------------------------------------------------------------------
+
+constexpr std::uint8_t kPmValid = 1, kPmMoved = 2, kPmOther = 4;
+
+struct PmVal {
+    std::uint8_t may = kPmOther;
+    int move_line = 0;
+    bool operator==(const PmVal&) const = default;
+};
+using PmState = std::vector<PmVal>;
+
+PmState pm_join(const PmState& a, const PmState& b) {
+    PmState r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        r[i].may = a[i].may | b[i].may;
+        int la = a[i].move_line, lb = b[i].move_line;
+        r[i].move_line = (la == 0) ? lb : (lb == 0 ? la : std::min(la, lb));
+    }
+    return r;
+}
+
+bool is_payload_type(std::string_view t) { return t == "SharedPayload" || t == "Bytes"; }
+
+struct PmCtx {
+    const ClassModel* cls = nullptr;  // null for free functions
+    const SourceFile& file;
+    const std::vector<Token>& toks;
+    const Cfg* cfg = nullptr;
+    std::vector<std::string> vars;
+    std::set<std::string> member_vars;  // subset of vars that are members
+    std::set<std::string> self_fns;
+    std::string fn_name;
+    std::vector<Finding>* report = nullptr;
+
+    [[nodiscard]] int var_index(std::string_view name) const {
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            if (vars[i] == name) return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+PmState pm_transfer(const PmCtx& ctx, int node, PmState st) {
+    const CfgNode& nd = ctx.cfg->nodes[static_cast<std::size_t>(node)];
+    const auto& toks = ctx.toks;
+    for (std::size_t i = nd.lo; i < nd.hi; ++i) {
+        if (ctx.cfg->opaque(i)) {
+            i = opaque_end(*ctx.cfg, i) - 1;
+            continue;
+        }
+        const Token& tk = toks[i];
+        if (tk.kind != TokKind::kIdent) continue;
+
+        // std::move(x) — the exact shape only.
+        if (tk.text == "move" && i + 3 < nd.hi && toks[i + 1].text == "(" &&
+            toks[i + 2].kind == TokKind::kIdent && toks[i + 3].text == ")" &&
+            bare(toks, i + 2)) {
+            int vi = ctx.var_index(toks[i + 2].text);
+            if (vi >= 0) {
+                PmVal& v = st[static_cast<std::size_t>(vi)];
+                if (v.may == kPmMoved && ctx.report != nullptr) {
+                    add(*ctx.report, ctx.file, toks[i + 2].line, "payload-move",
+                        ctx.vars[static_cast<std::size_t>(vi)] +
+                            " is moved again here but was already moved at line " +
+                            std::to_string(v.move_line) +
+                            "; a moved-from buffer belongs to its new owner (or the "
+                            "pool), not to this function");
+                }
+                v = {kPmMoved, toks[i + 2].line};
+                i += 3;
+                continue;
+            }
+        }
+
+        int vi = bare(toks, i) ? ctx.var_index(tk.text) : -1;
+        if (vi >= 0) {
+            PmVal& v = st[static_cast<std::size_t>(vi)];
+            // Declaration site (type token right before) re-initializes.
+            if (i > nd.lo &&
+                (is_payload_type(toks[i - 1].text) || toks[i - 1].text == "&" ||
+                 toks[i - 1].text == "&&" || toks[i - 1].text == "*")) {
+                v = {kPmValid, 0};
+                continue;
+            }
+            if (i + 1 < nd.hi && toks[i + 1].text == "=") {
+                v = {kPmValid, 0};  // reassigned; RHS reads are handled on their own
+                continue;
+            }
+            if (i + 2 < nd.hi && toks[i + 1].text == "." &&
+                (toks[i + 2].text == "reset" || toks[i + 2].text == "clear" ||
+                 toks[i + 2].text == "assign")) {
+                v = {kPmValid, 0};
+                i += 2;
+                continue;
+            }
+            if (v.may == kPmMoved && ctx.report != nullptr) {
+                add(*ctx.report, ctx.file, tk.line, "payload-move",
+                    ctx.vars[static_cast<std::size_t>(vi)] + " is used here after being "
+                        "moved at line " + std::to_string(v.move_line) +
+                        " (every path to this use moves it first); moved-from "
+                        "SharedPayload/Bytes buffers are empty shells");
+            }
+            continue;
+        }
+
+        // Self-call havoc: a member function may refill member payloads.
+        if (i + 1 < nd.hi && toks[i + 1].text == "(" && bare(toks, i) &&
+            ctx.self_fns.count(std::string(tk.text)) != 0) {
+            for (std::size_t m = 0; m < ctx.vars.size(); ++m) {
+                if (ctx.member_vars.count(ctx.vars[m]) != 0)
+                    st[m] = {kPmOther, 0};
+            }
+        }
+    }
+    return st;
+}
+
+// Collects tracked payload locals declared in [begin, end): a SharedPayload
+// or Bytes type token directly followed by (ref-qualifiers and) a name.
+void collect_payload_locals(PmCtx& ctx, std::size_t begin, std::size_t end) {
+    const auto& toks = ctx.toks;
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+        if (!is_payload_type(toks[i].text) || !bare(toks, i)) {
+            // `util::Bytes x` — the qualifier makes it non-bare; allow the
+            // chain by also accepting `:: Bytes` with a util/std prefix.
+            if (!(is_payload_type(toks[i].text) && i >= 1 && toks[i - 1].text == "::"))
+                continue;
+        }
+        std::size_t j = i + 1;
+        while (j < end && (toks[j].text == "&" || toks[j].text == "&&")) ++j;
+        if (j >= end || toks[j].kind != TokKind::kIdent) continue;
+        std::string_view name = toks[j].text;
+        if (j + 1 < end) {
+            std::string_view after = toks[j + 1].text;
+            if (after != "=" && after != ";" && after != "{" && after != "(" &&
+                after != "," && after != ")") {
+                continue;
+            }
+        }
+        if (ctx.var_index(name) < 0) ctx.vars.push_back(std::string(name));
+    }
+}
+
+// Token range of the function's parameter list, found by walking back from
+// the body's '{' over trailing qualifiers to the signature's ')'.
+bool param_range(const std::vector<Token>& toks, std::size_t body_open, std::size_t& lo,
+                 std::size_t& hi) {
+    std::size_t k = body_open;
+    std::size_t steps = 0;
+    while (k > 0 && steps < 40) {
+        --k;
+        ++steps;
+        if (toks[k].text == ")") {
+            int depth = 0;
+            for (std::size_t j = k + 1; j-- > 0;) {
+                if (toks[j].text == ")") ++depth;
+                else if (toks[j].text == "(") {
+                    if (--depth == 0) {
+                        lo = j + 1;
+                        hi = k;
+                        return true;
+                    }
+                }
+                if (j == 0) break;
+            }
+            return false;
+        }
+        if (toks[k].text == ";" || toks[k].text == "}") return false;
+    }
+    return false;
+}
+
+void run_payload_dataflow(PmCtx& ctx, const FunctionBody& fn, std::vector<Finding>& out) {
+    // Tracked set: members of payload type, parameters, and body locals.
+    ctx.vars.clear();
+    ctx.member_vars.clear();
+    if (ctx.cls != nullptr) {
+        for (const MemberVar& m : ctx.cls->members) {
+            if (m.type.find("SharedPayload") != std::string::npos ||
+                m.type.find("Bytes") != std::string::npos) {
+                ctx.vars.push_back(m.name);
+                ctx.member_vars.insert(m.name);
+            }
+        }
+    }
+    std::size_t plo = 0, phi = 0;
+    if (param_range(ctx.toks, fn.begin, plo, phi)) collect_payload_locals(ctx, plo, phi);
+    collect_payload_locals(ctx, fn.begin, fn.end);
+    if (ctx.vars.empty()) return;
+
+    for (const Cfg& cfg : collect_cfgs(ctx.toks, fn.begin, fn.end)) {
+        ctx.cfg = &cfg;
+        PmState entry(ctx.vars.size());
+        for (std::size_t m = 0; m < ctx.vars.size(); ++m) {
+            entry[m] = ctx.member_vars.count(ctx.vars[m]) != 0 ? PmVal{kPmOther, 0}
+                                                               : PmVal{kPmValid, 0};
+        }
+        ctx.report = nullptr;
+        auto in = solve_forward(
+            cfg, entry, [&](int n, const PmState& s) { return pm_transfer(ctx, n, s); },
+            pm_join);
+        if (in.empty()) continue;
+        ctx.report = &out;
+        for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+            if (!in[n].has_value()) continue;
+            (void)pm_transfer(ctx, static_cast<int>(n), *in[n]);
+        }
+        ctx.report = nullptr;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Rule entry points
+// ---------------------------------------------------------------------------
+
+void rule_event_dataflow(const ClassModel& cls, std::vector<Finding>& out) {
+    std::vector<std::string> members;
+    for (const MemberVar& m : cls.members) {
+        if (m.type.find("EventId") != std::string::npos) members.push_back(m.name);
+    }
+    if (members.empty()) return;
+    std::set<std::string> self_fns = self_function_names(cls);
+    for (const FunctionBody& fn : cls.functions) {
+        EvCtx ctx{cls, *fn.file, fn.file->lex.tokens, nullptr,
+                  members, self_fns, fn.name, nullptr};
+        run_event_dataflow(ctx, fn, out);
+    }
+}
+
+void rule_guarded_by(const ClassModel& cls, std::vector<Finding>& out) {
+    std::map<std::string, std::string> guarded;
+    std::set<std::string> mutexes;
+    for (const MemberVar& m : cls.members) {
+        if (m.guarded_by.empty()) continue;
+        guarded[m.name] = m.guarded_by;
+        mutexes.insert(m.guarded_by);
+    }
+    if (guarded.empty()) return;
+    for (const FunctionBody& fn : cls.functions) {
+        // Construction and destruction are single-threaded by definition:
+        // no other thread can hold a reference yet / still. Lambdas created
+        // there DO run concurrently and are analyzed below regardless.
+        const bool is_ctor_or_dtor = fn.name == cls.name || fn.name == "~" + cls.name;
+        GuardCtx ctx{cls,   *fn.file, fn.file->lex.tokens, nullptr, guarded,
+                     mutexes, {},     fn.name,             nullptr};
+        collect_guard_bindings(ctx, fn.begin, fn.end);
+        for (const Cfg& cfg : collect_cfgs(ctx.toks, fn.begin, fn.end)) {
+            // Skip the ctor/dtor's own statements but keep lambda bodies:
+            // the main body is the one CFG whose token range starts at the
+            // function's opening brace (lambda bodies start later).
+            bool body_starts_at_fn = false;
+            for (const CfgNode& nd : cfg.nodes) {
+                if (nd.lo != nd.hi && nd.lo <= fn.begin + 1) {
+                    body_starts_at_fn = true;
+                    break;
+                }
+            }
+            const bool skip_checks = is_ctor_or_dtor && body_starts_at_fn;
+            ctx.cfg = &cfg;
+            LockState entry;
+            ctx.report = nullptr;
+            auto in = solve_forward(
+                cfg, entry,
+                [&](int n, const LockState& s) { return lock_transfer(ctx, n, s); },
+                lock_join);
+            if (in.empty() || skip_checks) continue;
+            ctx.report = &out;
+            for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+                if (!in[n].has_value()) continue;
+                (void)lock_transfer(ctx, static_cast<int>(n), *in[n]);
+            }
+            ctx.report = nullptr;
+        }
+    }
+}
+
+void rule_payload_move_class(const ClassModel& cls, std::vector<Finding>& out) {
+    std::set<std::string> self_fns = self_function_names(cls);
+    for (const FunctionBody& fn : cls.functions) {
+        PmCtx ctx{&cls, *fn.file, fn.file->lex.tokens, nullptr, {}, {}, self_fns,
+                  fn.name, nullptr};
+        run_payload_dataflow(ctx, fn, out);
+    }
+}
+
+void rule_payload_move_free(const SourceFile& file,
+                            const std::vector<FunctionBody>& free_functions,
+                            std::vector<Finding>& out) {
+    for (const FunctionBody& fn : free_functions) {
+        if (fn.file != &file) continue;
+        PmCtx ctx{nullptr, file, file.lex.tokens, nullptr, {}, {}, {}, fn.name, nullptr};
+        run_payload_dataflow(ctx, fn, out);
+    }
+}
+
+} // namespace staticcheck

@@ -1,0 +1,80 @@
+// Worklist-based forward dataflow over the per-function CFGs (cfg.hpp),
+// plus the flow-sensitive rules built on it. Each rule supplies a small
+// finite lattice; the solver iterates transfer/join to a fixed point and
+// the rule then replays the transfer with reporting enabled against the
+// solved entry states.
+//
+// Rules implemented here (DESIGN.md §12):
+//   event-lifecycle  EventId definite-state tracking: use-after-cancel,
+//                    cancel-without-reset (path-sensitive), and
+//                    schedule-overwrite-of-a-live-id. Subsumes the old
+//                    fixed-window adjacency heuristic.
+//   timer-rearm      cancel followed (on some path, with no intervening
+//                    reset) by member = schedule_* — rearm() in two calls.
+//   payload-move     SharedPayload / Bytes use-after-move across branches.
+//   guarded-by       every access to a `// guarded_by(mu_)` member must be
+//                    dominated by an acquisition of mu_.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cfg.hpp"
+#include "model.hpp"
+
+namespace staticcheck {
+
+// Solves a forward dataflow problem to its fixed point and returns the
+// state at entry of every node (nullopt = unreachable). `transfer` maps
+// (node index, in-state) to the out-state; `join` merges two states and
+// must be monotone for termination. A safety cap on iterations returns an
+// empty vector if exceeded — callers must then skip the function entirely
+// (safe degradation, never a false finding).
+template <typename State, typename Transfer, typename Join>
+std::vector<std::optional<State>> solve_forward(const Cfg& cfg, State entry_state,
+                                                Transfer&& transfer, Join&& join) {
+    const std::size_t n = cfg.nodes.size();
+    std::vector<std::optional<State>> in(n);
+    std::vector<bool> queued(n, false);
+    std::deque<int> work;
+
+    in[static_cast<std::size_t>(cfg.entry)] = std::move(entry_state);
+    work.push_back(cfg.entry);
+    queued[static_cast<std::size_t>(cfg.entry)] = true;
+
+    std::size_t budget = (n + 1) * 64;  // transfers are monotone; this is insurance
+    while (!work.empty()) {
+        if (budget-- == 0) return {};
+        int node = work.front();
+        work.pop_front();
+        queued[static_cast<std::size_t>(node)] = false;
+        State out = transfer(node, *in[static_cast<std::size_t>(node)]);
+        for (int s : cfg.nodes[static_cast<std::size_t>(node)].succ) {
+            auto& target = in[static_cast<std::size_t>(s)];
+            if (!target.has_value()) {
+                target = out;
+            } else {
+                State merged = join(*target, out);
+                if (merged == *target) continue;
+                target = std::move(merged);
+            }
+            if (!queued[static_cast<std::size_t>(s)]) {
+                work.push_back(s);
+                queued[static_cast<std::size_t>(s)] = true;
+            }
+        }
+    }
+    return in;
+}
+
+// The flow-sensitive rules. Class-scoped rules take the aggregated class
+// model; payload-move also runs over a file's free functions.
+void rule_event_dataflow(const ClassModel& cls, std::vector<Finding>& out);
+void rule_guarded_by(const ClassModel& cls, std::vector<Finding>& out);
+void rule_payload_move_class(const ClassModel& cls, std::vector<Finding>& out);
+void rule_payload_move_free(const SourceFile& file,
+                            const std::vector<FunctionBody>& free_functions,
+                            std::vector<Finding>& out);
+
+} // namespace staticcheck

@@ -36,11 +36,27 @@ void scan_comment_for_waivers(std::string_view comment, int line,
     while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
     std::size_t start = p;
     while (p < comment.size() &&
-           (is_ident_char(comment[p]) || comment[p] == '-')) {
+           (is_ident_char(comment[p]) || comment[p] == '-' || comment[p] == '.')) {
         ++p;
     }
     if (p == start) return;
     out.push_back({std::string(comment.substr(start, p - start)), line, whole_file});
+}
+
+// Parses `guarded_by(mutex_)` annotations out of a comment's text.
+void scan_comment_for_annotations(std::string_view comment, int line,
+                                  std::vector<Annotation>& out) {
+    constexpr std::string_view kTag = "guarded_by";
+    std::size_t pos = comment.find(kTag);
+    if (pos == std::string_view::npos) return;
+    std::size_t p = pos + kTag.size();
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    if (p >= comment.size() || comment[p] != '(') return;
+    ++p;
+    std::size_t start = p;
+    while (p < comment.size() && is_ident_char(comment[p])) ++p;
+    if (p == start || p >= comment.size() || comment[p] != ')') return;
+    out.push_back({std::string(comment.substr(start, p - start)), line});
 }
 
 } // namespace
@@ -72,6 +88,7 @@ LexResult lex(std::string_view text) {
             std::size_t end = text.find('\n', i);
             if (end == std::string_view::npos) end = n;
             scan_comment_for_waivers(text.substr(i, end - i), line, r.waivers);
+            scan_comment_for_annotations(text.substr(i, end - i), line, r.annotations);
             i = end;
             continue;
         }
@@ -81,6 +98,7 @@ LexResult lex(std::string_view text) {
             if (end == std::string_view::npos) end = n;
             std::string_view body = text.substr(i, end - i);
             scan_comment_for_waivers(body, line, r.waivers);
+            scan_comment_for_annotations(body, line, r.annotations);
             for (char bc : body) {
                 if (bc == '\n') ++line;
             }

@@ -43,10 +43,19 @@ struct Waiver {
     bool whole_file = false;
 };
 
+// One `// guarded_by(mutex_)` annotation: the member declared on this line
+// (or the line below, comment-above-code style) may only be accessed while
+// `mutex_` is held. Checked by the guarded-by dataflow rule (DESIGN.md §12).
+struct Annotation {
+    std::string mutex;
+    int line = 0;       // line the comment sits on
+};
+
 struct LexResult {
     std::vector<Token> tokens;
     std::vector<Include> includes;   // quoted includes only ("our" headers)
     std::vector<Waiver> waivers;
+    std::vector<Annotation> annotations;  // guarded_by(...) comments
 };
 
 // Lexes `text` (which must outlive the returned tokens).

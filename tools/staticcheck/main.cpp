@@ -1,21 +1,27 @@
 // staticcheck — the ST-TCP protocol static analyzer.
 //
-//   staticcheck [--root DIR] [--json FILE]
+//   staticcheck [--root DIR] [--json FILE] [--sarif FILE] [--jobs N]
 //
 // Analyzes every *.hpp/*.cpp under DIR (default: src/ next to the binary's
 // CWD) and prints one `path:line: [rule] message` per finding. Exit status
 // is 1 when there are findings, 2 on usage/IO errors, 0 when clean.
 //
-// Rules (DESIGN.md §10): layer-dag, include-cycle, state-funnel,
-// event-lifecycle, timer-rearm, this-capture, seq-raw. Waive a finding with
+// Rules (DESIGN.md §10, §12): layer-dag, include-cycle, state-funnel,
+// event-lifecycle, timer-rearm, this-capture, seq-raw, guarded-by,
+// payload-move, waiver.stale. Waive a finding with
 // `// lint:allow <rule> -- reason` on or above the line, or
 // `// lint:allow-file <rule> -- reason` anywhere in the file.
+//
+// --jobs N runs the rules on N worker threads; output is byte-identical to
+// a serial run (findings are merged, filtered and sorted in one place).
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "model.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -47,14 +53,29 @@ std::string json_escape(const std::string& s) {
 int main(int argc, char** argv) {
     std::string root = "src";
     std::string json_path;
+    std::string sarif_path;
+    int jobs = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+            if (jobs < 0) {
+                std::cerr << "staticcheck: --jobs must be >= 0\n";
+                return 2;
+            }
+            if (jobs == 0) {  // 0 = auto
+                jobs = static_cast<int>(std::thread::hardware_concurrency());
+                if (jobs < 1) jobs = 1;
+            }
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: staticcheck [--root DIR] [--json FILE]\n";
+            std::cout << "usage: staticcheck [--root DIR] [--json FILE] [--sarif FILE] "
+                         "[--jobs N]\n";
             return 0;
         } else {
             std::cerr << "staticcheck: unknown argument '" << arg << "'\n";
@@ -65,7 +86,7 @@ int main(int argc, char** argv) {
     staticcheck::Tree tree;
     if (!staticcheck::load_tree(root, tree)) return 2;
 
-    std::vector<staticcheck::Finding> findings = staticcheck::run_all_rules(tree);
+    std::vector<staticcheck::Finding> findings = staticcheck::run_all_rules(tree, jobs);
     for (const staticcheck::Finding& f : findings) {
         std::cout << f.rel << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
     }
@@ -85,6 +106,15 @@ int main(int argc, char** argv) {
                << "\", \"message\": \"" << json_escape(f.message) << "\"}";
         }
         js << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+    }
+
+    if (!sarif_path.empty()) {
+        std::ofstream sf(sarif_path);
+        if (!sf) {
+            std::cerr << "staticcheck: cannot write " << sarif_path << "\n";
+            return 2;
+        }
+        staticcheck::write_sarif(sf, root, findings);
     }
 
     if (findings.empty()) {

@@ -214,6 +214,11 @@ struct Parser {
         m.name = std::string(last.text);
         m.line = last.line;
         m.type = flatten(toks, begin, decl_end - 1);
+        // guarded_by(mutex_) annotation: trailing comment on the declaration
+        // line, or a comment on the line above it.
+        for (const Annotation& a : file.lex.annotations) {
+            if (a.line == m.line || a.line + 1 == m.line) m.guarded_by = a.mutex;
+        }
         std::string_view prev = decl_end >= 2 ? toks[decl_end - 2].text : std::string_view{};
         m.is_value = prev != "*" && prev != "&" &&
                      m.type.find("_ptr") == std::string::npos;  // smart ptrs point elsewhere

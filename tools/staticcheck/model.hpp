@@ -38,6 +38,7 @@ struct MemberVar {
     std::string type;      // flattened type tokens, e.g. "sim::EventId"
     bool is_value = false; // value member (not a reference, not a pointer)
     int line = 0;
+    std::string guarded_by;  // mutex member named by a guarded_by(...) comment
 };
 
 // A function body: [begin, end) token indices into its file's token stream.
@@ -80,6 +81,8 @@ struct Finding {
     int line = 0;
     std::string rule;
     std::string message;
+    // Back-pointer for the central waiver filter (not serialized).
+    const SourceFile* file = nullptr;
 };
 
 } // namespace staticcheck

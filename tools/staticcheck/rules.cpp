@@ -1,9 +1,14 @@
 #include "rules.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+
+#include "dataflow.hpp"
 
 namespace staticcheck {
 
@@ -13,10 +18,12 @@ namespace {
 // Shared helpers
 // ---------------------------------------------------------------------------
 
+// Rules report unconditionally; the waiver table is applied centrally in
+// run_all_rules() so used waivers can be tracked (and unused ones reported
+// as waiver.stale).
 void report(std::vector<Finding>& out, const SourceFile& file, int line,
             const char* rule, std::string message) {
-    if (file.waived(line, rule)) return;
-    out.push_back({file.rel, line, rule, std::move(message)});
+    out.push_back({file.rel, line, rule, std::move(message), &file});
 }
 
 // ---------------------------------------------------------------------------
@@ -130,39 +137,34 @@ void rule_include_cycle(const Tree& tree, std::vector<Finding>& out) {
 // runtime auditor hook.
 // ---------------------------------------------------------------------------
 
-void rule_state_funnel(const Tree& tree, std::vector<Finding>& out) {
-    for (const auto& [name, cls] : tree.classes) {
-        const MemberVar* state = cls.find_member("state_");
-        if (state == nullptr || state->type.find("TcpState") == std::string::npos) continue;
-        for (const FunctionBody& fn : cls.functions) {
-            const auto& toks = fn.file->lex.tokens;
-            for (std::size_t i = fn.begin; i + 1 < fn.end; ++i) {
-                if (toks[i].text != "state_" || toks[i + 1].text != "=") continue;
-                // Skip declarations of locals shadowing the member
-                // (`TcpState state_ = ...` — type token right before).
-                if (i > 0 && toks[i - 1].kind == TokKind::kIdent) continue;
-                report(out, *fn.file, toks[i].line, "state-funnel",
-                       "direct write to " + name + "::state_ in " + fn.name +
-                           "(); all transitions must go through the transition() "
-                           "funnel so tcp/state_machine.hpp and the invariant "
-                           "auditor see them");
-            }
+void rule_state_funnel(const ClassModel& cls, std::vector<Finding>& out) {
+    const MemberVar* state = cls.find_member("state_");
+    if (state == nullptr || state->type.find("TcpState") == std::string::npos) return;
+    for (const FunctionBody& fn : cls.functions) {
+        const auto& toks = fn.file->lex.tokens;
+        for (std::size_t i = fn.begin; i + 1 < fn.end; ++i) {
+            if (toks[i].text != "state_" || toks[i + 1].text != "=") continue;
+            // Skip declarations of locals shadowing the member
+            // (`TcpState state_ = ...` — type token right before).
+            if (i > 0 && toks[i - 1].kind == TokKind::kIdent) continue;
+            report(out, *fn.file, toks[i].line, "state-funnel",
+                   "direct write to " + cls.name + "::state_ in " + fn.name +
+                       "(); all transitions must go through the transition() "
+                       "funnel so tcp/state_machine.hpp and the invariant "
+                       "auditor see them");
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Rule: event-lifecycle
+// Rule: event-lifecycle — destructor coverage
 //
-// Flow-aware checks on sim::EventId members:
-//   (a) a cancel(member_) must be followed, within the next three
-//       statements, by an assignment to that member (kInvalidEventId or a
-//       reschedule) — a cancelled-but-armed id silently no-ops the next
-//       cancel after the slot is reused;
-//   (b) every class with EventId members needs a user-provided destructor
-//       that cancels each of them, directly or through member functions it
-//       calls (e.g. ~X() { stop(); }): pending timers fire [this]-capturing
-//       callbacks into freed memory otherwise.
+// Every class with sim::EventId members needs a user-provided destructor
+// that cancels each of them, directly or through member functions it calls
+// (e.g. ~X() { stop(); }): pending timers fire [this]-capturing callbacks
+// into freed memory otherwise. The per-path cancel/reset/overwrite checks
+// that used to sit next to this (the fixed three-statement window) now run
+// flow-sensitively in dataflow.cpp (rule_event_dataflow).
 // ---------------------------------------------------------------------------
 
 // Member names of `sim::EventId` type in the class.
@@ -177,8 +179,7 @@ std::set<std::string> event_members(const ClassModel& cls) {
 // Members of `events` cancelled in [begin, end): idents inside the argument
 // list of a call whose callee token is `cancel`.
 std::set<std::string> cancels_in_range(const std::vector<Token>& toks, std::size_t begin,
-                                       std::size_t end, const std::set<std::string>& events,
-                                       std::vector<std::pair<std::string, std::size_t>>* sites) {
+                                       std::size_t end, const std::set<std::string>& events) {
     std::set<std::string> out;
     for (std::size_t i = begin; i + 1 < end; ++i) {
         if (toks[i].text != "cancel" || toks[i + 1].text != "(") continue;
@@ -188,9 +189,7 @@ std::set<std::string> cancels_in_range(const std::vector<Token>& toks, std::size
             else if (toks[j].text == ")") {
                 if (--depth == 0) break;
             } else if (toks[j].kind == TokKind::kIdent && events.count(std::string(toks[j].text))) {
-                std::string name(toks[j].text);
-                out.insert(name);
-                if (sites != nullptr) sites->push_back({name, i});
+                out.insert(std::string(toks[j].text));
             }
         }
     }
@@ -217,128 +216,47 @@ std::set<std::string> self_calls(const ClassModel& cls, const std::vector<Token>
     return out;
 }
 
-void rule_event_lifecycle(const Tree& tree, std::vector<Finding>& out) {
-    for (const auto& [name, cls] : tree.classes) {
-        std::set<std::string> events = event_members(cls);
-        if (events.empty()) continue;
+void rule_event_dtor_coverage(const ClassModel& cls, std::vector<Finding>& out) {
+    std::set<std::string> events = event_members(cls);
+    if (events.empty()) return;
 
-        // (a) stale-cancel window.
-        for (const FunctionBody& fn : cls.functions) {
-            const auto& toks = fn.file->lex.tokens;
-            std::vector<std::pair<std::string, std::size_t>> sites;
-            cancels_in_range(toks, fn.begin, fn.end, events, &sites);
-            for (const auto& [member, at] : sites) {
-                int statements = 0;
-                bool reset = false;
-                for (std::size_t j = at; j < fn.end && statements <= 3; ++j) {
-                    if (toks[j].text == ";") ++statements;
-                    if (statements >= 1 && j + 1 < fn.end && toks[j].text == member &&
-                        toks[j + 1].text == "=") {
-                        reset = true;
-                        break;
-                    }
-                }
-                if (!reset) {
-                    report(out, *fn.file, toks[at].line, "event-lifecycle",
-                           name + "::" + member + " is cancelled but not reset: assign "
-                           "sim::kInvalidEventId (or reschedule) within the next "
-                           "statements, or the stale id will alias a reused slot");
-                }
+    const std::string dtor_name = "~" + cls.name;
+    const FunctionBody* dtor = nullptr;
+    for (const FunctionBody& fn : cls.functions) {
+        if (fn.name == dtor_name) dtor = &fn;
+    }
+    if (dtor == nullptr) {
+        if (cls.declared_in != nullptr) {
+            report(out, *cls.declared_in, cls.line, "event-lifecycle",
+                   cls.name + " has sim::EventId members (" + *events.begin() +
+                       ", ...) but no destructor body that cancels them; pending "
+                       "timers would fire [this]-capturing callbacks after free");
+        }
+        return;
+    }
+    // Transitive closure of self-calls starting at the destructor.
+    std::set<std::string> visited{dtor->name};
+    std::vector<const FunctionBody*> work{dtor};
+    std::set<std::string> cancelled;
+    while (!work.empty()) {
+        const FunctionBody* fn = work.back();
+        work.pop_back();
+        const auto& toks = fn->file->lex.tokens;
+        auto c = cancels_in_range(toks, fn->begin, fn->end, events);
+        cancelled.insert(c.begin(), c.end());
+        for (const std::string& callee : self_calls(cls, toks, fn->begin, fn->end)) {
+            if (!visited.insert(callee).second) continue;
+            for (const FunctionBody& g : cls.functions) {
+                if (g.name == callee) work.push_back(&g);
             }
-        }
-
-        // (b) destructor coverage.
-        const std::string dtor_name = "~" + name;
-        const FunctionBody* dtor = nullptr;
-        for (const FunctionBody& fn : cls.functions) {
-            if (fn.name == dtor_name) dtor = &fn;
-        }
-        if (dtor == nullptr) {
-            if (cls.declared_in != nullptr) {
-                report(out, *cls.declared_in, cls.line, "event-lifecycle",
-                       name + " has sim::EventId members (" + *events.begin() +
-                           ", ...) but no destructor body that cancels them; pending "
-                           "timers would fire [this]-capturing callbacks after free");
-            }
-            continue;
-        }
-        // Transitive closure of self-calls starting at the destructor.
-        std::set<std::string> visited{dtor->name};
-        std::vector<const FunctionBody*> work{dtor};
-        std::set<std::string> cancelled;
-        while (!work.empty()) {
-            const FunctionBody* fn = work.back();
-            work.pop_back();
-            const auto& toks = fn->file->lex.tokens;
-            auto c = cancels_in_range(toks, fn->begin, fn->end, events, nullptr);
-            cancelled.insert(c.begin(), c.end());
-            for (const std::string& callee : self_calls(cls, toks, fn->begin, fn->end)) {
-                if (!visited.insert(callee).second) continue;
-                for (const FunctionBody& g : cls.functions) {
-                    if (g.name == callee) work.push_back(&g);
-                }
-            }
-        }
-        for (const std::string& m : events) {
-            if (cancelled.count(m)) continue;
-            report(out, *dtor->file, dtor->line, "event-lifecycle",
-                   dtor_name + "() does not cancel " + name + "::" + m +
-                       " (directly or via a called member function); a pending "
-                       "timer outliving the object is a use-after-free");
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: timer-rearm
-//
-// Adjacent cancel+reschedule on the same sim::EventId member. The pair
-//
-//     q.cancel(timer_);
-//     timer_ = q.schedule_at(when, ...);
-//
-// is exactly what EventQueue::rearm(timer_, when) does, minus the slot
-// churn (a slot release + reacquire and a torn-down/re-emplaced callback)
-// and minus the window in which the member holds a dead id. Flagged when a
-// cancel of an EventId member is followed within three statements by an
-// assignment of a schedule_at/schedule_after result to that same member.
-// Sites where cancel and reschedule are legitimately separate (different
-// queues, conditional teardown between them) carry a lint:allow waiver.
-// ---------------------------------------------------------------------------
-
-void rule_timer_rearm(const Tree& tree, std::vector<Finding>& out) {
-    for (const auto& [name, cls] : tree.classes) {
-        std::set<std::string> events = event_members(cls);
-        if (events.empty()) continue;
-        for (const FunctionBody& fn : cls.functions) {
-            const auto& toks = fn.file->lex.tokens;
-            std::vector<std::pair<std::string, std::size_t>> sites;
-            cancels_in_range(toks, fn.begin, fn.end, events, &sites);
-            for (const auto& [member, at] : sites) {
-                int statements = 0;
-                for (std::size_t j = at; j + 1 < fn.end && statements <= 3; ++j) {
-                    if (toks[j].text == ";") ++statements;
-                    if (statements < 1 || toks[j].text != member || toks[j + 1].text != "=")
-                        continue;
-                    // RHS of the assignment, up to its terminating ';'.
-                    bool reschedules = false;
-                    for (std::size_t k = j + 2; k < fn.end && toks[k].text != ";"; ++k) {
-                        if (toks[k].text == "schedule_at" || toks[k].text == "schedule_after") {
-                            reschedules = true;
-                            break;
-                        }
-                    }
-                    if (reschedules) {
-                        report(out, *fn.file, toks[at].line, "timer-rearm",
-                               name + "::" + fn.name + "() cancels " + member +
-                                   " and immediately reschedules it; use rearm(" + member +
-                                   ", when) — one call, no slot churn, identical FIFO "
-                                   "placement");
-                    }
-                    break;
-                }
-            }
-        }
+    for (const std::string& m : events) {
+        if (cancelled.count(m)) continue;
+        report(out, *dtor->file, dtor->line, "event-lifecycle",
+               dtor_name + "() does not cancel " + cls.name + "::" + m +
+                   " (directly or via a called member function); a pending "
+                   "timer outliving the object is a use-after-free");
     }
 }
 
@@ -363,27 +281,25 @@ bool has_teardown(const ClassModel& cls) {
     return false;
 }
 
-void rule_this_capture(const Tree& tree, std::vector<Finding>& out) {
-    for (const auto& [name, cls] : tree.classes) {
-        if (has_teardown(cls)) continue;
-        for (const FunctionBody& fn : cls.functions) {
-            const auto& toks = fn.file->lex.tokens;
-            for (std::size_t i = fn.begin; i + 2 < fn.end; ++i) {
-                if (toks[i].text != "[" || toks[i + 1].text != "this") continue;
-                if (toks[i + 2].text != "]" && toks[i + 2].text != ",") continue;
-                // Receiver exemption: `member_.method([this]...)` where
-                // member_ is a value member — its registrations die with us.
-                if (i >= fn.begin + 4 && toks[i - 1].text == "(" &&
-                    toks[i - 2].kind == TokKind::kIdent && toks[i - 3].text == ".") {
-                    const MemberVar* recv = cls.find_member(toks[i - 4].text);
-                    if (recv != nullptr && recv->is_value) continue;
-                }
-                report(out, *fn.file, toks[i].line, "this-capture",
-                       name + "::" + fn.name + "() registers a [this]-capturing "
-                       "callback but " + name + " has no teardown "
-                       "(detach_hooks()/stop()/destructor) to unregister it; the "
-                       "callback dangles if the object dies first");
+void rule_this_capture(const ClassModel& cls, std::vector<Finding>& out) {
+    if (has_teardown(cls)) return;
+    for (const FunctionBody& fn : cls.functions) {
+        const auto& toks = fn.file->lex.tokens;
+        for (std::size_t i = fn.begin; i + 2 < fn.end; ++i) {
+            if (toks[i].text != "[" || toks[i + 1].text != "this") continue;
+            if (toks[i + 2].text != "]" && toks[i + 2].text != ",") continue;
+            // Receiver exemption: `member_.method([this]...)` where
+            // member_ is a value member — its registrations die with us.
+            if (i >= fn.begin + 4 && toks[i - 1].text == "(" &&
+                toks[i - 2].kind == TokKind::kIdent && toks[i - 3].text == ".") {
+                const MemberVar* recv = cls.find_member(toks[i - 4].text);
+                if (recv != nullptr && recv->is_value) continue;
             }
+            report(out, *fn.file, toks[i].line, "this-capture",
+                   cls.name + "::" + fn.name + "() registers a [this]-capturing "
+                   "callback but " + cls.name + " has no teardown "
+                   "(detach_hooks()/stop()/destructor) to unregister it; the "
+                   "callback dangles if the object dies first");
         }
     }
 }
@@ -399,72 +315,177 @@ void rule_this_capture(const Tree& tree, std::vector<Finding>& out) {
 // see token boundaries and needed a pile of waivers.
 // ---------------------------------------------------------------------------
 
-void rule_seq_raw(const Tree& tree, std::vector<Finding>& out) {
-    for (const SourceFile& f : tree.files) {
-        if (f.rel.rfind("util/seq32", 0) == 0) continue;  // the implementation
-        const auto& toks = f.lex.tokens;
-        for (std::size_t i = 2; i + 2 < toks.size(); ++i) {
-            if (toks[i].text != "raw" || toks[i - 1].text != "." ||
-                toks[i + 1].text != "(" || toks[i + 2].text != ")") {
-                continue;
+void rule_seq_raw(const SourceFile& f, std::vector<Finding>& out) {
+    if (f.rel.rfind("util/seq32", 0) == 0) return;  // the implementation
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 2; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "raw" || toks[i - 1].text != "." ||
+            toks[i + 1].text != "(" || toks[i + 2].text != ")") {
+            continue;
+        }
+        const int line = toks[i].line;
+        // `x.raw() + ...` / `x.raw() - ...`
+        if (i + 3 < toks.size() &&
+            (toks[i + 3].text == "+" || toks[i + 3].text == "-")) {
+            report(out, f, line, "seq-raw",
+                   "arithmetic on .raw() sequence bits; use util::Seq32 "
+                   "operators or util::seq_delta()");
+            continue;
+        }
+        // `... + x.raw()` — walk back over the `a.b.raw` chain.
+        std::size_t s = i - 1;  // the '.'
+        while (s >= 2 && toks[s].text == "." && toks[s - 1].kind == TokKind::kIdent) {
+            if (s < 3 || toks[s - 2].text != ".") {
+                s = s - 1;  // chain starts at the ident
+                break;
             }
-            const int line = toks[i].line;
-            // `x.raw() + ...` / `x.raw() - ...`
-            if (i + 3 < toks.size() &&
-                (toks[i + 3].text == "+" || toks[i + 3].text == "-")) {
+            s -= 2;
+        }
+        if (s >= 1 && (toks[s - 1].text == "+" || toks[s - 1].text == "-")) {
+            report(out, f, line, "seq-raw",
+                   "arithmetic on .raw() sequence bits; use util::Seq32 "
+                   "operators or util::seq_delta()");
+            continue;
+        }
+        // `static_cast<...int32...>(x.raw())` — a raw serial-number delta
+        // hand-rolled at the call site.
+        if (s >= 2 && toks[s - 1].text == "(" && toks[s - 2].text == ">") {
+            bool cast = false, int32 = false;
+            for (std::size_t back = s >= 10 ? s - 10 : 0; back + 1 < s; ++back) {
+                if (toks[back].text == "static_cast") cast = true;
+                if (toks[back].text.find("int32") != std::string_view::npos) int32 = true;
+            }
+            if (cast && int32) {
                 report(out, f, line, "seq-raw",
-                       "arithmetic on .raw() sequence bits; use util::Seq32 "
-                       "operators or util::seq_delta()");
-                continue;
-            }
-            // `... + x.raw()` — walk back over the `a.b.raw` chain.
-            std::size_t s = i - 1;  // the '.'
-            while (s >= 2 && toks[s].text == "." && toks[s - 1].kind == TokKind::kIdent) {
-                if (s < 3 || toks[s - 2].text != ".") {
-                    s = s - 1;  // chain starts at the ident
-                    break;
-                }
-                s -= 2;
-            }
-            if (s >= 1 && (toks[s - 1].text == "+" || toks[s - 1].text == "-")) {
-                report(out, f, line, "seq-raw",
-                       "arithmetic on .raw() sequence bits; use util::Seq32 "
-                       "operators or util::seq_delta()");
-                continue;
-            }
-            // `static_cast<...int32...>(x.raw())` — a raw serial-number delta
-            // hand-rolled at the call site.
-            if (s >= 2 && toks[s - 1].text == "(" && toks[s - 2].text == ">") {
-                bool cast = false, int32 = false;
-                for (std::size_t back = s >= 10 ? s - 10 : 0; back + 1 < s; ++back) {
-                    if (toks[back].text == "static_cast") cast = true;
-                    if (toks[back].text.find("int32") != std::string_view::npos) int32 = true;
-                }
-                if (cast && int32) {
-                    report(out, f, line, "seq-raw",
-                           "static_cast of .raw() to a signed delta; use "
-                           "util::seq_delta()");
-                }
+                       "static_cast of .raw() to a signed delta; use "
+                       "util::seq_delta()");
             }
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Waiver filtering + waiver.stale
+// ---------------------------------------------------------------------------
+
+// Every rule id staticcheck can fire. A waiver naming any other rule (e.g.
+// tools/lint.py's payload-alloc / impairment-api, which share the syntax)
+// is not ours to judge and is never reported stale. `waiver.stale` waivers
+// are likewise exempt from the staleness check (no second-order reports).
+const std::set<std::string>& known_rules() {
+    static const std::set<std::string> kRules = {
+        "layer-dag",   "include-cycle", "state-funnel", "event-lifecycle",
+        "timer-rearm", "this-capture",  "seq-raw",      "guarded-by",
+        "payload-move",
+    };
+    return kRules;
+}
+
+// True if some waiver in f.file covers the finding; every covering waiver
+// (line-scoped and whole-file alike) is marked used.
+bool filter_and_mark(const Finding& f, std::set<const Waiver*>& used) {
+    if (f.file == nullptr) return false;
+    bool waived = false;
+    for (const Waiver& w : f.file->lex.waivers) {
+        if (w.rule != f.rule) continue;
+        if (w.whole_file || w.line == f.line || w.line + 1 == f.line) {
+            used.insert(&w);
+            waived = true;
+        }
+    }
+    return waived;
+}
+
 } // namespace
 
-std::vector<Finding> run_all_rules(const Tree& tree) {
+std::vector<Finding> run_all_rules(const Tree& tree, int jobs) {
+    // Work units: one global unit (whole-tree graph rules), one per class,
+    // one per file. Each unit writes into its own findings vector, so the
+    // merge order — and therefore the final output — is independent of
+    // which thread ran what.
+    std::vector<const ClassModel*> classes;
+    classes.reserve(tree.classes.size());
+    for (const auto& [name, cls] : tree.classes) classes.push_back(&cls);
+
+    std::vector<std::function<void(std::vector<Finding>&)>> units;
+    units.push_back([&tree](std::vector<Finding>& out) {
+        rule_layer_dag(tree, out);
+        rule_include_cycle(tree, out);
+    });
+    for (const ClassModel* cls : classes) {
+        units.push_back([cls](std::vector<Finding>& out) {
+            rule_state_funnel(*cls, out);
+            rule_event_dtor_coverage(*cls, out);
+            rule_event_dataflow(*cls, out);
+            rule_guarded_by(*cls, out);
+            rule_this_capture(*cls, out);
+            rule_payload_move_class(*cls, out);
+        });
+    }
+    for (const SourceFile& f : tree.files) {
+        units.push_back([&tree, &f](std::vector<Finding>& out) {
+            rule_seq_raw(f, out);
+            rule_payload_move_free(f, tree.free_functions, out);
+        });
+    }
+
+    std::vector<std::vector<Finding>> results(units.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < units.size(); ++i) units[i](results[i]);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&units, &results, &next] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= units.size()) return;
+                units[i](results[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        const int n = std::min<int>(jobs, static_cast<int>(units.size()));
+        pool.reserve(static_cast<std::size_t>(n));
+        for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+        for (std::thread& th : pool) th.join();
+    }
+
+    std::vector<Finding> merged;
+    for (std::vector<Finding>& r : results) {
+        for (Finding& f : r) merged.push_back(std::move(f));
+    }
+
+    // Central waiver filter (serial — determinism is free here).
+    std::set<const Waiver*> used;
     std::vector<Finding> out;
-    rule_layer_dag(tree, out);
-    rule_include_cycle(tree, out);
-    rule_state_funnel(tree, out);
-    rule_event_lifecycle(tree, out);
-    rule_timer_rearm(tree, out);
-    rule_this_capture(tree, out);
-    rule_seq_raw(tree, out);
+    for (Finding& f : merged) {
+        if (!filter_and_mark(f, used)) out.push_back(std::move(f));
+    }
+
+    // waiver.stale: a waiver for one of our rules that suppressed nothing
+    // is dead weight — and worse, it reads as "this site has a known
+    // finding" when it does not. Stale findings themselves honor waivers
+    // (`// lint:allow waiver.stale -- kept for an upcoming change`).
+    for (const SourceFile& f : tree.files) {
+        for (const Waiver& w : f.lex.waivers) {
+            if (known_rules().count(w.rule) == 0) continue;
+            if (used.count(&w) != 0) continue;
+            Finding stale{f.rel, w.line, "waiver.stale",
+                          "waiver for '" + w.rule + "' never suppresses a finding" +
+                              (w.whole_file ? " anywhere in this file" : " on this line") +
+                              "; delete it (or fix the rule name if it was a typo)",
+                          &f};
+            if (!filter_and_mark(stale, used)) out.push_back(std::move(stale));
+        }
+    }
+
+    // Message is the final sort key so that when two different messages land
+    // on the same (file, line, rule) — e.g. a use-after-cancel seen from two
+    // CFG nodes — the survivor of the dedupe below is deterministic, keeping
+    // output byte-identical across --jobs values.
     std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
         if (a.rel != b.rel) return a.rel < b.rel;
         if (a.line != b.line) return a.line < b.line;
-        return a.rule < b.rule;
+        if (a.rule != b.rule) return a.rule < b.rule;
+        return a.message < b.message;
     });
     // One finding per (file, line, rule) — e.g. `a.raw() - b.raw()` matches
     // the adjacency pattern on both operands.

@@ -1,7 +1,11 @@
-// The protocol lint rules. Each rule is a pure function of the Tree; all
-// findings are filtered through the waiver table (// lint:allow <rule> --
-// reason, or // lint:allow-file <rule> -- reason) before being returned.
-// DESIGN.md §10 documents every rule and the waiver syntax.
+// The protocol lint rules. Structural rules live in rules.cpp; the
+// flow-sensitive rules (event-lifecycle dataflow, timer-rearm, guarded-by,
+// payload-move) live in dataflow.cpp on top of cfg.hpp. Rules emit raw
+// findings; run_all_rules() then applies the waiver table centrally
+// (// lint:allow <rule> -- reason, or // lint:allow-file <rule> -- reason),
+// reports waivers that never fire as `waiver.stale`, sorts and dedupes.
+// DESIGN.md §10 documents the structural rules and the waiver syntax,
+// §12 the dataflow rules.
 #pragma once
 
 #include <vector>
@@ -10,7 +14,10 @@
 
 namespace staticcheck {
 
-// Runs every rule over the tree; findings are sorted by (file, line).
-[[nodiscard]] std::vector<Finding> run_all_rules(const Tree& tree);
+// Runs every rule over the tree with `jobs` worker threads (<= 1: serial).
+// Output is byte-identical for every jobs value: findings are merged, then
+// waiver-filtered, sorted by (file, line, rule, message) and deduped on
+// (file, line, rule) as one serial post-pass.
+[[nodiscard]] std::vector<Finding> run_all_rules(const Tree& tree, int jobs = 1);
 
 } // namespace staticcheck

@@ -1,0 +1,86 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+namespace staticcheck {
+
+namespace {
+
+std::string sarif_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void write_sarif(std::ostream& os, const std::string& root,
+                 const std::vector<Finding>& findings) {
+    // std::set gives the sorted, unique rule table.
+    std::set<std::string> rules;
+    for (const Finding& f : findings) rules.insert(f.rule);
+
+    os << "{\n"
+       << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"staticcheck\",\n"
+       << "          \"informationUri\": \"DESIGN.md\",\n"
+       << "          \"rules\": [";
+    bool first = true;
+    for (const std::string& r : rules) {
+        os << (first ? "" : ",") << "\n            {\"id\": \"" << sarif_escape(r) << "\"}";
+        first = false;
+    }
+    os << (rules.empty() ? "" : "\n          ") << "]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"originalUriBaseIds\": {\n"
+       << "        \"ROOT\": {\"uri\": \"" << sarif_escape(root) << "/\"}\n"
+       << "      },\n"
+       << "      \"results\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        os << (i == 0 ? "" : ",") << "\n        {\n"
+           << "          \"ruleId\": \"" << sarif_escape(f.rule) << "\",\n"
+           << "          \"level\": \"error\",\n"
+           << "          \"message\": {\"text\": \"" << sarif_escape(f.message) << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \"" << sarif_escape(f.rel)
+           << "\", \"uriBaseId\": \"ROOT\"},\n"
+           << "                \"region\": {\"startLine\": " << f.line << "}\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]\n"
+           << "        }";
+    }
+    os << (findings.empty() ? "" : "\n      ") << "]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+}
+
+} // namespace staticcheck

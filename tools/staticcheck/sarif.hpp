@@ -1,0 +1,20 @@
+// SARIF 2.1.0 output for staticcheck findings — the minimal single-run
+// shape (tool.driver + results with one physical location each) that code
+// hosts and editors ingest. The writer is deterministic: findings arrive
+// already sorted from run_all_rules() and the rule table is the sorted set
+// of rule ids that actually fired, so identical trees produce identical
+// bytes (the golden-file test in tests/staticcheck pins this).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace staticcheck {
+
+void write_sarif(std::ostream& os, const std::string& root,
+                 const std::vector<Finding>& findings);
+
+} // namespace staticcheck
