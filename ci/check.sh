@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full correctness gate for the ST-TCP repo. Runs everything a PR must pass:
 #
-#   1. default build (invariant auditor ON) + full ctest suite
+#   1. default build (invariant auditor ON) + full ctest suite + the
+#      conformance wire-script suite (tests/conform/scripts) replayed under
+#      both EventQueue backends with byte-identical-trace enforcement
 #   2. chaos soak: 200 seeded trials + a deliberate failure-pipeline demo
 #      (reproduce-by-seed and shrink must themselves work)
 #   3. hardened-warnings build: -Werror -Wshadow -Wconversion -Wswitch-enum
@@ -17,7 +19,9 @@
 # state-funnel, flow-sensitive event lifecycle, [this]-capture, seq-raw,
 # timer-rearm, guarded-by, payload-move, waiver.stale) over src/ with a
 # --json report per profile — the analyzer must agree with itself in every
-# compiler configuration; step 1 additionally emits a SARIF report.
+# compiler configuration; step 1 additionally emits a SARIF report. The same
+# three steps replay the conformance script suite with --compare-backends, so
+# the wheel/heap wire-trace identity also holds under -Werror and sanitizers.
 #   7. clang-tidy over files changed vs the merge base (skipped with a notice
 #      when clang-tidy is not installed)
 #   8. parallel-soak identity: --jobs 4 output must be byte-identical to
@@ -40,6 +44,10 @@ cmake --build build-ci -j"$JOBS"
 build-ci/tools/staticcheck/staticcheck --root src \
     --json build-ci/staticcheck.json --sarif build-ci/staticcheck.sarif
 ctest --test-dir build-ci --output-on-failure -j"$JOBS"
+# Conformance wire scripts under BOTH EventQueue backends: --compare-backends
+# replays every script twice and fails unless the per-script wire traces are
+# byte-identical (the scheduler may never be observable on the wire).
+build-ci/tools/sttcp_conform --compare-backends --dir tests/conform/scripts
 
 step "2/9 chaos soak: 200 trials + failure-pipeline demo"
 build-ci/tools/sttcp_soak --trials 200 --seed-base 1
@@ -53,6 +61,7 @@ cmake -B build-ci-werror -S . -DSTTCP_WERROR=ON >/dev/null
 cmake --build build-ci-werror -j"$JOBS"
 build-ci-werror/tools/staticcheck/staticcheck --root src --json build-ci-werror/staticcheck.json
 build-ci-werror/tools/sttcp_soak --trials 200 --seed-base 1
+build-ci-werror/tools/sttcp_conform --compare-backends --dir tests/conform/scripts
 
 step "4/9 sanitizer build (ASan+UBSan) + tests + soak"
 cmake -B build-ci-asan -S . -DSTTCP_SANITIZE=ON >/dev/null
@@ -60,6 +69,7 @@ cmake --build build-ci-asan -j"$JOBS"
 build-ci-asan/tools/staticcheck/staticcheck --root src --json build-ci-asan/staticcheck.json
 ctest --test-dir build-ci-asan --output-on-failure -j"$JOBS"
 build-ci-asan/tools/sttcp_soak --trials 200 --seed-base 1
+build-ci-asan/tools/sttcp_conform --compare-backends --dir tests/conform/scripts
 
 step "5/9 ThreadSanitizer build + sharded soak smoke (--jobs 4)"
 cmake -B build-ci-tsan -S . -DSTTCP_SANITIZE=thread >/dev/null

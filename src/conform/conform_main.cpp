@@ -1,0 +1,134 @@
+// tools/sttcp_conform — wire-script conformance runner.
+//
+//   sttcp_conform script.pkt...            run scripts, report pass/fail
+//   sttcp_conform --dir tests/conform/scripts
+//                                          run every *.pkt under a directory
+//   --backend wheel|heap                   pick the EventQueue backend
+//   --compare-backends                     run each script under BOTH
+//                                          backends and require the wire
+//                                          traces to be byte-identical
+//   --record script.pkt                    replay the script's inject/app
+//                                          steps and print it back with
+//                                          observed `expect` lines (golden
+//                                          script bootstrapping)
+//   --trace                                print each script's wire trace
+//
+// Exit code 0 iff every script passed (and, with --compare-backends, every
+// trace pair matched).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conform/engine.hpp"
+
+namespace {
+
+using sttcp::conform::RunOptions;
+using sttcp::conform::RunResult;
+
+std::string read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "sttcp_conform: cannot open " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int usage() {
+    std::cerr << "usage: sttcp_conform [--backend wheel|heap] [--compare-backends] [--record]\n"
+                 "                     [--trace] (--dir DIR | script.pkt...)\n";
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    RunOptions opts;
+    bool compare_backends = false;
+    bool print_trace = false;
+    std::vector<std::filesystem::path> scripts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--backend") {
+            if (++i >= argc) return usage();
+            std::string b = argv[i];
+            if (b == "wheel") opts.backend = sttcp::sim::EventQueue::Backend::kWheel;
+            else if (b == "heap") opts.backend = sttcp::sim::EventQueue::Backend::kHeap;
+            else return usage();
+        } else if (arg == "--compare-backends") {
+            compare_backends = true;
+        } else if (arg == "--record") {
+            opts.record = true;
+        } else if (arg == "--trace") {
+            print_trace = true;
+        } else if (arg == "--dir") {
+            if (++i >= argc) return usage();
+            for (const auto& entry : std::filesystem::directory_iterator(argv[i]))
+                if (entry.path().extension() == ".pkt") scripts.push_back(entry.path());
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            scripts.emplace_back(arg);
+        }
+    }
+    if (scripts.empty()) return usage();
+    std::sort(scripts.begin(), scripts.end());
+
+    int failures = 0;
+    for (const auto& path : scripts) {
+        std::string name = path.stem().string();
+        std::string text = read_file(path);
+        RunResult result = sttcp::conform::run_script_text(text, name, opts);
+
+        if (compare_backends && result.passed) {
+            RunOptions other = opts;
+            other.backend = opts.backend == sttcp::sim::EventQueue::Backend::kWheel
+                                ? sttcp::sim::EventQueue::Backend::kHeap
+                                : sttcp::sim::EventQueue::Backend::kWheel;
+            RunResult alt = sttcp::conform::run_script_text(text, name, other);
+            if (!alt.passed) {
+                result = alt;
+            } else if (alt.wire_trace != result.wire_trace) {
+                result.passed = false;
+                std::ostringstream os;
+                os << name << ": wire traces differ across EventQueue backends\n";
+                std::size_t n = std::max(result.wire_trace.size(), alt.wire_trace.size());
+                for (std::size_t j = 0; j < n; ++j) {
+                    const std::string* a =
+                        j < result.wire_trace.size() ? &result.wire_trace[j] : nullptr;
+                    const std::string* b = j < alt.wire_trace.size() ? &alt.wire_trace[j] : nullptr;
+                    if (a && b && *a == *b) continue;
+                    if (a) os << " - " << *a << "\n";
+                    if (b) os << " + " << *b << "\n";
+                }
+                result.failure = os.str();
+            }
+        }
+
+        if (!result.passed) {
+            ++failures;
+            std::cout << "FAIL " << name << "\n" << result.failure << "\n";
+        } else if (opts.record) {
+            std::cout << result.recorded;
+        } else {
+            std::cout << "ok   " << name << "\n";
+        }
+        if (print_trace)
+            for (const std::string& line : result.wire_trace) std::cout << "  " << line << "\n";
+    }
+
+    if (failures > 0) {
+        std::cout << failures << "/" << scripts.size() << " scripts failed\n";
+        return 1;
+    }
+    return 0;
+}

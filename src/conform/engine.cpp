@@ -1,0 +1,415 @@
+#include "conform/engine.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "conform/harness.hpp"
+
+namespace sttcp::conform {
+
+namespace {
+
+std::string canonical_flags_of(const net::TcpFlags& f) {
+    std::string out;
+    if (f.fin) out.push_back('F');
+    if (f.syn) out.push_back('S');
+    if (f.rst) out.push_back('R');
+    if (f.psh) out.push_back('P');
+    if (f.ack) out.push_back('.');
+    if (f.urg) out.push_back('U');
+    return out;
+}
+
+// Fully concrete pattern describing an observed segment (record + diffs).
+SegmentPattern pattern_of(const net::TcpSegment& seg) {
+    SegmentPattern p;
+    p.flags = canonical_flags_of(seg.flags);
+    p.seq_begin = seg.seq.raw();
+    p.len = static_cast<std::uint32_t>(seg.payload.size());
+    if (seg.flags.ack) p.ack = seg.ack.raw();
+    p.win = seg.window;
+    p.mss = seg.mss;
+    return p;
+}
+
+std::string fmt_secs(sim::Duration d, int decimals) {
+    double s = static_cast<double>(d.count()) / 1e9;
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, s);
+    return buf;
+}
+
+std::string fmt_at(sim::TimePoint t, int decimals = 6) {
+    return "+" + fmt_secs(t.time_since_epoch(), decimals);
+}
+
+std::string seq_range_of(const net::TcpSegment& seg) {
+    std::uint32_t len = static_cast<std::uint32_t>(seg.payload.size());
+    return std::to_string(seg.seq.raw()) + ":" + std::to_string((seg.seq + len).raw()) + "(" +
+           std::to_string(len) + ")";
+}
+
+// One canonical line per captured segment; the cross-backend determinism
+// gate compares these byte-for-byte, so everything here must be a pure
+// function of the capture (no wall-clock, no addresses-of).
+std::string wire_line(const Captured& c, const std::string& src_role) {
+    std::ostringstream os;
+    os << fmt_at(c.at, 9) << ' ' << src_role << ' ' << c.ip_src.to_string() << ':'
+       << c.seg.src_port << " > " << c.ip_dst.to_string() << ':' << c.seg.dst_port << ' '
+       << canonical_flags_of(c.seg.flags) << ' ' << seq_range_of(c.seg);
+    if (c.seg.flags.ack) os << " ack " << c.seg.ack.raw();
+    os << " win " << c.seg.window;
+    if (c.seg.mss) os << " <mss " << *c.seg.mss << '>';
+    return os.str();
+}
+
+// ---- matcher ---------------------------------------------------------------
+
+struct FieldDiff {
+    const char* name;
+    std::string expected;  // empty = wildcard
+    std::string observed;
+    bool ok;
+};
+
+std::vector<FieldDiff> diff_fields(const SegmentPattern& want, const net::TcpSegment& got) {
+    std::vector<FieldDiff> out;
+    auto row = [&out](const char* name, bool constrained, std::string exp, std::string obs,
+                      bool match) {
+        out.push_back({name, constrained ? std::move(exp) : std::string{}, std::move(obs),
+                       !constrained || match});
+    };
+    if (want.any) {
+        row("segment", false, "", "any", true);
+        return out;
+    }
+    std::string obs_flags = canonical_flags_of(got.flags);
+    row("flags", true, want.flags, obs_flags, want.flags == obs_flags);
+    {
+        std::string exp;
+        bool match = true;
+        if (want.seq_begin) {
+            std::uint32_t len = want.len.value_or(0);
+            exp = std::to_string(*want.seq_begin) + ":" + std::to_string(*want.seq_begin + len) +
+                  "(" + std::to_string(len) + ")";
+            match = got.seq.raw() == *want.seq_begin &&
+                    got.payload.size() == want.len.value_or(0);
+        }
+        row("seq", want.seq_begin.has_value(), std::move(exp), seq_range_of(got), match);
+    }
+    {
+        std::string obs = got.flags.ack ? std::to_string(got.ack.raw()) : "(no ack)";
+        bool match = got.flags.ack && want.ack && got.ack.raw() == *want.ack;
+        row("ack", want.ack.has_value(),
+            want.ack ? std::to_string(*want.ack) : std::string{}, std::move(obs), match);
+    }
+    row("win", want.win.has_value(), want.win ? std::to_string(*want.win) : std::string{},
+        std::to_string(got.window), want.win && got.window == *want.win);
+    {
+        std::string obs = got.mss ? std::to_string(*got.mss) : "(none)";
+        bool match = want.mss && got.mss && *got.mss == *want.mss;
+        row("mss", want.mss.has_value(),
+            want.mss ? std::to_string(*want.mss) : std::string{}, std::move(obs), match);
+    }
+    return out;
+}
+
+bool all_ok(const std::vector<FieldDiff>& d) {
+    for (const FieldDiff& f : d)
+        if (!f.ok) return false;
+    return true;
+}
+
+// Unified-diff-flavored field table: matching rows keep a ' ' prefix,
+// mismatching rows become a -expected/+observed pair.
+std::string render_diff(const std::vector<FieldDiff>& d) {
+    std::ostringstream os;
+    for (const FieldDiff& f : d) {
+        if (f.ok) {
+            os << "   " << f.name << "\t"
+               << (f.expected.empty() ? "* (any)" : f.expected) << "\tobserved " << f.observed
+               << "\n";
+        } else {
+            os << " - " << f.name << "\t" << f.expected << "\n";
+            os << " + " << f.name << "\t" << f.observed << "\n";
+        }
+    }
+    return os.str();
+}
+
+// ---- runner ----------------------------------------------------------------
+
+class Runner {
+public:
+    Runner(const Script& script, const RunOptions& opts) : script_(script), opts_(opts) {}
+
+    RunResult run() {
+        harness_ = make_harness(script_.directives, opts_.backend);
+        if (opts_.record)
+            for (const std::string& line : script_.header) rec_ << line << "\n";
+        try {
+            for (const Step& step : script_.steps) {
+                dispatch(step);
+                if (failed_) break;
+            }
+        } catch (const Harness::HarnessError& e) {
+            fail_step(*current_, e.message);
+        }
+        if (!failed_) {
+            if (opts_.record) record_drain();
+            else check_leftovers();
+        }
+        finalize();
+        return std::move(result_);
+    }
+
+private:
+    void dispatch(const Step& step) {
+        current_ = &step;
+        switch (step.kind) {
+            case StepKind::kInject:
+                advance_to(base_ + step.at);
+                harness_->inject(step.seg);
+                base_ += step.at;
+                emit_source(step);
+                return;
+            case StepKind::kExpect:
+                if (opts_.record) record_expect(step);
+                else check_expect(step);
+                return;
+            case StepKind::kExpectSilence: check_silence(step); return;
+            case StepKind::kFail:
+                advance_to(base_ + step.at);
+                harness_->fail(step.role);
+                base_ += step.at;
+                emit_source(step);
+                return;
+            case StepKind::kConnect:
+                advance_to(base_ + step.at);
+                harness_->app_connect();
+                base_ += step.at;
+                emit_source(step);
+                return;
+            case StepKind::kSend:
+                advance_to(base_ + step.at);
+                harness_->app_send(step.count);
+                base_ += step.at;
+                emit_source(step);
+                return;
+            case StepKind::kClose:
+                advance_to(base_ + step.at);
+                harness_->app_close();
+                base_ += step.at;
+                emit_source(step);
+                return;
+            case StepKind::kRun:
+                advance_to(base_ + step.at);
+                base_ += step.at;
+                emit_source(step);
+                return;
+        }
+    }
+
+    // ---- time & capture helpers -------------------------------------------
+
+    void advance_to(sim::TimePoint t) {
+        if (t > harness_->sim().now()) harness_->sim().run_until(t);
+    }
+
+    Captured* next_unconsumed() {
+        for (Captured& c : harness_->captured())
+            if (c.in_scope && !c.consumed) return &c;
+        return nullptr;
+    }
+
+    // Runs the simulation one event at a time until an unconsumed in-scope
+    // segment exists or virtual time passes `deadline`. Returns nullptr if
+    // none arrived (simulated time is then just past the deadline).
+    Captured* await_segment(sim::TimePoint deadline) {
+        for (;;) {
+            if (Captured* c = next_unconsumed()) return c;
+            if (harness_->sim().now() > deadline) return nullptr;
+            if (!harness_->sim().queue().step()) {
+                advance_to(deadline);
+                return next_unconsumed();
+            }
+        }
+    }
+
+    // ---- expect ------------------------------------------------------------
+
+    void check_expect(const Step& step) {
+        sim::TimePoint lo = base_ + step.at;
+        sim::TimePoint hi = base_ + step.until;
+        Captured* c = await_segment(hi);
+        if (c == nullptr) {
+            fail_step(step, "expected `" + to_dsl(step.seg) + "` in window [" +
+                                fmt_at(lo) + ", " + fmt_at(hi) +
+                                "], but no segment arrived");
+            return;
+        }
+        c->consumed = true;
+        if (c->at > hi) {
+            fail_step(step, "no segment inside window [" + fmt_at(lo) + ", " + fmt_at(hi) +
+                                "]; next segment only at " + fmt_at(c->at) + ":\n   " +
+                                to_dsl(pattern_of(c->seg)));
+            return;
+        }
+        if (c->at < lo) {
+            fail_step(step, "segment arrived at " + fmt_at(c->at) + ", before window [" +
+                                fmt_at(lo) + ", " + fmt_at(hi) + "]:\n   " +
+                                to_dsl(pattern_of(c->seg)));
+            return;
+        }
+        std::vector<FieldDiff> d = diff_fields(step.seg, c->seg);
+        if (!all_ok(d)) {
+            fail_step(step, "segment at " + fmt_at(c->at) + " does not match:\n" +
+                                "--- expected  " + to_dsl(step.seg) + "\n" +
+                                "+++ observed  " + to_dsl(pattern_of(c->seg)) + "\n" +
+                                render_diff(d));
+            return;
+        }
+        base_ = c->at;  // follow-up steps key off the observed time
+    }
+
+    // The window is left-open: base_ is the timestamp of the last matched
+    // event, so a frame at exactly base_ (e.g. the segment the preceding
+    // expect just consumed) is before the silence, not inside it.
+    void check_silence(const Step& step) {
+        sim::TimePoint lo = base_;
+        sim::TimePoint hi = base_ + step.until;
+        net::MacAddress mac = harness_->mac_of(step.role);
+        advance_to(hi);
+        for (const Captured& c : harness_->captured()) {
+            if (c.eth_src != mac || c.at <= lo || c.at > hi) continue;
+            fail_step(step, "expected silence from " + std::string(to_string(step.role)) +
+                                " in (" + fmt_at(lo) + ", " + fmt_at(hi) +
+                                "], but it transmitted at " + fmt_at(c.at) + ":\n   " +
+                                to_dsl(pattern_of(c.seg)));
+            return;
+        }
+        base_ = hi;
+        emit_source(step);
+    }
+
+    // Strict mode: every in-scope segment must have been consumed by an
+    // expect — an extra segment is as much a conformance failure as a
+    // missing one.
+    void check_leftovers() {
+        std::string extras;
+        int n = 0;
+        for (const Captured& c : harness_->captured()) {
+            if (!c.in_scope || c.consumed) continue;
+            ++n;
+            if (n <= 5)
+                extras += "   " + fmt_at(c.at) + "  " + to_dsl(pattern_of(c.seg)) + "\n";
+        }
+        if (n > 0) {
+            failed_ = true;
+            result_.passed = false;
+            result_.failure = script_.name + ": " + std::to_string(n) +
+                              " unconsumed in-scope segment(s) after the last step:\n" + extras +
+                              trace_tail();
+        }
+    }
+
+    // ---- record mode -------------------------------------------------------
+
+    void emit_source(const Step& step) {
+        if (opts_.record) rec_ << step.source << "\n";
+    }
+
+    void emit_expect(const Captured& c) {
+        sim::Duration rel = c.at > base_ ? c.at - base_ : sim::Duration{0};
+        sim::Duration lo = rel > opts_.record_pad ? rel - opts_.record_pad : sim::Duration{0};
+        rec_ << "+" << fmt_secs(lo, 6) << "..+" << fmt_secs(rel + opts_.record_pad, 6)
+             << " expect " << to_dsl(pattern_of(c.seg)) << "\n";
+    }
+
+    void record_expect(const Step& step) {
+        sim::Duration wait = step.until > sim::Duration{0} ? step.until : opts_.record_deadline;
+        Captured* c = await_segment(base_ + wait);
+        if (c == nullptr) {
+            fail_step(step, "record: no segment arrived within " + fmt_secs(wait, 6) + "s");
+            return;
+        }
+        c->consumed = true;
+        emit_expect(*c);
+        if (c->at > base_) base_ = c->at;
+    }
+
+    // Segments captured by the final steps but never consumed become
+    // trailing expect lines, so a recorded script is strict-complete.
+    void record_drain() {
+        for (Captured& c : harness_->captured()) {
+            if (!c.in_scope || c.consumed) continue;
+            c.consumed = true;
+            emit_expect(c);
+            if (c.at > base_) base_ = c.at;
+        }
+    }
+
+    // ---- reporting ---------------------------------------------------------
+
+    std::string trace_tail() const {
+        const std::vector<std::string>& t = harness_->trace();
+        std::size_t from = t.size() > 20 ? t.size() - 20 : 0;
+        std::string out = "frame trace (last " + std::to_string(t.size() - from) + " of " +
+                          std::to_string(t.size()) + "):\n";
+        for (std::size_t i = from; i < t.size(); ++i) out += "  " + t[i] + "\n";
+        return out;
+    }
+
+    void fail_step(const Step& step, const std::string& why) {
+        failed_ = true;
+        result_.passed = false;
+        result_.failure = script_.name + ":" + std::to_string(step.line) + ": " + step.source +
+                          "\n" + why + "\n" + trace_tail();
+    }
+
+    void finalize() {
+        for (const Captured& c : harness_->captured())
+            result_.wire_trace.push_back(wire_line(c, role_of(c.eth_src)));
+        if (opts_.record && result_.passed) result_.recorded = rec_.str();
+    }
+
+    std::string role_of(net::MacAddress src) const {
+        for (Role r : {Role::kStack, Role::kPrimary, Role::kBackup}) {
+            try {
+                if (harness_->mac_of(r) == src) return to_string(r);
+            } catch (const Harness::HarnessError&) {
+            }
+        }
+        return src.to_string();
+    }
+
+    const Script& script_;
+    const RunOptions& opts_;
+    std::unique_ptr<Harness> harness_;
+    sim::TimePoint base_{};
+    const Step* current_ = nullptr;
+    bool failed_ = false;
+    std::ostringstream rec_;
+    RunResult result_;
+};
+
+} // namespace
+
+RunResult run_script(const Script& script, const RunOptions& options) {
+    return Runner{script, options}.run();
+}
+
+RunResult run_script_text(const std::string& text, const std::string& name,
+                          const RunOptions& options) {
+    try {
+        Script script = parse_script(text, name);
+        return run_script(script, options);
+    } catch (const ParseError& e) {
+        RunResult r;
+        r.passed = false;
+        r.failure = name + ":" + std::to_string(e.line) + ": parse error: " + e.message;
+        return r;
+    }
+}
+
+} // namespace sttcp::conform

@@ -1,0 +1,49 @@
+// Wire-script runner: executes a parsed Script against a harness, matching
+// expectations inside virtual-time windows and reporting mismatches as a
+// unified field diff plus the recorded frame trace.
+//
+// Timing model ("base time"): each step's +T is relative to the script base,
+// which starts at t=0 and advances as steps complete. An `expect` advances
+// the base to the *observed* match time, so follow-up injects are keyed off
+// what actually happened — exactly how a human replays a tcpdump.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+#include "conform/script.hpp"
+
+namespace sttcp::conform {
+
+struct RunOptions {
+    sim::EventQueue::Backend backend = sim::EventQueue::Backend::kWheel;
+    // Record mode: expectations are not checked; every in-scope segment the
+    // stack emits is re-emitted as an expect line with a ±pad window.
+    bool record = false;
+    sim::Duration record_pad = sim::milliseconds{5};
+    // How long record mode waits on an unwindowed `+0 expect`.
+    sim::Duration record_deadline = sim::seconds{2};
+};
+
+struct RunResult {
+    bool passed = true;
+    std::string failure;  // first failure: message + field diff + trace tail
+
+    // Canonical one-line-per-segment decode of everything captured, in
+    // capture order with virtual timestamps — compared byte-for-byte across
+    // EventQueue backends by the determinism gate.
+    std::vector<std::string> wire_trace;
+
+    std::string recorded;  // record mode: the regenerated script text
+};
+
+// Parses + runs; any ParseError is converted into a failed result.
+[[nodiscard]] RunResult run_script_text(const std::string& text, const std::string& name,
+                                        const RunOptions& options = {});
+
+[[nodiscard]] RunResult run_script(const Script& script, const RunOptions& options = {});
+
+} // namespace sttcp::conform

@@ -1,0 +1,344 @@
+#include "conform/harness.hpp"
+
+// lint:allow-file this-capture -- the harness owns the simulation, links,
+// stacks, and engines its observer/accept/fencer callbacks are handed to;
+// all of them are members destroyed with the harness, so the captures
+// cannot dangle (same ownership argument as src/harness/ testbeds).
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "net/frame_trace.hpp"
+#include "net/ipv4.hpp"
+
+namespace sttcp::conform {
+
+namespace {
+
+// Fixed addressing plan, mirroring tests/test_support.hpp and HubTestbed so
+// traces read the same as everywhere else in the repo.
+constexpr net::Ipv4Address kPeerIp{10, 0, 0, 1};
+constexpr net::Ipv4Address kStackIp{10, 0, 0, 2};
+constexpr net::Ipv4Address kClientIp{10, 0, 0, 10};
+constexpr net::Ipv4Address kPrimaryIp{10, 0, 0, 2};
+constexpr net::Ipv4Address kBackupIp{10, 0, 0, 3};
+constexpr net::Ipv4Address kServiceIp{10, 0, 0, 100};
+
+net::MacAddress peer_mac() { return net::MacAddress::local(1); }
+net::MacAddress stack_mac() { return net::MacAddress::local(2); }
+net::MacAddress client_mac() { return net::MacAddress::local(10); }
+net::MacAddress primary_mac() { return net::MacAddress::local(2); }
+net::MacAddress backup_mac() { return net::MacAddress::local(3); }
+
+net::TcpFlags flags_from_dsl(const std::string& f) {
+    net::TcpFlags out;
+    out.fin = f.find('F') != std::string::npos;
+    out.syn = f.find('S') != std::string::npos;
+    out.rst = f.find('R') != std::string::npos;
+    out.psh = f.find('P') != std::string::npos;
+    out.ack = f.find('.') != std::string::npos;
+    out.urg = f.find('U') != std::string::npos;
+    return out;
+}
+
+tcp::TcpConfig tcp_config_from(const Directives& d) {
+    tcp::TcpConfig cfg;
+    if (d.mss) cfg.mss = *d.mss;
+    cfg.nagle = d.nagle;
+    cfg.delayed_ack = d.delayed_ack;
+    cfg.recv_buffer_size = d.recv_buffer;
+    cfg.msl = d.msl;
+    return cfg;
+}
+
+std::string fmt_time(sim::TimePoint t) {
+    double s = static_cast<double>(t.time_since_epoch().count()) / 1e9;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", s);
+    return buf;
+}
+
+} // namespace
+
+void Harness::record_frame(const net::EthernetFrame& frame, const net::FrameEndpoint& receiver,
+                           const net::FrameEndpoint& scripted, net::Ipv4Address scripted_ip) {
+    trace_.push_back("[" + fmt_time(sim_->now()) + " -> " + receiver.endpoint_name() + "] " +
+                     net::FrameTrace::describe(frame));
+    if (&receiver != &scripted) return;  // capture only deliveries to the scripted side
+    if (frame.type != net::EtherType::kIpv4) return;
+    try {
+        net::Ipv4Packet ip = net::Ipv4Packet::parse(frame.payload);
+        if (ip.proto != net::IpProto::kTcp) return;  // UDP control traffic is out of scope
+        Captured c;
+        c.at = sim_->now();
+        c.seg = net::TcpSegment::parse(ip.payload, ip.src, ip.dst);
+        c.eth_src = frame.src;
+        c.ip_src = ip.src;
+        c.ip_dst = ip.dst;
+        c.in_scope = ip.dst == scripted_ip;
+        captured_.push_back(std::move(c));
+    } catch (const util::WireError&) {
+        // Malformed frames never occur without impairments; ignore defensively.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crafting helpers shared by both harnesses
+// ---------------------------------------------------------------------------
+
+namespace {
+
+net::TcpSegment craft_segment(const SegmentPattern& p, std::uint16_t src_port,
+                              std::uint16_t dst_port,
+                              const std::function<std::uint8_t(std::uint32_t)>& byte_at) {
+    net::TcpSegment seg;
+    seg.src_port = src_port;
+    seg.dst_port = dst_port;
+    seg.flags = flags_from_dsl(p.flags);
+    seg.seq = util::Seq32{p.seq_begin.value_or(0)};
+    seg.ack = util::Seq32{p.ack.value_or(0)};
+    seg.window = static_cast<std::uint16_t>(p.win.value_or(65535));
+    seg.mss = p.mss;
+    std::uint32_t len = p.len.value_or(0);
+    seg.payload.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) seg.payload.push_back(byte_at(i));
+    return seg;
+}
+
+net::EthernetFrame frame_for(const net::TcpSegment& seg, net::MacAddress src_mac,
+                             net::MacAddress dst_mac, net::Ipv4Address src_ip,
+                             net::Ipv4Address dst_ip, std::uint16_t& ip_id) {
+    net::Ipv4Packet ip;
+    ip.proto = net::IpProto::kTcp;
+    ip.identification = ip_id++;
+    ip.src = src_ip;
+    ip.dst = dst_ip;
+    ip.payload = seg.serialize(src_ip, dst_ip);
+    net::EthernetFrame frame;
+    frame.dst = dst_mac;
+    frame.src = src_mac;
+    frame.type = net::EtherType::kIpv4;
+    frame.payload = util::SharedPayload{ip.serialize()};
+    return frame;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// StackHarness
+// ---------------------------------------------------------------------------
+
+StackHarness::StackHarness(const Directives& d, sim::EventQueue::Backend backend)
+    : directives_(d) {
+    sim_ = std::make_unique<sim::Simulation>(/*seed=*/1, backend);
+    stack_nic_ = std::make_unique<net::Nic>(stack_node_, "eth0", stack_mac());
+    link_ = std::make_unique<net::Link>(*sim_, net::LinkConfig{});
+    link_->attach(peer_, *stack_nic_);
+    link_->set_observer([this](const net::EthernetFrame& frame, const net::FrameEndpoint& rx) {
+        record_frame(frame, rx, peer_, kPeerIp);
+    });
+    stack_ = std::make_unique<tcp::HostStack>(*sim_, stack_node_, tcp_config_from(d));
+    stack_->add_interface(*stack_nic_, kStackIp, 24);
+    // Static ARP keeps ARP requests off the scripted wire entirely.
+    stack_->arp_table().add_static(kPeerIp, peer_mac());
+    std::uint32_t isn = d.stack_isn;
+    stack_->set_isn_generator([isn] { return util::Seq32{isn}; });
+    listener_ = stack_->tcp_listen(d.port);
+    listener_->set_accept_handler(
+        [this](std::shared_ptr<tcp::TcpConnection> c) { adopt(std::move(c)); });
+}
+
+void StackHarness::adopt(std::shared_ptr<tcp::TcpConnection> conn) {
+    conn_ = std::move(conn);
+    // Sink application: drain reads immediately so the advertised window is
+    // a pure function of the wire exchange, never of app scheduling.
+    tcp::TcpConnection::Callbacks cbs;
+    std::weak_ptr<tcp::TcpConnection> weak = conn_;
+    cbs.on_readable = [weak] {
+        auto c = weak.lock();
+        if (!c) return;
+        std::uint8_t buf[4096];
+        while (c->read(buf) > 0) {
+        }
+    };
+    conn_->set_callbacks(std::move(cbs));
+}
+
+void StackHarness::inject(const SegmentPattern& p) {
+    std::uint16_t src_port = directives_.peer_port;
+    std::uint16_t dst_port = directives_.port;
+    if (active_ && conn_) {
+        // Active open: the scripted peer is the server the stack dialled.
+        src_port = conn_->key().remote_port;
+        dst_port = conn_->key().local_port;
+    }
+    // Payload bytes are a pure function of absolute sequence position, so a
+    // scripted retransmission carries identical bytes.
+    std::uint32_t base = p.seq_begin.value_or(0);
+    net::TcpSegment seg = craft_segment(p, src_port, dst_port, [base](std::uint32_t i) {
+        return static_cast<std::uint8_t>(((base + i) * 131u + 7u) & 0xffu);
+    });
+    net::EthernetFrame frame =
+        frame_for(seg, peer_mac(), stack_mac(), kPeerIp, kStackIp, ip_id_);
+    link_->send_from(peer_, std::move(frame));
+}
+
+void StackHarness::fail(Role role) {
+    if (role != Role::kStack) throw HarnessError{"stack mode can only fail 'stack'"};
+    stack_node_.power_off();
+}
+
+net::MacAddress StackHarness::mac_of(Role role) const {
+    if (role != Role::kStack) throw HarnessError{"stack mode has no role 'primary'/'backup'"};
+    return stack_mac();
+}
+
+void StackHarness::app_connect() {
+    active_ = true;
+    auto conn = stack_->tcp_connect(kPeerIp, directives_.port);
+    adopt(std::move(conn));
+}
+
+void StackHarness::app_send(std::size_t n) {
+    if (!conn_) throw HarnessError{"send before any connection exists"};
+    util::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = static_cast<std::uint8_t>((i * 131u + 7u) & 0xffu);
+    std::size_t accepted = conn_->send(data);
+    if (accepted != n)
+        throw HarnessError{"send " + std::to_string(n) + ": send buffer accepted only " +
+                           std::to_string(accepted) + " bytes"};
+}
+
+void StackHarness::app_close() {
+    if (!conn_) throw HarnessError{"close before any connection exists"};
+    conn_->close();
+}
+
+// ---------------------------------------------------------------------------
+// TestbedHarness
+// ---------------------------------------------------------------------------
+
+TestbedHarness::TestbedHarness(const Directives& d, sim::EventQueue::Backend backend)
+    : directives_(d) {
+    sim_ = std::make_unique<sim::Simulation>(/*seed=*/1, backend);
+    hub_ = std::make_unique<net::Hub>(*sim_, "hub");
+    power_ = std::make_unique<net::PowerSwitch>(*sim_);
+    primary_nic_ = std::make_unique<net::Nic>(primary_node_, "eth0", primary_mac());
+    backup_nic_ = std::make_unique<net::Nic>(backup_node_, "eth0", backup_mac());
+    backup_nic_->set_promiscuous(true);  // the paper's hub tap (§6)
+
+    net::LinkConfig link_cfg;  // 100 Mbit/s, 5 us — timer-dominated scripts
+    client_link_ = &hub_->connect(client_, link_cfg);
+    hub_->connect(*primary_nic_, link_cfg);
+    hub_->connect(*backup_nic_, link_cfg);
+    client_link_->set_observer(
+        [this](const net::EthernetFrame& frame, const net::FrameEndpoint& rx) {
+            record_frame(frame, rx, client_, kClientIp);
+        });
+
+    tcp::TcpConfig tcp_cfg = tcp_config_from(d);
+    primary_ = std::make_unique<tcp::HostStack>(*sim_, primary_node_, tcp_cfg);
+    backup_ = std::make_unique<tcp::HostStack>(*sim_, backup_node_, tcp_cfg);
+    std::size_t primary_if = primary_->add_interface(*primary_nic_, kPrimaryIp, 24);
+    backup_->add_interface(*backup_nic_, kBackupIp, 24);
+    primary_->add_ip_alias(primary_if, kServiceIp);
+    primary_->arp_table().add_static(kClientIp, client_mac());
+    backup_->arp_table().add_static(kClientIp, client_mac());
+    std::uint32_t isn = d.stack_isn;
+    primary_->set_isn_generator([isn] { return util::Seq32{isn}; });
+    backup_->set_isn_generator([isn] { return util::Seq32{isn}; });
+
+    power_->manage(primary_node_);
+    power_->manage(backup_node_);
+
+    core::SttcpConfig sttcp_cfg;
+    sttcp_cfg.hb_interval = d.hb_interval;
+    sttcp_cfg.sync_time = d.sync_time;
+
+    core::SttcpPrimary::Options popts;
+    popts.config = sttcp_cfg;
+    popts.service_ip = kServiceIp;
+    popts.backup_ips = {kBackupIp};
+    st_primary_ = std::make_unique<core::SttcpPrimary>(*primary_, popts);
+    st_primary_->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+        power_->power_off("backup", std::move(done));
+    });
+
+    st_backup_ = std::make_unique<core::SttcpBackup>(
+        *backup_,
+        core::SttcpBackup::Options::single(sttcp_cfg, kServiceIp, kPrimaryIp, kBackupIp));
+    st_backup_->set_fencer([this](net::Ipv4Address, std::function<void()> done) {
+        power_->power_off("primary", std::move(done));
+    });
+
+    primary_listener_ = st_primary_->listen(d.port);
+    backup_listener_ = st_backup_->listen(d.port);
+    primary_app_.attach(*primary_listener_);
+    backup_app_.attach(*backup_listener_);
+    st_primary_->start();
+    st_backup_->start();
+
+    // Canonical client byte stream: one deterministic responder request
+    // followed by its upload body, so both replicas' applications accept
+    // whatever slice of it a script injects.
+    app::Request req{.id = 1,
+                     .response_size = d.workload_response,
+                     .upload_size = d.workload_upload};
+    client_stream_ = app::encode_request(req);
+    for (std::uint64_t off = 0; off < d.workload_upload; ++off)
+        client_stream_.push_back(app::upload_byte(req.id, off));
+}
+
+std::uint8_t TestbedHarness::stream_byte(std::uint64_t offset) const {
+    if (offset < client_stream_.size()) return client_stream_[offset];
+    // Past the declared workload: deterministic filler (scripts that only
+    // exercise the handshake/teardown never read it).
+    return static_cast<std::uint8_t>((offset * 131u + 7u) & 0xffu);
+}
+
+void TestbedHarness::inject(const SegmentPattern& p) {
+    std::uint32_t seq = p.seq_begin.value_or(0);
+    if (!syn_seen_ && p.flags.find('S') != std::string::npos) {
+        syn_seen_ = true;
+        client_isn_ = seq;
+    }
+    // Stream offset of payload byte 0: sequence distance from ISN+1 (the
+    // SYN consumes one sequence number).
+    std::uint32_t stream_base = seq - (client_isn_ + 1u);
+    net::TcpSegment seg =
+        craft_segment(p, directives_.peer_port, directives_.port, [this, stream_base](std::uint32_t i) {
+            return stream_byte(static_cast<std::uint64_t>(stream_base) + i);
+        });
+    // Addressed to the primary's MAC throughout: pre-takeover that is the
+    // service's real MAC, post-takeover the promiscuous backup still accepts
+    // the frames — exactly the paper's tap, so the script does not have to
+    // model the client's ARP cache update.
+    net::EthernetFrame frame =
+        frame_for(seg, client_mac(), primary_mac(), kClientIp, kServiceIp, ip_id_);
+    client_link_->send_from(client_, std::move(frame));
+}
+
+void TestbedHarness::fail(Role role) {
+    switch (role) {
+        case Role::kPrimary: primary_node_.power_off(); return;
+        case Role::kBackup: backup_node_.power_off(); return;
+        case Role::kStack: throw HarnessError{"testbed mode has no role 'stack'"};
+    }
+}
+
+net::MacAddress TestbedHarness::mac_of(Role role) const {
+    switch (role) {
+        case Role::kPrimary: return primary_mac();
+        case Role::kBackup: return backup_mac();
+        case Role::kStack: break;
+    }
+    throw HarnessError{"testbed mode has no role 'stack'"};
+}
+
+std::unique_ptr<Harness> make_harness(const Directives& d, sim::EventQueue::Backend backend) {
+    if (d.testbed) return std::make_unique<TestbedHarness>(d, backend);
+    return std::make_unique<StackHarness>(d, backend);
+}
+
+} // namespace sttcp::conform

@@ -1,0 +1,170 @@
+// Execution harnesses for wire scripts.
+//
+// Both harnesses expose the same surface to the engine: a deterministic
+// Simulation, a scripted wire endpoint that injects crafted frames, and a
+// capture log of every TCP segment delivered toward the scripted side of
+// the topology (which, on a hub, is every TCP segment on the LAN — exactly
+// the paper's tap argument, reused here as the conformance capture point).
+//
+//   StackHarness   — `mode stack`: one real HostStack on a point-to-point
+//                    link against a raw scripted peer endpoint. The peer's
+//                    IP is statically ARP-mapped on the stack so no ARP
+//                    traffic muddies the scripted exchange.
+//   TestbedHarness — `mode testbed`: hub + ST-TCP primary + promiscuous
+//                    tapping backup (paper §6), with the deterministic
+//                    ResponderApp attached to both service listeners and a
+//                    scripted client injecting slices of one canonical
+//                    request/upload byte stream.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/responder.hpp"
+#include "net/hub.hpp"
+#include "net/nic.hpp"
+#include "net/power_switch.hpp"
+#include "net/tcp_wire.hpp"
+#include "sim/simulation.hpp"
+#include "sttcp/backup.hpp"
+#include "sttcp/primary.hpp"
+#include "tcp/host_stack.hpp"
+
+#include "conform/script.hpp"
+
+namespace sttcp::conform {
+
+// One TCP segment seen at the capture point.
+struct Captured {
+    sim::TimePoint at{};
+    net::TcpSegment seg;
+    net::MacAddress eth_src;
+    net::Ipv4Address ip_src;
+    net::Ipv4Address ip_dst;
+    bool in_scope = false;  // addressed to the scripted endpoint's IP
+    bool consumed = false;  // matched by an expect step
+};
+
+class Harness {
+public:
+    virtual ~Harness() = default;
+
+    [[nodiscard]] sim::Simulation& sim() { return *sim_; }
+    [[nodiscard]] std::vector<Captured>& captured() { return captured_; }
+    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+
+    // Puts one crafted segment on the wire from the scripted endpoint.
+    // Ports and addresses are filled by the harness; `payload_len` bytes of
+    // the harness's canonical peer stream are sliced in at `seq_begin`.
+    virtual void inject(const SegmentPattern& seg) = 0;
+
+    // Crash-fails a node (pulls the plug; paper §4.4 crash semantics).
+    virtual void fail(Role role) = 0;
+
+    // MAC the given role transmits from (silence-scope attribution).
+    [[nodiscard]] virtual net::MacAddress mac_of(Role role) const = 0;
+
+    // Application-level verbs; stack mode only (the testbed's application is
+    // the deterministic responder, driven entirely by injected requests).
+    virtual void app_connect() { unsupported("connect"); }
+    virtual void app_send(std::size_t) { unsupported("send"); }
+    virtual void app_close() { unsupported("close"); }
+
+    struct HarnessError {
+        std::string message;
+    };
+
+protected:
+    [[noreturn]] static void unsupported(const std::string& verb) {
+        throw HarnessError{"verb '" + verb + "' is not supported in this mode"};
+    }
+
+    // Shared capture hook: called from the link observer of the scripted
+    // endpoint's link with every delivered frame.
+    void record_frame(const net::EthernetFrame& frame, const net::FrameEndpoint& receiver,
+                      const net::FrameEndpoint& scripted, net::Ipv4Address scripted_ip);
+
+    std::unique_ptr<sim::Simulation> sim_;
+    std::vector<Captured> captured_;
+    std::vector<std::string> trace_;
+};
+
+// The scripted side of the wire: a raw frame endpoint with no stack behind
+// it. Reception is handled by the link observer (capture); frames it emits
+// are crafted by the harness.
+class ScriptedEndpoint final : public net::FrameEndpoint {
+public:
+    explicit ScriptedEndpoint(std::string name) : name_(std::move(name)) {}
+    void handle_frame(const net::EthernetFrame&) override {}
+    [[nodiscard]] std::string endpoint_name() const override { return name_; }
+
+private:
+    std::string name_;
+};
+
+class StackHarness final : public Harness {
+public:
+    StackHarness(const Directives& d, sim::EventQueue::Backend backend);
+
+    void inject(const SegmentPattern& seg) override;
+    void fail(Role role) override;
+    [[nodiscard]] net::MacAddress mac_of(Role role) const override;
+    void app_connect() override;
+    void app_send(std::size_t n) override;
+    void app_close() override;
+
+private:
+    void adopt(std::shared_ptr<tcp::TcpConnection> conn);
+
+    Directives directives_;
+    net::Node stack_node_{"stack"};
+    std::unique_ptr<net::Nic> stack_nic_;
+    ScriptedEndpoint peer_{"peer/wire"};
+    std::unique_ptr<net::Link> link_;
+    std::unique_ptr<tcp::HostStack> stack_;
+    std::shared_ptr<tcp::TcpListener> listener_;
+    std::shared_ptr<tcp::TcpConnection> conn_;
+    bool active_ = false;  // script did `connect`: scripted peer is the server
+    std::uint16_t ip_id_ = 1;
+};
+
+class TestbedHarness final : public Harness {
+public:
+    TestbedHarness(const Directives& d, sim::EventQueue::Backend backend);
+
+    void inject(const SegmentPattern& seg) override;
+    void fail(Role role) override;
+    [[nodiscard]] net::MacAddress mac_of(Role role) const override;
+
+private:
+    [[nodiscard]] std::uint8_t stream_byte(std::uint64_t offset) const;
+
+    Directives directives_;
+    std::unique_ptr<net::Hub> hub_;
+    std::unique_ptr<net::PowerSwitch> power_;
+    net::Node primary_node_{"primary"};
+    net::Node backup_node_{"backup"};
+    std::unique_ptr<net::Nic> primary_nic_;
+    std::unique_ptr<net::Nic> backup_nic_;
+    ScriptedEndpoint client_{"client/wire"};
+    net::Link* client_link_ = nullptr;
+    std::unique_ptr<tcp::HostStack> primary_;
+    std::unique_ptr<tcp::HostStack> backup_;
+    std::unique_ptr<core::SttcpPrimary> st_primary_;
+    std::unique_ptr<core::SttcpBackup> st_backup_;
+    std::shared_ptr<tcp::TcpListener> primary_listener_;
+    std::shared_ptr<tcp::TcpListener> backup_listener_;
+    app::ResponderApp primary_app_;
+    app::ResponderApp backup_app_;
+    util::Bytes client_stream_;  // canonical request+upload byte stream
+    bool syn_seen_ = false;
+    std::uint32_t client_isn_ = 0;  // seq of the first injected SYN
+    std::uint16_t ip_id_ = 1;
+};
+
+// Factory: picks the harness for the script's mode.
+[[nodiscard]] std::unique_ptr<Harness> make_harness(const Directives& d,
+                                                    sim::EventQueue::Backend backend);
+
+} // namespace sttcp::conform

@@ -1,0 +1,319 @@
+// Lexer/parser for the conformance wire-script DSL (grammar: DESIGN.md §13).
+#include "conform/script.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace sttcp::conform {
+
+namespace {
+
+[[noreturn]] void fail(int line, std::string message) {
+    throw ParseError{line, std::move(message)};
+}
+
+// Splits a line into whitespace-separated tokens, dropping `#`/`//` comments.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '#' || (c == '/' && i + 1 < line.size() && line[i + 1] == '/')) break;
+        if (c == ' ' || c == '\t' || c == '\r') {
+            if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) out.push_back(std::move(cur));
+    return out;
+}
+
+std::uint64_t parse_u64(const std::string& tok, int line) {
+    std::uint64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || p != tok.data() + tok.size())
+        fail(line, "expected an unsigned integer, got '" + tok + "'");
+    return v;
+}
+
+std::uint32_t parse_u32(const std::string& tok, int line) {
+    std::uint64_t v = parse_u64(tok, line);
+    if (v > 0xffffffffull) fail(line, "value out of u32 range: '" + tok + "'");
+    return static_cast<std::uint32_t>(v);
+}
+
+// Seconds as a decimal ("0.05") to Duration. Strtod is fine here: script
+// times are human-written with a handful of digits.
+sim::Duration parse_seconds(const std::string& tok, int line) {
+    char* end = nullptr;
+    double s = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || s < 0)
+        fail(line, "expected a non-negative duration in seconds, got '" + tok + "'");
+    return sim::nanoseconds{static_cast<std::int64_t>(s * 1e9 + 0.5)};
+}
+
+// Time spec: "+T" or "+lo..+hi" (the second '+' is optional). Returns
+// (at, until, windowed).
+struct TimeSpec {
+    sim::Duration at{};
+    sim::Duration until{};
+    bool windowed = false;
+};
+
+TimeSpec parse_time(const std::string& tok, int line) {
+    if (tok.empty() || tok[0] != '+') fail(line, "step must start with a +time, got '" + tok + "'");
+    std::string body = tok.substr(1);
+    TimeSpec t;
+    auto dots = body.find("..");
+    if (dots == std::string::npos) {
+        t.at = parse_seconds(body, line);
+        return t;
+    }
+    std::string hi = body.substr(dots + 2);
+    if (!hi.empty() && hi[0] == '+') hi = hi.substr(1);
+    t.at = parse_seconds(body.substr(0, dots), line);
+    t.until = parse_seconds(hi, line);
+    t.windowed = true;
+    if (t.until < t.at) fail(line, "time window ends before it starts: '" + tok + "'");
+    return t;
+}
+
+Role parse_role(const std::string& tok, int line) {
+    if (tok == "stack") return Role::kStack;
+    if (tok == "primary") return Role::kPrimary;
+    if (tok == "backup") return Role::kBackup;
+    fail(line, "unknown role '" + tok + "' (stack|primary|backup)");
+}
+
+bool is_flags_token(const std::string& tok) {
+    if (tok.empty()) return false;
+    for (char c : tok)
+        if (c != 'F' && c != 'S' && c != 'R' && c != 'P' && c != '.' && c != 'U') return false;
+    return true;
+}
+
+// Canonical flag order, so diffs and recorded scripts are stable.
+std::string canonical_flags(const std::string& tok) {
+    std::string out;
+    for (char c : {'F', 'S', 'R', 'P', '.', 'U'})
+        if (tok.find(c) != std::string::npos) out.push_back(c);
+    return out;
+}
+
+// Parses segment tokens after `inject`/`expect`:
+//   FLAGS [a:b(len)] [ack N] [win N|*] [<mss N>]
+SegmentPattern parse_segment(const std::vector<std::string>& toks, std::size_t i, int line,
+                             bool is_expect) {
+    SegmentPattern p;
+    if (i < toks.size() && toks[i] == "*") {
+        if (!is_expect) fail(line, "'*' segment is only meaningful in expect");
+        p.any = true;
+        if (i + 1 != toks.size()) fail(line, "'*' takes no further fields");
+        return p;
+    }
+    if (i >= toks.size() || !is_flags_token(toks[i]))
+        fail(line, "expected a flags token (subset of FSRP.U)");
+    p.flags = canonical_flags(toks[i++]);
+    // Optional seq range a:b(len).
+    if (i < toks.size() && toks[i].find(':') != std::string::npos) {
+        const std::string& t = toks[i];
+        auto colon = t.find(':');
+        auto paren = t.find('(');
+        if (paren == std::string::npos || t.back() != ')' || paren < colon)
+            fail(line, "malformed seq range '" + t + "' (want a:b(len))");
+        std::uint32_t a = parse_u32(t.substr(0, colon), line);
+        std::uint32_t b = parse_u32(t.substr(colon + 1, paren - colon - 1), line);
+        std::uint32_t len = parse_u32(t.substr(paren + 1, t.size() - paren - 2), line);
+        if (b - a != len)
+            fail(line, "seq range length mismatch: " + t + " (b-a must equal len)");
+        p.seq_begin = a;
+        p.len = len;
+        ++i;
+    }
+    while (i < toks.size()) {
+        const std::string& t = toks[i];
+        if (t == "ack") {
+            if (i + 1 >= toks.size()) fail(line, "ack needs a value");
+            p.ack = parse_u32(toks[i + 1], line);
+            i += 2;
+        } else if (t == "win") {
+            if (i + 1 >= toks.size()) fail(line, "win needs a value (or *)");
+            if (toks[i + 1] != "*") p.win = parse_u32(toks[i + 1], line);
+            else if (!is_expect) fail(line, "win * is only meaningful in expect");
+            i += 2;
+        } else if (t == "<mss") {
+            if (i + 1 >= toks.size() || toks[i + 1].back() != '>')
+                fail(line, "malformed option (want <mss N>)");
+            std::string v = toks[i + 1].substr(0, toks[i + 1].size() - 1);
+            std::uint32_t mss = parse_u32(v, line);
+            if (mss > 0xffff) fail(line, "mss out of range");
+            p.mss = static_cast<std::uint16_t>(mss);
+            i += 2;
+        } else {
+            fail(line, "unexpected token '" + t + "' in segment spec");
+        }
+    }
+    if (!is_expect) {
+        if (!p.seq_begin) fail(line, "inject needs an explicit a:b(len) seq range");
+        if (p.flags.find('.') != std::string::npos && !p.ack)
+            fail(line, "inject with ACK flag needs an explicit ack value");
+    }
+    return p;
+}
+
+} // namespace
+
+std::string to_dsl(const SegmentPattern& p) {
+    if (p.any) return "*";
+    std::ostringstream os;
+    os << (p.flags.empty() ? "?" : p.flags);
+    if (p.seq_begin)
+        os << ' ' << *p.seq_begin << ':' << (*p.seq_begin + (p.len ? *p.len : 0)) << '('
+           << (p.len ? *p.len : 0) << ')';
+    if (p.ack) os << " ack " << *p.ack;
+    if (p.win) os << " win " << *p.win;
+    if (p.mss) os << " <mss " << *p.mss << '>';
+    return os.str();
+}
+
+Script parse_script(const std::string& text, std::string name) {
+    Script script;
+    script.name = std::move(name);
+    Directives& d = script.directives;
+
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    bool in_steps = false;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::vector<std::string> toks = tokenize(raw);
+        if (toks.empty()) {
+            if (!in_steps) script.header.push_back(raw);
+            continue;
+        }
+        const std::string& head = toks[0];
+
+        // ---- step lines ----------------------------------------------------
+        bool is_step = head[0] == '+' || head[0] == '@' || head == "expect-silence";
+        if (!is_step) {
+            // ---- directives ------------------------------------------------
+            if (in_steps) fail(line_no, "directive '" + head + "' after the first step");
+            script.header.push_back(raw);
+            auto want = [&](std::size_t n) {
+                if (toks.size() != n + 1)
+                    fail(line_no, "directive '" + head + "' wants " + std::to_string(n) +
+                                      " argument(s)");
+            };
+            if (head == "mode") {
+                want(1);
+                if (toks[1] == "stack") d.testbed = false;
+                else if (toks[1] == "testbed") d.testbed = true;
+                else fail(line_no, "mode must be stack|testbed");
+            } else if (head == "port") {
+                want(1);
+                d.port = static_cast<std::uint16_t>(parse_u32(toks[1], line_no));
+            } else if (head == "peer-port") {
+                want(1);
+                d.peer_port = static_cast<std::uint16_t>(parse_u32(toks[1], line_no));
+            } else if (head == "stack-isn") {
+                want(1);
+                d.stack_isn = parse_u32(toks[1], line_no);
+            } else if (head == "mss") {
+                want(1);
+                d.mss = static_cast<std::uint16_t>(parse_u32(toks[1], line_no));
+            } else if (head == "nagle") {
+                want(1);
+                d.nagle = toks[1] == "on";
+            } else if (head == "delayed-ack") {
+                want(1);
+                d.delayed_ack = toks[1] == "on";
+            } else if (head == "recv-buffer") {
+                want(1);
+                d.recv_buffer = parse_u32(toks[1], line_no);
+            } else if (head == "msl") {
+                want(1);
+                d.msl = parse_seconds(toks[1], line_no);
+            } else if (head == "hb-interval") {
+                want(1);
+                d.hb_interval = parse_seconds(toks[1], line_no);
+            } else if (head == "sync-time") {
+                want(1);
+                d.sync_time = parse_seconds(toks[1], line_no);
+            } else if (head == "workload") {
+                want(2);
+                d.workload_response = parse_u32(toks[1], line_no);
+                d.workload_upload = parse_u32(toks[2], line_no);
+            } else {
+                fail(line_no, "unknown directive '" + head + "'");
+            }
+            continue;
+        }
+
+        in_steps = true;
+        Step step;
+        step.line = line_no;
+        step.source = raw;
+        std::size_t i = 0;
+        TimeSpec t;
+        if (head == "expect-silence") {
+            // expect-silence <role> <dur>
+            if (toks.size() != 3) fail(line_no, "expect-silence wants: <role> <seconds>");
+            step.kind = StepKind::kExpectSilence;
+            step.role = parse_role(toks[1], line_no);
+            step.until = parse_seconds(toks[2], line_no);
+            script.steps.push_back(std::move(step));
+            continue;
+        }
+        if (head[0] == '@') {
+            // `@fail primary` sugar for `+0 fail primary`.
+            toks[0] = head.substr(1);
+        } else {
+            t = parse_time(head, line_no);
+            i = 1;
+        }
+        if (i >= toks.size()) fail(line_no, "missing verb after time spec");
+        const std::string& verb = toks[i];
+        step.at = t.at;
+        step.until = t.windowed ? t.until : t.at;
+        if (verb == "inject") {
+            step.kind = StepKind::kInject;
+            if (t.windowed) fail(line_no, "inject takes a single +T, not a window");
+            step.seg = parse_segment(toks, i + 1, line_no, /*is_expect=*/false);
+        } else if (verb == "expect") {
+            step.kind = StepKind::kExpect;
+            // `+T expect` without a window means "within [base, base+T]".
+            if (!t.windowed) {
+                step.at = sim::Duration{0};
+                step.until = t.at;
+            }
+            step.seg = parse_segment(toks, i + 1, line_no, /*is_expect=*/true);
+        } else if (verb == "fail") {
+            step.kind = StepKind::kFail;
+            if (i + 2 != toks.size()) fail(line_no, "fail wants exactly one role");
+            step.role = parse_role(toks[i + 1], line_no);
+        } else if (verb == "connect") {
+            step.kind = StepKind::kConnect;
+            if (i + 1 != toks.size()) fail(line_no, "connect takes no arguments");
+        } else if (verb == "send") {
+            step.kind = StepKind::kSend;
+            if (i + 2 != toks.size()) fail(line_no, "send wants a byte count");
+            step.count = parse_u64(toks[i + 1], line_no);
+        } else if (verb == "close") {
+            step.kind = StepKind::kClose;
+            if (i + 1 != toks.size()) fail(line_no, "close takes no arguments");
+        } else if (verb == "run") {
+            step.kind = StepKind::kRun;
+            if (i + 1 != toks.size()) fail(line_no, "run takes no arguments");
+        } else {
+            fail(line_no, "unknown verb '" + verb + "'");
+        }
+        script.steps.push_back(std::move(step));
+    }
+    if (script.steps.empty()) fail(line_no ? line_no : 1, "script has no steps");
+    return script;
+}
+
+} // namespace sttcp::conform

@@ -1,0 +1,126 @@
+// Wire-script conformance DSL — AST.
+//
+// A .pkt script is a header of directives followed by timed steps, in the
+// spirit of packetdrill: `inject` lines are segments the scripted peer puts
+// on the wire, `expect` lines are segments the stack under test must emit,
+// matched on (flags, seq, ack, len, window, options) inside a virtual-time
+// window. Two execution harnesses share the one DSL:
+//
+//   mode stack    — a single real HostStack against a fully scripted peer;
+//   mode testbed  — the paper's hub->primary->tap->backup topology with a
+//                   scripted *client*, so failover transparency is checked
+//                   segment-by-segment on the client's wire.
+//
+// All sequence/ack numbers in a script are absolute: the stack's ISN is
+// pinned by directive (`stack-isn`), the peer's ISN is whatever the script
+// injects, so there is no packetdrill-style relative renumbering and a
+// recorded script replays byte-identically. Grammar: DESIGN.md §13.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sttcp::conform {
+
+// Pattern over one TCP segment. In an `expect`, unset optionals are
+// wildcards; in an `inject`, unset fields take documented defaults.
+struct SegmentPattern {
+    bool any = false;  // `expect *` — match the next segment unconditionally
+    std::string flags;  // canonical subset of "FSRP.U" ('.' = ACK)
+    std::optional<std::uint32_t> seq_begin;  // `a:b(len)` — payload occupies [a, b)
+    std::optional<std::uint32_t> len;
+    std::optional<std::uint32_t> ack;
+    std::optional<std::uint32_t> win;  // `win N`; `win *` keeps the wildcard
+    std::optional<std::uint16_t> mss;  // `<mss N>` option; `<...>` keeps the wildcard
+};
+
+// Scopes addressed by `fail` and `expect-silence`. In stack mode the only
+// scope is kStack; in testbed mode kPrimary/kBackup name the two servers.
+enum class Role : std::uint8_t { kStack, kPrimary, kBackup };
+
+[[nodiscard]] inline const char* to_string(Role r) {
+    switch (r) {
+        case Role::kStack: return "stack";
+        case Role::kPrimary: return "primary";
+        case Role::kBackup: return "backup";
+    }
+    return "?";
+}
+
+enum class StepKind : std::uint8_t {
+    kInject,         // +T inject <segment>
+    kExpect,         // +lo..+hi expect <pattern>
+    kExpectSilence,  // expect-silence <role> <dur>
+    kFail,           // +T fail <role>   (also spelled `@fail <role>`)
+    kConnect,        // +T connect       (stack mode: active open)
+    kSend,           // +T send <bytes>  (application writes on the connection)
+    kClose,          // +T close         (application close -> FIN)
+    kRun,            // +T run           (advance virtual time, expecting nothing)
+};
+
+struct Step {
+    StepKind kind = StepKind::kRun;
+    int line = 0;        // 1-based line in the source file
+    std::string source;  // verbatim source line (record mode passes it through)
+
+    // Step times are relative to the script "base": the completion time of
+    // the previous step (an expect advances base to the *observed* segment
+    // time, so follow-up injects key off what actually happened).
+    sim::Duration at{};     // inject/commands: fire at base+at; expect: window lo
+    sim::Duration until{};  // expect: window hi; expect-silence: duration
+
+    SegmentPattern seg;          // kInject / kExpect
+    Role role = Role::kStack;    // kFail / kExpectSilence
+    std::uint64_t count = 0;     // kSend byte count
+};
+
+// Script-level configuration, set by header directives.
+struct Directives {
+    bool testbed = false;              // `mode stack` (default) | `mode testbed`
+    std::uint16_t port = 8000;         // service / listen port
+    std::uint16_t peer_port = 40000;   // scripted peer's source port (passive mode)
+    std::uint32_t stack_isn = 10000;   // pinned ISN of the stack(s) under test
+    std::optional<std::uint16_t> mss;  // stack TcpConfig::mss override
+    bool nagle = true;                 // stack TcpConfig::nagle
+    bool delayed_ack = true;           // stack TcpConfig::delayed_ack
+    std::size_t recv_buffer = 64 * 1024;
+    sim::Duration msl = sim::seconds{30};  // `msl` shrinks TIME_WAIT in teardown scripts
+    sim::Duration hb_interval = sim::milliseconds{50};   // testbed SttcpConfig
+    sim::Duration sync_time = sim::milliseconds{50};
+    // Testbed client workload: the canonical client->service byte stream is
+    // encode_request({1, response, upload}) + upload pattern bytes, and
+    // inject payloads are slices of it, so the deterministic responder on
+    // primary AND backup sees a valid request across any failover.
+    std::uint32_t workload_response = 0;
+    std::uint32_t workload_upload = 0;
+};
+
+struct Script {
+    std::string name;                  // file stem, for messages
+    Directives directives;
+    std::vector<std::string> header;   // verbatim pre-step lines (record re-emit)
+    std::vector<Step> steps;
+    [[nodiscard]] bool has_connect() const {
+        for (const Step& s : steps)
+            if (s.kind == StepKind::kConnect) return true;
+        return false;
+    }
+};
+
+// Thrown by the parser with a 1-based line number.
+struct ParseError {
+    int line;
+    std::string message;
+};
+
+// Parses script text; `name` labels errors. Throws ParseError.
+[[nodiscard]] Script parse_script(const std::string& text, std::string name);
+
+// Formats a pattern the way the DSL spells it (diff + record output).
+[[nodiscard]] std::string to_dsl(const SegmentPattern& p);
+
+} // namespace sttcp::conform

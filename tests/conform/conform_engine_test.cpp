@@ -1,0 +1,187 @@
+// Unit coverage for the conformance engine itself: the DSL parser, the
+// mismatch reporter (field diff), record-mode round-tripping, silence and
+// strict-leftover enforcement. The per-script suite lives in
+// conform_scripts_test.cpp; these tests pin the machinery the suite rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "conform/engine.hpp"
+#include "conform/script.hpp"
+
+namespace sttcp {
+namespace {
+
+using conform::parse_script;
+using conform::ParseError;
+using conform::RunOptions;
+using conform::RunResult;
+using conform::run_script_text;
+using conform::Script;
+using conform::StepKind;
+
+// A minimal passive handshake against the single-stack harness; the building
+// block most tests below perturb.
+const char* kHandshake =
+    "mode stack\n"
+    "\n"
+    "+0 inject S 1000:1000(0) win 65535 <mss 1460>\n"
+    "+1 expect S. 10000:10000(0) ack 1001 win 65535 <mss 1460>\n"
+    "+0 inject . 1001:1001(0) ack 10001 win 65535\n";
+
+TEST(ConformParser, ParsesDirectivesAndSteps) {
+    Script s = parse_script(kHandshake, "handshake");
+    EXPECT_FALSE(s.directives.testbed);
+    ASSERT_EQ(s.steps.size(), 3u);
+    EXPECT_EQ(s.steps[0].kind, StepKind::kInject);
+    EXPECT_EQ(s.steps[0].seg.flags, "S");
+    EXPECT_EQ(s.steps[0].seg.seq_begin, 1000u);
+    EXPECT_EQ(s.steps[0].seg.mss, 1460);
+    EXPECT_EQ(s.steps[1].kind, StepKind::kExpect);
+    EXPECT_EQ(s.steps[1].seg.ack, 1001u);
+    // `+1 expect` without an explicit window means "within 1s of base".
+    EXPECT_EQ(s.steps[1].at, sim::Duration{});
+    EXPECT_EQ(s.steps[1].until, sim::seconds{1});
+}
+
+TEST(ConformParser, FailSugarAndSilence) {
+    Script s = parse_script(
+        "mode testbed\n"
+        "@fail primary\n"
+        "expect-silence backup 0.5\n",
+        "t");
+    ASSERT_EQ(s.steps.size(), 2u);
+    EXPECT_EQ(s.steps[0].kind, StepKind::kFail);
+    EXPECT_EQ(s.steps[0].role, conform::Role::kPrimary);
+    EXPECT_EQ(s.steps[1].kind, StepKind::kExpectSilence);
+    EXPECT_EQ(s.steps[1].role, conform::Role::kBackup);
+    EXPECT_EQ(s.steps[1].until, sim::milliseconds{500});
+}
+
+TEST(ConformParser, CanonicalizesFlagOrder) {
+    // ".S" and "S." are the same segment; the AST (and thus diffs and
+    // recorded scripts) always spell the canonical FSRP.U order.
+    Script s = parse_script("+1 expect .S 1:1(0) ack 1\n", "t");
+    EXPECT_EQ(s.steps.at(0).seg.flags, "S.");
+}
+
+TEST(ConformParser, RejectsMalformedLines) {
+    // Not a flags token.
+    EXPECT_THROW((void)parse_script("+0 inject Q 1:1(0) win 0\n", "t"), ParseError);
+    // inject needs a concrete seq range.
+    EXPECT_THROW((void)parse_script("+0 inject S win 100\n", "t"), ParseError);
+    // Directives are header-only: none allowed after the first step.
+    EXPECT_THROW((void)parse_script("+0 run\nmode testbed\n", "t"), ParseError);
+    // `fail` names a role that exists in the current mode.
+    EXPECT_THROW((void)parse_script("@fail nobody\n", "t"), ParseError);
+    try {
+        (void)parse_script("+0 inject S 1:1(0) win 0\nnot a line\n", "t");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line, 2);
+    }
+}
+
+TEST(ConformEngine, PassingScriptPasses) {
+    RunResult r = run_script_text(kHandshake, "handshake");
+    EXPECT_TRUE(r.passed) << r.failure;
+    // The wire trace is what the stack put on the wire: just the SYN-ACK.
+    ASSERT_EQ(r.wire_trace.size(), 1u);
+    EXPECT_NE(r.wire_trace[0].find("S. 10000:10000(0) ack 1001"), std::string::npos);
+}
+
+// The headline reporter behavior: a wrong expectation fails with a unified
+// field diff naming the mismatched field and both values.
+TEST(ConformEngine, BrokenExpectationYieldsFieldDiff) {
+    std::string broken = kHandshake;
+    std::size_t pos = broken.find("ack 1001");
+    ASSERT_NE(pos, std::string::npos);
+    broken.replace(pos, 8, "ack 1002");
+    RunResult r = run_script_text(broken, "broken");
+    ASSERT_FALSE(r.passed);
+    EXPECT_NE(r.failure.find("- ack\t1002"), std::string::npos) << r.failure;
+    EXPECT_NE(r.failure.find("+ ack\t1001"), std::string::npos) << r.failure;
+    EXPECT_NE(r.failure.find("--- expected"), std::string::npos) << r.failure;
+    EXPECT_NE(r.failure.find("frame trace"), std::string::npos) << r.failure;
+}
+
+TEST(ConformEngine, ExpectTimesOutWhenNothingArrives) {
+    RunResult r = run_script_text("+0.05 expect S. 1:1(0) ack 1 win 1\n", "t");
+    ASSERT_FALSE(r.passed);
+    EXPECT_NE(r.failure.find("no segment arrived"), std::string::npos) << r.failure;
+}
+
+TEST(ConformEngine, SilenceViolationNamesTheSegment) {
+    // The stack answers the SYN inside the claimed quiet window.
+    RunResult r = run_script_text(
+        "+0 inject S 1000:1000(0) win 65535 <mss 1460>\n"
+        "expect-silence stack 0.5\n",
+        "t");
+    ASSERT_FALSE(r.passed);
+    EXPECT_NE(r.failure.find("expected silence from stack"), std::string::npos) << r.failure;
+    EXPECT_NE(r.failure.find("S. 10000:10000(0) ack 1001"), std::string::npos) << r.failure;
+}
+
+TEST(ConformEngine, StrictModeFlagsUnconsumedSegments) {
+    // Inject a SYN, never expect the SYN-ACK: the run must fail leftovers.
+    RunResult r = run_script_text(
+        "+0 inject S 1000:1000(0) win 65535 <mss 1460>\n"
+        "+0.1 run\n",
+        "t");
+    ASSERT_FALSE(r.passed);
+    EXPECT_NE(r.failure.find("unconsumed"), std::string::npos) << r.failure;
+}
+
+TEST(ConformEngine, ParseErrorSurfacesAsFailedResult) {
+    RunResult r = run_script_text("gibberish\n", "bad");
+    ASSERT_FALSE(r.passed);
+    EXPECT_NE(r.failure.find("bad:1"), std::string::npos) << r.failure;
+}
+
+// Record mode is the golden-script generator: its output must replay
+// green, and re-recording the recorded script must be a fixpoint.
+TEST(ConformEngine, RecordRoundTripsAndReachesFixpoint) {
+    const char* skeleton =
+        "mode stack\n"
+        "+0 inject S 1000:1000(0) win 65535 <mss 1460>\n"
+        "+1 expect *\n"
+        "+0 inject . 1001:1001(0) ack 10001 win 65535\n";
+    RunOptions rec;
+    rec.record = true;
+    RunResult first = run_script_text(skeleton, "skel", rec);
+    ASSERT_TRUE(first.passed) << first.failure;
+    // The wildcard was concretized into a windowed expect line.
+    EXPECT_NE(first.recorded.find("expect S. 10000:10000(0) ack 1001"), std::string::npos)
+        << first.recorded;
+
+    RunResult replay = run_script_text(first.recorded, "skel");
+    EXPECT_TRUE(replay.passed) << replay.failure;
+
+    RunResult second = run_script_text(first.recorded, "skel", rec);
+    ASSERT_TRUE(second.passed) << second.failure;
+    EXPECT_EQ(first.recorded, second.recorded);
+}
+
+// The testbed harness end-to-end, without a .pkt file: mid-upload failover
+// with the backup silent until takeover and sequence-contiguous afterwards
+// is expressible (and passes) straight from an inline script.
+TEST(ConformEngine, TestbedFailoverInline) {
+    RunResult r = run_script_text(
+        "mode testbed\n"
+        "workload 100 0\n"
+        "+0.2 inject S 1000:1000(0) win 65535 <mss 1460>\n"
+        "+1 expect S. 10000:10000(0) ack 1001 win 65535 <mss 1460>\n"
+        "@fail primary\n"
+        "+0 inject . 1001:1001(0) ack 10001 win 65535\n"
+        "expect-silence backup 0.14\n"
+        "+0.05 inject P. 1001:1151(150) ack 10001 win 65535\n"
+        "+1 expect P. 10001:10101(100) ack 1151 win 65535\n"
+        "+0 inject . 1151:1151(0) ack 10101 win 65535\n"
+        "+0.1 expect . 10101:10101(0) ack 1151 win 65535\n"
+        "+0.05 run\n",
+        "inline_failover");
+    EXPECT_TRUE(r.passed) << r.failure;
+}
+
+} // namespace
+} // namespace sttcp

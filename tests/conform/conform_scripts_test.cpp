@@ -1,0 +1,70 @@
+// The conformance-script suite as ctest cases: every tests/conform/scripts/
+// *.pkt becomes its own parameterized test instance (gtest_discover_tests
+// splits them into individual ctest cases). The script list is generated at
+// configure time from a CONFIGURE_DEPENDS glob — adding a script reconfigures
+// and re-discovers; editing one is picked up at run time because the test
+// reads the file from the source tree on every execution.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "conform/engine.hpp"
+
+namespace sttcp {
+namespace {
+
+struct ScriptCase {
+    const char* name;
+    const char* path;
+};
+
+constexpr ScriptCase kScripts[] = {
+#include "conform_scripts.inc"
+};
+
+std::string read_script(const char* path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing script " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class ConformScript : public ::testing::TestWithParam<ScriptCase> {};
+
+TEST_P(ConformScript, Replays) {
+    const ScriptCase& sc = GetParam();
+    conform::RunResult result = conform::run_script_text(read_script(sc.path), sc.name);
+    EXPECT_TRUE(result.passed) << result.failure;
+}
+
+// Satellite determinism gate: the same script must produce a byte-identical
+// wire trace under both EventQueue backends.
+TEST_P(ConformScript, WireTraceIdenticalAcrossBackends) {
+    const ScriptCase& sc = GetParam();
+    std::string text = read_script(sc.path);
+
+    conform::RunOptions wheel;
+    wheel.backend = sim::EventQueue::Backend::kWheel;
+    conform::RunResult a = conform::run_script_text(text, sc.name, wheel);
+    ASSERT_TRUE(a.passed) << a.failure;
+
+    conform::RunOptions heap;
+    heap.backend = sim::EventQueue::Backend::kHeap;
+    conform::RunResult b = conform::run_script_text(text, sc.name, heap);
+    ASSERT_TRUE(b.passed) << b.failure;
+
+    ASSERT_EQ(a.wire_trace.size(), b.wire_trace.size());
+    for (std::size_t i = 0; i < a.wire_trace.size(); ++i)
+        EXPECT_EQ(a.wire_trace[i], b.wire_trace[i]) << "trace line " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ConformScript, ::testing::ValuesIn(kScripts),
+                         [](const ::testing::TestParamInfo<ScriptCase>& info) {
+                             return std::string(info.param.name);
+                         });
+
+} // namespace
+} // namespace sttcp

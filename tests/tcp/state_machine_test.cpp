@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "check/audit.hpp"
@@ -94,6 +96,50 @@ TEST(StateMachineRuntime, AuditorAcceptsSttcpLateJoin) {
     auditor.audit_transition(*conn, TcpState::kClosed, TcpState::kEstablished,
                              bed.sim.now());
     EXPECT_FALSE(has_violation(captured, "tcp.state.legal_transition"));
+}
+
+// Exhaustive property over the full State x State product: the legal edge
+// set is restated here as data, independently of how state_machine.hpp
+// builds its matrix, and every one of the 11x11 = 121 pairs is checked both
+// ways. Any edge added to (or dropped from) the TransitionMatrix that this
+// catalogue does not sanction fails the test — every off-catalogue edge
+// must be rejected, every catalogued edge accepted.
+TEST(StateMachineMatrix, FullProductMatchesSpecCatalogue) {
+    using enum TcpState;
+    constexpr std::array kStates = {kClosed,   kListen,   kSynSent,  kSynReceived,
+                                    kEstablished, kFinWait1, kFinWait2, kCloseWait,
+                                    kClosing,  kLastAck,  kTimeWait};
+    ASSERT_EQ(kStates.size(), tcp::kTcpStateCount);
+
+    // RFC 793 p.23 diagram edges + the ST-TCP extensions (DESIGN.md §10).
+    const std::vector<std::pair<TcpState, TcpState>> catalogue = {
+        {kClosed, kListen},       {kClosed, kSynSent},      {kClosed, kSynReceived},
+        {kClosed, kEstablished},  {kListen, kSynSent},      {kListen, kSynReceived},
+        {kSynSent, kSynReceived}, {kSynSent, kEstablished}, {kSynReceived, kEstablished},
+        {kSynReceived, kFinWait1}, {kSynReceived, kCloseWait}, {kEstablished, kFinWait1},
+        {kEstablished, kCloseWait}, {kFinWait1, kFinWait2}, {kFinWait1, kClosing},
+        {kFinWait1, kTimeWait},   {kFinWait2, kTimeWait},   {kClosing, kTimeWait},
+        {kCloseWait, kLastAck},   {kTimeWait, kTimeWait},
+        // Abortive exits: RST / abort() from every non-CLOSED state.
+        {kListen, kClosed},       {kSynSent, kClosed},      {kSynReceived, kClosed},
+        {kEstablished, kClosed},  {kFinWait1, kClosed},     {kFinWait2, kClosed},
+        {kCloseWait, kClosed},    {kClosing, kClosed},      {kLastAck, kClosed},
+        {kTimeWait, kClosed},
+    };
+    auto sanctioned = [&](TcpState from, TcpState to) {
+        return std::find(catalogue.begin(), catalogue.end(), std::pair{from, to}) !=
+               catalogue.end();
+    };
+
+    int legal = 0;
+    for (TcpState from : kStates) {
+        for (TcpState to : kStates) {
+            EXPECT_EQ(is_legal_transition(from, to), sanctioned(from, to))
+                << tcp::to_string(from) << " -> " << tcp::to_string(to);
+            if (is_legal_transition(from, to)) ++legal;
+        }
+    }
+    EXPECT_EQ(legal, static_cast<int>(catalogue.size()));
 }
 
 // Regression for the two genuine findings staticcheck's event-lifecycle rule

@@ -40,7 +40,7 @@ void report(std::vector<Finding>& out, const SourceFile& file, int line,
 const std::map<std::string, int>& layer_ranks() {
     static const std::map<std::string, int> kRanks = {
         {"util", 0}, {"sim", 1},    {"check", 2},   {"net", 3},  {"tcp", 4},
-        {"sttcp", 5}, {"app", 6},   {"harness", 7}, {"fuzz", 8},
+        {"sttcp", 5}, {"app", 6},   {"harness", 7}, {"fuzz", 8}, {"conform", 9},
     };
     return kRanks;
 }
