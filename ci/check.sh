@@ -13,20 +13,22 @@
 #      the --jobs 4 path (src/fuzz/shard.cpp) races workers against the
 #      consuming main thread, so TSan dynamically re-checks the guarded_by
 #      discipline staticcheck proves statically
-#   6. custom protocol lints (tools/lint.py)
 #
 # Steps 1, 3 and 4 also build and run tools/staticcheck (layering DAG,
 # state-funnel, flow-sensitive event lifecycle, [this]-capture, seq-raw,
-# timer-rearm, guarded-by, payload-move, waiver.stale) over src/ with a
-# --json report per profile — the analyzer must agree with itself in every
-# compiler configuration; step 1 additionally emits a SARIF report. The same
-# three steps replay the conformance script suite with --compare-backends, so
-# the wheel/heap wire-trace identity also holds under -Werror and sanitizers.
-#   7. clang-tidy over files changed vs the merge base (skipped with a notice
+# timer-rearm, guarded-by, payload-move, payload-alloc, impairment-api,
+# interprocedural wire-taint, waiver.stale) over src/ in parallel
+# (--jobs) with a --json report per profile — the analyzer must agree with
+# itself in every compiler configuration; step 1 additionally emits a SARIF
+# report. The former tools/lint.py rules now live inside staticcheck, so
+# there is no separate lint step. The same three steps replay the
+# conformance script suite with --compare-backends, so the wheel/heap
+# wire-trace identity also holds under -Werror and sanitizers.
+#   6. clang-tidy over files changed vs the merge base (skipped with a notice
 #      when clang-tidy is not installed)
-#   8. parallel-soak identity: --jobs 4 output must be byte-identical to
+#   7. parallel-soak identity: --jobs 4 output must be byte-identical to
 #      --jobs 1 (sharding may never change results or their order)
-#   9. Release bench smoke: quick-sized runs of all three benches, failing on
+#   8. Release bench smoke: quick-sized runs of all three benches, failing on
 #      a >15% throughput drop against the committed BENCH_*.json medians
 #
 # Usage: ci/check.sh [base-ref]     (default base-ref: origin/main or HEAD~1)
@@ -38,10 +40,10 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-step "1/9 default build (STTCP_AUDIT=ON) + tests"
+step "1/8 default build (STTCP_AUDIT=ON) + tests"
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j"$JOBS"
-build-ci/tools/staticcheck/staticcheck --root src \
+build-ci/tools/staticcheck/staticcheck --root src --jobs "$JOBS" \
     --json build-ci/staticcheck.json --sarif build-ci/staticcheck.sarif
 ctest --test-dir build-ci --output-on-failure -j"$JOBS"
 # Conformance wire scripts under BOTH EventQueue backends: --compare-backends
@@ -49,39 +51,36 @@ ctest --test-dir build-ci --output-on-failure -j"$JOBS"
 # byte-identical (the scheduler may never be observable on the wire).
 build-ci/tools/sttcp_conform --compare-backends --dir tests/conform/scripts
 
-step "2/9 chaos soak: 200 trials + failure-pipeline demo"
+step "2/8 chaos soak: 200 trials + failure-pipeline demo"
 build-ci/tools/sttcp_soak --trials 200 --seed-base 1
 # The demo invariant fails on purpose; the run must reproduce it by seed and
 # shrink it to at most 2 active impairment dimensions, proving the
 # reproducer/shrinker pipeline works before anyone needs it in anger.
 build-ci/tools/sttcp_soak --demo-failure
 
-step "3/9 hardened warnings-as-errors build + soak"
+step "3/8 hardened warnings-as-errors build + soak"
 cmake -B build-ci-werror -S . -DSTTCP_WERROR=ON >/dev/null
 cmake --build build-ci-werror -j"$JOBS"
-build-ci-werror/tools/staticcheck/staticcheck --root src --json build-ci-werror/staticcheck.json
+build-ci-werror/tools/staticcheck/staticcheck --root src --jobs "$JOBS" --json build-ci-werror/staticcheck.json
 build-ci-werror/tools/sttcp_soak --trials 200 --seed-base 1
 build-ci-werror/tools/sttcp_conform --compare-backends --dir tests/conform/scripts
 
-step "4/9 sanitizer build (ASan+UBSan) + tests + soak"
+step "4/8 sanitizer build (ASan+UBSan) + tests + soak"
 cmake -B build-ci-asan -S . -DSTTCP_SANITIZE=ON >/dev/null
 cmake --build build-ci-asan -j"$JOBS"
-build-ci-asan/tools/staticcheck/staticcheck --root src --json build-ci-asan/staticcheck.json
+build-ci-asan/tools/staticcheck/staticcheck --root src --jobs "$JOBS" --json build-ci-asan/staticcheck.json
 ctest --test-dir build-ci-asan --output-on-failure -j"$JOBS"
 build-ci-asan/tools/sttcp_soak --trials 200 --seed-base 1
 build-ci-asan/tools/sttcp_conform --compare-backends --dir tests/conform/scripts
 
-step "5/9 ThreadSanitizer build + sharded soak smoke (--jobs 4)"
+step "5/8 ThreadSanitizer build + sharded soak smoke (--jobs 4)"
 cmake -B build-ci-tsan -S . -DSTTCP_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j"$JOBS" --target sttcp_soak
 # 25 trials across 4 workers exercises the claim/publish/consume protocol of
 # ShardedTrialRunner under TSan; any data race aborts the run (no-recover).
 build-ci-tsan/tools/sttcp_soak --trials 25 --seed-base 1 --jobs 4
 
-step "6/9 protocol lints"
-python3 tools/lint.py
-
-step "7/9 clang-tidy (changed files)"
+step "6/8 clang-tidy (changed files)"
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not installed — skipping (profile: .clang-tidy)"
 else
@@ -99,13 +98,13 @@ else
     fi
 fi
 
-step "8/9 parallel soak identity (--jobs 4 == --jobs 1)"
+step "7/8 parallel soak identity (--jobs 4 == --jobs 1)"
 build-ci/tools/sttcp_soak --trials 40 --seed-base 7 --verbose --jobs 1 > build-ci/soak-j1.txt
 build-ci/tools/sttcp_soak --trials 40 --seed-base 7 --verbose --jobs 4 > build-ci/soak-j4.txt
 diff -u build-ci/soak-j1.txt build-ci/soak-j4.txt
 echo "sharded soak output byte-identical"
 
-step "9/9 Release bench smoke vs committed medians"
+step "8/8 Release bench smoke vs committed medians"
 cmake -B build-ci-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci-rel -j"$JOBS" \
     --target bench_frame_fanout bench_scale bench_timer_wheel

@@ -35,7 +35,11 @@ ArpMessage ArpMessage::parse(util::ByteView raw) {
     if (r.u16() != 1 || r.u16() != 0x0800) throw util::WireError{"arp: bad htype/ptype"};
     if (r.u8() != 6 || r.u8() != 4) throw util::WireError{"arp: bad hlen/plen"};
     ArpMessage m;
-    m.op = static_cast<ArpOp>(r.u16());
+    const std::uint16_t op = r.u16();
+    // Only request/reply exist; anything else is a malformed (or hostile)
+    // message and must be rejected at the parse boundary, not dispatched on.
+    if (op != 1 && op != 2) throw util::WireError{"arp: bad opcode"};
+    m.op = static_cast<ArpOp>(op);
     m.sender_mac = read_mac(r);
     m.sender_ip = Ipv4Address{r.u32()};
     m.target_mac = read_mac(r);

@@ -98,6 +98,7 @@ void Link::corrupt_payload(EthernetFrame& frame, int max_bits) {
     auto flips = 1 + sim_.rng().uniform(static_cast<std::uint64_t>(max_bits));
     for (std::uint64_t i = 0; i < flips; ++i) {
         std::uint64_t bit = sim_.rng().uniform(bytes.size() * 8);
+        // sanitized(bit): rng().uniform(n) < n, so bit/8 < bytes.size() and bit%8 < 8
         bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     }
     ++stats_.frames_corrupted;

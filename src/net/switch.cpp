@@ -17,8 +17,14 @@ void Switch::set_mirror(std::size_t observed_port, std::size_t tap_port) {
 
 void Switch::forward(std::size_t in_port, EthernetFrame frame) {
     // Learn the source (unicast sources only; a group address never
-    // legitimately appears as a source).
-    if (frame.src.is_unicast()) mac_table_[frame.src] = in_port;
+    // legitimately appears as a source). The table is bounded by
+    // kMacTableCap so a forged-source sweep cannot exhaust memory: a full
+    // table stops learning and unknown destinations keep flooding.
+    if (frame.src.is_unicast() &&
+        (mac_table_.size() < kMacTableCap || mac_table_.count(frame.src) != 0)) {
+        // lint:allow taint.wire_to_index -- address learning keys the map by the wire MAC by design; kMacTableCap above bounds the only resource this subscript can grow
+        mac_table_[frame.src] = in_port;
+    }
 
     // Mirror ingress traffic of the observed port.
     if (mirror_ && mirror_->observed == in_port && mirror_->tap != in_port) {

@@ -51,6 +51,12 @@ public:
         if (it == mac_table_.end()) return std::nullopt;
         return it->second;
     }
+    [[nodiscard]] std::size_t mac_table_size() const { return mac_table_.size(); }
+
+    // Learning-table bound: a peer sweeping forged source addresses must not
+    // grow the table (and the host's memory) without limit. Once full, new
+    // addresses are not learned and their frames flood — degraded, not dead.
+    static constexpr std::size_t kMacTableCap = 1024;
 
 private:
     class Port final : public FrameEndpoint {

@@ -60,6 +60,9 @@ util::Bytes TcpSegment::serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const 
 
 TcpSegment TcpSegment::parse(util::ByteView raw, Ipv4Address src_ip, Ipv4Address dst_ip) {
     if (raw.size() < kBaseHeaderSize) throw util::WireError{"tcp: truncated header"};
+    // The pseudo-header length field is 16-bit; silently truncating a larger
+    // buffer would checksum (and accept) bytes the length field disowns.
+    if (raw.size() > 0xFFFF) throw util::WireError{"tcp: segment exceeds 16-bit length"};
 
     util::InternetChecksum sum;
     add_pseudo_header(sum, src_ip, dst_ip, static_cast<std::uint16_t>(raw.size()));

@@ -55,7 +55,7 @@ void TcpConnection::open_active() {
 void TcpConnection::open_passive(const net::TcpSegment& syn) {
     irs_ = syn.seq;
     rcv_.init(syn.seq + 1);
-    if (syn.mss) config_.mss = std::min(config_.mss, *syn.mss);
+    if (syn.mss) config_.mss = std::min(config_.mss, std::max(*syn.mss, kMinMss));
     iss_ = stack_.generate_isn();
     snd_una_ = iss_;
     snd_nxt_ = iss_;
@@ -266,7 +266,7 @@ void TcpConnection::process_syn_sent(const net::TcpSegment& seg) {
 
     irs_ = seg.seq;
     rcv_.init(seg.seq + 1);
-    if (seg.mss) config_.mss = std::min(config_.mss, *seg.mss);
+    if (seg.mss) config_.mss = std::min(config_.mss, std::max(*seg.mss, kMinMss));
     snd_wnd_ = seg.window;
     snd_wl1_ = seg.seq;
     snd_wl2_ = seg.ack;

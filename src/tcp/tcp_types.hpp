@@ -56,6 +56,13 @@ struct FlowKey {
     friend bool operator==(const FlowKey&, const FlowKey&) = default;
 };
 
+// Floor for a peer-advertised MSS. A SYN carrying MSS 0 (or any absurdly
+// small value) must not be honored verbatim: with mss == 0 the sender can
+// never emit a data segment and the connection wedges silently — on the
+// primary AND, after migration, identically on the backup, which is exactly
+// the correlated-failure mode the paper's fault model excludes.
+inline constexpr std::uint16_t kMinMss = 64;
+
 struct TcpConfig {
     std::size_t send_buffer_size = 64 * 1024;
     std::size_t recv_buffer_size = 64 * 1024;

@@ -306,6 +306,22 @@ TEST_F(SwitchFixture, MirrorCopiesBothDirections) {
     EXPECT_EQ(c.frames.size(), 2u);
 }
 
+TEST_F(SwitchFixture, MacTableIsCappedAgainstForgedSourceSweep) {
+    // A peer cycling forged source MACs must not grow the learning table
+    // without bound (classic CAM-table exhaustion). Past the cap the switch
+    // degrades to flooding instead of allocating.
+    for (std::uint32_t i = 1; i <= Switch::kMacTableCap + 50; ++i)
+        send(a, MacAddress::broadcast(), MacAddress::local(i));
+    EXPECT_EQ(sw.mac_table_size(), Switch::kMacTableCap);
+
+    // An already-learned address still refreshes its port when the table is
+    // full — only NEW entries are refused.
+    ASSERT_EQ(sw.learned_port(MacAddress::local(1)), pa);
+    send(b, MacAddress::broadcast(), MacAddress::local(1));
+    EXPECT_EQ(sw.learned_port(MacAddress::local(1)), pb);
+    EXPECT_EQ(sw.mac_table_size(), Switch::kMacTableCap);
+}
+
 // ------------------------------------------------------------ PowerSwitch
 
 TEST(PowerSwitch, FencesAfterLatencyAndConfirms) {

@@ -1,0 +1,213 @@
+// Malformed wire input for every parse() boundary in src/net: exhaustive
+// truncation sweeps, oversize buffers, structurally invalid fields, and bad
+// TCP option encodings. The TCP cases recompute the checksum after
+// tampering, so the structural checks are exercised directly rather than
+// hiding behind a checksum mismatch. Includes regression tests for the
+// validation gaps found by staticcheck's wire-taint pass (ARP opcode,
+// TCP 16-bit length bound).
+#include <gtest/gtest.h>
+
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_wire.hpp"
+#include "net/udp.hpp"
+
+namespace sttcp::net {
+namespace {
+
+const Ipv4Address kSrc{10, 0, 0, 1};
+const Ipv4Address kDst{10, 0, 0, 2};
+
+util::Bytes pattern(std::size_t n) {
+    util::Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    return b;
+}
+
+util::ByteView prefix(const util::Bytes& raw, std::size_t n) {
+    return util::ByteView{raw.data(), n};
+}
+
+// Recomputes the TCP checksum (pseudo-header included) in place so a
+// tampered segment fails on the structural check under test, not on the
+// checksum verification that runs first.
+void patch_tcp_checksum(util::Bytes& raw, Ipv4Address src, Ipv4Address dst) {
+    raw[16] = 0;
+    raw[17] = 0;
+    util::InternetChecksum sum;
+    sum.add_u32(src.value());
+    sum.add_u32(dst.value());
+    sum.add_u16(6);  // IPPROTO_TCP
+    sum.add_u16(static_cast<std::uint16_t>(raw.size()));
+    sum.add(util::ByteView{raw});
+    std::uint16_t c = sum.finish();
+    raw[16] = static_cast<std::uint8_t>(c >> 8);
+    raw[17] = static_cast<std::uint8_t>(c);
+}
+
+TcpSegment sample_segment(std::size_t payload = 32) {
+    TcpSegment s;
+    s.src_port = 1234;
+    s.dst_port = 80;
+    s.seq = util::Seq32{1000};
+    s.ack = util::Seq32{2000};
+    s.flags.ack = true;
+    s.window = 4096;
+    s.payload = pattern(payload);
+    return s;
+}
+
+// ---------------------------------------------------------------- Ethernet
+
+TEST(MalformedWire, EthernetEveryShortHeaderPrefixThrows) {
+    EthernetFrame f;
+    f.dst = MacAddress::local(1);
+    f.src = MacAddress::local(2);
+    f.type = EtherType::kIpv4;
+    f.payload = pattern(64);
+    util::Bytes raw = f.serialize();
+    for (std::size_t n = 0; n < 14; ++n)
+        EXPECT_THROW((void)EthernetFrame::parse(prefix(raw, n)), util::WireError)
+            << "prefix " << n;
+}
+
+// --------------------------------------------------------------------- ARP
+
+TEST(MalformedWire, ArpEveryTruncatedPrefixThrows) {
+    ArpMessage m;
+    m.op = ArpOp::kReply;
+    m.sender_mac = MacAddress::local(3);
+    m.sender_ip = kSrc;
+    m.target_mac = MacAddress::local(4);
+    m.target_ip = kDst;
+    util::Bytes raw = m.serialize();
+    ASSERT_EQ(raw.size(), ArpMessage::kWireSize);
+    for (std::size_t n = 0; n < raw.size(); ++n)
+        EXPECT_THROW((void)ArpMessage::parse(prefix(raw, n)), util::WireError)
+            << "prefix " << n;
+}
+
+TEST(MalformedWire, ArpRejectsUnknownOpcode) {
+    // Regression for the wire-taint triage: the opcode used to be cast
+    // straight into the enum, so op=0 or op=3 flowed into dispatch logic.
+    ArpMessage m;
+    m.sender_mac = MacAddress::local(3);
+    m.sender_ip = kSrc;
+    m.target_ip = kDst;
+    util::Bytes good = m.serialize();
+    for (std::uint16_t op : {std::uint16_t{0}, std::uint16_t{3}, std::uint16_t{0xffff}}) {
+        util::Bytes raw = good;
+        raw[6] = static_cast<std::uint8_t>(op >> 8);
+        raw[7] = static_cast<std::uint8_t>(op);
+        EXPECT_THROW((void)ArpMessage::parse(raw), util::WireError) << "op " << op;
+    }
+    // Both legal opcodes still parse.
+    EXPECT_EQ(ArpMessage::parse(good).op, ArpOp::kRequest);
+    good[7] = 2;
+    EXPECT_EQ(ArpMessage::parse(good).op, ArpOp::kReply);
+}
+
+// -------------------------------------------------------------------- IPv4
+
+TEST(MalformedWire, Ipv4EveryTruncatedPrefixThrows) {
+    Ipv4Packet p;
+    p.src = kSrc;
+    p.dst = kDst;
+    p.proto = IpProto::kTcp;
+    p.payload = pattern(40);
+    util::Bytes raw = p.serialize();
+    for (std::size_t n = 0; n < raw.size(); ++n)
+        EXPECT_THROW((void)Ipv4Packet::parse(prefix(raw, n)), util::WireError)
+            << "prefix " << n;
+}
+
+// --------------------------------------------------------------------- UDP
+
+TEST(MalformedWire, UdpEveryTruncatedPrefixThrows) {
+    UdpDatagram d;
+    d.src_port = 5000;
+    d.dst_port = 53;
+    d.payload = pattern(24);
+    util::Bytes raw = d.serialize(kSrc, kDst);
+    for (std::size_t n = 0; n < raw.size(); ++n)
+        EXPECT_THROW((void)UdpDatagram::parse(prefix(raw, n), kSrc, kDst), util::WireError)
+            << "prefix " << n;
+}
+
+// --------------------------------------------------------------------- TCP
+
+TEST(MalformedWire, TcpEveryTruncatedPrefixThrows) {
+    util::Bytes raw = sample_segment().serialize(kSrc, kDst);
+    for (std::size_t n = 0; n < raw.size(); ++n)
+        EXPECT_THROW((void)TcpSegment::parse(prefix(raw, n), kSrc, kDst), util::WireError)
+            << "prefix " << n;
+}
+
+TEST(MalformedWire, TcpRejectsBufferBeyond16BitLength) {
+    // Regression for the wire-taint triage: the checksum pseudo-header
+    // truncates the length to 16 bits, so a >64 KiB buffer must be rejected
+    // up front instead of being checksummed under a wrapped length.
+    util::Bytes big(0x10000);
+    EXPECT_THROW((void)TcpSegment::parse(big, kSrc, kDst), util::WireError);
+}
+
+TEST(MalformedWire, TcpChecksumPatchHelperRoundTrips) {
+    // Sanity for the helper itself: tamper a covered byte, re-patch, and the
+    // segment must parse again (with the tampered value visible).
+    util::Bytes raw = sample_segment().serialize(kSrc, kDst);
+    raw[15] ^= 0x01;  // low byte of the window field
+    EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, kDst), util::WireError);
+    patch_tcp_checksum(raw, kSrc, kDst);
+    TcpSegment s = TcpSegment::parse(raw, kSrc, kDst);
+    EXPECT_EQ(s.window, 4096 ^ 0x01);
+}
+
+TEST(MalformedWire, TcpRejectsDataOffsetBelowHeaderMinimum) {
+    util::Bytes raw = sample_segment().serialize(kSrc, kDst);
+    raw[12] = 0x40;  // doff = 4 words = 16 bytes < 20
+    patch_tcp_checksum(raw, kSrc, kDst);
+    EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, kDst), util::WireError);
+}
+
+TEST(MalformedWire, TcpRejectsDataOffsetBeyondBuffer) {
+    util::Bytes raw = sample_segment(8).serialize(kSrc, kDst);
+    raw[12] = 0xf0;  // doff = 15 words = 60 bytes > 28-byte segment
+    patch_tcp_checksum(raw, kSrc, kDst);
+    EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, kDst), util::WireError);
+}
+
+TEST(MalformedWire, TcpRejectsBadOptionLengths) {
+    TcpSegment syn = sample_segment(0);
+    syn.flags = {.syn = true};
+    syn.mss = 1460;  // serializes as option kind=2 len=4 at offset 20
+    util::Bytes good = syn.serialize(kSrc, kDst);
+    ASSERT_EQ(good.size(), 24u);
+    ASSERT_EQ(good[20], 2u);
+    ASSERT_EQ(good[21], 4u);
+    // len < 2 is structurally impossible, len 3 contradicts the MSS option,
+    // len 11 runs past the option area.
+    for (std::uint8_t len : {std::uint8_t{1}, std::uint8_t{3}, std::uint8_t{11}}) {
+        util::Bytes raw = good;
+        raw[21] = len;
+        patch_tcp_checksum(raw, kSrc, kDst);
+        EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, kDst), util::WireError)
+            << "len " << int(len);
+    }
+}
+
+TEST(MalformedWire, TcpRejectsOptionKindWithoutLengthByte) {
+    TcpSegment syn = sample_segment(0);
+    syn.flags = {.syn = true};
+    syn.mss = 1460;
+    util::Bytes raw = syn.serialize(kSrc, kDst);
+    // Rewrite the option area as NOP NOP NOP then a kind that needs a length
+    // byte the buffer no longer has.
+    raw[20] = raw[21] = raw[22] = 1;
+    raw[23] = 2;
+    patch_tcp_checksum(raw, kSrc, kDst);
+    EXPECT_THROW((void)TcpSegment::parse(raw, kSrc, kDst), util::WireError);
+}
+
+} // namespace
+} // namespace sttcp::net

@@ -1,0 +1,152 @@
+// Unit tests for the interprocedural layer: call-graph shape (lambda
+// sub-nodes, virtual-call havoc, SCC condensation of mutual recursion) and
+// the bottom-up function summaries computed over it. The fixture tree lives
+// in fixtures/cg and is loaded through the real load_tree path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "callgraph.hpp"
+#include "model.hpp"
+#include "summary.hpp"
+
+namespace {
+
+using staticcheck::CallGraph;
+using staticcheck::FunctionBody;
+using staticcheck::SummaryTable;
+using staticcheck::Tree;
+
+struct Loaded {
+    Tree tree;
+    CallGraph cg;
+    SummaryTable sums;
+};
+
+Loaded& load_cg_tree() {
+    static Loaded* loaded = [] {
+        auto* l = new Loaded;
+        const std::string root = std::string(STTCP_STATICCHECK_FIXTURES) + "/cg";
+        if (!staticcheck::load_tree(root, l->tree)) std::abort();
+        l->cg = staticcheck::build_callgraph(l->tree);
+        l->sums = staticcheck::build_summaries(l->tree, l->cg);
+        return l;
+    }();
+    return *loaded;
+}
+
+const FunctionBody* find_fn(const Tree& tree, const std::string& cls,
+                            const std::string& name) {
+    if (cls.empty()) {
+        for (const FunctionBody& f : tree.free_functions) {
+            if (f.name == name) return &f;
+        }
+        return nullptr;
+    }
+    auto it = tree.classes.find(cls);
+    if (it == tree.classes.end()) return nullptr;
+    for (const FunctionBody& f : it->second.functions) {
+        if (f.name == name) return &f;
+    }
+    return nullptr;
+}
+
+int node_of(const Loaded& l, const std::string& cls, const std::string& name) {
+    const FunctionBody* fn = find_fn(l.tree, cls, name);
+    if (fn == nullptr) return -1;
+    auto it = l.cg.primary.find(fn);
+    return it == l.cg.primary.end() ? -1 : it->second;
+}
+
+TEST(StaticcheckCallgraph, LambdaBodiesBecomeSubNodes) {
+    Loaded& l = load_cg_tree();
+    int host = node_of(l, "Engine", "host");
+    ASSERT_GE(host, 0);
+    const auto& node = l.cg.nodes[static_cast<std::size_t>(host)];
+    ASSERT_EQ(node.lambdas.size(), 1u);
+    const auto& lam = l.cg.nodes[static_cast<std::size_t>(node.lambdas[0])];
+    EXPECT_EQ(lam.parent, host);
+    // The sub-node analyzes a strict sub-range of the host body.
+    EXPECT_GT(lam.begin, node.begin);
+    EXPECT_LE(lam.end, node.end);
+}
+
+TEST(StaticcheckCallgraph, VirtualCallMarksUnknownCallees) {
+    Loaded& l = load_cg_tree();
+    int churn = node_of(l, "Engine", "churn");
+    ASSERT_GE(churn, 0);
+    EXPECT_TRUE(l.cg.nodes[static_cast<std::size_t>(churn)].has_unknown_callees);
+    // A decl-only non-virtual callee is "outside the tree", not unknown.
+    int arm = node_of(l, "Engine", "arm");
+    ASSERT_GE(arm, 0);
+    EXPECT_FALSE(l.cg.nodes[static_cast<std::size_t>(arm)].has_unknown_callees);
+}
+
+TEST(StaticcheckCallgraph, MutualRecursionCondensesToOneScc) {
+    Loaded& l = load_cg_tree();
+    int even = node_of(l, "", "even");
+    int odd = node_of(l, "", "odd");
+    ASSERT_GE(even, 0);
+    ASSERT_GE(odd, 0);
+    ASSERT_NE(even, odd);
+    EXPECT_EQ(l.cg.nodes[static_cast<std::size_t>(even)].scc,
+              l.cg.nodes[static_cast<std::size_t>(odd)].scc);
+    // Each calls the other.
+    const auto& ec = l.cg.nodes[static_cast<std::size_t>(even)].callees;
+    const auto& oc = l.cg.nodes[static_cast<std::size_t>(odd)].callees;
+    EXPECT_NE(std::find(ec.begin(), ec.end(), odd), ec.end());
+    EXPECT_NE(std::find(oc.begin(), oc.end(), even), oc.end());
+    // Non-recursive nodes form singleton SCCs.
+    int arm = node_of(l, "Engine", "arm");
+    ASSERT_GE(arm, 0);
+    EXPECT_EQ(l.cg.sccs[static_cast<std::size_t>(
+                            l.cg.nodes[static_cast<std::size_t>(arm)].scc)]
+                  .size(),
+              1u);
+}
+
+TEST(StaticcheckCallgraph, SccOrderIsBottomUp) {
+    Loaded& l = load_cg_tree();
+    // Every edge must point into the same SCC or an earlier-listed one.
+    for (const auto& node : l.cg.nodes) {
+        for (int callee : node.callees) {
+            EXPECT_LE(l.cg.nodes[static_cast<std::size_t>(callee)].scc, node.scc);
+        }
+    }
+}
+
+TEST(StaticcheckSummary, EffectMasksArePerMemberAndPrecise) {
+    Loaded& l = load_cg_tree();
+    const auto* arm = l.sums.find("Engine", "arm");
+    ASSERT_NE(arm, nullptr);
+    EXPECT_EQ(arm->event_effect("timer_"), staticcheck::kEffLive);
+    const auto* disarm = l.sums.find("Engine", "disarm");
+    ASSERT_NE(disarm, nullptr);
+    EXPECT_EQ(disarm->event_effect("timer_"), staticcheck::kEffInvalid);
+}
+
+TEST(StaticcheckSummary, CalleeEffectsComposeThroughCalls) {
+    // rearm() only calls disarm() then arm(); its published mask must be
+    // the composition (ends Live), not havoc.
+    const auto* rearm = load_cg_tree().sums.find("Engine", "rearm");
+    ASSERT_NE(rearm, nullptr);
+    EXPECT_EQ(rearm->event_effect("timer_"), staticcheck::kEffLive);
+}
+
+TEST(StaticcheckSummary, UnknownCalleesPublishHavoc) {
+    // churn() calls a virtual: dynamic dispatch could do anything to the
+    // members, so the summary must claim nothing definite.
+    const auto* churn = load_cg_tree().sums.find("Engine", "churn");
+    ASSERT_NE(churn, nullptr);
+    EXPECT_EQ(churn->event_effect("timer_"), staticcheck::kEffHavoc);
+}
+
+TEST(StaticcheckSummary, RecursionReachesAFixpoint) {
+    // Existence of both summaries proves the in-SCC iteration terminated.
+    EXPECT_NE(load_cg_tree().sums.find("", "even"), nullptr);
+    EXPECT_NE(load_cg_tree().sums.find("", "odd"), nullptr);
+}
+
+} // namespace

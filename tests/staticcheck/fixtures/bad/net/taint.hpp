@@ -1,0 +1,35 @@
+// Fixture: wire-taint violations — a wire field indexed with no range
+// check, a narrowing cast of a wire length, a WireReader read used as an
+// index, and a flow through a helper reported at the call site.
+#pragma once
+
+struct TcpSegment {
+    unsigned short window;
+    unsigned long doff;
+};
+
+struct WireReader {
+    unsigned long u16();
+};
+
+inline int table[64];
+
+inline int pick(const TcpSegment& seg) {
+    return table[seg.doff];
+}
+
+inline unsigned char shrink(const TcpSegment& seg) {
+    return static_cast<unsigned char>(seg.window);
+}
+
+inline int read_index(WireReader r) {
+    return table[r.u16()];
+}
+
+inline int at(unsigned long pos) {
+    return table[pos];
+}
+
+inline int call_through(const TcpSegment& seg) {
+    return at(seg.doff);
+}

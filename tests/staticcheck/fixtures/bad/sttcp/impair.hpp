@@ -1,0 +1,11 @@
+// Fixture: impairment-api violation — engine-layer code reaching into the
+// legacy loss_probability knob instead of the impairment pipeline.
+#pragma once
+
+struct LinkConfig {
+    double chaos = 0.0;
+};
+
+inline void degrade(LinkConfig& c, double p) {
+    c.loss_probability = p;
+}

@@ -1,0 +1,15 @@
+// Fixture: payload-alloc violations — raw byte-buffer allocation outside
+// the pooled-payload layer (util/shared_payload, util/buffer_pool).
+#pragma once
+
+inline unsigned char* grab(unsigned long n) {
+    return new unsigned char[n];
+}
+
+inline void drop(unsigned char* p) {
+    delete[] p;
+}
+
+inline void* legacy(unsigned long n) {
+    return malloc(n);
+}

@@ -1,0 +1,45 @@
+// Fixture tree for the call-graph / summary unit tests (callgraph_test.cpp):
+// effect masks seen through same-class calls, virtual-call havoc, lambda
+// sub-nodes, and a mutually recursive pair condensed into one SCC.
+#pragma once
+
+struct EventId {
+    long v = -1;
+};
+
+inline EventId kInvalidEventId;
+
+class Engine {
+  public:
+    void arm() { timer_ = schedule_at(); }
+    void disarm() { timer_ = kInvalidEventId; }
+    void rearm() {
+        disarm();
+        arm();
+    }
+    void churn() {
+        tweak();
+        timer_ = schedule_at();
+    }
+    void host() {
+        run([this] { timer_ = schedule_at(); });
+    }
+    virtual void tweak();
+
+  private:
+    EventId schedule_at();
+    void run(int f);
+    EventId timer_;
+};
+
+inline int odd(int n);
+
+inline int even(int n) {
+    if (n == 0) return 1;
+    return odd(n - 1);
+}
+
+inline int odd(int n) {
+    if (n == 0) return 0;
+    return even(n - 1);
+}

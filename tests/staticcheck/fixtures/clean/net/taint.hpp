@@ -1,0 +1,32 @@
+// Fixture: wire-taint done right — every sink is dominated by a range
+// check, bounded by a clamp, or annotated sanitized() with a reason.
+#pragma once
+
+struct TcpSegment {
+    unsigned short window;
+    unsigned long doff;
+};
+
+inline int table[64];
+
+inline int pick(const TcpSegment& seg) {
+    if (seg.doff >= 64) return 0;
+    return table[seg.doff];
+}
+
+inline unsigned short shrink(const TcpSegment& seg) {
+    return static_cast<unsigned short>(seg.window < 9000 ? seg.window : 9000);
+}
+
+inline int annotated(const TcpSegment& seg) {
+    // sanitized(seg.doff): the parser masks doff to 4 bits before scaling
+    return table[seg.doff];
+}
+
+inline int at(unsigned long pos) {
+    return pos < 64 ? table[pos] : 0;
+}
+
+inline int call_through(const TcpSegment& seg) {
+    return at(seg.doff);
+}

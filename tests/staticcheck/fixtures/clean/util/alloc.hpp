@@ -1,0 +1,12 @@
+// Fixture: payload allocation done right — buffers come from the pool,
+// never from a raw new[] / malloc.
+#pragma once
+
+struct BufferPool {
+    static BufferPool& instance();
+    void* take(unsigned long n);
+};
+
+inline void* grab(unsigned long n) {
+    return BufferPool::instance().take(n);
+}

@@ -1,0 +1,14 @@
+// Fixture: a waived wire-taint finding — the index is bounded by a protocol
+// invariant the analyzer cannot see, and the waiver says which one.
+#pragma once
+
+struct TcpSegment {
+    unsigned long doff;
+};
+
+inline int table[64];
+
+inline int pick(const TcpSegment& seg) {
+    // lint:allow taint.wire_to_index -- doff is masked to 4 bits by the parser
+    return table[seg.doff];
+}

@@ -1,0 +1,12 @@
+// Fixture: impairment-api waived file-wide — a chaos harness that pokes the
+// legacy knob on purpose.
+// lint:allow-file impairment-api -- chaos harness exercises the raw knob deliberately
+#pragma once
+
+struct LinkConfig {
+    double chaos = 0.0;
+};
+
+inline void degrade(LinkConfig& c, double p) {
+    c.loss_probability = p;
+}

@@ -1,0 +1,8 @@
+// Fixture: a waived payload-alloc finding — a deliberate raw buffer in a
+// scratch path that never reaches the zero-copy pipeline.
+#pragma once
+
+inline unsigned char* grab(unsigned long n) {
+    // lint:allow payload-alloc -- scratch buffer local to this helper, never pooled
+    return new unsigned char[n];
+}

@@ -80,6 +80,39 @@ TEST(Staticcheck, DataflowRulesFireAtTheRightLine) {
         << r.output;
 }
 
+TEST(Staticcheck, WireTaintRulesFireAtTheRightLine) {
+    RunResult r = run_staticcheck("--root " + fixture("bad"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // Direct flows: wire field into a subscript, into a narrowing cast, and
+    // a WireReader read used as an index.
+    EXPECT_NE(r.output.find("net/taint.hpp:18: [taint.wire_to_index]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("net/taint.hpp:22: [taint.narrowing]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("net/taint.hpp:26: [taint.wire_to_index]"), std::string::npos)
+        << r.output;
+    // Interprocedural: at() indexes its parameter unsanitized; the finding
+    // lands at the call site that passes the wire field in.
+    EXPECT_NE(r.output.find("net/taint.hpp:34: [taint.wire_to_index]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("inside it (line 30)"), std::string::npos) << r.output;
+    // at() itself must NOT be reported: its parameter is not wire-tainted.
+    EXPECT_EQ(r.output.find("net/taint.hpp:30:"), std::string::npos) << r.output;
+}
+
+TEST(Staticcheck, MigratedLintRulesFireAtTheRightLine) {
+    RunResult r = run_staticcheck("--root " + fixture("bad"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("tcp/alloc.hpp:6: [payload-alloc]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("tcp/alloc.hpp:10: [payload-alloc]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("tcp/alloc.hpp:14: [payload-alloc]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("sttcp/impair.hpp:10: [impairment-api]"), std::string::npos)
+        << r.output;
+}
+
 TEST(Staticcheck, ParallelRunIsByteIdenticalToSerial) {
     RunResult serial = run_staticcheck("--root " + fixture("bad") + " --jobs 1");
     RunResult parallel = run_staticcheck("--root " + fixture("bad") + " --jobs 4");
@@ -123,6 +156,50 @@ TEST(Staticcheck, JsonReportListsFindings) {
 
 TEST(Staticcheck, UnknownArgumentIsAUsageError) {
     RunResult r = run_staticcheck("--frobnicate");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Staticcheck, BaselineWriteThenSuppressRoundTrips) {
+    std::string base_path = ::testing::TempDir() + "/staticcheck_baseline.txt";
+    // --write-baseline records the bad tree's findings and exits 0.
+    RunResult w = run_staticcheck("--root " + fixture("bad") + " --baseline " + base_path +
+                                  " --write-baseline");
+    EXPECT_EQ(w.exit_code, 0) << w.output;
+    // A rerun against that baseline suppresses everything: clean exit.
+    RunResult r = run_staticcheck("--root " + fixture("bad") + " --baseline " + base_path);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("baselined finding(s) suppressed"), std::string::npos)
+        << r.output;
+    std::remove(base_path.c_str());
+}
+
+TEST(Staticcheck, BaselineMatchesOnMessageNotLine) {
+    // Shift every line number in the baseline: findings must STILL be
+    // suppressed, because identity is (file, rule, message).
+    std::string base_path = ::testing::TempDir() + "/staticcheck_baseline_shift.txt";
+    RunResult w = run_staticcheck("--root " + fixture("bad") + " --baseline " + base_path +
+                                  " --write-baseline");
+    ASSERT_EQ(w.exit_code, 0) << w.output;
+    std::ifstream in(base_path);
+    std::stringstream shifted;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t colon = line.find(':');
+        ASSERT_NE(colon, std::string::npos) << line;
+        shifted << line.substr(0, colon) << ":9999" << line.substr(line.find(':', colon + 1))
+                << "\n";
+    }
+    in.close();
+    std::ofstream out(base_path);
+    out << shifted.str();
+    out.close();
+    RunResult r = run_staticcheck("--root " + fixture("bad") + " --baseline " + base_path);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    std::remove(base_path.c_str());
+}
+
+TEST(Staticcheck, WriteBaselineRequiresBaselinePath) {
+    RunResult r = run_staticcheck("--root " + fixture("bad") + " --write-baseline");
     EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 

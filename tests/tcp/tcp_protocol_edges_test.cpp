@@ -50,6 +50,35 @@ TEST(TcpEdge, MssIsNegotiatedDownward) {
     EXPECT_EQ(conn->config().mss, 500);
 }
 
+TEST(TcpEdge, ZeroMssAdvertisementIsFloored) {
+    // Regression for the wire-taint triage: a peer advertising MSS 0 used to
+    // be taken at face value, wedging the server's sender (it could never
+    // fit a payload byte into a segment). The floor clamps it to kMinMss.
+    tcp::TcpConfig zero;
+    zero.mss = 0;
+    TwoHostLan lan({}, {});
+    tcp::HostStack zero_client{lan.sim, lan.client_node, zero};
+    zero_client.add_interface(lan.client_nic, lan.client_ip, 24);
+
+    auto listener = lan.server.tcp_listen(80);
+    std::shared_ptr<tcp::TcpConnection> server_conn;
+    listener->set_accept_handler(
+        [&](std::shared_ptr<tcp::TcpConnection> c) { server_conn = std::move(c); });
+    auto conn = zero_client.tcp_connect(lan.server_ip, 80);
+    lan.sim.run_for(sim::seconds{1});
+    ASSERT_NE(server_conn, nullptr);
+    EXPECT_EQ(server_conn->config().mss, tcp::kMinMss);
+
+    // Data still flows server -> client through the floored connection.
+    util::Bytes msg = make_payload(1500);
+    server_conn->send(msg);
+    lan.sim.run_for(sim::seconds{5});
+    util::Bytes got;
+    std::uint8_t buf[4096];
+    while (std::size_t n = conn->read(buf)) got.insert(got.end(), buf, buf + n);
+    EXPECT_EQ(got, msg);
+}
+
 TEST(TcpEdge, SimultaneousClose) {
     Pair p;
     p.connect_and_settle();

@@ -1,0 +1,426 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+
+#include "cfg.hpp"
+
+namespace staticcheck {
+
+// ---------------------------------------------------------------------------
+// Shared token-scan helpers
+// ---------------------------------------------------------------------------
+
+bool tok_bare(const std::vector<Token>& toks, std::size_t i) {
+    if (i == 0) return true;
+    std::string_view p = toks[i - 1].text;
+    if (p == "." || p == "::") return false;
+    if (p == "->") return i >= 2 && toks[i - 2].text == "this";
+    return true;
+}
+
+std::size_t tok_match_paren(const std::vector<Token>& toks, std::size_t open,
+                            std::size_t hi) {
+    int depth = 0;
+    for (std::size_t i = open; i < hi; ++i) {
+        if (toks[i].text == "(") ++depth;
+        else if (toks[i].text == ")") {
+            if (--depth == 0) return i;
+        }
+    }
+    return hi;
+}
+
+bool tok_param_range(const std::vector<Token>& toks, std::size_t body_open, std::size_t& lo,
+                     std::size_t& hi) {
+    std::size_t k = body_open;
+    std::size_t steps = 0;
+    while (k > 0 && steps < 40) {
+        --k;
+        ++steps;
+        if (toks[k].text == ")") {
+            int depth = 0;
+            for (std::size_t j = k + 1; j-- > 0;) {
+                if (toks[j].text == ")") ++depth;
+                else if (toks[j].text == "(") {
+                    if (--depth == 0) {
+                        lo = j + 1;
+                        hi = k;
+                        return true;
+                    }
+                }
+                if (j == 0) break;
+            }
+            return false;
+        }
+        if (toks[k].text == ";" || toks[k].text == "}") return false;
+    }
+    return false;
+}
+
+std::vector<Param> parse_params(const std::vector<Token>& toks, std::size_t body_open) {
+    std::vector<Param> out;
+    std::size_t lo = 0, hi = 0;
+    if (!tok_param_range(toks, body_open, lo, hi)) return out;
+    // Split on commas at paren/angle/brace depth 0.
+    std::size_t piece = lo;
+    for (std::size_t i = lo; i <= hi; ++i) {
+        bool at_end = i == hi;
+        if (!at_end) {
+            std::string_view t = toks[i].text;
+            if (t == "(" || t == "<" || t == "{" || t == "[") {
+                int depth = 0;
+                for (; i < hi; ++i) {
+                    std::string_view u = toks[i].text;
+                    if (u == "(" || u == "<" || u == "{" || u == "[") ++depth;
+                    else if (u == ")" || u == ">" || u == "}" || u == "]") {
+                        if (--depth == 0) break;
+                    } else if (u == ">>") {
+                        depth -= 2;
+                        if (depth <= 0) break;
+                    }
+                }
+                continue;
+            }
+            if (t != ",") continue;
+        }
+        if (i > piece) {
+            // Declaration part stops at a default-argument '='.
+            std::size_t decl_end = i;
+            for (std::size_t j = piece; j < i; ++j) {
+                if (toks[j].text == "=") {
+                    decl_end = j;
+                    break;
+                }
+            }
+            // Name: the trailing identifier of the declaration.
+            if (decl_end > piece && toks[decl_end - 1].kind == TokKind::kIdent &&
+                decl_end - 1 > piece) {
+                Param p;
+                p.name = std::string(toks[decl_end - 1].text);
+                for (std::size_t j = piece; j + 1 < decl_end; ++j) {
+                    if (!p.type.empty()) p.type += ' ';
+                    p.type += toks[j].text;
+                }
+                if (p.name != "void") out.push_back(std::move(p));
+            }
+        }
+        piece = i + 1;
+    }
+    return out;
+}
+
+LocalTypes collect_local_types(const FunctionBody& fn, const ClassModel* cls) {
+    LocalTypes lt;
+    const auto& toks = fn.file->lex.tokens;
+    for (const Param& p : parse_params(toks, fn.begin)) lt.types.emplace(p.name, p.type);
+
+    // Body locals: `Type name` where Type is an identifier/::-chain with
+    // optional template args and ref/pointer qualifiers, and `name` is
+    // directly followed by an initializer or terminator. Two consecutive
+    // identifiers cannot be a call, so this never misreads one.
+    for (std::size_t i = fn.begin + 1; i + 1 < fn.end; ++i) {
+        if (toks[i].kind != TokKind::kIdent) continue;
+        std::string_view after = toks[i + 1].text;
+        if (after != "=" && after != ";" && after != "{" && after != "(" && after != ",")
+            continue;
+        // Walk the type backwards over idents, ::, <...>, &, *, const.
+        std::size_t j = i;
+        std::string type;
+        while (j > fn.begin) {
+            std::string_view p = toks[j - 1].text;
+            if (p == "&" || p == "&&" || p == "*" || p == "const") {
+                --j;
+                continue;
+            }
+            if (p == ">") {  // skip balanced template args backwards
+                int angle = 0;
+                std::size_t k = j;
+                while (k > fn.begin) {
+                    --k;
+                    if (toks[k].text == ">") ++angle;
+                    else if (toks[k].text == "<") {
+                        if (--angle == 0) break;
+                    }
+                }
+                if (angle != 0 || k == fn.begin) break;
+                j = k;
+                continue;
+            }
+            if (toks[j - 1].kind == TokKind::kIdent || p == "::") {
+                --j;
+                if (j > fn.begin && toks[j - 1].text != "::" &&
+                    toks[j].kind == TokKind::kIdent &&
+                    (j == 0 || toks[j - 1].kind != TokKind::kIdent)) {
+                    // one ident consumed; allow `ns :: Type` chains to keep going
+                }
+                continue;
+            }
+            break;
+        }
+        if (j == i) continue;  // no type tokens before the name
+        // Reject statement keywords leading the "type".
+        std::string_view head = toks[j].text;
+        if (head == "return" || head == "if" || head == "while" || head == "for" ||
+            head == "switch" || head == "case" || head == "else" || head == "do" ||
+            head == "delete" || head == "new" || head == "throw" || head == "goto" ||
+            head == "co_return" || head == "break" || head == "continue") {
+            continue;
+        }
+        for (std::size_t k = j; k < i; ++k) {
+            if (!type.empty()) type += ' ';
+            type += toks[k].text;
+        }
+        if (!type.empty()) lt.types.emplace(std::string(toks[i].text), std::move(type));
+    }
+
+    if (cls != nullptr) {
+        for (const MemberVar& m : cls->members) lt.types.emplace(m.name, m.type);
+    }
+    return lt;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph construction
+// ---------------------------------------------------------------------------
+
+bool is_function_valued_type(const std::string& type) {
+    return type.find("function") != std::string::npos ||
+           type.find("Function") != std::string::npos ||
+           type.find("Callback") != std::string::npos;
+}
+
+// The class a flattened type string names, if any.
+const ClassModel* class_of_type(const Tree& tree, const std::string& type) {
+    std::size_t pos = 0;
+    while (pos < type.size()) {
+        std::size_t sp = type.find(' ', pos);
+        std::string word = type.substr(pos, sp == std::string::npos ? sp : sp - pos);
+        auto it = tree.classes.find(word);
+        if (it != tree.classes.end()) return &it->second;
+        if (sp == std::string::npos) break;
+        pos = sp + 1;
+    }
+    return nullptr;
+}
+
+struct Builder {
+    const Tree& tree;
+    CallGraph cg;
+    // name -> bodies, for free functions and per class.
+    std::map<std::string, std::vector<const FunctionBody*>> free_by_name;
+    std::map<const ClassModel*, std::map<std::string, std::vector<const FunctionBody*>>>
+        member_by_name;
+
+    explicit Builder(const Tree& t) : tree(t) {}
+
+    int add_node(const FunctionBody* fn, const ClassModel* cls, std::size_t begin,
+                 std::size_t end, int parent) {
+        CgNode n;
+        n.fn = fn;
+        n.cls = cls;
+        n.begin = begin;
+        n.end = end;
+        n.parent = parent;
+        cg.nodes.push_back(std::move(n));
+        return static_cast<int>(cg.nodes.size() - 1);
+    }
+
+    void add_edge(int from, int to) {
+        auto& v = cg.nodes[static_cast<std::size_t>(from)].callees;
+        if (std::find(v.begin(), v.end(), to) == v.end()) v.push_back(to);
+    }
+
+    void add_edges_to_bodies(int from, const std::vector<const FunctionBody*>& bodies) {
+        for (const FunctionBody* b : bodies) {
+            auto it = cg.primary.find(b);
+            if (it != cg.primary.end()) add_edge(from, it->second);
+        }
+    }
+
+    // Creates the node for [begin, end) plus sub-nodes for every immediate
+    // lambda body (recursively), wiring parent -> lambda edges.
+    int add_node_tree(const FunctionBody* fn, const ClassModel* cls, std::size_t begin,
+                      std::size_t end, int parent) {
+        int id = add_node(fn, cls, begin, end, parent);
+        Cfg c = build_cfg(fn->file->lex.tokens, begin, end);
+        if (c.ok) {
+            for (const auto& [lo, hi] : c.lambda_bodies) {
+                int child = add_node_tree(fn, cls, lo, hi, id);
+                cg.nodes[static_cast<std::size_t>(id)].lambdas.push_back(child);
+                add_edge(id, child);
+            }
+        }
+        return id;
+    }
+
+    // True when [lo, hi) of `node`'s range belongs to one of its immediate
+    // lambda sub-nodes (whose calls are scanned as that node).
+    bool in_child_lambda(const CgNode& node, std::size_t i) const {
+        for (int child : node.lambdas) {
+            const CgNode& c = cg.nodes[static_cast<std::size_t>(child)];
+            if (i >= c.begin && i < c.end) return true;
+        }
+        return false;
+    }
+
+    void resolve_calls(int id) {
+        CgNode& node = cg.nodes[static_cast<std::size_t>(id)];
+        const auto& toks = node.fn->file->lex.tokens;
+        const ClassModel* cls = node.cls;
+        LocalTypes lt = collect_local_types(*node.fn, cls);
+
+        for (std::size_t i = node.begin; i + 1 < node.end; ++i) {
+            if (in_child_lambda(node, i)) continue;
+            if (toks[i].kind != TokKind::kIdent || toks[i + 1].text != "(") continue;
+            std::string name(toks[i].text);
+
+            // Qualified call: Class::f(...).
+            if (i >= 2 && toks[i - 1].text == "::" && toks[i - 2].kind == TokKind::kIdent) {
+                auto cit = tree.classes.find(std::string(toks[i - 2].text));
+                if (cit != tree.classes.end()) {
+                    auto& by_name = member_by_name[&cit->second];
+                    auto fit = by_name.find(name);
+                    if (fit != by_name.end()) add_edges_to_bodies(id, fit->second);
+                }
+                continue;
+            }
+
+            // Member call through a typed receiver: recv.f(...) / recv->f(...).
+            if (i >= 2 && (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+                !(toks[i - 1].text == "->" && i >= 2 && toks[i - 2].text == "this")) {
+                // Single-step receivers only; longer chains are external.
+                if (toks[i - 2].kind != TokKind::kIdent) continue;
+                if (i >= 3 && (toks[i - 3].text == "." || toks[i - 3].text == "->" ||
+                               toks[i - 3].text == "::")) {
+                    continue;
+                }
+                const std::string* rt = lt.find(toks[i - 2].text);
+                if (rt == nullptr) continue;
+                const ClassModel* rc = class_of_type(tree, *rt);
+                if (rc == nullptr) continue;  // external type: assumed effect-free
+                if (rc->virtual_methods.count(name) != 0) {
+                    node.has_unknown_callees = true;  // dynamic dispatch
+                    continue;
+                }
+                auto& by_name = member_by_name[rc];
+                auto fit = by_name.find(name);
+                if (fit != by_name.end()) add_edges_to_bodies(id, fit->second);
+                continue;
+            }
+
+            if (!tok_bare(toks, i)) continue;
+
+            // Invocation of a function-valued variable (std::function /
+            // InlineFunction member, parameter or local): unknown callee.
+            if (const std::string* vt = lt.find(name);
+                vt != nullptr && is_function_valued_type(*vt)) {
+                node.has_unknown_callees = true;
+                continue;
+            }
+
+            // Bare call: member of the enclosing class, else a free function.
+            if (cls != nullptr) {
+                if (cls->virtual_methods.count(name) != 0) {
+                    node.has_unknown_callees = true;
+                    continue;
+                }
+                auto& by_name = member_by_name[cls];
+                auto fit = by_name.find(name);
+                if (fit != by_name.end()) {
+                    add_edges_to_bodies(id, fit->second);
+                    continue;
+                }
+            }
+            auto fit = free_by_name.find(name);
+            if (fit != free_by_name.end()) add_edges_to_bodies(id, fit->second);
+        }
+    }
+
+    void tarjan() {
+        const std::size_t n = cg.nodes.size();
+        std::vector<int> index(n, -1), low(n, 0);
+        std::vector<bool> on_stack(n, false);
+        std::vector<int> stack;
+        int next_index = 0;
+
+        struct Frame {
+            int v;
+            std::size_t child = 0;
+        };
+        for (std::size_t root = 0; root < n; ++root) {
+            if (index[root] != -1) continue;
+            std::vector<Frame> frames{{static_cast<int>(root)}};
+            while (!frames.empty()) {
+                Frame& f = frames.back();
+                auto v = static_cast<std::size_t>(f.v);
+                if (f.child == 0) {
+                    index[v] = low[v] = next_index++;
+                    stack.push_back(f.v);
+                    on_stack[v] = true;
+                }
+                if (f.child < cg.nodes[v].callees.size()) {
+                    int w = cg.nodes[v].callees[f.child++];
+                    auto wi = static_cast<std::size_t>(w);
+                    if (index[wi] == -1) {
+                        frames.push_back({w});
+                    } else if (on_stack[wi]) {
+                        low[v] = std::min(low[v], index[wi]);
+                    }
+                    continue;
+                }
+                if (low[v] == index[v]) {
+                    std::vector<int> scc;
+                    for (;;) {
+                        int w = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(w)] = false;
+                        cg.nodes[static_cast<std::size_t>(w)].scc =
+                            static_cast<int>(cg.sccs.size());
+                        scc.push_back(w);
+                        if (w == f.v) break;
+                    }
+                    cg.sccs.push_back(std::move(scc));
+                }
+                int done = f.v;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    auto p = static_cast<std::size_t>(frames.back().v);
+                    low[p] = std::min(low[p], low[static_cast<std::size_t>(done)]);
+                }
+            }
+        }
+    }
+
+    CallGraph build() {
+        // Primary nodes first so edges can target them by body pointer.
+        for (const auto& [name, cls] : tree.classes) {
+            for (const FunctionBody& fn : cls.functions) {
+                member_by_name[&cls][fn.name].push_back(&fn);
+            }
+        }
+        for (const FunctionBody& fn : tree.free_functions) {
+            free_by_name[fn.name].push_back(&fn);
+        }
+        for (const auto& [name, cls] : tree.classes) {
+            for (const FunctionBody& fn : cls.functions) {
+                cg.primary[&fn] = add_node_tree(&fn, &cls, fn.begin, fn.end, -1);
+            }
+        }
+        for (const FunctionBody& fn : tree.free_functions) {
+            cg.primary[&fn] = add_node_tree(&fn, nullptr, fn.begin, fn.end, -1);
+        }
+        for (std::size_t i = 0; i < cg.nodes.size(); ++i) {
+            resolve_calls(static_cast<int>(i));
+        }
+        tarjan();
+        return std::move(cg);
+    }
+};
+
+} // namespace
+
+CallGraph build_callgraph(const Tree& tree) { return Builder(tree).build(); }
+
+} // namespace staticcheck

@@ -1,0 +1,94 @@
+// Program-wide call graph over the structural model (DESIGN.md §14.1).
+//
+// Nodes are function bodies plus one sub-node per lambda body (the lambda
+// analyzed as a function of its own, reachable from its enclosing node).
+// Edges are the call sites the resolver can prove:
+//   - bare / `this->` calls to a member of the enclosing class,
+//   - bare calls to a free function defined in the tree,
+//   - `recv.f(...)` / `recv->f(...)` where recv's declared type (parameter,
+//     local or member declaration) names a class the model knows,
+//   - `Class::f(...)` qualified calls.
+// Everything dynamic — calls through std::function / InlineFunction values,
+// calls to methods declared `virtual` — sets has_unknown_callees instead;
+// summaries for such nodes degrade to havoc (a missed fact, never a false
+// one). Calls to code outside the tree (std::, system headers) are assumed
+// unable to touch the caller's members and add no edge.
+//
+// SCCs are condensed with Tarjan's algorithm; `sccs` lists them bottom-up
+// (callees before callers) so summary computation can run in one sweep with
+// a fixpoint only inside each cycle.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace staticcheck {
+
+// --- shared token-scan helpers (also used by dataflow.cpp) -----------------
+
+// True when toks[i] is a bare reference (not `obj.x`, `ns::x` or `p->x`;
+// `this->x` counts as bare).
+[[nodiscard]] bool tok_bare(const std::vector<Token>& toks, std::size_t i);
+
+// Index of the ")" matching toks[open] (== "("), clamped to hi.
+[[nodiscard]] std::size_t tok_match_paren(const std::vector<Token>& toks, std::size_t open,
+                                          std::size_t hi);
+
+// Token range of a function's parameter list, found by walking back from
+// the body's '{' over trailing qualifiers to the signature's ')'.
+[[nodiscard]] bool tok_param_range(const std::vector<Token>& toks, std::size_t body_open,
+                                   std::size_t& lo, std::size_t& hi);
+
+// One parameter of a function signature: declared name and flattened type.
+struct Param {
+    std::string name;
+    std::string type;
+};
+
+// Parses the parameter list of the function whose body opens at body_open.
+[[nodiscard]] std::vector<Param> parse_params(const std::vector<Token>& toks,
+                                              std::size_t body_open);
+
+// Declared types visible inside one function: parameters, body locals with
+// a recognizable `Type name` declaration, and the enclosing class's member
+// variables. Used for receiver-type call resolution and wire-type tracking.
+struct LocalTypes {
+    std::map<std::string, std::string> types;  // var name -> flattened type
+
+    [[nodiscard]] const std::string* find(std::string_view name) const {
+        auto it = types.find(std::string(name));
+        return it == types.end() ? nullptr : &it->second;
+    }
+};
+
+[[nodiscard]] LocalTypes collect_local_types(const FunctionBody& fn, const ClassModel* cls);
+
+// --- the graph -------------------------------------------------------------
+
+struct CgNode {
+    const FunctionBody* fn = nullptr;  // owning function (lambdas: the host)
+    const ClassModel* cls = nullptr;   // enclosing class, null for free fns
+    std::size_t begin = 0, end = 0;    // analyzed token range (body or lambda)
+    int parent = -1;                   // lambda sub-node: index of host node
+    std::vector<int> callees;          // resolved call edges (deduped)
+    std::vector<int> lambdas;          // sub-nodes for immediate lambda bodies
+    bool has_unknown_callees = false;  // indirect / virtual call seen
+    int scc = -1;                      // SCC id after condensation
+};
+
+struct CallGraph {
+    std::vector<CgNode> nodes;
+    std::map<const FunctionBody*, int> primary;  // body -> its function node
+    // SCCs in bottom-up (reverse topological) order: every edge out of a
+    // node in sccs[i] targets a node in some sccs[j] with j <= i.
+    std::vector<std::vector<int>> sccs;
+};
+
+[[nodiscard]] CallGraph build_callgraph(const Tree& tree);
+
+} // namespace staticcheck

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
+
+#include "callgraph.hpp"
 
 namespace staticcheck {
 
@@ -123,6 +126,7 @@ struct EvCtx {
     std::vector<std::string> members;  // index order fixes the state layout
     std::set<std::string> self_fns;
     std::string fn_name;
+    const SummaryTable* sums = nullptr;      // interprocedural effects
     std::vector<Finding>* report = nullptr;  // non-null during the report pass
 
     [[nodiscard]] int member_index(std::string_view name) const {
@@ -234,10 +238,27 @@ EvState ev_transfer(const EvCtx& ctx, int node, EvState st) {
             continue;
         }
 
-        // Self-call: a member function may rewrite any member — havoc.
+        // Self-call: apply the callee's summarized per-member effect. A
+        // callee without a summary degrades to the old behavior — every
+        // member may have been rewritten (havoc).
         if (i + 1 < nd.hi && toks[i + 1].text == "(" && bare(toks, i) &&
             ctx.self_fns.count(std::string(tk.text)) != 0) {
-            for (EvVal& v : st) v = {kEvOther, 0};
+            const FunctionSummary* s =
+                ctx.sums != nullptr ? ctx.sums->find(ctx.cls.name, tk.text) : nullptr;
+            for (std::size_t m = 0; m < st.size(); ++m) {
+                EvVal& v = st[m];
+                if (s == nullptr) {
+                    v = {kEvOther, 0};
+                    continue;
+                }
+                std::uint8_t eff = s->event_effect(ctx.members[m]);
+                std::uint8_t may = (eff & kEffUnchanged) != 0 ? v.may : 0;
+                if ((eff & kEffLive) != 0) may |= kEvLive;
+                if ((eff & kEffInvalid) != 0) may |= kEvInvalid;
+                if ((eff & kEffOther) != 0) may |= kEvOther;
+                v.may = may;
+                if ((may & kEvCancelled) == 0) v.cancel_line = 0;
+            }
         }
     }
     return st;
@@ -320,6 +341,8 @@ struct GuardCtx {
     std::set<std::string> mutexes;                // names a guard can take
     std::map<std::string, std::string> bindings;  // guard object -> mutex
     std::string fn_name;
+    std::set<std::string> self_fns;
+    const SummaryTable* sums = nullptr;
     std::vector<Finding>* report = nullptr;
 };
 
@@ -400,6 +423,21 @@ LockState lock_transfer(const GuardCtx& ctx, int node, LockState st) {
                 }
                 i += 2;
                 continue;
+            }
+        }
+
+        // Self-call: apply the callee's summarized lock-set delta. Mutexes
+        // it may release stop being provably held; mutexes it definitely
+        // acquires (and never releases) are held from here on.
+        if (i + 1 < nd.hi && toks[i + 1].text == "(" && bare(toks, i) &&
+            ctx.self_fns.count(std::string(tk.text)) != 0 && ctx.sums != nullptr) {
+            if (const FunctionSummary* s = ctx.sums->find(ctx.cls.name, tk.text)) {
+                for (const std::string& m : s->lock_releases) {
+                    std::erase_if(st, [&](const Held& h) { return h.mutex == m; });
+                }
+                for (const std::string& m : s->lock_acquires) {
+                    lock_insert(st, {m, "", nd.scope_id});
+                }
             }
         }
 
@@ -492,6 +530,7 @@ struct PmCtx {
     std::set<std::string> member_vars;  // subset of vars that are members
     std::set<std::string> self_fns;
     std::string fn_name;
+    const SummaryTable* sums = nullptr;
     std::vector<Finding>* report = nullptr;
 
     [[nodiscard]] int var_index(std::string_view name) const {
@@ -565,12 +604,30 @@ PmState pm_transfer(const PmCtx& ctx, int node, PmState st) {
             continue;
         }
 
-        // Self-call havoc: a member function may refill member payloads.
+        // Self-call: apply the callee's summarized per-member payload
+        // effect; no summary degrades to the old havoc of member payloads.
         if (i + 1 < nd.hi && toks[i + 1].text == "(" && bare(toks, i) &&
             ctx.self_fns.count(std::string(tk.text)) != 0) {
+            const FunctionSummary* s =
+                ctx.sums != nullptr && ctx.cls != nullptr
+                    ? ctx.sums->find(ctx.cls->name, tk.text)
+                    : nullptr;
             for (std::size_t m = 0; m < ctx.vars.size(); ++m) {
-                if (ctx.member_vars.count(ctx.vars[m]) != 0)
-                    st[m] = {kPmOther, 0};
+                if (ctx.member_vars.count(ctx.vars[m]) == 0) continue;
+                PmVal& v = st[m];
+                if (s == nullptr) {
+                    v = {kPmOther, 0};
+                    continue;
+                }
+                std::uint8_t eff = s->payload_effect(ctx.vars[m]);
+                std::uint8_t may = (eff & kPmEffUnchanged) != 0 ? v.may : 0;
+                if ((eff & kPmEffValid) != 0) may |= kPmValid;
+                if ((eff & kPmEffMoved) != 0) may |= kPmMoved;
+                if ((eff & kPmEffOther) != 0) may |= kPmOther;
+                int move_line = (may & kPmMoved) != 0
+                                    ? (v.move_line != 0 ? v.move_line : tk.line)
+                                    : 0;
+                v = {may, move_line};
             }
         }
     }
@@ -671,13 +728,604 @@ void run_payload_dataflow(PmCtx& ctx, const FunctionBody& fn, std::vector<Findin
     }
 }
 
+// ---------------------------------------------------------------------------
+// wire-taint: attacker-controlled bytes from parse() to a dangerous use
+//
+// Lattice per variable (or `base.field` chain): a bitmask of taint origins —
+// bit i < 16 for "parameter i" (feeds the interprocedural summaries) and
+// kTaintWire for "came off the wire". Sources: ByteView parameters of the
+// src/net parse() boundaries, WireReader reads, and any field of a wire
+// struct (EthernetFrame, ArpMessage, Ipv4Packet, TcpSegment, UdpDatagram).
+// Sinks: subscripts, size-argument calls (resize, take, release_through, …)
+// and narrowing static_casts. Sanitizers: comparisons, std::min/max/clamp,
+// and the `// sanitized(name)` annotation. Join = union (may-taint), so a
+// value sanitized on one path but not another still reports.
+// ---------------------------------------------------------------------------
+
+using TaintState = std::map<std::string, std::uint32_t>;
+
+constexpr std::uint32_t kParamBits = 0xFFFFu;
+
+bool word_in_type(const std::string& type, std::string_view word) {
+    auto is_word = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_';
+    };
+    std::size_t pos = 0;
+    while ((pos = type.find(word, pos)) != std::string::npos) {
+        bool left_ok = pos == 0 || !is_word(type[pos - 1]);
+        bool right_ok = pos + word.size() >= type.size() || !is_word(type[pos + word.size()]);
+        if (left_ok && right_ok) return true;
+        ++pos;
+    }
+    return false;
+}
+
+bool is_wire_struct(const std::string& type) {
+    static constexpr const char* kWire[] = {"EthernetFrame", "ArpMessage", "Ipv4Packet",
+                                            "TcpSegment", "UdpDatagram"};
+    for (const char* w : kWire) {
+        if (word_in_type(type, w)) return true;
+    }
+    return false;
+}
+
+bool is_reader_read(std::string_view f) {
+    return f == "u8" || f == "u16" || f == "u32" || f == "u64" || f == "bytes";
+}
+
+// Calls whose arguments size or position a buffer operation. A wire-tainted
+// argument here is the paper's nightmare scenario: primary and backup crash
+// (or wedge) identically on the same replayed segment.
+bool is_sink_call(std::string_view f) {
+    static constexpr const char* kSinks[] = {
+        "resize",    "reserve",   "subspan",         "take",   "write_at",
+        "peek",      "copy_from", "copy_range",      "ack_to", "advance",
+        "memcpy",    "memmove",   "release_through", "memset"};
+    for (const char* s : kSinks) {
+        if (f == s) return true;
+    }
+    return false;
+}
+
+bool is_sanitizer_call(std::string_view f) {
+    return f == "min" || f == "max" || f == "clamp";
+}
+
+bool is_relational(const Token& t) {
+    return t.kind == TokKind::kPunct &&
+           (t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" ||
+            t.text == "==" || t.text == "!=");
+}
+
+bool has_narrow_type(const std::vector<Token>& toks, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+        std::string_view t = toks[i].text;
+        if (t == "uint8_t" || t == "int8_t" || t == "uint16_t" || t == "int16_t" ||
+            t == "char" || t == "short") {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t match_bracket(const std::vector<Token>& toks, std::size_t open, std::size_t hi) {
+    int depth = 0;
+    for (std::size_t i = open; i < hi; ++i) {
+        if (toks[i].text == "[") ++depth;
+        else if (toks[i].text == "]") {
+            if (--depth == 0) return i;
+        }
+    }
+    return hi;
+}
+
+struct TaintCtx {
+    const Tree& tree;
+    const SourceFile& file;
+    const std::vector<Token>& toks;
+    const ClassModel* cls = nullptr;
+    const SummaryTable& sums;
+    const Cfg* cfg = nullptr;
+    LocalTypes types;
+    std::string fn_label;
+    std::vector<Finding>* report = nullptr;  // rule mode only
+    TaintOutcome* outcome = nullptr;         // host-body replay only
+
+    // Taint of a never-assigned variable: wire-struct typed values are
+    // wire-tainted from birth (their fields came off the wire somewhere).
+    [[nodiscard]] std::uint32_t default_mask(const std::string& key) const {
+        std::string base = key.substr(0, key.find('.'));
+        const std::string* t = types.find(base);
+        return t != nullptr && is_wire_struct(*t) ? kTaintWire : 0;
+    }
+
+    [[nodiscard]] std::uint32_t lookup(const TaintState& st, const std::string& key) const {
+        auto it = st.find(key);
+        if (it != st.end()) return it->second;
+        std::size_t dot = key.find('.');
+        if (dot != std::string::npos) {
+            auto base = st.find(key.substr(0, dot));
+            if (base != st.end()) return base->second;
+        }
+        return default_mask(key);
+    }
+};
+
+TaintState taint_join(const TaintCtx& ctx, const TaintState& a, const TaintState& b) {
+    TaintState r = a;
+    for (const auto& [k, v] : b) {
+        auto it = r.find(k);
+        if (it == r.end()) {
+            r[k] = v | ctx.default_mask(k);  // absent on the other path = default
+        } else {
+            it->second |= v;
+        }
+    }
+    for (auto& [k, v] : r) {
+        if (b.find(k) == b.end()) v |= ctx.default_mask(k);
+    }
+    return r;
+}
+
+void taint_sink(const TaintCtx& ctx, int line, const char* kind, std::uint32_t mask) {
+    if (mask == 0) return;
+    if ((mask & kTaintWire) != 0 && ctx.report != nullptr) {
+        const bool narrowing = std::strcmp(kind, "narrowing cast") == 0;
+        add(*ctx.report, ctx.file, line, narrowing ? "taint.narrowing" : "taint.wire_to_index",
+            std::string("wire-tainted value reaches an unsanitized ") + kind + " in " +
+                ctx.fn_label +
+                "() with no range check on every path; clamp or compare it against a "
+                "bound first, or annotate the statement with // sanitized(<name>) and "
+                "say why");
+    }
+    if ((mask & kParamBits) != 0 && ctx.outcome != nullptr) {
+        ctx.outcome->param_sinks.push_back({mask & kParamBits, line, kind});
+    }
+}
+
+// Resolves the class a receiver's flattened type names, if any.
+const ClassModel* class_of_receiver(const Tree& tree, const std::string& type) {
+    std::string word;
+    for (std::size_t i = 0; i <= type.size(); ++i) {
+        char c = i < type.size() ? type[i] : ' ';
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '_') {
+            word += c;
+            continue;
+        }
+        if (!word.empty()) {
+            auto it = tree.classes.find(word);
+            if (it != tree.classes.end()) return &it->second;
+            word.clear();
+        }
+    }
+    return nullptr;
+}
+
+// Comma-split argument ranges of the call whose '(' is at `open`.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::vector<Token>& toks,
+                                                            std::size_t open,
+                                                            std::size_t close) {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    if (close <= open + 1) return out;
+    int depth = 0;
+    std::size_t start = open + 1;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        std::string_view t = toks[i].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        else if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        else if (t == "," && depth == 0) {
+            out.emplace_back(start, i);
+            start = i + 1;
+        }
+    }
+    out.emplace_back(start, close);
+    return out;
+}
+
+// Walks [lo, hi) computing the expression's taint mask while firing sink
+// checks. Structure is approximated: any tainted value source in the range
+// taints the whole expression, except inside min/max/clamp (bounded) and
+// when the expression is a top-level comparison (boolean result).
+std::uint32_t taint_eval(const TaintCtx& ctx, TaintState& st, std::size_t lo, std::size_t hi,
+                         int depth) {
+    if (depth > 24 || lo >= hi) return 0;
+    const auto& toks = ctx.toks;
+    std::uint32_t mask = 0;
+    bool top_compare = false;
+    int paren = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+        if (ctx.cfg != nullptr && ctx.cfg->opaque(i)) {
+            i = opaque_end(*ctx.cfg, i) - 1;
+            continue;
+        }
+        const Token& tk = toks[i];
+        std::string_view t = tk.text;
+        if (t == "(") {
+            ++paren;
+            continue;
+        }
+        if (t == ")") {
+            --paren;
+            continue;
+        }
+        if (paren == 0 && is_relational(tk)) top_compare = true;
+        if (t == "[") {
+            std::size_t close = match_bracket(toks, i, hi);
+            std::uint32_t inner = taint_eval(ctx, st, i + 1, close, depth + 1);
+            // A '[' is a subscript only in postfix position (after an ident
+            // or closing bracket); otherwise it opens a lambda capture list.
+            const bool postfix = i > lo && (toks[i - 1].kind == TokKind::kIdent ||
+                                            toks[i - 1].text == ")" || toks[i - 1].text == "]");
+            if (postfix) taint_sink(ctx, tk.line, "index", inner);
+            i = close;
+            continue;
+        }
+        if (tk.kind != TokKind::kIdent) continue;
+
+        // static_cast<uint16_t>(expr): narrowing throws the high bits away —
+        // a silent truncation sink when the operand is wire-tainted.
+        if (t == "static_cast" && i + 1 < hi && toks[i + 1].text == "<") {
+            int angle = 0;
+            std::size_t gt = hi;
+            for (std::size_t j = i + 1; j < hi; ++j) {
+                if (toks[j].text == "<") ++angle;
+                else if (toks[j].text == ">" && --angle == 0) {
+                    gt = j;
+                    break;
+                }
+            }
+            if (gt + 1 < hi && toks[gt + 1].text == "(") {
+                std::size_t close = match_paren(toks, gt + 1, hi);
+                std::uint32_t inner = taint_eval(ctx, st, gt + 2, close, depth + 1);
+                if (has_narrow_type(toks, i + 2, gt)) {
+                    taint_sink(ctx, tk.line, "narrowing cast", inner);
+                }
+                mask |= inner;
+                i = close;
+            }
+            continue;
+        }
+
+        // std::min/max/clamp bound their result: contributes nothing, but
+        // sinks inside the arguments still fire.
+        if (is_sanitizer_call(t) && i + 1 < hi && toks[i + 1].text == "(") {
+            std::size_t close = match_paren(toks, i + 1, hi);
+            (void)taint_eval(ctx, st, i + 2, close, depth + 1);
+            i = close;
+            continue;
+        }
+
+        if (!bare(toks, i)) continue;
+        std::string name(t);
+        std::string key = name;
+        std::string_view field;
+        std::size_t span_end = i + 1;
+        if (i + 2 < hi && toks[i + 1].text == "." && toks[i + 2].kind == TokKind::kIdent) {
+            field = toks[i + 2].text;
+            key = name + "." + std::string(field);
+            span_end = i + 3;
+        }
+        const bool is_call = span_end < hi && toks[span_end].text == "(";
+        std::size_t close = is_call ? match_paren(toks, span_end, hi) : 0;
+
+        // `// sanitized(x)` on this line or the line above: the analysis
+        // trusts the author that x is range-checked by means it cannot see.
+        bool annotated = false;
+        for (const SanitizedAnnotation& ann : ctx.file.lex.sanitized) {
+            if ((ann.name == key || ann.name == name) &&
+                (ann.line == tk.line || ann.line == tk.line - 1)) {
+                st[ann.name] = 0;
+                annotated = true;
+            }
+        }
+        if (annotated) {
+            if (is_call) i = close;
+            else i = span_end - 1;
+            continue;
+        }
+
+        std::uint32_t occ = 0;
+        bool consumed = false;
+        bool from_summary = false;
+        if (is_call) {
+            std::string_view callee = field.empty() ? std::string_view(name) : field;
+            if (is_sink_call(callee)) {
+                for (auto [alo, ahi] : split_args(toks, span_end, close)) {
+                    taint_sink(ctx, toks[span_end].line, "size argument",
+                               taint_eval(ctx, st, alo, ahi, depth + 1));
+                }
+                i = close;
+                continue;
+            }
+            // Resolve a summarized callee: bare same-class / free calls, or
+            // a one-step receiver whose declared type names a known class.
+            const FunctionSummary* s = nullptr;
+            if (field.empty()) {
+                if (ctx.cls != nullptr) s = ctx.sums.find(ctx.cls->name, name);
+                if (s == nullptr) s = ctx.sums.find("", name);
+            } else if (const std::string* rt = ctx.types.find(name)) {
+                if (const ClassModel* rc = class_of_receiver(ctx.tree, *rt)) {
+                    s = ctx.sums.find(rc->name, field);
+                }
+            }
+            if (s != nullptr) {
+                std::vector<std::uint32_t> am;
+                for (auto [alo, ahi] : split_args(toks, span_end, close)) {
+                    am.push_back(taint_eval(ctx, st, alo, ahi, depth + 1));
+                }
+                occ = s->returns_wire_taint ? kTaintWire : 0;
+                for (std::size_t k = 0; k < am.size() && k < 16; ++k) {
+                    if ((s->param_taints_return >> k & 1u) != 0) occ |= am[k];
+                }
+                // Transitive sinks: a wire-tainted argument feeding an
+                // unsanitized sink inside the callee reports at this call.
+                for (const TaintSink& sink : s->param_sinks) {
+                    std::uint32_t m = 0;
+                    for (std::size_t k = 0; k < am.size() && k < 16; ++k) {
+                        if ((sink.params >> k & 1u) != 0) m |= am[k];
+                    }
+                    if (m == 0) continue;
+                    if ((m & kTaintWire) != 0 && ctx.report != nullptr) {
+                        const bool narrowing =
+                            std::strcmp(sink.kind, "narrowing cast") == 0;
+                        add(*ctx.report, ctx.file, tk.line,
+                            narrowing ? "taint.narrowing" : "taint.wire_to_index",
+                            "wire-tainted argument to " + std::string(callee) +
+                                "() reaches an unsanitized " + sink.kind +
+                                " inside it (line " + std::to_string(sink.line) +
+                                "); validate before the call or sanitize at the "
+                                "parse boundary");
+                    }
+                    if ((m & kParamBits) != 0 && ctx.outcome != nullptr) {
+                        ctx.outcome->param_sinks.push_back(
+                            {m & kParamBits, tk.line, sink.kind});
+                    }
+                }
+                consumed = true;
+                from_summary = true;
+            } else if (!field.empty()) {
+                // Unsummarized method call: reads off a WireReader or a wire
+                // struct yield wire bytes; anything else propagates the
+                // receiver's and the arguments' taint.
+                std::uint32_t args = 0;
+                for (auto [alo, ahi] : split_args(toks, span_end, close)) {
+                    args |= taint_eval(ctx, st, alo, ahi, depth + 1);
+                }
+                const std::string* rt = ctx.types.find(name);
+                if (rt != nullptr && word_in_type(*rt, "WireReader") &&
+                    is_reader_read(field)) {
+                    occ = kTaintWire;
+                } else {
+                    occ = ctx.lookup(st, key) | args;
+                }
+                consumed = true;
+            }
+            // Bare unresolved call: fall through — the argument tokens are
+            // walked by the main loop and taint the expression.
+        } else {
+            occ = ctx.lookup(st, key);
+        }
+
+        // Range check: a value compared against something is sanitized from
+        // here on (coarse but false-positive-safe on both branches).
+        std::size_t after = consumed ? close + 1 : span_end;
+        const bool compared = (after < hi && is_relational(toks[after])) ||
+                              (i > lo && is_relational(toks[i - 1]));
+        if (compared && !from_summary) {
+            st[key] = 0;
+            occ = 0;
+        }
+        mask |= occ;
+        if (consumed) i = close;
+        else i = span_end - 1;
+    }
+    return top_compare ? 0 : mask;
+}
+
+void taint_statement(const TaintCtx& ctx, TaintState& st, std::size_t s, std::size_t e) {
+    if (s >= e) return;
+    const auto& toks = ctx.toks;
+    if (toks[s].text == "return" || toks[s].text == "co_return") {
+        std::uint32_t m = taint_eval(ctx, st, s + 1, e, 0);
+        // Returning an aggregate returns its tainted fields too: a parse()
+        // that fills a clean local from WireReader reads and returns it must
+        // summarize as wire-tainted even though the base key is clean.
+        for (std::size_t j = s + 1; j < e; ++j) {
+            if (toks[j].kind != TokKind::kIdent || !bare(toks, j)) continue;
+            std::string prefix = std::string(toks[j].text) + ".";
+            for (auto it = st.lower_bound(prefix);
+                 it != st.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+                m |= it->second;
+            }
+        }
+        if (ctx.outcome != nullptr) {
+            ctx.outcome->param_taints_return |= m & kParamBits;
+            if ((m & kTaintWire) != 0) ctx.outcome->returns_wire_taint = true;
+        }
+        return;
+    }
+    // `net::TcpSegment seg;` — a freshly constructed wire struct is clean:
+    // taint marks bytes that came off the wire, not the type itself. An
+    // initializer (`TcpSegment s = parse(raw);`) overrides this below via
+    // the ordinary assignment path.
+    for (std::size_t j = s; j + 1 < e; ++j) {
+        if (toks[j].kind != TokKind::kIdent || toks[j + 1].kind != TokKind::kIdent ||
+            !is_wire_struct(std::string(toks[j].text))) {
+            continue;
+        }
+        std::string var(toks[j + 1].text);
+        st[var] = 0;
+        std::string prefix = var + ".";
+        for (auto it = st.lower_bound(prefix);
+             it != st.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+            it = st.erase(it);
+        }
+    }
+    // Split at the top-level '=' (plain assignment only; compound ops keep
+    // the old taint and the RHS is still scanned for sinks).
+    int depth = 0;
+    std::size_t eq = e;
+    for (std::size_t j = s; j < e; ++j) {
+        if (ctx.cfg != nullptr && ctx.cfg->opaque(j)) {
+            j = opaque_end(*ctx.cfg, j) - 1;
+            continue;
+        }
+        std::string_view t = toks[j].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        else if (t == ")" || t == "]" || t == "}") --depth;
+        else if (t == "=" && depth == 0 && toks[j].kind == TokKind::kPunct) {
+            eq = j;
+            break;
+        }
+    }
+    if (eq == e) {
+        (void)taint_eval(ctx, st, s, e, 0);
+        return;
+    }
+    std::uint32_t rhs = taint_eval(ctx, st, eq + 1, e, 0);
+    // `arr[i] = ...`: the subscript sink fires; no tracked key changes.
+    for (std::size_t j = s; j < eq; ++j) {
+        if (toks[j].text == "[") {
+            (void)taint_eval(ctx, st, s, eq, 0);
+            return;
+        }
+    }
+    if (eq < s + 1 || toks[eq - 1].kind != TokKind::kIdent) return;
+    std::string key(toks[eq - 1].text);
+    if (eq >= s + 3 && toks[eq - 2].text == "." && toks[eq - 3].kind == TokKind::kIdent &&
+        bare(toks, eq - 3)) {
+        key = std::string(toks[eq - 3].text) + "." + key;
+    } else if (!bare(toks, eq - 1)) {
+        return;  // `p->f = ...` / `ns::x = ...`: unmodelled, no update
+    }
+    st[key] = rhs;
+    if (key.find('.') == std::string::npos) {
+        // Assigning the base object kills its stale field chains.
+        std::string prefix = key + ".";
+        for (auto it = st.lower_bound(prefix);
+             it != st.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+            it = st.erase(it);
+        }
+    }
+}
+
+TaintState taint_transfer(const TaintCtx& ctx, int node, TaintState st) {
+    const CfgNode& nd = ctx.cfg->nodes[static_cast<std::size_t>(node)];
+    const auto& toks = ctx.toks;
+    std::size_t i = nd.lo;
+    while (i < nd.hi) {
+        if (ctx.cfg->opaque(i)) {
+            i = opaque_end(*ctx.cfg, i);
+            continue;
+        }
+        std::size_t e = i;
+        int depth = 0;
+        while (e < nd.hi) {
+            if (ctx.cfg->opaque(e)) {
+                e = opaque_end(*ctx.cfg, e);
+                continue;
+            }
+            std::string_view t = toks[e].text;
+            if (t == "(" || t == "[" || t == "{") ++depth;
+            else if (t == ")" || t == "]" || t == "}") --depth;
+            else if (t == ";" && depth <= 0) break;
+            ++e;
+        }
+        taint_statement(ctx, st, i, e);
+        i = e + 1;
+    }
+    return st;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
 // Rule entry points
 // ---------------------------------------------------------------------------
 
-void rule_event_dataflow(const ClassModel& cls, std::vector<Finding>& out) {
+TaintOutcome analyze_taint(const Tree& tree, const FunctionBody& fn, const ClassModel* cls,
+                           const SummaryTable& summaries, std::vector<Finding>* report) {
+    TaintOutcome outcome;
+    const auto& toks = fn.file->lex.tokens;
+    TaintCtx ctx{tree, *fn.file, toks, cls, summaries, nullptr, {}, {}, nullptr, nullptr};
+    ctx.types = collect_local_types(fn, cls);
+    ctx.fn_label = fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+
+    std::vector<Param> params = parse_params(toks, fn.begin);
+    TaintState entry;
+    for (std::size_t k = 0; k < params.size(); ++k) {
+        if (params[k].name.empty()) continue;
+        std::uint32_t m = k < 16 ? (1u << k) : 0;
+        // The five src/net parse() boundaries: raw bytes in, fields out.
+        if (fn.name == "parse" && params[k].type.find("ByteView") != std::string::npos) {
+            m |= kTaintWire;
+        }
+        // A wire-struct parameter carries wire bytes wherever it came from;
+        // the explicit entry would otherwise shadow the default-mask rule.
+        if (is_wire_struct(params[k].type)) m |= kTaintWire;
+        entry[params[k].name] = m;
+    }
+
+    for (const Cfg& cfg : collect_cfgs(toks, fn.begin, fn.end)) {
+        ctx.cfg = &cfg;
+        bool host_body = false;  // vs a lambda body, whose params are unknown
+        for (const CfgNode& nd : cfg.nodes) {
+            if (nd.lo != nd.hi && nd.lo <= fn.begin + 1) {
+                host_body = true;
+                break;
+            }
+        }
+        ctx.report = nullptr;
+        ctx.outcome = nullptr;
+        auto in = solve_forward(
+            cfg, host_body ? entry : TaintState{},
+            [&](int n, const TaintState& s) { return taint_transfer(ctx, n, s); },
+            [&](const TaintState& a, const TaintState& b) { return taint_join(ctx, a, b); });
+        if (in.empty()) continue;  // iteration cap: skip, never guess
+        ctx.report = report;
+        ctx.outcome = host_body ? &outcome : nullptr;
+        for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+            if (!in[n].has_value()) continue;
+            (void)taint_transfer(ctx, static_cast<int>(n), *in[n]);
+        }
+        ctx.report = nullptr;
+        ctx.outcome = nullptr;
+    }
+
+    auto& sinks = outcome.param_sinks;
+    std::sort(sinks.begin(), sinks.end(), [](const TaintSink& a, const TaintSink& b) {
+        int k = std::strcmp(a.kind, b.kind);
+        return std::tie(a.params, a.line) < std::tie(b.params, b.line) ||
+               (a.params == b.params && a.line == b.line && k < 0);
+    });
+    sinks.erase(std::unique(sinks.begin(), sinks.end(),
+                            [](const TaintSink& a, const TaintSink& b) {
+                                return a.params == b.params && a.line == b.line &&
+                                       std::strcmp(a.kind, b.kind) == 0;
+                            }),
+                sinks.end());
+    if (sinks.size() > 32) sinks.resize(32);  // cap against pathological bodies
+    return outcome;
+}
+
+void rule_wire_taint(const Tree& tree, const SourceFile& file, const SummaryTable& sums,
+                     std::vector<Finding>& out) {
+    for (const auto& [name, cls] : tree.classes) {
+        for (const FunctionBody& fn : cls.functions) {
+            if (fn.file != &file) continue;
+            (void)analyze_taint(tree, fn, &cls, sums, &out);
+        }
+    }
+    for (const FunctionBody& fn : tree.free_functions) {
+        if (fn.file != &file) continue;
+        (void)analyze_taint(tree, fn, nullptr, sums, &out);
+    }
+}
+
+void rule_event_dataflow(const ClassModel& cls, const SummaryTable& sums,
+                         std::vector<Finding>& out) {
     std::vector<std::string> members;
     for (const MemberVar& m : cls.members) {
         if (m.type.find("EventId") != std::string::npos) members.push_back(m.name);
@@ -686,12 +1334,13 @@ void rule_event_dataflow(const ClassModel& cls, std::vector<Finding>& out) {
     std::set<std::string> self_fns = self_function_names(cls);
     for (const FunctionBody& fn : cls.functions) {
         EvCtx ctx{cls, *fn.file, fn.file->lex.tokens, nullptr,
-                  members, self_fns, fn.name, nullptr};
+                  members, self_fns, fn.name, &sums, nullptr};
         run_event_dataflow(ctx, fn, out);
     }
 }
 
-void rule_guarded_by(const ClassModel& cls, std::vector<Finding>& out) {
+void rule_guarded_by(const ClassModel& cls, const SummaryTable& sums,
+                     std::vector<Finding>& out) {
     std::map<std::string, std::string> guarded;
     std::set<std::string> mutexes;
     for (const MemberVar& m : cls.members) {
@@ -705,8 +1354,9 @@ void rule_guarded_by(const ClassModel& cls, std::vector<Finding>& out) {
         // no other thread can hold a reference yet / still. Lambdas created
         // there DO run concurrently and are analyzed below regardless.
         const bool is_ctor_or_dtor = fn.name == cls.name || fn.name == "~" + cls.name;
-        GuardCtx ctx{cls,   *fn.file, fn.file->lex.tokens, nullptr, guarded,
-                     mutexes, {},     fn.name,             nullptr};
+        GuardCtx ctx{cls,     *fn.file, fn.file->lex.tokens,       nullptr, guarded,
+                     mutexes, {},       fn.name,
+                     self_function_names(cls), &sums, nullptr};
         collect_guard_bindings(ctx, fn.begin, fn.end);
         for (const Cfg& cfg : collect_cfgs(ctx.toks, fn.begin, fn.end)) {
             // Skip the ctor/dtor's own statements but keep lambda bodies:
@@ -738,21 +1388,23 @@ void rule_guarded_by(const ClassModel& cls, std::vector<Finding>& out) {
     }
 }
 
-void rule_payload_move_class(const ClassModel& cls, std::vector<Finding>& out) {
+void rule_payload_move_class(const ClassModel& cls, const SummaryTable& sums,
+                             std::vector<Finding>& out) {
     std::set<std::string> self_fns = self_function_names(cls);
     for (const FunctionBody& fn : cls.functions) {
         PmCtx ctx{&cls, *fn.file, fn.file->lex.tokens, nullptr, {}, {}, self_fns,
-                  fn.name, nullptr};
+                  fn.name, &sums, nullptr};
         run_payload_dataflow(ctx, fn, out);
     }
 }
 
 void rule_payload_move_free(const SourceFile& file,
                             const std::vector<FunctionBody>& free_functions,
-                            std::vector<Finding>& out) {
+                            const SummaryTable& sums, std::vector<Finding>& out) {
     for (const FunctionBody& fn : free_functions) {
         if (fn.file != &file) continue;
-        PmCtx ctx{nullptr, file, file.lex.tokens, nullptr, {}, {}, {}, fn.name, nullptr};
+        PmCtx ctx{nullptr, file, file.lex.tokens, nullptr, {}, {}, {}, fn.name, &sums,
+                  nullptr};
         run_payload_dataflow(ctx, fn, out);
     }
 }

@@ -14,14 +14,25 @@
 //   payload-move     SharedPayload / Bytes use-after-move across branches.
 //   guarded-by       every access to a `// guarded_by(mu_)` member must be
 //                    dominated by an acquisition of mu_.
+//   taint.*          wire-taint lattice (DESIGN.md §14.3): bytes entering
+//                    through the five src/net parse() boundaries are tainted;
+//                    indexing, size arguments and narrowing casts are sinks;
+//                    range checks, min/max/clamp and `// sanitized(x)` are
+//                    sanitizers. Flows through calls via function summaries.
+//
+// All flow-sensitive rules see through same-class calls with the function
+// summaries of summary.hpp; a callee without a summary degrades to the old
+// havoc behavior.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
 
 #include "cfg.hpp"
 #include "model.hpp"
+#include "summary.hpp"
 
 namespace staticcheck {
 
@@ -68,13 +79,33 @@ std::vector<std::optional<State>> solve_forward(const Cfg& cfg, State entry_stat
     return in;
 }
 
+// Taint facts of one function, computed by the same engine that powers the
+// taint.* rules. Used by summary.cpp to build the interprocedural table.
+struct TaintOutcome {
+    std::uint32_t param_taints_return = 0;  // bit i: param i flows to return
+    bool returns_wire_taint = false;
+    std::vector<TaintSink> param_sinks;     // unsanitized param -> sink flows
+};
+
+// Runs the wire-taint dataflow over one function body. With `report` null
+// only the outcome is computed (summary mode); with `report` set, flows of
+// wire taint into a sink are emitted as taint.wire_to_index /
+// taint.narrowing findings (rule mode).
+TaintOutcome analyze_taint(const Tree& tree, const FunctionBody& fn, const ClassModel* cls,
+                           const SummaryTable& summaries, std::vector<Finding>* report);
+
 // The flow-sensitive rules. Class-scoped rules take the aggregated class
 // model; payload-move also runs over a file's free functions.
-void rule_event_dataflow(const ClassModel& cls, std::vector<Finding>& out);
-void rule_guarded_by(const ClassModel& cls, std::vector<Finding>& out);
-void rule_payload_move_class(const ClassModel& cls, std::vector<Finding>& out);
+void rule_event_dataflow(const ClassModel& cls, const SummaryTable& sums,
+                         std::vector<Finding>& out);
+void rule_guarded_by(const ClassModel& cls, const SummaryTable& sums,
+                     std::vector<Finding>& out);
+void rule_payload_move_class(const ClassModel& cls, const SummaryTable& sums,
+                             std::vector<Finding>& out);
 void rule_payload_move_free(const SourceFile& file,
                             const std::vector<FunctionBody>& free_functions,
-                            std::vector<Finding>& out);
+                            const SummaryTable& sums, std::vector<Finding>& out);
+void rule_wire_taint(const Tree& tree, const SourceFile& file, const SummaryTable& sums,
+                     std::vector<Finding>& out);
 
 } // namespace staticcheck

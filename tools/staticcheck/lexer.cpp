@@ -59,6 +59,22 @@ void scan_comment_for_annotations(std::string_view comment, int line,
     out.push_back({std::string(comment.substr(start, p - start)), line});
 }
 
+// Parses `sanitized(name)` annotations out of a comment's text.
+void scan_comment_for_sanitized(std::string_view comment, int line,
+                                std::vector<SanitizedAnnotation>& out) {
+    constexpr std::string_view kTag = "sanitized";
+    std::size_t pos = comment.find(kTag);
+    if (pos == std::string_view::npos) return;
+    std::size_t p = pos + kTag.size();
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    if (p >= comment.size() || comment[p] != '(') return;
+    ++p;
+    std::size_t start = p;
+    while (p < comment.size() && (is_ident_char(comment[p]) || comment[p] == '.')) ++p;
+    if (p == start || p >= comment.size() || comment[p] != ')') return;
+    out.push_back({std::string(comment.substr(start, p - start)), line});
+}
+
 } // namespace
 
 LexResult lex(std::string_view text) {
@@ -89,6 +105,7 @@ LexResult lex(std::string_view text) {
             if (end == std::string_view::npos) end = n;
             scan_comment_for_waivers(text.substr(i, end - i), line, r.waivers);
             scan_comment_for_annotations(text.substr(i, end - i), line, r.annotations);
+            scan_comment_for_sanitized(text.substr(i, end - i), line, r.sanitized);
             i = end;
             continue;
         }
@@ -99,6 +116,7 @@ LexResult lex(std::string_view text) {
             std::string_view body = text.substr(i, end - i);
             scan_comment_for_waivers(body, line, r.waivers);
             scan_comment_for_annotations(body, line, r.annotations);
+            scan_comment_for_sanitized(body, line, r.sanitized);
             for (char bc : body) {
                 if (bc == '\n') ++line;
             }

@@ -51,11 +51,22 @@ struct Annotation {
     int line = 0;       // line the comment sits on
 };
 
+// One `// sanitized(name)` annotation: the wire-tainted variable or field
+// `name` is declared range-checked by means the taint analysis cannot see
+// (table lookup, protocol-level guarantee). The taint lattice treats the
+// statement on this line (or the line below) as a sanitizer for `name`.
+// DESIGN.md §14 documents the spec.
+struct SanitizedAnnotation {
+    std::string name;
+    int line = 0;       // line the comment sits on
+};
+
 struct LexResult {
     std::vector<Token> tokens;
     std::vector<Include> includes;   // quoted includes only ("our" headers)
     std::vector<Waiver> waivers;
     std::vector<Annotation> annotations;  // guarded_by(...) comments
+    std::vector<SanitizedAnnotation> sanitized;  // sanitized(...) comments
 };
 
 // Lexes `text` (which must outlive the returned tokens).

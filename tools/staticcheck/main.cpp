@@ -1,21 +1,29 @@
 // staticcheck — the ST-TCP protocol static analyzer.
 //
 //   staticcheck [--root DIR] [--json FILE] [--sarif FILE] [--jobs N]
+//               [--baseline FILE [--write-baseline]]
 //
 // Analyzes every *.hpp/*.cpp under DIR (default: src/ next to the binary's
 // CWD) and prints one `path:line: [rule] message` per finding. Exit status
 // is 1 when there are findings, 2 on usage/IO errors, 0 when clean.
 //
-// Rules (DESIGN.md §10, §12): layer-dag, include-cycle, state-funnel,
+// Rules (DESIGN.md §10, §12, §14): layer-dag, include-cycle, state-funnel,
 // event-lifecycle, timer-rearm, this-capture, seq-raw, guarded-by,
-// payload-move, waiver.stale. Waive a finding with
+// payload-move, payload-alloc, impairment-api, taint.wire_to_index,
+// taint.narrowing, waiver.stale. Waive a finding with
 // `// lint:allow <rule> -- reason` on or above the line, or
 // `// lint:allow-file <rule> -- reason` anywhere in the file.
 //
 // --jobs N runs the rules on N worker threads; output is byte-identical to
 // a serial run (findings are merged, filtered and sorted in one place).
+//
+// --baseline FILE suppresses findings recorded in FILE (matched on file,
+// rule and message — line numbers in the baseline are informational, so
+// unrelated edits don't un-suppress anything). --write-baseline rewrites
+// FILE with the current findings and exits 0.
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -24,6 +32,26 @@
 #include "sarif.hpp"
 
 namespace {
+
+// Identity of a finding for baseline matching: file, rule and message but
+// not the line, so a baseline survives unrelated edits above the finding.
+std::string baseline_key(const std::string& rel, const std::string& rule,
+                         const std::string& message) {
+    return rel + '\x1f' + rule + '\x1f' + message;
+}
+
+// Parses one `rel:line: [rule] message` baseline line into its key.
+// Unparseable lines (blank, comments) yield an empty string.
+std::string parse_baseline_line(const std::string& line) {
+    std::size_t open = line.find(": [");
+    if (open == std::string::npos) return "";
+    std::size_t close = line.find("] ", open + 3);
+    if (close == std::string::npos) return "";
+    std::size_t line_sep = line.rfind(':', open - 1);
+    if (line_sep == std::string::npos) return "";
+    return baseline_key(line.substr(0, line_sep), line.substr(open + 3, close - open - 3),
+                        line.substr(close + 2));
+}
 
 // Minimal JSON string escape for paths and messages.
 std::string json_escape(const std::string& s) {
@@ -54,6 +82,8 @@ int main(int argc, char** argv) {
     std::string root = "src";
     std::string json_path;
     std::string sarif_path;
+    std::string baseline_path;
+    bool write_baseline = false;
     int jobs = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -63,6 +93,10 @@ int main(int argc, char** argv) {
             json_path = argv[++i];
         } else if (arg == "--sarif" && i + 1 < argc) {
             sarif_path = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--write-baseline") {
+            write_baseline = true;
         } else if (arg == "--jobs" && i + 1 < argc) {
             jobs = std::atoi(argv[++i]);
             if (jobs < 0) {
@@ -75,18 +109,57 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: staticcheck [--root DIR] [--json FILE] [--sarif FILE] "
-                         "[--jobs N]\n";
+                         "[--jobs N] [--baseline FILE [--write-baseline]]\n";
             return 0;
         } else {
             std::cerr << "staticcheck: unknown argument '" << arg << "'\n";
             return 2;
         }
     }
+    if (write_baseline && baseline_path.empty()) {
+        std::cerr << "staticcheck: --write-baseline requires --baseline FILE\n";
+        return 2;
+    }
 
     staticcheck::Tree tree;
     if (!staticcheck::load_tree(root, tree)) return 2;
 
     std::vector<staticcheck::Finding> findings = staticcheck::run_all_rules(tree, jobs);
+
+    if (write_baseline) {
+        std::ofstream bf(baseline_path);
+        if (!bf) {
+            std::cerr << "staticcheck: cannot write " << baseline_path << "\n";
+            return 2;
+        }
+        for (const staticcheck::Finding& f : findings) {
+            bf << f.rel << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+        }
+        std::cerr << "staticcheck: wrote " << findings.size() << " finding(s) to baseline "
+                  << baseline_path << "\n";
+        return 0;
+    }
+
+    std::size_t suppressed = 0;
+    if (!baseline_path.empty()) {
+        std::ifstream bf(baseline_path);
+        if (!bf) {
+            std::cerr << "staticcheck: cannot read baseline " << baseline_path << "\n";
+            return 2;
+        }
+        std::set<std::string> known;
+        std::string line;
+        while (std::getline(bf, line)) {
+            std::string key = parse_baseline_line(line);
+            if (!key.empty()) known.insert(key);
+        }
+        std::erase_if(findings, [&](const staticcheck::Finding& f) {
+            bool hit = known.count(baseline_key(f.rel, f.rule, f.message)) != 0;
+            suppressed += hit ? 1 : 0;
+            return hit;
+        });
+    }
+
     for (const staticcheck::Finding& f : findings) {
         std::cout << f.rel << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
     }
@@ -117,6 +190,9 @@ int main(int argc, char** argv) {
         staticcheck::write_sarif(sf, root, findings);
     }
 
+    if (suppressed != 0) {
+        std::cerr << "staticcheck: " << suppressed << " baselined finding(s) suppressed\n";
+    }
     if (findings.empty()) {
         std::cerr << "staticcheck: " << tree.files.size() << " files clean\n";
         return 0;

@@ -284,6 +284,12 @@ std::size_t Parser::statement(std::size_t i, std::vector<Scope>& scopes) {
                 if (!body.class_name.empty()) {
                     ClassModel& cls = class_for(body.class_name, fline);
                     if (!fname.empty() && fname[0] == '~') cls.has_user_dtor_decl = true;
+                    for (std::size_t j = begin; j < i; ++j) {
+                        if (toks[j].text == "virtual" || toks[j].text == "override") {
+                            cls.virtual_methods.insert(fname);
+                            break;
+                        }
+                    }
                     cls.functions.push_back(body);
                 } else {
                     tree.free_functions.push_back(body);
@@ -314,6 +320,21 @@ std::size_t Parser::statement(std::size_t i, std::vector<Scope>& scopes) {
                 if (toks[j].text == "default") cls.dtor_defaulted = true;
             }
         } else {
+            // Declaration-only virtual methods (`virtual void f();` or
+            // `void f() override;`): record the name so calls through a
+            // base reference are treated as dynamic dispatch.
+            bool is_virtual = false;
+            for (std::size_t j = begin; j < term; ++j) {
+                if (toks[j].text == "virtual" || toks[j].text == "override") is_virtual = true;
+            }
+            if (is_virtual) {
+                for (std::size_t j = begin + 1; j < term; ++j) {
+                    if (toks[j].text == "(" && toks[j - 1].kind == TokKind::kIdent) {
+                        cls.virtual_methods.insert(std::string(toks[j - 1].text));
+                        break;
+                    }
+                }
+            }
             bool skip = is_keyword_like(toks[begin].text) && toks[begin].text == "static";
             if (!skip) record_member_var(cls, begin, term);
         }

@@ -61,6 +61,10 @@ struct ClassModel {
     std::vector<FunctionBody> functions;  // bodies only (decl-only fns absent)
     bool has_user_dtor_decl = false;      // "~X(" seen anywhere in the class
     bool dtor_defaulted = false;          // "~X() = default"
+    // Methods declared `virtual` (or `override`) anywhere in the class; a
+    // call through one of these dispatches dynamically, so the call graph
+    // treats it as an unknown callee (conservative havoc).
+    std::set<std::string> virtual_methods;
 
     [[nodiscard]] const MemberVar* find_member(std::string_view n) const;
 };

@@ -8,7 +8,9 @@
 #include <string>
 #include <thread>
 
+#include "callgraph.hpp"
 #include "dataflow.hpp"
+#include "summary.hpp"
 
 namespace staticcheck {
 
@@ -365,18 +367,103 @@ void rule_seq_raw(const SourceFile& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: payload-alloc (migrated from tools/lint.py)
+//
+// Frame payloads are ref-counted (util::SharedPayload) and recycled
+// (util::BufferPool). A naked new[]/delete[] of a byte buffer — or any
+// malloc-family call — anywhere else bypasses both the zero-copy path and
+// the pool accounting. Token-based now, so string literals and comments
+// can no longer false-positive the way the old regex did.
+// ---------------------------------------------------------------------------
+
+bool is_byte_type_tok(std::string_view t) {
+    return t == "uint8_t" || t == "byte" || t == "char";
+}
+
+void rule_payload_alloc(const SourceFile& f, std::vector<Finding>& out) {
+    if (f.rel.rfind("util/shared_payload", 0) == 0 ||
+        f.rel.rfind("util/buffer_pool", 0) == 0) {
+        return;  // the two sanctioned owners of raw byte buffers
+    }
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        std::string_view t = toks[i].text;
+        if (t == "new") {
+            // new uint8_t[n] / new std::byte[n] / new unsigned char[n]
+            bool byte_type = false;
+            for (std::size_t j = i + 1; j < toks.size() && j < i + 6; ++j) {
+                if (is_byte_type_tok(toks[j].text)) byte_type = true;
+                if (toks[j].text == "[" && byte_type) {
+                    report(out, f, toks[i].line, "payload-alloc",
+                           "raw byte-buffer new[]; payloads are ref-counted — "
+                           "allocate through util::SharedPayload / util::BufferPool "
+                           "so the zero-copy path and pool accounting see them");
+                    break;
+                }
+                if (toks[j].kind != TokKind::kIdent && toks[j].text != "::" &&
+                    toks[j].text != "[") {
+                    break;
+                }
+            }
+            continue;
+        }
+        if (t == "delete" && i + 2 < toks.size() && toks[i + 1].text == "[" &&
+            toks[i + 2].text == "]") {
+            report(out, f, toks[i].line, "payload-alloc",
+                   "delete[] of a raw buffer; payload buffers are owned by "
+                   "util::SharedPayload / util::BufferPool, never deleted by hand");
+            continue;
+        }
+        if ((t == "malloc" || t == "calloc" || t == "realloc" || t == "free") &&
+            i + 1 < toks.size() && toks[i + 1].text == "(" &&
+            (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->"))) {
+            report(out, f, toks[i].line, "payload-alloc",
+                   std::string(t) + "() call; C allocation bypasses the "
+                   "SharedPayload/BufferPool accounting — use the pool types");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: impairment-api (migrated from tools/lint.py)
+//
+// Network adversity flows through the per-direction pipeline
+// (net/impairment.hpp): Link::set_impairments*, set_loss_toward,
+// schedule_blackout*. The legacy LinkConfig::loss_probability field is a
+// compatibility wrapper owned by net/link.* — code that pokes it directly
+// bypasses the pipeline's stats, determinism guarantees, and per-direction
+// addressing.
+// ---------------------------------------------------------------------------
+
+void rule_impairment_api(const SourceFile& f, std::vector<Finding>& out) {
+    if (f.rel.rfind("net/link", 0) == 0 || f.rel.rfind("net/impairment", 0) == 0) {
+        return;  // the compatibility wrapper's owners
+    }
+    const auto& toks = f.lex.tokens;
+    for (const Token& tk : toks) {
+        if (tk.kind != TokKind::kIdent || tk.text != "loss_probability") continue;
+        report(out, f, tk.line, "impairment-api",
+               "direct use of the legacy loss_probability field; configure "
+               "adversity through the impairment pipeline (set_impairments / "
+               "set_loss_toward / schedule_blackout) so stats and per-direction "
+               "addressing stay coherent");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Waiver filtering + waiver.stale
 // ---------------------------------------------------------------------------
 
-// Every rule id staticcheck can fire. A waiver naming any other rule (e.g.
-// tools/lint.py's payload-alloc / impairment-api, which share the syntax)
-// is not ours to judge and is never reported stale. `waiver.stale` waivers
+// Every rule id staticcheck can fire. A waiver naming any other rule is
+// not ours to judge and is never reported stale. `waiver.stale` waivers
 // are likewise exempt from the staleness check (no second-order reports).
 const std::set<std::string>& known_rules() {
     static const std::set<std::string> kRules = {
-        "layer-dag",   "include-cycle", "state-funnel", "event-lifecycle",
-        "timer-rearm", "this-capture",  "seq-raw",      "guarded-by",
-        "payload-move",
+        "layer-dag",      "include-cycle",       "state-funnel",
+        "event-lifecycle", "timer-rearm",        "this-capture",
+        "seq-raw",        "guarded-by",          "payload-move",
+        "payload-alloc",  "impairment-api",      "taint.wire_to_index",
+        "taint.narrowing",
     };
     return kRules;
 }
@@ -399,6 +486,13 @@ bool filter_and_mark(const Finding& f, std::set<const Waiver*>& used) {
 } // namespace
 
 std::vector<Finding> run_all_rules(const Tree& tree, int jobs) {
+    // Interprocedural context, built serially up front: the program-wide
+    // call graph and the bottom-up function summary table every flow rule
+    // reads through. Both are immutable once built, so the parallel units
+    // below share them freely.
+    const CallGraph cg = build_callgraph(tree);
+    const SummaryTable sums = build_summaries(tree, cg);
+
     // Work units: one global unit (whole-tree graph rules), one per class,
     // one per file. Each unit writes into its own findings vector, so the
     // merge order — and therefore the final output — is independent of
@@ -413,19 +507,22 @@ std::vector<Finding> run_all_rules(const Tree& tree, int jobs) {
         rule_include_cycle(tree, out);
     });
     for (const ClassModel* cls : classes) {
-        units.push_back([cls](std::vector<Finding>& out) {
+        units.push_back([cls, &sums](std::vector<Finding>& out) {
             rule_state_funnel(*cls, out);
             rule_event_dtor_coverage(*cls, out);
-            rule_event_dataflow(*cls, out);
-            rule_guarded_by(*cls, out);
+            rule_event_dataflow(*cls, sums, out);
+            rule_guarded_by(*cls, sums, out);
             rule_this_capture(*cls, out);
-            rule_payload_move_class(*cls, out);
+            rule_payload_move_class(*cls, sums, out);
         });
     }
     for (const SourceFile& f : tree.files) {
-        units.push_back([&tree, &f](std::vector<Finding>& out) {
+        units.push_back([&tree, &f, &sums](std::vector<Finding>& out) {
             rule_seq_raw(f, out);
-            rule_payload_move_free(f, tree.free_functions, out);
+            rule_payload_alloc(f, out);
+            rule_impairment_api(f, out);
+            rule_payload_move_free(f, tree.free_functions, sums, out);
+            rule_wire_taint(tree, f, sums, out);
         });
     }
 

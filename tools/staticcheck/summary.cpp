@@ -1,0 +1,427 @@
+#include "summary.hpp"
+
+#include <algorithm>
+
+#include "cfg.hpp"
+#include "dataflow.hpp"
+
+namespace staticcheck {
+
+const FunctionSummary* SummaryTable::find(const std::string& cls,
+                                          std::string_view name) const {
+    std::string key = cls.empty() ? std::string(name) : cls + "::" + std::string(name);
+    auto it = fns.find(key);
+    return it == fns.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string key_of(const FunctionBody& fn) {
+    return fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+}
+
+// Effect dataflow state: one mask per tracked member.
+using MaskState = std::vector<std::uint8_t>;
+
+MaskState mask_join(const MaskState& a, const MaskState& b) {
+    MaskState r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] | b[i];
+    return r;
+}
+
+// True when toks[i] looks like a local declaration shadowing a member.
+bool shadow_decl(const std::vector<Token>& toks, std::size_t i, std::size_t lo) {
+    if (i <= lo || toks[i - 1].kind != TokKind::kIdent) return false;
+    std::string_view p = toks[i - 1].text;
+    return p != "return" && p != "co_return" && p != "co_yield" && p != "throw" &&
+           p != "else" && p != "do" && p != "case" && p != "delete";
+}
+
+std::size_t opaque_end(const Cfg& cfg, std::size_t i) {
+    std::size_t end = i + 1;
+    for (const auto& [lo, hi] : cfg.lambda_bodies) {
+        if (i >= lo && i < hi) end = std::max(end, hi);
+    }
+    return end;
+}
+
+struct EffCtx {
+    const ClassModel* cls = nullptr;
+    const std::vector<Token>& toks;
+    const std::vector<std::string>& members;
+    const std::set<std::string>& self_fns;
+    const SummaryTable& work;
+    const Cfg* cfg = nullptr;
+    bool is_event = true;  // event semantics vs payload semantics
+
+    [[nodiscard]] int member_index(std::string_view name) const {
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (members[i] == name) return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+// Applies a callee effect mask to the current abstract mask: the Unchanged
+// bit lets the caller's states flow through; the remaining bits are the
+// states the callee may leave the member in.
+std::uint8_t apply_effect(std::uint8_t cur, std::uint8_t effect, std::uint8_t unchanged_bit) {
+    std::uint8_t states = static_cast<std::uint8_t>(effect & ~unchanged_bit);
+    return static_cast<std::uint8_t>(((effect & unchanged_bit) != 0 ? cur : 0) | states);
+}
+
+MaskState eff_transfer(const EffCtx& ctx, int node, MaskState st) {
+    const CfgNode& nd = ctx.cfg->nodes[static_cast<std::size_t>(node)];
+    const auto& toks = ctx.toks;
+    for (std::size_t i = nd.lo; i < nd.hi; ++i) {
+        if (ctx.cfg->opaque(i)) {
+            i = opaque_end(*ctx.cfg, i) - 1;
+            continue;
+        }
+        const Token& tk = toks[i];
+        if (tk.kind != TokKind::kIdent) continue;
+
+        if (ctx.is_event && (tk.text == "cancel" || tk.text == "rearm") && i + 1 < nd.hi &&
+            toks[i + 1].text == "(") {
+            std::size_t close = tok_match_paren(toks, i + 1, nd.hi);
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (toks[j].kind != TokKind::kIdent || !tok_bare(toks, j)) continue;
+                int mi = ctx.member_index(toks[j].text);
+                if (mi < 0) continue;
+                // Cancelled folds to Other at publication (see summary.hpp);
+                // rearm is live-or-unchanged, likewise Other.
+                st[static_cast<std::size_t>(mi)] = kEffOther;
+                break;
+            }
+            i = close;
+            continue;
+        }
+
+        if (!ctx.is_event && tk.text == "move" && i + 3 < nd.hi && toks[i + 1].text == "(" &&
+            toks[i + 2].kind == TokKind::kIdent && toks[i + 3].text == ")" &&
+            tok_bare(toks, i + 2)) {
+            int mi = ctx.member_index(toks[i + 2].text);
+            if (mi >= 0) {
+                st[static_cast<std::size_t>(mi)] = kPmEffMoved;
+                i += 3;
+                continue;
+            }
+        }
+
+        int mi = tok_bare(toks, i) ? ctx.member_index(tk.text) : -1;
+        if (mi >= 0) {
+            if (shadow_decl(toks, i, nd.lo)) continue;
+            auto& v = st[static_cast<std::size_t>(mi)];
+            if (i + 1 < nd.hi && toks[i + 1].text == "=") {
+                if (ctx.is_event) {
+                    std::uint8_t next = kEffOther;
+                    int paren = 0;
+                    for (std::size_t j = i + 2; j < nd.hi; ++j) {
+                        if (ctx.cfg->opaque(j)) {
+                            j = opaque_end(*ctx.cfg, j) - 1;
+                            continue;
+                        }
+                        std::string_view t = toks[j].text;
+                        if (t == "(") ++paren;
+                        else if (t == ")") --paren;
+                        else if (t == ";" && paren == 0) break;
+                        else if (t == "schedule_at" || t == "schedule_after") next = kEffLive;
+                        else if (t == "kInvalidEventId" && next == kEffOther)
+                            next = kEffInvalid;
+                    }
+                    v = next;
+                } else {
+                    v = kPmEffValid;
+                }
+                continue;
+            }
+            if (!ctx.is_event && i + 2 < nd.hi && toks[i + 1].text == "." &&
+                (toks[i + 2].text == "reset" || toks[i + 2].text == "clear" ||
+                 toks[i + 2].text == "assign")) {
+                v = kPmEffValid;
+                i += 2;
+                continue;
+            }
+            continue;
+        }
+
+        // Same-class call: apply the callee's published effect per member.
+        if (i + 1 < nd.hi && toks[i + 1].text == "(" && tok_bare(toks, i) &&
+            ctx.self_fns.count(std::string(tk.text)) != 0 && ctx.cls != nullptr) {
+            const FunctionSummary* s = ctx.work.find(ctx.cls->name, tk.text);
+            const std::uint8_t unchanged = ctx.is_event ? kEffUnchanged : kPmEffUnchanged;
+            const std::uint8_t havoc = ctx.is_event ? kEffHavoc : kPmEffHavoc;
+            for (std::size_t m = 0; m < ctx.members.size(); ++m) {
+                std::uint8_t eff = havoc;
+                if (s != nullptr) {
+                    eff = ctx.is_event ? s->event_effect(ctx.members[m])
+                                       : s->payload_effect(ctx.members[m]);
+                }
+                st[m] = apply_effect(st[m], eff, unchanged);
+            }
+        }
+    }
+    return st;
+}
+
+struct Computer {
+    const Tree& tree;
+    const CallGraph& cg;
+    SummaryTable work;  // live table the fixpoint reads and republishes into
+    std::map<const FunctionBody*, FunctionSummary> by_body;
+    std::map<std::string, std::vector<const FunctionBody*>> bodies_by_key;
+
+    explicit Computer(const Tree& t, const CallGraph& g) : tree(t), cg(g) {}
+
+    // Bare occurrences of `name` inside any lambda sub-range of `node`
+    // (transitively): the lambda may run at any later time, so the host's
+    // published effect for that member must be havoc.
+    bool touched_in_lambda(const CgNode& node, const std::string& name) const {
+        std::vector<int> stack(node.lambdas.begin(), node.lambdas.end());
+        const auto& toks = node.fn->file->lex.tokens;
+        while (!stack.empty()) {
+            const CgNode& lam = cg.nodes[static_cast<std::size_t>(stack.back())];
+            stack.pop_back();
+            for (int child : lam.lambdas) stack.push_back(child);
+            for (std::size_t i = lam.begin; i < lam.end; ++i) {
+                if (toks[i].kind == TokKind::kIdent && toks[i].text == name &&
+                    tok_bare(toks, i)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    // True when any node of this function tree makes indirect/virtual calls.
+    bool any_unknown_callees(const CgNode& node) const {
+        if (node.has_unknown_callees) return true;
+        for (int child : node.lambdas) {
+            if (any_unknown_callees(cg.nodes[static_cast<std::size_t>(child)])) return true;
+        }
+        return false;
+    }
+
+    void effect_pass(const CgNode& node, bool is_event, FunctionSummary& out) {
+        const ClassModel* cls = node.cls;
+        if (cls == nullptr) return;  // free functions cannot touch members
+        std::vector<std::string> members;
+        for (const MemberVar& m : cls->members) {
+            if (is_event) {
+                if (m.type.find("EventId") != std::string::npos) members.push_back(m.name);
+            } else {
+                if (m.type.find("SharedPayload") != std::string::npos ||
+                    m.type.find("Bytes") != std::string::npos) {
+                    members.push_back(m.name);
+                }
+            }
+        }
+        if (members.empty()) return;
+        auto& dest = is_event ? out.event : out.payload;
+        const std::uint8_t havoc = is_event ? kEffHavoc : kPmEffHavoc;
+        const std::uint8_t unchanged = is_event ? kEffUnchanged : kPmEffUnchanged;
+
+        auto havoc_all = [&] {
+            for (const std::string& m : members) dest[m] = havoc;
+        };
+        if (node.has_unknown_callees) {
+            havoc_all();
+            return;
+        }
+        const auto& toks = node.fn->file->lex.tokens;
+        Cfg cfg = build_cfg(toks, node.begin, node.end);
+        if (!cfg.ok) {
+            havoc_all();
+            return;
+        }
+        std::set<std::string> self_fns;
+        for (const FunctionBody& f : cls->functions) self_fns.insert(f.name);
+        EffCtx ctx{cls, toks, members, self_fns, work, &cfg, is_event};
+        MaskState entry(members.size(), unchanged);
+        auto in = solve_forward(
+            cfg, entry, [&](int n, const MaskState& s) { return eff_transfer(ctx, n, s); },
+            mask_join);
+        if (in.empty()) {
+            havoc_all();
+            return;
+        }
+        const auto& exit_state = in[static_cast<std::size_t>(cfg.exit)];
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            // Unreachable exit: the function never returns; identity is fine.
+            std::uint8_t mask = exit_state.has_value() ? (*exit_state)[m] : unchanged;
+            if (touched_in_lambda(node, members[m]) ||
+                any_unknown_callees(node) /* lambda-side indirect calls */) {
+                mask = havoc;
+            }
+            if (mask != unchanged) dest[members[m]] = mask;
+        }
+    }
+
+    void lock_pass(const CgNode& node, FunctionSummary& out) {
+        const ClassModel* cls = node.cls;
+        if (cls == nullptr) return;
+        std::set<std::string> mutexes;
+        for (const MemberVar& m : cls->members) {
+            if (m.type.find("mutex") != std::string::npos) mutexes.insert(m.name);
+        }
+        if (mutexes.empty()) return;
+        std::set<std::string> self_fns;
+        for (const FunctionBody& f : cls->functions) self_fns.insert(f.name);
+
+        // Order-insensitive net delta: A = everything locked here or in a
+        // callee, R = everything unlocked likewise; publish A-R / R-A.
+        std::set<std::string> acquired, released;
+        const auto& toks = node.fn->file->lex.tokens;
+        auto in_lambda = [&](std::size_t i) {
+            for (int child : node.lambdas) {
+                const CgNode& c = cg.nodes[static_cast<std::size_t>(child)];
+                if (i >= c.begin && i < c.end) return true;
+            }
+            return false;
+        };
+        for (std::size_t i = node.begin; i + 2 < node.end; ++i) {
+            if (in_lambda(i)) continue;
+            if (toks[i].kind != TokKind::kIdent || !tok_bare(toks, i)) continue;
+            std::string name(toks[i].text);
+            if (toks[i + 1].text == "." &&
+                (toks[i + 2].text == "lock" || toks[i + 2].text == "unlock") &&
+                mutexes.count(name) != 0) {
+                (toks[i + 2].text == "lock" ? acquired : released).insert(name);
+                continue;
+            }
+            if (toks[i + 1].text == "(" && self_fns.count(name) != 0) {
+                if (const FunctionSummary* s = work.find(cls->name, name)) {
+                    acquired.insert(s->lock_acquires.begin(), s->lock_acquires.end());
+                    released.insert(s->lock_releases.begin(), s->lock_releases.end());
+                }
+            }
+        }
+        for (const std::string& m : acquired) {
+            if (released.count(m) == 0) out.lock_acquires.insert(m);
+        }
+        for (const std::string& m : released) {
+            if (acquired.count(m) == 0) out.lock_releases.insert(m);
+        }
+    }
+
+    FunctionSummary compute(const CgNode& node) {
+        FunctionSummary out;
+        effect_pass(node, /*is_event=*/true, out);
+        effect_pass(node, /*is_event=*/false, out);
+        lock_pass(node, out);
+        TaintOutcome t = analyze_taint(tree, *node.fn, node.cls, work, nullptr);
+        out.param_taints_return = t.param_taints_return;
+        out.returns_wire_taint = t.returns_wire_taint;
+        out.param_sinks = std::move(t.param_sinks);
+        return out;
+    }
+
+    // Joins overload summaries into the published per-key entry.
+    void publish(const std::string& key) {
+        FunctionSummary joined;
+        bool first = true;
+        for (const FunctionBody* b : bodies_by_key[key]) {
+            const FunctionSummary& s = by_body[b];
+            if (first) {
+                joined = s;
+                first = false;
+                continue;
+            }
+            for (const auto& [m, eff] : s.event) {
+                auto it = joined.event.find(m);
+                joined.event[m] = static_cast<std::uint8_t>(
+                    (it == joined.event.end() ? kEffUnchanged : it->second) | eff);
+            }
+            for (auto& [m, eff] : joined.event) {
+                if (s.event.count(m) == 0)
+                    eff = static_cast<std::uint8_t>(eff | kEffUnchanged);
+            }
+            for (const auto& [m, eff] : s.payload) {
+                auto it = joined.payload.find(m);
+                joined.payload[m] = static_cast<std::uint8_t>(
+                    (it == joined.payload.end() ? kPmEffUnchanged : it->second) | eff);
+            }
+            for (auto& [m, eff] : joined.payload) {
+                if (s.payload.count(m) == 0)
+                    eff = static_cast<std::uint8_t>(eff | kPmEffUnchanged);
+            }
+            // Definite acquisitions intersect; possible releases union.
+            std::set<std::string> acq;
+            std::set_intersection(joined.lock_acquires.begin(), joined.lock_acquires.end(),
+                                  s.lock_acquires.begin(), s.lock_acquires.end(),
+                                  std::inserter(acq, acq.begin()));
+            joined.lock_acquires = std::move(acq);
+            joined.lock_releases.insert(s.lock_releases.begin(), s.lock_releases.end());
+            joined.param_taints_return |= s.param_taints_return;
+            joined.returns_wire_taint = joined.returns_wire_taint || s.returns_wire_taint;
+            joined.param_sinks.insert(joined.param_sinks.end(), s.param_sinks.begin(),
+                                      s.param_sinks.end());
+        }
+        work.fns[key] = std::move(joined);
+    }
+
+    SummaryTable run() {
+        for (const auto& [body, id] : cg.primary) {
+            std::string key = key_of(*body);
+            bodies_by_key[key].push_back(body);
+            by_body.emplace(body, FunctionSummary{});
+            work.fns.emplace(key, FunctionSummary{});  // identity to start
+        }
+        for (const std::vector<int>& scc : cg.sccs) {
+            // Primary nodes of this SCC (lambda sub-nodes are folded into
+            // their hosts by compute()).
+            std::vector<const CgNode*> prim;
+            for (int id : scc) {
+                const CgNode& n = cg.nodes[static_cast<std::size_t>(id)];
+                if (n.parent == -1) prim.push_back(&n);
+            }
+            if (prim.empty()) continue;
+            const std::size_t cap = 3 * prim.size() + 4;
+            bool stable = false;
+            for (std::size_t pass = 0; pass < cap && !stable; ++pass) {
+                stable = true;
+                for (const CgNode* n : prim) {
+                    FunctionSummary s = compute(*n);
+                    FunctionSummary& cur = by_body[n->fn];
+                    if (!(s.event == cur.event && s.payload == cur.payload &&
+                          s.lock_acquires == cur.lock_acquires &&
+                          s.lock_releases == cur.lock_releases &&
+                          s.param_taints_return == cur.param_taints_return &&
+                          s.returns_wire_taint == cur.returns_wire_taint &&
+                          s.param_sinks.size() == cur.param_sinks.size())) {
+                        stable = false;
+                    }
+                    cur = std::move(s);
+                    publish(key_of(*n->fn));
+                }
+            }
+            if (!stable) {
+                // Fixpoint cap hit inside a recursive cycle: fall back to
+                // havoc for effects and to no-claims for taint/locks.
+                for (const CgNode* n : prim) {
+                    FunctionSummary h;
+                    if (n->cls != nullptr) {
+                        for (const MemberVar& m : n->cls->members) {
+                            if (m.type.find("EventId") != std::string::npos)
+                                h.event[m.name] = kEffHavoc;
+                            if (m.type.find("SharedPayload") != std::string::npos ||
+                                m.type.find("Bytes") != std::string::npos)
+                                h.payload[m.name] = kPmEffHavoc;
+                        }
+                    }
+                    by_body[n->fn] = std::move(h);
+                    publish(key_of(*n->fn));
+                }
+            }
+        }
+        return std::move(work);
+    }
+};
+
+} // namespace
+
+SummaryTable build_summaries(const Tree& tree, const CallGraph& cg) {
+    return Computer(tree, cg).run();
+}
+
+} // namespace staticcheck

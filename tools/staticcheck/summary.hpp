@@ -1,0 +1,89 @@
+// Bottom-up function summaries over the call graph (DESIGN.md §14.2).
+//
+// A summary is what a caller may assume about one call without reanalyzing
+// the callee's body:
+//   - event / payload effect masks: per member of the callee's class, the
+//     set of abstract states the member may hold when the callee returns.
+//     kEffUnchanged means the entry state flows through untouched. A callee
+//     whose body cannot be modelled — or that makes indirect/virtual calls —
+//     publishes havoc (every bit), which makes the caller drop all definite
+//     facts, exactly like the pre-interprocedural behavior.
+//   - lock-set deltas: mutexes a call definitely acquires (manual .lock()
+//     with no matching unlock) and mutexes it may release.
+//   - taint transfer: which parameters flow into the return value, whether
+//     the return value carries wire taint on its own, and which parameters
+//     reach an indexing/size/narrowing sink unsanitized inside the callee
+//     (reported at the caller when a wire-tainted argument is passed).
+//
+// Summaries are computed one SCC at a time in bottom-up order; inside a
+// cycle they iterate to a fixpoint (the lattices are small and the
+// transfers monotone toward havoc), with an iteration cap that falls back
+// to havoc-all — a missed fact, never a false one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+
+namespace staticcheck {
+
+// Event effect mask: abstract EventId states at callee exit. `Cancelled`
+// at callee exit is deliberately folded to kEffOther when published — the
+// callee's own exit-state check already reports a cancel-without-reset, so
+// callers must not re-derive findings from it.
+constexpr std::uint8_t kEffLive = 1, kEffInvalid = 2, kEffOther = 4, kEffUnchanged = 8;
+constexpr std::uint8_t kEffHavoc = kEffLive | kEffInvalid | kEffOther | kEffUnchanged;
+
+// Payload effect mask: abstract SharedPayload/Bytes states at callee exit.
+constexpr std::uint8_t kPmEffValid = 1, kPmEffMoved = 2, kPmEffOther = 4,
+                       kPmEffUnchanged = 8;
+constexpr std::uint8_t kPmEffHavoc = kPmEffValid | kPmEffMoved | kPmEffOther | kPmEffUnchanged;
+
+// Taint origin bits: bit i (< 16) = "parameter i", kTaintWire = "the wire".
+constexpr std::uint32_t kTaintWire = 1u << 31;
+
+// One unsanitized flow from a parameter to a sink inside a function.
+struct TaintSink {
+    std::uint32_t params = 0;  // origin bits (parameter positions)
+    int line = 0;              // sink line inside the callee
+    const char* kind = "";     // "index", "size argument", "narrowing cast"
+};
+
+struct FunctionSummary {
+    // member name -> effect mask; a member absent from the map is Unchanged.
+    std::map<std::string, std::uint8_t> event;
+    std::map<std::string, std::uint8_t> payload;
+    std::set<std::string> lock_acquires;  // definitely held after the call
+    std::set<std::string> lock_releases;  // may be released by the call
+    std::uint32_t param_taints_return = 0;  // bit i: param i flows to return
+    bool returns_wire_taint = false;        // return carries wire taint per se
+    std::vector<TaintSink> param_sinks;     // param -> sink flows, unsanitized
+
+    [[nodiscard]] std::uint8_t event_effect(const std::string& member) const {
+        auto it = event.find(member);
+        return it == event.end() ? kEffUnchanged : it->second;
+    }
+    [[nodiscard]] std::uint8_t payload_effect(const std::string& member) const {
+        auto it = payload.find(member);
+        return it == payload.end() ? kPmEffUnchanged : it->second;
+    }
+};
+
+struct SummaryTable {
+    // Keyed "Class::name" (members) or "name" (free functions); overloads
+    // are joined into one conservative summary.
+    std::map<std::string, FunctionSummary> fns;
+
+    // Summary for a call to `name` on an object of class `cls` ("" = free
+    // function). Null when the callee is not modelled — callers must havoc.
+    [[nodiscard]] const FunctionSummary* find(const std::string& cls,
+                                              std::string_view name) const;
+};
+
+[[nodiscard]] SummaryTable build_summaries(const Tree& tree, const CallGraph& cg);
+
+} // namespace staticcheck
